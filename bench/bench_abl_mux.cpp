@@ -1,0 +1,108 @@
+// ABL-1 — Type II multiplexing ablation (paper §3.1.3).
+//
+// The paper routes any number of plug-in connections over ONE static pair
+// of Type II SW-C ports by attaching the recipient's unique port id.  The
+// ablation compares this against the hypothetical alternative the design
+// rejects: one statically configured SW-C port pair *per logical
+// connection* (which would make the OEM pre-commit SW-C ports to a plug-in
+// population it cannot know).
+//
+// Two costs are compared over N logical connections:
+//   * static footprint: SW-C ports the OEM must provision (counter);
+//   * per-message routing cost (the mux pays id attach/strip + lookup;
+//     dedicated ports pay nothing extra per message).
+//
+// Expected shape: per-message cost is close between the two (the id
+// byte + hash lookup is cheap), while the static footprint is 2 vs 2N —
+// the architectural win the paper claims.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace dacm::bench {
+namespace {
+
+support::Bytes SinkBinary() {
+  return fes::AssembleOrDie(R"(
+    .entry on_data h
+    h: HALT
+  )");
+}
+
+// Multiplexed: N sinks behind ONE Type II pair; messages are delivered to
+// sink k via the PIRTE mux (id attached at V1-out, stripped at V1-in).
+void BM_MuxSharedPair(benchmark::State& state) {
+  const int connections = static_cast<int>(state.range(0));
+  BenchStack stack(/*max_plugins=*/128);  // sinks + the sender
+  const auto sink = SinkBinary();
+  for (int i = 0; i < connections; ++i) {
+    stack.Install(MakePackage(
+        "sink" + std::to_string(i), sink,
+        {{0, "in", static_cast<std::uint8_t>(i),
+          pirte::PluginPortDirection::kRequired}}));
+  }
+  // One sender whose port 1 targets sink k through the mux; k rotates via
+  // reinstalled PLCs being too costly, so instead send directly through the
+  // virtual port write path: emulate the sender side by a plug-in per
+  // target is overkill — a single sender bound to the *last* sink exercises
+  // the same attach/strip/lookup path with an N-entry demux table.
+  stack.Install(MakePackage(
+      "src", fes::MakeEchoPluginBinary(),
+      {{0, "in", 200, pirte::PluginPortDirection::kRequired},
+       {1, "out", 201, pirte::PluginPortDirection::kProvided}},
+      {{0, pirte::PlcKind::kVirtual, 6, 0, "", 0},
+       {1, pirte::PlcKind::kVirtualRemote, 1,
+        static_cast<std::uint8_t>(connections - 1), "", 0}}));
+  const support::Bytes payload{1, 2, 3, 4};
+  for (auto _ : state) {
+    (void)stack.ecu.ecu_rte().Write(stack.drv_sensor, payload);
+    stack.simulator.Run();
+  }
+  state.counters["static_swc_ports"] = 2;  // the whole point
+  state.counters["logical_connections"] = connections;
+}
+BENCHMARK(BM_MuxSharedPair)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// Dedicated: one RTE port pair per logical connection, no PIRTE involved.
+// This is what static AUTOSAR would need the OEM to provision up front.
+void BM_DedicatedPairs(benchmark::State& state) {
+  const int connections = static_cast<int>(state.range(0));
+  sim::Simulator simulator;
+  sim::CanBus bus(simulator, 500'000);
+  fes::Ecu ecu(simulator, bus, 1, "ECU1");
+  rte::Rte& rte = ecu.ecu_rte();
+  auto swc_a = *rte.AddSwc("A");
+  auto swc_b = *rte.AddSwc("B");
+  std::vector<rte::PortId> outs;
+  for (int i = 0; i < connections; ++i) {
+    rte::PortConfig out_config;
+    out_config.name = "out" + std::to_string(i);
+    out_config.direction = rte::PortDirection::kProvided;
+    out_config.max_len = 64;
+    auto out = *rte.AddPort(swc_a, std::move(out_config));
+    rte::PortConfig in_config;
+    in_config.name = "in" + std::to_string(i);
+    in_config.direction = rte::PortDirection::kRequired;
+    in_config.max_len = 64;
+    auto in = *rte.AddPort(swc_b, std::move(in_config));
+    (void)rte.ConnectLocal(out, in);
+    outs.push_back(out);
+  }
+  (void)ecu.Start();
+  simulator.Run();
+  const support::Bytes payload{1, 2, 3, 4};
+  std::size_t next = 0;
+  for (auto _ : state) {
+    (void)rte.Write(outs[next], payload);
+    simulator.Run();
+    next = (next + 1) % outs.size();
+  }
+  state.counters["static_swc_ports"] = 2.0 * connections;
+  state.counters["logical_connections"] = connections;
+}
+BENCHMARK(BM_DedicatedPairs)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace dacm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+// Shared fixtures for the figure benchmarks.
+//
+// BenchStack — a single-ECU plug-in SW-C with a loopback Type II channel
+// and a Type III virtual-port pair, mirroring the unit-test harness: the
+// cheapest complete environment in which every PLC routing kind can be
+// exercised.
+//
+// ScriptedVehicle — a scripted ECM endpoint for server benchmarks: accepts
+// pushes and acks instantly, so benchmarks measure the server pipeline,
+// not the vehicle.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bsw/nvm.hpp"
+#include "fes/appgen.hpp"
+#include "fes/ecu.hpp"
+#include "fes/testbed.hpp"
+#include "pirte/pirte.hpp"
+#include "server/server.hpp"
+#include "sim/network.hpp"
+
+namespace dacm::bench {
+
+class BenchStack {
+ public:
+  sim::Simulator simulator;
+  sim::CanBus bus{simulator, 500'000};
+  fes::Ecu ecu{simulator, bus, 1, "ECU1"};
+  bsw::Nvm nvm;
+  std::unique_ptr<pirte::Pirte> pirte;
+  rte::PortId native_out, native_in;     // built-in S/R baseline pair
+  rte::PortId drv_sensor, mon_act;       // harness ends of the Type III ports
+
+  explicit BenchStack(std::size_t max_plugins = 64) {
+    rte::Rte& rte = ecu.ecu_rte();
+    auto plug_swc = *rte.AddSwc("Plug");
+    auto harness_swc = *rte.AddSwc("Harness");
+
+    auto add_port = [&](rte::SwcId swc, const char* name, rte::PortDirection dir) {
+      rte::PortConfig config;
+      config.name = name;
+      config.direction = dir;
+      config.max_len = 4096;
+      return *rte.AddPort(swc, std::move(config));
+    };
+
+    auto t2_out = add_port(plug_swc, "t2.out", rte::PortDirection::kProvided);
+    auto t2_in = add_port(plug_swc, "t2.in", rte::PortDirection::kRequired);
+    auto act_out = add_port(plug_swc, "ActReq", rte::PortDirection::kProvided);
+    auto sensor_in = add_port(plug_swc, "SensorProv", rte::PortDirection::kRequired);
+    native_out = add_port(harness_swc, "native.out", rte::PortDirection::kProvided);
+    native_in = add_port(harness_swc, "native.in", rte::PortDirection::kRequired);
+    mon_act = add_port(harness_swc, "mon.act", rte::PortDirection::kRequired);
+    drv_sensor = add_port(harness_swc, "drv.sensor", rte::PortDirection::kProvided);
+
+    (void)rte.ConnectLocal(t2_out, t2_in);  // Type II loopback
+    (void)rte.ConnectLocal(act_out, mon_act);
+    (void)rte.ConnectLocal(drv_sensor, sensor_in);
+    (void)rte.ConnectLocal(native_out, native_in);
+
+    pirte::PirteConfig config;
+    config.name = "P1";
+    config.ecu_id = 1;
+    config.swc = plug_swc;
+    config.max_plugins = max_plugins;
+
+    pirte::VirtualPortConfig v1;
+    v1.id = 1;
+    v1.name = "t2.loop";
+    v1.kind = pirte::VirtualPortKind::kTypeII;
+    v1.swc_out = t2_out;
+    v1.swc_in = t2_in;
+    config.virtual_ports.push_back(v1);
+
+    pirte::VirtualPortConfig v4;
+    v4.id = 4;
+    v4.name = "ActReq";
+    v4.kind = pirte::VirtualPortKind::kTypeIII;
+    v4.swc_out = act_out;
+    config.virtual_ports.push_back(v4);
+
+    pirte::VirtualPortConfig v6;
+    v6.id = 6;
+    v6.name = "SensorProv";
+    v6.kind = pirte::VirtualPortKind::kTypeIII;
+    v6.swc_in = sensor_in;
+    config.virtual_ports.push_back(v6);
+
+    pirte = std::make_unique<pirte::Pirte>(rte, &nvm, nullptr, std::move(config));
+    (void)pirte->Init();
+    (void)ecu.Start();
+    simulator.Run();
+  }
+
+  /// Installs a plug-in directly (no server round-trip).
+  void Install(const pirte::InstallationPackage& package) {
+    (void)pirte->Install(package);
+    simulator.Run();
+  }
+};
+
+/// Builds a plug-in package around a binary with `ports` PIC entries whose
+/// unique ids start at `base_uid`; PLC entries are supplied by the caller.
+inline pirte::InstallationPackage MakePackage(const std::string& name,
+                                              support::Bytes binary,
+                                              std::vector<pirte::PicEntry> pic,
+                                              std::vector<pirte::PlcEntry> plc = {}) {
+  pirte::InstallationPackage package;
+  package.plugin_name = name;
+  package.version = "1.0";
+  package.pic.entries = std::move(pic);
+  package.plc.entries = std::move(plc);
+  package.binary = std::move(binary);
+  return package;
+}
+
+/// Scripted vehicle endpoint: immediately acks every install/uninstall push.
+class ScriptedVehicle {
+ public:
+  ScriptedVehicle(sim::Simulator& simulator, sim::Network& network,
+                  server::TrustedServer& server, std::string vin)
+      : simulator_(simulator), vin_(std::move(vin)) {
+    auto client = network.Connect(server.address());
+    peer_ = std::move(*client);
+    peer_->SetReceiveHandler([this](const support::Bytes& data) {
+      auto envelope = pirte::Envelope::Deserialize(data);
+      if (!envelope.ok()) return;
+      auto message = pirte::PirteMessage::Deserialize(envelope->message);
+      if (!message.ok()) return;
+      if (message->type == pirte::MessageType::kInstallPackage ||
+          message->type == pirte::MessageType::kUninstall) {
+        pirte::PirteMessage ack;
+        ack.type = pirte::MessageType::kAck;
+        ack.plugin_name = message->plugin_name;
+        ack.ok = true;
+        pirte::Envelope reply;
+        reply.kind = pirte::Envelope::Kind::kPirteMessage;
+        reply.vin = vin_;
+        reply.message = ack.Serialize();
+        (void)peer_->Send(reply.Serialize());
+      }
+    });
+    pirte::Envelope hello;
+    hello.kind = pirte::Envelope::Kind::kHello;
+    hello.vin = vin_;
+    (void)peer_->Send(hello.Serialize());
+    simulator_.Run();
+  }
+
+ private:
+  sim::Simulator& simulator_;
+  std::string vin_;
+  std::shared_ptr<sim::NetPeer> peer_;
+};
+
+}  // namespace dacm::bench

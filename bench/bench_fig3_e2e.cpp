@@ -1,0 +1,99 @@
+// FIG3-A — the paper's example application end to end (Figure 3, §4).
+//
+// Regenerates the behaviour of the prototype demo: user-triggered install
+// of the COM+OP app over server -> ECM -> ECU2, then phone-to-motor
+// control traffic.  Reports both wall-clock cost (how expensive the whole
+// machinery is to simulate) and *simulated* latencies (what a vehicle
+// would observe: network latency + CAN frame times + task dispatch).
+#include <benchmark/benchmark.h>
+
+#include "fes/testbed.hpp"
+
+namespace dacm::bench {
+namespace {
+
+// Full federation bring-up + deployment of the remote-car app.
+void BM_DeployRemoteCar(benchmark::State& state) {
+  double sim_ms_total = 0;
+  for (auto _ : state) {
+    auto testbed = fes::Figure3Testbed::Create();
+    if (!testbed.ok() || !(*testbed)->SetUp().ok()) {
+      state.SkipWithError("testbed bring-up failed");
+      return;
+    }
+    const sim::SimTime start = (*testbed)->simulator().Now();
+    if (!(*testbed)->DeployRemoteCar().ok()) {
+      state.SkipWithError("deployment failed");
+      return;
+    }
+    sim_ms_total += static_cast<double>((*testbed)->simulator().Now() - start) /
+                    sim::kMillisecond;
+  }
+  state.counters["sim_install_ms"] =
+      benchmark::Counter(sim_ms_total / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_DeployRemoteCar)->Unit(benchmark::kMillisecond);
+
+// One phone command, phone -> COM -> Type II/CAN -> OP -> motor control.
+void BM_WheelsCommandRoundTrip(benchmark::State& state) {
+  auto testbed = fes::Figure3Testbed::Create();
+  if (!testbed.ok() || !(*testbed)->SetUp().ok() ||
+      !(*testbed)->DeployRemoteCar().ok()) {
+    state.SkipWithError("deployment failed");
+    return;
+  }
+  double sim_ms_total = 0;
+  std::int32_t angle = 0;
+  for (auto _ : state) {
+    // Stay inside the OEM guard's [-45, 45] wheel range.
+    angle = (angle + 1) % 45;
+    auto latency = (*testbed)->SendWheels(angle);
+    if (!latency.ok()) {
+      state.SkipWithError("command lost");
+      return;
+    }
+    sim_ms_total += static_cast<double>(*latency) / sim::kMillisecond;
+  }
+  state.counters["sim_latency_ms"] =
+      benchmark::Counter(sim_ms_total / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WheelsCommandRoundTrip)->Unit(benchmark::kMicrosecond);
+
+// Same round trip at different simulated WAN latencies: the in-vehicle
+// share of the end-to-end latency is what the architecture adds.
+void BM_CommandLatencyVsWan(benchmark::State& state) {
+  fes::Figure3Options options;
+  options.network_latency =
+      static_cast<sim::SimTime>(state.range(0)) * sim::kMillisecond;
+  auto testbed = fes::Figure3Testbed::Create(options);
+  if (!testbed.ok() || !(*testbed)->SetUp().ok() ||
+      !(*testbed)->DeployRemoteCar().ok()) {
+    state.SkipWithError("deployment failed");
+    return;
+  }
+  double sim_ms_total = 0;
+  std::int32_t speed = 0;
+  for (auto _ : state) {
+    // Stay inside the OEM guard's [0, 100] speed range (values outside it
+    // are dropped by design — see test_guard).
+    speed = (speed + 1) % 100;
+    auto latency = (*testbed)->SendSpeed(speed);
+    if (!latency.ok()) {
+      state.SkipWithError("command lost");
+      return;
+    }
+    sim_ms_total += static_cast<double>(*latency) / sim::kMillisecond;
+  }
+  const double mean = sim_ms_total / static_cast<double>(state.iterations());
+  state.counters["sim_latency_ms"] = benchmark::Counter(mean);
+  state.counters["in_vehicle_ms"] =
+      benchmark::Counter(mean - static_cast<double>(state.range(0)));
+  state.counters["wan_ms"] = benchmark::Counter(static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_CommandLatencyVsWan)->Arg(0)->Arg(5)->Arg(20)->Arg(50);
+
+}  // namespace
+}  // namespace dacm::bench
+
+BENCHMARK_MAIN();

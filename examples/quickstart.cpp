@@ -1,0 +1,161 @@
+// Quickstart: the dynamic component model on a single ECU.
+//
+// This example builds the smallest useful dynamic-AUTOSAR system:
+//
+//   1. one simulated ECU (OSEK OS + CAN + COM + RTE);
+//   2. one plug-in SW-C whose PIRTE exposes two virtual ports — ActReq
+//      (Type III, plug-in -> built-in actuator) and SensorProv (Type III,
+//      built-in sensor -> plug-in);
+//   3. a "scaler" plug-in, assembled from PVM source at runtime, installed
+//      *while the ECU is running* with a PIC/PLC context — no rebuild, no
+//      reflash;
+//   4. sensor data driven through the plug-in and observed at the actuator.
+//
+// Run: ./build/examples/quickstart
+#include <cstdio>
+
+#include "bsw/nvm.hpp"
+#include "fes/ecu.hpp"
+#include "pirte/pirte.hpp"
+#include "vm/assembler.hpp"
+
+using namespace dacm;
+
+namespace {
+
+// The plug-in: on data at P0, double the (1-byte) value and emit it on P1.
+// Environment access happens exclusively through port syscalls — the PVM
+// has no way to touch anything outside its registers and ports.
+const char* kScalerSource = R"(
+  .entry on_data react
+  react:
+    READP 0        ; sensor byte lands in the I/O window (r128..)
+    POP            ; discard the length
+    LOAD 128
+    PUSH 2
+    MUL
+    STORE 128
+    WRITEP 1 1     ; one byte out on P1
+    HALT
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("=== dynamic-AUTOSAR quickstart ===\n\n");
+
+  // --- 1. the static (OEM, design-time) part ---------------------------------
+  sim::Simulator simulator;
+  sim::CanBus bus(simulator, 500'000);
+  fes::Ecu ecu(simulator, bus, /*id=*/1, "ECU1");
+  rte::Rte& rte = ecu.ecu_rte();
+
+  auto plug_swc = *rte.AddSwc("PluginSwc");
+  auto app_swc = *rte.AddSwc("BuiltInApp");
+
+  auto add_port = [&](rte::SwcId swc, const char* name, rte::PortDirection dir) {
+    rte::PortConfig config;
+    config.name = name;
+    config.direction = dir;
+    config.max_len = 64;
+    return *rte.AddPort(swc, std::move(config));
+  };
+
+  // Type III SW-C ports of the plug-in SW-C, and their built-in peers.
+  auto act_out = add_port(plug_swc, "ActReq", rte::PortDirection::kProvided);
+  auto sensor_in = add_port(plug_swc, "SensorProv", rte::PortDirection::kRequired);
+  auto actuator = add_port(app_swc, "Actuator", rte::PortDirection::kRequired);
+  auto sensor = add_port(app_swc, "Sensor", rte::PortDirection::kProvided);
+  (void)rte.ConnectLocal(act_out, actuator);
+  (void)rte.ConnectLocal(sensor, sensor_in);
+
+  // Built-in consumer: print whatever reaches the actuator.
+  (void)rte.SetPortListener(actuator, [](std::span<const std::uint8_t> data) {
+    std::printf("  [built-in] actuator <- %u\n", data.empty() ? 0u : data[0]);
+  });
+
+  // The PIRTE's static configuration: the exposed virtual-port API.
+  pirte::PirteConfig config;
+  config.name = "PIRTE1";
+  config.ecu_id = 1;
+  config.swc = plug_swc;
+  {
+    pirte::VirtualPortConfig v4;
+    v4.id = 4;
+    v4.name = "ActReq";
+    v4.kind = pirte::VirtualPortKind::kTypeIII;
+    v4.swc_out = act_out;
+    config.virtual_ports.push_back(v4);
+    pirte::VirtualPortConfig v6;
+    v6.id = 6;
+    v6.name = "SensorProv";
+    v6.kind = pirte::VirtualPortKind::kTypeIII;
+    v6.swc_in = sensor_in;
+    config.virtual_ports.push_back(v6);
+  }
+
+  bsw::Nvm nvm;
+  pirte::Pirte pirte(rte, &nvm, &ecu.dem(), std::move(config));
+  if (!pirte.Init().ok() || !ecu.Start().ok()) {
+    std::fprintf(stderr, "stack bring-up failed\n");
+    return 1;
+  }
+  simulator.Run();
+  std::printf("ECU1 is up; PIRTE exposes virtual ports V4=ActReq, V6=SensorProv.\n");
+  std::printf("Installed plug-ins: %zu\n\n", pirte.InstalledPluginNames().size());
+
+  // --- 2. the dynamic part: install a plug-in at runtime ---------------------
+  auto program = vm::Assemble(kScalerSource);
+  if (!program.ok()) {
+    std::fprintf(stderr, "assembly failed: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+
+  pirte::InstallationPackage package;
+  package.plugin_name = "scaler";
+  package.version = "1.0";
+  // PIC: developer port names bound to SW-C-unique ids (server-assigned).
+  package.pic.entries = {
+      {0, "sensor", 0, pirte::PluginPortDirection::kRequired},
+      {1, "actuator", 1, pirte::PluginPortDirection::kProvided},
+  };
+  // PLC: "P0-V6, P1-V4" in the paper's notation.
+  package.plc.entries = {
+      {0, pirte::PlcKind::kVirtual, 6, 0, "", 0},
+      {1, pirte::PlcKind::kVirtual, 4, 0, "", 0},
+  };
+  package.binary = program->Serialize();
+
+  if (auto status = pirte.Install(package); !status.ok()) {
+    std::fprintf(stderr, "install failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  simulator.Run();
+  std::printf("Installed plug-in 'scaler' v1.0 with PLC {P0-V6, P1-V4}.\n\n");
+
+  // --- 3. data flows through the dynamic component ----------------------------
+  std::printf("Driving sensor values 3, 7, 21 through the plug-in:\n");
+  for (std::uint8_t value : {3, 7, 21}) {
+    std::printf("  [built-in] sensor  -> %u\n", value);
+    (void)rte.Write(sensor, support::Bytes{value});
+    simulator.Run();
+  }
+
+  // --- 4. and can be removed again --------------------------------------------
+  (void)pirte.Uninstall("scaler");
+  simulator.Run();
+  std::printf("\nUninstalled 'scaler'; further sensor data stops at the PIRTE:\n");
+  (void)rte.Write(sensor, support::Bytes{99});
+  simulator.Run();
+
+  const auto& stats = pirte.stats();
+  std::printf("\nPIRTE stats: installs=%llu uninstalls=%llu routed=%llu "
+              "vm_activations=%llu faults=%llu\n",
+              static_cast<unsigned long long>(stats.installs),
+              static_cast<unsigned long long>(stats.uninstalls),
+              static_cast<unsigned long long>(stats.messages_routed),
+              static_cast<unsigned long long>(stats.vm_activations),
+              static_cast<unsigned long long>(stats.vm_faults));
+  std::printf("\nDone.\n");
+  return 0;
+}

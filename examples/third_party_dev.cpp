@@ -1,0 +1,148 @@
+// Third-party development workflow — the ecosystem the paper motivates.
+//
+// "Thirdly, it would create a foundation for open innovation where an
+// ecosystem of third party developers can develop new services that add to
+// the value of the products." (§1)
+//
+// A developer who has never seen the vehicle's source code ships a cruise
+// assistant using only the OEM's published interface (the SystemSW conf's
+// virtual ports):
+//
+//   1. write plug-in behaviour in PVM assembly and assemble it;
+//   2. declare ports and connections against the published virtual ports;
+//   3. upload — and get rejected with a precise diagnostic for targeting a
+//      virtual port the vehicle model does not expose;
+//   4. fix the SW conf, redeploy, and watch the plug-in consume the
+//      vehicle's speed feed (SpeedProv) and drive SpeedReq within the
+//      OEM's guard limits.
+//
+// Run: ./build/examples/third_party_dev
+#include <cstdio>
+
+#include "fes/appgen.hpp"
+#include "fes/testbed.hpp"
+#include "vm/assembler.hpp"
+
+using namespace dacm;
+
+namespace {
+
+// The cruise plug-in: every time a speed measurement arrives on P0, write
+// a new speed request on P1 nudging the vehicle towards 60.
+const char* kCruiseSource = R"(
+  .entry on_data react
+  react:
+    READP 0        ; current speed, 4-byte LE, into r128..r131
+    POP
+    LOAD 128       ; low byte is enough for the demo range [0, 100]
+    PUSH 60
+    CMPLT
+    JZ slower
+    ; current < 60: request current+5
+    LOAD 128
+    PUSH 5
+    ADD
+    STORE 128
+    JMP send
+  slower:
+    ; current >= 60: request current-5
+    LOAD 128
+    PUSH 5
+    SUB
+    STORE 128
+  send:
+    PUSH 0
+    STORE 129      ; clear the upper bytes of the request
+    PUSH 0
+    STORE 130
+    PUSH 0
+    STORE 131
+    WRITEP 1 4
+    HALT
+)";
+
+server::App MakeCruiseApp(const std::string& speed_feed_port) {
+  server::App app;
+  app.name = "cruise";
+  app.version = "1.0";
+  app.developer = "third-party-gmbh";
+  server::PluginDecl plugin;
+  plugin.name = "cruise.ctrl";
+  plugin.binary = fes::AssembleOrDie(kCruiseSource);
+  plugin.ports = {{0, "speed_in", pirte::PluginPortDirection::kRequired},
+                  {1, "speed_req", pirte::PluginPortDirection::kProvided}};
+  app.plugins.push_back(std::move(plugin));
+  server::SwConf conf;
+  conf.vehicle_model = "rpi-testbed";
+  conf.min_platform = "1.0";
+  conf.placements = {{"cruise.ctrl", 2}};
+  using Target = server::ConnectionDecl::Target;
+  conf.connections.push_back(
+      {"cruise.ctrl", 0, Target::kVirtualPort, speed_feed_port, "", 0, "", ""});
+  conf.connections.push_back(
+      {"cruise.ctrl", 1, Target::kVirtualPort, "SpeedReq", "", 0, "", ""});
+  conf.required_virtual_ports = {speed_feed_port, "SpeedReq"};
+  app.confs.push_back(std::move(conf));
+  return app;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== third-party developer workflow ===\n\n");
+
+  auto created = fes::Figure3Testbed::Create();
+  if (!created.ok()) return 1;
+  auto& testbed = **created;
+  if (!testbed.SetUp().ok()) return 1;
+
+  std::printf("OEM published interface for model 'rpi-testbed':\n");
+  for (const auto& vp : fes::MakeRpiTestbedConf().sw.virtual_ports) {
+    std::printf("  V%u  %-18s type %u\n", vp.id, vp.name.c_str(), vp.kind);
+  }
+
+  // --- first attempt: against a port the OEM never published ------------------
+  std::printf("\nDeveloper uploads 'cruise' v1.0 targeting 'SpeedFeed'...\n");
+  if (!testbed.server().UploadApp(MakeCruiseApp("SpeedFeed")).ok()) return 1;
+  auto status = testbed.server().Deploy(testbed.user(), "VIN-0001", "cruise");
+  std::printf("  server verdict: %s\n", status.ToString().c_str());
+
+  // --- fixed against the published SpeedProv ------------------------------------
+  std::printf("\nDeveloper fixes the SW conf to the published 'SpeedProv' (v1.1)...\n");
+  auto fixed = MakeCruiseApp("SpeedProv");
+  fixed.version = "1.1";
+  if (!testbed.server().UploadApp(fixed).ok()) return 1;
+  status = testbed.server().Deploy(testbed.user(), "VIN-0001", "cruise");
+  if (!status.ok()) {
+    std::fprintf(stderr, "  unexpected rejection: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  testbed.RunUntil(
+      [&]() {
+        auto state = testbed.server().AppState("VIN-0001", "cruise");
+        return state.ok() && *state == server::InstallState::kInstalled;
+      },
+      5 * sim::kSecond);
+  std::printf("  installed; plug-in runs against SpeedProv -> SpeedReq\n");
+
+  // --- the control loop in action --------------------------------------------------
+  // MeasureSpeed publishes the current speed every 100 ms on SpeedProv;
+  // the cruise plug-in nudges SpeedReq towards 60 in steps of 5.
+  std::printf("\nVehicle speed trajectory (sampled every 200 ms):\n  ");
+  for (int i = 0; i < 10; ++i) {
+    testbed.simulator().RunFor(200 * sim::kMillisecond);
+    std::printf("%d ", testbed.last_speed());
+  }
+  std::printf("\n");
+  std::printf("cruise converged to ~60: %s\n",
+              testbed.last_speed() >= 55 && testbed.last_speed() <= 65 ? "yes"
+                                                                       : "no");
+  const auto& guard = *testbed.speed_guard();
+  std::printf("guard on SpeedReq saw: passed=%llu dropped=%llu (all requests "
+              "stayed in [0, 100])\n",
+              static_cast<unsigned long long>(guard.stats().passed),
+              static_cast<unsigned long long>(guard.stats().dropped_range));
+
+  std::printf("\nDone.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "bsw/can_if.hpp"
+
+namespace dacm::bsw {
+
+CanIf::CanIf(sim::CanBus& bus, std::string ecu_name) : bus_(bus) {
+  node_ = bus_.AttachNode(std::move(ecu_name),
+                          [this](const sim::CanFrame& f) { OnBusFrame(f); });
+}
+
+support::Status CanIf::BindRx(std::uint32_t can_id, RxIndication handler) {
+  if (!handler) return support::InvalidArgument("null RX indication");
+  auto [it, inserted] = rx_bindings_.emplace(can_id, std::move(handler));
+  (void)it;
+  if (!inserted) {
+    return support::AlreadyExists("RX binding for CAN id " + std::to_string(can_id));
+  }
+  return support::OkStatus();
+}
+
+support::Status CanIf::Transmit(const sim::CanFrame& frame) {
+  return bus_.Send(node_, frame);
+}
+
+void CanIf::OnBusFrame(const sim::CanFrame& frame) {
+  ++frames_received_;
+  auto it = rx_bindings_.find(frame.can_id);
+  if (it == rx_bindings_.end()) {
+    ++frames_unroutable_;  // not addressed to this ECU; normal on a broadcast bus
+    return;
+  }
+  it->second(frame);
+}
+
+}  // namespace dacm::bsw

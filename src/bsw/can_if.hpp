@@ -1,0 +1,46 @@
+// CAN interface layer (CanIf).
+//
+// Binds one ECU to a sim::CanBus node and demultiplexes received frames to
+// upper layers by CAN identifier.  Mirrors the AUTOSAR CanIf contract at
+// the granularity the stack above needs: static RX bindings, transmit
+// pass-through, and RX indication callbacks.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/can_bus.hpp"
+#include "support/status.hpp"
+
+namespace dacm::bsw {
+
+class CanIf {
+ public:
+  using RxIndication = std::function<void(const sim::CanFrame&)>;
+
+  CanIf(sim::CanBus& bus, std::string ecu_name);
+
+  CanIf(const CanIf&) = delete;
+  CanIf& operator=(const CanIf&) = delete;
+
+  /// Registers the handler for frames with identifier `can_id`.
+  support::Status BindRx(std::uint32_t can_id, RxIndication handler);
+
+  /// Transmits one frame on the bus.
+  support::Status Transmit(const sim::CanFrame& frame);
+
+  std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t frames_unroutable() const { return frames_unroutable_; }
+
+ private:
+  void OnBusFrame(const sim::CanFrame& frame);
+
+  sim::CanBus& bus_;
+  sim::CanNodeId node_;
+  std::unordered_map<std::uint32_t, RxIndication> rx_bindings_;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t frames_unroutable_ = 0;
+};
+
+}  // namespace dacm::bsw

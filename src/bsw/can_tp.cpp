@@ -1,0 +1,165 @@
+#include "bsw/can_tp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/crc.hpp"
+
+namespace dacm::bsw {
+
+CanTp::CanTp(CanIf& can_if, std::uint32_t tx_id, std::uint32_t rx_id,
+             std::size_t max_message)
+    : can_if_(can_if), tx_id_(tx_id), max_message_(max_message) {
+  // A failed binding here is a static configuration bug (duplicate rx id);
+  // surface it loudly at construction.
+  auto status = can_if_.BindRx(rx_id, [this](const sim::CanFrame& f) { OnFrame(f); });
+  (void)status;
+  assert(status.ok() && "duplicate CanTp rx binding");
+}
+
+support::Status CanTp::Send(std::span<const std::uint8_t> message) {
+  // Append CRC32 trailer.
+  support::Bytes payload(message.begin(), message.end());
+  const std::uint32_t crc = support::Crc32(message);
+  for (int i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xff));
+  }
+
+  if (payload.size() > max_message_) {
+    return support::CapacityExceeded("CanTp message exceeds max_message");
+  }
+
+  if (payload.size() <= 7) {
+    sim::CanFrame frame;
+    frame.can_id = tx_id_;
+    frame.dlc = static_cast<std::uint8_t>(payload.size() + 1);
+    frame.data[0] = static_cast<std::uint8_t>(kSingle | payload.size());
+    std::copy(payload.begin(), payload.end(), frame.data.begin() + 1);
+    DACM_RETURN_IF_ERROR(can_if_.Transmit(frame));
+    ++messages_sent_;
+    return support::OkStatus();
+  }
+
+  // First frame: PCI byte + u32 length + 3 data bytes.
+  sim::CanFrame first;
+  first.can_id = tx_id_;
+  first.dlc = 8;
+  first.data[0] = kFirst;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    first.data[1 + i] = static_cast<std::uint8_t>((len >> (8 * i)) & 0xff);
+  }
+  std::size_t pos = std::min<std::size_t>(3, payload.size());
+  std::copy(payload.begin(), payload.begin() + static_cast<std::ptrdiff_t>(pos),
+            first.data.begin() + 5);
+  DACM_RETURN_IF_ERROR(can_if_.Transmit(first));
+
+  std::uint8_t seq = 1;
+  while (pos < payload.size()) {
+    sim::CanFrame cf;
+    cf.can_id = tx_id_;
+    const std::size_t chunk = std::min<std::size_t>(7, payload.size() - pos);
+    cf.dlc = static_cast<std::uint8_t>(chunk + 1);
+    cf.data[0] = static_cast<std::uint8_t>(kConsecutive | (seq & 0x0f));
+    std::copy(payload.begin() + static_cast<std::ptrdiff_t>(pos),
+              payload.begin() + static_cast<std::ptrdiff_t>(pos + chunk),
+              cf.data.begin() + 1);
+    DACM_RETURN_IF_ERROR(can_if_.Transmit(cf));
+    pos += chunk;
+    seq = static_cast<std::uint8_t>((seq + 1) & 0x0f);
+  }
+  ++messages_sent_;
+  return support::OkStatus();
+}
+
+void CanTp::OnFrame(const sim::CanFrame& frame) {
+  if (frame.dlc == 0) {
+    Fail(support::ProtocolError("empty CanTp frame"));
+    return;
+  }
+  const std::uint8_t pci = frame.data[0] & 0xf0;
+  switch (pci) {
+    case kSingle: {
+      const std::size_t len = frame.data[0] & 0x0f;
+      if (len + 1 > frame.dlc) {
+        Fail(support::ProtocolError("SF length exceeds dlc"));
+        return;
+      }
+      rx_buffer_.assign(frame.data.begin() + 1,
+                        frame.data.begin() + 1 + static_cast<std::ptrdiff_t>(len));
+      rx_active_ = false;
+      DeliverIfComplete();
+      return;
+    }
+    case kFirst: {
+      if (frame.dlc < 5) {
+        Fail(support::ProtocolError("FF too short"));
+        return;
+      }
+      std::uint32_t len = 0;
+      for (int i = 3; i >= 0; --i) len = (len << 8) | frame.data[1 + i];
+      if (len > max_message_) {
+        Fail(support::CapacityExceeded("FF length exceeds max_message"));
+        return;
+      }
+      rx_active_ = true;
+      rx_expected_ = len;
+      rx_next_seq_ = 1;
+      rx_buffer_.clear();
+      rx_buffer_.insert(rx_buffer_.end(), frame.data.begin() + 5,
+                        frame.data.begin() + frame.dlc);
+      return;
+    }
+    case kConsecutive: {
+      if (!rx_active_) {
+        Fail(support::ProtocolError("CF without FF"));
+        return;
+      }
+      const std::uint8_t seq = frame.data[0] & 0x0f;
+      if (seq != rx_next_seq_) {
+        rx_active_ = false;
+        Fail(support::ProtocolError("CF sequence gap (lost frame?)"));
+        return;
+      }
+      rx_next_seq_ = static_cast<std::uint8_t>((rx_next_seq_ + 1) & 0x0f);
+      rx_buffer_.insert(rx_buffer_.end(), frame.data.begin() + 1,
+                        frame.data.begin() + frame.dlc);
+      if (rx_buffer_.size() >= rx_expected_) {
+        rx_active_ = false;
+        rx_buffer_.resize(rx_expected_);
+        DeliverIfComplete();
+      }
+      return;
+    }
+    default:
+      Fail(support::ProtocolError("unknown PCI"));
+  }
+}
+
+void CanTp::DeliverIfComplete() {
+  if (rx_buffer_.size() < 4) {
+    Fail(support::Corrupted("message shorter than CRC trailer"));
+    return;
+  }
+  const std::size_t body_len = rx_buffer_.size() - 4;
+  std::uint32_t wire_crc = 0;
+  for (int i = 3; i >= 0; --i) {
+    wire_crc = (wire_crc << 8) | rx_buffer_[body_len + static_cast<std::size_t>(i)];
+  }
+  const std::uint32_t crc =
+      support::Crc32(std::span<const std::uint8_t>(rx_buffer_.data(), body_len));
+  if (crc != wire_crc) {
+    Fail(support::Corrupted("CanTp CRC mismatch"));
+    return;
+  }
+  rx_buffer_.resize(body_len);
+  ++messages_received_;
+  if (on_message_) on_message_(rx_buffer_);
+}
+
+void CanTp::Fail(support::Status status) {
+  ++reassembly_errors_;
+  if (on_error_) on_error_(status);
+}
+
+}  // namespace dacm::bsw

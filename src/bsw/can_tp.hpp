@@ -1,0 +1,77 @@
+// CAN transport protocol (ISO 15765-2 flavoured segmentation).
+//
+// Installation packages and multiplexed Type II payloads are larger than a
+// classic CAN frame, so they travel segmented:
+//
+//   single frame  SF: [0x0 | len(<=7)] data...
+//   first frame   FF: [0x1] [len u32]  data(3 bytes)
+//   consecutive   CF: [0x2 | seq(4 bits wraps)] data(<=7)
+//
+// One CanTp channel owns one (tx_id, rx_id) CAN identifier pair.  The
+// receiver reassembles in order and verifies a trailing CRC32 appended by
+// the sender, reporting kCorrupted on mismatch (exercised by the bus
+// corruption fault injection).  Flow control is implicit: the simulated
+// bus preserves order and the receiver has buffer space for the declared
+// maximum message size.
+#pragma once
+
+#include <functional>
+
+#include "bsw/can_if.hpp"
+#include "support/bytes.hpp"
+#include "support/status.hpp"
+
+namespace dacm::bsw {
+
+class CanTp {
+ public:
+  using MessageHandler = std::function<void(const support::Bytes&)>;
+  using ErrorHandler = std::function<void(const support::Status&)>;
+
+  /// `tx_id`: CAN identifier this channel transmits on; `rx_id`: identifier
+  /// it reassembles from.  `max_message` bounds receive buffering.
+  CanTp(CanIf& can_if, std::uint32_t tx_id, std::uint32_t rx_id,
+        std::size_t max_message = 1 << 20);
+
+  CanTp(const CanTp&) = delete;
+  CanTp& operator=(const CanTp&) = delete;
+
+  /// Sends one message (segmenting as needed).  A CRC32 trailer is added.
+  support::Status Send(std::span<const std::uint8_t> message);
+
+  /// Installs the reassembled-message callback.
+  void SetMessageHandler(MessageHandler handler) { on_message_ = std::move(handler); }
+
+  /// Installs the callback invoked on reassembly errors (bad sequence,
+  /// CRC mismatch, oversize).
+  void SetErrorHandler(ErrorHandler handler) { on_error_ = std::move(handler); }
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_received() const { return messages_received_; }
+  std::uint64_t reassembly_errors() const { return reassembly_errors_; }
+
+ private:
+  enum PciType : std::uint8_t { kSingle = 0x00, kFirst = 0x10, kConsecutive = 0x20 };
+
+  void OnFrame(const sim::CanFrame& frame);
+  void Fail(support::Status status);
+  void DeliverIfComplete();
+
+  CanIf& can_if_;
+  std::uint32_t tx_id_;
+  std::size_t max_message_;
+
+  // RX reassembly state.
+  bool rx_active_ = false;
+  std::size_t rx_expected_ = 0;
+  std::uint8_t rx_next_seq_ = 0;
+  support::Bytes rx_buffer_;
+
+  MessageHandler on_message_;
+  ErrorHandler on_error_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_received_ = 0;
+  std::uint64_t reassembly_errors_ = 0;
+};
+
+}  // namespace dacm::bsw

@@ -1,0 +1,120 @@
+#include "bsw/com.hpp"
+
+#include <algorithm>
+
+namespace dacm::bsw {
+
+Com::Com(CanIf& can_if) : can_if_(can_if) {}
+
+support::Result<PduId> Com::DefinePdu(std::string name, std::uint32_t can_id,
+                                      std::uint8_t length, PduDirection direction) {
+  if (initialized_) return support::FailedPrecondition("DefinePdu after Init");
+  if (length > 8) return support::InvalidArgument("PDU longer than a CAN frame");
+  Pdu pdu;
+  pdu.name = std::move(name);
+  pdu.can_id = can_id;
+  pdu.length = length;
+  pdu.direction = direction;
+  pdu.buffer.assign(length, 0);
+  pdus_.push_back(std::move(pdu));
+  return PduId(static_cast<std::uint32_t>(pdus_.size() - 1));
+}
+
+support::Result<SignalId> Com::DefineSignal(std::string name, PduId pdu,
+                                            std::uint8_t byte_offset,
+                                            std::uint8_t length) {
+  if (initialized_) return support::FailedPrecondition("DefineSignal after Init");
+  if (pdu.value() >= pdus_.size()) return support::NotFound("unknown PDU");
+  Pdu& p = pdus_[pdu.value()];
+  if (byte_offset + length > p.length) {
+    return support::OutOfRange("signal does not fit in PDU " + p.name);
+  }
+  Signal s;
+  s.name = std::move(name);
+  s.pdu = pdu;
+  s.offset = byte_offset;
+  s.length = length;
+  signals_.push_back(std::move(s));
+  const SignalId id(static_cast<std::uint32_t>(signals_.size() - 1));
+  p.signals.push_back(id);
+  return id;
+}
+
+support::Status Com::Init() {
+  if (initialized_) return support::FailedPrecondition("Com::Init called twice");
+  for (std::size_t i = 0; i < pdus_.size(); ++i) {
+    if (pdus_[i].direction != PduDirection::kRx) continue;
+    DACM_RETURN_IF_ERROR(can_if_.BindRx(
+        pdus_[i].can_id,
+        [this, i](const sim::CanFrame& frame) { OnPduReceived(i, frame); }));
+  }
+  initialized_ = true;
+  return support::OkStatus();
+}
+
+support::Status Com::SendSignal(SignalId signal, std::span<const std::uint8_t> value) {
+  if (!initialized_) return support::FailedPrecondition("SendSignal before Init");
+  if (signal.value() >= signals_.size()) return support::NotFound("unknown signal");
+  const Signal& s = signals_[signal.value()];
+  Pdu& p = pdus_[s.pdu.value()];
+  if (p.direction != PduDirection::kTx) {
+    return support::InvalidArgument("SendSignal on RX signal " + s.name);
+  }
+  if (value.size() != s.length) {
+    return support::InvalidArgument("signal value size mismatch for " + s.name);
+  }
+  std::copy(value.begin(), value.end(), p.buffer.begin() + s.offset);
+
+  sim::CanFrame frame;
+  frame.can_id = p.can_id;
+  frame.dlc = p.length;
+  std::copy(p.buffer.begin(), p.buffer.end(), frame.data.begin());
+  DACM_RETURN_IF_ERROR(can_if_.Transmit(frame));
+  ++pdus_sent_;
+  return support::OkStatus();
+}
+
+support::Status Com::ReadSignal(SignalId signal, std::span<std::uint8_t> out) const {
+  if (signal.value() >= signals_.size()) return support::NotFound("unknown signal");
+  const Signal& s = signals_[signal.value()];
+  const Pdu& p = pdus_[s.pdu.value()];
+  if (out.size() != s.length) {
+    return support::InvalidArgument("signal read size mismatch for " + s.name);
+  }
+  std::copy(p.buffer.begin() + s.offset, p.buffer.begin() + s.offset + s.length,
+            out.begin());
+  return support::OkStatus();
+}
+
+support::Status Com::SetRxNotification(SignalId signal, SignalNotification fn) {
+  if (signal.value() >= signals_.size()) return support::NotFound("unknown signal");
+  Signal& s = signals_[signal.value()];
+  if (pdus_[s.pdu.value()].direction != PduDirection::kRx) {
+    return support::InvalidArgument("RX notification on TX signal " + s.name);
+  }
+  s.notification = std::move(fn);
+  return support::OkStatus();
+}
+
+support::Result<SignalId> Com::FindSignal(const std::string& name) const {
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    if (signals_[i].name == name) return SignalId(static_cast<std::uint32_t>(i));
+  }
+  return support::NotFound("signal: " + name);
+}
+
+void Com::OnPduReceived(std::size_t pdu_index, const sim::CanFrame& frame) {
+  Pdu& p = pdus_[pdu_index];
+  const std::size_t n = std::min<std::size_t>(p.length, frame.dlc);
+  std::copy(frame.data.begin(), frame.data.begin() + static_cast<std::ptrdiff_t>(n),
+            p.buffer.begin());
+  ++pdus_received_;
+  for (SignalId sid : p.signals) {
+    Signal& s = signals_[sid.value()];
+    if (s.notification) {
+      s.notification(std::span<const std::uint8_t>(p.buffer.data() + s.offset, s.length));
+    }
+  }
+}
+
+}  // namespace dacm::bsw

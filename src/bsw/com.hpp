@@ -1,0 +1,97 @@
+// AUTOSAR COM module (signal/PDU layer).
+//
+// Statically configured signals are packed into PDUs and transmitted on the
+// CAN bus (direct transmission mode: every SendSignal triggers its PDU).
+// Receive-side unpacking fires per-signal notification callbacks and keeps
+// a last-value buffer, matching the sender-receiver semantics the RTE maps
+// onto COM for inter-ECU communication.
+//
+// Signals are byte-aligned (offset/length in bytes) — a simplification over
+// bit-packed production COM that preserves the layer contract.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bsw/can_if.hpp"
+#include "support/bytes.hpp"
+#include "support/ids.hpp"
+#include "support/status.hpp"
+
+namespace dacm::bsw {
+
+struct PduTag {};
+struct SignalTag {};
+using PduId = support::StrongId<PduTag>;
+using SignalId = support::StrongId<SignalTag>;
+
+enum class PduDirection { kTx, kRx };
+
+class Com {
+ public:
+  explicit Com(CanIf& can_if);
+
+  Com(const Com&) = delete;
+  Com& operator=(const Com&) = delete;
+
+  // --- static configuration (before Init) ----------------------------------
+
+  /// Declares a PDU carried in CAN frames with identifier `can_id`.
+  support::Result<PduId> DefinePdu(std::string name, std::uint32_t can_id,
+                                   std::uint8_t length, PduDirection direction);
+
+  /// Declares a byte-aligned signal inside `pdu`.
+  support::Result<SignalId> DefineSignal(std::string name, PduId pdu,
+                                         std::uint8_t byte_offset, std::uint8_t length);
+
+  /// Freezes configuration and binds RX PDUs to CanIf.
+  support::Status Init();
+
+  // --- runtime --------------------------------------------------------------
+
+  /// Writes a TX signal and transmits its PDU.
+  support::Status SendSignal(SignalId signal, std::span<const std::uint8_t> value);
+
+  /// Reads the last received (or sent) value of a signal.
+  support::Status ReadSignal(SignalId signal, std::span<std::uint8_t> out) const;
+
+  using SignalNotification = std::function<void(std::span<const std::uint8_t>)>;
+
+  /// Registers a receive notification for an RX signal.
+  support::Status SetRxNotification(SignalId signal, SignalNotification fn);
+
+  std::uint64_t pdus_sent() const { return pdus_sent_; }
+  std::uint64_t pdus_received() const { return pdus_received_; }
+
+  support::Result<SignalId> FindSignal(const std::string& name) const;
+
+ private:
+  struct Signal {
+    std::string name;
+    PduId pdu;
+    std::uint8_t offset;
+    std::uint8_t length;
+    SignalNotification notification;
+  };
+  struct Pdu {
+    std::string name;
+    std::uint32_t can_id;
+    std::uint8_t length;
+    PduDirection direction;
+    support::Bytes buffer;          // current packed value
+    std::vector<SignalId> signals;  // members, for RX fan-out
+  };
+
+  void OnPduReceived(std::size_t pdu_index, const sim::CanFrame& frame);
+
+  CanIf& can_if_;
+  bool initialized_ = false;
+  std::vector<Pdu> pdus_;
+  std::vector<Signal> signals_;
+  std::uint64_t pdus_sent_ = 0;
+  std::uint64_t pdus_received_ = 0;
+};
+
+}  // namespace dacm::bsw

@@ -1,0 +1,76 @@
+#include "bsw/dem.hpp"
+
+namespace dacm::bsw {
+
+support::Result<DemEventId> Dem::DefineEvent(std::string name,
+                                             std::uint8_t failure_threshold) {
+  if (failure_threshold == 0) {
+    return support::InvalidArgument("failure_threshold must be >= 1");
+  }
+  for (const Event& e : events_) {
+    if (e.name == name) return support::AlreadyExists("Dem event: " + name);
+  }
+  Event e;
+  e.name = std::move(name);
+  e.threshold = failure_threshold;
+  events_.push_back(std::move(e));
+  return DemEventId(static_cast<std::uint32_t>(events_.size() - 1));
+}
+
+support::Status Dem::ReportEvent(DemEventId event, DemEventStatus status) {
+  if (event.value() >= events_.size()) return support::NotFound("unknown Dem event");
+  Event& e = events_[event.value()];
+  if (status == DemEventStatus::kFailed) {
+    if (e.counter < e.threshold) ++e.counter;
+    if (e.counter >= e.threshold && !e.confirmed) {
+      e.confirmed = true;
+      ++e.occurrences;
+      e.last_confirmed_at = simulator_.Now();
+    }
+  } else {
+    e.counter = 0;
+    e.confirmed = false;
+  }
+  return support::OkStatus();
+}
+
+support::Result<bool> Dem::IsEventConfirmed(DemEventId event) const {
+  if (event.value() >= events_.size()) return support::NotFound("unknown Dem event");
+  return events_[event.value()].confirmed;
+}
+
+support::Result<std::uint32_t> Dem::OccurrenceCount(DemEventId event) const {
+  if (event.value() >= events_.size()) return support::NotFound("unknown Dem event");
+  return events_[event.value()].occurrences;
+}
+
+support::Result<sim::SimTime> Dem::LastConfirmedAt(DemEventId event) const {
+  if (event.value() >= events_.size()) return support::NotFound("unknown Dem event");
+  return events_[event.value()].last_confirmed_at;
+}
+
+void Dem::ClearAll() {
+  for (Event& e : events_) {
+    e.counter = 0;
+    e.confirmed = false;
+    e.occurrences = 0;
+    e.last_confirmed_at = 0;
+  }
+}
+
+support::Result<DemEventId> Dem::FindEvent(const std::string& name) const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].name == name) return DemEventId(static_cast<std::uint32_t>(i));
+  }
+  return support::NotFound("Dem event: " + name);
+}
+
+std::vector<std::string> Dem::ConfirmedEventNames() const {
+  std::vector<std::string> names;
+  for (const Event& e : events_) {
+    if (e.confirmed) names.push_back(e.name);
+  }
+  return names;
+}
+
+}  // namespace dacm::bsw

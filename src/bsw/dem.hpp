@@ -1,0 +1,69 @@
+// Diagnostic event manager (Dem-flavoured).
+//
+// The paper requires the built-in software to "monitor the exposed API and
+// provide fault protection mechanisms for the critical signals".  Faults
+// detected by those monitors (range violations, watchdog expiries, VM
+// faults) are reported here as diagnostic events with debounce counters and
+// occurrence bookkeeping, queryable by tests and the diagnostics example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "support/ids.hpp"
+#include "support/status.hpp"
+
+namespace dacm::bsw {
+
+struct DemEventTag {};
+using DemEventId = support::StrongId<DemEventTag>;
+
+enum class DemEventStatus { kPassed, kFailed };
+
+class Dem {
+ public:
+  explicit Dem(sim::Simulator& simulator) : simulator_(simulator) {}
+
+  /// Declares a diagnostic event.  `failure_threshold`: consecutive kFailed
+  /// reports required to confirm the event (counter debounce).
+  support::Result<DemEventId> DefineEvent(std::string name,
+                                          std::uint8_t failure_threshold = 1);
+
+  /// Reports a monitor verdict for an event.
+  support::Status ReportEvent(DemEventId event, DemEventStatus status);
+
+  /// True once the debounce counter has confirmed the failure.
+  support::Result<bool> IsEventConfirmed(DemEventId event) const;
+
+  /// Number of confirmed failure episodes (confirmed -> passed -> confirmed
+  /// counts twice).
+  support::Result<std::uint32_t> OccurrenceCount(DemEventId event) const;
+
+  /// Timestamp of the most recent confirmation.
+  support::Result<sim::SimTime> LastConfirmedAt(DemEventId event) const;
+
+  /// Clears stored state for all events (diagnostic "clear DTCs").
+  void ClearAll();
+
+  support::Result<DemEventId> FindEvent(const std::string& name) const;
+
+  /// All confirmed event names (diagnostic readout).
+  std::vector<std::string> ConfirmedEventNames() const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::uint8_t threshold;
+    std::uint8_t counter = 0;
+    bool confirmed = false;
+    std::uint32_t occurrences = 0;
+    sim::SimTime last_confirmed_at = 0;
+  };
+
+  sim::Simulator& simulator_;
+  std::vector<Event> events_;
+};
+
+}  // namespace dacm::bsw

@@ -1,0 +1,64 @@
+#include "bsw/nvm.hpp"
+
+#include "support/crc.hpp"
+
+namespace dacm::bsw {
+
+support::Result<NvBlockId> Nvm::DefineBlock(std::string name, std::size_t max_size) {
+  for (const Block& b : blocks_) {
+    if (b.name == name) return support::AlreadyExists("NvM block: " + name);
+  }
+  blocks_.push_back(Block{std::move(name), max_size, false, {}, 0});
+  return NvBlockId(static_cast<std::uint32_t>(blocks_.size() - 1));
+}
+
+support::Status Nvm::WriteBlock(NvBlockId block, std::span<const std::uint8_t> data) {
+  if (block.value() >= blocks_.size()) return support::NotFound("unknown NvM block");
+  Block& b = blocks_[block.value()];
+  if (data.size() > b.max_size) {
+    return support::CapacityExceeded("NvM block " + b.name + " overflow");
+  }
+  b.data.assign(data.begin(), data.end());
+  b.crc = support::Crc32(data);
+  b.written = true;
+  return support::OkStatus();
+}
+
+support::Result<support::Bytes> Nvm::ReadBlock(NvBlockId block) const {
+  if (block.value() >= blocks_.size()) return support::NotFound("unknown NvM block");
+  const Block& b = blocks_[block.value()];
+  if (!b.written) return support::NotFound("NvM block " + b.name + " never written");
+  if (support::Crc32(b.data) != b.crc) {
+    return support::Corrupted("NvM block " + b.name + " CRC mismatch");
+  }
+  return b.data;
+}
+
+support::Status Nvm::EraseBlock(NvBlockId block) {
+  if (block.value() >= blocks_.size()) return support::NotFound("unknown NvM block");
+  Block& b = blocks_[block.value()];
+  b.written = false;
+  b.data.clear();
+  b.crc = 0;
+  return support::OkStatus();
+}
+
+support::Status Nvm::CorruptBlockForTest(NvBlockId block, std::size_t bit_index) {
+  if (block.value() >= blocks_.size()) return support::NotFound("unknown NvM block");
+  Block& b = blocks_[block.value()];
+  if (!b.written || b.data.empty()) {
+    return support::FailedPrecondition("cannot corrupt unwritten block");
+  }
+  const std::size_t byte = (bit_index / 8) % b.data.size();
+  b.data[byte] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
+  return support::OkStatus();
+}
+
+support::Result<NvBlockId> Nvm::FindBlock(const std::string& name) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].name == name) return NvBlockId(static_cast<std::uint32_t>(i));
+  }
+  return support::NotFound("NvM block: " + name);
+}
+
+}  // namespace dacm::bsw

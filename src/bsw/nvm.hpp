@@ -1,0 +1,56 @@
+// Non-volatile memory manager (NvM-flavoured block store).
+//
+// The PIRTE persists installed plug-ins and their contexts in NvM blocks so
+// an ECU "reboot" restores the dynamic configuration — and a physical ECU
+// replacement (paper §3.2.2 restore operation) starts from empty blocks.
+// Blocks are declared statically with a fixed maximum size; every write
+// stores a CRC that is validated on read, so corruption injected by tests
+// is detected rather than silently propagated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/ids.hpp"
+#include "support/status.hpp"
+
+namespace dacm::bsw {
+
+struct NvBlockTag {};
+using NvBlockId = support::StrongId<NvBlockTag>;
+
+class Nvm {
+ public:
+  Nvm() = default;
+
+  /// Declares a block of up to `max_size` bytes.
+  support::Result<NvBlockId> DefineBlock(std::string name, std::size_t max_size);
+
+  /// Writes (replaces) a block's content.
+  support::Status WriteBlock(NvBlockId block, std::span<const std::uint8_t> data);
+
+  /// Reads a block; fails with kNotFound if never written, kCorrupted on
+  /// CRC mismatch.
+  support::Result<support::Bytes> ReadBlock(NvBlockId block) const;
+
+  /// Erases a block back to the never-written state.
+  support::Status EraseBlock(NvBlockId block);
+
+  /// Fault injection: flips one bit in the stored image of `block`.
+  support::Status CorruptBlockForTest(NvBlockId block, std::size_t bit_index);
+
+  support::Result<NvBlockId> FindBlock(const std::string& name) const;
+
+ private:
+  struct Block {
+    std::string name;
+    std::size_t max_size;
+    bool written = false;
+    support::Bytes data;
+    std::uint32_t crc = 0;
+  };
+  std::vector<Block> blocks_;
+};
+
+}  // namespace dacm::bsw

@@ -1,0 +1,56 @@
+#include "bsw/watchdog.hpp"
+
+namespace dacm::bsw {
+
+Watchdog::Watchdog(sim::Simulator& simulator, Dem& dem, sim::SimTime cycle)
+    : simulator_(simulator), dem_(dem), cycle_(cycle) {}
+
+support::Result<SupervisedEntityId> Watchdog::Register(std::string name,
+                                                       std::uint32_t min_alive,
+                                                       std::uint32_t tolerance,
+                                                       DemEventId dem_event) {
+  if (started_) return support::FailedPrecondition("Register after Start");
+  Entity e;
+  e.name = std::move(name);
+  e.min_alive = min_alive;
+  e.tolerance = tolerance;
+  e.dem_event = dem_event;
+  entities_.push_back(std::move(e));
+  return SupervisedEntityId(static_cast<std::uint32_t>(entities_.size() - 1));
+}
+
+void Watchdog::Start() {
+  if (started_) return;
+  started_ = true;
+  simulator_.ScheduleAfter(cycle_, [this]() { CheckCycle(); });
+}
+
+support::Status Watchdog::ReportAlive(SupervisedEntityId entity) {
+  if (entity.value() >= entities_.size()) return support::NotFound("unknown entity");
+  ++entities_[entity.value()].alive_count;
+  return support::OkStatus();
+}
+
+support::Result<bool> Watchdog::Expired(SupervisedEntityId entity) const {
+  if (entity.value() >= entities_.size()) return support::NotFound("unknown entity");
+  return entities_[entity.value()].expired;
+}
+
+void Watchdog::CheckCycle() {
+  for (Entity& e : entities_) {
+    if (e.alive_count >= e.min_alive) {
+      e.failed_cycles = 0;
+      (void)dem_.ReportEvent(e.dem_event, DemEventStatus::kPassed);
+    } else {
+      ++e.failed_cycles;
+      if (e.failed_cycles > e.tolerance) {
+        e.expired = true;
+        (void)dem_.ReportEvent(e.dem_event, DemEventStatus::kFailed);
+      }
+    }
+    e.alive_count = 0;
+  }
+  simulator_.ScheduleAfter(cycle_, [this]() { CheckCycle(); });
+}
+
+}  // namespace dacm::bsw

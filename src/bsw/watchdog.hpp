@@ -1,0 +1,69 @@
+// Watchdog manager (WdgM-flavoured alive supervision).
+//
+// Supervised entities (e.g. the plug-in VM task) must report alive
+// indications within each supervision cycle; missed cycles beyond the
+// tolerance report a Dem failure.  This implements the paper's requirement
+// that the built-in software supervises the dynamic layer without trusting
+// it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bsw/dem.hpp"
+#include "sim/simulator.hpp"
+#include "support/ids.hpp"
+#include "support/status.hpp"
+
+namespace dacm::bsw {
+
+struct SupervisedEntityTag {};
+using SupervisedEntityId = support::StrongId<SupervisedEntityTag>;
+
+class Watchdog {
+ public:
+  /// `cycle`: supervision period.  The watchdog checks all entities once
+  /// per cycle, driven by the simulator.
+  Watchdog(sim::Simulator& simulator, Dem& dem, sim::SimTime cycle);
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers an entity expecting >= `min_alive` alive reports per cycle;
+  /// `tolerance`: consecutive failed cycles allowed before the Dem event
+  /// fires.  `dem_event` is reported on expiry.
+  support::Result<SupervisedEntityId> Register(std::string name,
+                                               std::uint32_t min_alive,
+                                               std::uint32_t tolerance,
+                                               DemEventId dem_event);
+
+  /// Starts periodic checking.
+  void Start();
+
+  /// Alive indication from the supervised code path.
+  support::Status ReportAlive(SupervisedEntityId entity);
+
+  /// True if the entity's supervision has expired.
+  support::Result<bool> Expired(SupervisedEntityId entity) const;
+
+ private:
+  void CheckCycle();
+
+  struct Entity {
+    std::string name;
+    std::uint32_t min_alive;
+    std::uint32_t tolerance;
+    DemEventId dem_event;
+    std::uint32_t alive_count = 0;
+    std::uint32_t failed_cycles = 0;
+    bool expired = false;
+  };
+
+  sim::Simulator& simulator_;
+  Dem& dem_;
+  sim::SimTime cycle_;
+  bool started_ = false;
+  std::vector<Entity> entities_;
+};
+
+}  // namespace dacm::bsw

@@ -1,0 +1,125 @@
+#include "fes/appgen.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "vm/assembler.hpp"
+
+namespace dacm::fes {
+
+support::Bytes AssembleOrDie(const std::string& source) {
+  auto program = vm::Assemble(source);
+  if (!program.ok()) {
+    std::cerr << "internal plug-in source failed to assemble: "
+              << program.status().ToString() << "\n";
+    std::abort();
+  }
+  return program->Serialize();
+}
+
+support::Bytes MakeEchoPluginBinary() {
+  return AssembleOrDie(R"(
+    .entry on_data handler
+    handler:
+      LOAD 0          ; triggering port
+      JNZ done        ; only react to port 0
+      READP 0         ; payload -> I/O window, length on stack
+      STORE 1         ; keep length in r1
+      LOAD 1
+      PUSH 16
+      CMPLT
+      JZ clamp        ; lengths >= 16 are clamped to 16
+      LOAD 1
+      STORE 2
+      JMP emit
+    clamp:
+      PUSH 16
+      STORE 2
+    emit:
+      WRITEP 1 16     ; forward the window (fixed frame)
+      HALT
+    done:
+      HALT
+  )");
+}
+
+support::Bytes MakeCounterPluginBinary() {
+  return AssembleOrDie(R"(
+    .entry step tick
+    tick:
+      LOAD 1
+      PUSH 1
+      ADD
+      STORE 1
+      LOAD 1
+      STORE 128       ; low byte into the I/O window
+      WRITEP 0 1
+      HALT
+  )");
+}
+
+support::Bytes MakeSpinPluginBinary(std::uint32_t iterations) {
+  return AssembleOrDie(R"(
+    .entry on_data spin
+    spin:
+      PUSH )" + std::to_string(iterations) + R"(
+      STORE 1
+    loop:
+      LOAD 1
+      JZ end
+      LOAD 1
+      PUSH 1
+      SUB
+      STORE 1
+      JMP loop
+    end:
+      HALT
+  )");
+}
+
+support::Bytes MakeTrapPluginBinary() {
+  return AssembleOrDie(R"(
+    .entry on_data boom
+    boom:
+      TRAP 42
+  )");
+}
+
+server::App MakeSyntheticApp(const SyntheticAppParams& params) {
+  server::App app;
+  app.name = params.name;
+  app.version = params.version;
+  app.developer = "synthetic";
+  app.depends_on = params.depends_on;
+  app.conflicts_with = params.conflicts_with;
+
+  server::SwConf conf;
+  conf.vehicle_model = params.vehicle_model;
+
+  const support::Bytes binary = MakeEchoPluginBinary();
+  for (std::uint32_t i = 0; i < params.plugin_count; ++i) {
+    server::PluginDecl plugin;
+    plugin.name = params.name + ".p" + std::to_string(i);
+    plugin.binary = binary;
+    for (std::uint32_t p = 0; p < params.ports_per_plugin; ++p) {
+      server::PluginPortDecl port;
+      port.local_index = static_cast<std::uint8_t>(p);
+      port.name = "port" + std::to_string(p);
+      port.direction = p == 0 ? pirte::PluginPortDirection::kRequired
+                              : pirte::PluginPortDirection::kProvided;
+      plugin.ports.push_back(std::move(port));
+      server::ConnectionDecl connection;
+      connection.plugin = plugin.name;
+      connection.local_port = static_cast<std::uint8_t>(p);
+      connection.target = server::ConnectionDecl::Target::kNone;
+      conf.connections.push_back(std::move(connection));
+    }
+    conf.placements.push_back(
+        server::PlacementDecl{plugin.name, params.target_ecu});
+    app.plugins.push_back(std::move(plugin));
+  }
+  app.confs.push_back(std::move(conf));
+  return app;
+}
+
+}  // namespace dacm::fes

@@ -1,0 +1,54 @@
+// Synthetic APP generation for tests and benchmarks.
+//
+// Produces well-formed server::App records with assembled PVM binaries:
+// echo plug-ins (forward every message from port 0 to port 1), counters,
+// compute kernels with tunable instruction counts, and multi-plug-in apps
+// with dependency chains — the workload generators behind FIG2-A/B and
+// the property tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "server/model.hpp"
+#include "support/status.hpp"
+
+namespace dacm::fes {
+
+/// Assembles PVM source; aborts on assembly failure (generator bug).
+support::Bytes AssembleOrDie(const std::string& source);
+
+/// A plug-in that, on data at local port 0, copies the payload to local
+/// port 1.
+support::Bytes MakeEchoPluginBinary();
+
+/// A plug-in whose `step` entry increments register 1 and writes the
+/// counter (1 byte) to local port 0.
+support::Bytes MakeCounterPluginBinary();
+
+/// A plug-in whose `on_data` entry runs `iterations` loop turns before
+/// halting (fuel-consumption workload).
+support::Bytes MakeSpinPluginBinary(std::uint32_t iterations);
+
+/// A plug-in that immediately faults (TRAP) in `on_data`.
+support::Bytes MakeTrapPluginBinary();
+
+/// Parameters for synthetic app construction.
+struct SyntheticAppParams {
+  std::string name;
+  std::string version = "1.0";
+  std::string vehicle_model;
+  std::uint32_t plugin_count = 1;
+  std::uint32_t ports_per_plugin = 2;  // >= 2
+  std::uint32_t target_ecu = 1;        // all plug-ins placed here
+  std::vector<std::string> depends_on;
+  std::vector<std::string> conflicts_with;
+};
+
+/// Builds an app of echo plug-ins; port 0 of each plug-in is declared
+/// required, the rest provided and PIRTE-direct (kNone connections), so
+/// the app deploys against any vehicle model without virtual-port
+/// requirements.
+server::App MakeSyntheticApp(const SyntheticAppParams& params);
+
+}  // namespace dacm::fes

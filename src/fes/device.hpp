@@ -1,0 +1,73 @@
+// External devices for federated embedded systems.
+//
+// An ExternalDevice models the paper's smart phone (or any off-board FES
+// participant): it listens on a network address, accepts connections from
+// vehicle ECMs (opened per the ECC), and exchanges FesFrames with them.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pirte/protocol.hpp"
+#include "sim/network.hpp"
+
+namespace dacm::fes {
+
+class ExternalDevice {
+ public:
+  using FrameHandler =
+      std::function<void(const std::string& message_id, const support::Bytes& payload)>;
+
+  ExternalDevice(sim::Network& network, std::string address)
+      : network_(network), address_(std::move(address)) {}
+
+  ExternalDevice(const ExternalDevice&) = delete;
+  ExternalDevice& operator=(const ExternalDevice&) = delete;
+
+  /// Begins listening for ECM connections.
+  support::Status Start() {
+    return network_.Listen(address_, [this](std::shared_ptr<sim::NetPeer> peer) {
+      peer->SetReceiveHandler([this](const support::Bytes& data) { OnFrame(data); });
+      peers_.push_back(std::move(peer));
+    });
+  }
+
+  /// Sends one FES frame to every connected vehicle.
+  support::Status Send(const std::string& message_id,
+                       std::span<const std::uint8_t> payload) {
+    if (peers_.empty()) return support::Unavailable("no vehicle connected");
+    pirte::FesFrame frame;
+    frame.message_id = message_id;
+    frame.payload.assign(payload.begin(), payload.end());
+    const support::Bytes wire = frame.Serialize();
+    for (auto& peer : peers_) {
+      DACM_RETURN_IF_ERROR(peer->Send(wire));
+    }
+    return support::OkStatus();
+  }
+
+  /// Installs the handler for frames arriving from vehicles.
+  void SetFrameHandler(FrameHandler handler) { on_frame_ = std::move(handler); }
+
+  std::size_t connections() const { return peers_.size(); }
+  std::uint64_t frames_received() const { return frames_received_; }
+  const std::string& address() const { return address_; }
+
+ private:
+  void OnFrame(const support::Bytes& data) {
+    auto frame = pirte::FesFrame::Deserialize(data);
+    if (!frame.ok()) return;
+    ++frames_received_;
+    if (on_frame_) on_frame_(frame->message_id, frame->payload);
+  }
+
+  sim::Network& network_;
+  std::string address_;
+  std::vector<std::shared_ptr<sim::NetPeer>> peers_;
+  FrameHandler on_frame_;
+  std::uint64_t frames_received_ = 0;
+};
+
+}  // namespace dacm::fes

@@ -1,0 +1,62 @@
+// One simulated ECU: the full per-node AUTOSAR stack bundled together.
+//
+// Construction wires OS + CanIf + COM + RTE + NvM + Dem onto the shared
+// CAN bus; examples and the Vehicle builder then declare SW-Cs, runnables
+// and connectors before Start() freezes the configuration.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bsw/com.hpp"
+#include "bsw/dem.hpp"
+#include "bsw/nvm.hpp"
+#include "os/os.hpp"
+#include "rte/rte.hpp"
+#include "sim/can_bus.hpp"
+
+namespace dacm::fes {
+
+class Ecu {
+ public:
+  Ecu(sim::Simulator& simulator, sim::CanBus& bus, std::uint32_t id, std::string name)
+      : id_(id),
+        name_(std::move(name)),
+        os_(simulator, name_),
+        can_if_(bus, name_),
+        com_(can_if_),
+        rte_(os_, can_if_, com_),
+        dem_(simulator) {}
+
+  Ecu(const Ecu&) = delete;
+  Ecu& operator=(const Ecu&) = delete;
+
+  std::uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  os::Os& ecu_os() { return os_; }
+  bsw::CanIf& can_if() { return can_if_; }
+  bsw::Com& com() { return com_; }
+  rte::Rte& ecu_rte() { return rte_; }
+  bsw::Nvm& nvm() { return nvm_; }
+  bsw::Dem& dem() { return dem_; }
+
+  /// Freezes COM + RTE and starts the OS.
+  support::Status Start() {
+    DACM_RETURN_IF_ERROR(com_.Init());
+    DACM_RETURN_IF_ERROR(rte_.Finalize());
+    return os_.StartOs();
+  }
+
+ private:
+  std::uint32_t id_;
+  std::string name_;
+  os::Os os_;
+  bsw::CanIf can_if_;
+  bsw::Com com_;
+  rte::Rte rte_;
+  bsw::Nvm nvm_;
+  bsw::Dem dem_;
+};
+
+}  // namespace dacm::fes

@@ -1,0 +1,344 @@
+#include "fes/testbed.hpp"
+
+#include "fes/appgen.hpp"
+
+namespace dacm::fes {
+
+support::Bytes EncodeControl(std::int32_t value) {
+  support::ByteWriter writer;
+  writer.WriteI32(value);
+  return writer.Take();
+}
+
+std::int32_t DecodeControl(std::span<const std::uint8_t> data) {
+  support::ByteReader reader(data);
+  auto value = reader.ReadI32();
+  return value.ok() ? *value : 0;
+}
+
+namespace {
+
+/// COM: phone data lands on P0 ('Wheels') / P1 ('Speed'); forward 4-byte
+/// frames to P2 / P3 (Type II towards OP).
+support::Bytes MakeComPluginBinary() {
+  return AssembleOrDie(R"(
+    .entry on_data handler
+    handler:
+      LOAD 0
+      JZ wheels          ; triggered by P0
+      LOAD 0
+      PUSH 1
+      CMPEQ
+      JNZ speed          ; triggered by P1
+      HALT
+    wheels:
+      READP 0
+      POP
+      WRITEP 2 4
+      HALT
+    speed:
+      READP 1
+      POP
+      WRITEP 3 4
+      HALT
+  )");
+}
+
+/// OP: Type II data lands on P0 (wheels) / P1 (speed); write through the
+/// virtual ports via P2 (WheelsReq) / P3 (SpeedReq).
+support::Bytes MakeOpPluginBinary() {
+  return AssembleOrDie(R"(
+    .entry on_data handler
+    handler:
+      LOAD 0
+      JZ wheels
+      LOAD 0
+      PUSH 1
+      CMPEQ
+      JNZ speed
+      HALT
+    wheels:
+      READP 0
+      POP
+      WRITEP 2 4
+      HALT
+    speed:
+      READP 1
+      POP
+      WRITEP 3 4
+      HALT
+  )");
+}
+
+}  // namespace
+
+server::App MakeRemoteCarApp(const std::string& phone_address) {
+  server::App app;
+  app.name = "remote-car";
+  app.version = "1.0";
+  app.developer = "sics";
+
+  server::PluginDecl com;
+  com.name = "COM";
+  com.binary = MakeComPluginBinary();
+  com.ports = {
+      {0, "wheels_in", pirte::PluginPortDirection::kRequired},
+      {1, "speed_in", pirte::PluginPortDirection::kRequired},
+      {2, "wheels_out", pirte::PluginPortDirection::kProvided},
+      {3, "speed_out", pirte::PluginPortDirection::kProvided},
+  };
+  server::PluginDecl op;
+  op.name = "OP";
+  op.binary = MakeOpPluginBinary();
+  op.ports = {
+      {0, "wheels_in", pirte::PluginPortDirection::kRequired},
+      {1, "speed_in", pirte::PluginPortDirection::kRequired},
+      {2, "wheels_req", pirte::PluginPortDirection::kProvided},
+      {3, "speed_req", pirte::PluginPortDirection::kProvided},
+  };
+  app.plugins.push_back(std::move(com));
+  app.plugins.push_back(std::move(op));
+
+  server::SwConf conf;
+  conf.vehicle_model = "rpi-testbed";
+  conf.min_platform = "1.0";
+  conf.required_virtual_ports = {"WheelsReq", "SpeedReq"};
+  conf.placements = {{"COM", 1}, {"OP", 2}};
+
+  using Target = server::ConnectionDecl::Target;
+  // COM: {P0-, P1-} with inbound external connections ('Wheels'/'Speed'),
+  // {P2-V0.P0, P3-V0.P1} towards OP.
+  conf.connections.push_back({"COM", 0, Target::kExternalIn, "", "", 0,
+                              phone_address, "Wheels"});
+  conf.connections.push_back({"COM", 1, Target::kExternalIn, "", "", 0,
+                              phone_address, "Speed"});
+  conf.connections.push_back({"COM", 2, Target::kPeerPlugin, "", "OP", 0, "", ""});
+  conf.connections.push_back({"COM", 3, Target::kPeerPlugin, "", "OP", 1, "", ""});
+  // OP: {P2-V4, P3-V5}.
+  conf.connections.push_back({"OP", 2, Target::kVirtualPort, "WheelsReq", "", 0, "", ""});
+  conf.connections.push_back({"OP", 3, Target::kVirtualPort, "SpeedReq", "", 0, "", ""});
+  app.confs.push_back(std::move(conf));
+  return app;
+}
+
+server::VehicleModelConf MakeRpiTestbedConf() {
+  server::VehicleModelConf conf;
+  conf.model = "rpi-testbed";
+  conf.hw.ecus = {
+      {1, "ECU1", /*has_plugin_swc=*/true, /*is_ecm=*/true, 8, 64 * 1024},
+      {2, "ECU2", /*has_plugin_swc=*/true, /*is_ecm=*/false, 8, 64 * 1024},
+  };
+  conf.sw.platform_version = "1.0";
+  conf.sw.virtual_ports = {
+      // id, name, kind, flow, ecu, peer_ecu
+      {0, "t2.PIRTE1->PIRTE2", 2, server::VirtualPortFlow::kBidirectional, 1, 2},
+      {3, "t2.PIRTE2->PIRTE1", 2, server::VirtualPortFlow::kBidirectional, 2, 1},
+      {4, "WheelsReq", 3, server::VirtualPortFlow::kPluginToSystem, 2, 0},
+      {5, "SpeedReq", 3, server::VirtualPortFlow::kPluginToSystem, 2, 0},
+      {6, "SpeedProv", 3, server::VirtualPortFlow::kSystemToPlugin, 2, 0},
+  };
+  return conf;
+}
+
+Figure3Testbed::Figure3Testbed(Figure3Options options)
+    : options_(std::move(options)), network_(simulator_, options_.network_latency) {}
+
+support::Result<std::unique_ptr<Figure3Testbed>> Figure3Testbed::Create(
+    Figure3Options options) {
+  auto testbed = std::unique_ptr<Figure3Testbed>(new Figure3Testbed(std::move(options)));
+  DACM_RETURN_IF_ERROR(testbed->Build());
+  return testbed;
+}
+
+support::Status Figure3Testbed::Build() {
+  server_ = std::make_unique<server::TrustedServer>(network_, options_.server_address);
+  DACM_RETURN_IF_ERROR(server_->Start());
+  phone_ = std::make_unique<ExternalDevice>(network_, options_.phone_address);
+  DACM_RETURN_IF_ERROR(phone_->Start());
+
+  vehicle_ = std::make_unique<Vehicle>(simulator_, network_,
+                                       VehicleParams{options_.vin,
+                                                     options_.vehicle_model, 500'000});
+  Ecu& ecu1 = vehicle_->AddEcu(1, "ECU1");
+  Ecu& ecu2 = vehicle_->AddEcu(2, "ECU2");
+  (void)ecu1;
+
+  // Built-in motor-control SW-C on ECU2.
+  rte::Rte& rte2 = ecu2.ecu_rte();
+  DACM_ASSIGN_OR_RETURN(auto motor_swc, rte2.AddSwc("MotorControl"));
+  rte::PortConfig wheels_port;
+  wheels_port.name = "Wheels";
+  wheels_port.direction = rte::PortDirection::kRequired;
+  wheels_port.max_len = 64;
+  DACM_ASSIGN_OR_RETURN(auto wheels_in, rte2.AddPort(motor_swc, std::move(wheels_port)));
+  rte::PortConfig speed_port;
+  speed_port.name = "Speed";
+  speed_port.direction = rte::PortDirection::kRequired;
+  speed_port.max_len = 64;
+  DACM_ASSIGN_OR_RETURN(auto speed_in, rte2.AddPort(motor_swc, std::move(speed_port)));
+  rte::PortConfig speed_value_port;
+  speed_value_port.name = "SpeedValue";
+  speed_value_port.direction = rte::PortDirection::kProvided;
+  speed_value_port.max_len = 64;
+  DACM_ASSIGN_OR_RETURN(auto speed_value,
+                        rte2.AddPort(motor_swc, std::move(speed_value_port)));
+
+  rte::RunnableConfig wheels_runnable;
+  wheels_runnable.name = "OnWheels";
+  wheels_runnable.priority = 10;  // built-in control beats everything dynamic
+  wheels_runnable.body = [this, &rte2, wheels_in]() {
+    auto value = rte2.ReadClearing(wheels_in);
+    if (value.ok()) {
+      last_wheels_ = DecodeControl(*value);
+      ++wheels_commands_;
+    }
+  };
+  DACM_ASSIGN_OR_RETURN(auto wheels_rid, rte2.AddRunnable(motor_swc, wheels_runnable));
+  DACM_RETURN_IF_ERROR(rte2.TriggerOnDataReceived(wheels_rid, wheels_in));
+
+  rte::RunnableConfig speed_runnable;
+  speed_runnable.name = "OnSpeed";
+  speed_runnable.priority = 10;
+  speed_runnable.body = [this, &rte2, speed_in]() {
+    auto value = rte2.ReadClearing(speed_in);
+    if (value.ok()) {
+      last_speed_ = DecodeControl(*value);
+      ++speed_commands_;
+    }
+  };
+  DACM_ASSIGN_OR_RETURN(auto speed_rid, rte2.AddRunnable(motor_swc, speed_runnable));
+  DACM_RETURN_IF_ERROR(rte2.TriggerOnDataReceived(speed_rid, speed_in));
+
+  // Periodic speed measurement feeding SpeedProv (for future plug-ins).
+  rte::RunnableConfig measure;
+  measure.name = "MeasureSpeed";
+  measure.priority = 5;
+  measure.period = 100 * sim::kMillisecond;
+  measure.body = [this, &rte2, speed_value]() {
+    (void)rte2.Write(speed_value, EncodeControl(last_speed_));
+  };
+  DACM_ASSIGN_OR_RETURN(auto measure_rid, rte2.AddRunnable(motor_swc, measure));
+  (void)measure_rid;
+
+  // Plug-in SW-Cs.  Both PIRTEs offer a periodic best-effort step slice to
+  // their plug-ins (the lazily armed VM scheduler; idle PIRTEs cost nothing).
+  DACM_ASSIGN_OR_RETURN(auto* p1, vehicle_->AddPluginSwc(ecu1, "PIRTE1"));
+  DACM_ASSIGN_OR_RETURN(auto* p2, vehicle_->AddPluginSwc(ecu2, "PIRTE2"));
+  p1->SetStepPeriod(20 * sim::kMillisecond);
+  p2->SetStepPeriod(20 * sim::kMillisecond);
+
+  // Fault protection on the critical signals (paper §3.1.1): the OEM's
+  // built-in monitors guard the exposed virtual ports.
+  pirte::Translator wheels_translate;
+  pirte::Translator speed_translate;
+  if (options_.guard_critical_signals) {
+    DACM_ASSIGN_OR_RETURN(auto wheels_event,
+                          ecu2.dem().DefineEvent("guard.WheelsReq"));
+    pirte::GuardPolicy wheels_policy;
+    wheels_policy.name = "WheelsReq";
+    wheels_policy.check_value = true;
+    wheels_policy.min_value = -45;
+    wheels_policy.max_value = 45;
+    wheels_policy.on_range_violation = pirte::GuardAction::kClamp;
+    wheels_guard_ = pirte::SignalGuard::Create(simulator_, wheels_policy,
+                                               &ecu2.dem(), wheels_event);
+    wheels_translate = wheels_guard_->MakeTranslator();
+
+    DACM_ASSIGN_OR_RETURN(auto speed_event,
+                          ecu2.dem().DefineEvent("guard.SpeedReq"));
+    pirte::GuardPolicy speed_policy;
+    speed_policy.name = "SpeedReq";
+    speed_policy.check_value = true;
+    speed_policy.min_value = 0;
+    speed_policy.max_value = 100;
+    speed_policy.on_range_violation = pirte::GuardAction::kDrop;
+    speed_guard_ = pirte::SignalGuard::Create(simulator_, speed_policy,
+                                              &ecu2.dem(), speed_event);
+    speed_translate = speed_guard_->MakeTranslator();
+  }
+
+  DACM_ASSIGN_OR_RETURN(auto wheels_req,
+                        p2->AddTypeIIIOut(4, "WheelsReq", 64, wheels_translate));
+  DACM_ASSIGN_OR_RETURN(auto speed_req,
+                        p2->AddTypeIIIOut(5, "SpeedReq", 64, speed_translate));
+  DACM_ASSIGN_OR_RETURN(auto speed_prov, p2->AddTypeIIIIn(6, "SpeedProv"));
+  DACM_RETURN_IF_ERROR(rte2.ConnectLocal(wheels_req, wheels_in));
+  DACM_RETURN_IF_ERROR(rte2.ConnectLocal(speed_req, speed_in));
+  DACM_RETURN_IF_ERROR(rte2.ConnectLocal(speed_value, speed_prov));
+
+  DACM_RETURN_IF_ERROR(vehicle_->ConnectPluginSwcs(*p1, *p2, 0, 3));
+  DACM_RETURN_IF_ERROR(vehicle_->DesignateEcm(*p1, options_.server_address));
+  DACM_RETURN_IF_ERROR(vehicle_->Finalize());
+
+  // Let the ECM connect and say hello.
+  RunUntil([this]() { return server_->VehicleOnline(options_.vin); },
+           5 * sim::kSecond);
+  if (!server_->VehicleOnline(options_.vin)) {
+    return support::Unavailable("ECM did not reach the trusted server");
+  }
+  return support::OkStatus();
+}
+
+support::Status Figure3Testbed::SetUp() {
+  DACM_RETURN_IF_ERROR(server_->UploadVehicleModel(MakeRpiTestbedConf()));
+  DACM_RETURN_IF_ERROR(server_->UploadApp(MakeRemoteCarApp(options_.phone_address)));
+  DACM_ASSIGN_OR_RETURN(user_, server_->CreateUser("alice"));
+  DACM_RETURN_IF_ERROR(server_->BindVehicle(user_, options_.vin, options_.vehicle_model));
+  return support::OkStatus();
+}
+
+support::Status Figure3Testbed::DeployRemoteCar(sim::SimTime timeout) {
+  DACM_RETURN_IF_ERROR(server_->Deploy(user_, options_.vin, "remote-car"));
+  const bool installed = RunUntil(
+      [this]() {
+        auto state = server_->AppState(options_.vin, "remote-car");
+        return state.ok() && *state == server::InstallState::kInstalled;
+      },
+      timeout);
+  if (!installed) {
+    auto state = server_->AppState(options_.vin, "remote-car");
+    return support::Timeout("remote-car not installed; state: " +
+                            std::string(state.ok()
+                                            ? server::InstallStateName(*state)
+                                            : state.status().ToString()));
+  }
+  return support::OkStatus();
+}
+
+support::Result<sim::SimTime> Figure3Testbed::SendWheels(std::int32_t angle,
+                                                         sim::SimTime timeout) {
+  const std::uint64_t before = wheels_commands_;
+  const sim::SimTime start = simulator_.Now();
+  DACM_RETURN_IF_ERROR(phone_->Send("Wheels", EncodeControl(angle)));
+  if (!RunUntil([&]() { return wheels_commands_ > before; }, timeout)) {
+    return support::Timeout("wheels command never reached the motor control");
+  }
+  return simulator_.Now() - start;
+}
+
+support::Result<sim::SimTime> Figure3Testbed::SendSpeed(std::int32_t speed,
+                                                        sim::SimTime timeout) {
+  const std::uint64_t before = speed_commands_;
+  const sim::SimTime start = simulator_.Now();
+  DACM_RETURN_IF_ERROR(phone_->Send("Speed", EncodeControl(speed)));
+  if (!RunUntil([&]() { return speed_commands_ > before; }, timeout)) {
+    return support::Timeout("speed command never reached the motor control");
+  }
+  return simulator_.Now() - start;
+}
+
+bool Figure3Testbed::RunUntil(const std::function<bool()>& pred, sim::SimTime timeout) {
+  const sim::SimTime deadline = simulator_.Now() + timeout;
+  while (simulator_.Now() < deadline) {
+    if (pred()) return true;
+    if (simulator_.Empty()) {
+      // Nothing scheduled: advance in small hops so periodic alarms armed
+      // later (none here) cannot be skipped; if truly idle we are done.
+      break;
+    }
+    simulator_.Run(1);
+  }
+  return pred();
+}
+
+}  // namespace dacm::fes

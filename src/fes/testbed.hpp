@@ -1,0 +1,113 @@
+// The paper's §4 example application as a reusable fixture (Figure 3).
+//
+// Reproduces the open-source test platform: a model car with two
+// RPi-class ECUs — ECU1 hosts the ECM (PIRTE1), ECU2 hosts a plug-in SW-C
+// (PIRTE2) in front of the motor-control built-in software — federated
+// with a smart phone through the trusted server.
+//
+// The RemoteCar APP contains the two plug-ins of the paper:
+//  * COM (on ECU1/ECM): listens to phone signals 'Wheels' / 'Speed'
+//    (external-inbound connections on P0/P1) and forwards them over the
+//    Type II channel V0 to OP's ports (PLC {P0-, P1-, P2-V0.P0, P3-V0.P1});
+//  * OP (on ECU2): receives on P0/P1 and writes the control values through
+//    virtual ports WheelsReq (V4) and SpeedReq (V5) into the built-in
+//    software (PLC {P2-V4, P3-V5}); V6 (SpeedProv) is exposed but unused,
+//    "set up by the OEM for the use of future plug-ins".
+//
+// Control payloads are 4-byte little-endian signed integers.
+#pragma once
+
+#include <memory>
+
+#include "fes/device.hpp"
+#include "fes/vehicle.hpp"
+#include "pirte/guard.hpp"
+#include "server/server.hpp"
+
+namespace dacm::fes {
+
+struct Figure3Options {
+  std::string server_address = "10.0.0.1:443";
+  std::string phone_address = "111.22.33.44:56789";
+  std::string vin = "VIN-0001";
+  std::string vehicle_model = "rpi-testbed";
+  sim::SimTime network_latency = 20 * sim::kMillisecond;
+  /// OEM fault protection on the critical signals (paper §3.1.1): wheel
+  /// angles outside [-45, 45] are clamped; speeds outside [0, 100] dropped.
+  bool guard_critical_signals = true;
+};
+
+/// Builds the server::App for the remote-control-car application.
+server::App MakeRemoteCarApp(const std::string& phone_address);
+
+/// OEM upload for the rpi-testbed model (Figure 3's HW/SystemSW confs).
+server::VehicleModelConf MakeRpiTestbedConf();
+
+class Figure3Testbed {
+ public:
+  /// Assembles the whole federation and runs the simulator until the ECM
+  /// is connected to the trusted server.
+  static support::Result<std::unique_ptr<Figure3Testbed>> Create(
+      Figure3Options options = {});
+
+  /// Uploads the model conf + RemoteCar app and creates the user binding.
+  support::Status SetUp();
+
+  /// User-triggered deployment of the RemoteCar app; runs the simulator
+  /// until the server records kInstalled (or `timeout` elapses).
+  support::Status DeployRemoteCar(sim::SimTime timeout = 5 * sim::kSecond);
+
+  /// Sends a phone command and runs the simulator until the built-in
+  /// software observes it (or `timeout`).  Returns the end-to-end latency.
+  support::Result<sim::SimTime> SendWheels(std::int32_t angle,
+                                           sim::SimTime timeout = 2 * sim::kSecond);
+  support::Result<sim::SimTime> SendSpeed(std::int32_t speed,
+                                          sim::SimTime timeout = 2 * sim::kSecond);
+
+  // --- state observed by the built-in motor-control software ---------------
+  std::int32_t last_wheels() const { return last_wheels_; }
+  std::int32_t last_speed() const { return last_speed_; }
+  std::uint64_t wheels_commands() const { return wheels_commands_; }
+  std::uint64_t speed_commands() const { return speed_commands_; }
+
+  // --- components ------------------------------------------------------------
+  sim::Simulator& simulator() { return simulator_; }
+  sim::Network& network() { return network_; }
+  server::TrustedServer& server() { return *server_; }
+  ExternalDevice& phone() { return *phone_; }
+  Vehicle& vehicle() { return *vehicle_; }
+  server::UserId user() const { return user_; }
+  const Figure3Options& options() const { return options_; }
+  /// The critical-signal guards (null when guard_critical_signals is off).
+  pirte::SignalGuard* wheels_guard() { return wheels_guard_.get(); }
+  pirte::SignalGuard* speed_guard() { return speed_guard_.get(); }
+
+  /// Runs the simulator until `pred` holds or `timeout` elapses.
+  bool RunUntil(const std::function<bool()>& pred, sim::SimTime timeout);
+
+ private:
+  explicit Figure3Testbed(Figure3Options options);
+  support::Status Build();
+
+  Figure3Options options_;
+  sim::Simulator simulator_;
+  sim::Network network_;
+  std::unique_ptr<server::TrustedServer> server_;
+  std::unique_ptr<ExternalDevice> phone_;
+  std::unique_ptr<Vehicle> vehicle_;
+  std::shared_ptr<pirte::SignalGuard> wheels_guard_;
+  std::shared_ptr<pirte::SignalGuard> speed_guard_;
+  server::UserId user_ = server::UserId::Invalid();
+
+  std::int32_t last_wheels_ = 0;
+  std::int32_t last_speed_ = 0;
+  std::uint64_t wheels_commands_ = 0;
+  std::uint64_t speed_commands_ = 0;
+};
+
+/// Encodes a 4-byte little-endian signed control value.
+support::Bytes EncodeControl(std::int32_t value);
+/// Decodes one (returns 0 on malformed input).
+std::int32_t DecodeControl(std::span<const std::uint8_t> data);
+
+}  // namespace dacm::fes

@@ -1,0 +1,240 @@
+#include "fes/vehicle.hpp"
+
+namespace dacm::fes {
+
+namespace {
+/// Type I channels carry whole installation packages.
+constexpr std::size_t kTypeIMaxLen = 1 << 20;
+/// Type II payload: recipient id byte + VM I/O window.
+constexpr std::size_t kTypeIIMaxLen = 1 + vm::kIoWindowSize;
+}  // namespace
+
+support::Result<rte::PortId> PluginSwcBuilder::AddTypeIIIOut(
+    std::uint8_t v_id, const std::string& name, std::size_t max_len,
+    pirte::Translator translate) {
+  rte::PortConfig port;
+  port.name = "vp." + name + ".out";
+  port.direction = rte::PortDirection::kProvided;
+  port.style = rte::PortStyle::kSenderReceiver;
+  port.max_len = max_len;
+  DACM_ASSIGN_OR_RETURN(auto port_id,
+                        ecu_.ecu_rte().AddPort(config_.swc, std::move(port)));
+  pirte::VirtualPortConfig vp;
+  vp.id = v_id;
+  vp.name = name;
+  vp.kind = pirte::VirtualPortKind::kTypeIII;
+  vp.swc_out = port_id;
+  vp.translate_out = std::move(translate);
+  config_.virtual_ports.push_back(std::move(vp));
+  return port_id;
+}
+
+support::Result<rte::PortId> PluginSwcBuilder::AddTypeIIIIn(
+    std::uint8_t v_id, const std::string& name, std::size_t max_len,
+    pirte::Translator translate) {
+  rte::PortConfig port;
+  port.name = "vp." + name + ".in";
+  port.direction = rte::PortDirection::kRequired;
+  port.style = rte::PortStyle::kSenderReceiver;
+  port.max_len = max_len;
+  DACM_ASSIGN_OR_RETURN(auto port_id,
+                        ecu_.ecu_rte().AddPort(config_.swc, std::move(port)));
+  pirte::VirtualPortConfig vp;
+  vp.id = v_id;
+  vp.name = name;
+  vp.kind = pirte::VirtualPortKind::kTypeIII;
+  vp.swc_in = port_id;
+  vp.translate_in = std::move(translate);
+  config_.virtual_ports.push_back(std::move(vp));
+  return port_id;
+}
+
+Vehicle::Vehicle(sim::Simulator& simulator, sim::Network& network, VehicleParams params)
+    : simulator_(simulator),
+      network_(network),
+      params_(std::move(params)),
+      bus_(simulator, params_.can_bit_rate) {}
+
+Ecu& Vehicle::AddEcu(std::uint32_t id, const std::string& name) {
+  ecus_.push_back(std::make_unique<Ecu>(simulator_, bus_, id, name));
+  return *ecus_.back();
+}
+
+Ecu* Vehicle::FindEcu(std::uint32_t id) {
+  for (auto& ecu : ecus_) {
+    if (ecu->id() == id) return ecu.get();
+  }
+  return nullptr;
+}
+
+support::Result<PluginSwcBuilder*> Vehicle::AddPluginSwc(Ecu& ecu,
+                                                         const std::string& pirte_name) {
+  pirte::PirteConfig config;
+  config.name = pirte_name;
+  config.ecu_id = ecu.id();
+  DACM_ASSIGN_OR_RETURN(config.swc, ecu.ecu_rte().AddSwc("PluginSWC." + pirte_name));
+  DACM_ASSIGN_OR_RETURN(config.nv_block,
+                        ecu.nvm().DefineBlock("pirte." + pirte_name, 1 << 20));
+  builders_.push_back(std::unique_ptr<PluginSwcBuilder>(
+      new PluginSwcBuilder(ecu, std::move(config))));
+  return builders_.back().get();
+}
+
+support::Status Vehicle::ConnectPluginSwcs(PluginSwcBuilder& a, PluginSwcBuilder& b,
+                                           std::uint8_t v_a, std::uint8_t v_b) {
+  auto make_pair = [&](PluginSwcBuilder& side, const std::string& peer)
+      -> support::Result<std::pair<rte::PortId, rte::PortId>> {
+    rte::PortConfig out;
+    out.name = "t2.out." + peer;
+    out.direction = rte::PortDirection::kProvided;
+    out.max_len = kTypeIIMaxLen;
+    DACM_ASSIGN_OR_RETURN(auto out_id,
+                          side.ecu_.ecu_rte().AddPort(side.config_.swc, std::move(out)));
+    rte::PortConfig in;
+    in.name = "t2.in." + peer;
+    in.direction = rte::PortDirection::kRequired;
+    in.max_len = kTypeIIMaxLen;
+    DACM_ASSIGN_OR_RETURN(auto in_id,
+                          side.ecu_.ecu_rte().AddPort(side.config_.swc, std::move(in)));
+    return std::make_pair(out_id, in_id);
+  };
+
+  DACM_ASSIGN_OR_RETURN(auto ports_a, make_pair(a, b.name()));
+  DACM_ASSIGN_OR_RETURN(auto ports_b, make_pair(b, a.name()));
+
+  if (&a.ecu_ == &b.ecu_) {
+    DACM_RETURN_IF_ERROR(a.ecu_.ecu_rte().ConnectLocal(ports_a.first, ports_b.second));
+    DACM_RETURN_IF_ERROR(a.ecu_.ecu_rte().ConnectLocal(ports_b.first, ports_a.second));
+  } else {
+    DACM_RETURN_IF_ERROR(rte::ConnectRemoteTp(a.ecu_.ecu_rte(), ports_a.first,
+                                              b.ecu_.ecu_rte(), ports_b.second,
+                                              can_ids_.Allocate(), kTypeIIMaxLen + 64));
+    DACM_RETURN_IF_ERROR(rte::ConnectRemoteTp(b.ecu_.ecu_rte(), ports_b.first,
+                                              a.ecu_.ecu_rte(), ports_a.second,
+                                              can_ids_.Allocate(), kTypeIIMaxLen + 64));
+  }
+
+  pirte::VirtualPortConfig vp_a;
+  vp_a.id = v_a;
+  vp_a.name = "t2." + a.name() + "->" + b.name();
+  vp_a.kind = pirte::VirtualPortKind::kTypeII;
+  vp_a.swc_out = ports_a.first;
+  vp_a.swc_in = ports_a.second;
+  a.config_.virtual_ports.push_back(std::move(vp_a));
+
+  pirte::VirtualPortConfig vp_b;
+  vp_b.id = v_b;
+  vp_b.name = "t2." + b.name() + "->" + a.name();
+  vp_b.kind = pirte::VirtualPortKind::kTypeII;
+  vp_b.swc_out = ports_b.first;
+  vp_b.swc_in = ports_b.second;
+  b.config_.virtual_ports.push_back(std::move(vp_b));
+  return support::OkStatus();
+}
+
+support::Status Vehicle::DesignateEcm(PluginSwcBuilder& builder,
+                                      const std::string& server_address) {
+  if (ecm_builder_ != nullptr) {
+    return support::AlreadyExists("ECM already designated");
+  }
+  ecm_builder_ = &builder;
+  server_address_ = server_address;
+  return support::OkStatus();
+}
+
+support::Status Vehicle::Finalize() {
+  if (finalized_) return support::FailedPrecondition("Vehicle::Finalize called twice");
+  if (ecm_builder_ == nullptr) {
+    return support::FailedPrecondition("no ECM designated");
+  }
+
+  // Create the Type I channels: one pair per non-ECM plug-in SW-C.
+  std::vector<pirte::EcmRoute> routes;
+  for (auto& builder : builders_) {
+    if (builder.get() == ecm_builder_) continue;
+
+    rte::Rte& ecm_rte = ecm_builder_->ecu_.ecu_rte();
+    rte::Rte& swc_rte = builder->ecu_.ecu_rte();
+    const std::string suffix = builder->name();
+
+    rte::PortConfig ecm_out;
+    ecm_out.name = "t1.out." + suffix;
+    ecm_out.direction = rte::PortDirection::kProvided;
+    ecm_out.max_len = kTypeIMaxLen;
+    DACM_ASSIGN_OR_RETURN(auto ecm_out_id,
+                          ecm_rte.AddPort(ecm_builder_->config_.swc, std::move(ecm_out)));
+    rte::PortConfig ecm_in;
+    ecm_in.name = "t1.in." + suffix;
+    ecm_in.direction = rte::PortDirection::kRequired;
+    ecm_in.max_len = kTypeIMaxLen;
+    DACM_ASSIGN_OR_RETURN(auto ecm_in_id,
+                          ecm_rte.AddPort(ecm_builder_->config_.swc, std::move(ecm_in)));
+
+    rte::PortConfig swc_out;
+    swc_out.name = "t1.out";
+    swc_out.direction = rte::PortDirection::kProvided;
+    swc_out.max_len = kTypeIMaxLen;
+    DACM_ASSIGN_OR_RETURN(auto swc_out_id,
+                          swc_rte.AddPort(builder->config_.swc, std::move(swc_out)));
+    rte::PortConfig swc_in;
+    swc_in.name = "t1.in";
+    swc_in.direction = rte::PortDirection::kRequired;
+    swc_in.max_len = kTypeIMaxLen;
+    DACM_ASSIGN_OR_RETURN(auto swc_in_id,
+                          swc_rte.AddPort(builder->config_.swc, std::move(swc_in)));
+
+    if (&ecm_builder_->ecu_ == &builder->ecu_) {
+      DACM_RETURN_IF_ERROR(ecm_rte.ConnectLocal(ecm_out_id, swc_in_id));
+      DACM_RETURN_IF_ERROR(swc_rte.ConnectLocal(swc_out_id, ecm_in_id));
+    } else {
+      // Type I installation traffic gets low-priority (high) CAN ids so it
+      // cannot starve control traffic: allocate from a high base.
+      DACM_RETURN_IF_ERROR(rte::ConnectRemoteTp(ecm_rte, ecm_out_id, swc_rte, swc_in_id,
+                                                0x200 + can_ids_.Allocate(),
+                                                kTypeIMaxLen + 64));
+      DACM_RETURN_IF_ERROR(rte::ConnectRemoteTp(swc_rte, swc_out_id, ecm_rte, ecm_in_id,
+                                                0x200 + can_ids_.Allocate(),
+                                                kTypeIMaxLen + 64));
+    }
+
+    builder->config_.type1_out = swc_out_id;
+    builder->config_.type1_in = swc_in_id;
+    routes.push_back(pirte::EcmRoute{builder->ecu_.id(), ecm_out_id, ecm_in_id});
+  }
+
+  // Construct + init the PIRTEs (ECM included).
+  for (auto& builder : builders_) {
+    if (builder.get() == ecm_builder_) {
+      pirte::EcmConfig ecm_config;
+      ecm_config.server_address = server_address_;
+      ecm_config.vin = params_.vin;
+      ecm_config.routes = routes;
+      auto ecm = std::make_unique<pirte::Ecm>(
+          builder->ecu_.ecu_rte(), &builder->ecu_.nvm(), &builder->ecu_.dem(),
+          network_, std::move(builder->config_), std::move(ecm_config));
+      ecm_ = ecm.get();
+      pirtes_.push_back(std::move(ecm));
+    } else {
+      pirtes_.push_back(std::make_unique<pirte::Pirte>(
+          builder->ecu_.ecu_rte(), &builder->ecu_.nvm(), &builder->ecu_.dem(),
+          std::move(builder->config_)));
+    }
+    DACM_RETURN_IF_ERROR(pirtes_.back()->Init());
+  }
+
+  // Start every ECU.
+  for (auto& ecu : ecus_) {
+    DACM_RETURN_IF_ERROR(ecu->Start());
+  }
+  finalized_ = true;
+  return support::OkStatus();
+}
+
+pirte::Pirte* Vehicle::FindPirte(const std::string& name) {
+  for (auto& pirte : pirtes_) {
+    if (pirte->config().name == name) return pirte.get();
+  }
+  return nullptr;
+}
+
+}  // namespace dacm::fes

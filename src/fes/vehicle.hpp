@@ -1,0 +1,127 @@
+// Vehicle assembly kit.
+//
+// Builds the in-vehicle side of the paper's architecture: ECUs on a shared
+// CAN bus, plug-in SW-Cs with their PIRTEs, the ECM, and the static Type
+// I/II channels between them.  Usage follows the AUTOSAR methodology's
+// phases:
+//
+//   Vehicle vehicle(simulator, network, {vin, model});
+//   Ecu& ecu1 = vehicle.AddEcu(1, "ECU1");
+//   Ecu& ecu2 = vehicle.AddEcu(2, "ECU2");
+//   ... declare built-in SW-Cs / runnables on ecuX.ecu_rte() ...
+//   PluginSwcBuilder& p1 = vehicle.AddPluginSwc(ecu1, "PIRTE1");
+//   PluginSwcBuilder& p2 = vehicle.AddPluginSwc(ecu2, "PIRTE2");
+//   auto wheels = p2.AddTypeIIIOut(4, "WheelsReq");   // SW-C port to wire up
+//   ... ConnectLocal(wheels, builtin_required_port) ...
+//   vehicle.ConnectPluginSwcs(p1, p2, 0, 3);          // Type II pair V0/V3
+//   vehicle.DesignateEcm(p1, "server-addr");
+//   vehicle.Finalize();                               // constructs PIRTEs/ECM, starts ECUs
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fes/ecu.hpp"
+#include "pirte/ecm.hpp"
+#include "pirte/pirte.hpp"
+#include "rte/system.hpp"
+#include "sim/network.hpp"
+
+namespace dacm::fes {
+
+struct VehicleParams {
+  std::string vin;
+  std::string model;
+  std::uint32_t can_bit_rate = 500'000;
+};
+
+class Vehicle;
+
+/// Accumulates the static (OEM) configuration of one plug-in SW-C before
+/// the PIRTE is constructed at Vehicle::Finalize().
+class PluginSwcBuilder {
+ public:
+  /// Declares a Type III virtual port for plug-in -> system data; returns
+  /// the provided SW-C port to connect to built-in software.
+  support::Result<rte::PortId> AddTypeIIIOut(std::uint8_t v_id, const std::string& name,
+                                             std::size_t max_len = 64,
+                                             pirte::Translator translate = {});
+
+  /// Declares a Type III virtual port for system -> plug-in data; returns
+  /// the required SW-C port that built-in software feeds.
+  support::Result<rte::PortId> AddTypeIIIIn(std::uint8_t v_id, const std::string& name,
+                                            std::size_t max_len = 64,
+                                            pirte::Translator translate = {});
+
+  /// VM scheduling / quota knobs (defaults are sensible).
+  void SetVmLimits(const vm::VmLimits& limits) { config_.vm_limits = limits; }
+  void SetStepPeriod(sim::SimTime period) { config_.step_period = period; }
+  void SetVmTaskPriority(std::uint8_t priority) { config_.vm_task_priority = priority; }
+  void SetMaxPlugins(std::size_t count) { config_.max_plugins = count; }
+  void SetMaxBinarySize(std::size_t bytes) { config_.max_binary_size = bytes; }
+
+  Ecu& ecu() { return ecu_; }
+  rte::SwcId swc() const { return config_.swc; }
+  const std::string& name() const { return config_.name; }
+
+ private:
+  friend class Vehicle;
+  PluginSwcBuilder(Ecu& ecu, pirte::PirteConfig config) : ecu_(ecu), config_(std::move(config)) {}
+
+  Ecu& ecu_;
+  pirte::PirteConfig config_;
+};
+
+class Vehicle {
+ public:
+  Vehicle(sim::Simulator& simulator, sim::Network& network, VehicleParams params);
+
+  Vehicle(const Vehicle&) = delete;
+  Vehicle& operator=(const Vehicle&) = delete;
+
+  /// Adds an ECU to the vehicle's CAN bus.
+  Ecu& AddEcu(std::uint32_t id, const std::string& name);
+  Ecu* FindEcu(std::uint32_t id);
+
+  /// Adds the plug-in SW-C (with its future PIRTE `pirte_name`) to `ecu`.
+  support::Result<PluginSwcBuilder*> AddPluginSwc(Ecu& ecu,
+                                                  const std::string& pirte_name);
+
+  /// Creates a Type II channel between two plug-in SW-Cs; `v_a` / `v_b` are
+  /// the vehicle-scope virtual-port ids each side exposes for it.
+  support::Status ConnectPluginSwcs(PluginSwcBuilder& a, PluginSwcBuilder& b,
+                                    std::uint8_t v_a, std::uint8_t v_b);
+
+  /// Marks `builder`'s SW-C as the ECM and sets the trusted-server address.
+  support::Status DesignateEcm(PluginSwcBuilder& builder,
+                               const std::string& server_address);
+
+  /// Creates the Type I channels, constructs every PIRTE and the ECM,
+  /// initializes them, and starts all ECUs.
+  support::Status Finalize();
+
+  // --- access after Finalize ---------------------------------------------------
+
+  pirte::Pirte* FindPirte(const std::string& name);
+  pirte::Ecm* ecm() { return ecm_; }
+  const std::string& vin() const { return params_.vin; }
+  const std::string& model() const { return params_.model; }
+  sim::CanBus& bus() { return bus_; }
+
+ private:
+  sim::Simulator& simulator_;
+  sim::Network& network_;
+  VehicleParams params_;
+  sim::CanBus bus_;
+  rte::CanIdAllocator can_ids_;
+  std::vector<std::unique_ptr<Ecu>> ecus_;
+  std::vector<std::unique_ptr<PluginSwcBuilder>> builders_;
+  PluginSwcBuilder* ecm_builder_ = nullptr;
+  std::string server_address_;
+  std::vector<std::unique_ptr<pirte::Pirte>> pirtes_;
+  pirte::Ecm* ecm_ = nullptr;
+  bool finalized_ = false;
+};
+
+}  // namespace dacm::fes

@@ -1,0 +1,271 @@
+#include "os/os.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace dacm::os {
+
+Os::Os(sim::Simulator& simulator, std::string name)
+    : simulator_(simulator), name_(std::move(name)) {}
+
+support::Result<TaskId> Os::CreateTask(TaskConfig config) {
+  if (started_) {
+    return support::FailedPrecondition("task creation after StartOs: " + config.name);
+  }
+  if (!config.body) {
+    return support::InvalidArgument("task body missing: " + config.name);
+  }
+  if (config.max_activations == 0) {
+    return support::InvalidArgument("max_activations must be >= 1: " + config.name);
+  }
+  for (const Task& t : tasks_) {
+    if (t.config.name == config.name) {
+      return support::AlreadyExists("task name: " + config.name);
+    }
+  }
+  tasks_.push_back(Task{std::move(config), 0, 0, 0});
+  return TaskId(static_cast<std::uint32_t>(tasks_.size() - 1));
+}
+
+support::Result<ResourceId> Os::CreateResource(std::string name, std::uint8_t ceiling) {
+  if (started_) {
+    return support::FailedPrecondition("resource creation after StartOs: " + name);
+  }
+  resources_.push_back(Resource{std::move(name), ceiling, false});
+  return ResourceId(static_cast<std::uint32_t>(resources_.size() - 1));
+}
+
+support::Result<AlarmId> Os::CreateTaskAlarm(std::string name, TaskId task,
+                                             sim::SimTime offset, sim::SimTime period) {
+  if (started_) return support::FailedPrecondition("alarm creation after StartOs");
+  if (task.value() >= tasks_.size()) return support::NotFound("alarm target task");
+  Alarm alarm;
+  alarm.name = std::move(name);
+  alarm.action = AlarmAction::kActivateTask;
+  alarm.task = task;
+  alarm.period = period;
+  alarms_.push_back(std::move(alarm));
+  // Initial offset is armed at StartOs; remember it via a one-time arm using
+  // SetRelAlarm semantics after start.  Store offset in generation-0 arm.
+  pending_arms_.push_back({alarms_.size() - 1, offset});
+  return AlarmId(static_cast<std::uint32_t>(alarms_.size() - 1));
+}
+
+support::Result<AlarmId> Os::CreateEventAlarm(std::string name, TaskId task,
+                                              EventMask events, sim::SimTime offset,
+                                              sim::SimTime period) {
+  if (started_) return support::FailedPrecondition("alarm creation after StartOs");
+  if (task.value() >= tasks_.size()) return support::NotFound("alarm target task");
+  if (tasks_[task.value()].config.kind != TaskKind::kExtended) {
+    return support::InvalidArgument("event alarm target must be an extended task");
+  }
+  Alarm alarm;
+  alarm.name = std::move(name);
+  alarm.action = AlarmAction::kSetEvent;
+  alarm.task = task;
+  alarm.events = events;
+  alarm.period = period;
+  alarms_.push_back(std::move(alarm));
+  pending_arms_.push_back({alarms_.size() - 1, offset});
+  return AlarmId(static_cast<std::uint32_t>(alarms_.size() - 1));
+}
+
+support::Result<AlarmId> Os::CreateCallbackAlarm(std::string name,
+                                                 std::function<void()> fn,
+                                                 sim::SimTime offset,
+                                                 sim::SimTime period) {
+  if (started_) return support::FailedPrecondition("alarm creation after StartOs");
+  if (!fn) return support::InvalidArgument("alarm callback missing");
+  Alarm alarm;
+  alarm.name = std::move(name);
+  alarm.action = AlarmAction::kCallback;
+  alarm.callback = std::move(fn);
+  alarm.period = period;
+  alarms_.push_back(std::move(alarm));
+  pending_arms_.push_back({alarms_.size() - 1, offset});
+  return AlarmId(static_cast<std::uint32_t>(alarms_.size() - 1));
+}
+
+support::Result<AlarmId> Os::CreateStoppedCallbackAlarm(std::string name,
+                                                        std::function<void()> fn) {
+  if (started_) return support::FailedPrecondition("alarm creation after StartOs");
+  if (!fn) return support::InvalidArgument("alarm callback missing");
+  Alarm alarm;
+  alarm.name = std::move(name);
+  alarm.action = AlarmAction::kCallback;
+  alarm.callback = std::move(fn);
+  alarms_.push_back(std::move(alarm));
+  return AlarmId(static_cast<std::uint32_t>(alarms_.size() - 1));
+}
+
+support::Status Os::StartOs() {
+  if (started_) return support::FailedPrecondition("StartOs called twice");
+  started_ = true;
+  for (const auto& [index, offset] : pending_arms_) {
+    ArmAlarm(index, offset);
+  }
+  pending_arms_.clear();
+  DACM_LOG_INFO("os") << name_ << ": started with " << tasks_.size() << " tasks, "
+                      << alarms_.size() << " alarms";
+  return support::OkStatus();
+}
+
+support::Status Os::ActivateTask(TaskId task) {
+  if (!started_) return support::FailedPrecondition("ActivateTask before StartOs");
+  if (task.value() >= tasks_.size()) return support::NotFound("unknown task");
+  Task& t = tasks_[task.value()];
+  if (t.pending >= t.config.max_activations) {
+    auto status = support::ResourceExhausted("E_OS_LIMIT: " + t.config.name);
+    ReportError(status);
+    return status;
+  }
+  ++t.pending;
+  ScheduleDispatch();
+  return support::OkStatus();
+}
+
+support::Status Os::SetEvent(TaskId task, EventMask events) {
+  if (!started_) return support::FailedPrecondition("SetEvent before StartOs");
+  if (task.value() >= tasks_.size()) return support::NotFound("unknown task");
+  Task& t = tasks_[task.value()];
+  if (t.config.kind != TaskKind::kExtended) {
+    auto status = support::InvalidArgument("SetEvent on basic task: " + t.config.name);
+    ReportError(status);
+    return status;
+  }
+  t.pending_events |= events;
+  if (t.pending == 0) t.pending = 1;
+  ScheduleDispatch();
+  return support::OkStatus();
+}
+
+support::Status Os::CancelAlarm(AlarmId alarm) {
+  if (alarm.value() >= alarms_.size()) return support::NotFound("unknown alarm");
+  Alarm& a = alarms_[alarm.value()];
+  if (!a.armed) return support::FailedPrecondition("alarm not armed: " + a.name);
+  a.armed = false;
+  ++a.generation;
+  return support::OkStatus();
+}
+
+support::Status Os::SetRelAlarm(AlarmId alarm, sim::SimTime offset, sim::SimTime period) {
+  if (alarm.value() >= alarms_.size()) return support::NotFound("unknown alarm");
+  Alarm& a = alarms_[alarm.value()];
+  if (a.armed) return support::FailedPrecondition("alarm already armed: " + a.name);
+  a.period = period;
+  ArmAlarm(alarm.value(), offset);
+  return support::OkStatus();
+}
+
+support::Status Os::GetResource(ResourceId resource) {
+  if (resource.value() >= resources_.size()) return support::NotFound("unknown resource");
+  Resource& r = resources_[resource.value()];
+  if (r.held) {
+    auto status = support::FailedPrecondition("resource already held: " + r.name);
+    ReportError(status);
+    return status;
+  }
+  r.held = true;
+  resource_stack_.push_back(resource);
+  return support::OkStatus();
+}
+
+support::Status Os::ReleaseResource(ResourceId resource) {
+  if (resource.value() >= resources_.size()) return support::NotFound("unknown resource");
+  Resource& r = resources_[resource.value()];
+  if (resource_stack_.empty() || resource_stack_.back() != resource) {
+    auto status =
+        support::FailedPrecondition("non-LIFO resource release: " + r.name);
+    ReportError(status);
+    return status;
+  }
+  r.held = false;
+  resource_stack_.pop_back();
+  return support::OkStatus();
+}
+
+std::uint64_t Os::task_activations(TaskId task) const {
+  if (task.value() >= tasks_.size()) return 0;
+  return tasks_[task.value()].completed;
+}
+
+support::Result<TaskId> Os::FindTask(const std::string& name) const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].config.name == name) return TaskId(static_cast<std::uint32_t>(i));
+  }
+  return support::NotFound("task: " + name);
+}
+
+void Os::ArmAlarm(std::size_t index, sim::SimTime offset) {
+  Alarm& a = alarms_[index];
+  a.armed = true;
+  const std::uint64_t generation = ++a.generation;
+  simulator_.ScheduleAfter(offset, [this, index, generation]() {
+    AlarmExpired(index, generation);
+  });
+}
+
+void Os::AlarmExpired(std::size_t index, std::uint64_t generation) {
+  Alarm& a = alarms_[index];
+  if (!a.armed || a.generation != generation) return;  // cancelled/re-armed
+  switch (a.action) {
+    case AlarmAction::kActivateTask:
+      (void)ActivateTask(a.task);  // E_OS_LIMIT reported via the error hook
+      break;
+    case AlarmAction::kSetEvent:
+      (void)SetEvent(a.task, a.events);
+      break;
+    case AlarmAction::kCallback:
+      a.callback();
+      break;
+  }
+  if (a.period > 0) {
+    simulator_.ScheduleAfter(a.period, [this, index, generation]() {
+      AlarmExpired(index, generation);
+    });
+  } else {
+    a.armed = false;
+  }
+}
+
+void Os::ScheduleDispatch() {
+  if (cpu_busy_ || dispatch_scheduled_) return;
+  dispatch_scheduled_ = true;
+  simulator_.ScheduleAfter(0, [this]() {
+    dispatch_scheduled_ = false;
+    Dispatch();
+  });
+}
+
+void Os::Dispatch() {
+  if (cpu_busy_) return;
+  // Highest priority pending task wins; ties resolve by creation order,
+  // mirroring OSEK's deterministic task-id ordering.
+  Task* best = nullptr;
+  for (Task& t : tasks_) {
+    if (t.pending == 0) continue;
+    if (best == nullptr || t.config.priority > best->config.priority) best = &t;
+  }
+  if (best == nullptr) return;
+
+  --best->pending;
+  EventMask events = best->pending_events;
+  best->pending_events = 0;
+
+  cpu_busy_ = true;
+  best->config.body(events);
+  ++best->completed;
+  ++activations_completed_;
+  simulator_.ScheduleAfter(best->config.execution_time, [this]() {
+    cpu_busy_ = false;
+    Dispatch();
+  });
+}
+
+void Os::ReportError(support::Status status) {
+  DACM_LOG_WARN("os") << name_ << ": " << status.ToString();
+  if (error_hook_) error_hook_(status);
+}
+
+}  // namespace dacm::os

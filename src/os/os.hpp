@@ -1,0 +1,188 @@
+// OSEK/VDX-flavoured operating system kernel (simulated).
+//
+// AUTOSAR's OS layer descends from OSEK OS; this module reproduces the
+// subset the upper layers rely on, executed on the discrete-event
+// simulator:
+//
+//  * statically created BASIC and EXTENDED tasks with fixed priorities,
+//    run-to-completion activations and bounded pending-activation counts;
+//  * a priority-ordered ready queue; one CPU per Os instance: while a task
+//    activation "executes" (its declared execution time elapses) no other
+//    task on the same ECU dispatches — this is what lets benchmarks show
+//    that a fuel-bounded plug-in VM task cannot starve built-in tasks;
+//  * counters and alarms (one-shot and periodic) that activate tasks, set
+//    events, or run callbacks;
+//  * OSEK events for extended tasks, delivered as an event mask to the
+//    task body;
+//  * resources with priority-ceiling bookkeeping (validated nesting);
+//  * startup/error hooks.
+//
+// Dynamic task creation after StartOs() is rejected: configuration is
+// design-time-static, exactly the property the paper's dynamic layer must
+// work around.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "support/ids.hpp"
+#include "support/status.hpp"
+
+namespace dacm::os {
+
+struct TaskTag {};
+struct AlarmTag {};
+struct ResourceTag {};
+using TaskId = support::StrongId<TaskTag>;
+using AlarmId = support::StrongId<AlarmTag>;
+using ResourceId = support::StrongId<ResourceTag>;
+
+/// Bit mask of OSEK events.
+using EventMask = std::uint32_t;
+
+enum class TaskKind { kBasic, kExtended };
+
+/// A task body receives the event mask that triggered it (0 for plain
+/// activations) and runs to completion.
+using TaskBody = std::function<void(EventMask)>;
+
+/// Static configuration of one task.
+struct TaskConfig {
+  std::string name;
+  TaskKind kind = TaskKind::kBasic;
+  std::uint8_t priority = 0;  // higher number = higher priority
+  std::uint8_t max_activations = 1;
+  /// Simulated CPU time one activation occupies; the dispatcher will not
+  /// start another task on this ECU before it elapses.
+  sim::SimTime execution_time = 10 * sim::kMicrosecond;
+  TaskBody body;
+};
+
+enum class AlarmAction { kActivateTask, kSetEvent, kCallback };
+
+class Os {
+ public:
+  /// `name` identifies the ECU in logs.
+  Os(sim::Simulator& simulator, std::string name);
+
+  Os(const Os&) = delete;
+  Os& operator=(const Os&) = delete;
+
+  // --- configuration phase -------------------------------------------------
+
+  /// Declares a task.  Only allowed before StartOs().
+  support::Result<TaskId> CreateTask(TaskConfig config);
+
+  /// Declares a resource with the given ceiling priority.
+  support::Result<ResourceId> CreateResource(std::string name, std::uint8_t ceiling);
+
+  /// Declares an alarm that activates `task` with period/offset; a period of
+  /// 0 makes the alarm one-shot.
+  support::Result<AlarmId> CreateTaskAlarm(std::string name, TaskId task,
+                                           sim::SimTime offset, sim::SimTime period);
+
+  /// Declares an alarm that sets `events` on `task`.
+  support::Result<AlarmId> CreateEventAlarm(std::string name, TaskId task,
+                                            EventMask events, sim::SimTime offset,
+                                            sim::SimTime period);
+
+  /// Declares an alarm that invokes `fn` (stands in for alarm callbacks).
+  support::Result<AlarmId> CreateCallbackAlarm(std::string name, std::function<void()> fn,
+                                               sim::SimTime offset, sim::SimTime period);
+
+  /// Declares a callback alarm in the stopped state; arm it later with
+  /// SetRelAlarm.  Lets subsystems with intermittent periodic work (e.g. the
+  /// PIRTE step scheduler) leave the event queue empty while idle.
+  support::Result<AlarmId> CreateStoppedCallbackAlarm(std::string name,
+                                                      std::function<void()> fn);
+
+  /// Ends the configuration phase and arms the alarms.
+  support::Status StartOs();
+
+  // --- runtime services (OSEK-style) ---------------------------------------
+
+  /// Queues one activation of `task`.  Fails with kResourceExhausted when
+  /// the task already has max_activations pending (OSEK E_OS_LIMIT).
+  support::Status ActivateTask(TaskId task);
+
+  /// Sets events on an extended task, activating it if idle.
+  support::Status SetEvent(TaskId task, EventMask events);
+
+  /// Cancels an armed alarm.
+  support::Status CancelAlarm(AlarmId alarm);
+
+  /// Re-arms an alarm relative to now.
+  support::Status SetRelAlarm(AlarmId alarm, sim::SimTime offset, sim::SimTime period);
+
+  /// Priority-ceiling resource acquire/release with nesting validation.
+  /// Task bodies must release in reverse acquisition order (OSEK LIFO rule).
+  support::Status GetResource(ResourceId resource);
+  support::Status ReleaseResource(ResourceId resource);
+
+  /// Installs a hook invoked whenever a runtime service returns an error.
+  void SetErrorHook(std::function<void(const support::Status&)> hook) {
+    error_hook_ = std::move(hook);
+  }
+
+  // --- introspection --------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  bool started() const { return started_; }
+  sim::Simulator& simulator() { return simulator_; }
+
+  /// Total completed task activations (all tasks).
+  std::uint64_t activations_completed() const { return activations_completed_; }
+  /// Completed activations of one task.
+  std::uint64_t task_activations(TaskId task) const;
+  /// Name lookup for diagnostics.
+  support::Result<TaskId> FindTask(const std::string& name) const;
+
+ private:
+  struct Task {
+    TaskConfig config;
+    std::uint8_t pending = 0;       // queued activations
+    EventMask pending_events = 0;   // events accumulated for next run
+    std::uint64_t completed = 0;
+  };
+
+  struct Alarm {
+    std::string name;
+    AlarmAction action = AlarmAction::kCallback;
+    TaskId task;
+    EventMask events = 0;
+    std::function<void()> callback;
+    sim::SimTime period = 0;
+    bool armed = false;
+    std::uint64_t generation = 0;  // invalidates in-flight expiry events
+  };
+
+  void ArmAlarm(std::size_t index, sim::SimTime offset);
+  void AlarmExpired(std::size_t index, std::uint64_t generation);
+  void ScheduleDispatch();
+  void Dispatch();
+  void ReportError(support::Status status);
+
+  sim::Simulator& simulator_;
+  std::string name_;
+  bool started_ = false;
+  bool cpu_busy_ = false;
+  bool dispatch_scheduled_ = false;
+  std::vector<Task> tasks_;
+  std::vector<Alarm> alarms_;
+  struct Resource {
+    std::string name;
+    std::uint8_t ceiling;
+    bool held = false;
+  };
+  std::vector<Resource> resources_;
+  std::vector<ResourceId> resource_stack_;
+  /// Alarms declared before StartOs, armed when the OS starts.
+  std::vector<std::pair<std::size_t, sim::SimTime>> pending_arms_;
+  std::uint64_t activations_completed_ = 0;
+  std::function<void(const support::Status&)> error_hook_;
+};
+
+}  // namespace dacm::os

@@ -1,0 +1,257 @@
+#include "pirte/ecm.hpp"
+
+#include "support/log.hpp"
+
+namespace dacm::pirte {
+
+Ecm::Ecm(rte::Rte& ecu_rte, bsw::Nvm* nvm, bsw::Dem* dem, sim::Network& network,
+         PirteConfig pirte_config, EcmConfig ecm_config)
+    : Pirte(ecu_rte, nvm, dem, std::move(pirte_config)),
+      network_(network),
+      ecm_config_(std::move(ecm_config)) {}
+
+support::Status Ecm::Init() {
+  DACM_RETURN_IF_ERROR(Pirte::Init());
+
+  // Listen on every Type I channel from the plug-in SW-Cs.
+  for (const EcmRoute& route : ecm_config_.routes) {
+    if (!route.in.valid()) continue;
+    DACM_RETURN_IF_ERROR(rte_.SetPortListener(
+        route.in, [this, &route](std::span<const std::uint8_t> data) {
+          OnRouteMessage(route, data);
+        }));
+  }
+
+  // "During its initialization, the ECM PIRTE creates a socket client to
+  // set up a connection with a pre-defined trusted server."  Retries run
+  // on a periodic alarm until the connection is established.
+  TryConnect();
+  DACM_ASSIGN_OR_RETURN(auto alarm,
+                        rte_.ecu_os().CreateCallbackAlarm(
+                            "ecm." + config_.name + ".reconnect",
+                            [this]() {
+                              // A dead link (remote end gone) counts as
+                              // disconnected: drop it and dial again.
+                              if (server_peer_ != nullptr &&
+                                  !server_peer_->connected()) {
+                                server_peer_ = nullptr;
+                              }
+                              if (server_peer_ == nullptr) TryConnect();
+                            },
+                            ecm_config_.reconnect_period,
+                            ecm_config_.reconnect_period));
+  (void)alarm;
+  return support::OkStatus();
+}
+
+void Ecm::TryConnect() {
+  auto peer = network_.Connect(ecm_config_.server_address);
+  if (!peer.ok()) {
+    DACM_LOG_DEBUG("ecm") << config_.name << ": server unreachable: "
+                          << peer.status().ToString();
+    return;
+  }
+  server_peer_ = std::move(*peer);
+  server_peer_->SetReceiveHandler(
+      [this](const support::Bytes& data) { OnServerMessage(data); });
+  Envelope hello;
+  hello.kind = Envelope::Kind::kHello;
+  hello.vin = ecm_config_.vin;
+  (void)SendToServer(hello);
+  DACM_LOG_INFO("ecm") << config_.name << ": connected to trusted server as VIN "
+                       << ecm_config_.vin;
+}
+
+support::Status Ecm::SendToServer(const Envelope& envelope) {
+  if (server_peer_ == nullptr) {
+    return support::Unavailable("no server connection");
+  }
+  return server_peer_->Send(envelope.Serialize());
+}
+
+void Ecm::OnServerMessage(const support::Bytes& data) {
+  auto envelope = Envelope::Deserialize(data);
+  if (!envelope.ok() || envelope->kind != Envelope::Kind::kPirteMessage) {
+    DACM_LOG_WARN("ecm") << config_.name << ": undecodable server message";
+    return;
+  }
+  auto message = PirteMessage::Deserialize(envelope->message);
+  if (!message.ok()) {
+    DACM_LOG_WARN("ecm") << config_.name << ": undecodable PirteMessage from server";
+    return;
+  }
+  HandleServerPirteMessage(*message);
+}
+
+void Ecm::HandleServerPirteMessage(const PirteMessage& message) {
+  PirteMessage to_route = message;
+
+  // The ECM extracts the ECC from any passing installation package.
+  if (message.type == MessageType::kInstallPackage) {
+    auto package = InstallationPackage::Deserialize(message.payload);
+    if (!package.ok()) {
+      SendAck(message.plugin_name, false, package.status().ToString());
+      return;
+    }
+    if (!package->ecc.empty()) {
+      RegisterEcc(package->ecc);
+      package->ecc.entries.clear();
+      to_route.payload = package->Serialize();
+    }
+  }
+
+  if (to_route.target_ecu == config_.ecu_id) {
+    // Local target: the ECM PIRTE handles the message itself.
+    ++ecm_stats_.packages_local;
+    OnTypeIMessage(to_route);  // base-class handling; acks go via override
+    return;
+  }
+
+  const EcmRoute* route = RouteFor(to_route.target_ecu);
+  if (route == nullptr || !route->out.valid()) {
+    SendAck(to_route.plugin_name, false,
+            "no Type I route to ECU " + std::to_string(to_route.target_ecu));
+    return;
+  }
+  ++ecm_stats_.packages_routed;
+  auto status = rte_.Write(route->out, to_route.Serialize());
+  if (!status.ok()) {
+    SendAck(to_route.plugin_name, false, status.ToString());
+  }
+}
+
+void Ecm::OnRouteMessage(const EcmRoute& route, std::span<const std::uint8_t> data) {
+  auto message = PirteMessage::Deserialize(data);
+  if (!message.ok()) {
+    DACM_LOG_WARN("ecm") << config_.name << ": undecodable Type I message from ECU "
+                         << route.ecu_id;
+    return;
+  }
+  if (message->type == MessageType::kAck) {
+    // Forward the acknowledgement to the trusted server.
+    ++ecm_stats_.acks_forwarded;
+    Envelope envelope;
+    envelope.kind = Envelope::Kind::kPirteMessage;
+    envelope.vin = ecm_config_.vin;
+    envelope.message = message->Serialize();
+    auto status = SendToServer(envelope);
+    if (!status.ok()) {
+      DACM_LOG_WARN("ecm") << config_.name
+                           << ": ack forwarding failed: " << status.ToString();
+    }
+    return;
+  }
+  DACM_LOG_WARN("ecm") << config_.name << ": unexpected Type I message type from ECU "
+                       << route.ecu_id;
+}
+
+void Ecm::SendAck(const std::string& plugin_name, bool ok, const std::string& detail) {
+  PirteMessage ack;
+  ack.type = MessageType::kAck;
+  ack.plugin_name = plugin_name;
+  ack.target_ecu = config_.ecu_id;
+  ack.ok = ok;
+  ack.detail = detail;
+  Envelope envelope;
+  envelope.kind = Envelope::Kind::kPirteMessage;
+  envelope.vin = ecm_config_.vin;
+  envelope.message = ack.Serialize();
+  auto status = SendToServer(envelope);
+  if (!status.ok()) {
+    DACM_LOG_WARN("ecm") << config_.name << ": ack not sent: " << status.ToString();
+  }
+}
+
+void Ecm::RegisterEcc(const ExternalConnectionContext& ecc) {
+  for (const EccEntry& entry : ecc.entries) {
+    ecc_entries_.push_back(entry);
+    EnsureExternalLink(entry.endpoint);
+  }
+}
+
+void Ecm::EnsureExternalLink(const std::string& endpoint) {
+  if (external_links_.contains(endpoint)) return;
+  auto peer = network_.Connect(endpoint);
+  if (!peer.ok()) {
+    DACM_LOG_WARN("ecm") << config_.name << ": external endpoint unreachable: "
+                         << endpoint;
+    return;
+  }
+  (*peer)->SetReceiveHandler([this, endpoint](const support::Bytes& data) {
+    OnExternalFrame(endpoint, data);
+  });
+  external_links_.emplace(endpoint, std::move(*peer));
+  DACM_LOG_INFO("ecm") << config_.name << ": external link up: " << endpoint;
+}
+
+void Ecm::OnExternalFrame(const std::string& endpoint, const support::Bytes& data) {
+  auto frame = FesFrame::Deserialize(data);
+  if (!frame.ok()) {
+    DACM_LOG_WARN("ecm") << config_.name << ": undecodable FES frame from " << endpoint;
+    return;
+  }
+  ++ecm_stats_.external_in;
+  for (const EccEntry& entry : ecc_entries_) {
+    if (entry.direction != EccDirection::kInbound) continue;
+    if (entry.endpoint != endpoint || entry.message_id != frame->message_id) continue;
+    if (entry.target_ecu == config_.ecu_id) {
+      // "the ECM PIRTE writes or reads directly to/from the plug-in port"
+      auto status = DeliverToPluginPortByUnique(entry.port_unique_id, frame->payload);
+      if (!status.ok()) {
+        DACM_LOG_WARN("ecm") << config_.name << ": inbound FES data undeliverable: "
+                             << status.ToString();
+      }
+      return;
+    }
+    const EcmRoute* route = RouteFor(entry.target_ecu);
+    if (route == nullptr || !route->out.valid()) {
+      DACM_LOG_WARN("ecm") << config_.name << ": no route for inbound FES data to ECU "
+                           << entry.target_ecu;
+      return;
+    }
+    PirteMessage message;
+    message.type = MessageType::kExternalData;
+    message.target_ecu = entry.target_ecu;
+    message.dest_port = entry.port_unique_id;
+    message.detail = frame->message_id;
+    message.payload = frame->payload;
+    (void)rte_.Write(route->out, message.Serialize());
+    return;
+  }
+  DACM_LOG_WARN("ecm") << config_.name << ": no ECC entry for message id '"
+                       << frame->message_id << "' from " << endpoint;
+}
+
+void Ecm::OnUnconnectedWrite(PluginInstance& plugin, PluginPort& port,
+                             std::span<const std::uint8_t> data) {
+  // Outbound external connection: a write to a PLC-unconnected port whose
+  // unique id matches an outbound ECC entry becomes a FES frame.
+  for (const EccEntry& entry : ecc_entries_) {
+    if (entry.direction != EccDirection::kOutbound) continue;
+    if (entry.target_ecu != config_.ecu_id || entry.port_unique_id != port.unique_id) {
+      continue;
+    }
+    auto link = external_links_.find(entry.endpoint);
+    if (link == external_links_.end()) {
+      EnsureExternalLink(entry.endpoint);
+      link = external_links_.find(entry.endpoint);
+      if (link == external_links_.end()) return;
+    }
+    FesFrame frame;
+    frame.message_id = entry.message_id;
+    frame.payload.assign(data.begin(), data.end());
+    auto status = link->second->Send(frame.Serialize());
+    if (status.ok()) ++ecm_stats_.external_out;
+    return;
+  }
+  Pirte::OnUnconnectedWrite(plugin, port, data);
+}
+
+const EcmRoute* Ecm::RouteFor(std::uint32_t ecu_id) const {
+  for (const EcmRoute& route : ecm_config_.routes) {
+    if (route.ecu_id == ecu_id) return &route;
+  }
+  return nullptr;
+}
+
+}  // namespace dacm::pirte

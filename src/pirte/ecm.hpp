@@ -1,0 +1,93 @@
+// External Communication Manager (ECM) SW-C (paper §3.1.1, Type I in §3.1.3).
+//
+// The ECM *inherits from the plug-in SW-C* (it is a Pirte and can host
+// plug-ins itself — the example application's COM plug-in runs here) and
+// adds the communication module for the external world:
+//
+//  * a socket client to the pre-defined trusted server, opened during
+//    initialization; the server address is part of the static (OEM)
+//    configuration and cannot be altered dynamically;
+//  * gateway routing: installation packages and lifecycle commands coming
+//    from the server are routed to the recipient plug-in SW-C over Type I
+//    ports (or handled locally when the target is the ECM's own ECU);
+//    acknowledgements travel the reverse path and are forwarded to the
+//    server;
+//  * ECC handling: the ECM extracts the External Connection Context from
+//    passing installation packages, opens the external links, and routes
+//    inbound FES messages to the destination plug-in port — directly when
+//    the plug-in is local, wrapped as a Type I external-data message
+//    otherwise.  Outbound ECC entries turn writes to PLC-unconnected local
+//    plug-in ports into FES frames.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "pirte/pirte.hpp"
+#include "pirte/protocol.hpp"
+#include "sim/network.hpp"
+
+namespace dacm::pirte {
+
+/// One Type I channel from the ECM to a remote plug-in SW-C.
+struct EcmRoute {
+  std::uint32_t ecu_id = 0;
+  rte::PortId out = rte::PortId::Invalid();  // provided: ECM -> plug-in SW-C
+  rte::PortId in = rte::PortId::Invalid();   // required: plug-in SW-C -> ECM
+};
+
+struct EcmConfig {
+  std::string server_address;  // trusted server endpoint (OEM-fixed)
+  std::string vin;             // this vehicle's identity towards the server
+  std::vector<EcmRoute> routes;
+  /// Reconnect retry period when the server is unreachable.
+  sim::SimTime reconnect_period = 500 * sim::kMillisecond;
+};
+
+struct EcmStats {
+  std::uint64_t packages_routed = 0;   // forwarded to remote SW-Cs
+  std::uint64_t packages_local = 0;    // installed on the ECM's own PIRTE
+  std::uint64_t acks_forwarded = 0;    // remote acks relayed to the server
+  std::uint64_t external_in = 0;       // FES frames received
+  std::uint64_t external_out = 0;      // FES frames sent
+};
+
+class Ecm final : public Pirte {
+ public:
+  Ecm(rte::Rte& ecu_rte, bsw::Nvm* nvm, bsw::Dem* dem, sim::Network& network,
+      PirteConfig pirte_config, EcmConfig ecm_config);
+
+  /// Base Init + route listeners + server connection.
+  support::Status Init() override;
+
+  bool connected_to_server() const {
+    return server_peer_ != nullptr && server_peer_->connected();
+  }
+  const EcmStats& ecm_stats() const { return ecm_stats_; }
+
+ protected:
+  void OnUnconnectedWrite(PluginInstance& plugin, PluginPort& port,
+                          std::span<const std::uint8_t> data) override;
+  void SendAck(const std::string& plugin_name, bool ok,
+               const std::string& detail) override;
+
+ private:
+  void TryConnect();
+  void OnServerMessage(const support::Bytes& data);
+  void HandleServerPirteMessage(const PirteMessage& message);
+  void OnRouteMessage(const EcmRoute& route, std::span<const std::uint8_t> data);
+  void RegisterEcc(const ExternalConnectionContext& ecc);
+  void EnsureExternalLink(const std::string& endpoint);
+  void OnExternalFrame(const std::string& endpoint, const support::Bytes& data);
+  support::Status SendToServer(const Envelope& envelope);
+  const EcmRoute* RouteFor(std::uint32_t ecu_id) const;
+
+  sim::Network& network_;
+  EcmConfig ecm_config_;
+  EcmStats ecm_stats_;
+  std::shared_ptr<sim::NetPeer> server_peer_;
+  std::vector<EccEntry> ecc_entries_;
+  std::unordered_map<std::string, std::shared_ptr<sim::NetPeer>> external_links_;
+};
+
+}  // namespace dacm::pirte

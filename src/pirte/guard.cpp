@@ -1,0 +1,100 @@
+#include "pirte/guard.hpp"
+
+#include <utility>
+
+#include "support/log.hpp"
+
+namespace dacm::pirte {
+
+std::shared_ptr<SignalGuard> SignalGuard::Create(sim::Simulator& simulator,
+                                                 GuardPolicy policy, bsw::Dem* dem,
+                                                 bsw::DemEventId event) {
+  return std::shared_ptr<SignalGuard>(
+      new SignalGuard(simulator, std::move(policy), dem, event));
+}
+
+SignalGuard::SignalGuard(sim::Simulator& simulator, GuardPolicy policy,
+                         bsw::Dem* dem, bsw::DemEventId event)
+    : simulator_(simulator), policy_(std::move(policy)), dem_(dem), event_(event) {}
+
+Translator SignalGuard::MakeTranslator(Translator inner) {
+  // The returned closure keeps the guard alive through the PIRTE's static
+  // configuration.
+  auto self = shared_from_this();
+  return [self, inner = std::move(inner)](std::span<const std::uint8_t> data)
+             -> support::Result<support::Bytes> {
+    support::Bytes converted;
+    if (inner) {
+      DACM_ASSIGN_OR_RETURN(converted, inner(data));
+    } else {
+      converted.assign(data.begin(), data.end());
+    }
+    return self->Check(std::move(converted));
+  };
+}
+
+support::Result<support::Bytes> SignalGuard::Check(support::Bytes data) {
+  // Structural: length bounds.
+  if (data.size() < policy_.min_len || data.size() > policy_.max_len) {
+    ++stats_.dropped_len;
+    ReportViolation();
+    return support::OutOfRange(policy_.name + ": payload length " +
+                               std::to_string(data.size()) + " outside policy");
+  }
+
+  // Temporal: rate limit on accepted messages.
+  if (policy_.min_interval > 0 && saw_message_ &&
+      simulator_.Now() - last_accept_ < policy_.min_interval) {
+    ++stats_.dropped_rate;
+    ReportViolation();
+    return support::OutOfRange(policy_.name + ": rate limit");
+  }
+
+  // Value: 4-byte LE signed control range.
+  if (policy_.check_value && data.size() == 4) {
+    support::ByteReader reader(data);
+    const std::int32_t value = *reader.ReadI32();
+    if (value < policy_.min_value || value > policy_.max_value) {
+      if (policy_.on_range_violation == GuardAction::kDrop) {
+        ++stats_.dropped_range;
+        ReportViolation();
+        return support::OutOfRange(policy_.name + ": value " +
+                                   std::to_string(value) + " outside [" +
+                                   std::to_string(policy_.min_value) + ", " +
+                                   std::to_string(policy_.max_value) + "]");
+      }
+      const std::int32_t clamped =
+          value < policy_.min_value ? policy_.min_value : policy_.max_value;
+      support::ByteWriter writer;
+      writer.WriteI32(clamped);
+      data = writer.Take();
+      ++stats_.clamped;
+      ReportViolation();
+      saw_message_ = true;
+      last_accept_ = simulator_.Now();
+      return data;
+    }
+  }
+
+  ++stats_.passed;
+  ReportPass();
+  saw_message_ = true;
+  last_accept_ = simulator_.Now();
+  return data;
+}
+
+void SignalGuard::ReportViolation() {
+  DACM_LOG_WARN("guard") << policy_.name << ": violation #"
+                         << stats_.violations();
+  if (dem_ != nullptr && event_.valid()) {
+    (void)dem_->ReportEvent(event_, bsw::DemEventStatus::kFailed);
+  }
+}
+
+void SignalGuard::ReportPass() {
+  if (dem_ != nullptr && event_.valid()) {
+    (void)dem_->ReportEvent(event_, bsw::DemEventStatus::kPassed);
+  }
+}
+
+}  // namespace dacm::pirte

@@ -1,0 +1,100 @@
+// Fault protection for the exposed plug-in API (paper §3.1.1).
+//
+// "For safety reasons, the built-in software should monitor the exposed
+// API and provide fault protection mechanisms for the critical signals."
+//
+// A SignalGuard wraps a Type III virtual port's outbound translation with
+// an OEM-defined policy:
+//
+//   * structural: payload length bounds;
+//   * value: for integer control signals, a [min, max] range with either
+//     clamping (saturate to the nearest bound) or dropping;
+//   * temporal: a minimum inter-arrival time (rate limit) per port.
+//
+// Violations are counted per guard and optionally reported as Dem events,
+// so the vehicle's diagnostics see a misbehaving plug-in long before a
+// workshop does.  The guard composes with an inner Translator (format
+// conversion first, then policy on the converted value).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bsw/dem.hpp"
+#include "pirte/virtual_port.hpp"
+#include "sim/simulator.hpp"
+
+namespace dacm::pirte {
+
+/// What to do with a value-range violation.
+enum class GuardAction : std::uint8_t {
+  kClamp = 0,  // saturate into [min_value, max_value] and pass on
+  kDrop = 1,   // discard the message
+};
+
+/// OEM policy for one guarded signal.
+struct GuardPolicy {
+  std::string name;  // diagnostic label, e.g. "WheelsReq"
+
+  /// Payload length bounds (bytes).  Violations always drop.
+  std::size_t min_len = 0;
+  std::size_t max_len = SIZE_MAX;
+
+  /// Value range for 4-byte little-endian signed control payloads.  Only
+  /// checked when check_value is set and the payload is exactly 4 bytes.
+  bool check_value = false;
+  std::int32_t min_value = INT32_MIN;
+  std::int32_t max_value = INT32_MAX;
+  GuardAction on_range_violation = GuardAction::kClamp;
+
+  /// Minimum simulated time between accepted messages; 0 = unlimited rate.
+  sim::SimTime min_interval = 0;
+};
+
+struct GuardStats {
+  std::uint64_t passed = 0;
+  std::uint64_t clamped = 0;
+  std::uint64_t dropped_len = 0;
+  std::uint64_t dropped_range = 0;
+  std::uint64_t dropped_rate = 0;
+
+  std::uint64_t violations() const {
+    return clamped + dropped_len + dropped_range + dropped_rate;
+  }
+};
+
+/// One guard instance; create via SignalGuard::Create and install its
+/// Translator() as the virtual port's translate_out.  The guard must
+/// outlive the PIRTE that uses the translator (keep the shared_ptr).
+class SignalGuard : public std::enable_shared_from_this<SignalGuard> {
+ public:
+  /// `dem` and `event` may be null/invalid for statistics-only guarding.
+  static std::shared_ptr<SignalGuard> Create(sim::Simulator& simulator,
+                                             GuardPolicy policy, bsw::Dem* dem,
+                                             bsw::DemEventId event);
+
+  /// The translate_out hook enforcing the policy.  Dropping is expressed
+  /// as an error status (the PIRTE discards the write and counts it).
+  Translator MakeTranslator(Translator inner = {});
+
+  const GuardStats& stats() const { return stats_; }
+  const GuardPolicy& policy() const { return policy_; }
+
+ private:
+  SignalGuard(sim::Simulator& simulator, GuardPolicy policy, bsw::Dem* dem,
+              bsw::DemEventId event);
+
+  support::Result<support::Bytes> Check(support::Bytes data);
+  void ReportViolation();
+  void ReportPass();
+
+  sim::Simulator& simulator_;
+  GuardPolicy policy_;
+  bsw::Dem* dem_;
+  bsw::DemEventId event_;
+  GuardStats stats_;
+  bool saw_message_ = false;
+  sim::SimTime last_accept_ = 0;
+};
+
+}  // namespace dacm::pirte

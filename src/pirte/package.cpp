@@ -1,0 +1,69 @@
+#include "pirte/package.hpp"
+
+#include "support/crc.hpp"
+
+namespace dacm::pirte {
+
+support::Bytes InstallationPackage::Serialize() const {
+  support::ByteWriter body;
+  body.WriteString(plugin_name);
+  body.WriteString(version);
+  pic.SerializeTo(body);
+  plc.SerializeTo(body);
+  ecc.SerializeTo(body);
+  body.WriteBlob(binary);
+
+  support::ByteWriter out;
+  const support::Bytes body_bytes = body.Take();
+  out.WriteU32(support::Crc32(body_bytes));
+  out.WriteRaw(body_bytes);
+  return out.Take();
+}
+
+support::Result<InstallationPackage> InstallationPackage::Deserialize(
+    std::span<const std::uint8_t> data) {
+  support::ByteReader reader(data);
+  DACM_ASSIGN_OR_RETURN(std::uint32_t wire_crc, reader.ReadU32());
+  if (data.size() < 4 || support::Crc32(data.subspan(4)) != wire_crc) {
+    return support::Corrupted("installation package CRC mismatch");
+  }
+  InstallationPackage package;
+  DACM_ASSIGN_OR_RETURN(package.plugin_name, reader.ReadString());
+  DACM_ASSIGN_OR_RETURN(package.version, reader.ReadString());
+  DACM_ASSIGN_OR_RETURN(package.pic, PortInitContext::DeserializeFrom(reader));
+  DACM_ASSIGN_OR_RETURN(package.plc, PortLinkingContext::DeserializeFrom(reader));
+  DACM_ASSIGN_OR_RETURN(package.ecc, ExternalConnectionContext::DeserializeFrom(reader));
+  DACM_ASSIGN_OR_RETURN(package.binary, reader.ReadBlob());
+  return package;
+}
+
+support::Bytes PirteMessage::Serialize() const {
+  support::ByteWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(type));
+  writer.WriteString(plugin_name);
+  writer.WriteU32(target_ecu);
+  writer.WriteU8(dest_port);
+  writer.WriteU8(ok ? 1 : 0);
+  writer.WriteString(detail);
+  writer.WriteBlob(payload);
+  return writer.Take();
+}
+
+support::Result<PirteMessage> PirteMessage::Deserialize(
+    std::span<const std::uint8_t> data) {
+  support::ByteReader reader(data);
+  PirteMessage message;
+  DACM_ASSIGN_OR_RETURN(std::uint8_t type, reader.ReadU8());
+  if (type > 5) return support::Corrupted("bad PirteMessage type");
+  message.type = static_cast<MessageType>(type);
+  DACM_ASSIGN_OR_RETURN(message.plugin_name, reader.ReadString());
+  DACM_ASSIGN_OR_RETURN(message.target_ecu, reader.ReadU32());
+  DACM_ASSIGN_OR_RETURN(message.dest_port, reader.ReadU8());
+  DACM_ASSIGN_OR_RETURN(std::uint8_t ok, reader.ReadU8());
+  message.ok = ok != 0;
+  DACM_ASSIGN_OR_RETURN(message.detail, reader.ReadString());
+  DACM_ASSIGN_OR_RETURN(message.payload, reader.ReadBlob());
+  return message;
+}
+
+}  // namespace dacm::pirte

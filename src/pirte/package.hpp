@@ -1,0 +1,60 @@
+// Installation packages and Type I / server wire messages.
+//
+// Two message layers share these definitions:
+//
+//  * PirteMessage — what travels on Type I SW-C ports between the ECM and
+//    the plug-in SW-Cs (and, embedded in FesFrames, between the server /
+//    external devices and the ECM).  The message type id is the first
+//    byte; 0 is the installation package, as in the paper.
+//
+//  * InstallationPackage — plug-in name/version + PIC + PLC (+ ECC for the
+//    ECM) + the PVM binary, CRC-protected as one unit.
+#pragma once
+
+#include <string>
+
+#include "pirte/context.hpp"
+#include "support/bytes.hpp"
+#include "support/status.hpp"
+
+namespace dacm::pirte {
+
+/// Type-I message type ids (first byte on the wire).
+enum class MessageType : std::uint8_t {
+  kInstallPackage = 0,  // paper: "e.g. 0 for the installation package"
+  kUninstall = 1,
+  kAck = 2,
+  kExternalData = 3,  // external world -> plug-in port
+  kStop = 4,          // lifecycle: stop a running plug-in (pre-update state rule)
+  kStart = 5,         // lifecycle: (re)start a stopped plug-in
+};
+
+/// The complete artifact the server assembles per (plug-in, vehicle).
+struct InstallationPackage {
+  std::string plugin_name;
+  std::string version;
+  PortInitContext pic;
+  PortLinkingContext plc;
+  ExternalConnectionContext ecc;  // empty unless externally communicating
+  support::Bytes binary;          // serialized vm::Program
+
+  support::Bytes Serialize() const;
+  static support::Result<InstallationPackage> Deserialize(
+      std::span<const std::uint8_t> data);
+};
+
+/// One message on a Type I port.
+struct PirteMessage {
+  MessageType type = MessageType::kAck;
+  std::string plugin_name;
+  std::uint32_t target_ecu = 0;   // recipient ECU (routing key in the ECM)
+  std::uint8_t dest_port = 0;     // SW-C-unique port id (kExternalData)
+  bool ok = true;                 // kAck payload
+  std::string detail;             // kAck diagnostic / kExternalData message id
+  support::Bytes payload;         // package bytes / external data
+
+  support::Bytes Serialize() const;
+  static support::Result<PirteMessage> Deserialize(std::span<const std::uint8_t> data);
+};
+
+}  // namespace dacm::pirte

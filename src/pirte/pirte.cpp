@@ -1,0 +1,631 @@
+#include "pirte/pirte.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace dacm::pirte {
+
+Pirte::Pirte(rte::Rte& ecu_rte, bsw::Nvm* nvm, bsw::Dem* dem, PirteConfig config)
+    : rte_(ecu_rte), config_(std::move(config)), nvm_(nvm), dem_(dem) {}
+
+support::Status Pirte::Init() {
+  if (initialized_) return support::FailedPrecondition("Pirte::Init called twice");
+
+  // The VM task: drains the plug-in work queue at its own priority.
+  os::TaskConfig task_config;
+  task_config.name = "pirte." + config_.name + ".vm";
+  task_config.kind = os::TaskKind::kBasic;
+  task_config.priority = config_.vm_task_priority;
+  task_config.max_activations = 16;
+  task_config.execution_time = config_.vm_task_execution_time;
+  task_config.body = [this](os::EventMask) { DrainWorkQueue(); };
+  DACM_ASSIGN_OR_RETURN(vm_task_, rte_.ecu_os().CreateTask(std::move(task_config)));
+
+  // Type I input (from the ECM).
+  if (config_.type1_in.valid()) {
+    DACM_RETURN_IF_ERROR(rte_.SetPortListener(
+        config_.type1_in, [this](std::span<const std::uint8_t> data) {
+          auto message = PirteMessage::Deserialize(data);
+          if (!message.ok()) {
+            DACM_LOG_WARN("pirte") << config_.name << ": undecodable Type I message: "
+                                   << message.status().ToString();
+            return;
+          }
+          OnTypeIMessage(*message);
+        }));
+  }
+
+  // Virtual-port inputs (Type II demultiplexing, Type III fan-in).
+  for (const VirtualPortConfig& vp : config_.virtual_ports) {
+    if (!vp.swc_in.valid()) continue;
+    DACM_RETURN_IF_ERROR(rte_.SetPortListener(
+        vp.swc_in, [this, &vp](std::span<const std::uint8_t> data) {
+          OnVirtualPortIn(vp, data);
+        }));
+  }
+
+  // Plug-in step scheduler.  The alarm is created stopped and armed on
+  // demand (first step-capable plug-in starts running); when a tick finds
+  // nothing to step it disarms itself, so an idle PIRTE does not keep the
+  // simulator's event queue busy forever.
+  if (config_.step_period > 0) {
+    DACM_ASSIGN_OR_RETURN(
+        step_alarm_,
+        rte_.ecu_os().CreateStoppedCallbackAlarm(
+            "pirte." + config_.name + ".step", [this]() {
+              bool queued = false;
+              for (auto& [name, record] : plugins_) {
+                if (record.instance->state() == PluginState::kRunning &&
+                    record.instance->HasEntry("step")) {
+                  Enqueue(WorkItem{WorkItem::Kind::kStep, name, 0});
+                  queued = true;
+                }
+              }
+              if (!queued) {
+                step_alarm_armed_ = false;
+                (void)rte_.ecu_os().CancelAlarm(step_alarm_);
+              }
+            }));
+  }
+
+  // Kick alarm: if Init() queued work (e.g. persisted plug-ins), the VM
+  // task cannot be activated before StartOs; this one-shot does it.
+  DACM_ASSIGN_OR_RETURN(auto kick,
+                        rte_.ecu_os().CreateCallbackAlarm(
+                            "pirte." + config_.name + ".kick",
+                            [this]() {
+                              if (!work_queue_.empty()) {
+                                (void)rte_.ecu_os().ActivateTask(vm_task_);
+                              }
+                            },
+                            sim::kMicrosecond, 0));
+  (void)kick;
+
+  // Diagnostics.
+  if (dem_ != nullptr) {
+    DACM_ASSIGN_OR_RETURN(fault_event_, dem_->DefineEvent(config_.name + ".plugin_fault"));
+    DACM_ASSIGN_OR_RETURN(fuel_event_,
+                          dem_->DefineEvent(config_.name + ".plugin_fuel", 3));
+  }
+
+  initialized_ = true;
+  LoadPersisted();
+  return support::OkStatus();
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+support::Status Pirte::Install(const InstallationPackage& package) {
+  return InstallInternal(package, /*persist=*/true, /*run_on_install=*/true);
+}
+
+support::Status Pirte::InstallInternal(const InstallationPackage& package, bool persist,
+                                       bool run_on_install) {
+  if (!initialized_) return support::FailedPrecondition("Install before Init");
+  if (plugins_.size() >= config_.max_plugins) {
+    return support::ResourceExhausted("plug-in quota reached on " + config_.name);
+  }
+  if (package.binary.size() > config_.max_binary_size) {
+    return support::CapacityExceeded("binary exceeds quota: " + package.plugin_name);
+  }
+  if (plugins_.contains(package.plugin_name)) {
+    return support::AlreadyExists("plug-in already installed: " + package.plugin_name);
+  }
+  DACM_RETURN_IF_ERROR(ValidateContexts(package));
+  DACM_ASSIGN_OR_RETURN(auto program, vm::Program::Deserialize(package.binary));
+
+  PluginRecord record;
+  record.instance = std::make_unique<PluginInstance>(
+      package.plugin_name, package.version, std::move(program), package.pic, *this,
+      config_.vm_limits);
+  record.plc = package.plc;
+  record.package_bytes = package.Serialize();
+
+  for (const PlcEntry& entry : package.plc.entries) {
+    Route route;
+    route.kind = entry.kind;
+    route.remote_port_id = entry.remote_port_id;
+    route.peer_plugin = entry.peer_plugin;
+    route.peer_local_port = entry.peer_local_port;
+    if (entry.kind == PlcKind::kVirtual || entry.kind == PlcKind::kVirtualRemote) {
+      route.virtual_port = FindVirtualPort(entry.virtual_port);
+    }
+    record.routes.emplace(entry.local_port, std::move(route));
+  }
+
+  record.instance->SetState(PluginState::kRunning);
+  const std::string name = package.plugin_name;
+  const bool has_on_install = record.instance->HasEntry("on_install");
+  plugins_.emplace(name, std::move(record));
+  ++stats_.installs;
+  DACM_LOG_INFO("pirte") << config_.name << ": installed " << name << " v"
+                         << package.version;
+
+  if (run_on_install && has_on_install) {
+    Enqueue(WorkItem{WorkItem::Kind::kOnInstall, name, 0});
+  }
+  ArmStepAlarmIfNeeded();
+  if (persist) Persist();
+  return support::OkStatus();
+}
+
+void Pirte::ArmStepAlarmIfNeeded() {
+  if (config_.step_period == 0 || step_alarm_armed_ || !step_alarm_.valid()) return;
+  for (const auto& [name, record] : plugins_) {
+    if (record.instance->state() == PluginState::kRunning &&
+        record.instance->HasEntry("step")) {
+      step_alarm_armed_ = true;
+      (void)rte_.ecu_os().SetRelAlarm(step_alarm_, config_.step_period,
+                                      config_.step_period);
+      return;
+    }
+  }
+}
+
+support::Status Pirte::ValidateContexts(const InstallationPackage& package) const {
+  // Unique-id clashes against already installed plug-ins (the server should
+  // never produce these; a second line of defence).
+  for (const PicEntry& entry : package.pic.entries) {
+    for (const auto& [name, record] : plugins_) {
+      for (const PluginPort& port : record.instance->ports()) {
+        if (port.unique_id == entry.unique_id) {
+          return support::Incompatible(
+              "port unique id " + std::to_string(entry.unique_id) +
+              " already taken by plug-in " + name);
+        }
+      }
+    }
+  }
+  // Every PLC local port must exist in the PIC; referenced virtual ports
+  // must exist in the static configuration.
+  for (const PlcEntry& entry : package.plc.entries) {
+    const bool in_pic =
+        std::any_of(package.pic.entries.begin(), package.pic.entries.end(),
+                    [&](const PicEntry& pic) { return pic.local_index == entry.local_port; });
+    if (!in_pic) {
+      return support::Incompatible("PLC references port P" +
+                                   std::to_string(entry.local_port) + " missing from PIC");
+    }
+    if (entry.kind == PlcKind::kVirtual || entry.kind == PlcKind::kVirtualRemote) {
+      if (FindVirtualPort(entry.virtual_port) == nullptr) {
+        return support::Incompatible("PLC references unknown virtual port V" +
+                                     std::to_string(entry.virtual_port));
+      }
+    }
+  }
+  return support::OkStatus();
+}
+
+support::Status Pirte::Uninstall(const std::string& plugin_name) {
+  auto it = plugins_.find(plugin_name);
+  if (it == plugins_.end()) return support::NotFound("plug-in: " + plugin_name);
+  // The paper's rule: stop before removal; on_stop gets one last chance
+  // synchronously (the record disappears right after).
+  if (it->second.instance->state() == PluginState::kRunning &&
+      it->second.instance->HasEntry("on_stop")) {
+    RunPluginEntry(*it->second.instance, "on_stop", 0);
+  }
+  plugins_.erase(it);
+  ++stats_.uninstalls;
+  Persist();
+  DACM_LOG_INFO("pirte") << config_.name << ": uninstalled " << plugin_name;
+  return support::OkStatus();
+}
+
+support::Status Pirte::Stop(const std::string& plugin_name) {
+  auto it = plugins_.find(plugin_name);
+  if (it == plugins_.end()) return support::NotFound("plug-in: " + plugin_name);
+  PluginInstance& plugin = *it->second.instance;
+  if (plugin.state() != PluginState::kRunning) {
+    return support::FailedPrecondition("plug-in not running: " + plugin_name);
+  }
+  if (plugin.HasEntry("on_stop")) RunPluginEntry(plugin, "on_stop", 0);
+  if (plugin.state() == PluginState::kRunning) plugin.SetState(PluginState::kStopped);
+  return support::OkStatus();
+}
+
+support::Status Pirte::Start(const std::string& plugin_name) {
+  auto it = plugins_.find(plugin_name);
+  if (it == plugins_.end()) return support::NotFound("plug-in: " + plugin_name);
+  PluginInstance& plugin = *it->second.instance;
+  if (plugin.state() == PluginState::kRunning) {
+    return support::FailedPrecondition("plug-in already running: " + plugin_name);
+  }
+  if (plugin.state() == PluginState::kFaulted) {
+    return support::FailedPrecondition("faulted plug-in needs reinstall: " + plugin_name);
+  }
+  plugin.SetState(PluginState::kRunning);
+  ArmStepAlarmIfNeeded();
+  return support::OkStatus();
+}
+
+// --- introspection -------------------------------------------------------------
+
+PluginInstance* Pirte::FindPlugin(const std::string& name) {
+  auto it = plugins_.find(name);
+  return it == plugins_.end() ? nullptr : it->second.instance.get();
+}
+
+const PluginInstance* Pirte::FindPlugin(const std::string& name) const {
+  auto it = plugins_.find(name);
+  return it == plugins_.end() ? nullptr : it->second.instance.get();
+}
+
+std::vector<std::string> Pirte::InstalledPluginNames() const {
+  std::vector<std::string> names;
+  names.reserve(plugins_.size());
+  for (const auto& [name, record] : plugins_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+support::Result<support::Bytes> Pirte::ReadPluginPortByUnique(std::uint8_t unique_id) {
+  for (auto& [name, record] : plugins_) {
+    auto port = record.instance->PortByUnique(unique_id);
+    if (port.ok()) {
+      if (!(*port)->has_value) {
+        return support::NotFound("no data on port uid " + std::to_string(unique_id));
+      }
+      return (*port)->last_value;
+    }
+  }
+  return support::NotFound("port uid " + std::to_string(unique_id));
+}
+
+support::Status Pirte::DeliverToPluginPortByUnique(std::uint8_t unique_id,
+                                                   std::span<const std::uint8_t> data) {
+  for (auto& [name, record] : plugins_) {
+    auto port = record.instance->PortByUnique(unique_id);
+    if (port.ok()) {
+      DeliverToPlugin(record, **port, data);
+      return support::OkStatus();
+    }
+  }
+  return support::NotFound("port uid " + std::to_string(unique_id));
+}
+
+// --- PluginHost ------------------------------------------------------------------
+
+support::Result<support::Bytes> Pirte::PluginReadPort(PluginInstance& plugin,
+                                                      std::uint8_t local_port) {
+  DACM_ASSIGN_OR_RETURN(PluginPort * port, plugin.PortByLocal(local_port));
+  port->fresh = false;
+  return port->last_value;
+}
+
+support::Status Pirte::PluginWritePort(PluginInstance& plugin, std::uint8_t local_port,
+                                       std::span<const std::uint8_t> data) {
+  auto record_it = plugins_.find(plugin.name());
+  if (record_it == plugins_.end()) {
+    return support::Internal("plug-in record missing: " + plugin.name());
+  }
+  PluginRecord& record = record_it->second;
+  DACM_ASSIGN_OR_RETURN(PluginPort * port, plugin.PortByLocal(local_port));
+  port->last_value.assign(data.begin(), data.end());
+  port->has_value = true;
+  ++stats_.messages_routed;
+
+  auto route_it = record.routes.find(local_port);
+  if (route_it == record.routes.end() ||
+      route_it->second.kind == PlcKind::kUnconnected) {
+    OnUnconnectedWrite(plugin, *port, data);
+    return support::OkStatus();
+  }
+  const Route& route = route_it->second;
+  switch (route.kind) {
+    case PlcKind::kVirtual: {
+      const VirtualPortConfig* vp = route.virtual_port;
+      if (vp == nullptr || !vp->swc_out.valid()) {
+        return support::FailedPrecondition("virtual port has no outgoing SW-C port");
+      }
+      if (vp->translate_out) {
+        auto translated = vp->translate_out(data);
+        if (!translated.ok()) {
+          // A kOutOfRange verdict is a *guarded drop* (paper §3.1.1 fault
+          // protection): the message dies here, diagnostics were notified
+          // by the guard, and the plug-in is not faulted for it.
+          if (translated.status().code() == support::ErrorCode::kOutOfRange) {
+            ++stats_.guard_drops;
+            return support::OkStatus();
+          }
+          return translated.status();
+        }
+        return rte_.Write(vp->swc_out, *translated);
+      }
+      return rte_.Write(vp->swc_out, data);
+    }
+    case PlcKind::kVirtualRemote: {
+      const VirtualPortConfig* vp = route.virtual_port;
+      if (vp == nullptr || !vp->swc_out.valid()) {
+        return support::FailedPrecondition("Type II virtual port has no SW-C port");
+      }
+      // Attach the recipient's unique port id (paper §3.1.3, Type II).
+      support::Bytes tagged;
+      tagged.reserve(data.size() + 1);
+      tagged.push_back(route.remote_port_id);
+      tagged.insert(tagged.end(), data.begin(), data.end());
+      return rte_.Write(vp->swc_out, tagged);
+    }
+    case PlcKind::kLocalPlugin: {
+      auto peer_it = plugins_.find(route.peer_plugin);
+      if (peer_it == plugins_.end()) {
+        return support::Unavailable("peer plug-in not installed: " + route.peer_plugin);
+      }
+      DACM_ASSIGN_OR_RETURN(PluginPort * peer_port,
+                            peer_it->second.instance->PortByLocal(route.peer_local_port));
+      DeliverToPlugin(peer_it->second, *peer_port, data);
+      return support::OkStatus();
+    }
+    case PlcKind::kUnconnected:
+      break;  // handled above
+  }
+  return support::OkStatus();
+}
+
+bool Pirte::PluginPortAvailable(PluginInstance& plugin, std::uint8_t local_port) {
+  auto port = plugin.PortByLocal(local_port);
+  return port.ok() && (*port)->fresh;
+}
+
+std::uint32_t Pirte::HostClockMs() {
+  return static_cast<std::uint32_t>(rte_.ecu_os().simulator().Now() / sim::kMillisecond);
+}
+
+// --- message handling ---------------------------------------------------------
+
+void Pirte::OnTypeIMessage(const PirteMessage& message) {
+  switch (message.type) {
+    case MessageType::kInstallPackage: {
+      auto package = InstallationPackage::Deserialize(message.payload);
+      if (!package.ok()) {
+        SendAck(message.plugin_name, false, package.status().ToString());
+        return;
+      }
+      auto status = Install(*package);
+      SendAck(package->plugin_name, status.ok(), status.ToString());
+      return;
+    }
+    case MessageType::kUninstall: {
+      auto status = Uninstall(message.plugin_name);
+      SendAck(message.plugin_name, status.ok(), status.ToString());
+      return;
+    }
+    case MessageType::kStop: {
+      auto status = Stop(message.plugin_name);
+      SendAck(message.plugin_name, status.ok(), status.ToString());
+      return;
+    }
+    case MessageType::kStart: {
+      auto status = Start(message.plugin_name);
+      SendAck(message.plugin_name, status.ok(), status.ToString());
+      return;
+    }
+    case MessageType::kExternalData: {
+      auto status = DeliverToPluginPortByUnique(message.dest_port, message.payload);
+      if (!status.ok()) {
+        DACM_LOG_WARN("pirte") << config_.name
+                               << ": external data undeliverable: " << status.ToString();
+      }
+      return;
+    }
+    case MessageType::kAck:
+      // Plug-in SW-Cs do not receive acks; the ECM override handles them.
+      DACM_LOG_WARN("pirte") << config_.name << ": unexpected ack";
+      return;
+  }
+}
+
+support::Status Pirte::SendTypeI(const PirteMessage& message) {
+  if (!config_.type1_out.valid()) {
+    return support::FailedPrecondition("no Type I output configured on " + config_.name);
+  }
+  return rte_.Write(config_.type1_out, message.Serialize());
+}
+
+void Pirte::SendAck(const std::string& plugin_name, bool ok, const std::string& detail) {
+  PirteMessage ack;
+  ack.type = MessageType::kAck;
+  ack.plugin_name = plugin_name;
+  ack.target_ecu = config_.ecu_id;
+  ack.ok = ok;
+  ack.detail = detail;
+  auto status = SendTypeI(ack);
+  if (!status.ok()) {
+    DACM_LOG_WARN("pirte") << config_.name << ": ack not sent: " << status.ToString();
+  }
+}
+
+void Pirte::OnUnconnectedWrite(PluginInstance& plugin, PluginPort& port,
+                               std::span<const std::uint8_t> data) {
+  // Base behaviour: the value stays in the port buffer where the PIRTE (or
+  // a test) can read it directly — the paper's "PIRTE1 will communicate
+  // with them directly".
+  (void)plugin;
+  (void)port;
+  (void)data;
+}
+
+const VirtualPortConfig* Pirte::FindVirtualPort(std::uint8_t id) const {
+  for (const VirtualPortConfig& vp : config_.virtual_ports) {
+    if (vp.id == id) return &vp;
+  }
+  return nullptr;
+}
+
+void Pirte::OnVirtualPortIn(const VirtualPortConfig& vp,
+                            std::span<const std::uint8_t> data) {
+  if (vp.kind == VirtualPortKind::kTypeII) {
+    // Strip the recipient unique port id and demultiplex.
+    if (data.empty()) return;
+    const std::uint8_t unique_id = data[0];
+    ++stats_.type2_rx;
+    auto status = DeliverToPluginPortByUnique(unique_id, data.subspan(1));
+    if (!status.ok()) {
+      DACM_LOG_WARN("pirte") << config_.name << ": Type II recipient missing (uid "
+                             << static_cast<int>(unique_id) << ")";
+    }
+    return;
+  }
+
+  // Type III: translate, then fan out to every plug-in port PLC-linked to
+  // this virtual port.
+  support::Bytes translated;
+  std::span<const std::uint8_t> payload = data;
+  if (vp.translate_in) {
+    auto result = vp.translate_in(data);
+    if (!result.ok()) {
+      DACM_LOG_WARN("pirte") << config_.name << ": translation failed on " << vp.name;
+      return;
+    }
+    translated = std::move(*result);
+    payload = translated;
+  }
+  ++stats_.type3_rx;
+  for (auto& [name, record] : plugins_) {
+    for (const PlcEntry& entry : record.plc.entries) {
+      if (entry.kind != PlcKind::kVirtual || entry.virtual_port != vp.id) continue;
+      auto port = record.instance->PortByLocal(entry.local_port);
+      if (!port.ok() || (*port)->direction != PluginPortDirection::kRequired) continue;
+      DeliverToPlugin(record, **port, payload);
+    }
+  }
+}
+
+void Pirte::DeliverToPlugin(PluginRecord& record, PluginPort& port,
+                            std::span<const std::uint8_t> data) {
+  port.last_value.assign(data.begin(), data.end());
+  port.has_value = true;
+  port.fresh = true;
+  if (record.instance->state() != PluginState::kRunning) return;
+  if (record.instance->HasEntry("on_data")) {
+    Enqueue(WorkItem{WorkItem::Kind::kOnData, record.instance->name(),
+                     port.local_index});
+  }
+}
+
+void Pirte::Enqueue(WorkItem item) {
+  work_queue_.push_back(std::move(item));
+  if (rte_.ecu_os().started()) {
+    (void)rte_.ecu_os().ActivateTask(vm_task_);
+  }
+}
+
+void Pirte::DrainWorkQueue() {
+  if (alive_hook_) alive_hook_();
+  // Drain a bounded batch per activation so one flood cannot monopolise
+  // even the VM task's own activations.
+  constexpr std::size_t kBatch = 32;
+  std::size_t processed = 0;
+  while (!work_queue_.empty() && processed < kBatch) {
+    WorkItem item = std::move(work_queue_.front());
+    work_queue_.pop_front();
+    ++processed;
+    auto it = plugins_.find(item.plugin);
+    if (it == plugins_.end()) continue;  // uninstalled while queued
+    PluginInstance& plugin = *it->second.instance;
+    switch (item.kind) {
+      case WorkItem::Kind::kOnInstall:
+        RunPluginEntry(plugin, "on_install", 0);
+        break;
+      case WorkItem::Kind::kOnData:
+        if (plugin.state() == PluginState::kRunning) {
+          RunPluginEntry(plugin, "on_data", item.local_port);
+        }
+        break;
+      case WorkItem::Kind::kStep:
+        if (plugin.state() == PluginState::kRunning) {
+          RunPluginEntry(plugin, "step", 0);
+        }
+        break;
+      case WorkItem::Kind::kOnStop:
+        RunPluginEntry(plugin, "on_stop", 0);
+        break;
+    }
+  }
+  if (!work_queue_.empty()) {
+    (void)rte_.ecu_os().ActivateTask(vm_task_);
+  }
+}
+
+void Pirte::RunPluginEntry(PluginInstance& plugin, const std::string& entry,
+                           std::uint8_t local_port) {
+  if (!plugin.HasEntry(entry)) return;
+  ++stats_.vm_activations;
+  // Convention: register 0 carries the triggering local port index.
+  plugin.vm().SetRegister(0, local_port);
+  auto result = plugin.vm().Run(entry);
+  if (!result.ok()) {
+    ReportFault(plugin, result.status().ToString());
+    return;
+  }
+  switch (result->outcome) {
+    case vm::ExecOutcome::kHalted:
+      if (dem_ != nullptr && fault_event_.valid()) {
+        (void)dem_->ReportEvent(fault_event_, bsw::DemEventStatus::kPassed);
+      }
+      break;
+    case vm::ExecOutcome::kFuelExhausted:
+      ++stats_.vm_fuel_exhaustions;
+      if (dem_ != nullptr && fuel_event_.valid()) {
+        (void)dem_->ReportEvent(fuel_event_, bsw::DemEventStatus::kFailed);
+      }
+      break;
+    case vm::ExecOutcome::kTrap:
+      ReportFault(plugin, "trap " + std::to_string(result->trap_code));
+      break;
+    case vm::ExecOutcome::kFault:
+      ReportFault(plugin, result->fault);
+      break;
+  }
+}
+
+void Pirte::ReportFault(PluginInstance& plugin, const std::string& what) {
+  ++stats_.vm_faults;
+  plugin.CountFault();
+  plugin.SetLastFault(what);
+  plugin.SetState(PluginState::kFaulted);
+  if (dem_ != nullptr && fault_event_.valid()) {
+    (void)dem_->ReportEvent(fault_event_, bsw::DemEventStatus::kFailed);
+  }
+  DACM_LOG_WARN("pirte") << config_.name << ": plug-in " << plugin.name()
+                         << " faulted: " << what;
+}
+
+// --- persistence ---------------------------------------------------------------
+
+void Pirte::Persist() {
+  if (nvm_ == nullptr || !config_.nv_block.valid()) return;
+  support::ByteWriter writer;
+  writer.WriteVarU32(static_cast<std::uint32_t>(plugins_.size()));
+  for (const auto& name : InstalledPluginNames()) {
+    writer.WriteBlob(plugins_.at(name).package_bytes);
+  }
+  auto status = nvm_->WriteBlock(config_.nv_block, writer.bytes());
+  if (!status.ok()) {
+    DACM_LOG_WARN("pirte") << config_.name << ": persist failed: " << status.ToString();
+  }
+}
+
+void Pirte::LoadPersisted() {
+  if (nvm_ == nullptr || !config_.nv_block.valid()) return;
+  auto block = nvm_->ReadBlock(config_.nv_block);
+  if (!block.ok()) return;  // never written or corrupted: start empty
+  support::ByteReader reader(*block);
+  auto count = reader.ReadVarU32();
+  if (!count.ok()) return;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto blob = reader.ReadBlob();
+    if (!blob.ok()) return;
+    auto package = InstallationPackage::Deserialize(*blob);
+    if (!package.ok()) continue;
+    auto status = InstallInternal(*package, /*persist=*/false, /*run_on_install=*/true);
+    if (!status.ok()) {
+      DACM_LOG_WARN("pirte") << config_.name
+                             << ": persisted plug-in reinstall failed: "
+                             << status.ToString();
+    }
+  }
+}
+
+}  // namespace dacm::pirte

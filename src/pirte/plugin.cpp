@@ -1,0 +1,51 @@
+#include "pirte/plugin.hpp"
+
+namespace dacm::pirte {
+
+std::string_view PluginStateName(PluginState state) {
+  switch (state) {
+    case PluginState::kInstalled: return "installed";
+    case PluginState::kRunning: return "running";
+    case PluginState::kStopped: return "stopped";
+    case PluginState::kFaulted: return "faulted";
+  }
+  return "?";
+}
+
+PluginInstance::PluginInstance(std::string name, std::string version,
+                               vm::Program program, const PortInitContext& pic,
+                               PluginHost& host, vm::VmLimits limits)
+    : name_(std::move(name)), version_(std::move(version)) {
+  for (const PicEntry& entry : pic.entries) {
+    PluginPort port;
+    port.local_index = entry.local_index;
+    port.name = entry.port_name;
+    port.unique_id = entry.unique_id;
+    port.direction = entry.direction;
+    ports_.push_back(std::move(port));
+  }
+  env_ = std::make_unique<Env>(host, *this);
+  vm_ = std::make_unique<vm::VmInstance>(std::move(program), *env_, limits);
+}
+
+bool PluginInstance::HasEntry(const std::string& entry) const {
+  return vm_->program().FindEntry(entry).ok();
+}
+
+support::Result<PluginPort*> PluginInstance::PortByLocal(std::uint8_t local_index) {
+  for (PluginPort& port : ports_) {
+    if (port.local_index == local_index) return &port;
+  }
+  return support::NotFound("plug-in port P" + std::to_string(local_index) + " on " +
+                           name_);
+}
+
+support::Result<PluginPort*> PluginInstance::PortByUnique(std::uint8_t unique_id) {
+  for (PluginPort& port : ports_) {
+    if (port.unique_id == unique_id) return &port;
+  }
+  return support::NotFound("plug-in port uid " + std::to_string(unique_id) + " on " +
+                           name_);
+}
+
+}  // namespace dacm::pirte

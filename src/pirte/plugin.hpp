@@ -1,0 +1,128 @@
+// Plug-in instances.
+//
+// A PluginInstance is one installed plug-in inside a plug-in SW-C: the PVM
+// program + persistent registers, the plug-in port table (built from the
+// PIC), and a lifecycle state machine:
+//
+//     kInstalled -> kRunning <-> kStopped      (start/stop)
+//     kRunning   -> kFaulted                   (VM fault / trap / fuel abuse)
+//
+// Updates follow the paper's pragmatic rule: a plug-in is stopped and
+// removed before its new version is installed fresh — no state transfer.
+//
+// Optional entry points the PIRTE invokes if present:
+//   on_install  — once, right after installation
+//   on_data     — per message; register 0 holds the receiving local port
+//   step        — periodic best-effort tick (PIRTE plug-in scheduler)
+//   on_stop     — before the plug-in is stopped/uninstalled
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pirte/context.hpp"
+#include "support/bytes.hpp"
+#include "support/status.hpp"
+#include "vm/interpreter.hpp"
+
+namespace dacm::pirte {
+
+class PluginInstance;
+
+/// Host services a plug-in's VM reaches through its PortEnv; implemented by
+/// the PIRTE.  All port references are plug-in-local indices.
+class PluginHost {
+ public:
+  virtual ~PluginHost() = default;
+  virtual support::Result<support::Bytes> PluginReadPort(PluginInstance& plugin,
+                                                         std::uint8_t local_port) = 0;
+  virtual support::Status PluginWritePort(PluginInstance& plugin,
+                                          std::uint8_t local_port,
+                                          std::span<const std::uint8_t> data) = 0;
+  virtual bool PluginPortAvailable(PluginInstance& plugin, std::uint8_t local_port) = 0;
+  virtual std::uint32_t HostClockMs() = 0;
+};
+
+enum class PluginState : std::uint8_t { kInstalled, kRunning, kStopped, kFaulted };
+
+std::string_view PluginStateName(PluginState state);
+
+/// One plug-in port with its receive buffer.
+struct PluginPort {
+  std::uint8_t local_index = 0;
+  std::string name;
+  std::uint8_t unique_id = 0;  // SW-C-scope unique (assigned by the server)
+  PluginPortDirection direction = PluginPortDirection::kRequired;
+  support::Bytes last_value;
+  bool has_value = false;
+  bool fresh = false;
+};
+
+class PluginInstance {
+ public:
+  /// Builds the instance from a verified program and its PIC.  `host` must
+  /// outlive the instance.
+  PluginInstance(std::string name, std::string version, vm::Program program,
+                 const PortInitContext& pic, PluginHost& host,
+                 vm::VmLimits limits = {});
+
+  PluginInstance(const PluginInstance&) = delete;
+  PluginInstance& operator=(const PluginInstance&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::string& version() const { return version_; }
+  PluginState state() const { return state_; }
+  void SetState(PluginState state) { state_ = state; }
+
+  vm::VmInstance& vm() { return *vm_; }
+  const vm::VmInstance& vm() const { return *vm_; }
+
+  /// True if the program exports `entry`.
+  bool HasEntry(const std::string& entry) const;
+
+  /// Port table lookups.
+  support::Result<PluginPort*> PortByLocal(std::uint8_t local_index);
+  support::Result<PluginPort*> PortByUnique(std::uint8_t unique_id);
+  const std::vector<PluginPort>& ports() const { return ports_; }
+  std::vector<PluginPort>& ports() { return ports_; }
+
+  /// Diagnostics.
+  std::uint64_t faults() const { return faults_; }
+  void CountFault() { ++faults_; }
+  const std::string& last_fault() const { return last_fault_; }
+  void SetLastFault(std::string fault) { last_fault_ = std::move(fault); }
+
+ private:
+  // vm::PortEnv adapter translating VM port syscalls to host calls.
+  class Env final : public vm::PortEnv {
+   public:
+    Env(PluginHost& host, PluginInstance& plugin) : host_(host), plugin_(plugin) {}
+    support::Result<support::Bytes> ReadPort(std::uint8_t port) override {
+      return host_.PluginReadPort(plugin_, port);
+    }
+    support::Status WritePort(std::uint8_t port,
+                              std::span<const std::uint8_t> data) override {
+      return host_.PluginWritePort(plugin_, port, data);
+    }
+    bool PortAvailable(std::uint8_t port) override {
+      return host_.PluginPortAvailable(plugin_, port);
+    }
+    std::uint32_t ClockMs() override { return host_.HostClockMs(); }
+
+   private:
+    PluginHost& host_;
+    PluginInstance& plugin_;
+  };
+
+  std::string name_;
+  std::string version_;
+  PluginState state_ = PluginState::kInstalled;
+  std::vector<PluginPort> ports_;
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<vm::VmInstance> vm_;
+  std::uint64_t faults_ = 0;
+  std::string last_fault_;
+};
+
+}  // namespace dacm::pirte

@@ -1,0 +1,39 @@
+#include "pirte/protocol.hpp"
+
+namespace dacm::pirte {
+
+support::Bytes Envelope::Serialize() const {
+  support::ByteWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(kind));
+  writer.WriteString(vin);
+  writer.WriteBlob(message);
+  return writer.Take();
+}
+
+support::Result<Envelope> Envelope::Deserialize(std::span<const std::uint8_t> data) {
+  support::ByteReader reader(data);
+  Envelope envelope;
+  DACM_ASSIGN_OR_RETURN(std::uint8_t kind, reader.ReadU8());
+  if (kind > 1) return support::Corrupted("bad envelope kind");
+  envelope.kind = static_cast<Kind>(kind);
+  DACM_ASSIGN_OR_RETURN(envelope.vin, reader.ReadString());
+  DACM_ASSIGN_OR_RETURN(envelope.message, reader.ReadBlob());
+  return envelope;
+}
+
+support::Bytes FesFrame::Serialize() const {
+  support::ByteWriter writer;
+  writer.WriteString(message_id);
+  writer.WriteBlob(payload);
+  return writer.Take();
+}
+
+support::Result<FesFrame> FesFrame::Deserialize(std::span<const std::uint8_t> data) {
+  support::ByteReader reader(data);
+  FesFrame frame;
+  DACM_ASSIGN_OR_RETURN(frame.message_id, reader.ReadString());
+  DACM_ASSIGN_OR_RETURN(frame.payload, reader.ReadBlob());
+  return frame;
+}
+
+}  // namespace dacm::pirte

@@ -1,0 +1,37 @@
+// Wire protocol between the trusted server, the ECM, and external devices.
+//
+//  * Envelope — server <-> ECM framing: a Hello (VIN announcement, sent by
+//    the ECM right after the socket connect) or an embedded PirteMessage
+//    (installation package / lifecycle command / ack).
+//  * FesFrame — external device <-> ECM framing for federated-embedded-
+//    system traffic: a message id (matched against ECC entries, e.g.
+//    "Wheels" / "Speed") plus an opaque payload.
+#pragma once
+
+#include <string>
+
+#include "support/bytes.hpp"
+#include "support/status.hpp"
+
+namespace dacm::pirte {
+
+struct Envelope {
+  enum class Kind : std::uint8_t { kHello = 0, kPirteMessage = 1 };
+
+  Kind kind = Kind::kHello;
+  std::string vin;          // kHello
+  support::Bytes message;   // kPirteMessage: serialized PirteMessage
+
+  support::Bytes Serialize() const;
+  static support::Result<Envelope> Deserialize(std::span<const std::uint8_t> data);
+};
+
+struct FesFrame {
+  std::string message_id;  // e.g. "Wheels"
+  support::Bytes payload;
+
+  support::Bytes Serialize() const;
+  static support::Result<FesFrame> Deserialize(std::span<const std::uint8_t> data);
+};
+
+}  // namespace dacm::pirte

@@ -1,0 +1,48 @@
+// Virtual ports (paper §3.1.2, §3.1.3).
+//
+// Virtual ports are the static API the OEM exposes to plug-ins: each one
+// maps a PIRTE-level endpoint onto SW-C ports, with an optional format
+// translation in each direction ("the plug-in and SW-C ports can have
+// completely different formats, as long as the PIRTE is able to translate
+// between these formats in its virtual ports").
+//
+// The kind decides the PIRTE's handling:
+//  * Type II — a bidirectional channel to a peer plug-in SW-C; outgoing
+//    data gets the recipient's unique port id attached, incoming data has
+//    it stripped and demultiplexed (any number of plug-in connections over
+//    one static SW-C port pair);
+//  * Type III — a unidirectional mapping to built-in software; payloads
+//    pass translated but otherwise unchanged.
+// (Type I channels are configured separately on the PIRTE/ECM because the
+// PIRTE itself, not a plug-in, terminates them.)
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "rte/rte.hpp"
+#include "support/bytes.hpp"
+#include "support/status.hpp"
+
+namespace dacm::pirte {
+
+enum class VirtualPortKind : std::uint8_t { kTypeII = 2, kTypeIII = 3 };
+
+/// Optional payload translation (plug-in format <-> SW-C format).
+using Translator =
+    std::function<support::Result<support::Bytes>(std::span<const std::uint8_t>)>;
+
+struct VirtualPortConfig {
+  std::uint8_t id = 0;  // vehicle-scope V# (assigned by the OEM)
+  std::string name;     // e.g. "WheelsReq"
+  VirtualPortKind kind = VirtualPortKind::kTypeIII;
+  /// SW-C port for plug-in -> system flow (invalid if none).
+  rte::PortId swc_out = rte::PortId::Invalid();
+  /// SW-C port for system -> plug-in flow (invalid if none).
+  rte::PortId swc_in = rte::PortId::Invalid();
+  /// Translation applied on the way out / in (identity if empty).
+  Translator translate_out;
+  Translator translate_in;
+};
+
+}  // namespace dacm::pirte

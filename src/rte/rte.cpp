@@ -1,0 +1,273 @@
+#include "rte/rte.hpp"
+
+#include "support/log.hpp"
+
+namespace dacm::rte {
+
+Rte::Rte(os::Os& ecu_os, bsw::CanIf& can_if, bsw::Com& com)
+    : os_(ecu_os), can_if_(can_if), com_(com) {}
+
+support::Result<SwcId> Rte::AddSwc(std::string name) {
+  if (finalized_) return support::FailedPrecondition("AddSwc after Finalize");
+  for (const Swc& s : swcs_) {
+    if (s.name == name) return support::AlreadyExists("SW-C: " + name);
+  }
+  swcs_.push_back(Swc{std::move(name), {}});
+  return SwcId(static_cast<std::uint32_t>(swcs_.size() - 1));
+}
+
+support::Result<PortId> Rte::AddPort(SwcId swc, PortConfig config) {
+  if (finalized_) return support::FailedPrecondition("AddPort after Finalize");
+  if (swc.value() >= swcs_.size()) return support::NotFound("unknown SW-C");
+  for (PortId pid : swcs_[swc.value()].ports) {
+    if (ports_[pid.value()].config.name == config.name) {
+      return support::AlreadyExists("port " + config.name + " on SW-C " +
+                                    swcs_[swc.value()].name);
+    }
+  }
+  Port port;
+  port.swc = swc;
+  port.config = std::move(config);
+  port.cs_server = PortId::Invalid();
+  ports_.push_back(std::move(port));
+  const PortId id(static_cast<std::uint32_t>(ports_.size() - 1));
+  swcs_[swc.value()].ports.push_back(id);
+  return id;
+}
+
+support::Result<RunnableId> Rte::AddRunnable(SwcId swc, RunnableConfig config) {
+  if (finalized_) return support::FailedPrecondition("AddRunnable after Finalize");
+  if (swc.value() >= swcs_.size()) return support::NotFound("unknown SW-C");
+  if (!config.body) return support::InvalidArgument("runnable body missing");
+  Runnable r;
+  r.swc = swc;
+  r.config = std::move(config);
+  runnables_.push_back(std::move(r));
+  return RunnableId(static_cast<std::uint32_t>(runnables_.size() - 1));
+}
+
+support::Status Rte::TriggerOnDataReceived(RunnableId runnable, PortId required_port) {
+  if (finalized_) return support::FailedPrecondition("trigger config after Finalize");
+  if (runnable.value() >= runnables_.size()) return support::NotFound("unknown runnable");
+  DACM_RETURN_IF_ERROR(
+      CheckPort(required_port, PortDirection::kRequired, PortStyle::kSenderReceiver));
+  ports_[required_port.value()].data_received_runnables.push_back(runnable);
+  return support::OkStatus();
+}
+
+support::Status Rte::ConnectLocal(PortId provided, PortId required) {
+  if (finalized_) return support::FailedPrecondition("connector config after Finalize");
+  DACM_RETURN_IF_ERROR(
+      CheckPort(provided, PortDirection::kProvided, PortStyle::kSenderReceiver));
+  DACM_RETURN_IF_ERROR(
+      CheckPort(required, PortDirection::kRequired, PortStyle::kSenderReceiver));
+  if (ports_[provided.value()].config.max_len > ports_[required.value()].config.max_len) {
+    return support::Incompatible("connector would truncate: " +
+                                 ports_[provided.value()].config.name + " -> " +
+                                 ports_[required.value()].config.name);
+  }
+  ports_[provided.value()].local_receivers.push_back(required);
+  return support::OkStatus();
+}
+
+support::Status Rte::ConnectClientServer(PortId required, PortId provided) {
+  if (finalized_) return support::FailedPrecondition("connector config after Finalize");
+  DACM_RETURN_IF_ERROR(
+      CheckPort(required, PortDirection::kRequired, PortStyle::kClientServer));
+  DACM_RETURN_IF_ERROR(
+      CheckPort(provided, PortDirection::kProvided, PortStyle::kClientServer));
+  Port& client = ports_[required.value()];
+  if (client.cs_server.valid()) {
+    return support::AlreadyExists("C/S port already connected: " + client.config.name);
+  }
+  client.cs_server = provided;
+  return support::OkStatus();
+}
+
+support::Status Rte::BindRemoteTxSignal(PortId provided, bsw::SignalId signal) {
+  if (finalized_) return support::FailedPrecondition("binding config after Finalize");
+  DACM_RETURN_IF_ERROR(
+      CheckPort(provided, PortDirection::kProvided, PortStyle::kSenderReceiver));
+  ports_[provided.value()].remote_tx_signals.push_back(signal);
+  return support::OkStatus();
+}
+
+support::Status Rte::BindRemoteRxSignal(PortId required, bsw::SignalId signal) {
+  if (finalized_) return support::FailedPrecondition("binding config after Finalize");
+  DACM_RETURN_IF_ERROR(
+      CheckPort(required, PortDirection::kRequired, PortStyle::kSenderReceiver));
+  return com_.SetRxNotification(
+      signal, [this, required](std::span<const std::uint8_t> data) {
+        Deliver(required, data);
+      });
+}
+
+bsw::CanTp& Rte::CreateTpChannel(std::uint32_t tx_id, std::uint32_t rx_id,
+                                 std::size_t max_message) {
+  tp_channels_.push_back(
+      std::make_unique<bsw::CanTp>(can_if_, tx_id, rx_id, max_message));
+  return *tp_channels_.back();
+}
+
+support::Status Rte::BindRemoteTxTp(PortId provided, bsw::CanTp& channel) {
+  if (finalized_) return support::FailedPrecondition("binding config after Finalize");
+  DACM_RETURN_IF_ERROR(
+      CheckPort(provided, PortDirection::kProvided, PortStyle::kSenderReceiver));
+  ports_[provided.value()].remote_tx_tps.push_back(&channel);
+  return support::OkStatus();
+}
+
+support::Status Rte::BindRemoteRxTp(PortId required, bsw::CanTp& channel) {
+  if (finalized_) return support::FailedPrecondition("binding config after Finalize");
+  DACM_RETURN_IF_ERROR(
+      CheckPort(required, PortDirection::kRequired, PortStyle::kSenderReceiver));
+  channel.SetMessageHandler([this, required](const support::Bytes& message) {
+    Deliver(required, message);
+  });
+  return support::OkStatus();
+}
+
+support::Status Rte::Finalize() {
+  if (finalized_) return support::FailedPrecondition("Finalize called twice");
+  // Create one OS task per runnable and arm timing events.
+  for (Runnable& r : runnables_) {
+    os::TaskConfig task_config;
+    task_config.name = "rte." + swcs_[r.swc.value()].name + "." + r.config.name;
+    task_config.kind = os::TaskKind::kBasic;
+    task_config.priority = r.config.priority;
+    task_config.max_activations = r.config.max_activations;
+    task_config.execution_time = r.config.execution_time;
+    task_config.body = [body = r.config.body](os::EventMask) { body(); };
+    DACM_ASSIGN_OR_RETURN(r.task, os_.CreateTask(std::move(task_config)));
+    if (r.config.period > 0) {
+      DACM_ASSIGN_OR_RETURN(
+          auto alarm, os_.CreateTaskAlarm("alarm." + r.config.name, r.task,
+                                          r.config.period, r.config.period));
+      (void)alarm;
+    }
+  }
+  finalized_ = true;
+  return support::OkStatus();
+}
+
+support::Status Rte::Write(PortId provided, std::span<const std::uint8_t> data) {
+  if (!finalized_) return support::FailedPrecondition("Write before Finalize");
+  DACM_RETURN_IF_ERROR(
+      CheckPort(provided, PortDirection::kProvided, PortStyle::kSenderReceiver));
+  Port& port = ports_[provided.value()];
+  if (data.size() > port.config.max_len) {
+    return support::CapacityExceeded("payload exceeds port max_len on " +
+                                     port.config.name);
+  }
+  ++writes_;
+  for (PortId receiver : port.local_receivers) {
+    Deliver(receiver, data);
+  }
+  for (bsw::SignalId signal : port.remote_tx_signals) {
+    DACM_RETURN_IF_ERROR(com_.SendSignal(signal, data));
+  }
+  for (bsw::CanTp* tp : port.remote_tx_tps) {
+    DACM_RETURN_IF_ERROR(tp->Send(data));
+  }
+  return support::OkStatus();
+}
+
+support::Result<support::Bytes> Rte::Read(PortId required) const {
+  DACM_RETURN_IF_ERROR(
+      CheckPort(required, PortDirection::kRequired, PortStyle::kSenderReceiver));
+  const Port& port = ports_[required.value()];
+  if (!port.has_value) return support::NotFound("no data on " + port.config.name);
+  return port.last_value;
+}
+
+bool Rte::HasFreshData(PortId required) const {
+  if (required.value() >= ports_.size()) return false;
+  return ports_[required.value()].fresh;
+}
+
+support::Result<support::Bytes> Rte::ReadClearing(PortId required) {
+  DACM_ASSIGN_OR_RETURN(auto value, Read(required));
+  ports_[required.value()].fresh = false;
+  return value;
+}
+
+support::Status Rte::RegisterServerHandler(PortId provided, ServerHandler handler) {
+  DACM_RETURN_IF_ERROR(
+      CheckPort(provided, PortDirection::kProvided, PortStyle::kClientServer));
+  if (!handler) return support::InvalidArgument("null server handler");
+  ports_[provided.value()].server_handler = std::move(handler);
+  return support::OkStatus();
+}
+
+support::Result<support::Bytes> Rte::Call(PortId required,
+                                          std::span<const std::uint8_t> request) {
+  DACM_RETURN_IF_ERROR(
+      CheckPort(required, PortDirection::kRequired, PortStyle::kClientServer));
+  const Port& port = ports_[required.value()];
+  if (!port.cs_server.valid()) {
+    return support::FailedPrecondition("C/S port not connected: " + port.config.name);
+  }
+  const Port& server = ports_[port.cs_server.value()];
+  if (!server.server_handler) {
+    return support::Unavailable("no server handler behind " + server.config.name);
+  }
+  return server.server_handler(request);
+}
+
+support::Status Rte::SetPortListener(PortId required, PortListener listener) {
+  DACM_RETURN_IF_ERROR(
+      CheckPort(required, PortDirection::kRequired, PortStyle::kSenderReceiver));
+  ports_[required.value()].listener = std::move(listener);
+  return support::OkStatus();
+}
+
+support::Result<PortId> Rte::FindPort(SwcId swc, const std::string& name) const {
+  if (swc.value() >= swcs_.size()) return support::NotFound("unknown SW-C");
+  for (PortId pid : swcs_[swc.value()].ports) {
+    if (ports_[pid.value()].config.name == name) return pid;
+  }
+  return support::NotFound("port " + name + " on " + swcs_[swc.value()].name);
+}
+
+support::Result<SwcId> Rte::FindSwc(const std::string& name) const {
+  for (std::size_t i = 0; i < swcs_.size(); ++i) {
+    if (swcs_[i].name == name) return SwcId(static_cast<std::uint32_t>(i));
+  }
+  return support::NotFound("SW-C: " + name);
+}
+
+const std::string& Rte::PortName(PortId port) const {
+  static const std::string kUnknown = "<unknown>";
+  if (port.value() >= ports_.size()) return kUnknown;
+  return ports_[port.value()].config.name;
+}
+
+support::Status Rte::CheckPort(PortId id, PortDirection dir, PortStyle style) const {
+  if (id.value() >= ports_.size()) return support::NotFound("unknown port");
+  const Port& port = ports_[id.value()];
+  if (port.config.direction != dir) {
+    return support::InvalidArgument("port direction mismatch on " + port.config.name);
+  }
+  if (port.config.style != style) {
+    return support::InvalidArgument("port style mismatch on " + port.config.name);
+  }
+  return support::OkStatus();
+}
+
+void Rte::Deliver(PortId required, std::span<const std::uint8_t> data) {
+  Port& port = ports_[required.value()];
+  if (data.size() > port.config.max_len) {
+    DACM_LOG_WARN("rte") << "dropping oversize delivery on " << port.config.name;
+    return;
+  }
+  port.last_value.assign(data.begin(), data.end());
+  port.has_value = true;
+  port.fresh = true;
+  ++deliveries_;
+  if (port.listener) port.listener(data);
+  for (RunnableId rid : port.data_received_runnables) {
+    (void)os_.ActivateTask(runnables_[rid.value()].task);
+  }
+}
+
+}  // namespace dacm::rte

@@ -1,0 +1,212 @@
+// Runtime environment (RTE) — the realisation of the Virtual Function Bus.
+//
+// One Rte instance serves one ECU.  Configuration is design-time-static,
+// exactly like generated AUTOSAR RTE code: software components, their
+// ports, runnables and connectors are declared before Finalize(); after
+// that the structure is frozen and only data flows.
+//
+// Communication model:
+//  * sender-receiver ports with last-is-best semantics
+//    (Rte::Write / Rte::Read), 1:N fan-out per provided port;
+//  * client-server ports with synchronous intra-ECU calls
+//    (Rte::Call / RegisterServerHandler);
+//  * local connectors: direct buffer hand-off, firing data-received
+//    triggers and port listeners;
+//  * remote connectors: bound to COM signals (small fixed-size payloads in
+//    one CAN frame) or to CanTp channels (variable-size payloads, used by
+//    the PIRTE's multiplexed Type I/II ports), so an SW-C never observes
+//    whether its peer is local — the VFB promise.
+//
+// Runnables map 1:1 onto OS basic tasks; triggers are timing events
+// (periodic alarms) and data-received events (task activation when a
+// required port gets data).  Middleware (the PIRTE) additionally uses port
+// listeners, which fire synchronously on arrival in the same dispatch.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bsw/can_tp.hpp"
+#include "bsw/com.hpp"
+#include "os/os.hpp"
+#include "support/bytes.hpp"
+#include "support/ids.hpp"
+#include "support/status.hpp"
+
+namespace dacm::rte {
+
+struct SwcTag {};
+struct PortTag {};
+struct RunnableTag {};
+using SwcId = support::StrongId<SwcTag>;
+using PortId = support::StrongId<PortTag>;
+using RunnableId = support::StrongId<RunnableTag>;
+
+enum class PortDirection { kProvided, kRequired };
+enum class PortStyle { kSenderReceiver, kClientServer };
+
+/// Static description of one SW-C port.
+struct PortConfig {
+  std::string name;
+  PortDirection direction = PortDirection::kProvided;
+  PortStyle style = PortStyle::kSenderReceiver;
+  /// Upper bound on payload size through this port.
+  std::size_t max_len = 8;
+};
+
+/// Static description of one runnable entity.
+struct RunnableConfig {
+  std::string name;
+  std::uint8_t priority = 1;
+  sim::SimTime execution_time = 10 * sim::kMicrosecond;
+  std::uint8_t max_activations = 8;
+  /// Periodic timing event; 0 = no timing trigger.
+  sim::SimTime period = 0;
+  std::function<void()> body;
+};
+
+class Rte {
+ public:
+  /// The RTE sits on the ECU's OS and BSW communication stack.
+  Rte(os::Os& ecu_os, bsw::CanIf& can_if, bsw::Com& com);
+
+  Rte(const Rte&) = delete;
+  Rte& operator=(const Rte&) = delete;
+
+  // --- static configuration (before Finalize) -------------------------------
+
+  /// Declares a software component.
+  support::Result<SwcId> AddSwc(std::string name);
+
+  /// Declares a port on `swc`.
+  support::Result<PortId> AddPort(SwcId swc, PortConfig config);
+
+  /// Declares a runnable on `swc`; a dedicated OS task is created for it at
+  /// Finalize().
+  support::Result<RunnableId> AddRunnable(SwcId swc, RunnableConfig config);
+
+  /// Data-received event: activates `runnable` whenever `required_port`
+  /// receives data.
+  support::Status TriggerOnDataReceived(RunnableId runnable, PortId required_port);
+
+  /// Local connector: provided sender-receiver port -> required port on the
+  /// same ECU.  1:N allowed (connect repeatedly).
+  support::Status ConnectLocal(PortId provided, PortId required);
+
+  /// Local client-server connector: required C/S port -> provided C/S port
+  /// on the same ECU (synchronous operation invocation).
+  support::Status ConnectClientServer(PortId required, PortId provided);
+
+  /// Binds a provided port's writes to a COM TX signal (cross-ECU, small).
+  support::Status BindRemoteTxSignal(PortId provided, bsw::SignalId signal);
+
+  /// Routes a COM RX signal into a required port (cross-ECU, small).
+  support::Status BindRemoteRxSignal(PortId required, bsw::SignalId signal);
+
+  /// Creates a CanTp channel owned by this RTE (for variable-size routes).
+  bsw::CanTp& CreateTpChannel(std::uint32_t tx_id, std::uint32_t rx_id,
+                              std::size_t max_message = 1 << 20);
+
+  /// Binds a provided port's writes to a CanTp channel (cross-ECU, large).
+  support::Status BindRemoteTxTp(PortId provided, bsw::CanTp& channel);
+
+  /// Routes a CanTp channel's reassembled messages into a required port.
+  support::Status BindRemoteRxTp(PortId required, bsw::CanTp& channel);
+
+  /// Freezes the configuration: creates OS tasks and timing alarms,
+  /// validates connector compatibility.
+  support::Status Finalize();
+
+  // --- runtime: sender-receiver ---------------------------------------------
+
+  /// Writes through a provided S/R port; fans out to every connected local
+  /// required port and remote binding.
+  support::Status Write(PortId provided, std::span<const std::uint8_t> data);
+
+  /// Reads the last value received on a required S/R port.  kNotFound until
+  /// the first arrival.
+  support::Result<support::Bytes> Read(PortId required) const;
+
+  /// True if data arrived on the port since the last ReadClearing call.
+  bool HasFreshData(PortId required) const;
+  support::Result<support::Bytes> ReadClearing(PortId required);
+
+  // --- runtime: client-server -----------------------------------------------
+
+  using ServerHandler =
+      std::function<support::Result<support::Bytes>(std::span<const std::uint8_t>)>;
+
+  /// Registers the server operation behind a provided C/S port.
+  support::Status RegisterServerHandler(PortId provided, ServerHandler handler);
+
+  /// Synchronous call through a required C/S port (intra-ECU).
+  support::Result<support::Bytes> Call(PortId required,
+                                       std::span<const std::uint8_t> request);
+
+  // --- middleware hooks -------------------------------------------------------
+
+  using PortListener = std::function<void(std::span<const std::uint8_t>)>;
+
+  /// Synchronous delivery callback on a required port (used by the PIRTE;
+  /// fires before data-received task activations).
+  support::Status SetPortListener(PortId required, PortListener listener);
+
+  // --- introspection ----------------------------------------------------------
+
+  support::Result<PortId> FindPort(SwcId swc, const std::string& name) const;
+  support::Result<SwcId> FindSwc(const std::string& name) const;
+  const std::string& PortName(PortId port) const;
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+  os::Os& ecu_os() { return os_; }
+  bool finalized() const { return finalized_; }
+
+ private:
+  struct Port {
+    SwcId swc;
+    PortConfig config;
+    // S/R receive state (required ports).
+    support::Bytes last_value;
+    bool has_value = false;
+    bool fresh = false;
+    // Connections (provided ports).
+    std::vector<PortId> local_receivers;
+    std::vector<bsw::SignalId> remote_tx_signals;
+    std::vector<bsw::CanTp*> remote_tx_tps;
+    // Triggers and hooks (required ports).
+    std::vector<RunnableId> data_received_runnables;
+    PortListener listener;
+    // C/S.
+    ServerHandler server_handler;
+    PortId cs_server;  // resolved server port for a required C/S port
+  };
+
+  struct Swc {
+    std::string name;
+    std::vector<PortId> ports;
+  };
+
+  struct Runnable {
+    SwcId swc;
+    RunnableConfig config;
+    os::TaskId task;
+  };
+
+  support::Status CheckPort(PortId id, PortDirection dir, PortStyle style) const;
+  void Deliver(PortId required, std::span<const std::uint8_t> data);
+
+  os::Os& os_;
+  bsw::CanIf& can_if_;
+  bsw::Com& com_;
+  bool finalized_ = false;
+  std::vector<Swc> swcs_;
+  std::vector<Port> ports_;
+  std::vector<Runnable> runnables_;
+  std::vector<std::unique_ptr<bsw::CanTp>> tp_channels_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace dacm::rte

@@ -1,0 +1,40 @@
+#include "rte/system.hpp"
+
+namespace dacm::rte {
+
+support::Status ConnectRemoteSenderReceiver(Rte& tx_rte, bsw::Com& tx_com,
+                                            PortId provided, Rte& rx_rte,
+                                            bsw::Com& rx_com, PortId required,
+                                            const std::string& route_name,
+                                            std::uint32_t can_id, std::uint8_t length) {
+  DACM_ASSIGN_OR_RETURN(
+      auto tx_pdu,
+      tx_com.DefinePdu("pdu.tx." + route_name, can_id, length, bsw::PduDirection::kTx));
+  DACM_ASSIGN_OR_RETURN(auto tx_signal,
+                        tx_com.DefineSignal("sig.tx." + route_name, tx_pdu, 0, length));
+  DACM_ASSIGN_OR_RETURN(
+      auto rx_pdu,
+      rx_com.DefinePdu("pdu.rx." + route_name, can_id, length, bsw::PduDirection::kRx));
+  DACM_ASSIGN_OR_RETURN(auto rx_signal,
+                        rx_com.DefineSignal("sig.rx." + route_name, rx_pdu, 0, length));
+  DACM_RETURN_IF_ERROR(tx_rte.BindRemoteTxSignal(provided, tx_signal));
+  DACM_RETURN_IF_ERROR(rx_rte.BindRemoteRxSignal(required, rx_signal));
+  return support::OkStatus();
+}
+
+support::Status ConnectRemoteTp(Rte& tx_rte, PortId provided, Rte& rx_rte,
+                                PortId required, std::uint32_t can_id_fwd,
+                                std::size_t max_message) {
+  // The TX side channel transmits on can_id_fwd; the RX side channel
+  // reassembles from it.  The unused opposite identifiers are distinct
+  // values that never appear on the bus.
+  bsw::CanTp& tx_channel =
+      tx_rte.CreateTpChannel(can_id_fwd, can_id_fwd | 0x400, max_message);
+  bsw::CanTp& rx_channel =
+      rx_rte.CreateTpChannel(can_id_fwd | 0x400, can_id_fwd, max_message);
+  DACM_RETURN_IF_ERROR(tx_rte.BindRemoteTxTp(provided, tx_channel));
+  DACM_RETURN_IF_ERROR(rx_rte.BindRemoteRxTp(required, rx_channel));
+  return support::OkStatus();
+}
+
+}  // namespace dacm::rte

@@ -1,0 +1,45 @@
+// System integration helpers (the "system description" role).
+//
+// In AUTOSAR methodology, a system description maps VFB connectors that
+// cross ECU boundaries onto bus messages.  These helpers perform that
+// mapping for the simulated system: given two Rte instances on the same
+// CAN bus, they allocate COM PDUs/signals (small fixed payloads) or CanTp
+// channel pairs (variable payloads) and bind both sides, so neither SW-C
+// can tell the connection is remote.
+#pragma once
+
+#include <string>
+
+#include "rte/rte.hpp"
+
+namespace dacm::rte {
+
+/// Wires a small fixed-size sender-receiver connector across ECUs through
+/// COM.  `can_id` must be unique on the bus; `length` is the exact payload
+/// size carried (1..8 bytes).
+support::Status ConnectRemoteSenderReceiver(Rte& tx_rte, bsw::Com& tx_com,
+                                            PortId provided, Rte& rx_rte,
+                                            bsw::Com& rx_com, PortId required,
+                                            const std::string& route_name,
+                                            std::uint32_t can_id, std::uint8_t length);
+
+/// Wires a variable-size sender-receiver connector across ECUs through a
+/// CanTp channel pair.  `can_id_fwd` carries the traffic; an id is consumed
+/// on the bus.  Payloads up to `max_message` bytes.
+support::Status ConnectRemoteTp(Rte& tx_rte, PortId provided, Rte& rx_rte,
+                                PortId required, std::uint32_t can_id_fwd,
+                                std::size_t max_message = 1 << 20);
+
+/// Allocates unique CAN identifiers for system integration, low ids first
+/// (highest bus priority) so allocation order expresses priority.
+class CanIdAllocator {
+ public:
+  explicit CanIdAllocator(std::uint32_t first = 0x100) : next_(first) {}
+
+  std::uint32_t Allocate() { return next_++; }
+
+ private:
+  std::uint32_t next_;
+};
+
+}  // namespace dacm::rte

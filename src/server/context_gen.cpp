@@ -1,0 +1,198 @@
+#include "server/context_gen.hpp"
+
+#include <algorithm>
+
+namespace dacm::server {
+
+namespace {
+
+/// Lowest free unique id on `ecu`, claiming it in `used`.
+support::Result<std::uint8_t> AllocateUniqueId(UsedIdMap& used, std::uint32_t ecu) {
+  auto& taken = used[ecu];
+  for (int candidate = 0; candidate < 256; ++candidate) {
+    const auto id = static_cast<std::uint8_t>(candidate);
+    if (!taken.contains(id)) {
+      taken.insert(id);
+      return id;
+    }
+  }
+  return support::ResourceExhausted("no free port ids on ECU " + std::to_string(ecu));
+}
+
+}  // namespace
+
+UsedIdMap CollectUsedIds(const Vehicle& vehicle) {
+  UsedIdMap used;
+  for (const InstalledApp& app : vehicle.installed) {
+    for (const InstalledApp::PluginRecord& plugin : app.plugins) {
+      for (const pirte::PicEntry& entry : plugin.pic.entries) {
+        used[plugin.ecu_id].insert(entry.unique_id);
+      }
+    }
+  }
+  return used;
+}
+
+support::Result<std::vector<GeneratedPackage>> GeneratePackages(
+    const App& app, const SwConf& conf, const SystemSwConf& system_sw,
+    UsedIdMap& used_ids) {
+  // Pass 1 — PIC: assign SW-C-scope unique ids to every plug-in port,
+  // "using the knowledge about the already installed plug-ins".
+  struct PluginCtx {
+    const PluginDecl* decl = nullptr;
+    std::uint32_t ecu = 0;
+    pirte::PortInitContext pic;
+  };
+  std::vector<PluginCtx> contexts;
+  for (const PluginDecl& plugin : app.plugins) {
+    const PlacementDecl* placement = conf.PlacementOf(plugin.name);
+    if (placement == nullptr) {
+      return support::Incompatible("SW conf has no placement for plug-in " +
+                                   plugin.name);
+    }
+    PluginCtx ctx;
+    ctx.decl = &plugin;
+    ctx.ecu = placement->ecu_id;
+    for (const PluginPortDecl& port : plugin.ports) {
+      pirte::PicEntry entry;
+      entry.local_index = port.local_index;
+      entry.port_name = port.name;
+      entry.direction = port.direction;
+      DACM_ASSIGN_OR_RETURN(entry.unique_id, AllocateUniqueId(used_ids, ctx.ecu));
+      ctx.pic.entries.push_back(std::move(entry));
+    }
+    contexts.push_back(std::move(ctx));
+  }
+
+  auto find_ctx = [&](const std::string& plugin) -> PluginCtx* {
+    for (PluginCtx& ctx : contexts) {
+      if (ctx.decl->name == plugin) return &ctx;
+    }
+    return nullptr;
+  };
+  auto unique_id_of = [&](const PluginCtx& ctx,
+                          std::uint8_t local) -> support::Result<std::uint8_t> {
+    for (const pirte::PicEntry& entry : ctx.pic.entries) {
+      if (entry.local_index == local) return entry.unique_id;
+    }
+    return support::Incompatible("connection references undeclared port P" +
+                                 std::to_string(local) + " on " + ctx.decl->name);
+  };
+
+  // Pass 2 — PLC + ECC: "the port connection information, found in SW
+  // conf, is translated into a PLC context"; external connections yield
+  // ECC entries attached to the plug-in's own package (the ECM extracts
+  // them in flight).
+  std::unordered_map<std::string, pirte::PortLinkingContext> plcs;
+  std::unordered_map<std::string, pirte::ExternalConnectionContext> eccs;
+
+  for (const ConnectionDecl& connection : conf.connections) {
+    PluginCtx* ctx = find_ctx(connection.plugin);
+    if (ctx == nullptr) {
+      return support::Incompatible("connection references unknown plug-in " +
+                                   connection.plugin);
+    }
+    // Every declared port must exist.
+    DACM_RETURN_IF_ERROR(unique_id_of(*ctx, connection.local_port).status());
+
+    pirte::PlcEntry entry;
+    entry.local_port = connection.local_port;
+
+    switch (connection.target) {
+      case ConnectionDecl::Target::kNone: {
+        entry.kind = pirte::PlcKind::kUnconnected;
+        plcs[connection.plugin].entries.push_back(std::move(entry));
+        break;
+      }
+      case ConnectionDecl::Target::kVirtualPort: {
+        const VirtualPortDesc* vp = system_sw.FindByName(connection.virtual_port_name);
+        if (vp == nullptr) {
+          return support::Incompatible("vehicle exposes no virtual port named " +
+                                       connection.virtual_port_name);
+        }
+        if (vp->ecu_id != ctx->ecu) {
+          return support::Incompatible(
+              "virtual port " + vp->name + " lives on ECU " +
+              std::to_string(vp->ecu_id) + " but plug-in " + ctx->decl->name +
+              " is placed on ECU " + std::to_string(ctx->ecu));
+        }
+        entry.kind = pirte::PlcKind::kVirtual;
+        entry.virtual_port = vp->id;
+        plcs[connection.plugin].entries.push_back(std::move(entry));
+        break;
+      }
+      case ConnectionDecl::Target::kPeerPlugin: {
+        PluginCtx* peer = find_ctx(connection.peer_plugin);
+        if (peer == nullptr) {
+          return support::Incompatible("connection references unknown peer plug-in " +
+                                       connection.peer_plugin);
+        }
+        if (peer->ecu == ctx->ecu) {
+          // Same SW-C: "their ports are linked directly in PIRTE".
+          entry.kind = pirte::PlcKind::kLocalPlugin;
+          entry.peer_plugin = connection.peer_plugin;
+          entry.peer_local_port = connection.peer_port;
+        } else {
+          // Cross SW-C: route through the Type II virtual port towards the
+          // peer's ECU, attaching the recipient's unique port id
+          // ("P2-V0.P0" in the paper).
+          const VirtualPortDesc* channel = nullptr;
+          for (const VirtualPortDesc& vp : system_sw.virtual_ports) {
+            if (vp.kind == 2 && vp.ecu_id == ctx->ecu && vp.peer_ecu == peer->ecu) {
+              channel = &vp;
+              break;
+            }
+          }
+          if (channel == nullptr) {
+            return support::Incompatible(
+                "no Type II channel from ECU " + std::to_string(ctx->ecu) +
+                " to ECU " + std::to_string(peer->ecu));
+          }
+          entry.kind = pirte::PlcKind::kVirtualRemote;
+          entry.virtual_port = channel->id;
+          DACM_ASSIGN_OR_RETURN(entry.remote_port_id,
+                                unique_id_of(*peer, connection.peer_port));
+        }
+        plcs[connection.plugin].entries.push_back(std::move(entry));
+        break;
+      }
+      case ConnectionDecl::Target::kExternalIn:
+      case ConnectionDecl::Target::kExternalOut: {
+        // The port itself stays PIRTE-direct; the ECC tells the ECM where
+        // the external traffic goes.
+        entry.kind = pirte::PlcKind::kUnconnected;
+        plcs[connection.plugin].entries.push_back(std::move(entry));
+
+        pirte::EccEntry ecc;
+        ecc.direction = connection.target == ConnectionDecl::Target::kExternalIn
+                            ? pirte::EccDirection::kInbound
+                            : pirte::EccDirection::kOutbound;
+        ecc.endpoint = connection.endpoint;
+        ecc.message_id = connection.message_id;
+        ecc.target_ecu = ctx->ecu;
+        DACM_ASSIGN_OR_RETURN(ecc.port_unique_id,
+                              unique_id_of(*ctx, connection.local_port));
+        eccs[connection.plugin].entries.push_back(std::move(ecc));
+        break;
+      }
+    }
+  }
+
+  // Pass 3 — assemble installation packages.
+  std::vector<GeneratedPackage> out;
+  for (PluginCtx& ctx : contexts) {
+    GeneratedPackage generated;
+    generated.plugin = ctx.decl->name;
+    generated.ecu_id = ctx.ecu;
+    generated.package.plugin_name = ctx.decl->name;
+    generated.package.version = app.version;
+    generated.package.pic = std::move(ctx.pic);
+    generated.package.plc = std::move(plcs[ctx.decl->name]);
+    generated.package.ecc = std::move(eccs[ctx.decl->name]);
+    generated.package.binary = ctx.decl->binary;
+    out.push_back(std::move(generated));
+  }
+  return out;
+}
+
+}  // namespace dacm::server

@@ -1,0 +1,40 @@
+// Server-side context generation (paper §3.2.2).
+//
+// Given an APP's SW conf for a vehicle model, the vehicle's SystemSW conf,
+// and the set of port unique-ids already occupied per ECU, generate the
+// PIC / PLC / ECC for every plug-in and assemble the installation
+// packages.  Pure functions — the ABL-2 benchmark calls them directly to
+// measure the cost of keeping this intelligence on the server.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "server/model.hpp"
+#include "support/status.hpp"
+
+namespace dacm::server {
+
+/// Occupied unique port ids, per ECU (from the InstalledAPP table).
+using UsedIdMap = std::unordered_map<std::uint32_t, std::unordered_set<std::uint8_t>>;
+
+/// One generated per-plug-in artifact.
+struct GeneratedPackage {
+  std::string plugin;
+  std::uint32_t ecu_id = 0;
+  pirte::InstallationPackage package;
+};
+
+/// Runs the full generation pipeline for (app, conf) on a vehicle with
+/// `system_sw`; `used_ids` is updated with the newly assigned ids.
+/// `ecm_ecu` is where ECC entries are sent (they are attached to the
+/// package of the plug-in they describe; the ECM extracts them in flight).
+support::Result<std::vector<GeneratedPackage>> GeneratePackages(
+    const App& app, const SwConf& conf, const SystemSwConf& system_sw,
+    UsedIdMap& used_ids);
+
+/// Collects the ids currently in use on `vehicle`, per ECU.
+UsedIdMap CollectUsedIds(const Vehicle& vehicle);
+
+}  // namespace dacm::server

@@ -1,0 +1,236 @@
+// Trusted-server data model (paper Figure 2).
+//
+// User-side records: User, Vehicle, and the per-vehicle configuration
+// (HW conf + SystemSW conf uploaded by the OEM per vehicle *model*, and
+// the InstalledAPP table per vehicle *instance*).
+//
+// Developer-side records: APP (one or several plug-in binaries) with one
+// or several SW confs describing, per vehicle model, how the plug-ins are
+// distributed over the ECUs and how their ports connect.
+//
+// Note: this repo hosts exactly one plug-in SW-C per plug-in-capable ECU,
+// so "SW-C-scope unique port ids" and "ECU-scope" coincide; ids are
+// allocated per (vehicle, ECU).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pirte/context.hpp"
+#include "pirte/package.hpp"
+#include "support/bytes.hpp"
+#include "support/ids.hpp"
+
+namespace dacm::server {
+
+struct UserTag {};
+struct AppTag {};
+using UserId = support::StrongId<UserTag>;
+using AppId = support::StrongId<AppTag>;
+
+// --- OEM uploads (per vehicle model) -----------------------------------------
+
+/// HW conf: hardware resources available to plug-ins.
+struct EcuInfo {
+  std::uint32_t ecu_id = 0;
+  std::string name;           // e.g. "ECU1"
+  bool has_plugin_swc = false;
+  bool is_ecm = false;
+  std::size_t max_plugins = 8;
+  std::size_t max_binary_size = 64 * 1024;
+};
+
+struct HwConf {
+  std::vector<EcuInfo> ecus;
+
+  const EcuInfo* FindEcu(std::uint32_t ecu_id) const {
+    for (const EcuInfo& ecu : ecus) {
+      if (ecu.ecu_id == ecu_id) return &ecu;
+    }
+    return nullptr;
+  }
+};
+
+enum class VirtualPortFlow : std::uint8_t {
+  kPluginToSystem = 0,  // plug-ins write into it (e.g. WheelsReq)
+  kSystemToPlugin = 1,  // plug-ins receive from it (e.g. SpeedProv)
+  kBidirectional = 2,   // Type II channels
+};
+
+/// SystemSW conf: one exposed virtual port.
+struct VirtualPortDesc {
+  std::uint8_t id = 0;       // vehicle-scope V#
+  std::string name;          // "WheelsReq"
+  std::uint8_t kind = 3;     // 2 = Type II, 3 = Type III
+  VirtualPortFlow flow = VirtualPortFlow::kPluginToSystem;
+  std::uint32_t ecu_id = 0;  // ECU whose PIRTE owns this virtual port
+  std::uint32_t peer_ecu = 0;  // Type II: the SW-C at the other end
+};
+
+struct SystemSwConf {
+  std::string platform_version;  // comparable with CompareVersions
+  std::vector<VirtualPortDesc> virtual_ports;
+
+  const VirtualPortDesc* FindByName(const std::string& name) const {
+    for (const VirtualPortDesc& vp : virtual_ports) {
+      if (vp.name == name) return &vp;
+    }
+    return nullptr;
+  }
+};
+
+/// A vehicle model's full configuration as uploaded by the OEM.
+struct VehicleModelConf {
+  std::string model;  // e.g. "rpi-testbed"
+  HwConf hw;
+  SystemSwConf sw;
+};
+
+// --- developer uploads ----------------------------------------------------------
+
+struct PluginPortDecl {
+  std::uint8_t local_index = 0;
+  std::string name;
+  pirte::PluginPortDirection direction = pirte::PluginPortDirection::kRequired;
+};
+
+/// One plug-in inside an APP.
+struct PluginDecl {
+  std::string name;  // unique within the app
+  support::Bytes binary;
+  std::vector<PluginPortDecl> ports;
+};
+
+/// How one plug-in port connects (SW conf material the server translates
+/// into PLC/ECC entries).
+struct ConnectionDecl {
+  enum class Target : std::uint8_t {
+    kNone = 0,          // PIRTE-direct ("P0-")
+    kVirtualPort = 1,   // by virtual-port name
+    kPeerPlugin = 2,    // another plug-in of the same app
+    kExternalIn = 3,    // external world -> this port (via ECM)
+    kExternalOut = 4,   // this port -> external world (via ECM)
+  };
+
+  std::string plugin;
+  std::uint8_t local_port = 0;
+  Target target = Target::kNone;
+  std::string virtual_port_name;  // kVirtualPort
+  std::string peer_plugin;        // kPeerPlugin
+  std::uint8_t peer_port = 0;     // kPeerPlugin
+  std::string endpoint;           // kExternal*
+  std::string message_id;         // kExternal*
+};
+
+struct PlacementDecl {
+  std::string plugin;
+  std::uint32_t ecu_id = 0;
+};
+
+/// Per-vehicle-model deployment description of an APP.
+struct SwConf {
+  std::string vehicle_model;
+  std::string min_platform;  // minimum SystemSW version
+  std::vector<PlacementDecl> placements;
+  std::vector<ConnectionDecl> connections;
+  std::vector<std::string> required_virtual_ports;
+
+  const PlacementDecl* PlacementOf(const std::string& plugin) const {
+    for (const PlacementDecl& p : placements) {
+      if (p.plugin == plugin) return &p;
+    }
+    return nullptr;
+  }
+};
+
+struct App {
+  std::string name;
+  std::string version;
+  std::string developer;
+  std::vector<PluginDecl> plugins;
+  std::vector<SwConf> confs;
+  std::vector<std::string> depends_on;      // app names
+  std::vector<std::string> conflicts_with;  // app names
+
+  const SwConf* ConfForModel(const std::string& model) const {
+    for (const SwConf& conf : confs) {
+      if (conf.vehicle_model == model) return &conf;
+    }
+    return nullptr;
+  }
+  const PluginDecl* FindPlugin(const std::string& plugin) const {
+    for (const PluginDecl& p : plugins) {
+      if (p.name == plugin) return &p;
+    }
+    return nullptr;
+  }
+};
+
+// --- per-vehicle records -----------------------------------------------------------
+
+enum class InstallState : std::uint8_t {
+  kPending,      // packages pushed, waiting for acks
+  kInstalled,    // all plug-ins acked ok
+  kFailed,       // at least one nack
+  kUninstalling  // uninstall messages pushed, waiting for acks
+};
+
+std::string_view InstallStateName(InstallState state);
+
+/// One row of the InstalledAPP table.
+struct InstalledApp {
+  std::string app_name;
+  std::string version;
+  InstallState state = InstallState::kPending;
+
+  struct PluginRecord {
+    std::string plugin;                  // plug-in name (ack key)
+    std::uint32_t ecu_id = 0;            // placement
+    pirte::PortInitContext pic;          // generated contexts (restore reuses them)
+    support::Bytes package_bytes;        // full serialized InstallationPackage
+    bool acked = false;
+    bool ack_ok = false;
+    std::string ack_detail;
+  };
+  std::vector<PluginRecord> plugins;
+
+  bool AllAcked() const {
+    for (const PluginRecord& p : plugins) {
+      if (!p.acked) return false;
+    }
+    return true;
+  }
+  bool AnyFailed() const {
+    for (const PluginRecord& p : plugins) {
+      if (p.acked && !p.ack_ok) return true;
+    }
+    return false;
+  }
+};
+
+struct Vehicle {
+  std::string vin;
+  std::string model;
+  UserId owner = UserId::Invalid();
+  std::vector<InstalledApp> installed;
+
+  InstalledApp* FindInstalled(const std::string& app_name) {
+    for (InstalledApp& app : installed) {
+      if (app.app_name == app_name) return &app;
+    }
+    return nullptr;
+  }
+  const InstalledApp* FindInstalled(const std::string& app_name) const {
+    for (const InstalledApp& app : installed) {
+      if (app.app_name == app_name) return &app;
+    }
+    return nullptr;
+  }
+};
+
+struct User {
+  std::string name;
+  std::vector<std::string> vins;
+};
+
+}  // namespace dacm::server

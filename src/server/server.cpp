@@ -1,0 +1,414 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+
+#include "pirte/package.hpp"
+#include "support/log.hpp"
+#include "support/string_util.hpp"
+
+namespace dacm::server {
+
+std::string_view InstallStateName(InstallState state) {
+  switch (state) {
+    case InstallState::kPending: return "pending";
+    case InstallState::kInstalled: return "installed";
+    case InstallState::kFailed: return "failed";
+    case InstallState::kUninstalling: return "uninstalling";
+  }
+  return "?";
+}
+
+TrustedServer::TrustedServer(sim::Network& network, std::string address)
+    : network_(network), address_(std::move(address)) {}
+
+support::Status TrustedServer::Start() {
+  if (started_) return support::FailedPrecondition("server already started");
+  DACM_RETURN_IF_ERROR(network_.Listen(
+      address_, [this](std::shared_ptr<sim::NetPeer> peer) { OnAccept(std::move(peer)); }));
+  started_ = true;
+  return support::OkStatus();
+}
+
+// --- user setup -------------------------------------------------------------------
+
+support::Result<UserId> TrustedServer::CreateUser(const std::string& name) {
+  for (const User& user : users_) {
+    if (user.name == name) return support::AlreadyExists("user: " + name);
+  }
+  users_.push_back(User{name, {}});
+  return UserId(static_cast<std::uint32_t>(users_.size() - 1));
+}
+
+support::Status TrustedServer::BindVehicle(UserId user, const std::string& vin,
+                                           const std::string& model) {
+  if (user.value() >= users_.size()) return support::NotFound("unknown user");
+  if (vehicles_.contains(vin)) return support::AlreadyExists("VIN already bound: " + vin);
+  DACM_RETURN_IF_ERROR(ModelConf(model).status());
+  Vehicle vehicle;
+  vehicle.vin = vin;
+  vehicle.model = model;
+  vehicle.owner = user;
+  vehicles_.emplace(vin, std::move(vehicle));
+  users_[user.value()].vins.push_back(vin);
+  return support::OkStatus();
+}
+
+// --- uploads -----------------------------------------------------------------------
+
+support::Status TrustedServer::UploadVehicleModel(VehicleModelConf conf) {
+  if (conf.model.empty()) return support::InvalidArgument("model name empty");
+  models_[conf.model] = std::move(conf);
+  return support::OkStatus();
+}
+
+support::Status TrustedServer::UploadApp(App app) {
+  if (app.name.empty()) return support::InvalidArgument("app name empty");
+  if (app.plugins.empty()) return support::InvalidArgument("app has no plug-ins");
+  auto it = apps_.find(app.name);
+  if (it != apps_.end() &&
+      support::CompareVersions(app.version, it->second.version) <= 0) {
+    return support::AlreadyExists("app " + app.name + " v" + it->second.version +
+                                  " already stored with same or newer version");
+  }
+  apps_[app.name] = std::move(app);
+  return support::OkStatus();
+}
+
+// --- operations -----------------------------------------------------------------------
+
+support::Status TrustedServer::Deploy(UserId user, const std::string& vin,
+                                      const std::string& app_name) {
+  DACM_ASSIGN_OR_RETURN(Vehicle * vehicle, VehicleByVin(vin));
+  DACM_RETURN_IF_ERROR(CheckOwnership(user, *vehicle));
+  auto app_it = apps_.find(app_name);
+  if (app_it == apps_.end()) {
+    ++stats_.deploys_rejected;
+    return support::NotFound("app: " + app_name);
+  }
+  const App& app = app_it->second;
+  if (vehicle->FindInstalled(app_name) != nullptr) {
+    ++stats_.deploys_rejected;
+    return support::AlreadyExists("app already installed: " + app_name);
+  }
+
+  // Compatibility: a SW conf for this vehicle model must exist...
+  const SwConf* conf = app.ConfForModel(vehicle->model);
+  if (conf == nullptr) {
+    ++stats_.deploys_rejected;
+    return support::Incompatible("no SW conf for vehicle model " + vehicle->model);
+  }
+  DACM_ASSIGN_OR_RETURN(const VehicleModelConf* model, ModelConf(vehicle->model));
+  // ...the platform must be recent enough...
+  if (!conf->min_platform.empty() &&
+      support::CompareVersions(model->sw.platform_version, conf->min_platform) < 0) {
+    ++stats_.deploys_rejected;
+    return support::Incompatible("platform " + model->sw.platform_version +
+                                 " older than required " + conf->min_platform);
+  }
+  // ...every required virtual port must be exposed...
+  for (const std::string& required : conf->required_virtual_ports) {
+    if (model->sw.FindByName(required) == nullptr) {
+      ++stats_.deploys_rejected;
+      return support::Incompatible("vehicle lacks required virtual port " + required);
+    }
+  }
+  // ...placements must target plug-in-capable ECUs...
+  for (const PlacementDecl& placement : conf->placements) {
+    const EcuInfo* ecu = model->hw.FindEcu(placement.ecu_id);
+    if (ecu == nullptr || !ecu->has_plugin_swc) {
+      ++stats_.deploys_rejected;
+      return support::Incompatible("ECU " + std::to_string(placement.ecu_id) +
+                                   " cannot host plug-ins");
+    }
+  }
+  // ...then dependencies: pre-requisite apps must be installed...
+  for (const std::string& dependency : app.depends_on) {
+    const InstalledApp* installed = vehicle->FindInstalled(dependency);
+    if (installed == nullptr || installed->state != InstallState::kInstalled) {
+      ++stats_.deploys_rejected;
+      return support::DependencyViolation("requires app " + dependency +
+                                          " to be installed first");
+    }
+  }
+  // ...and no conflicts in either direction.
+  for (const std::string& conflict : app.conflicts_with) {
+    if (vehicle->FindInstalled(conflict) != nullptr) {
+      ++stats_.deploys_rejected;
+      return support::DependencyViolation("conflicts with installed app " + conflict);
+    }
+  }
+  for (const InstalledApp& installed : vehicle->installed) {
+    auto other = apps_.find(installed.app_name);
+    if (other == apps_.end()) continue;
+    const auto& conflicts = other->second.conflicts_with;
+    if (std::find(conflicts.begin(), conflicts.end(), app_name) != conflicts.end()) {
+      ++stats_.deploys_rejected;
+      return support::DependencyViolation("installed app " + installed.app_name +
+                                          " conflicts with " + app_name);
+    }
+  }
+
+  // The Pusher needs a live connection; reject before any state changes so
+  // a retry starts from a clean table.
+  if (!VehicleOnline(vin)) {
+    ++stats_.deploys_rejected;
+    return support::Unavailable("vehicle offline: " + vin);
+  }
+
+  // Context generation.
+  UsedIdMap used_ids = CollectUsedIds(*vehicle);
+  DACM_ASSIGN_OR_RETURN(auto generated,
+                        GeneratePackages(app, *conf, model->sw, used_ids));
+
+  // Record + push.
+  InstalledApp record;
+  record.app_name = app.name;
+  record.version = app.version;
+  record.state = InstallState::kPending;
+  for (GeneratedPackage& gp : generated) {
+    InstalledApp::PluginRecord plugin;
+    plugin.plugin = gp.plugin;
+    plugin.ecu_id = gp.ecu_id;
+    plugin.pic = gp.package.pic;
+    plugin.package_bytes = gp.package.Serialize();
+    record.plugins.push_back(std::move(plugin));
+  }
+  vehicle->installed.push_back(std::move(record));
+
+  for (const InstalledApp::PluginRecord& plugin : vehicle->installed.back().plugins) {
+    pirte::PirteMessage message;
+    message.type = pirte::MessageType::kInstallPackage;
+    message.plugin_name = plugin.plugin;
+    message.target_ecu = plugin.ecu_id;
+    message.payload = plugin.package_bytes;
+    auto push = PushToVehicle(vin, message);
+    if (!push.ok()) {
+      // Roll back the uncommitted row: a failed deploy must leave no trace
+      // (a stale row would block retries and leak unique ids).
+      vehicle->installed.pop_back();
+      ++stats_.deploys_rejected;
+      return push;
+    }
+  }
+  ++stats_.deploys_ok;
+  DACM_LOG_INFO("server") << "deploy " << app_name << " -> " << vin << " ("
+                          << vehicle->installed.back().plugins.size() << " plug-ins)";
+  return support::OkStatus();
+}
+
+support::Status TrustedServer::UninstallApp(UserId user, const std::string& vin,
+                                            const std::string& app_name) {
+  DACM_ASSIGN_OR_RETURN(Vehicle * vehicle, VehicleByVin(vin));
+  DACM_RETURN_IF_ERROR(CheckOwnership(user, *vehicle));
+  InstalledApp* installed = vehicle->FindInstalled(app_name);
+  if (installed == nullptr) return support::NotFound("app not installed: " + app_name);
+
+  // "whether there are some other installed plug-ins that are dependent on
+  // the plug-ins being uninstalled" — the user is notified, not cascaded.
+  std::string dependents;
+  for (const InstalledApp& other : vehicle->installed) {
+    if (other.app_name == app_name) continue;
+    auto app_it = apps_.find(other.app_name);
+    if (app_it == apps_.end()) continue;
+    const auto& deps = app_it->second.depends_on;
+    if (std::find(deps.begin(), deps.end(), app_name) != deps.end()) {
+      if (!dependents.empty()) dependents += ", ";
+      dependents += other.app_name;
+    }
+  }
+  if (!dependents.empty()) {
+    return support::DependencyViolation("apps depending on " + app_name +
+                                        " must be uninstalled first: " + dependents);
+  }
+
+  installed->state = InstallState::kUninstalling;
+  for (InstalledApp::PluginRecord& plugin : installed->plugins) {
+    plugin.acked = false;
+    plugin.ack_ok = false;
+    pirte::PirteMessage message;
+    message.type = pirte::MessageType::kUninstall;
+    message.plugin_name = plugin.plugin;
+    message.target_ecu = plugin.ecu_id;
+    DACM_RETURN_IF_ERROR(PushToVehicle(vin, message));
+  }
+  ++stats_.uninstalls;
+  return support::OkStatus();
+}
+
+support::Status TrustedServer::Restore(UserId user, const std::string& vin,
+                                       std::uint32_t ecu_id) {
+  DACM_ASSIGN_OR_RETURN(Vehicle * vehicle, VehicleByVin(vin));
+  DACM_RETURN_IF_ERROR(CheckOwnership(user, *vehicle));
+  // "The server filters out previously installed plug-ins in the replaced
+  // ECU ... Next, the usual installation steps are followed."  The recorded
+  // packages are re-pushed verbatim, so the restored ECU gets the same
+  // unique ids and contexts it had before.
+  bool any = false;
+  for (InstalledApp& installed : vehicle->installed) {
+    for (InstalledApp::PluginRecord& plugin : installed.plugins) {
+      if (plugin.ecu_id != ecu_id) continue;
+      any = true;
+      plugin.acked = false;
+      plugin.ack_ok = false;
+      installed.state = InstallState::kPending;
+      pirte::PirteMessage message;
+      message.type = pirte::MessageType::kInstallPackage;
+      message.plugin_name = plugin.plugin;
+      message.target_ecu = plugin.ecu_id;
+      message.payload = plugin.package_bytes;
+      DACM_RETURN_IF_ERROR(PushToVehicle(vin, message));
+    }
+  }
+  if (!any) {
+    return support::NotFound("no installed plug-ins on ECU " + std::to_string(ecu_id));
+  }
+  ++stats_.restores;
+  return support::OkStatus();
+}
+
+// --- queries ---------------------------------------------------------------------------
+
+support::Result<InstallState> TrustedServer::AppState(const std::string& vin,
+                                                      const std::string& app_name) const {
+  auto it = vehicles_.find(vin);
+  if (it == vehicles_.end()) return support::NotFound("VIN: " + vin);
+  const InstalledApp* installed = it->second.FindInstalled(app_name);
+  if (installed == nullptr) return support::NotFound("app not installed: " + app_name);
+  return installed->state;
+}
+
+std::vector<std::string> TrustedServer::InstalledApps(const std::string& vin) const {
+  std::vector<std::string> names;
+  auto it = vehicles_.find(vin);
+  if (it == vehicles_.end()) return names;
+  for (const InstalledApp& installed : it->second.installed) {
+    names.push_back(installed.app_name);
+  }
+  return names;
+}
+
+const Vehicle* TrustedServer::FindVehicle(const std::string& vin) const {
+  auto it = vehicles_.find(vin);
+  return it == vehicles_.end() ? nullptr : &it->second;
+}
+
+bool TrustedServer::VehicleOnline(const std::string& vin) const {
+  for (const Connection& connection : connections_) {
+    if (connection.vin == vin && connection.peer->connected()) return true;
+  }
+  return false;
+}
+
+// --- internals ---------------------------------------------------------------------------
+
+support::Status TrustedServer::CheckOwnership(UserId user, const Vehicle& vehicle) const {
+  if (user.value() >= users_.size()) return support::NotFound("unknown user");
+  if (vehicle.owner != user) {
+    return support::PermissionDenied("vehicle " + vehicle.vin +
+                                     " is not bound to this user");
+  }
+  return support::OkStatus();
+}
+
+support::Result<Vehicle*> TrustedServer::VehicleByVin(const std::string& vin) {
+  auto it = vehicles_.find(vin);
+  if (it == vehicles_.end()) return support::NotFound("VIN: " + vin);
+  return &it->second;
+}
+
+support::Result<const VehicleModelConf*> TrustedServer::ModelConf(
+    const std::string& model) const {
+  auto it = models_.find(model);
+  if (it == models_.end()) return support::NotFound("vehicle model: " + model);
+  return &it->second;
+}
+
+void TrustedServer::OnAccept(std::shared_ptr<sim::NetPeer> peer) {
+  sim::NetPeer* raw = peer.get();
+  peer->SetReceiveHandler([this, raw](const support::Bytes& data) {
+    OnVehicleMessage(raw, data);
+  });
+  connections_.push_back(Connection{std::move(peer), ""});
+}
+
+void TrustedServer::OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& data) {
+  auto envelope = pirte::Envelope::Deserialize(data);
+  if (!envelope.ok()) {
+    DACM_LOG_WARN("server") << "undecodable vehicle message";
+    return;
+  }
+  Connection* connection = nullptr;
+  for (Connection& c : connections_) {
+    if (c.peer.get() == peer) {
+      connection = &c;
+      break;
+    }
+  }
+  if (connection == nullptr) return;
+
+  if (envelope->kind == pirte::Envelope::Kind::kHello) {
+    connection->vin = envelope->vin;
+    DACM_LOG_INFO("server") << "vehicle online: " << envelope->vin;
+    return;
+  }
+  auto message = pirte::PirteMessage::Deserialize(envelope->message);
+  if (!message.ok()) {
+    DACM_LOG_WARN("server") << "undecodable PirteMessage from " << connection->vin;
+    return;
+  }
+  if (message->type == pirte::MessageType::kAck) {
+    HandleAck(envelope->vin.empty() ? connection->vin : envelope->vin, *message);
+  }
+}
+
+support::Status TrustedServer::PushToVehicle(const std::string& vin,
+                                             const pirte::PirteMessage& message) {
+  for (Connection& connection : connections_) {
+    if (connection.vin != vin || !connection.peer->connected()) continue;
+    pirte::Envelope envelope;
+    envelope.kind = pirte::Envelope::Kind::kPirteMessage;
+    envelope.vin = vin;
+    envelope.message = message.Serialize();
+    DACM_RETURN_IF_ERROR(connection.peer->Send(envelope.Serialize()));
+    ++stats_.packages_pushed;
+    return support::OkStatus();
+  }
+  return support::Unavailable("vehicle offline: " + vin);
+}
+
+void TrustedServer::HandleAck(const std::string& vin, const pirte::PirteMessage& ack) {
+  ++stats_.acks_received;
+  auto it = vehicles_.find(vin);
+  if (it == vehicles_.end()) return;
+  Vehicle& vehicle = it->second;
+  for (std::size_t i = 0; i < vehicle.installed.size(); ++i) {
+    InstalledApp& installed = vehicle.installed[i];
+    if (installed.state != InstallState::kPending &&
+        installed.state != InstallState::kUninstalling) {
+      continue;
+    }
+    for (InstalledApp::PluginRecord& plugin : installed.plugins) {
+      if (plugin.plugin != ack.plugin_name || plugin.acked) continue;
+      plugin.acked = true;
+      plugin.ack_ok = ack.ok;
+      plugin.ack_detail = ack.detail;
+      // Re-evaluate the row.
+      if (installed.state == InstallState::kPending) {
+        if (installed.AnyFailed()) {
+          installed.state = InstallState::kFailed;
+        } else if (installed.AllAcked()) {
+          installed.state = InstallState::kInstalled;
+          DACM_LOG_INFO("server") << "app " << installed.app_name
+                                  << " fully acknowledged on " << vin;
+        }
+      } else if (installed.state == InstallState::kUninstalling &&
+                 installed.AllAcked()) {
+        vehicle.installed.erase(vehicle.installed.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace dacm::server

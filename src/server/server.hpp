@@ -1,0 +1,123 @@
+// The trusted server (paper §3.2, Figure 2).
+//
+// "All plug-in management is done through a pre-defined trusted server...
+// the trusted server acts as a central point of intelligence, performing
+// compatibility checks and generating the different types of context."
+//
+// The class exposes the paper's two external modules:
+//  * Web Services — programmatic facade for users (account setup, vehicle
+//    binding), OEMs (vehicle-model conf uploads) and developers (APP +
+//    SW conf uploads), plus the deploy / uninstall / restore operations;
+//  * Pusher — the vehicle-facing side: ECMs connect over the simulated
+//    network, announce their VIN, receive pushed installation packages and
+//    lifecycle commands, and return acknowledgements that are tracked in
+//    the InstalledAPP table.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pirte/protocol.hpp"
+#include "server/context_gen.hpp"
+#include "server/model.hpp"
+#include "sim/network.hpp"
+
+namespace dacm::server {
+
+struct ServerStats {
+  std::uint64_t packages_pushed = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t deploys_ok = 0;
+  std::uint64_t deploys_rejected = 0;
+  std::uint64_t uninstalls = 0;
+  std::uint64_t restores = 0;
+};
+
+class TrustedServer {
+ public:
+  TrustedServer(sim::Network& network, std::string address);
+
+  TrustedServer(const TrustedServer&) = delete;
+  TrustedServer& operator=(const TrustedServer&) = delete;
+
+  /// Starts the Pusher listener.
+  support::Status Start();
+
+  // --- Web Services: user setup ------------------------------------------------
+
+  support::Result<UserId> CreateUser(const std::string& name);
+
+  /// Binds a vehicle (by VIN, of a previously uploaded model) to a user.
+  support::Status BindVehicle(UserId user, const std::string& vin,
+                              const std::string& model);
+
+  // --- Web Services: uploads ------------------------------------------------------
+
+  /// OEM upload: HW conf + SystemSW conf for a vehicle model.
+  support::Status UploadVehicleModel(VehicleModelConf conf);
+
+  /// Developer upload: APP with binaries and SW confs.  Re-uploading the
+  /// same name with a higher version replaces the stored APP.
+  support::Status UploadApp(App app);
+
+  // --- Web Services: operations -----------------------------------------------------
+
+  /// Deploys `app_name` onto `vin`: compatibility check, dependency /
+  /// conflict check, context generation, package push.  On success the
+  /// InstalledAPP row is kPending until all acks arrive.
+  support::Status Deploy(UserId user, const std::string& vin,
+                         const std::string& app_name);
+
+  /// Uninstalls an app; fails with kDependencyViolation when other
+  /// installed apps depend on it (the paper notifies the user instead of
+  /// cascading).
+  support::Status UninstallApp(UserId user, const std::string& vin,
+                               const std::string& app_name);
+
+  /// Restore after physical ECU replacement: re-pushes the recorded
+  /// packages of every installed plug-in placed on `ecu_id`.
+  support::Status Restore(UserId user, const std::string& vin, std::uint32_t ecu_id);
+
+  // --- queries --------------------------------------------------------------------
+
+  support::Result<InstallState> AppState(const std::string& vin,
+                                         const std::string& app_name) const;
+  std::vector<std::string> InstalledApps(const std::string& vin) const;
+  const Vehicle* FindVehicle(const std::string& vin) const;
+  bool VehicleOnline(const std::string& vin) const;
+  const ServerStats& stats() const { return stats_; }
+  const std::string& address() const { return address_; }
+
+ private:
+  support::Status CheckOwnership(UserId user, const Vehicle& vehicle) const;
+  support::Result<Vehicle*> VehicleByVin(const std::string& vin);
+  support::Result<const VehicleModelConf*> ModelConf(const std::string& model) const;
+
+  // Pusher internals.
+  void OnAccept(std::shared_ptr<sim::NetPeer> peer);
+  void OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& data);
+  support::Status PushToVehicle(const std::string& vin,
+                                const pirte::PirteMessage& message);
+  void HandleAck(const std::string& vin, const pirte::PirteMessage& ack);
+
+  sim::Network& network_;
+  std::string address_;
+  bool started_ = false;
+
+  std::vector<User> users_;
+  std::unordered_map<std::string, VehicleModelConf> models_;   // by model name
+  std::unordered_map<std::string, Vehicle> vehicles_;          // by VIN
+  std::unordered_map<std::string, App> apps_;                  // by app name
+
+  // Pusher connection registry.
+  struct Connection {
+    std::shared_ptr<sim::NetPeer> peer;
+    std::string vin;  // empty until Hello
+  };
+  std::vector<Connection> connections_;
+  ServerStats stats_;
+};
+
+}  // namespace dacm::server

@@ -1,0 +1,85 @@
+#include "sim/can_bus.hpp"
+
+#include <limits>
+
+namespace dacm::sim {
+
+CanBus::CanBus(Simulator& simulator, std::uint32_t bit_rate_bps,
+               std::uint64_t fault_seed)
+    : simulator_(simulator), bit_rate_bps_(bit_rate_bps), fault_rng_(fault_seed) {}
+
+CanNodeId CanBus::AttachNode(std::string name, ReceiveHandler on_receive) {
+  nodes_.push_back(Node{std::move(name), std::move(on_receive), {}});
+  return nodes_.size() - 1;
+}
+
+support::Status CanBus::Send(CanNodeId node, const CanFrame& frame) {
+  if (node >= nodes_.size()) {
+    return support::InvalidArgument("unknown CAN node");
+  }
+  if (frame.dlc > 8) {
+    return support::InvalidArgument("CAN dlc > 8");
+  }
+  if (frame.can_id > CanFrame::kMaxStandardId) {
+    return support::InvalidArgument("CAN id exceeds 11 bits");
+  }
+  nodes_[node].tx_queue.push_back(frame);
+  if (!bus_busy_) TryStartTransmission();
+  return support::OkStatus();
+}
+
+SimTime CanBus::FrameTime(std::uint8_t dlc) const {
+  // Classic CAN data frame: ~44 overhead bits + 8 per data byte, plus ~20%
+  // worst-case bit stuffing.
+  const std::uint64_t bits = (44 + 8ull * dlc) * 12 / 10;
+  return bits * kSecond / bit_rate_bps_;
+}
+
+void CanBus::TryStartTransmission() {
+  // Arbitration: among nodes with pending frames, the numerically lowest
+  // identifier wins.  Ties (same id from two nodes) resolve by node index,
+  // which mirrors the deterministic behaviour of real buses where equal
+  // identifiers are a configuration error anyway.
+  CanNodeId winner = std::numeric_limits<CanNodeId>::max();
+  std::uint32_t best_id = std::numeric_limits<std::uint32_t>::max();
+  for (CanNodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].tx_queue.empty()) continue;
+    if (nodes_[i].tx_queue.front().can_id < best_id) {
+      best_id = nodes_[i].tx_queue.front().can_id;
+      winner = i;
+    }
+  }
+  if (winner == std::numeric_limits<CanNodeId>::max()) return;
+
+  bus_busy_ = true;
+  CanFrame frame = nodes_[winner].tx_queue.front();
+  nodes_[winner].tx_queue.pop_front();
+  simulator_.ScheduleAfter(FrameTime(frame.dlc), [this, winner, frame]() {
+    FinishTransmission(winner, frame);
+  });
+}
+
+void CanBus::FinishTransmission(CanNodeId sender, CanFrame frame) {
+  ++frames_transmitted_;
+  bool dropped = drop_rate_ > 0.0 && fault_rng_.NextBool(drop_rate_);
+  if (dropped) {
+    ++frames_dropped_;
+  } else {
+    if (corrupt_rate_ > 0.0 && fault_rng_.NextBool(corrupt_rate_)) {
+      if (frame.dlc > 0) {
+        const auto byte = fault_rng_.NextBelow(frame.dlc);
+        const auto bit = fault_rng_.NextBelow(8);
+        frame.data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      }
+      frame.corrupted = true;
+    }
+    for (CanNodeId i = 0; i < nodes_.size(); ++i) {
+      if (i == sender) continue;  // no self-reception
+      if (nodes_[i].on_receive) nodes_[i].on_receive(frame);
+    }
+  }
+  bus_busy_ = false;
+  TryStartTransmission();
+}
+
+}  // namespace dacm::sim

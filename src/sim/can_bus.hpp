@@ -1,0 +1,98 @@
+// Simulated CAN bus.
+//
+// Frame-level model of a classic CAN 2.0A bus: 11-bit identifiers, up to 8
+// data bytes, priority arbitration (numerically lowest pending identifier
+// wins at each bus-idle point), broadcast delivery, and a configurable bit
+// rate that yields realistic frame transmission times.  Multi-frame
+// transport (for installation packages larger than 8 bytes) is layered on
+// top in bsw::CanTp.
+//
+// Fault injection: a probabilistic frame-drop rate and a bit-corruption
+// rate can be configured; corrupted frames are delivered with a flipped
+// payload bit and `corrupted = true` so upper layers can exercise their CRC
+// paths.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "support/status.hpp"
+
+namespace dacm::sim {
+
+/// One classic CAN data frame.
+struct CanFrame {
+  std::uint32_t can_id = 0;  // 11-bit identifier; lower value = higher priority
+  std::uint8_t dlc = 0;      // data length code, 0..8
+  std::array<std::uint8_t, 8> data{};
+  bool corrupted = false;  // set by fault injection on delivery
+
+  static constexpr std::uint32_t kMaxStandardId = 0x7FF;
+};
+
+/// Handle of an attached bus node.
+using CanNodeId = std::size_t;
+
+class CanBus {
+ public:
+  /// `bit_rate_bps`: nominal bit rate; 500 kbit/s is the common automotive
+  /// backbone rate the model defaults to.
+  explicit CanBus(Simulator& simulator, std::uint32_t bit_rate_bps = 500'000,
+                  std::uint64_t fault_seed = 1);
+
+  CanBus(const CanBus&) = delete;
+  CanBus& operator=(const CanBus&) = delete;
+
+  using ReceiveHandler = std::function<void(const CanFrame&)>;
+
+  /// Attaches a node; `on_receive` fires for every frame transmitted by any
+  /// *other* node (CAN is a broadcast medium; self-reception is filtered).
+  CanNodeId AttachNode(std::string name, ReceiveHandler on_receive);
+
+  /// Queues a frame for transmission from `node`.  Returns
+  /// kInvalidArgument for malformed frames (dlc > 8, id out of range).
+  support::Status Send(CanNodeId node, const CanFrame& frame);
+
+  /// Fault injection: probability that a frame vanishes on the wire.
+  void SetDropRate(double p) { drop_rate_ = p; }
+  /// Fault injection: probability that a delivered frame has a payload bit
+  /// flipped (delivered with corrupted = true).
+  void SetCorruptRate(double p) { corrupt_rate_ = p; }
+
+  /// Total frames that completed transmission (including dropped ones).
+  std::uint64_t frames_transmitted() const { return frames_transmitted_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+  /// Transmission time of one frame at the configured bit rate.  Uses the
+  /// worst-case stuffed classic-CAN frame length approximation
+  /// (44 + 10*dlc bits + stuffing ~ 20%).
+  SimTime FrameTime(std::uint8_t dlc) const;
+
+ private:
+  struct Node {
+    std::string name;
+    ReceiveHandler on_receive;
+    std::deque<CanFrame> tx_queue;
+  };
+
+  void TryStartTransmission();
+  void FinishTransmission(CanNodeId sender, CanFrame frame);
+
+  Simulator& simulator_;
+  std::uint32_t bit_rate_bps_;
+  std::vector<Node> nodes_;
+  bool bus_busy_ = false;
+  double drop_rate_ = 0.0;
+  double corrupt_rate_ = 0.0;
+  Rng fault_rng_;
+  std::uint64_t frames_transmitted_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace dacm::sim

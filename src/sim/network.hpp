@@ -1,0 +1,93 @@
+// Simulated wide-area network.
+//
+// Stands in for the TCP links of the paper's prototype: the ECM's socket
+// client to the trusted server, and the smart phone's connection to the
+// vehicle.  A connection is a pair of cross-linked NetPeer endpoints
+// carrying ordered, reliable, length-delimited messages with a configurable
+// one-way latency.  Link-down fault injection drops messages (the paper's
+// installation protocol recovers via server-side acknowledgement tracking).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "sim/simulator.hpp"
+#include "support/bytes.hpp"
+#include "support/status.hpp"
+
+namespace dacm::sim {
+
+class Network;
+
+/// One endpoint of an established duplex connection.
+class NetPeer : public std::enable_shared_from_this<NetPeer> {
+ public:
+  using ReceiveHandler = std::function<void(const support::Bytes&)>;
+
+  /// Sends one message to the remote endpoint.  Returns kUnavailable if the
+  /// link is down or the remote endpoint is gone.
+  support::Status Send(support::Bytes message);
+
+  /// Installs the receive callback (replaces any previous one).
+  void SetReceiveHandler(ReceiveHandler handler) { on_receive_ = std::move(handler); }
+
+  /// Local diagnostic label ("<local>-><remote>").
+  const std::string& label() const { return label_; }
+
+  bool connected() const { return !remote_.expired(); }
+
+  /// Closes this side; the remote sees connected() == false.
+  void Close();
+
+ private:
+  friend class Network;
+
+  NetPeer(Network& net, std::string label) : net_(net), label_(std::move(label)) {}
+
+  Network& net_;
+  std::string label_;
+  std::weak_ptr<NetPeer> remote_;
+  ReceiveHandler on_receive_;
+};
+
+/// Connection factory + message scheduler.
+class Network {
+ public:
+  explicit Network(Simulator& simulator, SimTime one_way_latency = 20 * kMillisecond)
+      : simulator_(simulator), latency_(one_way_latency) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  using AcceptHandler = std::function<void(std::shared_ptr<NetPeer>)>;
+
+  /// Registers a listener on `address` (e.g. "111.22.33.44:56789").
+  support::Status Listen(const std::string& address, AcceptHandler on_accept);
+
+  /// Connects to a listening address; on success the listener's accept
+  /// handler fires (at connect time + latency) with the server-side peer,
+  /// and the client-side peer is returned immediately.
+  support::Result<std::shared_ptr<NetPeer>> Connect(const std::string& address);
+
+  /// Fault injection: while down, Send() returns kUnavailable.
+  void SetLinkUp(bool up) { link_up_ = up; }
+  bool link_up() const { return link_up_; }
+
+  SimTime latency() const { return latency_; }
+  void SetLatency(SimTime latency) { latency_ = latency; }
+
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+
+ private:
+  friend class NetPeer;
+
+  Simulator& simulator_;
+  SimTime latency_;
+  bool link_up_ = true;
+  std::unordered_map<std::string, AcceptHandler> listeners_;
+  std::uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace dacm::sim

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generator (splitmix64 core).
+//
+// Used by fault-injection tests and workload generators; seeded explicitly
+// so every run is reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace dacm::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits.
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return NextU64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dacm::sim

@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace dacm::sim {
+
+void Simulator::ScheduleAt(SimTime at, Callback fn) {
+  assert(fn);
+  if (at < now_) at = now_;  // late scheduling clamps to "immediately"
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::Run(std::size_t limit) {
+  std::size_t processed = 0;
+  while (!queue_.empty() && processed < limit) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t Simulator::RunUntil(SimTime until) {
+  std::size_t processed = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++processed;
+  }
+  if (now_ < until) now_ = until;
+  return processed;
+}
+
+}  // namespace dacm::sim

@@ -1,0 +1,77 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Everything time-dependent in the repo (OS tick, CAN frame timing,
+// server<->vehicle network latency) is driven by one Simulator instance, so
+// whole-system runs are reproducible down to the event ordering.  Events
+// scheduled for the same timestamp fire in scheduling order (FIFO), which
+// keeps test expectations stable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dacm::sim {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+
+/// Event-queue simulator.  Not thread-safe; the whole simulation is
+/// single-threaded by design.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= Now()).
+  void ScheduleAt(SimTime at, Callback fn);
+
+  /// Schedules `fn` to run `delay` after Now().
+  void ScheduleAfter(SimTime delay, Callback fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty or `limit` events have fired.
+  /// Returns the number of events processed.
+  std::size_t Run(std::size_t limit = SIZE_MAX);
+
+  /// Runs events with timestamp <= `until` (inclusive); advances Now() to
+  /// `until` even if the queue drains earlier.  Returns events processed.
+  std::size_t RunUntil(SimTime until);
+
+  /// Runs for `duration` of simulated time from Now().
+  std::size_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
+
+  bool Empty() const { return queue_.empty(); }
+  std::size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dacm::sim

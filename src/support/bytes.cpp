@@ -1,0 +1,131 @@
+#include "support/bytes.hpp"
+
+namespace dacm::support {
+
+void ByteWriter::WriteU16(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::WriteU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void ByteWriter::WriteU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void ByteWriter::WriteVarU32(std::uint32_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(v | 0x80));
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::WriteString(std::string_view s) {
+  WriteU32(static_cast<std::uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::WriteBlob(std::span<const std::uint8_t> blob) {
+  WriteU32(static_cast<std::uint32_t>(blob.size()));
+  buffer_.insert(buffer_.end(), blob.begin(), blob.end());
+}
+
+void ByteWriter::WriteRaw(std::span<const std::uint8_t> raw) {
+  buffer_.insert(buffer_.end(), raw.begin(), raw.end());
+}
+
+Status ByteReader::Need(std::size_t n) const {
+  if (remaining() < n) {
+    return Corrupted("truncated buffer: need " + std::to_string(n) +
+                     " bytes, have " + std::to_string(remaining()));
+  }
+  return OkStatus();
+}
+
+Result<std::uint8_t> ByteReader::ReadU8() {
+  DACM_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> ByteReader::ReadU16() {
+  DACM_RETURN_IF_ERROR(Need(2));
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> ByteReader::ReadU32() {
+  DACM_RETURN_IF_ERROR(Need(4));
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::ReadU64() {
+  DACM_RETURN_IF_ERROR(Need(8));
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+Result<std::int32_t> ByteReader::ReadI32() {
+  DACM_ASSIGN_OR_RETURN(std::uint32_t v, ReadU32());
+  return static_cast<std::int32_t>(v);
+}
+
+Result<std::int64_t> ByteReader::ReadI64() {
+  DACM_ASSIGN_OR_RETURN(std::uint64_t v, ReadU64());
+  return static_cast<std::int64_t>(v);
+}
+
+Result<std::uint32_t> ByteReader::ReadVarU32() {
+  std::uint32_t v = 0;
+  int shift = 0;
+  for (;;) {
+    DACM_ASSIGN_OR_RETURN(std::uint8_t byte, ReadU8());
+    if (shift >= 32) return Corrupted("varint too long");
+    v |= static_cast<std::uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<std::string> ByteReader::ReadString() {
+  DACM_ASSIGN_OR_RETURN(std::uint32_t len, ReadU32());
+  DACM_RETURN_IF_ERROR(Need(len));
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Result<Bytes> ByteReader::ReadBlob() {
+  DACM_ASSIGN_OR_RETURN(std::uint32_t len, ReadU32());
+  DACM_RETURN_IF_ERROR(Need(len));
+  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return b;
+}
+
+Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string ToString(std::span<const std::uint8_t> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace dacm::support

@@ -1,0 +1,84 @@
+// Byte-level serialization.
+//
+// ByteWriter appends little-endian scalars, length-prefixed strings and
+// blobs to a growable buffer; ByteReader consumes them with bounds checking.
+// All wire formats in the repo (contexts, installation packages, server
+// protocol, CAN transport) are built on these two.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace dacm::support {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends little-endian encoded fields to an internal buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void WriteU8(std::uint8_t v) { buffer_.push_back(v); }
+  void WriteU16(std::uint16_t v);
+  void WriteU32(std::uint32_t v);
+  void WriteU64(std::uint64_t v);
+  void WriteI32(std::int32_t v) { WriteU32(static_cast<std::uint32_t>(v)); }
+  void WriteI64(std::int64_t v) { WriteU64(static_cast<std::uint64_t>(v)); }
+
+  /// Unsigned LEB128 (varint); compact encoding for counts.
+  void WriteVarU32(std::uint32_t v);
+
+  /// u32 length prefix + raw bytes.
+  void WriteString(std::string_view s);
+  void WriteBlob(std::span<const std::uint8_t> blob);
+
+  void WriteRaw(std::span<const std::uint8_t> raw);
+
+  const Bytes& bytes() const { return buffer_; }
+  Bytes Take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Consumes fields written by ByteWriter; every read is bounds-checked and
+/// returns an error Status on truncation instead of reading out of range.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  Result<std::uint8_t> ReadU8();
+  Result<std::uint16_t> ReadU16();
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<std::int32_t> ReadI32();
+  Result<std::int64_t> ReadI64();
+  Result<std::uint32_t> ReadVarU32();
+  Result<std::string> ReadString();
+  Result<Bytes> ReadBlob();
+
+  /// Number of unconsumed bytes.
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  Status Need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: copy a string's characters into a byte vector.
+Bytes ToBytes(std::string_view s);
+
+/// Convenience: interpret bytes as text (for tests/logging).
+std::string ToString(std::span<const std::uint8_t> b);
+
+}  // namespace dacm::support

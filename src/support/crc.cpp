@@ -1,0 +1,39 @@
+#include "support/crc.hpp"
+
+#include <array>
+
+namespace dacm::support {
+namespace {
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t crc, std::span<const std::uint8_t> data) {
+  crc = ~crc;
+  for (std::uint8_t byte : data) {
+    crc = Table()[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32(std::span<const std::uint8_t> data) {
+  return Crc32Update(0, data);
+}
+
+}  // namespace dacm::support

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+//
+// Installation packages and CAN transport frames carry a CRC so that
+// corruption faults injected in tests are detected the way a production
+// stack would detect them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dacm::support {
+
+/// CRC-32/ISO-HDLC over `data`.
+std::uint32_t Crc32(std::span<const std::uint8_t> data);
+
+/// Incremental variant: feed `data` into a running crc (start with 0).
+std::uint32_t Crc32Update(std::uint32_t crc, std::span<const std::uint8_t> data);
+
+}  // namespace dacm::support

@@ -1,0 +1,116 @@
+// Fixed-capacity vector.
+//
+// The AUTOSAR-flavoured substrates (os, bsw, rte) follow the standard's
+// static-configuration discipline: all capacities are fixed at design /
+// init time and no allocation happens on the hot path.  FixedVector stores
+// elements inline and refuses growth past its compile-time capacity.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dacm::support {
+
+template <typename T, std::size_t Capacity>
+class FixedVector {
+ public:
+  FixedVector() = default;
+
+  FixedVector(const FixedVector& other) { CopyFrom(other); }
+  FixedVector& operator=(const FixedVector& other) {
+    if (this != &other) {
+      clear();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  FixedVector(FixedVector&& other) noexcept { MoveFrom(std::move(other)); }
+  FixedVector& operator=(FixedVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~FixedVector() { clear(); }
+
+  static constexpr std::size_t capacity() { return Capacity; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == Capacity; }
+
+  /// Appends a copy; returns false (and does nothing) when full.
+  bool push_back(const T& value) {
+    if (full()) return false;
+    new (Slot(size_)) T(value);
+    ++size_;
+    return true;
+  }
+
+  bool push_back(T&& value) {
+    if (full()) return false;
+    new (Slot(size_)) T(std::move(value));
+    ++size_;
+    return true;
+  }
+
+  template <typename... Args>
+  T* emplace_back(Args&&... args) {
+    if (full()) return nullptr;
+    T* p = new (Slot(size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return p;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+    Get(size_)->~T();
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) Get(i)->~T();
+    size_ = 0;
+  }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return *Get(i);
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return *Get(i);
+  }
+
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  T* begin() { return Get(0); }
+  T* end() { return Get(size_); }
+  const T* begin() const { return Get(0); }
+  const T* end() const { return Get(size_); }
+
+ private:
+  void CopyFrom(const FixedVector& other) {
+    for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+  }
+  void MoveFrom(FixedVector&& other) {
+    for (std::size_t i = 0; i < other.size_; ++i) push_back(std::move(other[i]));
+    other.clear();
+  }
+
+  void* Slot(std::size_t i) { return &storage_[i]; }
+  T* Get(std::size_t i) { return std::launder(reinterpret_cast<T*>(&storage_[i])); }
+  const T* Get(std::size_t i) const {
+    return std::launder(reinterpret_cast<const T*>(&storage_[i]));
+  }
+
+  alignas(T) std::array<std::aligned_storage_t<sizeof(T), alignof(T)>, Capacity> storage_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dacm::support

@@ -1,0 +1,54 @@
+// Strong id types.
+//
+// The system juggles many integer id spaces (ECUs, SW-Cs, SW-C ports,
+// plug-in ports, virtual ports, apps, users, vehicles, ...).  A strongly
+// typed wrapper prevents mixing them; each id space instantiates StrongId
+// with a distinct tag type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace dacm::support {
+
+/// Integer id with a phantom `Tag` so distinct id spaces cannot be mixed.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  constexpr Rep value() const { return value_; }
+
+  /// Sentinel distinct from every valid id.
+  static constexpr StrongId Invalid() { return StrongId(static_cast<Rep>(-1)); }
+  constexpr bool valid() const { return value_ != static_cast<Rep>(-1); }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(StrongId a, StrongId b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(StrongId a, StrongId b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(StrongId a, StrongId b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_ = static_cast<Rep>(-1);
+};
+
+}  // namespace dacm::support
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<dacm::support::StrongId<Tag, Rep>> {
+  size_t operator()(dacm::support::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

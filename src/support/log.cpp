@@ -1,0 +1,40 @@
+#include "support/log.hpp"
+
+#include <iostream>
+
+namespace dacm::support {
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+Log::Sink g_sink;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::SetLevel(LogLevel level) { g_level = level; }
+void Log::SetSink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::Write(LogLevel level, std::string_view component,
+                std::string_view message) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, component, message);
+    return;
+  }
+  std::cerr << "[" << LevelName(level) << "] " << component << ": " << message
+            << "\n";
+}
+
+}  // namespace dacm::support

@@ -1,0 +1,180 @@
+// Status / Result error-handling primitives.
+//
+// The library does not throw exceptions across module boundaries (the
+// AUTOSAR-flavoured substrates follow a static-allocation, no-exception
+// discipline).  Fallible operations return support::Status or
+// support::Result<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dacm::support {
+
+/// Coarse error taxonomy shared by all modules.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCapacityExceeded,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kUnavailable,
+  kTimeout,
+  kCorrupted,
+  kUnimplemented,
+  kIncompatible,
+  kDependencyViolation,
+  kResourceExhausted,
+  kProtocolError,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode (stable, used in logs and tests).
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// A success-or-error outcome with an optional diagnostic message.
+class [[nodiscard]] Status {
+ public:
+  /// Successful status.
+  Status() = default;
+
+  /// Error status; `code` must not be kOk.
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status OutOfRange(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+inline Status CapacityExceeded(std::string msg) {
+  return {ErrorCode::kCapacityExceeded, std::move(msg)};
+}
+inline Status PermissionDenied(std::string msg) {
+  return {ErrorCode::kPermissionDenied, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status Timeout(std::string msg) {
+  return {ErrorCode::kTimeout, std::move(msg)};
+}
+inline Status Corrupted(std::string msg) {
+  return {ErrorCode::kCorrupted, std::move(msg)};
+}
+inline Status Unimplemented(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+inline Status Incompatible(std::string msg) {
+  return {ErrorCode::kIncompatible, std::move(msg)};
+}
+inline Status DependencyViolation(std::string msg) {
+  return {ErrorCode::kDependencyViolation, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status ProtocolError(std::string msg) {
+  return {ErrorCode::kProtocolError, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+/// A value-or-error outcome.  Accessing value() on an error aborts in debug
+/// builds; call ok() first.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace dacm::support
+
+// Propagate an error Status from an expression returning Status.
+#define DACM_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::dacm::support::Status dacm_status__ = (expr); \
+    if (!dacm_status__.ok()) return dacm_status__;  \
+  } while (false)
+
+// Evaluate an expression returning Result<T>; on success bind the value to
+// `lhs`, otherwise propagate the error Status.
+#define DACM_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto DACM_CONCAT_(result__, __LINE__) = (expr);   \
+  if (!DACM_CONCAT_(result__, __LINE__).ok())       \
+    return DACM_CONCAT_(result__, __LINE__).status(); \
+  lhs = std::move(DACM_CONCAT_(result__, __LINE__)).value()
+
+#define DACM_CONCAT_INNER_(a, b) a##b
+#define DACM_CONCAT_(a, b) DACM_CONCAT_INNER_(a, b)

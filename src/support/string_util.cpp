@@ -1,0 +1,65 @@
+#include "support/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace dacm::support {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+int CompareVersions(std::string_view a, std::string_view b) {
+  auto fields_a = Split(a, '.');
+  auto fields_b = Split(b, '.');
+  std::size_t n = std::max(fields_a.size(), fields_b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string fa = i < fields_a.size() ? fields_a[i] : "0";
+    std::string fb = i < fields_b.size() ? fields_b[i] : "0";
+    int va = 0, vb = 0;
+    auto ra = std::from_chars(fa.data(), fa.data() + fa.size(), va);
+    auto rb = std::from_chars(fb.data(), fb.data() + fb.size(), vb);
+    bool num_a = ra.ec == std::errc() && ra.ptr == fa.data() + fa.size();
+    bool num_b = rb.ec == std::errc() && rb.ptr == fb.data() + fb.size();
+    if (num_a && num_b) {
+      if (va != vb) return va < vb ? -1 : 1;
+    } else {
+      if (fa != fb) return fa < fb ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace dacm::support

@@ -1,0 +1,25 @@
+// Small string helpers used by the PVM assembler and server modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dacm::support {
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Removes leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Case-sensitive semantic-version-ish comparison of "a.b.c" strings:
+/// returns <0, 0, >0.  Non-numeric fields compare lexicographically.
+int CompareVersions(std::string_view a, std::string_view b);
+
+}  // namespace dacm::support

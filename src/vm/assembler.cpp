@@ -1,0 +1,225 @@
+#include "vm/assembler.hpp"
+
+#include <charconv>
+#include <optional>
+#include <unordered_map>
+
+#include "support/string_util.hpp"
+
+namespace dacm::vm {
+namespace {
+
+struct PendingBranch {
+  std::size_t patch_pos;  // position of the rel16 operand in code
+  std::string label;
+  std::size_t line;
+};
+
+support::Status LineError(std::size_t line, const std::string& message) {
+  return support::InvalidArgument("line " + std::to_string(line) + ": " + message);
+}
+
+std::optional<std::int64_t> ParseInt(std::string_view token) {
+  std::int64_t value = 0;
+  bool negative = false;
+  if (!token.empty() && (token[0] == '-' || token[0] == '+')) {
+    negative = token[0] == '-';
+    token.remove_prefix(1);
+  }
+  if (token.empty()) return std::nullopt;
+  int base = 10;
+  if (token.size() > 2 && token[0] == '0' && (token[1] == 'x' || token[1] == 'X')) {
+    base = 16;
+    token.remove_prefix(2);
+  }
+  auto result = std::from_chars(token.data(), token.data() + token.size(), value, base);
+  if (result.ec != std::errc() || result.ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return negative ? -value : value;
+}
+
+void EmitU8(support::Bytes& code, std::uint8_t v) { code.push_back(v); }
+
+void EmitI32(support::Bytes& code, std::int32_t v) {
+  auto u = static_cast<std::uint32_t>(v);
+  for (int i = 0; i < 4; ++i) {
+    code.push_back(static_cast<std::uint8_t>(u & 0xff));
+    u >>= 8;
+  }
+}
+
+void EmitRel16Placeholder(support::Bytes& code) {
+  code.push_back(0);
+  code.push_back(0);
+}
+
+}  // namespace
+
+support::Result<Program> Assemble(std::string_view source) {
+  Program program;
+  std::unordered_map<std::string, std::uint32_t> labels;
+  std::vector<PendingBranch> branches;
+  std::vector<std::tuple<std::string, std::string, std::size_t>> entry_decls;
+
+  const std::unordered_map<std::string, Op> zero_operand = {
+      {"NOP", Op::kNop},     {"POP", Op::kPop},     {"DUP", Op::kDup},
+      {"SWAP", Op::kSwap},   {"ADD", Op::kAdd},     {"SUB", Op::kSub},
+      {"MUL", Op::kMul},     {"DIV", Op::kDiv},     {"MOD", Op::kMod},
+      {"NEG", Op::kNeg},     {"AND", Op::kAnd},     {"OR", Op::kOr},
+      {"XOR", Op::kXor},     {"SHL", Op::kShl},     {"SHR", Op::kShr},
+      {"CMPEQ", Op::kCmpEq}, {"CMPLT", Op::kCmpLt}, {"CMPGT", Op::kCmpGt},
+      {"RET", Op::kRet},     {"HALT", Op::kHalt},   {"CLOCK", Op::kClock},
+  };
+  const std::unordered_map<std::string, Op> branch_ops = {
+      {"JMP", Op::kJmp}, {"JZ", Op::kJz}, {"JNZ", Op::kJnz}, {"CALL", Op::kCall}};
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    std::size_t end = source.find('\n', start);
+    if (end == std::string_view::npos) end = source.size();
+    std::string_view raw = source.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+
+    // Strip comment and whitespace.
+    if (auto semi = raw.find(';'); semi != std::string_view::npos) {
+      raw = raw.substr(0, semi);
+    }
+    std::string_view line = support::Trim(raw);
+    if (line.empty()) continue;
+
+    // Directive.
+    if (line[0] == '.') {
+      auto tokens = support::SplitWhitespace(line);
+      if (tokens[0] == ".entry") {
+        if (tokens.size() != 3) {
+          return LineError(line_no, ".entry requires: .entry <name> <label>");
+        }
+        entry_decls.emplace_back(tokens[1], tokens[2], line_no);
+        continue;
+      }
+      return LineError(line_no, "unknown directive " + tokens[0]);
+    }
+
+    // Label (possibly with an instruction on the same line: "loop: JMP x").
+    if (auto colon = line.find(':'); colon != std::string_view::npos) {
+      std::string label(support::Trim(line.substr(0, colon)));
+      if (label.empty()) return LineError(line_no, "empty label");
+      if (label.find(' ') != std::string::npos) {
+        return LineError(line_no, "label contains whitespace: " + label);
+      }
+      if (!labels.emplace(label, static_cast<std::uint32_t>(program.code.size())).second) {
+        return LineError(line_no, "duplicate label " + label);
+      }
+      line = support::Trim(line.substr(colon + 1));
+      if (line.empty()) continue;
+    }
+
+    auto tokens = support::SplitWhitespace(line);
+    const std::string& mnemonic = tokens[0];
+
+    if (auto it = zero_operand.find(mnemonic); it != zero_operand.end()) {
+      if (tokens.size() != 1) return LineError(line_no, mnemonic + " takes no operand");
+      EmitU8(program.code, static_cast<std::uint8_t>(it->second));
+      continue;
+    }
+
+    if (auto it = branch_ops.find(mnemonic); it != branch_ops.end()) {
+      if (tokens.size() != 2) return LineError(line_no, mnemonic + " requires a label");
+      EmitU8(program.code, static_cast<std::uint8_t>(it->second));
+      branches.push_back(PendingBranch{program.code.size(), tokens[1], line_no});
+      EmitRel16Placeholder(program.code);
+      continue;
+    }
+
+    if (mnemonic == "PUSH") {
+      if (tokens.size() != 2) return LineError(line_no, "PUSH requires an immediate");
+      auto value = ParseInt(tokens[1]);
+      if (!value || *value < INT32_MIN || *value > INT32_MAX) {
+        return LineError(line_no, "bad immediate " + tokens[1]);
+      }
+      EmitU8(program.code, static_cast<std::uint8_t>(Op::kPush));
+      EmitI32(program.code, static_cast<std::int32_t>(*value));
+      continue;
+    }
+
+    if (mnemonic == "LOAD" || mnemonic == "STORE") {
+      if (tokens.size() != 2) return LineError(line_no, mnemonic + " requires a register");
+      auto reg = ParseInt(tokens[1]);
+      if (!reg || *reg < 0 || *reg > 255) return LineError(line_no, "bad register");
+      EmitU8(program.code, static_cast<std::uint8_t>(mnemonic == "LOAD" ? Op::kLoad
+                                                                        : Op::kStore));
+      EmitU8(program.code, static_cast<std::uint8_t>(*reg));
+      continue;
+    }
+
+    if (mnemonic == "READP" || mnemonic == "AVAILP") {
+      if (tokens.size() != 2) return LineError(line_no, mnemonic + " requires a port");
+      auto port = ParseInt(tokens[1]);
+      if (!port || *port < 0 || *port > 255) return LineError(line_no, "bad port");
+      EmitU8(program.code, static_cast<std::uint8_t>(mnemonic == "READP" ? Op::kReadP
+                                                                         : Op::kAvailP));
+      EmitU8(program.code, static_cast<std::uint8_t>(*port));
+      continue;
+    }
+
+    if (mnemonic == "WRITEP") {
+      if (tokens.size() != 3) return LineError(line_no, "WRITEP requires: port count");
+      auto port = ParseInt(tokens[1]);
+      auto count = ParseInt(tokens[2]);
+      if (!port || *port < 0 || *port > 255) return LineError(line_no, "bad port");
+      if (!count || *count < 0 || *count > static_cast<std::int64_t>(kIoWindowSize)) {
+        return LineError(line_no, "bad byte count");
+      }
+      EmitU8(program.code, static_cast<std::uint8_t>(Op::kWriteP));
+      EmitU8(program.code, static_cast<std::uint8_t>(*port));
+      EmitU8(program.code, static_cast<std::uint8_t>(*count));
+      continue;
+    }
+
+    if (mnemonic == "TRAP") {
+      if (tokens.size() != 2) return LineError(line_no, "TRAP requires a code");
+      auto code = ParseInt(tokens[1]);
+      if (!code || *code < 0 || *code > 255) return LineError(line_no, "bad trap code");
+      EmitU8(program.code, static_cast<std::uint8_t>(Op::kTrap));
+      EmitU8(program.code, static_cast<std::uint8_t>(*code));
+      continue;
+    }
+
+    return LineError(line_no, "unknown mnemonic " + mnemonic);
+  }
+
+  // Resolve branches.
+  for (const PendingBranch& branch : branches) {
+    auto it = labels.find(branch.label);
+    if (it == labels.end()) {
+      return LineError(branch.line, "undefined label " + branch.label);
+    }
+    // rel16 is measured from the pc after the operand.
+    const std::int64_t rel = static_cast<std::int64_t>(it->second) -
+                             static_cast<std::int64_t>(branch.patch_pos + 2);
+    if (rel < INT16_MIN || rel > INT16_MAX) {
+      return LineError(branch.line, "branch out of rel16 range");
+    }
+    const auto rel16 = static_cast<std::uint16_t>(static_cast<std::int16_t>(rel));
+    program.code[branch.patch_pos] = static_cast<std::uint8_t>(rel16 & 0xff);
+    program.code[branch.patch_pos + 1] = static_cast<std::uint8_t>(rel16 >> 8);
+  }
+
+  // Resolve entries.
+  for (const auto& [name, label, decl_line] : entry_decls) {
+    auto it = labels.find(label);
+    if (it == labels.end()) {
+      return LineError(decl_line, "undefined entry label " + label);
+    }
+    program.entries.push_back(EntryPoint{name, it->second});
+  }
+  if (program.entries.empty()) {
+    return support::InvalidArgument("program declares no entry points");
+  }
+  return program;
+}
+
+}  // namespace dacm::vm

@@ -1,0 +1,28 @@
+// PVM assembler.
+//
+// Plug-ins in examples and tests are written in a small assembly dialect
+// and assembled to Program binaries (the artifact a plug-in developer
+// would upload to the trusted server).
+//
+// Syntax (one statement per line, ';' starts a comment):
+//
+//   .entry <name> <label>     ; exported entry point
+//   <label>:                  ; position label
+//   PUSH <imm32>              ; also LOAD/STORE <reg>, READP <port>,
+//   WRITEP <port> <n>         ;   AVAILP <port>, TRAP <code>
+//   JMP <label>               ; also JZ/JNZ/CALL
+//   ADD SUB MUL DIV MOD NEG AND OR XOR SHL SHR
+//   CMPEQ CMPLT CMPGT DUP POP SWAP NOP CLOCK RET HALT
+#pragma once
+
+#include <string_view>
+
+#include "support/status.hpp"
+#include "vm/isa.hpp"
+
+namespace dacm::vm {
+
+/// Assembles source text into a Program.  Errors carry the line number.
+support::Result<Program> Assemble(std::string_view source);
+
+}  // namespace dacm::vm

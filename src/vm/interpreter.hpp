@@ -1,0 +1,91 @@
+// PVM interpreter.
+//
+// Each plug-in instance owns one VmInstance: registers persist across
+// activations (the plug-in's state), while the operand and call stacks
+// reset per activation.  Every activation runs under a fuel budget; when
+// fuel runs out the activation is abandoned (registers keep their current
+// values) and the caller — the PIRTE — decides what to do, implementing
+// the paper's best-effort execution without priority inversion into the
+// built-in software.
+//
+// All environment access goes through the PortEnv interface, implemented
+// by the PIRTE: the plug-in can only see its own ports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/status.hpp"
+#include "vm/isa.hpp"
+
+namespace dacm::vm {
+
+/// Environment a plug-in runs against (implemented by the PIRTE).
+class PortEnv {
+ public:
+  virtual ~PortEnv() = default;
+
+  /// Reads the current message on plug-in port `port` (empty if none).
+  virtual support::Result<support::Bytes> ReadPort(std::uint8_t port) = 0;
+
+  /// Writes a message to plug-in port `port`.
+  virtual support::Status WritePort(std::uint8_t port,
+                                    std::span<const std::uint8_t> data) = 0;
+
+  /// True if fresh (unread) data is pending on `port`.
+  virtual bool PortAvailable(std::uint8_t port) = 0;
+
+  /// Milliseconds since ECU start (wraps at 2^32).
+  virtual std::uint32_t ClockMs() = 0;
+};
+
+enum class ExecOutcome {
+  kHalted,         // HALT / final RET reached
+  kFuelExhausted,  // budget spent before completion
+  kTrap,           // explicit TRAP instruction
+  kFault,          // runtime fault (bad opcode, /0, stack, bounds)
+};
+
+struct ExecResult {
+  ExecOutcome outcome = ExecOutcome::kHalted;
+  std::uint64_t fuel_used = 0;
+  std::uint8_t trap_code = 0;   // valid when outcome == kTrap
+  std::string fault;            // valid when outcome == kFault
+};
+
+struct VmLimits {
+  std::uint32_t max_operand_stack = 64;
+  std::uint32_t max_call_depth = 16;
+  std::uint64_t fuel_per_activation = 100'000;
+};
+
+class VmInstance {
+ public:
+  VmInstance(Program program, PortEnv& env, VmLimits limits = {});
+
+  /// Runs the entry point `entry`; returns kNotFound if it doesn't exist.
+  support::Result<ExecResult> Run(const std::string& entry);
+
+  /// Runs from an absolute pc (used by tests).
+  ExecResult RunAt(std::uint32_t pc);
+
+  /// Plug-in state inspection (tests / diagnostics).
+  std::int32_t Register(std::uint32_t index) const;
+  void SetRegister(std::uint32_t index, std::int32_t value);
+
+  const Program& program() const { return program_; }
+  std::uint64_t total_fuel_used() const { return total_fuel_used_; }
+  std::uint64_t activations() const { return activations_; }
+
+ private:
+  Program program_;
+  PortEnv& env_;
+  VmLimits limits_;
+  std::vector<std::int32_t> registers_;
+  std::uint64_t total_fuel_used_ = 0;
+  std::uint64_t activations_ = 0;
+};
+
+}  // namespace dacm::vm

@@ -1,0 +1,60 @@
+#include "vm/isa.hpp"
+
+namespace dacm::vm {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'V', 'M', '1'};
+}
+
+support::Bytes Program::Serialize() const {
+  support::ByteWriter writer;
+  writer.WriteRaw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), 4));
+  writer.WriteU32(register_count);
+  writer.WriteU32(static_cast<std::uint32_t>(entries.size()));
+  for (const EntryPoint& entry : entries) {
+    writer.WriteString(entry.name);
+    writer.WriteU32(entry.pc);
+  }
+  writer.WriteBlob(code);
+  return writer.Take();
+}
+
+support::Result<Program> Program::Deserialize(std::span<const std::uint8_t> data) {
+  support::ByteReader reader(data);
+  for (char expected : kMagic) {
+    DACM_ASSIGN_OR_RETURN(std::uint8_t byte, reader.ReadU8());
+    if (byte != static_cast<std::uint8_t>(expected)) {
+      return support::Corrupted("bad PVM magic");
+    }
+  }
+  Program program;
+  DACM_ASSIGN_OR_RETURN(program.register_count, reader.ReadU32());
+  if (program.register_count < kIoWindowBase + 1 || program.register_count > 4096) {
+    return support::Corrupted("unreasonable register count");
+  }
+  DACM_ASSIGN_OR_RETURN(std::uint32_t entry_count, reader.ReadU32());
+  if (entry_count > 64) return support::Corrupted("too many entry points");
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    EntryPoint entry;
+    DACM_ASSIGN_OR_RETURN(entry.name, reader.ReadString());
+    DACM_ASSIGN_OR_RETURN(entry.pc, reader.ReadU32());
+    program.entries.push_back(std::move(entry));
+  }
+  DACM_ASSIGN_OR_RETURN(program.code, reader.ReadBlob());
+  for (const EntryPoint& entry : program.entries) {
+    if (entry.pc >= program.code.size()) {
+      return support::Corrupted("entry point outside code: " + entry.name);
+    }
+  }
+  return program;
+}
+
+support::Result<std::uint32_t> Program::FindEntry(const std::string& name) const {
+  for (const EntryPoint& entry : entries) {
+    if (entry.name == name) return entry.pc;
+  }
+  return support::NotFound("entry point: " + name);
+}
+
+}  // namespace dacm::vm

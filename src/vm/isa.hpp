@@ -1,0 +1,93 @@
+// PVM instruction set architecture.
+//
+// The paper executes plug-ins in a Java VM so one binary runs on any ECU,
+// sandboxed behind port-only I/O.  The PVM reproduces those properties
+// with a compact stack machine:
+//
+//  * operands: 32-bit signed integers on an operand stack;
+//  * storage: 256 local registers per plug-in instance (its entire
+//    addressable memory — the "VM is assigned its own memory");
+//  * control: relative branches, structured loops via branches;
+//  * environment access *only* through port syscalls (READP/WRITEP/AVAILP)
+//    and a millisecond clock (CLOCK), mediated by the PIRTE;
+//  * preemption-free activations bounded by a fuel budget enforced by the
+//    interpreter — the "best effort scheme" of §3.1.1.
+//
+// Binary format of a program (little-endian, see Program::Serialize):
+//   magic "PVM1" | u32 register_count | u32 entry_count |
+//   entries: name, u32 pc | u32 code_len | code bytes
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/status.hpp"
+
+namespace dacm::vm {
+
+enum class Op : std::uint8_t {
+  kNop = 0x00,
+  kPush,     // PUSH imm32          -> push immediate
+  kPop,      // POP                 -> discard top
+  kDup,      // DUP                 -> duplicate top
+  kSwap,     // SWAP                -> swap top two
+  kLoad,     // LOAD r              -> push register r
+  kStore,    // STORE r             -> pop into register r
+  kAdd,      // ADD                 -> pop b, a; push a+b
+  kSub,      // SUB
+  kMul,      // MUL
+  kDiv,      // DIV (traps on /0)
+  kMod,      // MOD (traps on %0)
+  kNeg,      // NEG
+  kAnd,      // AND (bitwise)
+  kOr,       // OR
+  kXor,      // XOR
+  kShl,      // SHL
+  kShr,      // SHR (arithmetic)
+  kCmpEq,    // CMPEQ               -> push a==b
+  kCmpLt,    // CMPLT               -> push a<b (signed)
+  kCmpGt,    // CMPGT
+  kJmp,      // JMP rel16           -> relative jump (signed, from next pc)
+  kJz,       // JZ rel16            -> jump if popped value == 0
+  kJnz,      // JNZ rel16
+  kCall,     // CALL rel16          -> push return pc on call stack
+  kRet,      // RET                 -> return (or halt if call stack empty)
+  kHalt,     // HALT                -> end activation normally
+  kReadP,    // READP p             -> read plug-in port p: pushes length
+             //                        then bytes land in registers 128..
+  kWriteP,   // WRITEP p, n         -> write n bytes from registers 128.. to port p
+  kAvailP,   // AVAILP p            -> push 1 if port p has fresh data
+  kClock,    // CLOCK               -> push VM clock (ms, 32-bit wrap)
+  kTrap,     // TRAP imm8           -> deliberate fault (tests fault handling)
+};
+
+/// One named entry point (the plug-in's reaction handlers).
+struct EntryPoint {
+  std::string name;  // e.g. "on_install", "on_data", "step"
+  std::uint32_t pc = 0;
+};
+
+/// A verified-loadable PVM binary.
+struct Program {
+  std::uint32_t register_count = 256;
+  std::vector<EntryPoint> entries;
+  support::Bytes code;
+
+  /// Serializes to the wire format carried inside installation packages.
+  support::Bytes Serialize() const;
+
+  /// Parses and structurally validates a binary (magic, bounds).
+  static support::Result<Program> Deserialize(std::span<const std::uint8_t> data);
+
+  /// Finds an entry point by name.
+  support::Result<std::uint32_t> FindEntry(const std::string& name) const;
+};
+
+/// Registers 128..255 form the I/O window used by READP/WRITEP: each
+/// register holds one byte of the message.
+constexpr std::uint32_t kIoWindowBase = 128;
+constexpr std::uint32_t kIoWindowSize = 128;
+
+}  // namespace dacm::vm

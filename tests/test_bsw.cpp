@@ -1,0 +1,387 @@
+// Unit tests for the basic software: CanIf demultiplexing, CanTp
+// segmentation/reassembly (with fault injection), COM signal packing, NvM
+// persistence, Dem debounce, watchdog supervision.
+#include <gtest/gtest.h>
+
+#include "bsw/can_if.hpp"
+#include "bsw/can_tp.hpp"
+#include "bsw/com.hpp"
+#include "bsw/dem.hpp"
+#include "bsw/nvm.hpp"
+#include "bsw/watchdog.hpp"
+
+namespace dacm::bsw {
+namespace {
+
+struct TwoNodeBus : ::testing::Test {
+  sim::Simulator simulator;
+  sim::CanBus bus{simulator, 500'000};
+  CanIf if_a{bus, "A"};
+  CanIf if_b{bus, "B"};
+};
+
+// --- CanIf ---------------------------------------------------------------------
+
+TEST_F(TwoNodeBus, RoutesById) {
+  std::vector<std::uint32_t> seen;
+  ASSERT_TRUE(if_b.BindRx(0x100, [&](const sim::CanFrame& f) {
+    seen.push_back(f.can_id);
+  }).ok());
+  sim::CanFrame frame;
+  frame.can_id = 0x100;
+  frame.dlc = 1;
+  ASSERT_TRUE(if_a.Transmit(frame).ok());
+  frame.can_id = 0x200;  // unbound
+  ASSERT_TRUE(if_a.Transmit(frame).ok());
+  simulator.Run();
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{0x100}));
+  EXPECT_EQ(if_b.frames_received(), 2u);
+  EXPECT_EQ(if_b.frames_unroutable(), 1u);
+}
+
+TEST_F(TwoNodeBus, DuplicateBindingRejected) {
+  ASSERT_TRUE(if_a.BindRx(5, [](const sim::CanFrame&) {}).ok());
+  EXPECT_EQ(if_a.BindRx(5, [](const sim::CanFrame&) {}).code(),
+            support::ErrorCode::kAlreadyExists);
+}
+
+// --- CanTp ---------------------------------------------------------------------------
+
+struct TpFixture : TwoNodeBus {
+  CanTp tx{if_a, /*tx_id=*/0x100, /*rx_id=*/0x101};
+  CanTp rx{if_b, /*tx_id=*/0x101, /*rx_id=*/0x100};
+  std::vector<support::Bytes> messages;
+  std::vector<support::Status> errors;
+
+  void SetUp() override {
+    rx.SetMessageHandler([this](const support::Bytes& m) { messages.push_back(m); });
+    rx.SetErrorHandler([this](const support::Status& s) { errors.push_back(s); });
+  }
+};
+
+TEST_F(TpFixture, SingleFrameMessage) {
+  const support::Bytes payload = {1, 2, 3};
+  ASSERT_TRUE(tx.Send(payload).ok());
+  simulator.Run();
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0], payload);
+}
+
+TEST_F(TpFixture, EmptyMessage) {
+  ASSERT_TRUE(tx.Send(support::Bytes{}).ok());
+  simulator.Run();
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_TRUE(messages[0].empty());
+}
+
+class TpSizeSweep : public TpFixture,
+                    public ::testing::WithParamInterface<std::size_t> {};
+
+TEST_P(TpSizeSweep, RoundTripsAnySize) {
+  support::Bytes payload(GetParam());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  ASSERT_TRUE(tx.Send(payload).ok());
+  simulator.Run();
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0], payload);
+  EXPECT_TRUE(errors.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TpSizeSweep,
+                         ::testing::Values(1u, 3u, 7u, 8u, 14u, 15u, 100u, 1000u,
+                                           4095u, 4096u, 65537u));
+
+TEST_F(TpFixture, BackToBackMessagesStaySeparate) {
+  ASSERT_TRUE(tx.Send(support::Bytes(100, 0xAA)).ok());
+  ASSERT_TRUE(tx.Send(support::Bytes(50, 0xBB)).ok());
+  simulator.Run();
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].size(), 100u);
+  EXPECT_EQ(messages[1].size(), 50u);
+}
+
+TEST_F(TpFixture, CorruptionDetectedByCrc) {
+  bus.SetCorruptRate(1.0);
+  ASSERT_TRUE(tx.Send(support::Bytes(40, 0x55)).ok());
+  simulator.Run();
+  EXPECT_TRUE(messages.empty());
+  EXPECT_GE(rx.reassembly_errors(), 1u);
+  ASSERT_FALSE(errors.empty());
+}
+
+TEST_F(TpFixture, LostFrameDetectedBySequenceGap) {
+  bus.SetDropRate(0.3);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(tx.Send(support::Bytes(60, static_cast<std::uint8_t>(i))).ok());
+  }
+  simulator.Run();
+  // With 30% frame loss most multi-frame messages die; whatever is
+  // delivered must be intact, and losses must be flagged.
+  for (const auto& message : messages) {
+    EXPECT_EQ(message.size(), 60u);
+  }
+  EXPECT_LT(messages.size(), 20u);
+  EXPECT_GE(rx.reassembly_errors(), 1u);
+}
+
+TEST_F(TpFixture, OversizeSendRejected) {
+  CanTp small(if_a, 0x300, 0x301, /*max_message=*/64);
+  EXPECT_EQ(small.Send(support::Bytes(100, 0)).code(),
+            support::ErrorCode::kCapacityExceeded);
+}
+
+// --- Com ------------------------------------------------------------------------------
+
+struct ComFixture : TwoNodeBus {
+  Com com_a{if_a};
+  Com com_b{if_b};
+};
+
+TEST_F(ComFixture, SignalTransmissionAndNotification) {
+  auto tx_pdu = com_a.DefinePdu("p", 0x200, 4, PduDirection::kTx);
+  auto tx_sig = com_a.DefineSignal("s", *tx_pdu, 0, 4);
+  auto rx_pdu = com_b.DefinePdu("p", 0x200, 4, PduDirection::kRx);
+  auto rx_sig = com_b.DefineSignal("s", *rx_pdu, 0, 4);
+  ASSERT_TRUE(com_a.Init().ok());
+  ASSERT_TRUE(com_b.Init().ok());
+
+  support::Bytes seen;
+  ASSERT_TRUE(com_b.SetRxNotification(*rx_sig, [&](std::span<const std::uint8_t> v) {
+    seen.assign(v.begin(), v.end());
+  }).ok());
+
+  const support::Bytes value = {9, 8, 7, 6};
+  ASSERT_TRUE(com_a.SendSignal(*tx_sig, value).ok());
+  simulator.Run();
+  EXPECT_EQ(seen, value);
+
+  support::Bytes read(4);
+  ASSERT_TRUE(com_b.ReadSignal(*rx_sig, read).ok());
+  EXPECT_EQ(read, value);
+}
+
+TEST_F(ComFixture, MultipleSignalsSharePdu) {
+  auto tx_pdu = com_a.DefinePdu("p", 0x200, 8, PduDirection::kTx);
+  auto sig1 = com_a.DefineSignal("s1", *tx_pdu, 0, 2);
+  auto sig2 = com_a.DefineSignal("s2", *tx_pdu, 2, 2);
+  auto rx_pdu = com_b.DefinePdu("p", 0x200, 8, PduDirection::kRx);
+  auto r1 = com_b.DefineSignal("s1", *rx_pdu, 0, 2);
+  auto r2 = com_b.DefineSignal("s2", *rx_pdu, 2, 2);
+  ASSERT_TRUE(com_a.Init().ok());
+  ASSERT_TRUE(com_b.Init().ok());
+
+  ASSERT_TRUE(com_a.SendSignal(*sig1, support::Bytes{1, 2}).ok());
+  ASSERT_TRUE(com_a.SendSignal(*sig2, support::Bytes{3, 4}).ok());
+  simulator.Run();
+  support::Bytes v1(2), v2(2);
+  ASSERT_TRUE(com_b.ReadSignal(*r1, v1).ok());
+  ASSERT_TRUE(com_b.ReadSignal(*r2, v2).ok());
+  EXPECT_EQ(v1, (support::Bytes{1, 2}));
+  EXPECT_EQ(v2, (support::Bytes{3, 4}));
+}
+
+TEST_F(ComFixture, ConfigValidation) {
+  EXPECT_FALSE(com_a.DefinePdu("big", 1, 9, PduDirection::kTx).ok());  // > CAN frame
+  auto pdu = com_a.DefinePdu("p", 1, 4, PduDirection::kTx);
+  EXPECT_FALSE(com_a.DefineSignal("s", *pdu, 3, 2).ok());  // overflows PDU
+  ASSERT_TRUE(com_a.Init().ok());
+  EXPECT_FALSE(com_a.DefinePdu("late", 2, 4, PduDirection::kTx).ok());
+  EXPECT_EQ(com_a.Init().code(), support::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(ComFixture, SendOnRxSignalRejected) {
+  auto pdu = com_a.DefinePdu("p", 1, 4, PduDirection::kRx);
+  auto sig = com_a.DefineSignal("s", *pdu, 0, 4);
+  ASSERT_TRUE(com_a.Init().ok());
+  EXPECT_EQ(com_a.SendSignal(*sig, support::Bytes{1, 2, 3, 4}).code(),
+            support::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ComFixture, SizeMismatchRejected) {
+  auto pdu = com_a.DefinePdu("p", 1, 4, PduDirection::kTx);
+  auto sig = com_a.DefineSignal("s", *pdu, 0, 4);
+  ASSERT_TRUE(com_a.Init().ok());
+  EXPECT_FALSE(com_a.SendSignal(*sig, support::Bytes{1}).ok());
+}
+
+TEST_F(ComFixture, FindSignalByName) {
+  auto pdu = com_a.DefinePdu("p", 1, 4, PduDirection::kTx);
+  auto sig = com_a.DefineSignal("needle", *pdu, 0, 4);
+  EXPECT_EQ(*com_a.FindSignal("needle"), *sig);
+  EXPECT_FALSE(com_a.FindSignal("nope").ok());
+}
+
+// --- NvM --------------------------------------------------------------------------------
+
+TEST(NvmTest, WriteReadRoundTrip) {
+  Nvm nvm;
+  auto block = nvm.DefineBlock("b", 128);
+  ASSERT_TRUE(block.ok());
+  const support::Bytes data = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(nvm.WriteBlock(*block, data).ok());
+  auto read = nvm.ReadBlock(*block);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST(NvmTest, NeverWrittenBlockIsNotFound) {
+  Nvm nvm;
+  auto block = nvm.DefineBlock("b", 16);
+  EXPECT_EQ(nvm.ReadBlock(*block).status().code(), support::ErrorCode::kNotFound);
+}
+
+TEST(NvmTest, OverflowRejected) {
+  Nvm nvm;
+  auto block = nvm.DefineBlock("b", 4);
+  EXPECT_EQ(nvm.WriteBlock(*block, support::Bytes(5, 0)).code(),
+            support::ErrorCode::kCapacityExceeded);
+}
+
+TEST(NvmTest, CorruptionDetectedOnRead) {
+  Nvm nvm;
+  auto block = nvm.DefineBlock("b", 64);
+  ASSERT_TRUE(nvm.WriteBlock(*block, support::Bytes(32, 0x5A)).ok());
+  ASSERT_TRUE(nvm.CorruptBlockForTest(*block, 13).ok());
+  EXPECT_EQ(nvm.ReadBlock(*block).status().code(), support::ErrorCode::kCorrupted);
+}
+
+TEST(NvmTest, EraseResetsToNeverWritten) {
+  Nvm nvm;
+  auto block = nvm.DefineBlock("b", 16);
+  ASSERT_TRUE(nvm.WriteBlock(*block, support::Bytes{1}).ok());
+  ASSERT_TRUE(nvm.EraseBlock(*block).ok());
+  EXPECT_EQ(nvm.ReadBlock(*block).status().code(), support::ErrorCode::kNotFound);
+}
+
+TEST(NvmTest, DuplicateBlockNameRejected) {
+  Nvm nvm;
+  ASSERT_TRUE(nvm.DefineBlock("b", 16).ok());
+  EXPECT_FALSE(nvm.DefineBlock("b", 16).ok());
+  EXPECT_TRUE(nvm.FindBlock("b").ok());
+  EXPECT_FALSE(nvm.FindBlock("c").ok());
+}
+
+// --- Dem ---------------------------------------------------------------------------------
+
+TEST(DemTest, ImmediateConfirmationAtThresholdOne) {
+  sim::Simulator simulator;
+  Dem dem(simulator);
+  auto event = dem.DefineEvent("e");
+  ASSERT_TRUE(event.ok());
+  EXPECT_FALSE(*dem.IsEventConfirmed(*event));
+  ASSERT_TRUE(dem.ReportEvent(*event, DemEventStatus::kFailed).ok());
+  EXPECT_TRUE(*dem.IsEventConfirmed(*event));
+  EXPECT_EQ(*dem.OccurrenceCount(*event), 1u);
+}
+
+TEST(DemTest, DebounceRequiresConsecutiveFailures) {
+  sim::Simulator simulator;
+  Dem dem(simulator);
+  auto event = dem.DefineEvent("e", 3);
+  ASSERT_TRUE(dem.ReportEvent(*event, DemEventStatus::kFailed).ok());
+  ASSERT_TRUE(dem.ReportEvent(*event, DemEventStatus::kFailed).ok());
+  EXPECT_FALSE(*dem.IsEventConfirmed(*event));
+  ASSERT_TRUE(dem.ReportEvent(*event, DemEventStatus::kPassed).ok());  // resets
+  ASSERT_TRUE(dem.ReportEvent(*event, DemEventStatus::kFailed).ok());
+  ASSERT_TRUE(dem.ReportEvent(*event, DemEventStatus::kFailed).ok());
+  EXPECT_FALSE(*dem.IsEventConfirmed(*event));
+  ASSERT_TRUE(dem.ReportEvent(*event, DemEventStatus::kFailed).ok());
+  EXPECT_TRUE(*dem.IsEventConfirmed(*event));
+}
+
+TEST(DemTest, OccurrenceCountsEpisodes) {
+  sim::Simulator simulator;
+  Dem dem(simulator);
+  auto event = dem.DefineEvent("e");
+  for (int episode = 0; episode < 3; ++episode) {
+    ASSERT_TRUE(dem.ReportEvent(*event, DemEventStatus::kFailed).ok());
+    ASSERT_TRUE(dem.ReportEvent(*event, DemEventStatus::kPassed).ok());
+  }
+  EXPECT_EQ(*dem.OccurrenceCount(*event), 3u);
+}
+
+TEST(DemTest, ConfirmationTimestampUsesSimClock) {
+  sim::Simulator simulator;
+  Dem dem(simulator);
+  auto event = dem.DefineEvent("e");
+  simulator.RunUntil(777);
+  ASSERT_TRUE(dem.ReportEvent(*event, DemEventStatus::kFailed).ok());
+  EXPECT_EQ(*dem.LastConfirmedAt(*event), 777u);
+}
+
+TEST(DemTest, ClearAllAndReadout) {
+  sim::Simulator simulator;
+  Dem dem(simulator);
+  auto e1 = dem.DefineEvent("first");
+  auto e2 = dem.DefineEvent("second");
+  ASSERT_TRUE(dem.ReportEvent(*e1, DemEventStatus::kFailed).ok());
+  ASSERT_TRUE(dem.ReportEvent(*e2, DemEventStatus::kFailed).ok());
+  EXPECT_EQ(dem.ConfirmedEventNames().size(), 2u);
+  dem.ClearAll();
+  EXPECT_TRUE(dem.ConfirmedEventNames().empty());
+  EXPECT_EQ(*dem.OccurrenceCount(*e1), 0u);
+}
+
+// --- Watchdog ---------------------------------------------------------------------------
+
+TEST(WatchdogTest, HealthyEntityNeverExpires) {
+  sim::Simulator simulator;
+  Dem dem(simulator);
+  Watchdog watchdog(simulator, dem, 100);
+  auto event = dem.DefineEvent("wd");
+  auto entity = watchdog.Register("vm", 1, 0, *event);
+  ASSERT_TRUE(entity.ok());
+  watchdog.Start();
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    ASSERT_TRUE(watchdog.ReportAlive(*entity).ok());
+    simulator.RunFor(100);
+  }
+  EXPECT_FALSE(*watchdog.Expired(*entity));
+  EXPECT_FALSE(*dem.IsEventConfirmed(*event));
+}
+
+TEST(WatchdogTest, SilentEntityExpiresAfterTolerance) {
+  sim::Simulator simulator;
+  Dem dem(simulator);
+  Watchdog watchdog(simulator, dem, 100);
+  auto event = dem.DefineEvent("wd");
+  auto entity = watchdog.Register("vm", 1, /*tolerance=*/2, *event);
+  watchdog.Start();
+  simulator.RunFor(250);  // cycles at 100, 200: 2 failures <= tolerance
+  EXPECT_FALSE(*watchdog.Expired(*entity));
+  simulator.RunFor(100);  // third failed cycle exceeds tolerance
+  EXPECT_TRUE(*watchdog.Expired(*entity));
+  EXPECT_TRUE(*dem.IsEventConfirmed(*event));
+}
+
+TEST(WatchdogTest, RecoveryBeforeToleranceResets) {
+  sim::Simulator simulator;
+  Dem dem(simulator);
+  Watchdog watchdog(simulator, dem, 100);
+  auto event = dem.DefineEvent("wd");
+  auto entity = watchdog.Register("vm", 1, 1, *event);
+  watchdog.Start();
+  simulator.RunFor(150);  // one failed cycle
+  ASSERT_TRUE(watchdog.ReportAlive(*entity).ok());
+  simulator.RunFor(100);  // healthy cycle resets the count
+  simulator.RunFor(100);  // one more failed cycle, still within tolerance
+  EXPECT_FALSE(*watchdog.Expired(*entity));
+}
+
+TEST(WatchdogTest, MinAliveEnforced) {
+  sim::Simulator simulator;
+  Dem dem(simulator);
+  Watchdog watchdog(simulator, dem, 100);
+  auto event = dem.DefineEvent("wd");
+  auto entity = watchdog.Register("vm", /*min_alive=*/3, 0, *event);
+  watchdog.Start();
+  ASSERT_TRUE(watchdog.ReportAlive(*entity).ok());
+  ASSERT_TRUE(watchdog.ReportAlive(*entity).ok());  // only 2 of 3
+  simulator.RunFor(100);
+  EXPECT_TRUE(*watchdog.Expired(*entity));
+}
+
+}  // namespace
+}  // namespace dacm::bsw

@@ -1,0 +1,157 @@
+// Unit/integration tests for the ECM gateway, run on a reduced two-ECU
+// vehicle: server connection management, package routing vs. local
+// handling, ECC extraction, inbound/outbound external traffic, ack
+// forwarding, and behaviour while the server or network is unreachable.
+#include <gtest/gtest.h>
+
+#include "fes/appgen.hpp"
+#include "fes/device.hpp"
+#include "fes/testbed.hpp"
+
+namespace dacm::pirte {
+namespace {
+
+using fes::Figure3Options;
+using fes::Figure3Testbed;
+
+struct EcmTest : ::testing::Test {
+  std::unique_ptr<Figure3Testbed> testbed;
+
+  void SetUp() override {
+    auto created = Figure3Testbed::Create();
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    testbed = std::move(*created);
+    ASSERT_TRUE(testbed->SetUp().ok());
+  }
+};
+
+TEST_F(EcmTest, LocalAndRemotePackagesSplitCorrectly) {
+  ASSERT_TRUE(testbed->DeployRemoteCar().ok());
+  const auto& stats = testbed->vehicle().ecm()->ecm_stats();
+  EXPECT_EQ(stats.packages_local, 1u);   // COM on the ECM's own ECU
+  EXPECT_EQ(stats.packages_routed, 1u);  // OP forwarded to ECU2
+  EXPECT_EQ(stats.acks_forwarded, 1u);   // OP's ack relayed to the server
+}
+
+TEST_F(EcmTest, EccIsExtractedAndStrippedInFlight) {
+  ASSERT_TRUE(testbed->DeployRemoteCar().ok());
+  // The phone link must be up (the ECM consumed the ECC and connected).
+  EXPECT_EQ(testbed->phone().connections(), 1u);
+  // The plug-in SW-C on ECU2 stored a package; its ECC must be empty —
+  // verify via the persisted NvM image on ECU2.
+  auto* ecu2 = testbed->vehicle().FindEcu(2);
+  ASSERT_NE(ecu2, nullptr);
+  auto block = ecu2->nvm().FindBlock("pirte.PIRTE2");
+  ASSERT_TRUE(block.ok());
+  auto image = ecu2->nvm().ReadBlock(*block);
+  ASSERT_TRUE(image.ok());
+  support::ByteReader reader(*image);
+  auto count = reader.ReadVarU32();
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(*count, 1u);
+  auto blob = reader.ReadBlob();
+  ASSERT_TRUE(blob.ok());
+  auto package = InstallationPackage::Deserialize(*blob);
+  ASSERT_TRUE(package.ok());
+  EXPECT_TRUE(package->ecc.empty());
+}
+
+TEST_F(EcmTest, InboundExternalDataRoutedToLocalPlugin) {
+  ASSERT_TRUE(testbed->DeployRemoteCar().ok());
+  // 'Wheels' targets COM on the ECM's own ECU: delivered directly.
+  const auto before = testbed->vehicle().ecm()->ecm_stats().external_in;
+  ASSERT_TRUE(testbed->SendWheels(5).ok());
+  EXPECT_EQ(testbed->vehicle().ecm()->ecm_stats().external_in, before + 1);
+}
+
+TEST_F(EcmTest, UnknownMessageIdIsIgnoredSafely) {
+  ASSERT_TRUE(testbed->DeployRemoteCar().ok());
+  ASSERT_TRUE(testbed->phone().Send("Horn", fes::EncodeControl(1)).ok());
+  testbed->simulator().RunFor(sim::kSecond);
+  // Nothing crashes; no actuator change.
+  EXPECT_EQ(testbed->wheels_commands(), 0u);
+  EXPECT_EQ(testbed->last_wheels(), 0);
+}
+
+TEST_F(EcmTest, ExternalDataBeforeInstallIsDropped) {
+  // No ECC registered yet: the frame has no matching entry.
+  ASSERT_TRUE(testbed->phone().connections() == 0u);
+  // Phone can't even deliver without a connection; send after deploy of a
+  // *different* app would be needed. Simply verify no crash on deploy-less
+  // traffic attempt.
+  EXPECT_EQ(testbed->phone().Send("Wheels", fes::EncodeControl(1)).code(),
+            support::ErrorCode::kUnavailable);
+}
+
+TEST_F(EcmTest, RouteFailureNacksToServer) {
+  // Upload an app whose SW conf places its plug-in on an ECU that has a
+  // plug-in SW-C per the *model conf lie*, but for which the vehicle has
+  // no Type I route: fabricate by uploading a model that lists a ghost ECU.
+  auto model = fes::MakeRpiTestbedConf();
+  model.model = "ghost-model";
+  model.hw.ecus.push_back(server::EcuInfo{3, "ECU3", true, false, 8, 65536});
+  ASSERT_TRUE(testbed->server().UploadVehicleModel(model).ok());
+  ASSERT_TRUE(testbed->server()
+                  .BindVehicle(testbed->user(), "VIN-GHOST", "ghost-model")
+                  .ok());
+  // VIN-GHOST is offline though; use the real vehicle's model instead:
+  // target ECU 3 does not exist on the real vehicle but we must trick the
+  // compatibility check — reupload the real model with the ghost ECU.
+  auto patched = fes::MakeRpiTestbedConf();
+  patched.hw.ecus.push_back(server::EcuInfo{3, "ECU3", true, false, 8, 65536});
+  ASSERT_TRUE(testbed->server().UploadVehicleModel(patched).ok());
+
+  fes::SyntheticAppParams params;
+  params.name = "ghost-app";
+  params.vehicle_model = "rpi-testbed";
+  params.target_ecu = 3;
+  ASSERT_TRUE(testbed->server().UploadApp(fes::MakeSyntheticApp(params)).ok());
+  ASSERT_TRUE(testbed->server().Deploy(testbed->user(), "VIN-0001", "ghost-app").ok());
+  testbed->RunUntil(
+      [&]() {
+        auto state = testbed->server().AppState("VIN-0001", "ghost-app");
+        return state.ok() && *state == server::InstallState::kFailed;
+      },
+      5 * sim::kSecond);
+  auto state = testbed->server().AppState("VIN-0001", "ghost-app");
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, server::InstallState::kFailed);
+}
+
+TEST_F(EcmTest, EcmHostsPluginsItself) {
+  // The ECM "inherits from the plug-in SW-C": COM runs inside it.
+  ASSERT_TRUE(testbed->DeployRemoteCar().ok());
+  auto* ecm = testbed->vehicle().ecm();
+  ASSERT_NE(ecm->FindPlugin("COM"), nullptr);
+  EXPECT_EQ(ecm->FindPlugin("COM")->state(), PluginState::kRunning);
+  EXPECT_EQ(ecm->stats().installs, 1u);
+}
+
+struct OfflineServerTest : ::testing::Test {};
+
+TEST_F(OfflineServerTest, EcmReconnectsWhenServerComesUpLate) {
+  // Build the vehicle while no server is listening; the ECM must retry and
+  // connect once the server starts.
+  sim::Simulator simulator;
+  sim::Network network(simulator, 10 * sim::kMillisecond);
+
+  fes::Vehicle vehicle(simulator, network,
+                       fes::VehicleParams{"VIN-L", "rpi-testbed", 500'000});
+  fes::Ecu& ecu1 = vehicle.AddEcu(1, "ECU1");
+  auto p1 = vehicle.AddPluginSwc(ecu1, "PIRTE1");
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(vehicle.DesignateEcm(**p1, "late-server:443").ok());
+  ASSERT_TRUE(vehicle.Finalize().ok());
+
+  simulator.RunFor(2 * sim::kSecond);
+  EXPECT_FALSE(vehicle.ecm()->connected_to_server());
+
+  server::TrustedServer server(network, "late-server:443");
+  ASSERT_TRUE(server.Start().ok());
+  simulator.RunFor(2 * sim::kSecond);
+  EXPECT_TRUE(vehicle.ecm()->connected_to_server());
+  EXPECT_TRUE(server.VehicleOnline("VIN-L"));
+}
+
+}  // namespace
+}  // namespace dacm::pirte

@@ -1,0 +1,151 @@
+// End-to-end integration tests for the paper's §4 example application
+// (Figure 3): server-triggered installation across the ECM into two ECUs,
+// followed by the full phone -> COM -> Type II -> OP -> virtual ports ->
+// built-in software signal chain.
+#include <gtest/gtest.h>
+
+#include "fes/testbed.hpp"
+#include "server/server.hpp"
+
+namespace dacm {
+namespace {
+
+using fes::Figure3Testbed;
+
+class Figure3Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto testbed = Figure3Testbed::Create();
+    ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+    testbed_ = std::move(*testbed);
+    ASSERT_TRUE(testbed_->SetUp().ok());
+  }
+
+  std::unique_ptr<Figure3Testbed> testbed_;
+};
+
+TEST_F(Figure3Test, EcmConnectsToTrustedServerAtStartup) {
+  EXPECT_TRUE(testbed_->server().VehicleOnline("VIN-0001"));
+  EXPECT_TRUE(testbed_->vehicle().ecm()->connected_to_server());
+}
+
+TEST_F(Figure3Test, DeployInstallsBothPluginsAndAcksArrive) {
+  ASSERT_TRUE(testbed_->DeployRemoteCar().ok());
+
+  auto state = testbed_->server().AppState("VIN-0001", "remote-car");
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, server::InstallState::kInstalled);
+
+  // COM landed on the ECM (PIRTE1), OP on PIRTE2.
+  auto* pirte1 = testbed_->vehicle().FindPirte("PIRTE1");
+  auto* pirte2 = testbed_->vehicle().FindPirte("PIRTE2");
+  ASSERT_NE(pirte1, nullptr);
+  ASSERT_NE(pirte2, nullptr);
+  ASSERT_NE(pirte1->FindPlugin("COM"), nullptr);
+  ASSERT_NE(pirte2->FindPlugin("OP"), nullptr);
+  EXPECT_EQ(pirte1->FindPlugin("COM")->state(), pirte::PluginState::kRunning);
+  EXPECT_EQ(pirte2->FindPlugin("OP")->state(), pirte::PluginState::kRunning);
+}
+
+TEST_F(Figure3Test, WheelsCommandReachesMotorControl) {
+  ASSERT_TRUE(testbed_->DeployRemoteCar().ok());
+
+  auto latency = testbed_->SendWheels(42);
+  ASSERT_TRUE(latency.ok()) << latency.status().ToString();
+  EXPECT_EQ(testbed_->last_wheels(), 42);
+  EXPECT_EQ(testbed_->wheels_commands(), 1u);
+  EXPECT_GT(*latency, 0u);
+}
+
+TEST_F(Figure3Test, SpeedCommandReachesMotorControl) {
+  ASSERT_TRUE(testbed_->DeployRemoteCar().ok());
+
+  // 55 is inside the OEM guard's [0, 100] speed range; hostile values are
+  // covered by FesTest.HostileValuesStopAtTheCriticalSignalGuards.
+  auto latency = testbed_->SendSpeed(55);
+  ASSERT_TRUE(latency.ok()) << latency.status().ToString();
+  EXPECT_EQ(testbed_->last_speed(), 55);
+}
+
+TEST_F(Figure3Test, RepeatedCommandsAllArriveInOrder) {
+  ASSERT_TRUE(testbed_->DeployRemoteCar().ok());
+  for (int i = 1; i <= 10; ++i) {
+    auto latency = testbed_->SendWheels(i * 3);
+    ASSERT_TRUE(latency.ok()) << "command " << i;
+    EXPECT_EQ(testbed_->last_wheels(), i * 3);
+  }
+  EXPECT_EQ(testbed_->wheels_commands(), 10u);
+}
+
+TEST_F(Figure3Test, UninstallRemovesBothPluginsAndStopsTraffic) {
+  ASSERT_TRUE(testbed_->DeployRemoteCar().ok());
+  ASSERT_TRUE(testbed_->SendWheels(1).ok());
+
+  ASSERT_TRUE(
+      testbed_->server().UninstallApp(testbed_->user(), "VIN-0001", "remote-car").ok());
+  testbed_->RunUntil(
+      [&]() {
+        return testbed_->server().AppState("VIN-0001", "remote-car").status().code() ==
+               support::ErrorCode::kNotFound;
+      },
+      5 * sim::kSecond);
+  EXPECT_FALSE(testbed_->server().AppState("VIN-0001", "remote-car").ok());
+  EXPECT_EQ(testbed_->vehicle().FindPirte("PIRTE1")->FindPlugin("COM"), nullptr);
+  EXPECT_EQ(testbed_->vehicle().FindPirte("PIRTE2")->FindPlugin("OP"), nullptr);
+
+  // Phone traffic no longer reaches the actuators.
+  const auto before = testbed_->wheels_commands();
+  (void)testbed_->phone().Send("Wheels", fes::EncodeControl(9));
+  testbed_->simulator().RunFor(sim::kSecond);
+  EXPECT_EQ(testbed_->wheels_commands(), before);
+}
+
+TEST_F(Figure3Test, GeneratedContextsMatchThePaper) {
+  // The server must produce exactly the PLC/ECC of §4: COM gets
+  // {P0-, P1-, P2-V0.P0, P3-V0.P1} plus two inbound ECC entries; OP gets
+  // {P2-V4, P3-V5}.
+  auto app = fes::MakeRemoteCarApp("111.22.33.44:56789");
+  auto model = fes::MakeRpiTestbedConf();
+  server::UsedIdMap used;
+  auto generated =
+      server::GeneratePackages(app, app.confs[0], model.sw, used);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  ASSERT_EQ(generated->size(), 2u);
+
+  const auto& com = (*generated)[0];
+  EXPECT_EQ(com.plugin, "COM");
+  EXPECT_EQ(com.ecu_id, 1u);
+  ASSERT_EQ(com.package.plc.entries.size(), 4u);
+  // P0-, P1- (PIRTE-direct; external data arrives through the ECM).
+  EXPECT_EQ(com.package.plc.entries[0].kind, pirte::PlcKind::kUnconnected);
+  EXPECT_EQ(com.package.plc.entries[1].kind, pirte::PlcKind::kUnconnected);
+  // P2-V0.P0 and P3-V0.P1.
+  EXPECT_EQ(com.package.plc.entries[2].kind, pirte::PlcKind::kVirtualRemote);
+  EXPECT_EQ(com.package.plc.entries[2].local_port, 2);
+  EXPECT_EQ(com.package.plc.entries[2].virtual_port, 0);
+  EXPECT_EQ(com.package.plc.entries[2].remote_port_id, 0);  // OP.P0 got uid 0
+  EXPECT_EQ(com.package.plc.entries[3].kind, pirte::PlcKind::kVirtualRemote);
+  EXPECT_EQ(com.package.plc.entries[3].remote_port_id, 1);  // OP.P1 got uid 1
+  // ECC: {phone, 'Wheels', ECU1, P0} and {phone, 'Speed', ECU1, P1}.
+  ASSERT_EQ(com.package.ecc.entries.size(), 2u);
+  EXPECT_EQ(com.package.ecc.entries[0].message_id, "Wheels");
+  EXPECT_EQ(com.package.ecc.entries[0].endpoint, "111.22.33.44:56789");
+  EXPECT_EQ(com.package.ecc.entries[0].target_ecu, 1u);
+  EXPECT_EQ(com.package.ecc.entries[0].port_unique_id, 0);
+  EXPECT_EQ(com.package.ecc.entries[1].message_id, "Speed");
+  EXPECT_EQ(com.package.ecc.entries[1].port_unique_id, 1);
+
+  const auto& op = (*generated)[1];
+  EXPECT_EQ(op.plugin, "OP");
+  EXPECT_EQ(op.ecu_id, 2u);
+  ASSERT_EQ(op.package.plc.entries.size(), 2u);
+  EXPECT_EQ(op.package.plc.entries[0].kind, pirte::PlcKind::kVirtual);
+  EXPECT_EQ(op.package.plc.entries[0].local_port, 2);
+  EXPECT_EQ(op.package.plc.entries[0].virtual_port, 4);  // V4 = WheelsReq
+  EXPECT_EQ(op.package.plc.entries[1].local_port, 3);
+  EXPECT_EQ(op.package.plc.entries[1].virtual_port, 5);  // V5 = SpeedReq
+  EXPECT_TRUE(op.package.ecc.empty());
+}
+
+}  // namespace
+}  // namespace dacm

@@ -1,0 +1,292 @@
+// Fault protection of the exposed plug-in API (paper §3.1.1): the
+// SignalGuard's length / value / rate policies, Dem integration, translator
+// composition, and the system-level guarantee that a guarded drop is
+// diagnosed but never faults the plug-in.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bsw/nvm.hpp"
+#include "fes/appgen.hpp"
+#include "fes/ecu.hpp"
+#include "pirte/guard.hpp"
+#include "pirte/pirte.hpp"
+
+namespace dacm::pirte {
+namespace {
+
+support::Bytes I32(std::int32_t value) {
+  support::ByteWriter writer;
+  writer.WriteI32(value);
+  return writer.Take();
+}
+
+std::int32_t AsI32(const support::Bytes& data) {
+  support::ByteReader reader(data);
+  return *reader.ReadI32();
+}
+
+struct GuardHarness {
+  sim::Simulator simulator;
+  bsw::Dem dem{simulator};
+  bsw::DemEventId event;
+  std::shared_ptr<SignalGuard> guard;
+  Translator translator;
+
+  explicit GuardHarness(GuardPolicy policy, Translator inner = {}) {
+    event = *dem.DefineEvent("guard." + policy.name, /*failure_threshold=*/1);
+    guard = SignalGuard::Create(simulator, std::move(policy), &dem, event);
+    translator = guard->MakeTranslator(std::move(inner));
+  }
+};
+
+// --- value range ------------------------------------------------------------------
+
+TEST(GuardValue, InRangePassesUnchanged) {
+  GuardPolicy policy;
+  policy.name = "Wheels";
+  policy.check_value = true;
+  policy.min_value = -45;
+  policy.max_value = 45;
+  GuardHarness harness(policy);
+  auto out = harness.translator(I32(30));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(AsI32(*out), 30);
+  EXPECT_EQ(harness.guard->stats().passed, 1u);
+  EXPECT_FALSE(*harness.dem.IsEventConfirmed(harness.event));
+}
+
+TEST(GuardValue, ClampSaturatesToNearestBound) {
+  GuardPolicy policy;
+  policy.name = "Wheels";
+  policy.check_value = true;
+  policy.min_value = -45;
+  policy.max_value = 45;
+  policy.on_range_violation = GuardAction::kClamp;
+  GuardHarness harness(policy);
+  auto high = harness.translator(I32(90));
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(AsI32(*high), 45);
+  auto low = harness.translator(I32(-1000));
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(AsI32(*low), -45);
+  EXPECT_EQ(harness.guard->stats().clamped, 2u);
+  // Clamping is still a diagnosed violation.
+  EXPECT_TRUE(*harness.dem.IsEventConfirmed(harness.event));
+}
+
+TEST(GuardValue, DropRejectsWithOutOfRange) {
+  GuardPolicy policy;
+  policy.name = "Speed";
+  policy.check_value = true;
+  policy.min_value = 0;
+  policy.max_value = 100;
+  policy.on_range_violation = GuardAction::kDrop;
+  GuardHarness harness(policy);
+  auto out = harness.translator(I32(9000));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), support::ErrorCode::kOutOfRange);
+  EXPECT_EQ(harness.guard->stats().dropped_range, 1u);
+}
+
+TEST(GuardValue, NonControlPayloadSkipsValueCheck) {
+  GuardPolicy policy;
+  policy.name = "Blob";
+  policy.check_value = true;  // but payload is not 4 bytes
+  policy.min_value = 0;
+  policy.max_value = 1;
+  GuardHarness harness(policy);
+  const support::Bytes blob{1, 2, 3, 4, 5, 6};
+  auto out = harness.translator(blob);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, blob);
+}
+
+// --- length -----------------------------------------------------------------------------
+
+TEST(GuardLength, BoundsEnforcedBothSides) {
+  GuardPolicy policy;
+  policy.name = "Frame";
+  policy.min_len = 2;
+  policy.max_len = 4;
+  GuardHarness harness(policy);
+  EXPECT_FALSE(harness.translator(support::Bytes{1}).ok());
+  EXPECT_TRUE(harness.translator(support::Bytes{1, 2}).ok());
+  EXPECT_TRUE(harness.translator(support::Bytes{1, 2, 3, 4}).ok());
+  EXPECT_FALSE(harness.translator(support::Bytes{1, 2, 3, 4, 5}).ok());
+  EXPECT_EQ(harness.guard->stats().dropped_len, 2u);
+}
+
+// --- rate ------------------------------------------------------------------------------------
+
+TEST(GuardRate, MessagesFasterThanIntervalAreDropped) {
+  GuardPolicy policy;
+  policy.name = "Throttle";
+  policy.min_interval = 10 * sim::kMillisecond;
+  GuardHarness harness(policy);
+  EXPECT_TRUE(harness.translator(I32(1)).ok());   // first always passes
+  EXPECT_FALSE(harness.translator(I32(2)).ok());  // same instant: too fast
+  harness.simulator.RunUntil(harness.simulator.Now() + 11 * sim::kMillisecond);
+  EXPECT_TRUE(harness.translator(I32(3)).ok());
+  EXPECT_EQ(harness.guard->stats().dropped_rate, 1u);
+  EXPECT_EQ(harness.guard->stats().passed, 2u);
+}
+
+TEST(GuardRate, RejectedMessagesDoNotResetTheWindow) {
+  GuardPolicy policy;
+  policy.name = "Throttle";
+  policy.min_interval = 10 * sim::kMillisecond;
+  GuardHarness harness(policy);
+  EXPECT_TRUE(harness.translator(I32(1)).ok());
+  harness.simulator.RunUntil(harness.simulator.Now() + 6 * sim::kMillisecond);
+  EXPECT_FALSE(harness.translator(I32(2)).ok());  // at 6 ms: dropped
+  harness.simulator.RunUntil(harness.simulator.Now() + 5 * sim::kMillisecond);
+  // 11 ms since the last *accepted* message: must pass even though only
+  // 5 ms passed since the rejected one.
+  EXPECT_TRUE(harness.translator(I32(3)).ok());
+}
+
+// --- composition -------------------------------------------------------------------------------
+
+TEST(GuardCompose, InnerTranslatorRunsBeforePolicy) {
+  // Inner translation: 1-byte plug-in format -> 4-byte control value.
+  Translator widen = [](std::span<const std::uint8_t> data)
+      -> support::Result<support::Bytes> {
+    if (data.size() != 1) return support::InvalidArgument("want 1 byte");
+    return I32(static_cast<std::int8_t>(data[0]));
+  };
+  GuardPolicy policy;
+  policy.name = "Wheels";
+  policy.check_value = true;
+  policy.min_value = -45;
+  policy.max_value = 45;
+  GuardHarness harness(policy, widen);
+  auto ok = harness.translator(support::Bytes{42});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(AsI32(*ok), 42);
+  // 0x7F = 127 as signed -> clamped to 45: the policy saw the *converted* value.
+  auto clamped = harness.translator(support::Bytes{0x7F});
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(AsI32(*clamped), 45);
+  // Inner translator failures pass through as-is (not guard violations).
+  auto bad = harness.translator(support::Bytes{1, 2});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), support::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(harness.guard->stats().violations(), 1u);
+}
+
+// --- system level: guarded PIRTE ------------------------------------------------------------------
+
+struct GuardedStack {
+  sim::Simulator simulator;
+  sim::CanBus bus{simulator, 500'000};
+  fes::Ecu ecu{simulator, bus, 1, "ECU1"};
+  bsw::Nvm nvm;
+  std::shared_ptr<SignalGuard> guard;
+  std::unique_ptr<Pirte> pirte;
+  rte::PortId mon_act = rte::PortId::Invalid();
+
+  GuardedStack() {
+    rte::Rte& rte = ecu.ecu_rte();
+    auto plug_swc = *rte.AddSwc("Plug");
+    auto harness_swc = *rte.AddSwc("Harness");
+    rte::PortConfig act_config;
+    act_config.name = "ActReq";
+    act_config.direction = rte::PortDirection::kProvided;
+    act_config.max_len = 64;
+    auto act_out = *rte.AddPort(plug_swc, std::move(act_config));
+    rte::PortConfig mon_config;
+    mon_config.name = "mon.act";
+    mon_config.direction = rte::PortDirection::kRequired;
+    mon_config.max_len = 64;
+    mon_act = *rte.AddPort(harness_swc, std::move(mon_config));
+    EXPECT_TRUE(rte.ConnectLocal(act_out, mon_act).ok());
+
+    auto event = *ecu.dem().DefineEvent("guard.ActReq");
+    GuardPolicy policy;
+    policy.name = "ActReq";
+    policy.check_value = true;
+    policy.min_value = 0;
+    policy.max_value = 100;
+    policy.on_range_violation = GuardAction::kDrop;
+    guard = SignalGuard::Create(simulator, policy, &ecu.dem(), event);
+
+    PirteConfig config;
+    config.name = "P1";
+    config.ecu_id = 1;
+    config.swc = plug_swc;
+    VirtualPortConfig v4;
+    v4.id = 4;
+    v4.name = "ActReq";
+    v4.kind = VirtualPortKind::kTypeIII;
+    v4.swc_out = act_out;
+    v4.translate_out = guard->MakeTranslator();
+    config.virtual_ports.push_back(v4);
+
+    pirte = std::make_unique<Pirte>(rte, &nvm, &ecu.dem(), std::move(config));
+    EXPECT_TRUE(pirte->Init().ok());
+    EXPECT_TRUE(ecu.Start().ok());
+    simulator.Run();
+
+    // A pass-through plug-in: writes its 4-byte input to the guarded port.
+    InstallationPackage package;
+    package.plugin_name = "writer";
+    package.version = "1.0";
+    package.pic.entries = {{0, "in", 0, PluginPortDirection::kRequired},
+                           {1, "out", 1, PluginPortDirection::kProvided}};
+    package.plc.entries = {{1, PlcKind::kVirtual, 4, 0, "", 0}};
+    // Forwards exactly the 4-byte control value (the guard checks i32
+    // payloads only when they are exactly 4 bytes long).
+    package.binary = fes::AssembleOrDie(R"(
+      .entry on_data h
+      h:
+        READP 0
+        POP
+        WRITEP 1 4
+        HALT
+    )");
+    EXPECT_TRUE(pirte->Install(package).ok());
+    simulator.Run();
+  }
+
+  void Write(std::int32_t value) {
+    (void)pirte->DeliverToPluginPortByUnique(0, I32(value));
+    simulator.Run();
+  }
+
+  support::Result<std::int32_t> Actuator() {
+    auto data = ecu.ecu_rte().Read(mon_act);
+    if (!data.ok()) return data.status();
+    return AsI32(*data);
+  }
+};
+
+TEST(GuardSystem, OutOfRangeWriteIsDroppedDiagnosedAndNonFatal) {
+  GuardedStack stack;
+  stack.Write(50);
+  ASSERT_TRUE(stack.Actuator().ok());
+  EXPECT_EQ(*stack.Actuator(), 50);
+
+  stack.Write(5000);  // hostile value
+  EXPECT_EQ(*stack.Actuator(), 50) << "actuator must keep the last safe value";
+  EXPECT_EQ(stack.pirte->stats().guard_drops, 1u);
+  EXPECT_TRUE(*stack.ecu.dem().IsEventConfirmed(
+      *stack.ecu.dem().FindEvent("guard.ActReq")));
+  // The plug-in itself is alive — guarded drops are not plug-in faults.
+  EXPECT_EQ(stack.pirte->FindPlugin("writer")->state(), PluginState::kRunning);
+  EXPECT_EQ(stack.pirte->stats().vm_faults, 0u);
+
+  stack.Write(70);  // back in range: traffic continues
+  EXPECT_EQ(*stack.Actuator(), 70);
+}
+
+TEST(GuardSystem, GuardStatsCountEveryVerdict) {
+  GuardedStack stack;
+  for (std::int32_t value : {10, 200, 20, -5, 30}) stack.Write(value);
+  EXPECT_EQ(stack.guard->stats().passed, 3u);
+  EXPECT_EQ(stack.guard->stats().dropped_range, 2u);
+  EXPECT_EQ(stack.pirte->stats().guard_drops, 2u);
+}
+
+}  // namespace
+}  // namespace dacm::pirte

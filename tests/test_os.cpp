@@ -1,0 +1,243 @@
+// Unit tests for the OSEK-flavoured OS kernel: static task configuration,
+// priority dispatch, activation limits, alarms, events, resources, hooks.
+#include <gtest/gtest.h>
+
+#include "os/os.hpp"
+
+namespace dacm::os {
+namespace {
+
+struct OsFixture : ::testing::Test {
+  sim::Simulator simulator;
+  Os ecu_os{simulator, "ECU"};
+  std::vector<std::string> trace;
+
+  TaskId MakeTask(const std::string& name, std::uint8_t priority,
+                  std::uint8_t max_activations = 1,
+                  sim::SimTime exec = 10 * sim::kMicrosecond,
+                  TaskKind kind = TaskKind::kBasic) {
+    TaskConfig config;
+    config.name = name;
+    config.kind = kind;
+    config.priority = priority;
+    config.max_activations = max_activations;
+    config.execution_time = exec;
+    config.body = [this, name](EventMask events) {
+      trace.push_back(name + (events ? "+" + std::to_string(events) : ""));
+    };
+    auto id = ecu_os.CreateTask(std::move(config));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return *id;
+  }
+};
+
+TEST_F(OsFixture, ConfigurationFrozenAfterStart) {
+  MakeTask("t", 1);
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  TaskConfig late;
+  late.name = "late";
+  late.body = [](EventMask) {};
+  EXPECT_EQ(ecu_os.CreateTask(std::move(late)).status().code(),
+            support::ErrorCode::kFailedPrecondition);
+  EXPECT_FALSE(ecu_os.CreateResource("r", 1).ok());
+  EXPECT_EQ(ecu_os.StartOs().code(), support::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(OsFixture, DuplicateTaskNameRejected) {
+  MakeTask("same", 1);
+  TaskConfig duplicate;
+  duplicate.name = "same";
+  duplicate.body = [](EventMask) {};
+  EXPECT_EQ(ecu_os.CreateTask(std::move(duplicate)).status().code(),
+            support::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(OsFixture, ActivateBeforeStartFails) {
+  auto task = MakeTask("t", 1);
+  EXPECT_EQ(ecu_os.ActivateTask(task).code(),
+            support::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(OsFixture, HigherPriorityDispatchesFirst) {
+  auto low = MakeTask("low", 1);
+  auto high = MakeTask("high", 9);
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  ASSERT_TRUE(ecu_os.ActivateTask(low).ok());
+  ASSERT_TRUE(ecu_os.ActivateTask(high).ok());
+  simulator.Run();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0], "high");
+  EXPECT_EQ(trace[1], "low");
+}
+
+TEST_F(OsFixture, CpuBusyDelaysNextDispatch) {
+  auto a = MakeTask("a", 5, 1, 100 * sim::kMicrosecond);
+  auto b = MakeTask("b", 1, 1, 10 * sim::kMicrosecond);
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  ASSERT_TRUE(ecu_os.ActivateTask(a).ok());
+  ASSERT_TRUE(ecu_os.ActivateTask(b).ok());
+  simulator.Run();
+  // b runs only after a's 100us execution window.
+  EXPECT_GE(simulator.Now(), 100u);
+  EXPECT_EQ(trace, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(OsFixture, ActivationLimitEnforced) {
+  auto task = MakeTask("t", 1, /*max_activations=*/2);
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  EXPECT_TRUE(ecu_os.ActivateTask(task).ok());
+  EXPECT_TRUE(ecu_os.ActivateTask(task).ok());
+  EXPECT_EQ(ecu_os.ActivateTask(task).code(),
+            support::ErrorCode::kResourceExhausted);  // E_OS_LIMIT
+  simulator.Run();
+  EXPECT_EQ(ecu_os.task_activations(task), 2u);
+}
+
+TEST_F(OsFixture, ErrorHookSeesLimitViolation) {
+  auto task = MakeTask("t", 1, 1);
+  std::vector<support::ErrorCode> hook_codes;
+  ecu_os.SetErrorHook([&](const support::Status& s) { hook_codes.push_back(s.code()); });
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  ASSERT_TRUE(ecu_os.ActivateTask(task).ok());
+  (void)ecu_os.ActivateTask(task);
+  ASSERT_EQ(hook_codes.size(), 1u);
+  EXPECT_EQ(hook_codes[0], support::ErrorCode::kResourceExhausted);
+}
+
+TEST_F(OsFixture, EventsDeliveredToExtendedTask) {
+  auto task = MakeTask("ext", 3, 1, 10, TaskKind::kExtended);
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  ASSERT_TRUE(ecu_os.SetEvent(task, 0x5).ok());
+  simulator.Run();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0], "ext+5");
+}
+
+TEST_F(OsFixture, EventsAccumulateUntilDispatch) {
+  auto task = MakeTask("ext", 3, 1, 10, TaskKind::kExtended);
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  ASSERT_TRUE(ecu_os.SetEvent(task, 0x1).ok());
+  ASSERT_TRUE(ecu_os.SetEvent(task, 0x4).ok());
+  simulator.Run();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0], "ext+5");  // both bits in one activation
+}
+
+TEST_F(OsFixture, SetEventOnBasicTaskRejected) {
+  auto task = MakeTask("basic", 1);
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  EXPECT_EQ(ecu_os.SetEvent(task, 1).code(), support::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(OsFixture, PeriodicAlarmActivatesTask) {
+  auto task = MakeTask("periodic", 1, 3);
+  auto alarm = ecu_os.CreateTaskAlarm("alarm", task, 100, 100);
+  ASSERT_TRUE(alarm.ok());
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  simulator.RunUntil(350);
+  EXPECT_EQ(ecu_os.task_activations(task), 3u);  // t=100,200,300
+}
+
+TEST_F(OsFixture, OneShotAlarmFiresOnce) {
+  auto task = MakeTask("oneshot", 1, 3);
+  ASSERT_TRUE(ecu_os.CreateTaskAlarm("alarm", task, 50, 0).ok());
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  simulator.RunUntil(1000);
+  EXPECT_EQ(ecu_os.task_activations(task), 1u);
+}
+
+TEST_F(OsFixture, CancelAlarmStopsFiring) {
+  auto task = MakeTask("t", 1, 5);
+  auto alarm = ecu_os.CreateTaskAlarm("alarm", task, 100, 100);
+  ASSERT_TRUE(alarm.ok());
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  simulator.RunUntil(250);  // fires at 100, 200
+  ASSERT_TRUE(ecu_os.CancelAlarm(*alarm).ok());
+  simulator.RunUntil(1000);
+  EXPECT_EQ(ecu_os.task_activations(task), 2u);
+}
+
+TEST_F(OsFixture, SetRelAlarmReArms) {
+  auto task = MakeTask("t", 1, 5);
+  auto alarm = ecu_os.CreateTaskAlarm("alarm", task, 100, 0);
+  ASSERT_TRUE(alarm.ok());
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  simulator.RunUntil(200);
+  EXPECT_EQ(ecu_os.task_activations(task), 1u);
+  ASSERT_TRUE(ecu_os.SetRelAlarm(*alarm, 100, 0).ok());
+  simulator.RunUntil(400);
+  EXPECT_EQ(ecu_os.task_activations(task), 2u);
+}
+
+TEST_F(OsFixture, CallbackAlarmRuns) {
+  int fired = 0;
+  ASSERT_TRUE(ecu_os.CreateCallbackAlarm("cb", [&]() { ++fired; }, 10, 10).ok());
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  simulator.RunUntil(55);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST_F(OsFixture, EventAlarmSetsEvents) {
+  auto task = MakeTask("ext", 1, 3, 10, TaskKind::kExtended);
+  ASSERT_TRUE(ecu_os.CreateEventAlarm("ev", task, 0x2, 100, 0).ok());
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  simulator.RunUntil(200);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0], "ext+2");
+}
+
+TEST_F(OsFixture, EventAlarmRequiresExtendedTask) {
+  auto task = MakeTask("basic", 1);
+  EXPECT_EQ(ecu_os.CreateEventAlarm("ev", task, 1, 10, 0).status().code(),
+            support::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(OsFixture, ResourcesFollowLifoProtocol) {
+  auto r1 = ecu_os.CreateResource("r1", 5);
+  auto r2 = ecu_os.CreateResource("r2", 6);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  ASSERT_TRUE(ecu_os.GetResource(*r1).ok());
+  ASSERT_TRUE(ecu_os.GetResource(*r2).ok());
+  // Releasing r1 while r2 is held violates LIFO.
+  EXPECT_EQ(ecu_os.ReleaseResource(*r1).code(),
+            support::ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(ecu_os.ReleaseResource(*r2).ok());
+  ASSERT_TRUE(ecu_os.ReleaseResource(*r1).ok());
+}
+
+TEST_F(OsFixture, DoubleAcquireRejected) {
+  auto r = ecu_os.CreateResource("r", 5);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  ASSERT_TRUE(ecu_os.GetResource(*r).ok());
+  EXPECT_EQ(ecu_os.GetResource(*r).code(), support::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(OsFixture, FindTaskByName) {
+  auto task = MakeTask("needle", 1);
+  auto found = ecu_os.FindTask("needle");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, task);
+  EXPECT_FALSE(ecu_os.FindTask("haystack").ok());
+}
+
+TEST_F(OsFixture, TwoOsInstancesShareSimulatorIndependently) {
+  Os other(simulator, "ECU2");
+  auto t1 = MakeTask("t1", 1);
+  TaskConfig config;
+  config.name = "t2";
+  config.body = [this](EventMask) { trace.push_back("t2"); };
+  auto t2 = other.CreateTask(std::move(config));
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(ecu_os.StartOs().ok());
+  ASSERT_TRUE(other.StartOs().ok());
+  ASSERT_TRUE(ecu_os.ActivateTask(t1).ok());
+  ASSERT_TRUE(other.ActivateTask(*t2).ok());
+  simulator.Run();
+  EXPECT_EQ(trace.size(), 2u);  // both ran; separate CPUs don't contend
+}
+
+}  // namespace
+}  // namespace dacm::os

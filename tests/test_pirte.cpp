@@ -1,0 +1,678 @@
+// Unit tests for the PIRTE: installation validation and acknowledgement,
+// the three PLC routing kinds, Type II multiplexing, Type III translation,
+// plug-in lifecycle, fault containment, fuel budgeting, the step
+// scheduler, and NvM persistence across ECU reboots.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bsw/nvm.hpp"
+#include "fes/appgen.hpp"
+#include "fes/ecu.hpp"
+#include "pirte/pirte.hpp"
+#include "vm/assembler.hpp"
+
+namespace dacm::pirte {
+namespace {
+
+using fes::AssembleOrDie;
+
+/// One "boot" of a single-ECU stack hosting a PIRTE whose Type I ports loop
+/// back into a test-harness SW-C, whose Type II channel loops back to
+/// itself, and whose Type III virtual ports face harness ports:
+///
+///   V1: Type II   (t2.out -> t2.in loopback)
+///   V4: Type III out "ActReq"     -> harness mon_act
+///   V6: Type III in  "SensorProv" <- harness drv_sensor
+///
+/// The external Nvm survives stack destruction, so tests can "reboot" by
+/// building a second stack over the same Nvm.
+struct PirteStack {
+  sim::Simulator simulator;
+  sim::CanBus bus{simulator, 500'000};
+  fes::Ecu ecu{simulator, bus, 1, "ECU1"};
+  std::unique_ptr<Pirte> pirte;
+  std::vector<PirteMessage> acks;
+  rte::PortId drv_t1, mon_act, drv_sensor;
+
+  explicit PirteStack(bsw::Nvm& nvm, PirteConfig overrides = {}) {
+    rte::Rte& ecu_rte = ecu.ecu_rte();
+    auto plug_swc = *ecu_rte.AddSwc("Plug");
+    auto harness_swc = *ecu_rte.AddSwc("Harness");
+
+    auto add_port = [&](rte::SwcId swc, const std::string& name,
+                        rte::PortDirection dir, std::size_t max_len = 4096) {
+      rte::PortConfig config;
+      config.name = name;
+      config.direction = dir;
+      config.max_len = max_len;
+      return *ecu_rte.AddPort(swc, std::move(config));
+    };
+
+    auto t1_out = add_port(plug_swc, "t1.out", rte::PortDirection::kProvided);
+    auto t1_in = add_port(plug_swc, "t1.in", rte::PortDirection::kRequired);
+    auto t2_out = add_port(plug_swc, "t2.out", rte::PortDirection::kProvided, 256);
+    auto t2_in = add_port(plug_swc, "t2.in", rte::PortDirection::kRequired, 256);
+    auto act_out = add_port(plug_swc, "ActReq", rte::PortDirection::kProvided, 256);
+    auto sensor_in = add_port(plug_swc, "SensorProv", rte::PortDirection::kRequired, 256);
+
+    auto mon_t1 = add_port(harness_swc, "mon.t1", rte::PortDirection::kRequired);
+    drv_t1 = add_port(harness_swc, "drv.t1", rte::PortDirection::kProvided);
+    mon_act = add_port(harness_swc, "mon.act", rte::PortDirection::kRequired, 256);
+    drv_sensor = add_port(harness_swc, "drv.sensor", rte::PortDirection::kProvided, 256);
+
+    EXPECT_TRUE(ecu_rte.ConnectLocal(t1_out, mon_t1).ok());
+    EXPECT_TRUE(ecu_rte.ConnectLocal(drv_t1, t1_in).ok());
+    EXPECT_TRUE(ecu_rte.ConnectLocal(t2_out, t2_in).ok());
+    EXPECT_TRUE(ecu_rte.ConnectLocal(act_out, mon_act).ok());
+    EXPECT_TRUE(ecu_rte.ConnectLocal(drv_sensor, sensor_in).ok());
+
+    EXPECT_TRUE(ecu_rte.SetPortListener(mon_t1, [this](std::span<const std::uint8_t> d) {
+      auto message = PirteMessage::Deserialize(d);
+      if (message.ok()) acks.push_back(*message);
+    }).ok());
+
+    PirteConfig config = std::move(overrides);
+    config.name = "P1";
+    config.ecu_id = 1;
+    config.swc = plug_swc;
+    config.type1_out = t1_out;
+    config.type1_in = t1_in;
+    config.nv_block = [&nvm]() {
+      auto existing = nvm.FindBlock("pirte.P1");
+      if (existing.ok()) return *existing;
+      return *nvm.DefineBlock("pirte.P1", 1 << 20);
+    }();
+
+    VirtualPortConfig v1;
+    v1.id = 1;
+    v1.name = "t2.loop";
+    v1.kind = VirtualPortKind::kTypeII;
+    v1.swc_out = t2_out;
+    v1.swc_in = t2_in;
+    config.virtual_ports.push_back(v1);
+
+    VirtualPortConfig v4;
+    v4.id = 4;
+    v4.name = "ActReq";
+    v4.kind = VirtualPortKind::kTypeIII;
+    v4.swc_out = act_out;
+    if (act_translate) v4.translate_out = act_translate;
+    config.virtual_ports.push_back(v4);
+
+    VirtualPortConfig v6;
+    v6.id = 6;
+    v6.name = "SensorProv";
+    v6.kind = VirtualPortKind::kTypeIII;
+    v6.swc_in = sensor_in;
+    if (sensor_translate) sensor_translate_applied = true, v6.translate_in = sensor_translate;
+    config.virtual_ports.push_back(v6);
+
+    pirte = std::make_unique<Pirte>(ecu_rte, &nvm, &ecu.dem(), std::move(config));
+    EXPECT_TRUE(pirte->Init().ok());
+    EXPECT_TRUE(ecu.Start().ok());
+    simulator.Run();
+  }
+
+  /// Injects a Type I message as if it came from the ECM.  Settling uses a
+  /// bounded run: with a step-scheduled plug-in installed the event queue
+  /// never drains, so Run() would not return.
+  void SendTypeI(const PirteMessage& message) {
+    EXPECT_TRUE(ecu.ecu_rte().Write(drv_t1, message.Serialize()).ok());
+    simulator.RunFor(5 * sim::kMillisecond);
+  }
+
+  void InstallExpectOk(const InstallationPackage& package) {
+    PirteMessage message;
+    message.type = MessageType::kInstallPackage;
+    message.plugin_name = package.plugin_name;
+    message.payload = package.Serialize();
+    const std::size_t acks_before = acks.size();
+    SendTypeI(message);
+    ASSERT_EQ(acks.size(), acks_before + 1);
+    ASSERT_TRUE(acks.back().ok) << acks.back().detail;
+  }
+
+  support::Result<support::Bytes> ActValue() { return ecu.ecu_rte().Read(mon_act); }
+  void DriveSensor(std::span<const std::uint8_t> data) {
+    EXPECT_TRUE(ecu.ecu_rte().Write(drv_sensor, data).ok());
+    simulator.RunFor(5 * sim::kMillisecond);
+  }
+
+  static Translator act_translate;
+  static Translator sensor_translate;
+  bool sensor_translate_applied = false;
+};
+
+Translator PirteStack::act_translate;
+Translator PirteStack::sensor_translate;
+
+/// Package builder used throughout.
+InstallationPackage MakePackage(
+    const std::string& name, support::Bytes binary,
+    std::vector<PicEntry> pic, std::vector<PlcEntry> plc = {},
+    std::vector<EccEntry> ecc = {}, const std::string& version = "1.0") {
+  InstallationPackage package;
+  package.plugin_name = name;
+  package.version = version;
+  package.pic.entries = std::move(pic);
+  package.plc.entries = std::move(plc);
+  package.ecc.entries = std::move(ecc);
+  package.binary = std::move(binary);
+  return package;
+}
+
+struct PirteTest : ::testing::Test {
+  bsw::Nvm nvm;
+  std::unique_ptr<PirteStack> stack;
+
+  void SetUp() override {
+    PirteStack::act_translate = {};
+    PirteStack::sensor_translate = {};
+    stack = std::make_unique<PirteStack>(nvm);
+  }
+};
+
+// --- installation -----------------------------------------------------------------------
+
+TEST_F(PirteTest, InstallViaTypeIMessageAcksOk) {
+  auto package = MakePackage("echo", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired},
+                              {1, "out", 1, PluginPortDirection::kProvided}});
+  stack->InstallExpectOk(package);
+  ASSERT_NE(stack->pirte->FindPlugin("echo"), nullptr);
+  EXPECT_EQ(stack->pirte->FindPlugin("echo")->state(), PluginState::kRunning);
+  EXPECT_EQ(stack->pirte->stats().installs, 1u);
+  EXPECT_EQ(stack->pirte->InstalledPluginNames(),
+            (std::vector<std::string>{"echo"}));
+}
+
+TEST_F(PirteTest, CorruptPackageNacksWithReason) {
+  auto package = MakePackage("bad", fes::MakeEchoPluginBinary(), {});
+  auto bytes = package.Serialize();
+  bytes[bytes.size() / 2] ^= 0x40;
+  PirteMessage message;
+  message.type = MessageType::kInstallPackage;
+  message.plugin_name = "bad";
+  message.payload = bytes;
+  stack->SendTypeI(message);
+  ASSERT_EQ(stack->acks.size(), 1u);
+  EXPECT_FALSE(stack->acks[0].ok);
+  EXPECT_NE(stack->acks[0].detail.find("CORRUPTED"), std::string::npos);
+  EXPECT_EQ(stack->pirte->FindPlugin("bad"), nullptr);
+}
+
+TEST_F(PirteTest, MalformedBinaryRejected) {
+  auto package = MakePackage("bad", support::Bytes{1, 2, 3}, {});
+  EXPECT_FALSE(stack->pirte->Install(package).ok());
+}
+
+TEST_F(PirteTest, DuplicateInstallRejected) {
+  auto package = MakePackage("dup", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired}});
+  ASSERT_TRUE(stack->pirte->Install(package).ok());
+  EXPECT_EQ(stack->pirte->Install(package).code(),
+            support::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(PirteTest, PluginQuotaEnforced) {
+  PirteConfig overrides;
+  overrides.max_plugins = 2;
+  bsw::Nvm fresh;
+  PirteStack limited(fresh, std::move(overrides));
+  for (int i = 0; i < 2; ++i) {
+    auto package =
+        MakePackage("p" + std::to_string(i), fes::MakeEchoPluginBinary(),
+                    {{0, "in", static_cast<std::uint8_t>(i),
+                      PluginPortDirection::kRequired}});
+    ASSERT_TRUE(limited.pirte->Install(package).ok());
+  }
+  auto extra = MakePackage("p2", fes::MakeEchoPluginBinary(),
+                           {{0, "in", 9, PluginPortDirection::kRequired}});
+  EXPECT_EQ(limited.pirte->Install(extra).code(),
+            support::ErrorCode::kResourceExhausted);
+}
+
+TEST_F(PirteTest, BinarySizeQuotaEnforced) {
+  PirteConfig overrides;
+  overrides.max_binary_size = 8;
+  bsw::Nvm fresh;
+  PirteStack limited(fresh, std::move(overrides));
+  auto package = MakePackage("big", fes::MakeEchoPluginBinary(), {});
+  EXPECT_EQ(limited.pirte->Install(package).code(),
+            support::ErrorCode::kCapacityExceeded);
+}
+
+TEST_F(PirteTest, UniqueIdClashRejected) {
+  auto first = MakePackage("a", fes::MakeEchoPluginBinary(),
+                           {{0, "in", 5, PluginPortDirection::kRequired}});
+  ASSERT_TRUE(stack->pirte->Install(first).ok());
+  auto second = MakePackage("b", fes::MakeEchoPluginBinary(),
+                            {{0, "in", 5, PluginPortDirection::kRequired}});
+  EXPECT_EQ(stack->pirte->Install(second).code(), support::ErrorCode::kIncompatible);
+}
+
+TEST_F(PirteTest, PlcReferencingUnknownVirtualPortRejected) {
+  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+                             {{0, "out", 0, PluginPortDirection::kProvided}},
+                             {{0, PlcKind::kVirtual, 99, 0, "", 0}});
+  EXPECT_EQ(stack->pirte->Install(package).code(), support::ErrorCode::kIncompatible);
+}
+
+TEST_F(PirteTest, PlcPortMissingFromPicRejected) {
+  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+                             {{0, "out", 0, PluginPortDirection::kProvided}},
+                             {{3, PlcKind::kVirtual, 4, 0, "", 0}});
+  EXPECT_EQ(stack->pirte->Install(package).code(), support::ErrorCode::kIncompatible);
+}
+
+TEST_F(PirteTest, OnInstallEntryRunsOnce) {
+  // A plug-in that writes a marker to its port during on_install.
+  auto binary = AssembleOrDie(R"(
+    .entry on_install init
+    init:
+      PUSH 77
+      STORE 128
+      WRITEP 0 1
+      HALT
+  )");
+  auto package = MakePackage("greeter", binary,
+                             {{0, "marker", 0, PluginPortDirection::kProvided}});
+  stack->InstallExpectOk(package);
+  stack->simulator.Run();
+  auto value = stack->pirte->ReadPluginPortByUnique(0);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ((*value)[0], 77);
+}
+
+// --- routing ---------------------------------------------------------------------------------
+
+TEST_F(PirteTest, TypeIIIOutReachesBuiltInSoftware) {
+  // Echo plug-in: data on P0 is forwarded to P1; P1 is PLC-linked to V4.
+  auto package = MakePackage("fwd", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired},
+                              {1, "out", 1, PluginPortDirection::kProvided}},
+                             {{1, PlcKind::kVirtual, 4, 0, "", 0}});
+  stack->InstallExpectOk(package);
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(
+                       0, support::Bytes{5, 6, 7}).ok());
+  stack->simulator.Run();
+  auto act = stack->ActValue();
+  ASSERT_TRUE(act.ok());
+  EXPECT_EQ((*act)[0], 5);
+  EXPECT_EQ((*act)[1], 6);
+}
+
+TEST_F(PirteTest, TypeIIIOutTranslationApplied) {
+  PirteStack::act_translate =
+      [](std::span<const std::uint8_t> in) -> support::Result<support::Bytes> {
+    support::Bytes out(in.begin(), in.end());
+    for (auto& byte : out) byte = static_cast<std::uint8_t>(byte + 1);
+    return out;
+  };
+  bsw::Nvm fresh;
+  PirteStack translated(fresh);
+  auto package = MakePackage("fwd", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired},
+                              {1, "out", 1, PluginPortDirection::kProvided}},
+                             {{1, PlcKind::kVirtual, 4, 0, "", 0}});
+  translated.InstallExpectOk(package);
+  ASSERT_TRUE(
+      translated.pirte->DeliverToPluginPortByUnique(0, support::Bytes{10}).ok());
+  translated.simulator.Run();
+  auto act = translated.ActValue();
+  ASSERT_TRUE(act.ok());
+  EXPECT_EQ((*act)[0], 11);  // translated on the way out
+}
+
+TEST_F(PirteTest, TypeIIIInFansOutToSubscribedPlugins) {
+  // Plug-in whose P0 is PLC-linked (kVirtual) to V6; arrivals there fan in,
+  // and the echo forwards to P1 which we read back.
+  auto package = MakePackage("sub", fes::MakeEchoPluginBinary(),
+                             {{0, "sensor", 0, PluginPortDirection::kRequired},
+                              {1, "copy", 1, PluginPortDirection::kProvided}},
+                             {{0, PlcKind::kVirtual, 6, 0, "", 0}});
+  stack->InstallExpectOk(package);
+  stack->DriveSensor(support::Bytes{42});
+  stack->simulator.Run();
+  auto copy = stack->pirte->ReadPluginPortByUnique(1);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ((*copy)[0], 42);
+  EXPECT_GE(stack->pirte->stats().type3_rx, 1u);
+}
+
+TEST_F(PirteTest, TypeIIMultiplexingRoundTrip) {
+  // writer.P1 -- V1 (Type II loopback) --> reader.P0 (uid 10).
+  auto reader = MakePackage("reader", fes::MakeEchoPluginBinary(),
+                            {{0, "in", 10, PluginPortDirection::kRequired},
+                             {1, "out", 11, PluginPortDirection::kProvided}});
+  stack->InstallExpectOk(reader);
+  auto writer = MakePackage("writer", fes::MakeEchoPluginBinary(),
+                            {{0, "in", 0, PluginPortDirection::kRequired},
+                             {1, "out", 1, PluginPortDirection::kProvided}},
+                            {{1, PlcKind::kVirtualRemote, 1, 10, "", 0}});
+  stack->InstallExpectOk(writer);
+
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(
+                       0, support::Bytes{1, 2, 3}).ok());
+  stack->simulator.Run();
+  // writer echoed to P1 -> tagged with uid 10 -> V1 -> demuxed to reader.P0
+  // -> reader echoed to its own P1 (uid 11).
+  auto result = stack->pirte->ReadPluginPortByUnique(11);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0], 1);
+  EXPECT_GE(stack->pirte->stats().type2_rx, 1u);
+}
+
+TEST_F(PirteTest, TypeIIUnknownRecipientDropsSafely) {
+  auto writer = MakePackage("writer", fes::MakeEchoPluginBinary(),
+                            {{0, "in", 0, PluginPortDirection::kRequired},
+                             {1, "out", 1, PluginPortDirection::kProvided}},
+                            {{1, PlcKind::kVirtualRemote, 1, 200, "", 0}});
+  stack->InstallExpectOk(writer);
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
+  stack->simulator.Run();  // recipient uid 200 does not exist; no crash
+  EXPECT_EQ(stack->pirte->FindPlugin("writer")->state(), PluginState::kRunning);
+}
+
+TEST_F(PirteTest, LocalPluginDirectLink) {
+  auto sink = MakePackage("sink", fes::MakeEchoPluginBinary(),
+                          {{0, "in", 20, PluginPortDirection::kRequired},
+                           {1, "out", 21, PluginPortDirection::kProvided}});
+  stack->InstallExpectOk(sink);
+  auto source = MakePackage("source", fes::MakeEchoPluginBinary(),
+                            {{0, "in", 0, PluginPortDirection::kRequired},
+                             {1, "out", 1, PluginPortDirection::kProvided}},
+                            {{1, PlcKind::kLocalPlugin, 0, 0, "sink", 0}});
+  stack->InstallExpectOk(source);
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{9}).ok());
+  stack->simulator.Run();
+  auto out = stack->pirte->ReadPluginPortByUnique(21);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0], 9);
+}
+
+TEST_F(PirteTest, LocalLinkToMissingPeerFaultsTheWriter) {
+  auto source = MakePackage("source", fes::MakeEchoPluginBinary(),
+                            {{0, "in", 0, PluginPortDirection::kRequired},
+                             {1, "out", 1, PluginPortDirection::kProvided}},
+                            {{1, PlcKind::kLocalPlugin, 0, 0, "ghost", 0}});
+  stack->InstallExpectOk(source);
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
+  stack->simulator.Run();
+  // The write syscall failed -> VM fault -> plug-in quarantined.
+  EXPECT_EQ(stack->pirte->FindPlugin("source")->state(), PluginState::kFaulted);
+}
+
+TEST_F(PirteTest, ExternalDataMessageDeliversToPluginPort) {
+  auto package = MakePackage("com", fes::MakeEchoPluginBinary(),
+                             {{0, "ext", 0, PluginPortDirection::kRequired},
+                              {1, "out", 1, PluginPortDirection::kProvided}});
+  stack->InstallExpectOk(package);
+  PirteMessage external;
+  external.type = MessageType::kExternalData;
+  external.dest_port = 0;
+  external.payload = {13};
+  stack->SendTypeI(external);
+  stack->simulator.Run();
+  auto out = stack->pirte->ReadPluginPortByUnique(1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0], 13);
+}
+
+// --- lifecycle --------------------------------------------------------------------------------
+
+TEST_F(PirteTest, StopPreventsReactionsStartResumes) {
+  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired},
+                              {1, "out", 1, PluginPortDirection::kProvided}});
+  stack->InstallExpectOk(package);
+  ASSERT_TRUE(stack->pirte->Stop("p").ok());
+  EXPECT_EQ(stack->pirte->FindPlugin("p")->state(), PluginState::kStopped);
+
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
+  stack->simulator.Run();
+  EXPECT_FALSE(stack->pirte->ReadPluginPortByUnique(1).ok());  // no reaction
+
+  ASSERT_TRUE(stack->pirte->Start("p").ok());
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{2}).ok());
+  stack->simulator.Run();
+  auto out = stack->pirte->ReadPluginPortByUnique(1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0], 2);
+}
+
+TEST_F(PirteTest, LifecycleViaTypeIMessages) {
+  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired}});
+  stack->InstallExpectOk(package);
+  PirteMessage stop;
+  stop.type = MessageType::kStop;
+  stop.plugin_name = "p";
+  stack->SendTypeI(stop);
+  EXPECT_EQ(stack->pirte->FindPlugin("p")->state(), PluginState::kStopped);
+  ASSERT_GE(stack->acks.size(), 2u);
+  EXPECT_TRUE(stack->acks.back().ok);
+
+  PirteMessage start;
+  start.type = MessageType::kStart;
+  start.plugin_name = "p";
+  stack->SendTypeI(start);
+  EXPECT_EQ(stack->pirte->FindPlugin("p")->state(), PluginState::kRunning);
+}
+
+TEST_F(PirteTest, UninstallViaTypeIRemovesPlugin) {
+  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired}});
+  stack->InstallExpectOk(package);
+  PirteMessage uninstall;
+  uninstall.type = MessageType::kUninstall;
+  uninstall.plugin_name = "p";
+  stack->SendTypeI(uninstall);
+  EXPECT_EQ(stack->pirte->FindPlugin("p"), nullptr);
+  EXPECT_TRUE(stack->acks.back().ok);
+  EXPECT_EQ(stack->pirte->stats().uninstalls, 1u);
+}
+
+TEST_F(PirteTest, UninstallUnknownNacks) {
+  PirteMessage uninstall;
+  uninstall.type = MessageType::kUninstall;
+  uninstall.plugin_name = "ghost";
+  stack->SendTypeI(uninstall);
+  ASSERT_EQ(stack->acks.size(), 1u);
+  EXPECT_FALSE(stack->acks[0].ok);
+}
+
+TEST_F(PirteTest, OnStopEntryRunsBeforeStopping) {
+  auto binary = AssembleOrDie(R"(
+    .entry on_stop bye
+    bye:
+      PUSH 99
+      STORE 128
+      WRITEP 0 1
+      HALT
+  )");
+  auto package = MakePackage("p", binary,
+                             {{0, "marker", 0, PluginPortDirection::kProvided}});
+  stack->InstallExpectOk(package);
+  ASSERT_TRUE(stack->pirte->Stop("p").ok());
+  auto marker = stack->pirte->ReadPluginPortByUnique(0);
+  ASSERT_TRUE(marker.ok());
+  EXPECT_EQ((*marker)[0], 99);
+}
+
+// --- fault containment -----------------------------------------------------------------------
+
+TEST_F(PirteTest, TrappingPluginIsQuarantined) {
+  auto package = MakePackage("bomb", fes::MakeTrapPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired}});
+  stack->InstallExpectOk(package);
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
+  stack->simulator.Run();
+  auto* plugin = stack->pirte->FindPlugin("bomb");
+  EXPECT_EQ(plugin->state(), PluginState::kFaulted);
+  EXPECT_EQ(plugin->faults(), 1u);
+  EXPECT_NE(plugin->last_fault().find("42"), std::string::npos);
+  EXPECT_EQ(stack->pirte->stats().vm_faults, 1u);
+
+  // Dem recorded the confirmed fault.
+  auto event = stack->ecu.dem().FindEvent("P1.plugin_fault");
+  ASSERT_TRUE(event.ok());
+  EXPECT_TRUE(*stack->ecu.dem().IsEventConfirmed(*event));
+}
+
+TEST_F(PirteTest, FaultedPluginIgnoresFurtherData) {
+  auto package = MakePackage("bomb", fes::MakeTrapPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired}});
+  stack->InstallExpectOk(package);
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
+  stack->simulator.Run();
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{2}).ok());
+  stack->simulator.Run();
+  EXPECT_EQ(stack->pirte->FindPlugin("bomb")->faults(), 1u);  // no second run
+}
+
+TEST_F(PirteTest, FaultedPluginCannotBeStarted) {
+  auto package = MakePackage("bomb", fes::MakeTrapPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired}});
+  stack->InstallExpectOk(package);
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
+  stack->simulator.Run();
+  EXPECT_EQ(stack->pirte->Start("bomb").code(),
+            support::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(PirteTest, FaultedPluginCanBeReinstalledFresh) {
+  auto package = MakePackage("bomb", fes::MakeTrapPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired}});
+  stack->InstallExpectOk(package);
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
+  stack->simulator.Run();
+  // Paper's update rule: stop/remove, then install fresh.
+  ASSERT_TRUE(stack->pirte->Uninstall("bomb").ok());
+  auto healthy = MakePackage("bomb", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired},
+                              {1, "out", 1, PluginPortDirection::kProvided}});
+  ASSERT_TRUE(stack->pirte->Install(healthy).ok());
+  EXPECT_EQ(stack->pirte->FindPlugin("bomb")->state(), PluginState::kRunning);
+}
+
+TEST_F(PirteTest, FuelExhaustionIsCountedButNonFatal) {
+  PirteConfig overrides;
+  overrides.vm_limits.fuel_per_activation = 100;
+  bsw::Nvm fresh;
+  PirteStack limited(fresh, std::move(overrides));
+  auto package = MakePackage("spinner", fes::MakeSpinPluginBinary(100'000),
+                             {{0, "in", 0, PluginPortDirection::kRequired}});
+  limited.InstallExpectOk(package);
+  ASSERT_TRUE(limited.pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
+  limited.simulator.Run();
+  EXPECT_EQ(limited.pirte->stats().vm_fuel_exhaustions, 1u);
+  EXPECT_EQ(limited.pirte->FindPlugin("spinner")->state(), PluginState::kRunning);
+}
+
+// --- step scheduler / supervision ---------------------------------------------------------------
+
+TEST_F(PirteTest, StepEntryRunsPeriodically) {
+  PirteConfig overrides;
+  overrides.step_period = 10 * sim::kMillisecond;
+  bsw::Nvm fresh;
+  PirteStack stepping(fresh, std::move(overrides));
+  auto package = MakePackage("counter", fes::MakeCounterPluginBinary(),
+                             {{0, "count", 0, PluginPortDirection::kProvided}});
+  stepping.InstallExpectOk(package);
+  stepping.simulator.RunFor(55 * sim::kMillisecond);
+  auto count = stepping.pirte->ReadPluginPortByUnique(0);
+  ASSERT_TRUE(count.ok());
+  EXPECT_GE((*count)[0], 4);
+  EXPECT_LE((*count)[0], 6);
+}
+
+TEST_F(PirteTest, AliveHookFiresOnVmActivity) {
+  int alive = 0;
+  stack->pirte->SetAliveHook([&]() { ++alive; });
+  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired},
+                              {1, "out", 1, PluginPortDirection::kProvided}});
+  stack->InstallExpectOk(package);
+  ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
+  stack->simulator.Run();
+  EXPECT_GE(alive, 1);
+}
+
+// --- persistence --------------------------------------------------------------------------------
+
+TEST_F(PirteTest, InstalledPluginsSurviveReboot) {
+  auto package = MakePackage("survivor", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired},
+                              {1, "out", 1, PluginPortDirection::kProvided}},
+                             {{1, PlcKind::kVirtual, 4, 0, "", 0}});
+  stack->InstallExpectOk(package);
+  stack.reset();  // power off
+
+  PirteStack rebooted(nvm);  // power on: same NvM
+  ASSERT_NE(rebooted.pirte->FindPlugin("survivor"), nullptr);
+  EXPECT_EQ(rebooted.pirte->FindPlugin("survivor")->state(), PluginState::kRunning);
+  // Routing still works after the reboot.
+  ASSERT_TRUE(rebooted.pirte->DeliverToPluginPortByUnique(0, support::Bytes{3}).ok());
+  rebooted.simulator.Run();
+  auto act = rebooted.ActValue();
+  ASSERT_TRUE(act.ok());
+  EXPECT_EQ((*act)[0], 3);
+}
+
+TEST_F(PirteTest, UninstallAlsoRemovesFromPersistence) {
+  auto package = MakePackage("gone", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired}});
+  stack->InstallExpectOk(package);
+  ASSERT_TRUE(stack->pirte->Uninstall("gone").ok());
+  stack.reset();
+  PirteStack rebooted(nvm);
+  EXPECT_EQ(rebooted.pirte->FindPlugin("gone"), nullptr);
+}
+
+TEST_F(PirteTest, CorruptedNvmBlockYieldsCleanBoot) {
+  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired}});
+  stack->InstallExpectOk(package);
+  stack.reset();
+  auto block = nvm.FindBlock("pirte.P1");
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(nvm.CorruptBlockForTest(*block, 42).ok());
+  PirteStack rebooted(nvm);  // must not crash; starts empty
+  EXPECT_TRUE(rebooted.pirte->InstalledPluginNames().empty());
+}
+
+TEST_F(PirteTest, ReplacedEcuStartsEmpty) {
+  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+                             {{0, "in", 0, PluginPortDirection::kRequired}});
+  stack->InstallExpectOk(package);
+  stack.reset();
+  bsw::Nvm factory_fresh;  // physically new ECU
+  PirteStack replaced(factory_fresh);
+  EXPECT_TRUE(replaced.pirte->InstalledPluginNames().empty());
+}
+
+// --- misc ---------------------------------------------------------------------------------------
+
+TEST_F(PirteTest, ReadUnknownUniqueIdFails) {
+  EXPECT_FALSE(stack->pirte->ReadPluginPortByUnique(77).ok());
+  EXPECT_FALSE(
+      stack->pirte->DeliverToPluginPortByUnique(77, support::Bytes{1}).ok());
+}
+
+TEST_F(PirteTest, InstallBeforeInitRejected) {
+  bsw::Nvm fresh;
+  sim::Simulator simulator;
+  sim::CanBus bus(simulator, 500'000);
+  fes::Ecu ecu(simulator, bus, 9, "X");
+  PirteConfig config;
+  config.name = "uninit";
+  config.swc = *ecu.ecu_rte().AddSwc("S");
+  Pirte pirte(ecu.ecu_rte(), &fresh, nullptr, std::move(config));
+  auto package = MakePackage("p", fes::MakeEchoPluginBinary(), {});
+  EXPECT_EQ(pirte.Install(package).code(), support::ErrorCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace dacm::pirte

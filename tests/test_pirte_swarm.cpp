@@ -1,0 +1,230 @@
+// Plug-in population properties of one PIRTE: quota enforcement, id-space
+// integrity, fault independence, lifecycle sweeps, and persistence of
+// whole populations across ECU reboots.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bsw/nvm.hpp"
+#include "fes/appgen.hpp"
+#include "fes/ecu.hpp"
+#include "pirte/pirte.hpp"
+
+namespace dacm::pirte {
+namespace {
+
+/// Minimal single-ECU stack: one plug-in SW-C with a Type III out port
+/// (V4) facing a harness port; rebuildable over an external Nvm.
+struct SwarmStack {
+  sim::Simulator simulator;
+  sim::CanBus bus{simulator, 500'000};
+  fes::Ecu ecu{simulator, bus, 1, "ECU1"};
+  std::unique_ptr<Pirte> pirte;
+  rte::PortId mon_act = rte::PortId::Invalid();
+
+  explicit SwarmStack(bsw::Nvm& nvm, std::size_t max_plugins = 16,
+                      std::size_t max_binary = 64 * 1024) {
+    rte::Rte& rte = ecu.ecu_rte();
+    auto plug_swc = *rte.AddSwc("Plug");
+    auto harness_swc = *rte.AddSwc("Harness");
+    rte::PortConfig act_config;
+    act_config.name = "ActReq";
+    act_config.direction = rte::PortDirection::kProvided;
+    act_config.max_len = 256;
+    auto act_out = *rte.AddPort(plug_swc, std::move(act_config));
+    rte::PortConfig mon_config;
+    mon_config.name = "mon.act";
+    mon_config.direction = rte::PortDirection::kRequired;
+    mon_config.max_len = 256;
+    mon_act = *rte.AddPort(harness_swc, std::move(mon_config));
+    EXPECT_TRUE(rte.ConnectLocal(act_out, mon_act).ok());
+
+    PirteConfig config;
+    config.name = "P1";
+    config.ecu_id = 1;
+    config.swc = plug_swc;
+    config.max_plugins = max_plugins;
+    config.max_binary_size = max_binary;
+    config.nv_block = [&nvm]() {
+      auto existing = nvm.FindBlock("pirte.P1");
+      if (existing.ok()) return *existing;
+      return *nvm.DefineBlock("pirte.P1", 1 << 20);
+    }();
+    VirtualPortConfig v4;
+    v4.id = 4;
+    v4.name = "ActReq";
+    v4.kind = VirtualPortKind::kTypeIII;
+    v4.swc_out = act_out;
+    config.virtual_ports.push_back(v4);
+
+    pirte = std::make_unique<Pirte>(rte, &nvm, &ecu.dem(), std::move(config));
+    EXPECT_TRUE(pirte->Init().ok());
+    EXPECT_TRUE(ecu.Start().ok());
+    simulator.Run();
+  }
+
+  InstallationPackage EchoPackage(int index) {
+    InstallationPackage package;
+    package.plugin_name = "p" + std::to_string(index);
+    package.version = "1.0";
+    package.pic.entries = {
+        {0, "in", static_cast<std::uint8_t>(2 * index),
+         PluginPortDirection::kRequired},
+        {1, "out", static_cast<std::uint8_t>(2 * index + 1),
+         PluginPortDirection::kProvided},
+    };
+    package.plc.entries = {{1, PlcKind::kVirtual, 4, 0, "", 0}};
+    package.binary = fes::MakeEchoPluginBinary();
+    return package;
+  }
+
+  void Poke(int index) {
+    (void)pirte->DeliverToPluginPortByUnique(static_cast<std::uint8_t>(2 * index),
+                                             support::Bytes{std::uint8_t(index)});
+    simulator.Run();
+  }
+};
+
+class Swarm : public ::testing::TestWithParam<int> {};
+
+TEST_P(Swarm, PopulationInstallsRunsAndDrainsCompletely) {
+  const int count = GetParam();
+  bsw::Nvm nvm;
+  SwarmStack stack(nvm, /*max_plugins=*/64);
+  for (int i = 0; i < count; ++i) {
+    ASSERT_TRUE(stack.pirte->Install(stack.EchoPackage(i)).ok()) << i;
+  }
+  stack.simulator.Run();
+  EXPECT_EQ(stack.pirte->InstalledPluginNames().size(),
+            static_cast<std::size_t>(count));
+
+  // Every member reacts independently.
+  for (int i = 0; i < count; ++i) stack.Poke(i);
+  EXPECT_EQ(stack.pirte->stats().vm_activations,
+            static_cast<std::uint64_t>(count));
+
+  for (int i = 0; i < count; ++i) {
+    ASSERT_TRUE(stack.pirte->Uninstall("p" + std::to_string(i)).ok());
+  }
+  EXPECT_TRUE(stack.pirte->InstalledPluginNames().empty());
+  EXPECT_EQ(stack.pirte->stats().uninstalls, static_cast<std::uint64_t>(count));
+}
+
+TEST_P(Swarm, WholePopulationSurvivesReboot) {
+  const int count = GetParam();
+  bsw::Nvm nvm;
+  {
+    SwarmStack stack(nvm, /*max_plugins=*/64);
+    for (int i = 0; i < count; ++i) {
+      ASSERT_TRUE(stack.pirte->Install(stack.EchoPackage(i)).ok());
+    }
+    stack.simulator.Run();
+  }  // ECU power-off
+  SwarmStack rebooted(nvm, /*max_plugins=*/64);
+  EXPECT_EQ(rebooted.pirte->InstalledPluginNames().size(),
+            static_cast<std::size_t>(count));
+  // Revived plug-ins are functional, not just listed.
+  for (int i = 0; i < count; ++i) rebooted.Poke(i);
+  EXPECT_EQ(rebooted.pirte->stats().vm_activations,
+            static_cast<std::uint64_t>(count));
+}
+
+TEST_P(Swarm, OneTrappingMemberLeavesTheRestUntouched) {
+  const int count = GetParam();
+  bsw::Nvm nvm;
+  SwarmStack stack(nvm, /*max_plugins=*/64);
+  for (int i = 0; i < count; ++i) {
+    ASSERT_TRUE(stack.pirte->Install(stack.EchoPackage(i)).ok());
+  }
+  // Replace member 0's healthy binary with a trap bomb.
+  ASSERT_TRUE(stack.pirte->Uninstall("p0").ok());
+  auto bomb = stack.EchoPackage(0);
+  bomb.binary = fes::MakeTrapPluginBinary();
+  ASSERT_TRUE(stack.pirte->Install(bomb).ok());
+  stack.simulator.Run();
+
+  for (int i = 0; i < count; ++i) stack.Poke(i);
+  EXPECT_EQ(stack.pirte->FindPlugin("p0")->state(), PluginState::kFaulted);
+  for (int i = 1; i < count; ++i) {
+    EXPECT_EQ(stack.pirte->FindPlugin("p" + std::to_string(i))->state(),
+              PluginState::kRunning)
+        << i;
+  }
+  EXPECT_EQ(stack.pirte->stats().vm_faults, 1u);
+}
+
+TEST_P(Swarm, StopStartSweepKeepsStatesIndependent) {
+  const int count = GetParam();
+  bsw::Nvm nvm;
+  SwarmStack stack(nvm, /*max_plugins=*/64);
+  for (int i = 0; i < count; ++i) {
+    ASSERT_TRUE(stack.pirte->Install(stack.EchoPackage(i)).ok());
+  }
+  stack.simulator.Run();
+  // Stop every second plug-in.
+  for (int i = 0; i < count; i += 2) {
+    ASSERT_TRUE(stack.pirte->Stop("p" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < count; ++i) stack.Poke(i);
+  // Only running members reacted.
+  EXPECT_EQ(stack.pirte->stats().vm_activations,
+            static_cast<std::uint64_t>(count / 2));
+  // Restart and poke again: everyone reacts now.
+  for (int i = 0; i < count; i += 2) {
+    ASSERT_TRUE(stack.pirte->Start("p" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < count; ++i) stack.Poke(i);
+  EXPECT_EQ(stack.pirte->stats().vm_activations,
+            static_cast<std::uint64_t>(count / 2 + count));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Swarm, ::testing::Values(1, 2, 5, 12, 24));
+
+// --- quotas ------------------------------------------------------------------------------
+
+TEST(SwarmQuota, PluginCountQuotaIsExact) {
+  bsw::Nvm nvm;
+  SwarmStack stack(nvm, /*max_plugins=*/4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(stack.pirte->Install(stack.EchoPackage(i)).ok());
+  }
+  EXPECT_EQ(stack.pirte->Install(stack.EchoPackage(4)).code(),
+            support::ErrorCode::kResourceExhausted);
+  // Freeing one slot re-admits exactly one.
+  ASSERT_TRUE(stack.pirte->Uninstall("p0").ok());
+  EXPECT_TRUE(stack.pirte->Install(stack.EchoPackage(4)).ok());
+  EXPECT_EQ(stack.pirte->Install(stack.EchoPackage(5)).code(),
+            support::ErrorCode::kResourceExhausted);
+}
+
+TEST(SwarmQuota, BinarySizeQuotaEnforced) {
+  bsw::Nvm nvm;
+  SwarmStack stack(nvm, 16, /*max_binary=*/64);
+  auto package = stack.EchoPackage(0);
+  EXPECT_GT(package.binary.size(), 64u);  // echo binary exceeds tiny quota
+  EXPECT_EQ(stack.pirte->Install(package).code(),
+            support::ErrorCode::kCapacityExceeded);
+}
+
+TEST(SwarmQuota, UniqueIdClashAcrossPluginsRejected) {
+  bsw::Nvm nvm;
+  SwarmStack stack(nvm);
+  ASSERT_TRUE(stack.pirte->Install(stack.EchoPackage(0)).ok());
+  auto clash = stack.EchoPackage(1);
+  clash.pic.entries[0].unique_id = 0;  // taken by p0's "in"
+  EXPECT_EQ(stack.pirte->Install(clash).code(), support::ErrorCode::kIncompatible);
+  // After removing the holder the id is installable again.
+  ASSERT_TRUE(stack.pirte->Uninstall("p0").ok());
+  EXPECT_TRUE(stack.pirte->Install(clash).ok());
+}
+
+TEST(SwarmQuota, ReinstallSameNameRequiresUninstall) {
+  bsw::Nvm nvm;
+  SwarmStack stack(nvm);
+  ASSERT_TRUE(stack.pirte->Install(stack.EchoPackage(0)).ok());
+  EXPECT_EQ(stack.pirte->Install(stack.EchoPackage(0)).code(),
+            support::ErrorCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace dacm::pirte

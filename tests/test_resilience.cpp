@@ -1,0 +1,99 @@
+// Connectivity resilience of the vehicle <-> server federation: the ECM's
+// periodic reconnect when the trusted server is not up yet, dead-link
+// detection and re-dial, offline deployment rejection followed by
+// successful retry, and WAN outage during operation.
+#include <gtest/gtest.h>
+
+#include "fes/appgen.hpp"
+#include "fes/testbed.hpp"
+#include "fes/vehicle.hpp"
+
+namespace dacm::fes {
+namespace {
+
+struct Federation {
+  sim::Simulator simulator;
+  sim::Network network{simulator, 10 * sim::kMillisecond};
+  std::unique_ptr<server::TrustedServer> server;
+  std::unique_ptr<Vehicle> vehicle;
+
+  void StartServer() {
+    server = std::make_unique<server::TrustedServer>(network, "srv:443");
+    ASSERT_TRUE(server->Start().ok());
+    ASSERT_TRUE(server->UploadVehicleModel(MakeRpiTestbedConf()).ok());
+  }
+
+  void BuildVehicle() {
+    vehicle = std::make_unique<Vehicle>(
+        simulator, network, VehicleParams{"VIN-R", "rpi-testbed", 500'000});
+    Ecu& ecu1 = vehicle->AddEcu(1, "ECU1");
+    auto p1 = vehicle->AddPluginSwc(ecu1, "PIRTE1");
+    ASSERT_TRUE(p1.ok());
+    ASSERT_TRUE(vehicle->DesignateEcm(**p1, "srv:443").ok());
+    ASSERT_TRUE(vehicle->Finalize().ok());
+  }
+};
+
+TEST(Resilience, EcmKeepsDialingUntilTheServerExists) {
+  Federation fed;
+  // The vehicle boots into a world with no server listening.
+  fed.BuildVehicle();
+  fed.simulator.RunFor(3 * sim::kSecond);
+  EXPECT_FALSE(fed.vehicle->ecm()->connected_to_server());
+
+  // The server comes up late; the periodic re-dial finds it.
+  fed.StartServer();
+  fed.simulator.RunFor(2 * sim::kSecond);
+  EXPECT_TRUE(fed.vehicle->ecm()->connected_to_server());
+  EXPECT_TRUE(fed.server->VehicleOnline("VIN-R"));
+}
+
+TEST(Resilience, DeployToOfflineVehicleFailsCleanlyThenSucceeds) {
+  Federation fed;
+  fed.StartServer();
+  auto user = fed.server->CreateUser("u");
+  ASSERT_TRUE(fed.server->BindVehicle(*user, "VIN-R", "rpi-testbed").ok());
+
+  SyntheticAppParams params;
+  params.name = "app";
+  params.vehicle_model = "rpi-testbed";
+  params.target_ecu = 1;
+  ASSERT_TRUE(fed.server->UploadApp(MakeSyntheticApp(params)).ok());
+
+  // No vehicle yet: rejected with kUnavailable, no InstalledAPP row.
+  EXPECT_EQ(fed.server->Deploy(*user, "VIN-R", "app").code(),
+            support::ErrorCode::kUnavailable);
+  EXPECT_FALSE(fed.server->AppState("VIN-R", "app").ok());
+
+  fed.BuildVehicle();
+  fed.simulator.RunFor(2 * sim::kSecond);
+  ASSERT_TRUE(fed.server->VehicleOnline("VIN-R"));
+  ASSERT_TRUE(fed.server->Deploy(*user, "VIN-R", "app").ok());
+  fed.simulator.RunFor(2 * sim::kSecond);
+  EXPECT_EQ(*fed.server->AppState("VIN-R", "app"),
+            server::InstallState::kInstalled);
+}
+
+TEST(Resilience, WanOutageDelaysButDoesNotLoseTheFederation) {
+  auto testbed = Figure3Testbed::Create();
+  ASSERT_TRUE(testbed.ok());
+  ASSERT_TRUE((*testbed)->SetUp().ok());
+  ASSERT_TRUE((*testbed)->DeployRemoteCar().ok());
+  ASSERT_TRUE((*testbed)->SendWheels(5).ok());
+
+  // The WAN goes dark: commands are lost while down (best-effort FES
+  // traffic), but nothing breaks.
+  (*testbed)->network().SetLinkUp(false);
+  auto lost = (*testbed)->SendWheels(10, 500 * sim::kMillisecond);
+  EXPECT_FALSE(lost.ok());
+  EXPECT_EQ((*testbed)->last_wheels(), 5);
+
+  // Link restored: traffic resumes on the existing connections.
+  (*testbed)->network().SetLinkUp(true);
+  auto latency = (*testbed)->SendWheels(15);
+  ASSERT_TRUE(latency.ok());
+  EXPECT_EQ((*testbed)->last_wheels(), 15);
+}
+
+}  // namespace
+}  // namespace dacm::fes

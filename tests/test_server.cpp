@@ -1,0 +1,384 @@
+// Unit tests for the trusted server: user setup, uploads, the deploy
+// pipeline's compatibility / dependency / conflict checks, unique-id
+// allocation, acknowledgement bookkeeping, uninstall dependency guards,
+// and the restore operation — exercised against a scripted fake vehicle
+// so every server decision is observable without a full vehicle stack.
+#include <gtest/gtest.h>
+
+#include "fes/appgen.hpp"
+#include "fes/testbed.hpp"
+#include "server/server.hpp"
+
+namespace dacm::server {
+namespace {
+
+/// A scripted ECM stand-in: connects to the server, says hello, records
+/// every pushed message, and acks on demand.
+struct FakeEcm {
+  sim::Simulator& simulator;
+  std::shared_ptr<sim::NetPeer> peer;
+  std::vector<pirte::PirteMessage> pushed;
+  std::string vin;
+
+  FakeEcm(sim::Simulator& simulator, sim::Network& network, TrustedServer& server,
+          std::string vin_in)
+      : simulator(simulator), vin(std::move(vin_in)) {
+    auto client = network.Connect(server.address());
+    EXPECT_TRUE(client.ok());
+    peer = std::move(*client);
+    peer->SetReceiveHandler([this](const support::Bytes& data) {
+      auto envelope = pirte::Envelope::Deserialize(data);
+      if (!envelope.ok()) return;
+      auto message = pirte::PirteMessage::Deserialize(envelope->message);
+      if (message.ok()) pushed.push_back(*message);
+    });
+    pirte::Envelope hello;
+    hello.kind = pirte::Envelope::Kind::kHello;
+    hello.vin = vin;
+    EXPECT_TRUE(peer->Send(hello.Serialize()).ok());
+    simulator.Run();
+  }
+
+  void Ack(const std::string& plugin, bool ok, const std::string& detail = "") {
+    pirte::PirteMessage ack;
+    ack.type = pirte::MessageType::kAck;
+    ack.plugin_name = plugin;
+    ack.ok = ok;
+    ack.detail = detail;
+    pirte::Envelope envelope;
+    envelope.kind = pirte::Envelope::Kind::kPirteMessage;
+    envelope.vin = vin;
+    envelope.message = ack.Serialize();
+    EXPECT_TRUE(peer->Send(envelope.Serialize()).ok());
+    simulator.Run();
+  }
+
+  void AckAllPushedInstalls() {
+    for (const auto& message : pushed) {
+      if (message.type == pirte::MessageType::kInstallPackage ||
+          message.type == pirte::MessageType::kUninstall) {
+        Ack(message.plugin_name, true);
+      }
+    }
+  }
+};
+
+struct ServerFixture : ::testing::Test {
+  sim::Simulator simulator;
+  sim::Network network{simulator, sim::kMillisecond};
+  TrustedServer server{network, "srv:443"};
+  UserId alice = UserId::Invalid();
+  std::unique_ptr<FakeEcm> ecm;
+
+  void SetUp() override {
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_TRUE(server.UploadVehicleModel(fes::MakeRpiTestbedConf()).ok());
+    auto user = server.CreateUser("alice");
+    ASSERT_TRUE(user.ok());
+    alice = *user;
+    ASSERT_TRUE(server.BindVehicle(alice, "VIN-1", "rpi-testbed").ok());
+    ecm = std::make_unique<FakeEcm>(simulator, network, server, "VIN-1");
+  }
+
+  App EchoApp(const std::string& name, std::uint32_t plugins = 1,
+              std::vector<std::string> depends = {},
+              std::vector<std::string> conflicts = {}) {
+    fes::SyntheticAppParams params;
+    params.name = name;
+    params.vehicle_model = "rpi-testbed";
+    params.plugin_count = plugins;
+    params.target_ecu = 1;
+    params.depends_on = std::move(depends);
+    params.conflicts_with = std::move(conflicts);
+    return fes::MakeSyntheticApp(params);
+  }
+
+  /// Runs the simulator so server pushes reach the (scripted) vehicle.
+  void Settle() { simulator.Run(); }
+
+  void DeployAndAck(const std::string& app) {
+    // Tests may have uploaded (a customized) `app` already; the idempotent
+    // re-upload of the same version is rejected and that is fine.
+    auto upload = server.UploadApp(EchoApp(app));
+    ASSERT_TRUE(upload.ok() || upload.code() == support::ErrorCode::kAlreadyExists)
+        << upload.ToString();
+    ASSERT_TRUE(server.Deploy(alice, "VIN-1", app).ok());
+    Settle();
+    ecm->AckAllPushedInstalls();
+    ecm->pushed.clear();
+    auto state = server.AppState("VIN-1", app);
+    ASSERT_TRUE(state.ok());
+    ASSERT_EQ(*state, InstallState::kInstalled);
+  }
+};
+
+// --- user setup ------------------------------------------------------------------------
+
+TEST_F(ServerFixture, DuplicateUserRejected) {
+  EXPECT_FALSE(server.CreateUser("alice").ok());
+}
+
+TEST_F(ServerFixture, BindVehicleValidatesModelAndVin) {
+  EXPECT_EQ(server.BindVehicle(alice, "VIN-2", "unknown-model").code(),
+            support::ErrorCode::kNotFound);
+  EXPECT_EQ(server.BindVehicle(alice, "VIN-1", "rpi-testbed").code(),
+            support::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(ServerFixture, OwnershipEnforcedOnAllOperations) {
+  auto mallory = server.CreateUser("mallory");
+  ASSERT_TRUE(mallory.ok());
+  ASSERT_TRUE(server.UploadApp(EchoApp("app")).ok());
+  EXPECT_EQ(server.Deploy(*mallory, "VIN-1", "app").code(),
+            support::ErrorCode::kPermissionDenied);
+  EXPECT_EQ(server.UninstallApp(*mallory, "VIN-1", "app").code(),
+            support::ErrorCode::kPermissionDenied);
+  EXPECT_EQ(server.Restore(*mallory, "VIN-1", 1).code(),
+            support::ErrorCode::kPermissionDenied);
+}
+
+// --- uploads -----------------------------------------------------------------------------
+
+TEST_F(ServerFixture, AppUploadValidation) {
+  App empty;
+  empty.name = "empty";
+  EXPECT_FALSE(server.UploadApp(empty).ok());  // no plug-ins
+
+  ASSERT_TRUE(server.UploadApp(EchoApp("app")).ok());
+  // Same version again: rejected.
+  EXPECT_EQ(server.UploadApp(EchoApp("app")).code(),
+            support::ErrorCode::kAlreadyExists);
+  // Higher version: accepted (update).
+  auto v2 = EchoApp("app");
+  v2.version = "2.0";
+  EXPECT_TRUE(server.UploadApp(v2).ok());
+}
+
+// --- deploy pipeline ------------------------------------------------------------------------
+
+TEST_F(ServerFixture, DeployPushesOnePackagePerPlugin) {
+  ASSERT_TRUE(server.UploadApp(EchoApp("app", /*plugins=*/3)).ok());
+  ASSERT_TRUE(server.Deploy(alice, "VIN-1", "app").ok());
+  Settle();
+  ASSERT_EQ(ecm->pushed.size(), 3u);
+  for (const auto& message : ecm->pushed) {
+    EXPECT_EQ(message.type, pirte::MessageType::kInstallPackage);
+    EXPECT_EQ(message.target_ecu, 1u);
+    EXPECT_TRUE(pirte::InstallationPackage::Deserialize(message.payload).ok());
+  }
+  EXPECT_EQ(*server.AppState("VIN-1", "app"), InstallState::kPending);
+}
+
+TEST_F(ServerFixture, InstallConfirmedOnlyWhenAllPluginsAck) {
+  ASSERT_TRUE(server.UploadApp(EchoApp("app", 2)).ok());
+  ASSERT_TRUE(server.Deploy(alice, "VIN-1", "app").ok());
+  Settle();
+  ASSERT_EQ(ecm->pushed.size(), 2u);
+  ecm->Ack(ecm->pushed[0].plugin_name, true);
+  EXPECT_EQ(*server.AppState("VIN-1", "app"), InstallState::kPending);
+  ecm->Ack(ecm->pushed[1].plugin_name, true);
+  EXPECT_EQ(*server.AppState("VIN-1", "app"), InstallState::kInstalled);
+}
+
+TEST_F(ServerFixture, NackMarksInstallFailed) {
+  ASSERT_TRUE(server.UploadApp(EchoApp("app", 2)).ok());
+  ASSERT_TRUE(server.Deploy(alice, "VIN-1", "app").ok());
+  Settle();
+  ASSERT_EQ(ecm->pushed.size(), 2u);
+  ecm->Ack(ecm->pushed[0].plugin_name, false, "quota");
+  EXPECT_EQ(*server.AppState("VIN-1", "app"), InstallState::kFailed);
+}
+
+TEST_F(ServerFixture, DeployRejectedWithoutSwConfForModel) {
+  fes::SyntheticAppParams params;
+  params.name = "wrongmodel";
+  params.vehicle_model = "some-other-model";
+  ASSERT_TRUE(server.UploadApp(fes::MakeSyntheticApp(params)).ok());
+  EXPECT_EQ(server.Deploy(alice, "VIN-1", "wrongmodel").code(),
+            support::ErrorCode::kIncompatible);
+}
+
+TEST_F(ServerFixture, DeployRejectedOnOldPlatform) {
+  auto app = EchoApp("needsnew");
+  app.confs[0].min_platform = "9.9";
+  ASSERT_TRUE(server.UploadApp(app).ok());
+  EXPECT_EQ(server.Deploy(alice, "VIN-1", "needsnew").code(),
+            support::ErrorCode::kIncompatible);
+}
+
+TEST_F(ServerFixture, DeployRejectedOnMissingVirtualPort) {
+  auto app = EchoApp("needsvp");
+  app.confs[0].required_virtual_ports = {"NonexistentPort"};
+  ASSERT_TRUE(server.UploadApp(app).ok());
+  auto status = server.Deploy(alice, "VIN-1", "needsvp");
+  EXPECT_EQ(status.code(), support::ErrorCode::kIncompatible);
+  EXPECT_NE(status.message().find("NonexistentPort"), std::string::npos);
+}
+
+TEST_F(ServerFixture, DeployRejectedOnNonPluginEcu) {
+  auto app = EchoApp("badplacement");
+  app.confs[0].placements[0].ecu_id = 99;
+  ASSERT_TRUE(server.UploadApp(app).ok());
+  EXPECT_EQ(server.Deploy(alice, "VIN-1", "badplacement").code(),
+            support::ErrorCode::kIncompatible);
+}
+
+TEST_F(ServerFixture, DependencyMustBeInstalledFirst) {
+  ASSERT_TRUE(server.UploadApp(EchoApp("base")).ok());
+  ASSERT_TRUE(server.UploadApp(EchoApp("addon", 1, {"base"})).ok());
+  EXPECT_EQ(server.Deploy(alice, "VIN-1", "addon").code(),
+            support::ErrorCode::kDependencyViolation);
+  DeployAndAck("base");
+  EXPECT_TRUE(server.Deploy(alice, "VIN-1", "addon").ok());
+}
+
+TEST_F(ServerFixture, PendingDependencyDoesNotCount) {
+  ASSERT_TRUE(server.UploadApp(EchoApp("base")).ok());
+  ASSERT_TRUE(server.UploadApp(EchoApp("addon", 1, {"base"})).ok());
+  ASSERT_TRUE(server.Deploy(alice, "VIN-1", "base").ok());
+  // base is pushed but not acked -> still pending -> addon must wait.
+  EXPECT_EQ(server.Deploy(alice, "VIN-1", "addon").code(),
+            support::ErrorCode::kDependencyViolation);
+}
+
+TEST_F(ServerFixture, ConflictsRejectedBothDirections) {
+  ASSERT_TRUE(server.UploadApp(EchoApp("first", 1, {}, {"second"})).ok());
+  ASSERT_TRUE(server.UploadApp(EchoApp("second")).ok());
+  DeployAndAck("first");
+  // first declares the conflict; second is the newcomer.
+  EXPECT_EQ(server.Deploy(alice, "VIN-1", "second").code(),
+            support::ErrorCode::kDependencyViolation);
+}
+
+TEST_F(ServerFixture, DoubleDeployRejected) {
+  DeployAndAck("app");
+  EXPECT_EQ(server.Deploy(alice, "VIN-1", "app").code(),
+            support::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(ServerFixture, DeployToOfflineVehicleFails) {
+  ecm->peer->Close();
+  ASSERT_TRUE(server.UploadApp(EchoApp("app")).ok());
+  EXPECT_EQ(server.Deploy(alice, "VIN-1", "app").code(),
+            support::ErrorCode::kUnavailable);
+}
+
+TEST_F(ServerFixture, UniqueIdsNeverCollideAcrossApps) {
+  DeployAndAck("one");
+  DeployAndAck("two");
+  const Vehicle* vehicle = server.FindVehicle("VIN-1");
+  ASSERT_NE(vehicle, nullptr);
+  std::set<std::uint8_t> ids;
+  for (const auto& installed : vehicle->installed) {
+    for (const auto& plugin : installed.plugins) {
+      for (const auto& entry : plugin.pic.entries) {
+        EXPECT_TRUE(ids.insert(entry.unique_id).second)
+            << "uid " << int(entry.unique_id) << " reused";
+      }
+    }
+  }
+  EXPECT_EQ(ids.size(), 4u);  // 2 apps x 1 plugin x 2 ports
+}
+
+TEST_F(ServerFixture, FreedIdsAreReusedAfterUninstall) {
+  DeployAndAck("one");
+  ASSERT_TRUE(server.UninstallApp(alice, "VIN-1", "one").ok());
+  Settle();
+  ecm->AckAllPushedInstalls();
+  ecm->pushed.clear();
+  DeployAndAck("two");
+  const Vehicle* vehicle = server.FindVehicle("VIN-1");
+  ASSERT_EQ(vehicle->installed.size(), 1u);
+  EXPECT_EQ(vehicle->installed[0].plugins[0].pic.entries[0].unique_id, 0);
+}
+
+// --- uninstall -----------------------------------------------------------------------------
+
+TEST_F(ServerFixture, UninstallPushesMessagesAndRemovesOnAck) {
+  DeployAndAck("app");
+  ASSERT_TRUE(server.UninstallApp(alice, "VIN-1", "app").ok());
+  Settle();
+  ASSERT_EQ(ecm->pushed.size(), 1u);
+  EXPECT_EQ(ecm->pushed[0].type, pirte::MessageType::kUninstall);
+  EXPECT_EQ(*server.AppState("VIN-1", "app"), InstallState::kUninstalling);
+  ecm->Ack("app.p0", true);
+  EXPECT_FALSE(server.AppState("VIN-1", "app").ok());  // row removed
+}
+
+TEST_F(ServerFixture, UninstallBlockedByDependents) {
+  DeployAndAck("base");
+  ASSERT_TRUE(server.UploadApp(EchoApp("addon", 1, {"base"})).ok());
+  DeployAndAck("addon");
+  auto status = server.UninstallApp(alice, "VIN-1", "base");
+  EXPECT_EQ(status.code(), support::ErrorCode::kDependencyViolation);
+  EXPECT_NE(status.message().find("addon"), std::string::npos);
+  // After removing the dependent, the base can go.
+  ASSERT_TRUE(server.UninstallApp(alice, "VIN-1", "addon").ok());
+  Settle();
+  ecm->AckAllPushedInstalls();
+  ecm->pushed.clear();
+  EXPECT_TRUE(server.UninstallApp(alice, "VIN-1", "base").ok());
+}
+
+TEST_F(ServerFixture, UninstallUnknownAppFails) {
+  EXPECT_EQ(server.UninstallApp(alice, "VIN-1", "ghost").code(),
+            support::ErrorCode::kNotFound);
+}
+
+// --- restore ---------------------------------------------------------------------------------
+
+TEST_F(ServerFixture, RestoreRepushesRecordedPackages) {
+  DeployAndAck("app");
+  const Vehicle* vehicle = server.FindVehicle("VIN-1");
+  const auto original_uid =
+      vehicle->installed[0].plugins[0].pic.entries[0].unique_id;
+
+  ASSERT_TRUE(server.Restore(alice, "VIN-1", 1).ok());
+  Settle();
+  ASSERT_EQ(ecm->pushed.size(), 1u);
+  EXPECT_EQ(ecm->pushed[0].type, pirte::MessageType::kInstallPackage);
+  auto package = pirte::InstallationPackage::Deserialize(ecm->pushed[0].payload);
+  ASSERT_TRUE(package.ok());
+  // The restored package carries the identical contexts (same unique ids).
+  EXPECT_EQ(package->pic.entries[0].unique_id, original_uid);
+  EXPECT_EQ(*server.AppState("VIN-1", "app"), InstallState::kPending);
+  ecm->Ack("app.p0", true);
+  EXPECT_EQ(*server.AppState("VIN-1", "app"), InstallState::kInstalled);
+}
+
+TEST_F(ServerFixture, RestoreOnlyTouchesTheReplacedEcu) {
+  DeployAndAck("app");  // placed on ECU 1
+  EXPECT_EQ(server.Restore(alice, "VIN-1", 2).code(),
+            support::ErrorCode::kNotFound);  // nothing on ECU 2
+  EXPECT_TRUE(ecm->pushed.empty());
+}
+
+// --- queries / stats -----------------------------------------------------------------------------
+
+TEST_F(ServerFixture, InstalledAppsListing) {
+  EXPECT_TRUE(server.InstalledApps("VIN-1").empty());
+  DeployAndAck("a1");
+  DeployAndAck("a2");
+  auto apps = server.InstalledApps("VIN-1");
+  EXPECT_EQ(apps.size(), 2u);
+}
+
+TEST_F(ServerFixture, StatsTrackOperations) {
+  DeployAndAck("app");
+  EXPECT_EQ(server.stats().deploys_ok, 1u);
+  EXPECT_EQ(server.stats().packages_pushed, 1u);
+  EXPECT_EQ(server.stats().acks_received, 1u);
+  ASSERT_TRUE(server.UploadApp(EchoApp("bad", 1, {"missing-dep"})).ok());
+  (void)server.Deploy(alice, "VIN-1", "bad");
+  EXPECT_EQ(server.stats().deploys_rejected, 1u);
+}
+
+TEST_F(ServerFixture, VehicleOnlineTracksConnection) {
+  EXPECT_TRUE(server.VehicleOnline("VIN-1"));
+  ecm->peer->Close();
+  EXPECT_FALSE(server.VehicleOnline("VIN-1"));
+  EXPECT_FALSE(server.VehicleOnline("VIN-404"));
+}
+
+}  // namespace
+}  // namespace dacm::server

@@ -1,0 +1,446 @@
+// Unit tests for the PVM: assembler, binary format, interpreter semantics,
+// sandboxing (fuel, stacks, register bounds), and the port syscalls.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "vm/assembler.hpp"
+#include "vm/interpreter.hpp"
+
+namespace dacm::vm {
+namespace {
+
+/// Scripted in-memory environment standing in for a PIRTE.
+class FakeEnv : public PortEnv {
+ public:
+  support::Result<support::Bytes> ReadPort(std::uint8_t port) override {
+    auto it = port_data.find(port);
+    if (it == port_data.end()) return support::Bytes{};
+    return it->second;
+  }
+  support::Status WritePort(std::uint8_t port,
+                            std::span<const std::uint8_t> data) override {
+    writes.emplace_back(port, support::Bytes(data.begin(), data.end()));
+    return support::OkStatus();
+  }
+  bool PortAvailable(std::uint8_t port) override { return available.contains(port); }
+  std::uint32_t ClockMs() override { return clock_ms; }
+
+  std::map<std::uint8_t, support::Bytes> port_data;
+  std::set<std::uint8_t> available;
+  std::uint32_t clock_ms = 0;
+  std::vector<std::pair<std::uint8_t, support::Bytes>> writes;
+};
+
+Program MustAssemble(const std::string& source) {
+  auto program = Assemble(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(*program);
+}
+
+ExecResult RunProgram(const std::string& source, FakeEnv& env,
+                      const std::string& entry = "main", VmLimits limits = {},
+                      VmInstance** out_vm = nullptr) {
+  static std::vector<std::unique_ptr<VmInstance>> keep_alive;
+  auto vm = std::make_unique<VmInstance>(MustAssemble(source), env, limits);
+  auto result = vm->Run(entry);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (out_vm != nullptr) *out_vm = vm.get();
+  keep_alive.push_back(std::move(vm));
+  return *result;
+}
+
+// --- assembler --------------------------------------------------------------------
+
+TEST(AssemblerTest, RejectsUnknownMnemonic) {
+  EXPECT_FALSE(Assemble(".entry main a\na:\nFROB\n").ok());
+}
+
+TEST(AssemblerTest, RejectsUndefinedLabel) {
+  auto result = Assemble(".entry main a\na:\nJMP missing\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("missing"), std::string::npos);
+}
+
+TEST(AssemblerTest, RejectsDuplicateLabel) {
+  EXPECT_FALSE(Assemble(".entry main a\na:\na:\nHALT\n").ok());
+}
+
+TEST(AssemblerTest, RejectsMissingEntry) {
+  EXPECT_FALSE(Assemble("a:\nHALT\n").ok());
+}
+
+TEST(AssemblerTest, RejectsBadRegister) {
+  EXPECT_FALSE(Assemble(".entry main a\na:\nLOAD 256\nHALT\n").ok());
+}
+
+TEST(AssemblerTest, RejectsBadImmediate) {
+  EXPECT_FALSE(Assemble(".entry main a\na:\nPUSH zz\nHALT\n").ok());
+}
+
+TEST(AssemblerTest, ErrorsCarryLineNumbers) {
+  auto result = Assemble(".entry main a\na:\nNOP\nBROKEN\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(AssemblerTest, CommentsAndBlankLinesIgnored) {
+  auto program = Assemble("; header\n\n.entry main a ; trailing\na:\n  HALT ; done\n");
+  EXPECT_TRUE(program.ok());
+}
+
+TEST(AssemblerTest, HexImmediatesAccepted) {
+  FakeEnv env;
+  auto result = RunProgram(".entry main m\nm:\nPUSH 0xFF\nSTORE 1\nHALT\n", env, "main");
+  EXPECT_EQ(result.outcome, ExecOutcome::kHalted);
+}
+
+TEST(AssemblerTest, MultipleEntryPoints) {
+  auto program = MustAssemble(R"(
+    .entry alpha a
+    .entry beta b
+    a: HALT
+    b: HALT
+  )");
+  EXPECT_TRUE(program.FindEntry("alpha").ok());
+  EXPECT_TRUE(program.FindEntry("beta").ok());
+  EXPECT_FALSE(program.FindEntry("gamma").ok());
+}
+
+// --- binary format ---------------------------------------------------------------------
+
+TEST(ProgramTest, SerializeDeserializeRoundTrip) {
+  Program program = MustAssemble(".entry main a\na:\nPUSH 1\nSTORE 5\nHALT\n");
+  auto bytes = program.Serialize();
+  auto restored = Program::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->code, program.code);
+  EXPECT_EQ(restored->entries.size(), 1u);
+  EXPECT_EQ(restored->entries[0].name, "main");
+}
+
+TEST(ProgramTest, BadMagicRejected) {
+  Program program = MustAssemble(".entry main a\na:\nHALT\n");
+  auto bytes = program.Serialize();
+  bytes[0] = 'X';
+  EXPECT_FALSE(Program::Deserialize(bytes).ok());
+}
+
+TEST(ProgramTest, EntryOutsideCodeRejected) {
+  Program program = MustAssemble(".entry main a\na:\nHALT\n");
+  program.entries[0].pc = 10'000;
+  auto bytes = program.Serialize();
+  EXPECT_FALSE(Program::Deserialize(bytes).ok());
+}
+
+TEST(ProgramTest, TruncatedBinaryRejected) {
+  Program program = MustAssemble(".entry main a\na:\nHALT\n");
+  auto bytes = program.Serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(Program::Deserialize(bytes).ok());
+}
+
+// --- interpreter: arithmetic and control -------------------------------------------------
+
+struct BinOpCase {
+  const char* op;
+  std::int32_t a, b, expected;
+};
+
+class BinOpTest : public ::testing::TestWithParam<BinOpCase> {};
+
+TEST_P(BinOpTest, ComputesExpectedValue) {
+  const auto& param = GetParam();
+  FakeEnv env;
+  VmInstance* vm = nullptr;
+  const std::string source = ".entry main m\nm:\nPUSH " + std::to_string(param.a) +
+                             "\nPUSH " + std::to_string(param.b) + "\n" + param.op +
+                             "\nSTORE 1\nHALT\n";
+  auto result = RunProgram(source, env, "main", {}, &vm);
+  EXPECT_EQ(result.outcome, ExecOutcome::kHalted);
+  EXPECT_EQ(vm->Register(1), param.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, BinOpTest,
+    ::testing::Values(BinOpCase{"ADD", 2, 3, 5}, BinOpCase{"ADD", -2, 3, 1},
+                      BinOpCase{"SUB", 10, 4, 6}, BinOpCase{"SUB", 4, 10, -6},
+                      BinOpCase{"MUL", -3, 7, -21}, BinOpCase{"DIV", 42, 6, 7},
+                      BinOpCase{"DIV", -7, 2, -3}, BinOpCase{"MOD", 17, 5, 2},
+                      BinOpCase{"AND", 0xF0F0, 0xFF00, 0xF000},
+                      BinOpCase{"OR", 0x0F00, 0x00F0, 0x0FF0},
+                      BinOpCase{"XOR", 0xFF, 0x0F, 0xF0},
+                      BinOpCase{"SHL", 1, 4, 16}, BinOpCase{"SHR", -16, 2, -4},
+                      BinOpCase{"CMPEQ", 3, 3, 1}, BinOpCase{"CMPEQ", 3, 4, 0},
+                      BinOpCase{"CMPLT", 2, 3, 1}, BinOpCase{"CMPLT", 3, 2, 0},
+                      BinOpCase{"CMPGT", 5, 1, 1}, BinOpCase{"CMPGT", 1, 5, 0}));
+
+TEST(InterpreterTest, AddWrapsLikeTwoComplement) {
+  FakeEnv env;
+  VmInstance* vm = nullptr;
+  auto result = RunProgram(
+      ".entry main m\nm:\nPUSH 2147483647\nPUSH 1\nADD\nSTORE 1\nHALT\n", env, "main",
+      {}, &vm);
+  EXPECT_EQ(result.outcome, ExecOutcome::kHalted);
+  EXPECT_EQ(vm->Register(1), INT32_MIN);
+}
+
+TEST(InterpreterTest, DivisionByZeroFaults) {
+  FakeEnv env;
+  auto result =
+      RunProgram(".entry main m\nm:\nPUSH 1\nPUSH 0\nDIV\nHALT\n", env, "main");
+  EXPECT_EQ(result.outcome, ExecOutcome::kFault);
+  EXPECT_NE(result.fault.find("zero"), std::string::npos);
+}
+
+TEST(InterpreterTest, DivisionOverflowFaults) {
+  FakeEnv env;
+  auto result = RunProgram(
+      ".entry main m\nm:\nPUSH -2147483648\nPUSH -1\nDIV\nHALT\n", env, "main");
+  EXPECT_EQ(result.outcome, ExecOutcome::kFault);
+}
+
+TEST(InterpreterTest, LoopComputesSum) {
+  // sum 1..10 = 55
+  FakeEnv env;
+  VmInstance* vm = nullptr;
+  auto result = RunProgram(R"(
+    .entry main m
+    m:
+      PUSH 10
+      STORE 1
+      PUSH 0
+      STORE 2
+    loop:
+      LOAD 1
+      JZ end
+      LOAD 2
+      LOAD 1
+      ADD
+      STORE 2
+      LOAD 1
+      PUSH 1
+      SUB
+      STORE 1
+      JMP loop
+    end:
+      HALT
+  )",
+                           env, "main", {}, &vm);
+  EXPECT_EQ(result.outcome, ExecOutcome::kHalted);
+  EXPECT_EQ(vm->Register(2), 55);
+}
+
+TEST(InterpreterTest, CallAndRet) {
+  FakeEnv env;
+  VmInstance* vm = nullptr;
+  auto result = RunProgram(R"(
+    .entry main m
+    m:
+      PUSH 20
+      CALL double
+      STORE 1
+      HALT
+    double:
+      PUSH 2
+      MUL
+      RET
+  )",
+                           env, "main", {}, &vm);
+  EXPECT_EQ(result.outcome, ExecOutcome::kHalted);
+  EXPECT_EQ(vm->Register(1), 40);
+}
+
+TEST(InterpreterTest, RetWithEmptyCallStackHalts) {
+  FakeEnv env;
+  auto result = RunProgram(".entry main m\nm:\nRET\n", env, "main");
+  EXPECT_EQ(result.outcome, ExecOutcome::kHalted);
+}
+
+// --- sandbox limits ---------------------------------------------------------------
+
+TEST(SandboxTest, FuelBudgetStopsInfiniteLoop) {
+  FakeEnv env;
+  VmLimits limits;
+  limits.fuel_per_activation = 1000;
+  auto result =
+      RunProgram(".entry main m\nm:\nloop:\nJMP loop\n", env, "main", limits);
+  EXPECT_EQ(result.outcome, ExecOutcome::kFuelExhausted);
+  EXPECT_EQ(result.fuel_used, 1000u);
+}
+
+TEST(SandboxTest, RegistersSurviveFuelExhaustion) {
+  FakeEnv env;
+  VmLimits limits;
+  limits.fuel_per_activation = 50;
+  VmInstance* vm = nullptr;
+  RunProgram(R"(
+    .entry main m
+    m:
+      PUSH 7
+      STORE 1
+    loop:
+      JMP loop
+  )",
+             env, "main", limits, &vm);
+  EXPECT_EQ(vm->Register(1), 7);
+}
+
+TEST(SandboxTest, OperandStackOverflowFaults) {
+  FakeEnv env;
+  VmLimits limits;
+  limits.max_operand_stack = 4;
+  auto result = RunProgram(
+      ".entry main m\nm:\nloop:\nPUSH 1\nJMP loop\n", env, "main", limits);
+  EXPECT_EQ(result.outcome, ExecOutcome::kFault);
+  EXPECT_NE(result.fault.find("overflow"), std::string::npos);
+}
+
+TEST(SandboxTest, StackUnderflowFaults) {
+  FakeEnv env;
+  auto result = RunProgram(".entry main m\nm:\nPOP\nHALT\n", env, "main");
+  EXPECT_EQ(result.outcome, ExecOutcome::kFault);
+}
+
+TEST(SandboxTest, CallDepthBounded) {
+  FakeEnv env;
+  VmLimits limits;
+  limits.max_call_depth = 8;
+  auto result = RunProgram(".entry main m\nm:\nCALL m\n", env, "main", limits);
+  EXPECT_EQ(result.outcome, ExecOutcome::kFault);
+  EXPECT_NE(result.fault.find("call stack"), std::string::npos);
+}
+
+TEST(SandboxTest, TrapReportsCode) {
+  FakeEnv env;
+  auto result = RunProgram(".entry main m\nm:\nTRAP 99\n", env, "main");
+  EXPECT_EQ(result.outcome, ExecOutcome::kTrap);
+  EXPECT_EQ(result.trap_code, 99);
+}
+
+TEST(SandboxTest, RunningOffCodeEndFaults) {
+  FakeEnv env;
+  auto result = RunProgram(".entry main m\nm:\nNOP\n", env, "main");
+  EXPECT_EQ(result.outcome, ExecOutcome::kFault);
+}
+
+TEST(SandboxTest, UnknownEntryIsError) {
+  FakeEnv env;
+  VmInstance vm(MustAssemble(".entry main m\nm:\nHALT\n"), env);
+  EXPECT_FALSE(vm.Run("nonexistent").ok());
+}
+
+// --- port syscalls ----------------------------------------------------------------------
+
+TEST(PortIoTest, ReadPortFillsIoWindow) {
+  FakeEnv env;
+  env.port_data[3] = {0x11, 0x22, 0x33};
+  VmInstance* vm = nullptr;
+  auto result = RunProgram(
+      ".entry main m\nm:\nREADP 3\nSTORE 1\nHALT\n", env, "main", {}, &vm);
+  EXPECT_EQ(result.outcome, ExecOutcome::kHalted);
+  EXPECT_EQ(vm->Register(1), 3);  // length
+  EXPECT_EQ(vm->Register(kIoWindowBase + 0), 0x11);
+  EXPECT_EQ(vm->Register(kIoWindowBase + 1), 0x22);
+  EXPECT_EQ(vm->Register(kIoWindowBase + 2), 0x33);
+}
+
+TEST(PortIoTest, WritePortTakesBytesFromIoWindow) {
+  FakeEnv env;
+  VmInstance* vm = nullptr;
+  auto result = RunProgram(R"(
+    .entry main m
+    m:
+      PUSH 65
+      STORE 128
+      PUSH 66
+      STORE 129
+      WRITEP 7 2
+      HALT
+  )",
+                           env, "main", {}, &vm);
+  EXPECT_EQ(result.outcome, ExecOutcome::kHalted);
+  ASSERT_EQ(env.writes.size(), 1u);
+  EXPECT_EQ(env.writes[0].first, 7);
+  EXPECT_EQ(env.writes[0].second, (support::Bytes{65, 66}));
+}
+
+TEST(PortIoTest, AvailPReflectsEnvironment) {
+  FakeEnv env;
+  env.available.insert(2);
+  VmInstance* vm = nullptr;
+  auto result = RunProgram(R"(
+    .entry main m
+    m:
+      AVAILP 2
+      STORE 1
+      AVAILP 3
+      STORE 2
+      HALT
+  )",
+                           env, "main", {}, &vm);
+  EXPECT_EQ(result.outcome, ExecOutcome::kHalted);
+  EXPECT_EQ(vm->Register(1), 1);
+  EXPECT_EQ(vm->Register(2), 0);
+}
+
+TEST(PortIoTest, ClockReadsEnvironment) {
+  FakeEnv env;
+  env.clock_ms = 123456;
+  VmInstance* vm = nullptr;
+  RunProgram(".entry main m\nm:\nCLOCK\nSTORE 1\nHALT\n", env, "main", {}, &vm);
+  EXPECT_EQ(vm->Register(1), 123456);
+}
+
+TEST(PortIoTest, FailedPortAccessBecomesFault) {
+  class RefusingEnv : public FakeEnv {
+   public:
+    support::Result<support::Bytes> ReadPort(std::uint8_t) override {
+      return support::PermissionDenied("not your port");
+    }
+  };
+  RefusingEnv env;
+  auto result = RunProgram(".entry main m\nm:\nREADP 0\nHALT\n", env, "main");
+  EXPECT_EQ(result.outcome, ExecOutcome::kFault);
+  EXPECT_NE(result.fault.find("PERMISSION_DENIED"), std::string::npos);
+}
+
+TEST(PortIoTest, OversizeReadClampsToWindow) {
+  FakeEnv env;
+  env.port_data[0] = support::Bytes(1000, 0xAA);
+  VmInstance* vm = nullptr;
+  RunProgram(".entry main m\nm:\nREADP 0\nSTORE 1\nHALT\n", env, "main", {}, &vm);
+  EXPECT_EQ(vm->Register(1), static_cast<std::int32_t>(kIoWindowSize));
+}
+
+// --- accounting -----------------------------------------------------------------------
+
+TEST(AccountingTest, FuelAndActivationCountersAccumulate) {
+  FakeEnv env;
+  VmInstance vm(MustAssemble(".entry main m\nm:\nNOP\nNOP\nHALT\n"), env);
+  ASSERT_TRUE(vm.Run("main").ok());
+  ASSERT_TRUE(vm.Run("main").ok());
+  EXPECT_EQ(vm.activations(), 2u);
+  EXPECT_EQ(vm.total_fuel_used(), 6u);  // 3 instructions per run
+}
+
+TEST(AccountingTest, RegistersPersistAcrossActivations) {
+  FakeEnv env;
+  VmInstance vm(MustAssemble(R"(
+    .entry main m
+    m:
+      LOAD 1
+      PUSH 1
+      ADD
+      STORE 1
+      HALT
+  )"),
+                env);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(vm.Run("main").ok());
+  EXPECT_EQ(vm.Register(1), 5);
+}
+
+}  // namespace
+}  // namespace dacm::vm

@@ -1,0 +1,269 @@
+// Property tests on the PVM: algebraic identities of the ALU over an
+// adversarial value grid, fuel monotonicity, serialization round-trips
+// for generated programs, corruption rejection, and I/O window bounds.
+#include <gtest/gtest.h>
+
+#include <climits>
+
+#include "support/crc.hpp"
+#include "vm/assembler.hpp"
+#include "vm/interpreter.hpp"
+
+namespace dacm::vm {
+namespace {
+
+class NullEnv final : public PortEnv {
+ public:
+  support::Result<support::Bytes> ReadPort(std::uint8_t) override {
+    return support::Bytes{};
+  }
+  support::Status WritePort(std::uint8_t, std::span<const std::uint8_t>) override {
+    return support::OkStatus();
+  }
+  bool PortAvailable(std::uint8_t) override { return false; }
+  std::uint32_t ClockMs() override { return 0; }
+};
+
+/// Runs an assembled `main` entry and returns register 1.
+std::int32_t Eval(const std::string& body) {
+  auto program = Assemble(".entry main m\nm:\n" + body + "\nSTORE 1\nHALT\n");
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  NullEnv env;
+  VmInstance instance(*program, env, {});
+  auto result = instance.Run("main");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ExecOutcome::kHalted);
+  return instance.Register(1);
+}
+
+// The adversarial operand grid: zeros, ones, sign boundaries.
+const std::int32_t kGrid[] = {0,       1,        -1,      2,
+                              -2,      127,      -128,    32767,
+                              INT_MAX, INT_MIN,  1000000, -999999};
+
+struct PairCase {
+  std::int32_t a;
+  std::int32_t b;
+};
+
+std::vector<PairCase> GridPairs() {
+  std::vector<PairCase> pairs;
+  for (std::int32_t a : kGrid) {
+    for (std::int32_t b : kGrid) pairs.push_back({a, b});
+  }
+  return pairs;
+}
+
+class AluIdentity : public ::testing::TestWithParam<PairCase> {};
+
+TEST_P(AluIdentity, AddCommutes) {
+  const auto [a, b] = GetParam();
+  const std::string ab = "PUSH " + std::to_string(a) + "\nPUSH " +
+                         std::to_string(b) + "\nADD\n";
+  const std::string ba = "PUSH " + std::to_string(b) + "\nPUSH " +
+                         std::to_string(a) + "\nADD\n";
+  EXPECT_EQ(Eval(ab), Eval(ba));
+}
+
+TEST_P(AluIdentity, AddThenSubRestores) {
+  const auto [a, b] = GetParam();
+  // ((a + b) - b) == a under two's-complement wraparound, always.
+  const std::string source = "PUSH " + std::to_string(a) + "\nPUSH " +
+                             std::to_string(b) + "\nADD\nPUSH " +
+                             std::to_string(b) + "\nSUB\n";
+  EXPECT_EQ(Eval(source), a);
+}
+
+TEST_P(AluIdentity, XorTwiceRestores) {
+  const auto [a, b] = GetParam();
+  const std::string source = "PUSH " + std::to_string(a) + "\nPUSH " +
+                             std::to_string(b) + "\nXOR\nPUSH " +
+                             std::to_string(b) + "\nXOR\n";
+  EXPECT_EQ(Eval(source), a);
+}
+
+TEST_P(AluIdentity, ComparisonsAreConsistent) {
+  const auto [a, b] = GetParam();
+  auto source = [&](const char* op) {
+    return "PUSH " + std::to_string(a) + "\nPUSH " + std::to_string(b) + "\n" +
+           op + "\n";
+  };
+  const std::int32_t eq = Eval(source("CMPEQ"));
+  const std::int32_t lt = Eval(source("CMPLT"));
+  const std::int32_t gt = Eval(source("CMPGT"));
+  EXPECT_EQ(eq, a == b ? 1 : 0);
+  EXPECT_EQ(lt, a < b ? 1 : 0);
+  EXPECT_EQ(gt, a > b ? 1 : 0);
+  EXPECT_EQ(eq + lt + gt, 1) << "exactly one of ==, <, > must hold";
+}
+
+TEST_P(AluIdentity, DivModReconstruct) {
+  const auto [a, b] = GetParam();
+  if (b == 0) return;                      // division traps, covered elsewhere
+  if (a == INT_MIN && b == -1) return;     // overflow faults, covered elsewhere
+  const std::string div = "PUSH " + std::to_string(a) + "\nPUSH " +
+                          std::to_string(b) + "\nDIV\n";
+  const std::string mod = "PUSH " + std::to_string(a) + "\nPUSH " +
+                          std::to_string(b) + "\nMOD\n";
+  const std::int32_t q = Eval(div);
+  const std::int32_t r = Eval(mod);
+  EXPECT_EQ(q * b + r, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AluIdentity, ::testing::ValuesIn(GridPairs()));
+
+// --- fuel ------------------------------------------------------------------------
+
+class FuelMonotonic : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FuelMonotonic, FuelGrowsWithWork) {
+  const std::uint32_t turns = GetParam();
+  auto loop = [&](std::uint32_t n) {
+    auto program = Assemble(R"(
+      .entry main m
+      m:
+        PUSH )" + std::to_string(n) + R"(
+        STORE 1
+      loop:
+        LOAD 1
+        JZ end
+        LOAD 1
+        PUSH 1
+        SUB
+        STORE 1
+        JMP loop
+      end:
+        HALT
+    )");
+    EXPECT_TRUE(program.ok());
+    NullEnv env;
+    VmLimits limits;
+    limits.fuel_per_activation = 10'000'000;
+    VmInstance instance(*program, env, limits);
+    auto result = instance.Run("main");
+    EXPECT_TRUE(result.ok());
+    return result->fuel_used;
+  };
+  EXPECT_GT(loop(turns + 1), loop(turns));
+  // Fuel is linear in loop turns: per-turn cost is constant.
+  const auto f1 = loop(turns);
+  const auto f2 = loop(2 * turns);
+  const auto per_turn = (f2 - f1) / turns;
+  EXPECT_EQ(f2 - f1, per_turn * turns);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuelMonotonic,
+                         ::testing::Values(1, 5, 32, 100, 500));
+
+// --- serialization robustness -----------------------------------------------------
+
+class TruncationSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TruncationSweep, EveryPrefixOfAProgramIsRejected) {
+  auto program = Assemble(R"(
+    .entry on_data a
+    .entry step b
+    a: PUSH 1
+       STORE 1
+       HALT
+    b: LOAD 1
+       HALT
+  )");
+  ASSERT_TRUE(program.ok());
+  const support::Bytes wire = program->Serialize();
+  const std::size_t cut = GetParam();
+  if (cut >= wire.size()) GTEST_SKIP() << "binary shorter than cut";
+  const support::Bytes truncated(wire.begin(),
+                                 wire.begin() + static_cast<std::ptrdiff_t>(cut));
+  EXPECT_FALSE(Program::Deserialize(truncated).ok()) << "prefix length " << cut;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TruncationSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 11, 16, 23,
+                                           31, 40, 47));
+
+TEST(ProgramRoundTrip, ManyEntriesSurvive) {
+  std::string source;
+  for (int i = 0; i < 32; ++i) {
+    source += ".entry e" + std::to_string(i) + " l" + std::to_string(i) + "\n";
+  }
+  for (int i = 0; i < 32; ++i) {
+    source += "l" + std::to_string(i) + ": PUSH " + std::to_string(i) +
+              "\nSTORE 1\nHALT\n";
+  }
+  auto program = Assemble(source);
+  ASSERT_TRUE(program.ok());
+  auto round = Program::Deserialize(program->Serialize());
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round->entries.size(), 32u);
+  NullEnv env;
+  VmInstance instance(*round, env, {});
+  for (int i = 0; i < 32; ++i) {
+    auto result = instance.Run("e" + std::to_string(i));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(instance.Register(1), i);
+  }
+}
+
+// --- I/O window bounds ---------------------------------------------------------------
+
+class EchoEnv final : public PortEnv {
+ public:
+  support::Result<support::Bytes> ReadPort(std::uint8_t) override { return in; }
+  support::Status WritePort(std::uint8_t, std::span<const std::uint8_t> data) override {
+    out.assign(data.begin(), data.end());
+    return support::OkStatus();
+  }
+  bool PortAvailable(std::uint8_t) override { return !in.empty(); }
+  std::uint32_t ClockMs() override { return 0; }
+
+  support::Bytes in;
+  support::Bytes out;
+};
+
+class IoWindowSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IoWindowSweep, ReadThenWritePreservesPayloadUpToWindow) {
+  const std::size_t size = GetParam();
+  auto program = Assemble(R"(
+    .entry on_data m
+    m:
+      READP 0
+      STORE 1      ; reported length
+      WRITEP 1 )" + std::to_string(std::min<std::size_t>(size, kIoWindowSize)) + R"(
+      HALT
+  )");
+  ASSERT_TRUE(program.ok());
+  EchoEnv env;
+  env.in.resize(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    env.in[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  VmInstance instance(*program, env, {});
+  auto result = instance.Run("on_data");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcome, ExecOutcome::kHalted);
+  const std::size_t visible = std::min<std::size_t>(size, kIoWindowSize);
+  // Reported length is clamped to the window.
+  EXPECT_EQ(static_cast<std::size_t>(instance.Register(1)), visible);
+  ASSERT_EQ(env.out.size(), visible);
+  for (std::size_t i = 0; i < visible; ++i) {
+    EXPECT_EQ(env.out[i], env.in[i]) << "byte " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IoWindowSweep,
+                         ::testing::Values(0, 1, 2, 7, 8, 64, 127, 128, 129,
+                                           200));
+
+TEST(IoWindowBounds, WritepBeyondWindowIsRejectedByAssembler) {
+  auto program = Assemble(R"(
+    .entry m m
+    m: WRITEP 0 129
+       HALT
+  )");
+  EXPECT_FALSE(program.ok());
+}
+
+}  // namespace
+}  // namespace dacm::vm
