@@ -1,0 +1,117 @@
+// WIRE — serialization + integrity hot paths.
+//
+// Every deploy crosses the wire twice (server -> ECM -> PIRTE) as a
+// CRC-protected InstallationPackage, and every Type I exchange pays the
+// PirteMessage codec.  These microbenchmarks isolate those costs from the
+// surrounding stack so codec regressions are visible before they show up
+// in the end-to-end figures:
+//   * Crc32 throughput across payload sizes (bytes/s);
+//   * InstallationPackage serialize and parse+verify round-trip;
+//   * PirteMessage encode/decode;
+//   * varint encode/decode sweep (the length-prefix workhorse).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "fes/appgen.hpp"
+#include "pirte/package.hpp"
+#include "pirte/protocol.hpp"
+#include "support/bytes.hpp"
+#include "support/crc.hpp"
+
+namespace dacm::bench {
+namespace {
+
+support::Bytes Payload(std::size_t size) {
+  support::Bytes data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  return data;
+}
+
+pirte::InstallationPackage SamplePackage(std::uint32_t ports) {
+  pirte::InstallationPackage package;
+  package.plugin_name = "bench";
+  package.version = "1.0";
+  for (std::uint32_t i = 0; i < ports; ++i) {
+    package.pic.entries.push_back(
+        {static_cast<std::uint8_t>(i), "port" + std::to_string(i),
+         static_cast<std::uint8_t>(i),
+         i % 2 == 0 ? pirte::PluginPortDirection::kRequired
+                    : pirte::PluginPortDirection::kProvided});
+    package.plc.entries.push_back(
+        {static_cast<std::uint8_t>(i), pirte::PlcKind::kVirtual, 4, 0, "", 0});
+  }
+  package.binary = fes::MakeEchoPluginBinary();
+  return package;
+}
+
+void BM_Crc32(benchmark::State& state) {
+  const auto data = Payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support::Crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1024)->Arg(16 << 10)->Arg(256 << 10);
+
+void BM_PackageSerialize(benchmark::State& state) {
+  const auto package = SamplePackage(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(package.Serialize());
+  }
+}
+BENCHMARK(BM_PackageSerialize)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_PackageParseAndVerify(benchmark::State& state) {
+  const auto bytes =
+      SamplePackage(static_cast<std::uint32_t>(state.range(0))).Serialize();
+  for (auto _ : state) {
+    auto package = pirte::InstallationPackage::Deserialize(bytes);
+    benchmark::DoNotOptimize(package.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_PackageParseAndVerify)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_PirteMessageRoundTrip(benchmark::State& state) {
+  pirte::PirteMessage message;
+  message.type = pirte::MessageType::kInstallPackage;
+  message.plugin_name = "bench";
+  message.payload = Payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto bytes = message.Serialize();
+    auto restored = pirte::PirteMessage::Deserialize(bytes);
+    benchmark::DoNotOptimize(restored.ok());
+  }
+}
+BENCHMARK(BM_PirteMessageRoundTrip)->Arg(16)->Arg(512)->Arg(8 << 10);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  std::vector<std::uint32_t> values;
+  for (std::uint32_t i = 0; i < 1024; ++i) {
+    values.push_back(i * 2654435761u);  // spans all encoded widths
+  }
+  for (auto _ : state) {
+    support::ByteWriter writer;
+    for (std::uint32_t v : values) writer.WriteVarU32(v);
+    support::ByteReader reader(writer.bytes());
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sum += *reader.ReadVarU32();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+}  // namespace
+}  // namespace dacm::bench
+
+BENCHMARK_MAIN();

@@ -9,16 +9,12 @@
 #include "bsw/dem.hpp"
 #include "bsw/nvm.hpp"
 #include "bsw/watchdog.hpp"
+#include "test_util.hpp"
 
 namespace dacm::bsw {
 namespace {
 
-struct TwoNodeBus : ::testing::Test {
-  sim::Simulator simulator;
-  sim::CanBus bus{simulator, 500'000};
-  CanIf if_a{bus, "A"};
-  CanIf if_b{bus, "B"};
-};
+struct TwoNodeBus : ::testing::Test, testutil::TwoNodeCanBus {};
 
 // --- CanIf ---------------------------------------------------------------------
 
@@ -47,17 +43,7 @@ TEST_F(TwoNodeBus, DuplicateBindingRejected) {
 
 // --- CanTp ---------------------------------------------------------------------------
 
-struct TpFixture : TwoNodeBus {
-  CanTp tx{if_a, /*tx_id=*/0x100, /*rx_id=*/0x101};
-  CanTp rx{if_b, /*tx_id=*/0x101, /*rx_id=*/0x100};
-  std::vector<support::Bytes> messages;
-  std::vector<support::Status> errors;
-
-  void SetUp() override {
-    rx.SetMessageHandler([this](const support::Bytes& m) { messages.push_back(m); });
-    rx.SetErrorHandler([this](const support::Status& s) { errors.push_back(s); });
-  }
-};
+struct TpFixture : ::testing::Test, testutil::ScriptedTpLink {};
 
 TEST_F(TpFixture, SingleFrameMessage) {
   const support::Bytes payload = {1, 2, 3};

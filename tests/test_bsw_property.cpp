@@ -11,33 +11,13 @@
 #include "bsw/can_tp.hpp"
 #include "bsw/nvm.hpp"
 #include "sim/can_bus.hpp"
+#include "test_util.hpp"
 
 namespace dacm::bsw {
 namespace {
 
-struct TpLink {
-  sim::Simulator simulator;
-  sim::CanBus bus{simulator, 500'000};
-  CanIf if_a{bus, "A"};
-  CanIf if_b{bus, "B"};
-  CanTp a{if_a, /*tx_id=*/0x100, /*rx_id=*/0x101};
-  CanTp b{if_b, /*tx_id=*/0x101, /*rx_id=*/0x100};
-  std::vector<support::Bytes> received;
-  std::vector<support::Status> errors;
-
-  TpLink() {
-    b.SetMessageHandler([this](const support::Bytes& m) { received.push_back(m); });
-    b.SetErrorHandler([this](const support::Status& s) { errors.push_back(s); });
-  }
-
-  support::Bytes Pattern(std::size_t size) {
-    support::Bytes data(size);
-    for (std::size_t i = 0; i < size; ++i) {
-      data[i] = static_cast<std::uint8_t>((i * 31 + size) & 0xFF);
-    }
-    return data;
-  }
-};
+/// The shared ScriptedTpLink under its property-suite alias.
+using TpLink = testutil::ScriptedTpLink;
 
 // --- segmentation boundaries --------------------------------------------------------------
 
@@ -45,11 +25,11 @@ class TpBoundary : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(TpBoundary, PayloadRoundTripsExactly) {
   TpLink link;
-  const auto message = link.Pattern(GetParam());
-  ASSERT_TRUE(link.a.Send(message).ok());
+  const auto message = testutil::PatternBytes(GetParam());
+  ASSERT_TRUE(link.tx.Send(message).ok());
   link.simulator.Run();
-  ASSERT_EQ(link.received.size(), 1u) << "size " << GetParam();
-  EXPECT_EQ(link.received[0], message);
+  ASSERT_EQ(link.messages.size(), 1u) << "size " << GetParam();
+  EXPECT_EQ(link.messages[0], message);
   EXPECT_TRUE(link.errors.empty());
 }
 
@@ -73,10 +53,10 @@ TEST_P(TpCorruption, FlippedBitAtAnyPositionIsNeverDeliveredAsData) {
   // deliver wrong bytes.
   TpLink link;
   link.bus.SetCorruptRate(1.0);
-  const auto message = link.Pattern(GetParam());
-  ASSERT_TRUE(link.a.Send(message).ok());
+  const auto message = testutil::PatternBytes(GetParam());
+  ASSERT_TRUE(link.tx.Send(message).ok());
   link.simulator.Run();
-  EXPECT_TRUE(link.received.empty()) << "corrupted payload delivered!";
+  EXPECT_TRUE(link.messages.empty()) << "corrupted payload delivered!";
   EXPECT_GE(link.errors.size(), 1u);
 }
 
@@ -86,30 +66,30 @@ INSTANTIATE_TEST_SUITE_P(Sizes, TpCorruption,
 TEST(TpCorruptionRecovery, ChannelRecoversAfterCorruptionEnds) {
   TpLink link;
   link.bus.SetCorruptRate(1.0);
-  ASSERT_TRUE(link.a.Send(link.Pattern(50)).ok());
+  ASSERT_TRUE(link.tx.Send(testutil::PatternBytes(50)).ok());
   link.simulator.Run();
-  EXPECT_TRUE(link.received.empty());
+  EXPECT_TRUE(link.messages.empty());
   link.bus.SetCorruptRate(0.0);
-  ASSERT_TRUE(link.a.Send(link.Pattern(50)).ok());
+  ASSERT_TRUE(link.tx.Send(testutil::PatternBytes(50)).ok());
   link.simulator.Run();
-  ASSERT_EQ(link.received.size(), 1u);
-  EXPECT_EQ(link.received[0], link.Pattern(50));
+  ASSERT_EQ(link.messages.size(), 1u);
+  EXPECT_EQ(link.messages[0], testutil::PatternBytes(50));
 }
 
 TEST(TpDrops, DroppedFramesAreDetectedNotMisassembled) {
   TpLink link;
   link.bus.SetDropRate(0.4);
   for (int i = 0; i < 20; ++i) {
-    ASSERT_TRUE(link.a.Send(link.Pattern(100)).ok());
+    ASSERT_TRUE(link.tx.Send(testutil::PatternBytes(100)).ok());
     link.simulator.Run();
   }
   // Whatever got through is byte-perfect.
-  for (const auto& message : link.received) {
-    EXPECT_EQ(message, link.Pattern(100));
+  for (const auto& message : link.messages) {
+    EXPECT_EQ(message, testutil::PatternBytes(100));
   }
   // Conservation: every send either arrived or raised an error (a fully
   // dropped first frame leaves the receiver idle, which is also safe).
-  EXPECT_LE(link.received.size(), 20u);
+  EXPECT_LE(link.messages.size(), 20u);
 }
 
 // --- CAN arbitration --------------------------------------------------------------------------
@@ -211,6 +191,40 @@ TEST_P(NvmSweep, BlocksAreIndependentUnderInterleavedWrites) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Counts, NvmSweep, ::testing::Values(1, 2, 5, 16));
+
+// --- randomized round-trip fuzz ---------------------------------------------------------------
+
+TEST(TpFuzz, RandomSizesRoundTripInOrderOnACleanBus) {
+  DACM_PROPERTY_RNG(rng);
+  TpLink link;
+  std::vector<support::Bytes> sent;
+  for (int i = 0; i < 64; ++i) {
+    const auto size = static_cast<std::size_t>(rng.NextBelow(600));
+    sent.push_back(testutil::PatternBytes(size));
+    ASSERT_TRUE(link.tx.Send(sent.back()).ok()) << "message " << i;
+    // Sometimes drain mid-stream, sometimes let sends queue up.
+    if (rng.NextBool(0.5)) link.simulator.Run();
+  }
+  link.simulator.Run();
+  ASSERT_EQ(link.messages.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(link.messages[i], sent[i]) << "message " << i;
+  }
+  EXPECT_TRUE(link.errors.empty());
+}
+
+TEST(TpFuzz, RandomCorruptionNeverDeliversWrongBytes) {
+  DACM_PROPERTY_RNG(rng);
+  TpLink link;
+  const auto payload = testutil::PatternBytes(120);
+  for (int round = 0; round < 32; ++round) {
+    link.bus.SetCorruptRate(rng.NextDouble());
+    ASSERT_TRUE(link.tx.Send(payload).ok()) << "round " << round;
+    link.simulator.Run();
+  }
+  // Whatever survived the noise is byte-perfect; nothing mangled leaks out.
+  for (const auto& message : link.messages) EXPECT_EQ(message, payload);
+}
 
 }  // namespace
 }  // namespace dacm::bsw

@@ -11,6 +11,7 @@
 #include "fes/ecu.hpp"
 #include "pirte/guard.hpp"
 #include "pirte/pirte.hpp"
+#include "test_util.hpp"
 
 namespace dacm::pirte {
 namespace {
@@ -229,22 +230,21 @@ struct GuardedStack {
     simulator.Run();
 
     // A pass-through plug-in: writes its 4-byte input to the guarded port.
-    InstallationPackage package;
-    package.plugin_name = "writer";
-    package.version = "1.0";
-    package.pic.entries = {{0, "in", 0, PluginPortDirection::kRequired},
-                           {1, "out", 1, PluginPortDirection::kProvided}};
-    package.plc.entries = {{1, PlcKind::kVirtual, 4, 0, "", 0}};
     // Forwards exactly the 4-byte control value (the guard checks i32
     // payloads only when they are exactly 4 bytes long).
-    package.binary = fes::AssembleOrDie(R"(
+    auto package = testutil::MakeCannedPackage(
+        "writer",
+        fes::AssembleOrDie(R"(
       .entry on_data h
       h:
         READP 0
         POP
         WRITEP 1 4
         HALT
-    )");
+    )"),
+        {{0, "in", 0, PluginPortDirection::kRequired},
+         {1, "out", 1, PluginPortDirection::kProvided}},
+        {{1, PlcKind::kVirtual, 4, 0, "", 0}});
     EXPECT_TRUE(pirte->Install(package).ok());
     simulator.Run();
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "os/os.hpp"
+#include "test_util.hpp"
 
 namespace dacm::os {
 namespace {
@@ -218,6 +219,46 @@ TEST(AlarmTaskInterplay, PeriodicTaskKeepsCadenceWhileLowPriorityFloods) {
   kernel.simulator.RunUntil(sim::kSecond);
   // 100 control periods in 1 s; allow one lost to end-of-horizon dispatch.
   EXPECT_GE(control_runs, 99);
+}
+
+// --- randomized scheduling fuzz ---------------------------------------------------------------
+
+TEST(SchedulerFuzz, RandomPrioritiesAndActivationOrdersAlwaysDispatchByPriority) {
+  DACM_PROPERTY_RNG(rng);
+  for (int round = 0; round < 24; ++round) {
+    SCOPED_TRACE(::testing::Message() << "round " << round);
+    const int count = static_cast<int>(rng.NextInRange(2, 8));
+    // A random permutation of distinct priorities 10..10+count-1.
+    std::vector<std::uint8_t> priorities;
+    for (int i = 0; i < count; ++i) {
+      priorities.push_back(static_cast<std::uint8_t>(10 + i));
+    }
+    testutil::Shuffle(rng, priorities);
+    Kernel kernel;
+    std::vector<std::uint8_t> executed;
+    std::vector<TaskId> tasks;
+    for (int i = 0; i < count; ++i) {
+      TaskConfig config;
+      config.name = "t" + std::to_string(i);
+      config.priority = priorities[static_cast<std::size_t>(i)];
+      config.body = [&executed, priority = priorities[static_cast<std::size_t>(i)]](
+                        EventMask) { executed.push_back(priority); };
+      tasks.push_back(*kernel.os.CreateTask(std::move(config)));
+    }
+    ASSERT_TRUE(kernel.os.StartOs().ok());
+    // Activate everyone at the same timestamp, in a second random order.
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < tasks.size(); ++i) order.push_back(i);
+    testutil::Shuffle(rng, order);
+    for (std::size_t index : order) {
+      ASSERT_TRUE(kernel.os.ActivateTask(tasks[index]).ok());
+    }
+    kernel.simulator.Run();
+    std::vector<std::uint8_t> expected = executed;
+    std::sort(expected.rbegin(), expected.rend());
+    EXPECT_EQ(executed, expected);
+    EXPECT_EQ(executed.size(), static_cast<std::size_t>(count));
+  }
 }
 
 }  // namespace

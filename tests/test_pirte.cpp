@@ -10,6 +10,7 @@
 #include "fes/appgen.hpp"
 #include "fes/ecu.hpp"
 #include "pirte/pirte.hpp"
+#include "test_util.hpp"
 #include "vm/assembler.hpp"
 
 namespace dacm::pirte {
@@ -147,20 +148,8 @@ struct PirteStack {
 Translator PirteStack::act_translate;
 Translator PirteStack::sensor_translate;
 
-/// Package builder used throughout.
-InstallationPackage MakePackage(
-    const std::string& name, support::Bytes binary,
-    std::vector<PicEntry> pic, std::vector<PlcEntry> plc = {},
-    std::vector<EccEntry> ecc = {}, const std::string& version = "1.0") {
-  InstallationPackage package;
-  package.plugin_name = name;
-  package.version = version;
-  package.pic.entries = std::move(pic);
-  package.plc.entries = std::move(plc);
-  package.ecc.entries = std::move(ecc);
-  package.binary = std::move(binary);
-  return package;
-}
+/// Package builder used throughout (the shared canned-package helper).
+using testutil::MakeCannedPackage;
 
 struct PirteTest : ::testing::Test {
   bsw::Nvm nvm;
@@ -176,7 +165,7 @@ struct PirteTest : ::testing::Test {
 // --- installation -----------------------------------------------------------------------
 
 TEST_F(PirteTest, InstallViaTypeIMessageAcksOk) {
-  auto package = MakePackage("echo", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("echo", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired},
                               {1, "out", 1, PluginPortDirection::kProvided}});
   stack->InstallExpectOk(package);
@@ -188,7 +177,7 @@ TEST_F(PirteTest, InstallViaTypeIMessageAcksOk) {
 }
 
 TEST_F(PirteTest, CorruptPackageNacksWithReason) {
-  auto package = MakePackage("bad", fes::MakeEchoPluginBinary(), {});
+  auto package = MakeCannedPackage("bad", fes::MakeEchoPluginBinary(), {});
   auto bytes = package.Serialize();
   bytes[bytes.size() / 2] ^= 0x40;
   PirteMessage message;
@@ -203,12 +192,12 @@ TEST_F(PirteTest, CorruptPackageNacksWithReason) {
 }
 
 TEST_F(PirteTest, MalformedBinaryRejected) {
-  auto package = MakePackage("bad", support::Bytes{1, 2, 3}, {});
+  auto package = MakeCannedPackage("bad", support::Bytes{1, 2, 3}, {});
   EXPECT_FALSE(stack->pirte->Install(package).ok());
 }
 
 TEST_F(PirteTest, DuplicateInstallRejected) {
-  auto package = MakePackage("dup", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("dup", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired}});
   ASSERT_TRUE(stack->pirte->Install(package).ok());
   EXPECT_EQ(stack->pirte->Install(package).code(),
@@ -222,12 +211,12 @@ TEST_F(PirteTest, PluginQuotaEnforced) {
   PirteStack limited(fresh, std::move(overrides));
   for (int i = 0; i < 2; ++i) {
     auto package =
-        MakePackage("p" + std::to_string(i), fes::MakeEchoPluginBinary(),
+        MakeCannedPackage("p" + std::to_string(i), fes::MakeEchoPluginBinary(),
                     {{0, "in", static_cast<std::uint8_t>(i),
                       PluginPortDirection::kRequired}});
     ASSERT_TRUE(limited.pirte->Install(package).ok());
   }
-  auto extra = MakePackage("p2", fes::MakeEchoPluginBinary(),
+  auto extra = MakeCannedPackage("p2", fes::MakeEchoPluginBinary(),
                            {{0, "in", 9, PluginPortDirection::kRequired}});
   EXPECT_EQ(limited.pirte->Install(extra).code(),
             support::ErrorCode::kResourceExhausted);
@@ -238,29 +227,29 @@ TEST_F(PirteTest, BinarySizeQuotaEnforced) {
   overrides.max_binary_size = 8;
   bsw::Nvm fresh;
   PirteStack limited(fresh, std::move(overrides));
-  auto package = MakePackage("big", fes::MakeEchoPluginBinary(), {});
+  auto package = MakeCannedPackage("big", fes::MakeEchoPluginBinary(), {});
   EXPECT_EQ(limited.pirte->Install(package).code(),
             support::ErrorCode::kCapacityExceeded);
 }
 
 TEST_F(PirteTest, UniqueIdClashRejected) {
-  auto first = MakePackage("a", fes::MakeEchoPluginBinary(),
+  auto first = MakeCannedPackage("a", fes::MakeEchoPluginBinary(),
                            {{0, "in", 5, PluginPortDirection::kRequired}});
   ASSERT_TRUE(stack->pirte->Install(first).ok());
-  auto second = MakePackage("b", fes::MakeEchoPluginBinary(),
+  auto second = MakeCannedPackage("b", fes::MakeEchoPluginBinary(),
                             {{0, "in", 5, PluginPortDirection::kRequired}});
   EXPECT_EQ(stack->pirte->Install(second).code(), support::ErrorCode::kIncompatible);
 }
 
 TEST_F(PirteTest, PlcReferencingUnknownVirtualPortRejected) {
-  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("p", fes::MakeEchoPluginBinary(),
                              {{0, "out", 0, PluginPortDirection::kProvided}},
                              {{0, PlcKind::kVirtual, 99, 0, "", 0}});
   EXPECT_EQ(stack->pirte->Install(package).code(), support::ErrorCode::kIncompatible);
 }
 
 TEST_F(PirteTest, PlcPortMissingFromPicRejected) {
-  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("p", fes::MakeEchoPluginBinary(),
                              {{0, "out", 0, PluginPortDirection::kProvided}},
                              {{3, PlcKind::kVirtual, 4, 0, "", 0}});
   EXPECT_EQ(stack->pirte->Install(package).code(), support::ErrorCode::kIncompatible);
@@ -276,7 +265,7 @@ TEST_F(PirteTest, OnInstallEntryRunsOnce) {
       WRITEP 0 1
       HALT
   )");
-  auto package = MakePackage("greeter", binary,
+  auto package = MakeCannedPackage("greeter", binary,
                              {{0, "marker", 0, PluginPortDirection::kProvided}});
   stack->InstallExpectOk(package);
   stack->simulator.Run();
@@ -289,7 +278,7 @@ TEST_F(PirteTest, OnInstallEntryRunsOnce) {
 
 TEST_F(PirteTest, TypeIIIOutReachesBuiltInSoftware) {
   // Echo plug-in: data on P0 is forwarded to P1; P1 is PLC-linked to V4.
-  auto package = MakePackage("fwd", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("fwd", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired},
                               {1, "out", 1, PluginPortDirection::kProvided}},
                              {{1, PlcKind::kVirtual, 4, 0, "", 0}});
@@ -312,7 +301,7 @@ TEST_F(PirteTest, TypeIIIOutTranslationApplied) {
   };
   bsw::Nvm fresh;
   PirteStack translated(fresh);
-  auto package = MakePackage("fwd", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("fwd", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired},
                               {1, "out", 1, PluginPortDirection::kProvided}},
                              {{1, PlcKind::kVirtual, 4, 0, "", 0}});
@@ -328,7 +317,7 @@ TEST_F(PirteTest, TypeIIIOutTranslationApplied) {
 TEST_F(PirteTest, TypeIIIInFansOutToSubscribedPlugins) {
   // Plug-in whose P0 is PLC-linked (kVirtual) to V6; arrivals there fan in,
   // and the echo forwards to P1 which we read back.
-  auto package = MakePackage("sub", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("sub", fes::MakeEchoPluginBinary(),
                              {{0, "sensor", 0, PluginPortDirection::kRequired},
                               {1, "copy", 1, PluginPortDirection::kProvided}},
                              {{0, PlcKind::kVirtual, 6, 0, "", 0}});
@@ -343,11 +332,11 @@ TEST_F(PirteTest, TypeIIIInFansOutToSubscribedPlugins) {
 
 TEST_F(PirteTest, TypeIIMultiplexingRoundTrip) {
   // writer.P1 -- V1 (Type II loopback) --> reader.P0 (uid 10).
-  auto reader = MakePackage("reader", fes::MakeEchoPluginBinary(),
+  auto reader = MakeCannedPackage("reader", fes::MakeEchoPluginBinary(),
                             {{0, "in", 10, PluginPortDirection::kRequired},
                              {1, "out", 11, PluginPortDirection::kProvided}});
   stack->InstallExpectOk(reader);
-  auto writer = MakePackage("writer", fes::MakeEchoPluginBinary(),
+  auto writer = MakeCannedPackage("writer", fes::MakeEchoPluginBinary(),
                             {{0, "in", 0, PluginPortDirection::kRequired},
                              {1, "out", 1, PluginPortDirection::kProvided}},
                             {{1, PlcKind::kVirtualRemote, 1, 10, "", 0}});
@@ -365,7 +354,7 @@ TEST_F(PirteTest, TypeIIMultiplexingRoundTrip) {
 }
 
 TEST_F(PirteTest, TypeIIUnknownRecipientDropsSafely) {
-  auto writer = MakePackage("writer", fes::MakeEchoPluginBinary(),
+  auto writer = MakeCannedPackage("writer", fes::MakeEchoPluginBinary(),
                             {{0, "in", 0, PluginPortDirection::kRequired},
                              {1, "out", 1, PluginPortDirection::kProvided}},
                             {{1, PlcKind::kVirtualRemote, 1, 200, "", 0}});
@@ -376,11 +365,11 @@ TEST_F(PirteTest, TypeIIUnknownRecipientDropsSafely) {
 }
 
 TEST_F(PirteTest, LocalPluginDirectLink) {
-  auto sink = MakePackage("sink", fes::MakeEchoPluginBinary(),
+  auto sink = MakeCannedPackage("sink", fes::MakeEchoPluginBinary(),
                           {{0, "in", 20, PluginPortDirection::kRequired},
                            {1, "out", 21, PluginPortDirection::kProvided}});
   stack->InstallExpectOk(sink);
-  auto source = MakePackage("source", fes::MakeEchoPluginBinary(),
+  auto source = MakeCannedPackage("source", fes::MakeEchoPluginBinary(),
                             {{0, "in", 0, PluginPortDirection::kRequired},
                              {1, "out", 1, PluginPortDirection::kProvided}},
                             {{1, PlcKind::kLocalPlugin, 0, 0, "sink", 0}});
@@ -393,7 +382,7 @@ TEST_F(PirteTest, LocalPluginDirectLink) {
 }
 
 TEST_F(PirteTest, LocalLinkToMissingPeerFaultsTheWriter) {
-  auto source = MakePackage("source", fes::MakeEchoPluginBinary(),
+  auto source = MakeCannedPackage("source", fes::MakeEchoPluginBinary(),
                             {{0, "in", 0, PluginPortDirection::kRequired},
                              {1, "out", 1, PluginPortDirection::kProvided}},
                             {{1, PlcKind::kLocalPlugin, 0, 0, "ghost", 0}});
@@ -405,7 +394,7 @@ TEST_F(PirteTest, LocalLinkToMissingPeerFaultsTheWriter) {
 }
 
 TEST_F(PirteTest, ExternalDataMessageDeliversToPluginPort) {
-  auto package = MakePackage("com", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("com", fes::MakeEchoPluginBinary(),
                              {{0, "ext", 0, PluginPortDirection::kRequired},
                               {1, "out", 1, PluginPortDirection::kProvided}});
   stack->InstallExpectOk(package);
@@ -423,7 +412,7 @@ TEST_F(PirteTest, ExternalDataMessageDeliversToPluginPort) {
 // --- lifecycle --------------------------------------------------------------------------------
 
 TEST_F(PirteTest, StopPreventsReactionsStartResumes) {
-  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("p", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired},
                               {1, "out", 1, PluginPortDirection::kProvided}});
   stack->InstallExpectOk(package);
@@ -443,7 +432,7 @@ TEST_F(PirteTest, StopPreventsReactionsStartResumes) {
 }
 
 TEST_F(PirteTest, LifecycleViaTypeIMessages) {
-  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("p", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired}});
   stack->InstallExpectOk(package);
   PirteMessage stop;
@@ -462,7 +451,7 @@ TEST_F(PirteTest, LifecycleViaTypeIMessages) {
 }
 
 TEST_F(PirteTest, UninstallViaTypeIRemovesPlugin) {
-  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("p", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired}});
   stack->InstallExpectOk(package);
   PirteMessage uninstall;
@@ -492,7 +481,7 @@ TEST_F(PirteTest, OnStopEntryRunsBeforeStopping) {
       WRITEP 0 1
       HALT
   )");
-  auto package = MakePackage("p", binary,
+  auto package = MakeCannedPackage("p", binary,
                              {{0, "marker", 0, PluginPortDirection::kProvided}});
   stack->InstallExpectOk(package);
   ASSERT_TRUE(stack->pirte->Stop("p").ok());
@@ -504,7 +493,7 @@ TEST_F(PirteTest, OnStopEntryRunsBeforeStopping) {
 // --- fault containment -----------------------------------------------------------------------
 
 TEST_F(PirteTest, TrappingPluginIsQuarantined) {
-  auto package = MakePackage("bomb", fes::MakeTrapPluginBinary(),
+  auto package = MakeCannedPackage("bomb", fes::MakeTrapPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired}});
   stack->InstallExpectOk(package);
   ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
@@ -522,7 +511,7 @@ TEST_F(PirteTest, TrappingPluginIsQuarantined) {
 }
 
 TEST_F(PirteTest, FaultedPluginIgnoresFurtherData) {
-  auto package = MakePackage("bomb", fes::MakeTrapPluginBinary(),
+  auto package = MakeCannedPackage("bomb", fes::MakeTrapPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired}});
   stack->InstallExpectOk(package);
   ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
@@ -533,7 +522,7 @@ TEST_F(PirteTest, FaultedPluginIgnoresFurtherData) {
 }
 
 TEST_F(PirteTest, FaultedPluginCannotBeStarted) {
-  auto package = MakePackage("bomb", fes::MakeTrapPluginBinary(),
+  auto package = MakeCannedPackage("bomb", fes::MakeTrapPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired}});
   stack->InstallExpectOk(package);
   ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
@@ -543,14 +532,14 @@ TEST_F(PirteTest, FaultedPluginCannotBeStarted) {
 }
 
 TEST_F(PirteTest, FaultedPluginCanBeReinstalledFresh) {
-  auto package = MakePackage("bomb", fes::MakeTrapPluginBinary(),
+  auto package = MakeCannedPackage("bomb", fes::MakeTrapPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired}});
   stack->InstallExpectOk(package);
   ASSERT_TRUE(stack->pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
   stack->simulator.Run();
   // Paper's update rule: stop/remove, then install fresh.
   ASSERT_TRUE(stack->pirte->Uninstall("bomb").ok());
-  auto healthy = MakePackage("bomb", fes::MakeEchoPluginBinary(),
+  auto healthy = MakeCannedPackage("bomb", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired},
                               {1, "out", 1, PluginPortDirection::kProvided}});
   ASSERT_TRUE(stack->pirte->Install(healthy).ok());
@@ -562,7 +551,7 @@ TEST_F(PirteTest, FuelExhaustionIsCountedButNonFatal) {
   overrides.vm_limits.fuel_per_activation = 100;
   bsw::Nvm fresh;
   PirteStack limited(fresh, std::move(overrides));
-  auto package = MakePackage("spinner", fes::MakeSpinPluginBinary(100'000),
+  auto package = MakeCannedPackage("spinner", fes::MakeSpinPluginBinary(100'000),
                              {{0, "in", 0, PluginPortDirection::kRequired}});
   limited.InstallExpectOk(package);
   ASSERT_TRUE(limited.pirte->DeliverToPluginPortByUnique(0, support::Bytes{1}).ok());
@@ -578,7 +567,7 @@ TEST_F(PirteTest, StepEntryRunsPeriodically) {
   overrides.step_period = 10 * sim::kMillisecond;
   bsw::Nvm fresh;
   PirteStack stepping(fresh, std::move(overrides));
-  auto package = MakePackage("counter", fes::MakeCounterPluginBinary(),
+  auto package = MakeCannedPackage("counter", fes::MakeCounterPluginBinary(),
                              {{0, "count", 0, PluginPortDirection::kProvided}});
   stepping.InstallExpectOk(package);
   stepping.simulator.RunFor(55 * sim::kMillisecond);
@@ -591,7 +580,7 @@ TEST_F(PirteTest, StepEntryRunsPeriodically) {
 TEST_F(PirteTest, AliveHookFiresOnVmActivity) {
   int alive = 0;
   stack->pirte->SetAliveHook([&]() { ++alive; });
-  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("p", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired},
                               {1, "out", 1, PluginPortDirection::kProvided}});
   stack->InstallExpectOk(package);
@@ -603,7 +592,7 @@ TEST_F(PirteTest, AliveHookFiresOnVmActivity) {
 // --- persistence --------------------------------------------------------------------------------
 
 TEST_F(PirteTest, InstalledPluginsSurviveReboot) {
-  auto package = MakePackage("survivor", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("survivor", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired},
                               {1, "out", 1, PluginPortDirection::kProvided}},
                              {{1, PlcKind::kVirtual, 4, 0, "", 0}});
@@ -622,7 +611,7 @@ TEST_F(PirteTest, InstalledPluginsSurviveReboot) {
 }
 
 TEST_F(PirteTest, UninstallAlsoRemovesFromPersistence) {
-  auto package = MakePackage("gone", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("gone", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired}});
   stack->InstallExpectOk(package);
   ASSERT_TRUE(stack->pirte->Uninstall("gone").ok());
@@ -632,7 +621,7 @@ TEST_F(PirteTest, UninstallAlsoRemovesFromPersistence) {
 }
 
 TEST_F(PirteTest, CorruptedNvmBlockYieldsCleanBoot) {
-  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("p", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired}});
   stack->InstallExpectOk(package);
   stack.reset();
@@ -644,7 +633,7 @@ TEST_F(PirteTest, CorruptedNvmBlockYieldsCleanBoot) {
 }
 
 TEST_F(PirteTest, ReplacedEcuStartsEmpty) {
-  auto package = MakePackage("p", fes::MakeEchoPluginBinary(),
+  auto package = MakeCannedPackage("p", fes::MakeEchoPluginBinary(),
                              {{0, "in", 0, PluginPortDirection::kRequired}});
   stack->InstallExpectOk(package);
   stack.reset();
@@ -670,7 +659,7 @@ TEST_F(PirteTest, InstallBeforeInitRejected) {
   config.name = "uninit";
   config.swc = *ecu.ecu_rte().AddSwc("S");
   Pirte pirte(ecu.ecu_rte(), &fresh, nullptr, std::move(config));
-  auto package = MakePackage("p", fes::MakeEchoPluginBinary(), {});
+  auto package = MakeCannedPackage("p", fes::MakeEchoPluginBinary(), {});
   EXPECT_EQ(pirte.Install(package).code(), support::ErrorCode::kFailedPrecondition);
 }
 

@@ -9,6 +9,7 @@
 #include "fes/appgen.hpp"
 #include "fes/ecu.hpp"
 #include "pirte/pirte.hpp"
+#include "test_util.hpp"
 
 namespace dacm::pirte {
 namespace {
@@ -64,18 +65,9 @@ struct SwarmStack {
   }
 
   InstallationPackage EchoPackage(int index) {
-    InstallationPackage package;
-    package.plugin_name = "p" + std::to_string(index);
-    package.version = "1.0";
-    package.pic.entries = {
-        {0, "in", static_cast<std::uint8_t>(2 * index),
-         PluginPortDirection::kRequired},
-        {1, "out", static_cast<std::uint8_t>(2 * index + 1),
-         PluginPortDirection::kProvided},
-    };
-    package.plc.entries = {{1, PlcKind::kVirtual, 4, 0, "", 0}};
-    package.binary = fes::MakeEchoPluginBinary();
-    return package;
+    return testutil::MakeEchoLoopbackPackage(
+        "p" + std::to_string(index), static_cast<std::uint8_t>(2 * index),
+        static_cast<std::uint8_t>(2 * index + 1));
   }
 
   void Poke(int index) {

@@ -13,6 +13,7 @@
 #include "fes/appgen.hpp"
 #include "fes/testbed.hpp"
 #include "server/server.hpp"
+#include "test_util.hpp"
 
 namespace dacm::server {
 namespace {
@@ -259,6 +260,38 @@ TEST_F(ServerProperty, ConflictIsCheckedAgainstLiveAppsOnly) {
   // And the reverse direction: the live app's conflict list blocks newcomers.
   EXPECT_EQ(server.Deploy(user, "VIN-1", "peace").code(),
             support::ErrorCode::kDependencyViolation);
+}
+
+// --- randomized churn fuzz --------------------------------------------------------------------
+
+TEST_F(ServerProperty, RandomDeployUninstallChurnKeepsIdsUniqueAndTableExact) {
+  DACM_PROPERTY_RNG(rng);
+  std::set<std::string> live;
+  int uploaded = 0;
+  for (int step = 0; step < 40; ++step) {
+    SCOPED_TRACE(::testing::Message() << "step " << step);
+    if (live.empty() || rng.NextBool(0.6)) {
+      const std::string name = "fuzz" + std::to_string(uploaded++);
+      Upload(name, /*ports=*/static_cast<std::uint32_t>(rng.NextInRange(1, 4)));
+      Deploy(name);
+      live.insert(name);
+    } else {
+      // Uninstall a uniformly random live app (no dependencies here, so
+      // any order is legal).
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(live.size())));
+      Uninstall(*it);
+      live.erase(it);
+    }
+    // Invariants after every step: recorded ids never clash (CollectIds
+    // asserts that) and the installed table is exactly the live set.
+    CollectIds();
+    const Vehicle* record = server.FindVehicle("VIN-1");
+    ASSERT_NE(record, nullptr);
+    std::set<std::string> installed;
+    for (const auto& app : record->installed) installed.insert(app.app_name);
+    EXPECT_EQ(installed, live);
+  }
 }
 
 }  // namespace

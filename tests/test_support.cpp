@@ -75,6 +75,38 @@ TEST(ResultTest, AssignOrReturnPropagatesBothWays) {
   EXPECT_EQ(Doubles(Corrupted("x")).status().code(), ErrorCode::kCorrupted);
 }
 
+Result<int> ParseDigit(char c) {
+  if (c < '0' || c > '9') return InvalidArgument(std::string("not a digit: ") + c);
+  return c - '0';
+}
+
+Result<int> SumDigits(const std::string& text) {
+  int total = 0;
+  for (char c : text) {
+    DACM_ASSIGN_OR_RETURN(int digit, ParseDigit(c));
+    total += digit;
+  }
+  return total;
+}
+
+Status ValidateDigits(const std::string& text) {
+  DACM_RETURN_IF_ERROR(SumDigits(text).status());
+  return OkStatus();
+}
+
+TEST(ResultTest, ErrorsPropagateThroughMultipleFrames) {
+  EXPECT_EQ(*SumDigits("123"), 6);
+  // The innermost diagnostic survives two propagation hops untouched.
+  const Status status = ValidateDigits("12x3");
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "not a digit: x");
+}
+
+TEST(ResultTest, ValueOrFallsBackOnlyOnError) {
+  EXPECT_EQ(Result<int>(7).value_or(-1), 7);
+  EXPECT_EQ(Result<int>(Timeout("late")).value_or(-1), -1);
+}
+
 // --- bytes -----------------------------------------------------------------------
 
 TEST(BytesTest, ScalarRoundTrip) {
@@ -165,6 +197,27 @@ TEST(CrcTest, IncrementalMatchesOneShot) {
   EXPECT_EQ(crc, Crc32(data));
 }
 
+TEST(CrcTest, StandardKnownAnswerVectors) {
+  // Published CRC-32/ISO-HDLC check values.
+  EXPECT_EQ(Crc32(ToBytes("a")), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32(ToBytes("abc")), 0x352441C2u);
+  EXPECT_EQ(Crc32(ToBytes("message digest")), 0x20159D7Fu);
+  EXPECT_EQ(Crc32(ToBytes("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+  const Bytes zeros(32, 0x00);
+  EXPECT_EQ(Crc32(zeros), 0x190A55ADu);
+  const Bytes ones(32, 0xFF);
+  EXPECT_EQ(Crc32(ones), 0xFF6CAB0Bu);
+}
+
+TEST(CrcTest, IncrementalIgnoresEmptyChunks) {
+  const Bytes data = ToBytes("chunked");
+  std::uint32_t crc = Crc32Update(0, {});
+  crc = Crc32Update(crc, data);
+  crc = Crc32Update(crc, {});
+  EXPECT_EQ(crc, Crc32(data));
+}
+
 TEST(CrcTest, SingleBitFlipChangesCrc) {
   Bytes data = ToBytes("payload payload payload");
   const std::uint32_t original = Crc32(data);
@@ -217,6 +270,56 @@ TEST(FixedVectorTest, DestroysElements) {
   EXPECT_EQ(alive, 0);
 }
 
+TEST(FixedVectorTest, EmplaceBackReturnsNullWhenFull) {
+  FixedVector<std::string, 2> v;
+  ASSERT_NE(v.emplace_back("a"), nullptr);
+  ASSERT_NE(v.emplace_back("b"), nullptr);
+  EXPECT_EQ(v.emplace_back("c"), nullptr);
+  // The failed emplace leaves size and contents untouched.
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "b");
+}
+
+TEST(FixedVectorTest, OverflowingPushConstructsNothing) {
+  int alive = 0;
+  struct Probe {
+    int* counter;
+    explicit Probe(int* c) : counter(c) { ++*counter; }
+    Probe(const Probe& other) : counter(other.counter) { ++*counter; }
+    ~Probe() { --*counter; }
+  };
+  FixedVector<Probe, 2> v;
+  v.emplace_back(&alive);
+  v.emplace_back(&alive);
+  ASSERT_EQ(alive, 2);
+  Probe extra(&alive);
+  EXPECT_FALSE(v.push_back(extra));
+  EXPECT_EQ(v.emplace_back(&alive), nullptr);
+  // No stray construction or destruction from the rejected inserts.
+  EXPECT_EQ(alive, 3);
+}
+
+TEST(FixedVectorTest, ClearAllowsRefillToFullCapacity) {
+  FixedVector<int, 3> v;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(v.push_back(i));
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  for (int i = 10; i < 13; ++i) ASSERT_TRUE(v.push_back(i));
+  EXPECT_TRUE(v.full());
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v.back(), 12);
+}
+
+TEST(FixedVectorTest, MoveDrainsTheSource) {
+  FixedVector<std::string, 2> v;
+  v.push_back("payload");
+  FixedVector<std::string, 2> moved = std::move(v);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): specified behaviour
+  EXPECT_TRUE(v.push_back("reusable"));
+}
+
 TEST(FixedVectorTest, CopyAndMove) {
   FixedVector<std::string, 3> v;
   v.push_back("a");
@@ -267,9 +370,13 @@ class VersionCompare : public ::testing::TestWithParam<VersionCase> {};
 TEST_P(VersionCompare, Ordering) {
   const auto& param = GetParam();
   const int result = CompareVersions(param.a, param.b);
-  if (param.expected < 0) EXPECT_LT(result, 0);
-  if (param.expected == 0) EXPECT_EQ(result, 0);
-  if (param.expected > 0) EXPECT_GT(result, 0);
+  if (param.expected < 0) {
+    EXPECT_LT(result, 0);
+  } else if (param.expected == 0) {
+    EXPECT_EQ(result, 0);
+  } else {
+    EXPECT_GT(result, 0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -6,33 +6,15 @@
 #include <memory>
 #include <set>
 
+#include "test_util.hpp"
 #include "vm/assembler.hpp"
 #include "vm/interpreter.hpp"
 
 namespace dacm::vm {
 namespace {
 
-/// Scripted in-memory environment standing in for a PIRTE.
-class FakeEnv : public PortEnv {
- public:
-  support::Result<support::Bytes> ReadPort(std::uint8_t port) override {
-    auto it = port_data.find(port);
-    if (it == port_data.end()) return support::Bytes{};
-    return it->second;
-  }
-  support::Status WritePort(std::uint8_t port,
-                            std::span<const std::uint8_t> data) override {
-    writes.emplace_back(port, support::Bytes(data.begin(), data.end()));
-    return support::OkStatus();
-  }
-  bool PortAvailable(std::uint8_t port) override { return available.contains(port); }
-  std::uint32_t ClockMs() override { return clock_ms; }
-
-  std::map<std::uint8_t, support::Bytes> port_data;
-  std::set<std::uint8_t> available;
-  std::uint32_t clock_ms = 0;
-  std::vector<std::pair<std::uint8_t, support::Bytes>> writes;
-};
+/// The shared scripted environment under its historical suite-local name.
+using FakeEnv = testutil::ScriptedVmEnv;
 
 Program MustAssemble(const std::string& source) {
   auto program = Assemble(source);

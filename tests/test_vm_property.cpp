@@ -6,23 +6,16 @@
 #include <climits>
 
 #include "support/crc.hpp"
+#include "test_util.hpp"
 #include "vm/assembler.hpp"
 #include "vm/interpreter.hpp"
 
 namespace dacm::vm {
 namespace {
 
-class NullEnv final : public PortEnv {
- public:
-  support::Result<support::Bytes> ReadPort(std::uint8_t) override {
-    return support::Bytes{};
-  }
-  support::Status WritePort(std::uint8_t, std::span<const std::uint8_t>) override {
-    return support::OkStatus();
-  }
-  bool PortAvailable(std::uint8_t) override { return false; }
-  std::uint32_t ClockMs() override { return 0; }
-};
+/// A default-constructed ScriptedVmEnv is exactly the null environment
+/// these algebra tests need: no ports, clock pinned to zero.
+using NullEnv = testutil::ScriptedVmEnv;
 
 /// Runs an assembled `main` entry and returns register 1.
 std::int32_t Eval(const std::string& body) {
@@ -111,6 +104,28 @@ TEST_P(AluIdentity, DivModReconstruct) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, AluIdentity, ::testing::ValuesIn(GridPairs()));
+
+// Random operands beyond the grid: the same identities must hold for any
+// 32-bit pair, under two's-complement wraparound.
+TEST(AluFuzz, IdentitiesHoldForRandomOperands) {
+  DACM_PROPERTY_RNG(rng);
+  for (int i = 0; i < 48; ++i) {
+    const auto a = static_cast<std::int32_t>(rng.NextU64());
+    const auto b = static_cast<std::int32_t>(rng.NextU64());
+    SCOPED_TRACE(::testing::Message() << "a=" << a << " b=" << b);
+    const std::string push_ab = "PUSH " + std::to_string(a) + "\nPUSH " +
+                                std::to_string(b) + "\n";
+    const std::string push_ba = "PUSH " + std::to_string(b) + "\nPUSH " +
+                                std::to_string(a) + "\n";
+    EXPECT_EQ(Eval(push_ab + "ADD\n"), Eval(push_ba + "ADD\n"));
+    EXPECT_EQ(Eval(push_ab + "XOR\nPUSH " + std::to_string(b) + "\nXOR\n"), a);
+    EXPECT_EQ(Eval(push_ab + "ADD\nPUSH " + std::to_string(b) + "\nSUB\n"), a);
+    const std::int32_t eq = Eval(push_ab + "CMPEQ\n");
+    const std::int32_t lt = Eval(push_ab + "CMPLT\n");
+    const std::int32_t gt = Eval(push_ab + "CMPGT\n");
+    EXPECT_EQ(eq + lt + gt, 1) << "exactly one of ==, <, > must hold";
+  }
+}
 
 // --- fuel ------------------------------------------------------------------------
 
