@@ -136,4 +136,4 @@ BENCHMARK(BM_ServerSideIdChurn)->Arg(1)->Arg(8)->Arg(32);
 }  // namespace
 }  // namespace dacm::bench
 
-BENCHMARK_MAIN();
+DACM_BENCH_MAIN();

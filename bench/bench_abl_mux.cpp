@@ -105,4 +105,4 @@ BENCHMARK(BM_DedicatedPairs)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace dacm::bench
 
-BENCHMARK_MAIN();
+DACM_BENCH_MAIN();

@@ -1,0 +1,36 @@
+# Runs each bench binary with --json=<file> and aggregates the outputs
+# into one JSON document: { "<bench name>": <google-benchmark output>, ... }.
+#
+# Invoked by the `bench_all` custom target (see CMakeLists.txt) as:
+#   cmake -DBENCH_DIR=<bindir> -DBENCH_BINARIES=a,b,c -DOUTPUT=<path>
+#         -P bench_all.cmake
+#
+# Intentionally a script, not a test: benchmarks are run manually or by the
+# CI bench-smoke job, never as part of ctest.
+
+if(NOT BENCH_DIR OR NOT BENCH_BINARIES OR NOT OUTPUT)
+  message(FATAL_ERROR "bench_all.cmake needs -DBENCH_DIR, -DBENCH_BINARIES, -DOUTPUT")
+endif()
+
+string(REPLACE "," ";" _benches "${BENCH_BINARIES}")
+
+set(_doc "{\n")
+set(_sep "")
+foreach(bench IN LISTS _benches)
+  set(_json "${BENCH_DIR}/${bench}.json")
+  message(STATUS "bench_all: running ${bench}")
+  execute_process(
+    COMMAND "${BENCH_DIR}/${bench}" "--json=${_json}"
+    RESULT_VARIABLE _rc)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR "bench_all: ${bench} exited with ${_rc}")
+  endif()
+  file(READ "${_json}" _content)
+  string(STRIP "${_content}" _content)
+  string(APPEND _doc "${_sep}\"${bench}\": ${_content}")
+  set(_sep ",\n")
+endforeach()
+string(APPEND _doc "\n}\n")
+
+file(WRITE "${OUTPUT}" "${_doc}")
+message(STATUS "bench_all: wrote ${OUTPUT}")

@@ -8,7 +8,16 @@
 // ScriptedVehicle — a scripted ECM endpoint for server benchmarks: accepts
 // pushes and acks instantly, so benchmarks measure the server pipeline,
 // not the vehicle.
+//
+// DACM_BENCH_MAIN — the shared driver entry point.  On top of the stock
+// Google Benchmark flags it understands:
+//   --json        emit JSON results on stdout (instead of the console table)
+//   --json=PATH   keep the console table, write JSON results to PATH
+// The `bench_all` CMake target uses the latter to aggregate every bench
+// binary's output into BENCH_results.json.
 #pragma once
+
+#include <benchmark/benchmark.h>
 
 #include <memory>
 #include <string>
@@ -23,6 +32,39 @@
 #include "sim/network.hpp"
 
 namespace dacm::bench {
+
+/// Driver entry point: translates the `--json[=PATH]` convenience flag
+/// into the underlying benchmark reporter flags, then runs as usual.
+inline int BenchMain(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  args.emplace_back(argc > 0 ? argv[0] : "bench");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      args.emplace_back("--benchmark_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.emplace_back("--benchmark_out=" + arg.substr(sizeof("--json=") - 1));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& s : args) argv2.push_back(s.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+#define DACM_BENCH_MAIN()                      \
+  int main(int argc, char** argv) {            \
+    return ::dacm::bench::BenchMain(argc, argv); \
+  }
 
 class BenchStack {
  public:

@@ -207,4 +207,4 @@ BENCHMARK(BM_Type2MuxFanout)->Arg(1)->Arg(4)->Arg(16)->Arg(48);
 }  // namespace
 }  // namespace dacm::bench
 
-BENCHMARK_MAIN();
+DACM_BENCH_MAIN();

@@ -115,4 +115,4 @@ BENCHMARK(BM_PluginCountStepRound)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 }  // namespace
 }  // namespace dacm::bench
 
-BENCHMARK_MAIN();
+DACM_BENCH_MAIN();

@@ -96,4 +96,4 @@ BENCHMARK(BM_RestoreVsAppsOnEcu)->Arg(1)->Arg(8)->Arg(32)->Arg(64);
 }  // namespace
 }  // namespace dacm::bench
 
-BENCHMARK_MAIN();
+DACM_BENCH_MAIN();

@@ -122,4 +122,4 @@ BENCHMARK(BM_DeployRejection);
 }  // namespace
 }  // namespace dacm::bench
 
-BENCHMARK_MAIN();
+DACM_BENCH_MAIN();

@@ -7,6 +7,8 @@
 // would observe: network latency + CAN frame times + task dispatch).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "fes/testbed.hpp"
 
 namespace dacm::bench {
@@ -96,4 +98,4 @@ BENCHMARK(BM_CommandLatencyVsWan)->Arg(0)->Arg(5)->Arg(20)->Arg(50);
 }  // namespace
 }  // namespace dacm::bench
 
-BENCHMARK_MAIN();
+DACM_BENCH_MAIN();

@@ -11,6 +11,8 @@
 //   * varint encode/decode sweep (the length-prefix workhorse).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <string>
 #include <vector>
 
@@ -114,4 +116,4 @@ BENCHMARK(BM_VarintRoundTrip);
 }  // namespace
 }  // namespace dacm::bench
 
-BENCHMARK_MAIN();
+DACM_BENCH_MAIN();

@@ -18,12 +18,12 @@ CanTp::CanTp(CanIf& can_if, std::uint32_t tx_id, std::uint32_t rx_id,
 }
 
 support::Status CanTp::Send(std::span<const std::uint8_t> message) {
-  // Append CRC32 trailer.
-  support::Bytes payload(message.begin(), message.end());
-  const std::uint32_t crc = support::Crc32(message);
-  for (int i = 0; i < 4; ++i) {
-    payload.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xff));
-  }
+  // Append CRC32 trailer (one allocation for body + trailer).
+  support::Bytes payload;
+  payload.reserve(message.size() + 4);
+  payload.assign(message.begin(), message.end());
+  payload.resize(payload.size() + 4);
+  support::StoreLeU32(payload.data() + message.size(), support::Crc32(message));
 
   if (payload.size() > max_message_) {
     return support::CapacityExceeded("CanTp message exceeds max_message");
@@ -46,9 +46,7 @@ support::Status CanTp::Send(std::span<const std::uint8_t> message) {
   first.dlc = 8;
   first.data[0] = kFirst;
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) {
-    first.data[1 + i] = static_cast<std::uint8_t>((len >> (8 * i)) & 0xff);
-  }
+  support::StoreLeU32(first.data.data() + 1, len);
   std::size_t pos = std::min<std::size_t>(3, payload.size());
   std::copy(payload.begin(), payload.begin() + static_cast<std::ptrdiff_t>(pos),
             first.data.begin() + 5);
@@ -96,8 +94,7 @@ void CanTp::OnFrame(const sim::CanFrame& frame) {
         Fail(support::ProtocolError("FF too short"));
         return;
       }
-      std::uint32_t len = 0;
-      for (int i = 3; i >= 0; --i) len = (len << 8) | frame.data[1 + i];
+      const std::uint32_t len = support::LoadLeU32(frame.data.data() + 1);
       if (len > max_message_) {
         Fail(support::CapacityExceeded("FF length exceeds max_message"));
         return;
@@ -106,6 +103,9 @@ void CanTp::OnFrame(const sim::CanFrame& frame) {
       rx_expected_ = len;
       rx_next_seq_ = 1;
       rx_buffer_.clear();
+      // One allocation for the whole reassembly: len is bounded by
+      // max_message_, so a corrupt length cannot balloon the buffer.
+      rx_buffer_.reserve(len);
       rx_buffer_.insert(rx_buffer_.end(), frame.data.begin() + 5,
                         frame.data.begin() + frame.dlc);
       return;
@@ -142,10 +142,7 @@ void CanTp::DeliverIfComplete() {
     return;
   }
   const std::size_t body_len = rx_buffer_.size() - 4;
-  std::uint32_t wire_crc = 0;
-  for (int i = 3; i >= 0; --i) {
-    wire_crc = (wire_crc << 8) | rx_buffer_[body_len + static_cast<std::size_t>(i)];
-  }
+  const std::uint32_t wire_crc = support::LoadLeU32(rx_buffer_.data() + body_len);
   const std::uint32_t crc =
       support::Crc32(std::span<const std::uint8_t>(rx_buffer_.data(), body_len));
   if (crc != wire_crc) {

@@ -3,6 +3,9 @@
 namespace dacm::pirte {
 
 void PortInitContext::SerializeTo(support::ByteWriter& writer) const {
+  std::size_t need = 5;
+  for (const PicEntry& entry : entries) need += 7 + entry.port_name.size();
+  writer.Reserve(need);
   writer.WriteVarU32(static_cast<std::uint32_t>(entries.size()));
   for (const PicEntry& entry : entries) {
     writer.WriteU8(entry.local_index);
@@ -17,6 +20,7 @@ support::Result<PortInitContext> PortInitContext::DeserializeFrom(
   PortInitContext pic;
   DACM_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadVarU32());
   if (count > 256) return support::Corrupted("PIC too large");
+  pic.entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     PicEntry entry;
     DACM_ASSIGN_OR_RETURN(entry.local_index, reader.ReadU8());
@@ -31,6 +35,9 @@ support::Result<PortInitContext> PortInitContext::DeserializeFrom(
 }
 
 void PortLinkingContext::SerializeTo(support::ByteWriter& writer) const {
+  std::size_t need = 5;
+  for (const PlcEntry& entry : entries) need += 9 + entry.peer_plugin.size();
+  writer.Reserve(need);
   writer.WriteVarU32(static_cast<std::uint32_t>(entries.size()));
   for (const PlcEntry& entry : entries) {
     writer.WriteU8(entry.local_port);
@@ -47,6 +54,7 @@ support::Result<PortLinkingContext> PortLinkingContext::DeserializeFrom(
   PortLinkingContext plc;
   DACM_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadVarU32());
   if (count > 256) return support::Corrupted("PLC too large");
+  plc.entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     PlcEntry entry;
     DACM_ASSIGN_OR_RETURN(entry.local_port, reader.ReadU8());
@@ -63,6 +71,11 @@ support::Result<PortLinkingContext> PortLinkingContext::DeserializeFrom(
 }
 
 void ExternalConnectionContext::SerializeTo(support::ByteWriter& writer) const {
+  std::size_t need = 5;
+  for (const EccEntry& entry : entries) {
+    need += 14 + entry.endpoint.size() + entry.message_id.size();
+  }
+  writer.Reserve(need);
   writer.WriteVarU32(static_cast<std::uint32_t>(entries.size()));
   for (const EccEntry& entry : entries) {
     writer.WriteU8(static_cast<std::uint8_t>(entry.direction));
@@ -78,6 +91,7 @@ support::Result<ExternalConnectionContext> ExternalConnectionContext::Deserializ
   ExternalConnectionContext ecc;
   DACM_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadVarU32());
   if (count > 256) return support::Corrupted("ECC too large");
+  ecc.entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     EccEntry entry;
     DACM_ASSIGN_OR_RETURN(std::uint8_t dir, reader.ReadU8());

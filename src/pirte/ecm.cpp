@@ -70,7 +70,8 @@ support::Status Ecm::SendToServer(const Envelope& envelope) {
 }
 
 void Ecm::OnServerMessage(const support::Bytes& data) {
-  auto envelope = Envelope::Deserialize(data);
+  // Zero-copy parse: the envelope is dropped before this handler returns.
+  auto envelope = EnvelopeView::Parse(data);
   if (!envelope.ok() || envelope->kind != Envelope::Kind::kPirteMessage) {
     DACM_LOG_WARN("ecm") << config_.name << ": undecodable server message";
     return;

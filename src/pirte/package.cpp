@@ -6,6 +6,9 @@ namespace dacm::pirte {
 
 support::Bytes InstallationPackage::Serialize() const {
   support::ByteWriter body;
+  // The binary dominates; reserving for it plus the scalar fields leaves
+  // only the context tables to (rarely) grow the buffer.
+  body.Reserve(32 + plugin_name.size() + version.size() + binary.size());
   body.WriteString(plugin_name);
   body.WriteString(version);
   pic.SerializeTo(body);
@@ -15,6 +18,7 @@ support::Bytes InstallationPackage::Serialize() const {
 
   support::ByteWriter out;
   const support::Bytes body_bytes = body.Take();
+  out.Reserve(4 + body_bytes.size());
   out.WriteU32(support::Crc32(body_bytes));
   out.WriteRaw(body_bytes);
   return out.Take();
@@ -39,6 +43,7 @@ support::Result<InstallationPackage> InstallationPackage::Deserialize(
 
 support::Bytes PirteMessage::Serialize() const {
   support::ByteWriter writer;
+  writer.Reserve(19 + plugin_name.size() + detail.size() + payload.size());
   writer.WriteU8(static_cast<std::uint8_t>(type));
   writer.WriteString(plugin_name);
   writer.WriteU32(target_ecu);

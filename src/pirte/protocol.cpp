@@ -4,25 +4,37 @@ namespace dacm::pirte {
 
 support::Bytes Envelope::Serialize() const {
   support::ByteWriter writer;
+  writer.Reserve(9 + vin.size() + message.size());
   writer.WriteU8(static_cast<std::uint8_t>(kind));
   writer.WriteString(vin);
   writer.WriteBlob(message);
   return writer.Take();
 }
 
-support::Result<Envelope> Envelope::Deserialize(std::span<const std::uint8_t> data) {
+support::Result<EnvelopeView> EnvelopeView::Parse(
+    std::span<const std::uint8_t> data) {
   support::ByteReader reader(data);
-  Envelope envelope;
+  EnvelopeView view;
   DACM_ASSIGN_OR_RETURN(std::uint8_t kind, reader.ReadU8());
   if (kind > 1) return support::Corrupted("bad envelope kind");
-  envelope.kind = static_cast<Kind>(kind);
-  DACM_ASSIGN_OR_RETURN(envelope.vin, reader.ReadString());
-  DACM_ASSIGN_OR_RETURN(envelope.message, reader.ReadBlob());
+  view.kind = static_cast<Envelope::Kind>(kind);
+  DACM_ASSIGN_OR_RETURN(view.vin, reader.ReadStringView());
+  DACM_ASSIGN_OR_RETURN(view.message, reader.ReadBlobView());
+  return view;
+}
+
+support::Result<Envelope> Envelope::Deserialize(std::span<const std::uint8_t> data) {
+  DACM_ASSIGN_OR_RETURN(EnvelopeView view, EnvelopeView::Parse(data));
+  Envelope envelope;
+  envelope.kind = view.kind;
+  envelope.vin = std::string(view.vin);
+  envelope.message.assign(view.message.begin(), view.message.end());
   return envelope;
 }
 
 support::Bytes FesFrame::Serialize() const {
   support::ByteWriter writer;
+  writer.Reserve(8 + message_id.size() + payload.size());
   writer.WriteString(message_id);
   writer.WriteBlob(payload);
   return writer.Take();

@@ -26,6 +26,18 @@ struct Envelope {
   static support::Result<Envelope> Deserialize(std::span<const std::uint8_t> data);
 };
 
+/// Zero-copy view of a serialized Envelope: `vin` and `message` alias the
+/// parsed buffer, so the view must not outlive it.  Receive handlers that
+/// inspect an envelope and drop it before returning (server and ECM
+/// dispatch) use this to skip two allocations per message.
+struct EnvelopeView {
+  Envelope::Kind kind = Envelope::Kind::kHello;
+  std::string_view vin;
+  std::span<const std::uint8_t> message;
+
+  static support::Result<EnvelopeView> Parse(std::span<const std::uint8_t> data);
+};
+
 struct FesFrame {
   std::string message_id;  // e.g. "Wheels"
   support::Bytes payload;

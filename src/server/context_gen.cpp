@@ -44,6 +44,7 @@ support::Result<std::vector<GeneratedPackage>> GeneratePackages(
     pirte::PortInitContext pic;
   };
   std::vector<PluginCtx> contexts;
+  contexts.reserve(app.plugins.size());
   for (const PluginDecl& plugin : app.plugins) {
     const PlacementDecl* placement = conf.PlacementOf(plugin.name);
     if (placement == nullptr) {
@@ -53,6 +54,7 @@ support::Result<std::vector<GeneratedPackage>> GeneratePackages(
     PluginCtx ctx;
     ctx.decl = &plugin;
     ctx.ecu = placement->ecu_id;
+    ctx.pic.entries.reserve(plugin.ports.size());
     for (const PluginPortDecl& port : plugin.ports) {
       pirte::PicEntry entry;
       entry.local_index = port.local_index;
@@ -180,6 +182,7 @@ support::Result<std::vector<GeneratedPackage>> GeneratePackages(
 
   // Pass 3 — assemble installation packages.
   std::vector<GeneratedPackage> out;
+  out.reserve(contexts.size());
   for (PluginCtx& ctx : contexts) {
     GeneratedPackage generated;
     generated.plugin = ctx.decl->name;

@@ -332,7 +332,8 @@ void TrustedServer::OnAccept(std::shared_ptr<sim::NetPeer> peer) {
 }
 
 void TrustedServer::OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& data) {
-  auto envelope = pirte::Envelope::Deserialize(data);
+  // Zero-copy parse: the view aliases `data`, which outlives this handler.
+  auto envelope = pirte::EnvelopeView::Parse(data);
   if (!envelope.ok()) {
     DACM_LOG_WARN("server") << "undecodable vehicle message";
     return;
@@ -347,7 +348,7 @@ void TrustedServer::OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& d
   if (connection == nullptr) return;
 
   if (envelope->kind == pirte::Envelope::Kind::kHello) {
-    connection->vin = envelope->vin;
+    connection->vin = std::string(envelope->vin);
     DACM_LOG_INFO("server") << "vehicle online: " << envelope->vin;
     return;
   }
@@ -357,7 +358,11 @@ void TrustedServer::OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& d
     return;
   }
   if (message->type == pirte::MessageType::kAck) {
-    HandleAck(envelope->vin.empty() ? connection->vin : envelope->vin, *message);
+    if (envelope->vin.empty()) {
+      HandleAck(connection->vin, *message);
+    } else {
+      HandleAck(std::string(envelope->vin), *message);
+    }
   }
 }
 

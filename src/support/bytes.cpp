@@ -2,25 +2,6 @@
 
 namespace dacm::support {
 
-void ByteWriter::WriteU16(std::uint16_t v) {
-  buffer_.push_back(static_cast<std::uint8_t>(v & 0xff));
-  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
-void ByteWriter::WriteU32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    buffer_.push_back(static_cast<std::uint8_t>(v & 0xff));
-    v >>= 8;
-  }
-}
-
-void ByteWriter::WriteU64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    buffer_.push_back(static_cast<std::uint8_t>(v & 0xff));
-    v >>= 8;
-  }
-}
-
 void ByteWriter::WriteVarU32(std::uint32_t v) {
   while (v >= 0x80) {
     buffer_.push_back(static_cast<std::uint8_t>(v | 0x80));
@@ -30,11 +11,13 @@ void ByteWriter::WriteVarU32(std::uint32_t v) {
 }
 
 void ByteWriter::WriteString(std::string_view s) {
+  Reserve(4 + s.size());
   WriteU32(static_cast<std::uint32_t>(s.size()));
   buffer_.insert(buffer_.end(), s.begin(), s.end());
 }
 
 void ByteWriter::WriteBlob(std::span<const std::uint8_t> blob) {
+  Reserve(4 + blob.size());
   WriteU32(static_cast<std::uint32_t>(blob.size()));
   buffer_.insert(buffer_.end(), blob.begin(), blob.end());
 }
@@ -58,24 +41,21 @@ Result<std::uint8_t> ByteReader::ReadU8() {
 
 Result<std::uint16_t> ByteReader::ReadU16() {
   DACM_RETURN_IF_ERROR(Need(2));
-  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
-                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  const std::uint16_t v = LoadLeU16(data_.data() + pos_);
   pos_ += 2;
   return v;
 }
 
 Result<std::uint32_t> ByteReader::ReadU32() {
   DACM_RETURN_IF_ERROR(Need(4));
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  const std::uint32_t v = LoadLeU32(data_.data() + pos_);
   pos_ += 4;
   return v;
 }
 
 Result<std::uint64_t> ByteReader::ReadU64() {
   DACM_RETURN_IF_ERROR(Need(8));
-  std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  const std::uint64_t v = LoadLeU64(data_.data() + pos_);
   pos_ += 8;
   return v;
 }
@@ -103,21 +83,30 @@ Result<std::uint32_t> ByteReader::ReadVarU32() {
   return v;
 }
 
-Result<std::string> ByteReader::ReadString() {
+Result<std::string_view> ByteReader::ReadStringView() {
   DACM_ASSIGN_OR_RETURN(std::uint32_t len, ReadU32());
   DACM_RETURN_IF_ERROR(Need(len));
-  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  std::string_view s(reinterpret_cast<const char*>(data_.data() + pos_), len);
   pos_ += len;
   return s;
 }
 
-Result<Bytes> ByteReader::ReadBlob() {
+Result<std::span<const std::uint8_t>> ByteReader::ReadBlobView() {
   DACM_ASSIGN_OR_RETURN(std::uint32_t len, ReadU32());
   DACM_RETURN_IF_ERROR(Need(len));
-  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-          data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  std::span<const std::uint8_t> b = data_.subspan(pos_, len);
   pos_ += len;
   return b;
+}
+
+Result<std::string> ByteReader::ReadString() {
+  DACM_ASSIGN_OR_RETURN(std::string_view view, ReadStringView());
+  return std::string(view);
+}
+
+Result<Bytes> ByteReader::ReadBlob() {
+  DACM_ASSIGN_OR_RETURN(auto view, ReadBlobView());
+  return Bytes(view.begin(), view.end());
 }
 
 Bytes ToBytes(std::string_view s) {

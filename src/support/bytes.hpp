@@ -4,8 +4,13 @@
 // blobs to a growable buffer; ByteReader consumes them with bounds checking.
 // All wire formats in the repo (contexts, installation packages, server
 // protocol, CAN transport) are built on these two.
+//
+// The free Load/Store helpers are the single place the repo converts
+// between wire (little-endian) and host scalars; on little-endian hosts
+// they compile to one unaligned load/store.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -19,15 +24,76 @@ namespace dacm::support {
 
 using Bytes = std::vector<std::uint8_t>;
 
+// --- little-endian scalar access ------------------------------------------
+
+inline std::uint16_t LoadLeU16(const std::uint8_t* p) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint16_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+  } else {
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  }
+}
+
+inline std::uint32_t LoadLeU32(const std::uint8_t* p) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+  } else {
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+  }
+}
+
+inline std::uint64_t LoadLeU64(const std::uint8_t* p) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+  } else {
+    return static_cast<std::uint64_t>(LoadLeU32(p)) |
+           static_cast<std::uint64_t>(LoadLeU32(p + 4)) << 32;
+  }
+}
+
+inline void StoreLeU16(std::uint8_t* p, std::uint16_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(p, &v, sizeof v);
+  } else {
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+  }
+}
+
+inline void StoreLeU32(std::uint8_t* p, std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(p, &v, sizeof v);
+  } else {
+    for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+inline void StoreLeU64(std::uint8_t* p, std::uint64_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(p, &v, sizeof v);
+  } else {
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
 /// Appends little-endian encoded fields to an internal buffer.
 class ByteWriter {
  public:
   ByteWriter() = default;
 
   void WriteU8(std::uint8_t v) { buffer_.push_back(v); }
-  void WriteU16(std::uint16_t v);
-  void WriteU32(std::uint32_t v);
-  void WriteU64(std::uint64_t v);
+  void WriteU16(std::uint16_t v) { AppendScalar(v); }
+  void WriteU32(std::uint32_t v) { AppendScalar(v); }
+  void WriteU64(std::uint64_t v) { AppendScalar(v); }
   void WriteI32(std::int32_t v) { WriteU32(static_cast<std::uint32_t>(v)); }
   void WriteI64(std::int64_t v) { WriteU64(static_cast<std::uint64_t>(v)); }
 
@@ -40,11 +106,38 @@ class ByteWriter {
 
   void WriteRaw(std::span<const std::uint8_t> raw);
 
+  /// Pre-allocates room for `additional` more bytes, so a burst of writes
+  /// whose total size is known up front pays for at most one growth.
+  /// Capacity at least doubles whenever a larger buffer is needed, so a
+  /// sequence of small Reserve+write rounds (e.g. WriteString in a loop
+  /// with no covering outer Reserve) stays amortized-linear instead of
+  /// reallocating per call.
+  void Reserve(std::size_t additional) {
+    const std::size_t need = buffer_.size() + additional;
+    if (need > buffer_.capacity()) {
+      const std::size_t doubled = buffer_.capacity() * 2;
+      buffer_.reserve(need > doubled ? need : doubled);
+    }
+  }
+
   const Bytes& bytes() const { return buffer_; }
   Bytes Take() { return std::move(buffer_); }
   std::size_t size() const { return buffer_.size(); }
 
  private:
+  template <typename T>
+  void AppendScalar(T v) {
+    const std::size_t at = buffer_.size();
+    buffer_.resize(at + sizeof(T));
+    if constexpr (sizeof(T) == 2) {
+      StoreLeU16(buffer_.data() + at, v);
+    } else if constexpr (sizeof(T) == 4) {
+      StoreLeU32(buffer_.data() + at, v);
+    } else {
+      StoreLeU64(buffer_.data() + at, v);
+    }
+  }
+
   Bytes buffer_;
 };
 
@@ -63,6 +156,12 @@ class ByteReader {
   Result<std::uint32_t> ReadVarU32();
   Result<std::string> ReadString();
   Result<Bytes> ReadBlob();
+
+  /// Zero-copy variants: the returned view aliases the reader's underlying
+  /// buffer and is valid only as long as that buffer outlives it.  Use at
+  /// dispatch sites that inspect a field and drop it before returning.
+  Result<std::string_view> ReadStringView();
+  Result<std::span<const std::uint8_t>> ReadBlobView();
 
   /// Number of unconsumed bytes.
   std::size_t remaining() const { return data_.size() - pos_; }

@@ -2,38 +2,77 @@
 
 #include <array>
 
+#include "support/bytes.hpp"
+
 namespace dacm::support {
 namespace {
 
-std::array<std::uint32_t, 256> BuildTable() {
-  std::array<std::uint32_t, 256> table{};
+using CrcTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+constexpr CrcTables BuildTables() {
+  CrcTables tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  // tables[s][b] = crc of byte b followed by s zero bytes; XOR-ing the
+  // eight per-lane lookups advances the register eight bytes at once.
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (std::size_t s = 1; s < 8; ++s) {
+      c = tables[0][c & 0xffu] ^ (c >> 8);
+      tables[s][i] = c;
+    }
+  }
+  return tables;
 }
 
-const std::array<std::uint32_t, 256>& Table() {
-  static const std::array<std::uint32_t, 256> table = BuildTable();
-  return table;
-}
+// constexpr: baked into .rodata at compile time, so Crc32Update pays no
+// initialization guard on entry.
+constexpr CrcTables kTables = BuildTables();
 
 }  // namespace
 
 std::uint32_t Crc32Update(std::uint32_t crc, std::span<const std::uint8_t> data) {
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
   crc = ~crc;
-  for (std::uint8_t byte : data) {
-    crc = Table()[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  while (n >= 8) {
+    // The slicing identity is over the little-endian view of the input;
+    // LoadLeU32 keeps it correct on any host.
+    const std::uint32_t one = crc ^ LoadLeU32(p);
+    const std::uint32_t two = LoadLeU32(p + 4);
+    crc = kTables[7][one & 0xffu] ^ kTables[6][(one >> 8) & 0xffu] ^
+          kTables[5][(one >> 16) & 0xffu] ^ kTables[4][one >> 24] ^
+          kTables[3][two & 0xffu] ^ kTables[2][(two >> 8) & 0xffu] ^
+          kTables[1][(two >> 16) & 0xffu] ^ kTables[0][two >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- != 0) {
+    crc = kTables[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
   }
   return ~crc;
 }
 
 std::uint32_t Crc32(std::span<const std::uint8_t> data) {
   return Crc32Update(0, data);
+}
+
+std::uint32_t Crc32UpdateBytewise(std::uint32_t crc,
+                                  std::span<const std::uint8_t> data) {
+  crc = ~crc;
+  for (std::uint8_t byte : data) {
+    crc = kTables[0][(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32Bytewise(std::span<const std::uint8_t> data) {
+  return Crc32UpdateBytewise(0, data);
 }
 
 }  // namespace dacm::support

@@ -3,6 +3,11 @@
 // Installation packages and CAN transport frames carry a CRC so that
 // corruption faults injected in tests are detected the way a production
 // stack would detect them.
+//
+// The production path is slice-by-8: eight constexpr-generated 256-entry
+// tables consume 8 input bytes per iteration.  The classic single-table
+// bytewise loop is kept as `Crc32Bytewise`/`Crc32UpdateBytewise` — it is
+// the reference the differential fuzz suite checks the fast path against.
 #pragma once
 
 #include <cstdint>
@@ -15,5 +20,11 @@ std::uint32_t Crc32(std::span<const std::uint8_t> data);
 
 /// Incremental variant: feed `data` into a running crc (start with 0).
 std::uint32_t Crc32Update(std::uint32_t crc, std::span<const std::uint8_t> data);
+
+/// Reference bytewise implementations (one table, one byte per step).
+/// Slower; exists so tests can differentially validate the sliced path.
+std::uint32_t Crc32Bytewise(std::span<const std::uint8_t> data);
+std::uint32_t Crc32UpdateBytewise(std::uint32_t crc,
+                                  std::span<const std::uint8_t> data);
 
 }  // namespace dacm::support

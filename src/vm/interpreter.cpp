@@ -2,11 +2,27 @@
 
 #include <algorithm>
 
+// Threaded (computed-goto) dispatch needs the GCC/Clang labels-as-values
+// extension; everywhere else (MSVC) only the portable switch loop is
+// compiled and DispatchKind::kThreaded silently degrades to it.  Define
+// DACM_THREADED_DISPATCH=0 to force the switch loop on any compiler.
+#ifndef DACM_THREADED_DISPATCH
+#if defined(__GNUC__) || defined(__clang__)
+#define DACM_THREADED_DISPATCH 1
+#else
+#define DACM_THREADED_DISPATCH 0
+#endif
+#endif
+
 namespace dacm::vm {
 
 VmInstance::VmInstance(Program program, PortEnv& env, VmLimits limits)
     : program_(std::move(program)), env_(env), limits_(limits) {
   registers_.assign(program_.register_count, 0);
+}
+
+bool VmInstance::ThreadedDispatchAvailable() {
+  return DACM_THREADED_DISPATCH != 0;
 }
 
 support::Result<ExecResult> VmInstance::Run(const std::string& entry) {
@@ -22,254 +38,38 @@ void VmInstance::SetRegister(std::uint32_t index, std::int32_t value) {
   if (index < registers_.size()) registers_[index] = value;
 }
 
-ExecResult VmInstance::RunAt(std::uint32_t pc) {
+ExecResult VmInstance::RunAt(std::uint32_t pc, DispatchKind dispatch) {
   ++activations_;
-  ExecResult result;
-  std::vector<std::int32_t> stack;
-  stack.reserve(limits_.max_operand_stack);
-  std::vector<std::uint32_t> call_stack;
-  const support::Bytes& code = program_.code;
-
-  auto fault = [&](std::string message) {
-    result.outcome = ExecOutcome::kFault;
-    result.fault = std::move(message);
-  };
-  auto pop = [&](std::int32_t& out) {
-    if (stack.empty()) return false;
-    out = stack.back();
-    stack.pop_back();
-    return true;
-  };
-  auto push = [&](std::int32_t v) {
-    if (stack.size() >= limits_.max_operand_stack) return false;
-    stack.push_back(v);
-    return true;
-  };
-  auto fetch_u8 = [&](std::uint8_t& out) {
-    if (pc >= code.size()) return false;
-    out = code[pc++];
-    return true;
-  };
-  auto fetch_i32 = [&](std::int32_t& out) {
-    if (pc + 4 > code.size()) return false;
-    std::uint32_t v = 0;
-    for (int i = 3; i >= 0; --i) v = (v << 8) | code[pc + static_cast<std::uint32_t>(i)];
-    pc += 4;
-    out = static_cast<std::int32_t>(v);
-    return true;
-  };
-  auto fetch_rel16 = [&](std::int16_t& out) {
-    if (pc + 2 > code.size()) return false;
-    const auto raw = static_cast<std::uint16_t>(code[pc] | (code[pc + 1] << 8));
-    pc += 2;
-    out = static_cast<std::int16_t>(raw);
-    return true;
-  };
-
-  while (true) {
-    if (result.fuel_used >= limits_.fuel_per_activation) {
-      result.outcome = ExecOutcome::kFuelExhausted;
-      break;
-    }
-    ++result.fuel_used;
-
-    std::uint8_t raw_op = 0;
-    if (!fetch_u8(raw_op)) {
-      fault("pc out of bounds");
-      break;
-    }
-    const Op op = static_cast<Op>(raw_op);
-    bool done = false;
-    switch (op) {
-      case Op::kNop:
-        break;
-      case Op::kPush: {
-        std::int32_t imm = 0;
-        if (!fetch_i32(imm)) { fault("truncated PUSH"); done = true; break; }
-        if (!push(imm)) { fault("operand stack overflow"); done = true; }
-        break;
-      }
-      case Op::kPop: {
-        std::int32_t v = 0;
-        if (!pop(v)) { fault("stack underflow in POP"); done = true; }
-        break;
-      }
-      case Op::kDup: {
-        if (stack.empty()) { fault("stack underflow in DUP"); done = true; break; }
-        if (!push(stack.back())) { fault("operand stack overflow"); done = true; }
-        break;
-      }
-      case Op::kSwap: {
-        if (stack.size() < 2) { fault("stack underflow in SWAP"); done = true; break; }
-        std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
-        break;
-      }
-      case Op::kLoad: {
-        std::uint8_t reg = 0;
-        if (!fetch_u8(reg)) { fault("truncated LOAD"); done = true; break; }
-        if (reg >= registers_.size()) { fault("register out of range"); done = true; break; }
-        if (!push(registers_[reg])) { fault("operand stack overflow"); done = true; }
-        break;
-      }
-      case Op::kStore: {
-        std::uint8_t reg = 0;
-        if (!fetch_u8(reg)) { fault("truncated STORE"); done = true; break; }
-        if (reg >= registers_.size()) { fault("register out of range"); done = true; break; }
-        std::int32_t v = 0;
-        if (!pop(v)) { fault("stack underflow in STORE"); done = true; break; }
-        registers_[reg] = v;
-        break;
-      }
-      case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kDiv: case Op::kMod:
-      case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kShl: case Op::kShr:
-      case Op::kCmpEq: case Op::kCmpLt: case Op::kCmpGt: {
-        std::int32_t b = 0, a = 0;
-        if (!pop(b) || !pop(a)) { fault("stack underflow in binary op"); done = true; break; }
-        std::int32_t r = 0;
-        switch (op) {
-          case Op::kAdd: r = static_cast<std::int32_t>(
-              static_cast<std::uint32_t>(a) + static_cast<std::uint32_t>(b)); break;
-          case Op::kSub: r = static_cast<std::int32_t>(
-              static_cast<std::uint32_t>(a) - static_cast<std::uint32_t>(b)); break;
-          case Op::kMul: r = static_cast<std::int32_t>(
-              static_cast<std::uint32_t>(a) * static_cast<std::uint32_t>(b)); break;
-          case Op::kDiv:
-            if (b == 0) { fault("division by zero"); done = true; break; }
-            if (a == INT32_MIN && b == -1) { fault("division overflow"); done = true; break; }
-            r = a / b;
-            break;
-          case Op::kMod:
-            if (b == 0) { fault("modulo by zero"); done = true; break; }
-            if (a == INT32_MIN && b == -1) { fault("modulo overflow"); done = true; break; }
-            r = a % b;
-            break;
-          case Op::kAnd: r = a & b; break;
-          case Op::kOr: r = a | b; break;
-          case Op::kXor: r = a ^ b; break;
-          case Op::kShl: r = static_cast<std::int32_t>(
-              static_cast<std::uint32_t>(a) << (static_cast<std::uint32_t>(b) & 31)); break;
-          case Op::kShr: r = a >> (static_cast<std::uint32_t>(b) & 31); break;
-          case Op::kCmpEq: r = a == b ? 1 : 0; break;
-          case Op::kCmpLt: r = a < b ? 1 : 0; break;
-          case Op::kCmpGt: r = a > b ? 1 : 0; break;
-          default: break;
-        }
-        if (done) break;
-        if (!push(r)) { fault("operand stack overflow"); done = true; }
-        break;
-      }
-      case Op::kNeg: {
-        std::int32_t a = 0;
-        if (!pop(a)) { fault("stack underflow in NEG"); done = true; break; }
-        if (a == INT32_MIN) { fault("negation overflow"); done = true; break; }
-        if (!push(-a)) { fault("operand stack overflow"); done = true; }
-        break;
-      }
-      case Op::kJmp: {
-        std::int16_t rel = 0;
-        if (!fetch_rel16(rel)) { fault("truncated JMP"); done = true; break; }
-        pc = static_cast<std::uint32_t>(static_cast<std::int64_t>(pc) + rel);
-        break;
-      }
-      case Op::kJz: case Op::kJnz: {
-        std::int16_t rel = 0;
-        if (!fetch_rel16(rel)) { fault("truncated Jcc"); done = true; break; }
-        std::int32_t v = 0;
-        if (!pop(v)) { fault("stack underflow in Jcc"); done = true; break; }
-        const bool take = (op == Op::kJz) ? (v == 0) : (v != 0);
-        if (take) pc = static_cast<std::uint32_t>(static_cast<std::int64_t>(pc) + rel);
-        break;
-      }
-      case Op::kCall: {
-        std::int16_t rel = 0;
-        if (!fetch_rel16(rel)) { fault("truncated CALL"); done = true; break; }
-        if (call_stack.size() >= limits_.max_call_depth) {
-          fault("call stack overflow");
-          done = true;
-          break;
-        }
-        call_stack.push_back(pc);
-        pc = static_cast<std::uint32_t>(static_cast<std::int64_t>(pc) + rel);
-        break;
-      }
-      case Op::kRet: {
-        if (call_stack.empty()) {
-          result.outcome = ExecOutcome::kHalted;
-          done = true;
-          break;
-        }
-        pc = call_stack.back();
-        call_stack.pop_back();
-        break;
-      }
-      case Op::kHalt:
-        result.outcome = ExecOutcome::kHalted;
-        done = true;
-        break;
-      case Op::kReadP: {
-        std::uint8_t port = 0;
-        if (!fetch_u8(port)) { fault("truncated READP"); done = true; break; }
-        auto data = env_.ReadPort(port);
-        if (!data.ok()) { fault("READP: " + data.status().ToString()); done = true; break; }
-        const std::size_t n = std::min<std::size_t>(data->size(), kIoWindowSize);
-        for (std::size_t i = 0; i < n; ++i) {
-          registers_[kIoWindowBase + i] = (*data)[i];
-        }
-        if (!push(static_cast<std::int32_t>(n))) {
-          fault("operand stack overflow");
-          done = true;
-        }
-        break;
-      }
-      case Op::kWriteP: {
-        std::uint8_t port = 0, count = 0;
-        if (!fetch_u8(port) || !fetch_u8(count)) {
-          fault("truncated WRITEP");
-          done = true;
-          break;
-        }
-        support::Bytes data(count);
-        for (std::uint8_t i = 0; i < count; ++i) {
-          data[i] = static_cast<std::uint8_t>(registers_[kIoWindowBase + i] & 0xff);
-        }
-        auto status = env_.WritePort(port, data);
-        if (!status.ok()) { fault("WRITEP: " + status.ToString()); done = true; }
-        break;
-      }
-      case Op::kAvailP: {
-        std::uint8_t port = 0;
-        if (!fetch_u8(port)) { fault("truncated AVAILP"); done = true; break; }
-        if (!push(env_.PortAvailable(port) ? 1 : 0)) {
-          fault("operand stack overflow");
-          done = true;
-        }
-        break;
-      }
-      case Op::kClock: {
-        if (!push(static_cast<std::int32_t>(env_.ClockMs()))) {
-          fault("operand stack overflow");
-          done = true;
-        }
-        break;
-      }
-      case Op::kTrap: {
-        std::uint8_t code_byte = 0;
-        if (!fetch_u8(code_byte)) { fault("truncated TRAP"); done = true; break; }
-        result.outcome = ExecOutcome::kTrap;
-        result.trap_code = code_byte;
-        done = true;
-        break;
-      }
-      default:
-        fault("bad opcode " + std::to_string(raw_op));
-        done = true;
-        break;
-    }
-    if (done || result.outcome == ExecOutcome::kFault) break;
-  }
-
+#if DACM_THREADED_DISPATCH
+  const bool threaded = dispatch != DispatchKind::kSwitch;
+#else
+  const bool threaded = false;
+  (void)dispatch;
+#endif
+  ExecResult result = threaded ? RunLoopThreaded(pc) : RunLoopSwitch(pc);
   total_fuel_used_ += result.fuel_used;
   return result;
 }
+
+// Compile the shared loop body once per dispatch strategy.
+#define DACM_VM_LOOP_NAME RunLoopSwitch
+#define DACM_VM_THREADED 0
+#include "vm/interpreter_loop.inc"
+#undef DACM_VM_LOOP_NAME
+#undef DACM_VM_THREADED
+
+#if DACM_THREADED_DISPATCH
+#define DACM_VM_LOOP_NAME RunLoopThreaded
+#define DACM_VM_THREADED 1
+#include "vm/interpreter_loop.inc"
+#undef DACM_VM_LOOP_NAME
+#undef DACM_VM_THREADED
+#else
+// Never called in this configuration (RunAt pins `threaded` to false),
+// but the symbol must exist for the out-of-line declaration.
+ExecResult VmInstance::RunLoopThreaded(std::uint32_t pc) {
+  return RunLoopSwitch(pc);
+}
+#endif
 
 }  // namespace dacm::vm

@@ -61,15 +61,28 @@ struct VmLimits {
   std::uint64_t fuel_per_activation = 100'000;
 };
 
+/// Which inner-loop dispatch strategy an activation uses.  kDefault picks
+/// computed-goto threaded dispatch where the compiler supports it (GCC,
+/// Clang) and the portable switch loop elsewhere; the explicit values let
+/// the differential tests pin each strategy and compare results.
+enum class DispatchKind {
+  kDefault,
+  kSwitch,
+  kThreaded,  // falls back to kSwitch when unavailable
+};
+
 class VmInstance {
  public:
   VmInstance(Program program, PortEnv& env, VmLimits limits = {});
+
+  /// True when this build has the computed-goto dispatch loop compiled in.
+  static bool ThreadedDispatchAvailable();
 
   /// Runs the entry point `entry`; returns kNotFound if it doesn't exist.
   support::Result<ExecResult> Run(const std::string& entry);
 
   /// Runs from an absolute pc (used by tests).
-  ExecResult RunAt(std::uint32_t pc);
+  ExecResult RunAt(std::uint32_t pc, DispatchKind dispatch = DispatchKind::kDefault);
 
   /// Plug-in state inspection (tests / diagnostics).
   std::int32_t Register(std::uint32_t index) const;
@@ -80,6 +93,11 @@ class VmInstance {
   std::uint64_t activations() const { return activations_; }
 
  private:
+  // The interpreter loop body lives in interpreter_loop.inc and is compiled
+  // once per dispatch strategy (see interpreter.cpp).
+  ExecResult RunLoopSwitch(std::uint32_t pc);
+  ExecResult RunLoopThreaded(std::uint32_t pc);
+
   Program program_;
   PortEnv& env_;
   VmLimits limits_;

@@ -177,12 +177,66 @@ TEST(BytesTest, VarintOverlongRejected) {
   EXPECT_FALSE(reader.ReadVarU32().ok());
 }
 
+TEST(BytesTest, ZeroCopyViewsAliasTheBuffer) {
+  ByteWriter writer;
+  writer.WriteString("view me");
+  writer.WriteBlob(ToBytes("blob"));
+  ByteReader reader(writer.bytes());
+
+  auto s = reader.ReadStringView();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "view me");
+  EXPECT_EQ(reinterpret_cast<const std::uint8_t*>(s->data()),
+            writer.bytes().data() + 4);  // no copy: points into the buffer
+
+  auto b = reader.ReadBlobView();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ToString(*b), "blob");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BytesTest, ViewTruncationDetected) {
+  ByteWriter writer;
+  writer.WriteU32(100);  // claims 100 bytes, none follow
+  ByteReader reader(writer.bytes());
+  EXPECT_FALSE(reader.ReadStringView().ok());
+  ByteReader reader2(writer.bytes());
+  EXPECT_FALSE(reader2.ReadBlobView().ok());
+}
+
+TEST(BytesTest, ReserveDoesNotChangeContents) {
+  ByteWriter writer;
+  writer.WriteU16(0xABCD);
+  writer.Reserve(1000);
+  writer.WriteU16(0x1234);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(*reader.ReadU16(), 0xABCD);
+  EXPECT_EQ(*reader.ReadU16(), 0x1234);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BytesTest, LittleEndianScalarHelpersRoundTrip) {
+  std::uint8_t buf[8];
+  StoreLeU16(buf, 0xBEEF);
+  EXPECT_EQ(buf[0], 0xEF);
+  EXPECT_EQ(buf[1], 0xBE);
+  EXPECT_EQ(LoadLeU16(buf), 0xBEEF);
+  StoreLeU32(buf, 0xDEADBEEFu);
+  EXPECT_EQ(buf[3], 0xDE);
+  EXPECT_EQ(LoadLeU32(buf), 0xDEADBEEFu);
+  StoreLeU64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(buf[0], 0xEF);
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(LoadLeU64(buf), 0x0123456789ABCDEFull);
+}
+
 // --- crc ------------------------------------------------------------------------------
 
 TEST(CrcTest, KnownVector) {
   // CRC-32/ISO-HDLC("123456789") = 0xCBF43926.
   const Bytes data = ToBytes("123456789");
   EXPECT_EQ(Crc32(data), 0xCBF43926u);
+  EXPECT_EQ(Crc32Bytewise(data), 0xCBF43926u);
 }
 
 TEST(CrcTest, EmptyIsZero) { EXPECT_EQ(Crc32({}), 0u); }

@@ -1,0 +1,221 @@
+// Property tests for the support serialization hot paths.
+//
+// The slice-by-8 CRC is validated differentially against the retained
+// bytewise reference: one-shot, incremental over random chunkings, and at
+// unaligned offsets, so any slicing-table or tail-handling bug shows up as
+// a disagreement with the simple loop.  The ByteWriter/ByteReader pair is
+// fuzzed with random typed field sequences, read back through both the
+// owned and the zero-copy view APIs.
+//
+// Set DACM_TEST_SEED to replay a failing run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/crc.hpp"
+#include "test_util.hpp"
+
+namespace dacm::support {
+namespace {
+
+Bytes RandomBytes(sim::Rng& rng, std::size_t size) {
+  Bytes data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::uint8_t>(rng.NextU64());
+  }
+  return data;
+}
+
+// --- CRC: sliced vs bytewise ------------------------------------------------------
+
+TEST(CrcDifferential, OneShotMatchesBytewiseOnRandomBuffers) {
+  DACM_PROPERTY_RNG(rng);
+  for (int iter = 0; iter < 64; ++iter) {
+    // Sizes hammer the 8-byte boundary: 0..16 exhaustively-ish, then large.
+    const std::size_t size = iter < 32 ? static_cast<std::size_t>(iter) / 2
+                                       : rng.NextBelow(64 * 1024);
+    const Bytes data = RandomBytes(rng, size);
+    SCOPED_TRACE(::testing::Message() << "size=" << size);
+    EXPECT_EQ(Crc32(data), Crc32Bytewise(data));
+  }
+}
+
+TEST(CrcDifferential, UnalignedOffsetsMatchBytewise) {
+  DACM_PROPERTY_RNG(rng);
+  const Bytes data = RandomBytes(rng, 4096);
+  for (std::size_t offset = 0; offset < 16; ++offset) {
+    for (std::size_t size : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 63u, 1024u}) {
+      SCOPED_TRACE(::testing::Message() << "offset=" << offset << " size=" << size);
+      const auto window = std::span<const std::uint8_t>(data).subspan(offset, size);
+      EXPECT_EQ(Crc32(window), Crc32Bytewise(window));
+    }
+  }
+}
+
+TEST(CrcDifferential, IncrementalOverRandomChunkingsMatchesOneShot) {
+  DACM_PROPERTY_RNG(rng);
+  for (int iter = 0; iter < 48; ++iter) {
+    const std::size_t size = 1 + rng.NextBelow(8 * 1024);
+    const Bytes data = RandomBytes(rng, size);
+    const std::uint32_t expected = Crc32Bytewise(data);
+
+    std::uint32_t crc = 0;
+    std::uint32_t crc_ref = 0;
+    std::size_t pos = 0;
+    while (pos < size) {
+      // Chunk lengths biased small so boundaries land mid-slice often;
+      // occasional empty chunks must be no-ops.
+      const std::size_t chunk =
+          rng.NextBool(0.1) ? 0 : std::min<std::size_t>(1 + rng.NextBelow(37), size - pos);
+      const auto piece = std::span<const std::uint8_t>(data).subspan(pos, chunk);
+      crc = Crc32Update(crc, piece);
+      crc_ref = Crc32UpdateBytewise(crc_ref, piece);
+      pos += chunk;
+    }
+    SCOPED_TRACE(::testing::Message() << "size=" << size);
+    EXPECT_EQ(crc, expected);
+    EXPECT_EQ(crc_ref, expected);
+  }
+}
+
+// --- ByteWriter / ByteReader fuzz -------------------------------------------------
+
+enum class Field : std::uint8_t { kU8, kU16, kU32, kU64, kVar, kString, kBlob };
+
+TEST(BytesFuzz, RandomFieldSequencesRoundTripThroughBothReadApis) {
+  DACM_PROPERTY_RNG(rng);
+  for (int iter = 0; iter < 32; ++iter) {
+    const std::size_t fields = 1 + rng.NextBelow(64);
+    std::vector<Field> plan;
+    std::vector<std::uint64_t> scalars;
+    std::vector<std::string> strings;
+    std::vector<Bytes> blobs;
+
+    ByteWriter writer;
+    for (std::size_t i = 0; i < fields; ++i) {
+      const Field field = static_cast<Field>(rng.NextBelow(7));
+      plan.push_back(field);
+      switch (field) {
+        case Field::kU8: {
+          const auto v = static_cast<std::uint8_t>(rng.NextU64());
+          writer.WriteU8(v);
+          scalars.push_back(v);
+          break;
+        }
+        case Field::kU16: {
+          const auto v = static_cast<std::uint16_t>(rng.NextU64());
+          writer.WriteU16(v);
+          scalars.push_back(v);
+          break;
+        }
+        case Field::kU32: {
+          const auto v = static_cast<std::uint32_t>(rng.NextU64());
+          writer.WriteU32(v);
+          scalars.push_back(v);
+          break;
+        }
+        case Field::kU64: {
+          const std::uint64_t v = rng.NextU64();
+          writer.WriteU64(v);
+          scalars.push_back(v);
+          break;
+        }
+        case Field::kVar: {
+          const auto v = static_cast<std::uint32_t>(rng.NextU64());
+          writer.WriteVarU32(v);
+          scalars.push_back(v);
+          break;
+        }
+        case Field::kString: {
+          std::string s(rng.NextBelow(200), '\0');
+          for (char& c : s) c = static_cast<char>(rng.NextU64());
+          writer.WriteString(s);
+          strings.push_back(std::move(s));
+          break;
+        }
+        case Field::kBlob: {
+          Bytes b = RandomBytes(rng, rng.NextBelow(500));
+          writer.WriteBlob(b);
+          blobs.push_back(std::move(b));
+          break;
+        }
+      }
+    }
+
+    ByteReader owned(writer.bytes());
+    ByteReader viewed(writer.bytes());
+    std::size_t scalar_at = 0, string_at = 0, blob_at = 0;
+    for (Field field : plan) {
+      switch (field) {
+        case Field::kU8:
+          EXPECT_EQ(*owned.ReadU8(), scalars[scalar_at]);
+          EXPECT_EQ(*viewed.ReadU8(), scalars[scalar_at]);
+          ++scalar_at;
+          break;
+        case Field::kU16:
+          EXPECT_EQ(*owned.ReadU16(), scalars[scalar_at]);
+          EXPECT_EQ(*viewed.ReadU16(), scalars[scalar_at]);
+          ++scalar_at;
+          break;
+        case Field::kU32:
+          EXPECT_EQ(*owned.ReadU32(), scalars[scalar_at]);
+          EXPECT_EQ(*viewed.ReadU32(), scalars[scalar_at]);
+          ++scalar_at;
+          break;
+        case Field::kU64:
+          EXPECT_EQ(*owned.ReadU64(), scalars[scalar_at]);
+          EXPECT_EQ(*viewed.ReadU64(), scalars[scalar_at]);
+          ++scalar_at;
+          break;
+        case Field::kVar:
+          EXPECT_EQ(*owned.ReadVarU32(), scalars[scalar_at]);
+          EXPECT_EQ(*viewed.ReadVarU32(), scalars[scalar_at]);
+          ++scalar_at;
+          break;
+        case Field::kString: {
+          EXPECT_EQ(*owned.ReadString(), strings[string_at]);
+          EXPECT_EQ(*viewed.ReadStringView(), strings[string_at]);
+          ++string_at;
+          break;
+        }
+        case Field::kBlob: {
+          EXPECT_EQ(*owned.ReadBlob(), blobs[blob_at]);
+          const auto view = *viewed.ReadBlobView();
+          EXPECT_TRUE(std::equal(view.begin(), view.end(), blobs[blob_at].begin(),
+                                 blobs[blob_at].end()));
+          ++blob_at;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(owned.exhausted());
+    EXPECT_TRUE(viewed.exhausted());
+  }
+}
+
+TEST(BytesFuzz, TruncatedBuffersNeverReadOutOfRange) {
+  DACM_PROPERTY_RNG(rng);
+  ByteWriter writer;
+  writer.WriteU64(rng.NextU64());
+  writer.WriteString("truncation victim");
+  writer.WriteBlob(RandomBytes(rng, 64));
+  const Bytes& wire = writer.bytes();
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    ByteReader reader(std::span<const std::uint8_t>(wire.data(), cut));
+    // Whatever parses must stop cleanly at the cut; errors, not overreads.
+    (void)reader.ReadU64();
+    auto s = reader.ReadStringView();
+    auto b = reader.ReadBlobView();
+    if (cut < wire.size()) {
+      EXPECT_TRUE(!s.ok() || !b.ok()) << "cut=" << cut;
+    } else {
+      // The untruncated buffer parses fully.
+      EXPECT_TRUE(s.ok() && b.ok() && reader.exhausted());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dacm::support

@@ -271,6 +271,119 @@ INSTANTIATE_TEST_SUITE_P(Sizes, IoWindowSweep,
                          ::testing::Values(0, 1, 2, 7, 8, 64, 127, 128, 129,
                                            200));
 
+// --- dispatch differential ----------------------------------------------------------
+//
+// The interpreter compiles its loop twice: computed-goto threaded dispatch
+// and the portable switch loop.  Both must agree on every observable —
+// outcome, fuel, trap code, fault text, final registers, port writes — for
+// arbitrary (including invalid) programs.
+
+/// A random instruction stream: mostly well-formed instructions with random
+/// operands (wild jump targets included), salted with raw garbage bytes so
+/// bad opcodes and truncated immediates are exercised too.
+support::Bytes RandomProgramCode(sim::Rng& rng) {
+  support::Bytes code;
+  const std::size_t instructions = 1 + rng.NextBelow(48);
+  for (std::size_t i = 0; i < instructions; ++i) {
+    if (rng.NextBool(0.08)) {  // raw chaos
+      code.push_back(static_cast<std::uint8_t>(rng.NextU64()));
+      continue;
+    }
+    const auto op = static_cast<Op>(rng.NextBelow(static_cast<std::uint64_t>(Op::kTrap) + 1));
+    code.push_back(static_cast<std::uint8_t>(op));
+    auto emit = [&](std::size_t bytes) {
+      // Occasionally drop immediate bytes to hit the truncation faults.
+      if (rng.NextBool(0.05)) bytes = rng.NextBelow(bytes);
+      for (std::size_t b = 0; b < bytes; ++b) {
+        code.push_back(static_cast<std::uint8_t>(rng.NextU64()));
+      }
+    };
+    switch (op) {
+      case Op::kPush: emit(4); break;
+      case Op::kJmp: case Op::kJz: case Op::kJnz: case Op::kCall: emit(2); break;
+      case Op::kLoad: case Op::kStore: case Op::kReadP: case Op::kAvailP:
+      case Op::kTrap: emit(1); break;
+      case Op::kWriteP: emit(2); break;
+      default: break;
+    }
+  }
+  return code;
+}
+
+TEST(DispatchDifferential, ThreadedAndSwitchLoopsAgreeOnRandomPrograms) {
+  if (!VmInstance::ThreadedDispatchAvailable()) {
+    GTEST_SKIP() << "threaded dispatch not compiled in; differential is vacuous";
+  }
+  DACM_PROPERTY_RNG(rng);
+  for (int iter = 0; iter < 300; ++iter) {
+    Program program;
+    program.register_count = 256;
+    program.code = RandomProgramCode(rng);
+
+    // A scripted environment with data on a few ports; both instances get
+    // identical copies so READP/AVAILP/CLOCK observations line up.
+    testutil::ScriptedVmEnv env_switch;
+    env_switch.clock_ms = static_cast<std::uint32_t>(rng.NextU64());
+    for (std::uint8_t port = 0; port < 4; ++port) {
+      if (rng.NextBool(0.5)) {
+        env_switch.port_data[port] =
+            testutil::PatternBytes(rng.NextBelow(200));
+        env_switch.available.insert(port);
+      }
+    }
+    testutil::ScriptedVmEnv env_threaded = env_switch;
+
+    VmLimits limits;
+    limits.fuel_per_activation = 2048;  // bounds runaway loops
+    VmInstance with_switch(program, env_switch, limits);
+    VmInstance with_threaded(program, env_threaded, limits);
+
+    const ExecResult a = with_switch.RunAt(0, DispatchKind::kSwitch);
+    const ExecResult b = with_threaded.RunAt(0, DispatchKind::kThreaded);
+
+    SCOPED_TRACE(::testing::Message() << "iter=" << iter << " code bytes="
+                                      << program.code.size());
+    EXPECT_EQ(static_cast<int>(a.outcome), static_cast<int>(b.outcome));
+    EXPECT_EQ(a.fuel_used, b.fuel_used);
+    EXPECT_EQ(a.trap_code, b.trap_code);
+    EXPECT_EQ(a.fault, b.fault);
+    for (std::uint32_t r = 0; r < program.register_count; ++r) {
+      ASSERT_EQ(with_switch.Register(r), with_threaded.Register(r)) << "reg " << r;
+    }
+    ASSERT_EQ(env_switch.writes.size(), env_threaded.writes.size());
+    for (std::size_t w = 0; w < env_switch.writes.size(); ++w) {
+      EXPECT_EQ(env_switch.writes[w], env_threaded.writes[w]) << "write " << w;
+    }
+  }
+}
+
+TEST(DispatchDifferential, EntryPointRunsIdenticallyThroughBothLoops) {
+  if (!VmInstance::ThreadedDispatchAvailable()) {
+    GTEST_SKIP() << "threaded dispatch not compiled in; differential is vacuous";
+  }
+  auto program = Assemble(R"(
+    .entry on_data m
+    m:
+      PUSH 7
+      STORE 1
+      PUSH 3
+      LOAD 1
+      MUL
+      STORE 2
+      HALT
+  )");
+  ASSERT_TRUE(program.ok());
+  NullEnv env_a, env_b;
+  VmInstance with_switch(*program, env_a, {});
+  VmInstance with_threaded(*program, env_b, {});
+  const ExecResult a = with_switch.RunAt(0, DispatchKind::kSwitch);
+  const ExecResult b = with_threaded.RunAt(0, DispatchKind::kThreaded);
+  EXPECT_EQ(static_cast<int>(a.outcome), static_cast<int>(b.outcome));
+  EXPECT_EQ(a.fuel_used, b.fuel_used);
+  EXPECT_EQ(with_switch.Register(2), 21);
+  EXPECT_EQ(with_threaded.Register(2), 21);
+}
+
 TEST(IoWindowBounds, WritepBeyondWindowIsRejectedByAssembler) {
   auto program = Assemble(R"(
     .entry m m
