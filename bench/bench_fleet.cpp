@@ -1,0 +1,178 @@
+// FLEET — sharded deploy pipeline at fleet scale.
+//
+// The paper's trusted server is "a central point of intelligence" for
+// every vehicle; the north-star scales it to fleet-wide OTA campaigns.
+// This bench measures the DeployCampaign pipeline — per-vehicle
+// compatibility checks, PIC/PLC/ECC generation, package assembly and
+// batched pushes fanned over the shard worker pool, plus the simulated
+// delivery and acknowledgement round — against:
+//
+//   * shard count (1/2/4/8): the scaling axis.  1 shard is the fully
+//     synchronous baseline (no pool);
+//   * fleet size (100/1k/10k scripted vehicles).
+//
+// Reported per case: deploys/s (items_per_second), and the mean / p99 of
+// the worker-side per-vehicle processing time.  BM_FleetSyncDeploy is the
+// pre-campaign reference — one interactive Deploy per vehicle with
+// per-plug-in pushes — used to check that the single-shard campaign path
+// is no slower than the classic loop.
+//
+// NOTE: real speedup needs real cores; on a single-CPU runner the >1-shard
+// numbers measure sharding overhead, not parallelism.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "fes/fleet.hpp"
+#include "support/crc.hpp"
+
+namespace dacm::bench {
+namespace {
+
+// Work shape per vehicle: 4 plug-ins x 8 ports with ~12 KiB binaries, so
+// a campaign push carries ~50 KiB of generated context + code per vehicle
+// — enough server-side work (context gen, package assembly, CRC, batch
+// serialization) that the single-threaded simulation/ack round is < 10% of
+// a 1-shard campaign, leaving the worker pool real headroom to scale.
+constexpr std::uint32_t kPlugins = 4;
+constexpr std::uint32_t kPorts = 8;
+constexpr std::uint32_t kBinaryPadding = 12288;
+
+struct FleetBench {
+  sim::Simulator simulator;
+  sim::Network network{simulator, sim::kMicrosecond};
+  server::TrustedServer server;
+  server::UserId user = server::UserId::Invalid();
+  std::unique_ptr<fes::ScriptedFleet> fleet;
+
+  FleetBench(std::size_t shards, std::size_t fleet_size)
+      : server(network, "srv:443", server::ServerOptions{shards}) {
+    (void)server.Start();
+    (void)server.UploadVehicleModel(fes::MakeRpiTestbedConf());
+    user = *server.CreateUser("bench");
+
+    fes::ScriptedFleetOptions options;
+    options.vehicle_count = fleet_size;
+    fleet = std::make_unique<fes::ScriptedFleet>(simulator, network, server,
+                                                 options);
+    if (!fleet->BindAndConnect(user).ok()) std::abort();
+
+    fes::SyntheticAppParams params;
+    params.name = "campaign";
+    params.vehicle_model = "rpi-testbed";
+    params.plugin_count = kPlugins;
+    params.ports_per_plugin = kPorts;
+    params.target_ecu = 1;
+    params.binary_padding = kBinaryPadding;
+    (void)server.UploadApp(fes::MakeSyntheticApp(params));
+  }
+
+  void UninstallAll() {
+    for (const std::string& vin : fleet->vins()) {
+      (void)server.UninstallApp(user, vin, "campaign");
+    }
+    simulator.Run();
+  }
+};
+
+void ReportLatencies(benchmark::State& state, std::vector<std::uint64_t>& ns) {
+  if (ns.empty()) return;
+  std::sort(ns.begin(), ns.end());
+  const std::size_t p99 = std::min(ns.size() - 1, (ns.size() * 99) / 100);
+  double sum = 0;
+  for (std::uint64_t v : ns) sum += static_cast<double>(v);
+  state.counters["vehicle_mean_us"] =
+      sum / static_cast<double>(ns.size()) / 1000.0;
+  state.counters["vehicle_p99_us"] = static_cast<double>(ns[p99]) / 1000.0;
+}
+
+// Campaign deploys/s: batched pushes over the worker pool, including the
+// simulated delivery + acknowledgement round.
+void BM_FleetCampaign(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const auto fleet_size = static_cast<std::size_t>(state.range(1));
+  FleetBench bench(shards, fleet_size);
+  std::vector<std::uint64_t> all_ns;
+  for (auto _ : state) {
+    auto report = bench.server.DeployCampaign(bench.user, "campaign",
+                                              bench.fleet->vins());
+    bench.simulator.Run();
+
+    state.PauseTiming();
+    auto last_state =
+        bench.server.AppState(bench.fleet->vins().back(), "campaign");
+    if (!report.ok() || report->rejected != 0 || !last_state.ok() ||
+        *last_state != server::InstallState::kInstalled) {
+      state.SkipWithError("campaign did not deploy the whole fleet");
+      state.ResumeTiming();
+      break;
+    }
+    all_ns.insert(all_ns.end(), report->per_vehicle_ns.begin(),
+                  report->per_vehicle_ns.end());
+    bench.UninstallAll();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fleet_size));
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["fleet"] = static_cast<double>(fleet_size);
+  ReportLatencies(state, all_ns);
+}
+BENCHMARK(BM_FleetCampaign)
+    ->ArgNames({"shards", "fleet"})
+    ->Args({1, 100})
+    ->Args({2, 100})
+    ->Args({4, 100})
+    ->Args({8, 100})
+    ->Args({1, 1000})
+    ->Args({2, 1000})
+    ->Args({4, 1000})
+    ->Args({8, 1000})
+    ->Args({1, 10000})
+    ->Args({4, 10000})
+    ->UseRealTime()  // deploys/s must be wall time: the pool works while
+                     // the calling thread's CPU clock idles in the barrier
+    ->Unit(benchmark::kMillisecond);
+
+// The classic interactive path: one Deploy per vehicle, one push per
+// plug-in, all on the calling thread — the baseline the single-shard
+// campaign must not fall behind.
+void BM_FleetSyncDeploy(benchmark::State& state) {
+  const auto fleet_size = static_cast<std::size_t>(state.range(0));
+  FleetBench bench(/*shards=*/1, fleet_size);
+  for (auto _ : state) {
+    for (const std::string& vin : bench.fleet->vins()) {
+      (void)bench.server.Deploy(bench.user, vin, "campaign");
+    }
+    bench.simulator.Run();
+
+    state.PauseTiming();
+    auto last_state =
+        bench.server.AppState(bench.fleet->vins().back(), "campaign");
+    if (!last_state.ok() || *last_state != server::InstallState::kInstalled) {
+      state.SkipWithError("fleet did not fully deploy");
+      state.ResumeTiming();
+      break;
+    }
+    bench.UninstallAll();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fleet_size));
+  state.counters["fleet"] = static_cast<double>(fleet_size);
+  state.SetLabel(std::string("crc=") + support::Crc32Backend());
+  state.counters["crc_is_hw"] =
+      std::string(support::Crc32Backend()) != "slice8" ? 1.0 : 0.0;
+}
+BENCHMARK(BM_FleetSyncDeploy)
+    ->ArgNames({"fleet"})
+    ->Arg(100)
+    ->Arg(1000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dacm::bench
+
+DACM_BENCH_MAIN();

@@ -85,6 +85,19 @@ support::Bytes MakeTrapPluginBinary() {
   )");
 }
 
+support::Bytes PadBinary(const support::Bytes& binary, std::uint32_t padding) {
+  if (padding == 0) return binary;
+  auto program = vm::Program::Deserialize(binary);
+  if (!program.ok()) {
+    std::cerr << "PadBinary: not a PVM binary: " << program.status().ToString()
+              << "\n";
+    std::abort();
+  }
+  program->code.resize(program->code.size() + padding,
+                       static_cast<std::uint8_t>(vm::Op::kNop));
+  return program->Serialize();
+}
+
 server::App MakeSyntheticApp(const SyntheticAppParams& params) {
   server::App app;
   app.name = params.name;
@@ -96,7 +109,8 @@ server::App MakeSyntheticApp(const SyntheticAppParams& params) {
   server::SwConf conf;
   conf.vehicle_model = params.vehicle_model;
 
-  const support::Bytes binary = MakeEchoPluginBinary();
+  const support::Bytes binary =
+      PadBinary(MakeEchoPluginBinary(), params.binary_padding);
   for (std::uint32_t i = 0; i < params.plugin_count; ++i) {
     server::PluginDecl plugin;
     plugin.name = params.name + ".p" + std::to_string(i);

@@ -43,7 +43,14 @@ struct SyntheticAppParams {
   std::uint32_t target_ecu = 1;        // all plug-ins placed here
   std::vector<std::string> depends_on;
   std::vector<std::string> conflicts_with;
+  /// Extra (unreachable) code bytes appended to each plug-in binary so
+  /// fleet benchmarks can dial in realistic package sizes.
+  std::uint32_t binary_padding = 0;
 };
+
+/// Returns `binary` with `padding` NOP bytes appended after the program's
+/// code (unreachable; entry points and behavior are unchanged).
+support::Bytes PadBinary(const support::Bytes& binary, std::uint32_t padding);
 
 /// Builds an app of echo plug-ins; port 0 of each plug-in is declared
 /// required, the rest provided and PIRTE-direct (kNone connections), so

@@ -1,0 +1,116 @@
+#include "fes/fleet.hpp"
+
+#include "pirte/package.hpp"
+#include "pirte/protocol.hpp"
+
+namespace dacm::fes {
+
+ScriptedFleet::ScriptedFleet(sim::Simulator& simulator, sim::Network& network,
+                             server::TrustedServer& server,
+                             ScriptedFleetOptions options)
+    : simulator_(simulator),
+      network_(network),
+      server_(server),
+      options_(std::move(options)) {
+  vins_.reserve(options_.vehicle_count);
+  for (std::size_t i = 0; i < options_.vehicle_count; ++i) {
+    vins_.push_back(options_.vin_prefix + std::to_string(i));
+  }
+}
+
+support::Status ScriptedFleet::BindAndConnect(server::UserId user) {
+  endpoints_.reserve(vins_.size());
+  for (std::size_t i = 0; i < vins_.size(); ++i) {
+    DACM_RETURN_IF_ERROR(server_.BindVehicle(user, vins_[i], options_.model));
+
+    auto endpoint = std::make_unique<Endpoint>();
+    endpoint->vin = vins_[i];
+    endpoint->index = i;
+    DACM_ASSIGN_OR_RETURN(endpoint->peer, network_.Connect(server_.address()));
+    Endpoint* raw = endpoint.get();
+    endpoint->peer->SetReceiveHandler(
+        [this, raw](const support::Bytes& data) { OnMessage(*raw, data); });
+
+    pirte::Envelope hello;
+    hello.kind = pirte::Envelope::Kind::kHello;
+    hello.vin = endpoint->vin;
+    DACM_RETURN_IF_ERROR(endpoint->peer->Send(hello.Serialize()));
+    endpoints_.push_back(std::move(endpoint));
+  }
+  simulator_.Run();
+  for (const std::string& vin : vins_) {
+    if (!server_.VehicleOnline(vin)) {
+      return support::Unavailable("fleet endpoint failed to come online: " + vin);
+    }
+  }
+  return support::OkStatus();
+}
+
+void ScriptedFleet::OnMessage(Endpoint& endpoint, const support::Bytes& data) {
+  auto envelope = pirte::EnvelopeView::Parse(data);
+  if (!envelope.ok() || envelope->kind != pirte::Envelope::Kind::kPirteMessage) {
+    return;
+  }
+  auto view = pirte::PirteMessageView::Parse(envelope->message);
+  if (!view.ok()) return;
+
+  const bool ack_ok =
+      options_.nack_every == 0 || (endpoint.index + 1) % options_.nack_every != 0;
+
+  auto send_reply = [&](pirte::PirteMessage reply) {
+    pirte::Envelope out;
+    out.kind = pirte::Envelope::Kind::kPirteMessage;
+    out.vin = endpoint.vin;
+    out.message = reply.Serialize();
+    if (endpoint.peer->Send(out.Serialize()).ok()) ++acks_sent_;
+  };
+
+  switch (view->type) {
+    case pirte::MessageType::kInstallBatch: {
+      ++batches_received_;
+      std::vector<pirte::BatchAckEntry> verdicts;
+      auto status = pirte::ForEachInBatch(
+          view->payload, [&](std::span<const std::uint8_t> entry) {
+            auto inner = pirte::PirteMessageView::Parse(entry);
+            if (!inner.ok()) return inner.status();
+            ++packages_received_;
+            verdicts.push_back(pirte::BatchAckEntry{
+                std::string(inner->plugin_name), ack_ok,
+                ack_ok ? std::string() : "scripted nack"});
+            return support::OkStatus();
+          });
+      if (!status.ok()) return;
+      if (options_.batch_ack) {
+        pirte::PirteMessage reply;
+        reply.type = pirte::MessageType::kAckBatch;
+        reply.payload = pirte::SerializeAckBatch(verdicts);
+        send_reply(std::move(reply));
+      } else {
+        for (const pirte::BatchAckEntry& verdict : verdicts) {
+          pirte::PirteMessage reply;
+          reply.type = pirte::MessageType::kAck;
+          reply.plugin_name = verdict.plugin;
+          reply.ok = verdict.ok;
+          reply.detail = verdict.detail;
+          send_reply(std::move(reply));
+        }
+      }
+      return;
+    }
+    case pirte::MessageType::kInstallPackage:
+    case pirte::MessageType::kUninstall: {
+      ++packages_received_;
+      pirte::PirteMessage reply;
+      reply.type = pirte::MessageType::kAck;
+      reply.plugin_name = std::string(view->plugin_name);
+      reply.ok = ack_ok;
+      if (!ack_ok) reply.detail = "scripted nack";
+      send_reply(std::move(reply));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace dacm::fes

@@ -1,0 +1,73 @@
+// Scripted fleet construction at scale.
+//
+// A ScriptedFleet stands in for thousands of vehicles in server-side
+// campaign tests and the fleet benchmark: each endpoint is just a network
+// peer that says Hello for its VIN and acknowledges every push — no CAN
+// bus, ECUs or PIRTEs — so a 10k-vehicle fleet costs a few MB instead of
+// a few GB, and the measured work is the *server's* pipeline.
+//
+// Endpoints understand both push shapes: per-plug-in kInstallPackage /
+// kUninstall messages (answered with one kAck each) and campaign
+// kInstallBatch messages (answered with a single kAckBatch covering every
+// embedded package).  Parsing uses the zero-copy views, so the per-message
+// vehicle-side cost stays far below the server-side work being measured.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/server.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace dacm::fes {
+
+struct ScriptedFleetOptions {
+  std::size_t vehicle_count = 1;
+  std::string vin_prefix = "FLEET-";
+  std::string model = "rpi-testbed";
+  /// Answer campaign batches with one kAckBatch (the cheap path).  When
+  /// false, every embedded package is acknowledged individually — useful
+  /// to exercise the server's mixed-ack handling.
+  bool batch_ack = true;
+  /// Acks report failure for every Nth vehicle (0 = all succeed).
+  std::size_t nack_every = 0;
+};
+
+class ScriptedFleet {
+ public:
+  /// Creates the endpoints; call BindAndConnect before deploying.
+  ScriptedFleet(sim::Simulator& simulator, sim::Network& network,
+                server::TrustedServer& server, ScriptedFleetOptions options);
+
+  /// Binds every VIN to `user` on the server, connects each endpoint and
+  /// runs the simulator until the Hellos have settled.
+  support::Status BindAndConnect(server::UserId user);
+
+  const std::vector<std::string>& vins() const { return vins_; }
+  std::uint64_t batches_received() const { return batches_received_; }
+  std::uint64_t packages_received() const { return packages_received_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+
+ private:
+  struct Endpoint {
+    std::string vin;
+    std::size_t index = 0;
+    std::shared_ptr<sim::NetPeer> peer;
+  };
+
+  void OnMessage(Endpoint& endpoint, const support::Bytes& data);
+
+  sim::Simulator& simulator_;
+  sim::Network& network_;
+  server::TrustedServer& server_;
+  ScriptedFleetOptions options_;
+  std::vector<std::string> vins_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::uint64_t batches_received_ = 0;
+  std::uint64_t packages_received_ = 0;
+  std::uint64_t acks_sent_ = 0;
+};
+
+}  // namespace dacm::fes

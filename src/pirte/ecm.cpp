@@ -85,6 +85,43 @@ void Ecm::OnServerMessage(const support::Bytes& data) {
 }
 
 void Ecm::HandleServerPirteMessage(const PirteMessage& message) {
+  // A campaign batch unpacks into its per-plug-in install messages; each
+  // is then handled (ECC extraction, local install or Type I routing) and
+  // acknowledged exactly as if it had been pushed individually.
+  if (message.type == MessageType::kInstallBatch) {
+    auto status = ForEachInBatch(
+        message.payload, [this](std::span<const std::uint8_t> entry) {
+          auto inner = PirteMessage::Deserialize(entry);
+          if (!inner.ok()) return inner.status();
+          // Batches carry per-plug-in messages only; a nested batch is a
+          // protocol violation (and rejecting it bounds the recursion a
+          // hostile peer could otherwise drive arbitrarily deep).
+          if (inner->type == MessageType::kInstallBatch ||
+              inner->type == MessageType::kAckBatch) {
+            return support::Corrupted("nested batch rejected");
+          }
+          HandleServerPirteMessage(*inner);
+          return support::OkStatus();
+        });
+    if (!status.ok()) {
+      // Reject the whole batch with a *typed* nack (a failed kAckBatch
+      // naming the batch label) so the server can fail the row without
+      // guessing whether a plain plug-in ack meant the app.
+      PirteMessage nack;
+      nack.type = MessageType::kAckBatch;
+      nack.plugin_name = message.plugin_name;  // the batch's app label
+      nack.target_ecu = config_.ecu_id;
+      nack.ok = false;
+      nack.detail = "undecodable install batch: " + status.ToString();
+      Envelope envelope;
+      envelope.kind = Envelope::Kind::kPirteMessage;
+      envelope.vin = ecm_config_.vin;
+      envelope.message = nack.Serialize();
+      (void)SendToServer(envelope);
+    }
+    return;
+  }
+
   PirteMessage to_route = message;
 
   // The ECM extracts the ECC from any passing installation package.

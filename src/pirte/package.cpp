@@ -1,5 +1,7 @@
 #include "pirte/package.hpp"
 
+#include <algorithm>
+
 #include "support/crc.hpp"
 
 namespace dacm::pirte {
@@ -41,9 +43,12 @@ support::Result<InstallationPackage> InstallationPackage::Deserialize(
   return package;
 }
 
-support::Bytes PirteMessage::Serialize() const {
-  support::ByteWriter writer;
-  writer.Reserve(19 + plugin_name.size() + detail.size() + payload.size());
+void PirteMessage::SerializeFieldsTo(support::ByteWriter& writer, MessageType type,
+                                     std::string_view plugin_name,
+                                     std::uint32_t target_ecu,
+                                     std::uint8_t dest_port, bool ok,
+                                     std::string_view detail,
+                                     std::span<const std::uint8_t> payload) {
   writer.WriteU8(static_cast<std::uint8_t>(type));
   writer.WriteString(plugin_name);
   writer.WriteU32(target_ecu);
@@ -51,24 +56,98 @@ support::Bytes PirteMessage::Serialize() const {
   writer.WriteU8(ok ? 1 : 0);
   writer.WriteString(detail);
   writer.WriteBlob(payload);
+}
+
+support::Bytes PirteMessage::Serialize() const {
+  support::ByteWriter writer;
+  writer.Reserve(WireSize());
+  SerializeTo(writer);
   return writer.Take();
 }
 
 support::Result<PirteMessage> PirteMessage::Deserialize(
     std::span<const std::uint8_t> data) {
-  support::ByteReader reader(data);
+  // Single parser definition: materialize the zero-copy view (the
+  // Envelope/EnvelopeView idiom).
+  DACM_ASSIGN_OR_RETURN(PirteMessageView view, PirteMessageView::Parse(data));
   PirteMessage message;
-  DACM_ASSIGN_OR_RETURN(std::uint8_t type, reader.ReadU8());
-  if (type > 5) return support::Corrupted("bad PirteMessage type");
-  message.type = static_cast<MessageType>(type);
-  DACM_ASSIGN_OR_RETURN(message.plugin_name, reader.ReadString());
-  DACM_ASSIGN_OR_RETURN(message.target_ecu, reader.ReadU32());
-  DACM_ASSIGN_OR_RETURN(message.dest_port, reader.ReadU8());
-  DACM_ASSIGN_OR_RETURN(std::uint8_t ok, reader.ReadU8());
-  message.ok = ok != 0;
-  DACM_ASSIGN_OR_RETURN(message.detail, reader.ReadString());
-  DACM_ASSIGN_OR_RETURN(message.payload, reader.ReadBlob());
+  message.type = view.type;
+  message.plugin_name = std::string(view.plugin_name);
+  message.target_ecu = view.target_ecu;
+  message.dest_port = view.dest_port;
+  message.ok = view.ok;
+  message.detail = std::string(view.detail);
+  message.payload.assign(view.payload.begin(), view.payload.end());
   return message;
+}
+
+support::Result<PirteMessageView> PirteMessageView::Parse(
+    std::span<const std::uint8_t> data) {
+  support::ByteReader reader(data);
+  PirteMessageView view;
+  DACM_ASSIGN_OR_RETURN(std::uint8_t type, reader.ReadU8());
+  if (type > 7) return support::Corrupted("bad PirteMessage type");
+  view.type = static_cast<MessageType>(type);
+  DACM_ASSIGN_OR_RETURN(view.plugin_name, reader.ReadStringView());
+  DACM_ASSIGN_OR_RETURN(view.target_ecu, reader.ReadU32());
+  DACM_ASSIGN_OR_RETURN(view.dest_port, reader.ReadU8());
+  DACM_ASSIGN_OR_RETURN(std::uint8_t ok, reader.ReadU8());
+  view.ok = ok != 0;
+  DACM_ASSIGN_OR_RETURN(view.detail, reader.ReadStringView());
+  DACM_ASSIGN_OR_RETURN(view.payload, reader.ReadBlobView());
+  return view;
+}
+
+support::Bytes SerializeInstallBatch(std::span<const InstallBatchEntry> entries) {
+  // Each entry is framed exactly like PirteMessage::Serialize would frame a
+  // kInstallPackage, but written straight into the batch buffer through the
+  // shared layout definition — no intermediate message objects, one sized
+  // allocation, one pass over the package bytes.
+  support::ByteWriter writer;
+  std::size_t total = 8;
+  for (const InstallBatchEntry& entry : entries) {
+    total += 4 + PirteMessage::WireSizeOf(entry.plugin_name, {},
+                                          entry.package_bytes);
+  }
+  writer.Reserve(total);
+  writer.WriteVarU32(static_cast<std::uint32_t>(entries.size()));
+  for (const InstallBatchEntry& entry : entries) {
+    const std::size_t inner =
+        PirteMessage::WireSizeOf(entry.plugin_name, {}, entry.package_bytes);
+    writer.WriteU32(static_cast<std::uint32_t>(inner));  // blob framing
+    PirteMessage::SerializeFieldsTo(writer, MessageType::kInstallPackage,
+                                    entry.plugin_name, entry.target_ecu,
+                                    /*dest_port=*/0, /*ok=*/true,
+                                    /*detail=*/{}, entry.package_bytes);
+  }
+  return writer.Take();
+}
+
+support::Bytes SerializeAckBatch(std::span<const BatchAckEntry> entries) {
+  support::ByteWriter writer;
+  std::size_t total = 8;
+  for (const BatchAckEntry& entry : entries) {
+    total += 9 + entry.plugin.size() + entry.detail.size();
+  }
+  writer.Reserve(total);
+  writer.WriteVarU32(static_cast<std::uint32_t>(entries.size()));
+  for (const BatchAckEntry& entry : entries) {
+    writer.WriteString(entry.plugin);
+    writer.WriteU8(entry.ok ? 1 : 0);
+    writer.WriteString(entry.detail);
+  }
+  return writer.Take();
+}
+
+support::Result<std::vector<BatchAckEntry>> DeserializeAckBatch(
+    std::span<const std::uint8_t> payload) {
+  std::vector<BatchAckEntry> entries;
+  DACM_RETURN_IF_ERROR(ForEachAckInBatch(
+      payload, [&entries](std::string_view plugin, bool ok, std::string_view detail) {
+        entries.push_back(
+            BatchAckEntry{std::string(plugin), ok, std::string(detail)});
+      }));
+  return entries;
 }
 
 }  // namespace dacm::pirte

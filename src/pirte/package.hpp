@@ -12,6 +12,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "pirte/context.hpp"
 #include "support/bytes.hpp"
@@ -27,6 +28,8 @@ enum class MessageType : std::uint8_t {
   kExternalData = 3,  // external world -> plug-in port
   kStop = 4,          // lifecycle: stop a running plug-in (pre-update state rule)
   kStart = 5,         // lifecycle: (re)start a stopped plug-in
+  kInstallBatch = 6,  // campaign push: one message carrying an app's packages
+  kAckBatch = 7,      // one acknowledgement covering a whole received batch
 };
 
 /// The complete artifact the server assembles per (plug-in, vehicle).
@@ -55,6 +58,111 @@ struct PirteMessage {
 
   support::Bytes Serialize() const;
   static support::Result<PirteMessage> Deserialize(std::span<const std::uint8_t> data);
+
+  // The wire layout, defined once: every serializer (member Serialize,
+  // the one-pass envelope framing, batch assembly) delegates here so the
+  // field sequence and the length arithmetic cannot diverge.
+  static constexpr std::size_t kFixedWireSize = 19;  // scalars + 3 length prefixes
+  static std::size_t WireSizeOf(std::string_view plugin_name,
+                                std::string_view detail,
+                                std::span<const std::uint8_t> payload) {
+    return kFixedWireSize + plugin_name.size() + detail.size() + payload.size();
+  }
+  std::size_t WireSize() const {
+    return WireSizeOf(plugin_name, detail, payload);
+  }
+  /// Appends the serialized fields to `writer` (no framing around them).
+  static void SerializeFieldsTo(support::ByteWriter& writer, MessageType type,
+                                std::string_view plugin_name,
+                                std::uint32_t target_ecu, std::uint8_t dest_port,
+                                bool ok, std::string_view detail,
+                                std::span<const std::uint8_t> payload);
+  void SerializeTo(support::ByteWriter& writer) const {
+    SerializeFieldsTo(writer, type, plugin_name, target_ecu, dest_port, ok,
+                      detail, payload);
+  }
 };
+
+/// Zero-copy view of a serialized PirteMessage (the EnvelopeView idiom):
+/// string/blob fields alias the parsed buffer, so the view must not
+/// outlive it.  Dispatch sites that route on type/plugin and drop the
+/// message before returning use this to skip three allocations.
+struct PirteMessageView {
+  MessageType type = MessageType::kAck;
+  std::string_view plugin_name;
+  std::uint32_t target_ecu = 0;
+  std::uint8_t dest_port = 0;
+  bool ok = true;
+  std::string_view detail;
+  std::span<const std::uint8_t> payload;
+
+  static support::Result<PirteMessageView> Parse(std::span<const std::uint8_t> data);
+};
+
+// --- campaign batches --------------------------------------------------------
+//
+// A fleet campaign pushes ONE kInstallBatch message per vehicle instead of
+// one round-trip per plug-in; its payload is a varint count followed by
+// the serialized per-plug-in kInstallPackage messages.  The vehicle
+// answers with a single kAckBatch whose payload carries one verdict per
+// plug-in.
+
+/// One per-plug-in install inside a batch.  The views alias the caller's
+/// buffers (typically the InstalledAPP table's recorded package bytes), so
+/// batch assembly costs exactly one pass over the payload bytes.
+struct InstallBatchEntry {
+  std::string_view plugin_name;
+  std::uint32_t target_ecu = 0;
+  std::span<const std::uint8_t> package_bytes;
+};
+
+/// Builds the payload of a kInstallBatch message: each entry is framed as
+/// a serialized kInstallPackage PirteMessage, written in place.
+support::Bytes SerializeInstallBatch(std::span<const InstallBatchEntry> entries);
+
+/// Walks a kInstallBatch payload without copying: `fn` (returning
+/// support::Status) receives a view of each embedded serialized
+/// PirteMessage.  Stops on malformed input or the first error from `fn`.
+/// A template so the per-entry call stays direct (no std::function) on
+/// the batch hot paths.
+template <typename Fn>
+support::Status ForEachInBatch(std::span<const std::uint8_t> payload, Fn&& fn) {
+  support::ByteReader reader(payload);
+  DACM_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadVarU32());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DACM_ASSIGN_OR_RETURN(std::span<const std::uint8_t> entry,
+                          reader.ReadBlobView());
+    DACM_RETURN_IF_ERROR(fn(entry));
+  }
+  return support::OkStatus();
+}
+
+/// One per-plug-in verdict inside a kAckBatch payload.
+struct BatchAckEntry {
+  std::string plugin;
+  bool ok = true;
+  std::string detail;
+};
+
+support::Bytes SerializeAckBatch(std::span<const BatchAckEntry> entries);
+support::Result<std::vector<BatchAckEntry>> DeserializeAckBatch(
+    std::span<const std::uint8_t> payload);
+
+/// Zero-copy walk of a kAckBatch payload: `fn(plugin, ok, detail)` per
+/// verdict, the views aliasing `payload`.  The server's hot ack path —
+/// thousands of fleet acknowledgements per campaign — uses this to stay
+/// allocation-free, hence a template rather than std::function.
+template <typename Fn>
+support::Status ForEachAckInBatch(std::span<const std::uint8_t> payload, Fn&& fn) {
+  support::ByteReader reader(payload);
+  DACM_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadVarU32());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DACM_ASSIGN_OR_RETURN(std::string_view plugin, reader.ReadStringView());
+    DACM_ASSIGN_OR_RETURN(std::uint8_t ok, reader.ReadU8());
+    DACM_ASSIGN_OR_RETURN(std::string_view detail, reader.ReadStringView());
+    fn(plugin, ok != 0, detail);
+  }
+  return support::OkStatus();
+}
 
 }  // namespace dacm::pirte

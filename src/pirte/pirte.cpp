@@ -410,8 +410,14 @@ void Pirte::OnTypeIMessage(const PirteMessage& message) {
       return;
     }
     case MessageType::kAck:
+    case MessageType::kAckBatch:
       // Plug-in SW-Cs do not receive acks; the ECM override handles them.
       DACM_LOG_WARN("pirte") << config_.name << ": unexpected ack";
+      return;
+    case MessageType::kInstallBatch:
+      // Campaign batches terminate at the ECM, which unpacks them before
+      // routing; a batch on a Type I port is a protocol violation.
+      DACM_LOG_WARN("pirte") << config_.name << ": unexpected install batch";
       return;
   }
 }

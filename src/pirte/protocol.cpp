@@ -1,5 +1,7 @@
 #include "pirte/protocol.hpp"
 
+#include "pirte/package.hpp"
+
 namespace dacm::pirte {
 
 support::Bytes Envelope::Serialize() const {
@@ -30,6 +32,17 @@ support::Result<Envelope> Envelope::Deserialize(std::span<const std::uint8_t> da
   envelope.vin = std::string(view.vin);
   envelope.message.assign(view.message.begin(), view.message.end());
   return envelope;
+}
+
+support::Bytes SerializeEnveloped(std::string_view vin, const PirteMessage& message) {
+  const std::size_t inner = message.WireSize();
+  support::ByteWriter writer;
+  writer.Reserve(9 + vin.size() + inner);
+  writer.WriteU8(static_cast<std::uint8_t>(Envelope::Kind::kPirteMessage));
+  writer.WriteString(vin);
+  writer.WriteU32(static_cast<std::uint32_t>(inner));  // message blob framing
+  message.SerializeTo(writer);
+  return writer.Take();
 }
 
 support::Bytes FesFrame::Serialize() const {

@@ -46,4 +46,13 @@ struct FesFrame {
   static support::Result<FesFrame> Deserialize(std::span<const std::uint8_t> data);
 };
 
+struct PirteMessage;
+
+/// One-pass framing of a kPirteMessage envelope: writes the envelope
+/// header and the inner message fields into a single sized buffer, instead
+/// of serializing the message and copying it into Envelope::message.  The
+/// server's Pusher uses this — campaign payloads run to tens of KiB per
+/// vehicle, so each saved pass is measurable.
+support::Bytes SerializeEnveloped(std::string_view vin, const PirteMessage& message);
+
 }  // namespace dacm::pirte

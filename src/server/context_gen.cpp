@@ -6,18 +6,34 @@ namespace dacm::server {
 
 namespace {
 
-/// Lowest free unique id on `ecu`, claiming it in `used`.
-support::Result<std::uint8_t> AllocateUniqueId(UsedIdMap& used, std::uint32_t ecu) {
-  auto& taken = used[ecu];
-  for (int candidate = 0; candidate < 256; ++candidate) {
-    const auto id = static_cast<std::uint8_t>(candidate);
-    if (!taken.contains(id)) {
-      taken.insert(id);
-      return id;
-    }
+/// Claims ids from `used` and releases every claim on destruction unless
+/// committed — generation failures must not leak ids into the vehicle's
+/// persistent bitmap.
+class IdClaims {
+ public:
+  explicit IdClaims(UsedIdMap& used) : used_(used) {}
+  ~IdClaims() {
+    if (committed_) return;
+    for (const auto& [ecu, id] : claimed_) used_[ecu].erase(id);
   }
-  return support::ResourceExhausted("no free port ids on ECU " + std::to_string(ecu));
-}
+
+  support::Result<std::uint8_t> Allocate(std::uint32_t ecu) {
+    std::optional<std::uint8_t> id = used_[ecu].AllocateLowest();
+    if (!id.has_value()) {
+      return support::ResourceExhausted("no free port ids on ECU " +
+                                        std::to_string(ecu));
+    }
+    claimed_.emplace_back(ecu, *id);
+    return *id;
+  }
+
+  void Commit() { committed_ = true; }
+
+ private:
+  UsedIdMap& used_;
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> claimed_;
+  bool committed_ = false;
+};
 
 }  // namespace
 
@@ -36,6 +52,7 @@ UsedIdMap CollectUsedIds(const Vehicle& vehicle) {
 support::Result<std::vector<GeneratedPackage>> GeneratePackages(
     const App& app, const SwConf& conf, const SystemSwConf& system_sw,
     UsedIdMap& used_ids) {
+  IdClaims claims(used_ids);
   // Pass 1 — PIC: assign SW-C-scope unique ids to every plug-in port,
   // "using the knowledge about the already installed plug-ins".
   struct PluginCtx {
@@ -60,7 +77,7 @@ support::Result<std::vector<GeneratedPackage>> GeneratePackages(
       entry.local_index = port.local_index;
       entry.port_name = port.name;
       entry.direction = port.direction;
-      DACM_ASSIGN_OR_RETURN(entry.unique_id, AllocateUniqueId(used_ids, ctx.ecu));
+      DACM_ASSIGN_OR_RETURN(entry.unique_id, claims.Allocate(ctx.ecu));
       ctx.pic.entries.push_back(std::move(entry));
     }
     contexts.push_back(std::move(ctx));
@@ -195,6 +212,7 @@ support::Result<std::vector<GeneratedPackage>> GeneratePackages(
     generated.package.binary = ctx.decl->binary;
     out.push_back(std::move(generated));
   }
+  claims.Commit();
   return out;
 }
 

@@ -7,8 +7,6 @@
 // measure the cost of keeping this intelligence on the server.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "server/model.hpp"
@@ -16,8 +14,8 @@
 
 namespace dacm::server {
 
-/// Occupied unique port ids, per ECU (from the InstalledAPP table).
-using UsedIdMap = std::unordered_map<std::uint32_t, std::unordered_set<std::uint8_t>>;
+// UsedIdMap (ECU -> PortIdSet bitmap) lives in server/model.hpp next to
+// Vehicle::port_ids, the persistent per-vehicle instance of it.
 
 /// One generated per-plug-in artifact.
 struct GeneratedPackage {
@@ -27,14 +25,19 @@ struct GeneratedPackage {
 };
 
 /// Runs the full generation pipeline for (app, conf) on a vehicle with
-/// `system_sw`; `used_ids` is updated with the newly assigned ids.
-/// `ecm_ecu` is where ECC entries are sent (they are attached to the
-/// package of the plug-in they describe; the ECM extracts them in flight).
+/// `system_sw`; `used_ids` is updated with the newly assigned ids — on
+/// failure every id claimed by the aborted run is released again, so a
+/// persistent per-vehicle map stays consistent.  ECC entries are attached
+/// to the package of the plug-in they describe; the ECM extracts them in
+/// flight.
 support::Result<std::vector<GeneratedPackage>> GeneratePackages(
     const App& app, const SwConf& conf, const SystemSwConf& system_sw,
     UsedIdMap& used_ids);
 
-/// Collects the ids currently in use on `vehicle`, per ECU.
+/// Rebuilds the occupied-id map from the InstalledAPP table.  The live
+/// allocator is the incrementally maintained `Vehicle::port_ids`; this
+/// reconstruction exists for tests and consistency checks against it —
+/// the two must always agree.
 UsedIdMap CollectUsedIds(const Vehicle& vehicle);
 
 }  // namespace dacm::server

@@ -13,7 +13,11 @@
 // allocated per (vehicle, ECU).
 #pragma once
 
+#include <array>
+#include <bit>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "pirte/context.hpp"
@@ -27,6 +31,50 @@ struct UserTag {};
 struct AppTag {};
 using UserId = support::StrongId<UserTag>;
 using AppId = support::StrongId<AppTag>;
+
+/// Occupied unique port ids on one ECU: a 256-bit bitmap that hands out
+/// the lowest free id in O(1).  Kept per vehicle (see Vehicle::port_ids)
+/// and maintained incrementally across deploys/uninstalls — the free-list
+/// that replaced the per-deploy rescan of the InstalledAPP table.
+class PortIdSet {
+ public:
+  PortIdSet() = default;
+  PortIdSet(std::initializer_list<std::uint8_t> ids) {
+    for (std::uint8_t id : ids) insert(id);
+  }
+
+  bool contains(std::uint8_t id) const {
+    return (words_[id >> 6] >> (id & 63)) & 1u;
+  }
+  void insert(std::uint8_t id) { words_[id >> 6] |= Bit(id); }
+  void erase(std::uint8_t id) { words_[id >> 6] &= ~Bit(id); }
+  std::size_t size() const {
+    std::size_t count = 0;
+    for (std::uint64_t word : words_) count += static_cast<std::size_t>(std::popcount(word));
+    return count;
+  }
+
+  /// Claims and returns the lowest free id; nullopt once all 256 are taken.
+  std::optional<std::uint8_t> AllocateLowest() {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] != ~std::uint64_t{0}) {
+        const int bit = std::countr_one(words_[w]);
+        words_[w] |= std::uint64_t{1} << bit;
+        return static_cast<std::uint8_t>(w * 64 + static_cast<std::size_t>(bit));
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static constexpr std::uint64_t Bit(std::uint8_t id) {
+    return std::uint64_t{1} << (id & 63);
+  }
+  std::array<std::uint64_t, 4> words_{};
+};
+
+/// Occupied unique port ids, per ECU.
+using UsedIdMap = std::unordered_map<std::uint32_t, PortIdSet>;
 
 // --- OEM uploads (per vehicle model) -----------------------------------------
 
@@ -213,6 +261,10 @@ struct Vehicle {
   std::string model;
   UserId owner = UserId::Invalid();
   std::vector<InstalledApp> installed;
+  /// Unique-id bitmap per ECU, kept in lockstep with `installed`: claimed
+  /// by Deploy, released when a failed deploy rolls back or an uninstall
+  /// fully acknowledges.
+  UsedIdMap port_ids;
 
   InstalledApp* FindInstalled(const std::string& app_name) {
     for (InstalledApp& app : installed) {

@@ -1,12 +1,29 @@
 #include "server/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "pirte/package.hpp"
 #include "support/log.hpp"
 #include "support/string_util.hpp"
 
 namespace dacm::server {
+
+namespace {
+
+/// FNV-1a; stable across platforms so shard placement (and with it the
+/// deterministic drain order of a campaign) never depends on the standard
+/// library's std::hash.
+std::uint64_t Fnv1a(std::string_view s) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (char c : s) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
 
 std::string_view InstallStateName(InstallState state) {
   switch (state) {
@@ -18,8 +35,27 @@ std::string_view InstallStateName(InstallState state) {
   return "?";
 }
 
-TrustedServer::TrustedServer(sim::Network& network, std::string address)
-    : network_(network), address_(std::move(address)) {}
+TrustedServer::TrustedServer(sim::Network& network, std::string address,
+                             ServerOptions options)
+    : network_(network),
+      address_(std::move(address)),
+      options_(options),
+      shards_(options.shard_count == 0 ? 1 : options.shard_count),
+      // One worker per shard; the simulation thread only coordinates, so
+      // every campaign send goes through the deterministic staged path.
+      pool_(shards_.size() == 1 ? 0 : shards_.size()) {}
+
+std::size_t TrustedServer::ShardIndex(std::string_view vin) const {
+  return shards_.size() == 1 ? 0 : Fnv1a(vin) % shards_.size();
+}
+
+TrustedServer::Shard& TrustedServer::ShardFor(std::string_view vin) {
+  return shards_[ShardIndex(vin)];
+}
+
+const TrustedServer::Shard& TrustedServer::ShardFor(std::string_view vin) const {
+  return shards_[ShardIndex(vin)];
+}
 
 support::Status TrustedServer::Start() {
   if (started_) return support::FailedPrecondition("server already started");
@@ -32,6 +68,7 @@ support::Status TrustedServer::Start() {
 // --- user setup -------------------------------------------------------------------
 
 support::Result<UserId> TrustedServer::CreateUser(const std::string& name) {
+  std::unique_lock lock(catalog_mutex_);
   for (const User& user : users_) {
     if (user.name == name) return support::AlreadyExists("user: " + name);
   }
@@ -41,14 +78,18 @@ support::Result<UserId> TrustedServer::CreateUser(const std::string& name) {
 
 support::Status TrustedServer::BindVehicle(UserId user, const std::string& vin,
                                            const std::string& model) {
+  std::unique_lock lock(catalog_mutex_);
   if (user.value() >= users_.size()) return support::NotFound("unknown user");
-  if (vehicles_.contains(vin)) return support::AlreadyExists("VIN already bound: " + vin);
-  DACM_RETURN_IF_ERROR(ModelConf(model).status());
+  Shard& shard = ShardFor(vin);
+  if (shard.vehicles.contains(vin)) {
+    return support::AlreadyExists("VIN already bound: " + vin);
+  }
+  if (!models_.contains(model)) return support::NotFound("vehicle model: " + model);
   Vehicle vehicle;
   vehicle.vin = vin;
   vehicle.model = model;
   vehicle.owner = user;
-  vehicles_.emplace(vin, std::move(vehicle));
+  shard.vehicles.emplace(vin, std::move(vehicle));
   users_[user.value()].vins.push_back(vin);
   return support::OkStatus();
 }
@@ -57,6 +98,7 @@ support::Status TrustedServer::BindVehicle(UserId user, const std::string& vin,
 
 support::Status TrustedServer::UploadVehicleModel(VehicleModelConf conf) {
   if (conf.model.empty()) return support::InvalidArgument("model name empty");
+  std::unique_lock lock(catalog_mutex_);
   models_[conf.model] = std::move(conf);
   return support::OkStatus();
 }
@@ -64,6 +106,7 @@ support::Status TrustedServer::UploadVehicleModel(VehicleModelConf conf) {
 support::Status TrustedServer::UploadApp(App app) {
   if (app.name.empty()) return support::InvalidArgument("app name empty");
   if (app.plugins.empty()) return support::InvalidArgument("app has no plug-ins");
+  std::unique_lock lock(catalog_mutex_);
   auto it = apps_.find(app.name);
   if (it != apps_.end() &&
       support::CompareVersions(app.version, it->second.version) <= 0) {
@@ -76,39 +119,36 @@ support::Status TrustedServer::UploadApp(App app) {
 
 // --- operations -----------------------------------------------------------------------
 
-support::Status TrustedServer::Deploy(UserId user, const std::string& vin,
-                                      const std::string& app_name) {
-  DACM_ASSIGN_OR_RETURN(Vehicle * vehicle, VehicleByVin(vin));
+support::Status TrustedServer::DeployOnShard(Shard& shard, UserId user,
+                                             const std::string& vin,
+                                             const App& app, bool batched) {
+  auto vehicle_it = shard.vehicles.find(vin);
+  if (vehicle_it == shard.vehicles.end()) return support::NotFound("VIN: " + vin);
+  Vehicle* vehicle = &vehicle_it->second;
   DACM_RETURN_IF_ERROR(CheckOwnership(user, *vehicle));
-  auto app_it = apps_.find(app_name);
-  if (app_it == apps_.end()) {
-    ++stats_.deploys_rejected;
-    return support::NotFound("app: " + app_name);
-  }
-  const App& app = app_it->second;
-  if (vehicle->FindInstalled(app_name) != nullptr) {
-    ++stats_.deploys_rejected;
-    return support::AlreadyExists("app already installed: " + app_name);
+  if (vehicle->FindInstalled(app.name) != nullptr) {
+    ++shard.stats.deploys_rejected;
+    return support::AlreadyExists("app already installed: " + app.name);
   }
 
   // Compatibility: a SW conf for this vehicle model must exist...
   const SwConf* conf = app.ConfForModel(vehicle->model);
   if (conf == nullptr) {
-    ++stats_.deploys_rejected;
+    ++shard.stats.deploys_rejected;
     return support::Incompatible("no SW conf for vehicle model " + vehicle->model);
   }
   DACM_ASSIGN_OR_RETURN(const VehicleModelConf* model, ModelConf(vehicle->model));
   // ...the platform must be recent enough...
   if (!conf->min_platform.empty() &&
       support::CompareVersions(model->sw.platform_version, conf->min_platform) < 0) {
-    ++stats_.deploys_rejected;
+    ++shard.stats.deploys_rejected;
     return support::Incompatible("platform " + model->sw.platform_version +
                                  " older than required " + conf->min_platform);
   }
   // ...every required virtual port must be exposed...
   for (const std::string& required : conf->required_virtual_ports) {
     if (model->sw.FindByName(required) == nullptr) {
-      ++stats_.deploys_rejected;
+      ++shard.stats.deploys_rejected;
       return support::Incompatible("vehicle lacks required virtual port " + required);
     }
   }
@@ -116,7 +156,7 @@ support::Status TrustedServer::Deploy(UserId user, const std::string& vin,
   for (const PlacementDecl& placement : conf->placements) {
     const EcuInfo* ecu = model->hw.FindEcu(placement.ecu_id);
     if (ecu == nullptr || !ecu->has_plugin_swc) {
-      ++stats_.deploys_rejected;
+      ++shard.stats.deploys_rejected;
       return support::Incompatible("ECU " + std::to_string(placement.ecu_id) +
                                    " cannot host plug-ins");
     }
@@ -125,7 +165,7 @@ support::Status TrustedServer::Deploy(UserId user, const std::string& vin,
   for (const std::string& dependency : app.depends_on) {
     const InstalledApp* installed = vehicle->FindInstalled(dependency);
     if (installed == nullptr || installed->state != InstallState::kInstalled) {
-      ++stats_.deploys_rejected;
+      ++shard.stats.deploys_rejected;
       return support::DependencyViolation("requires app " + dependency +
                                           " to be installed first");
     }
@@ -133,7 +173,7 @@ support::Status TrustedServer::Deploy(UserId user, const std::string& vin,
   // ...and no conflicts in either direction.
   for (const std::string& conflict : app.conflicts_with) {
     if (vehicle->FindInstalled(conflict) != nullptr) {
-      ++stats_.deploys_rejected;
+      ++shard.stats.deploys_rejected;
       return support::DependencyViolation("conflicts with installed app " + conflict);
     }
   }
@@ -141,24 +181,29 @@ support::Status TrustedServer::Deploy(UserId user, const std::string& vin,
     auto other = apps_.find(installed.app_name);
     if (other == apps_.end()) continue;
     const auto& conflicts = other->second.conflicts_with;
-    if (std::find(conflicts.begin(), conflicts.end(), app_name) != conflicts.end()) {
-      ++stats_.deploys_rejected;
+    if (std::find(conflicts.begin(), conflicts.end(), app.name) != conflicts.end()) {
+      ++shard.stats.deploys_rejected;
       return support::DependencyViolation("installed app " + installed.app_name +
-                                          " conflicts with " + app_name);
+                                          " conflicts with " + app.name);
     }
   }
 
   // The Pusher needs a live connection; reject before any state changes so
   // a retry starts from a clean table.
-  if (!VehicleOnline(vin)) {
-    ++stats_.deploys_rejected;
+  auto connections_it = shard.connections.find(vin);
+  const bool online =
+      connections_it != shard.connections.end() &&
+      std::any_of(connections_it->second.begin(), connections_it->second.end(),
+                  [](const auto& peer) { return peer->connected(); });
+  if (!online) {
+    ++shard.stats.deploys_rejected;
     return support::Unavailable("vehicle offline: " + vin);
   }
 
-  // Context generation.
-  UsedIdMap used_ids = CollectUsedIds(*vehicle);
+  // Context generation, allocating unique ids from the vehicle's
+  // persistent per-ECU bitmap (no rescan of the InstalledAPP table).
   DACM_ASSIGN_OR_RETURN(auto generated,
-                        GeneratePackages(app, *conf, model->sw, used_ids));
+                        GeneratePackages(app, *conf, model->sw, vehicle->port_ids));
 
   // Record + push.
   InstalledApp record;
@@ -174,31 +219,119 @@ support::Status TrustedServer::Deploy(UserId user, const std::string& vin,
     record.plugins.push_back(std::move(plugin));
   }
   vehicle->installed.push_back(std::move(record));
+  const InstalledApp& row = vehicle->installed.back();
 
-  for (const InstalledApp::PluginRecord& plugin : vehicle->installed.back().plugins) {
-    pirte::PirteMessage message;
-    message.type = pirte::MessageType::kInstallPackage;
-    message.plugin_name = plugin.plugin;
-    message.target_ecu = plugin.ecu_id;
-    message.payload = plugin.package_bytes;
-    auto push = PushToVehicle(vin, message);
-    if (!push.ok()) {
-      // Roll back the uncommitted row: a failed deploy must leave no trace
-      // (a stale row would block retries and leak unique ids).
-      vehicle->installed.pop_back();
-      ++stats_.deploys_rejected;
-      return push;
+  auto rollback = [&](const support::Status& error) {
+    // Roll back the uncommitted row: a failed deploy must leave no trace
+    // (a stale row would block retries and leak unique ids).
+    ReleaseRowIds(*vehicle, vehicle->installed.back());
+    vehicle->installed.pop_back();
+    ++shard.stats.deploys_rejected;
+    return error;
+  };
+
+  if (batched) {
+    // Campaign path: one push carrying every plug-in package, assembled
+    // from views over the freshly recorded package bytes.
+    std::vector<pirte::InstallBatchEntry> entries;
+    entries.reserve(row.plugins.size());
+    for (const InstalledApp::PluginRecord& plugin : row.plugins) {
+      entries.push_back(pirte::InstallBatchEntry{plugin.plugin, plugin.ecu_id,
+                                                 plugin.package_bytes});
+    }
+    pirte::PirteMessage batch;
+    batch.type = pirte::MessageType::kInstallBatch;
+    batch.plugin_name = app.name;  // diagnostic label for nack paths
+    batch.payload = pirte::SerializeInstallBatch(entries);
+    auto push = PushToVehicle(shard, vin, batch);
+    if (!push.ok()) return rollback(push);
+  } else {
+    for (const InstalledApp::PluginRecord& plugin : row.plugins) {
+      pirte::PirteMessage message;
+      message.type = pirte::MessageType::kInstallPackage;
+      message.plugin_name = plugin.plugin;
+      message.target_ecu = plugin.ecu_id;
+      message.payload = plugin.package_bytes;
+      auto push = PushToVehicle(shard, vin, message);
+      if (!push.ok()) return rollback(push);
     }
   }
-  ++stats_.deploys_ok;
-  DACM_LOG_INFO("server") << "deploy " << app_name << " -> " << vin << " ("
-                          << vehicle->installed.back().plugins.size() << " plug-ins)";
+  ++shard.stats.deploys_ok;
+  DACM_LOG_INFO("server") << "deploy " << app.name << " -> " << vin << " ("
+                          << row.plugins.size() << " plug-ins"
+                          << (batched ? ", batched)" : ")");
   return support::OkStatus();
+}
+
+support::Status TrustedServer::Deploy(UserId user, const std::string& vin,
+                                      const std::string& app_name) {
+  std::shared_lock lock(catalog_mutex_);
+  Shard& shard = ShardFor(vin);
+  auto app_it = apps_.find(app_name);
+  if (app_it == apps_.end()) {
+    // Match the historic accounting: an unknown app only counts as a
+    // rejection when the vehicle at least exists.
+    if (shard.vehicles.contains(vin)) ++shard.stats.deploys_rejected;
+    return support::NotFound("app: " + app_name);
+  }
+  return DeployOnShard(shard, user, vin, app_it->second, /*batched=*/false);
+}
+
+support::Result<CampaignReport> TrustedServer::DeployCampaign(
+    UserId user, const std::string& app_name, std::span<const std::string> vins) {
+  std::shared_lock lock(catalog_mutex_);
+  auto app_it = apps_.find(app_name);
+  if (app_it == apps_.end()) return support::NotFound("app: " + app_name);
+  const App& app = app_it->second;
+
+  // Partition the fleet so every worker touches exactly one shard.
+  std::vector<std::vector<const std::string*>> by_shard(shards_.size());
+  for (const std::string& vin : vins) {
+    by_shard[ShardIndex(vin)].push_back(&vin);
+  }
+
+  struct ShardOutcome {
+    std::vector<std::pair<std::string, support::Status>> failures;
+    std::vector<std::uint64_t> ns;
+  };
+  std::vector<ShardOutcome> outcomes(shards_.size());
+
+  pool_.ParallelFor(shards_.size(), [&](std::size_t index) {
+    Shard& shard = shards_[index];
+    ShardOutcome& outcome = outcomes[index];
+    outcome.ns.reserve(by_shard[index].size());
+    for (const std::string* vin : by_shard[index]) {
+      const auto start = std::chrono::steady_clock::now();
+      auto status = DeployOnShard(shard, user, *vin, app, /*batched=*/true);
+      outcome.ns.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+      if (!status.ok()) outcome.failures.emplace_back(*vin, std::move(status));
+    }
+  });
+
+  CampaignReport report;
+  report.per_vehicle_ns.reserve(vins.size());
+  for (ShardOutcome& outcome : outcomes) {
+    report.rejected += outcome.failures.size();
+    for (auto& failure : outcome.failures) {
+      report.failures.push_back(std::move(failure));
+    }
+    report.per_vehicle_ns.insert(report.per_vehicle_ns.end(), outcome.ns.begin(),
+                                 outcome.ns.end());
+  }
+  report.deployed = vins.size() - report.rejected;
+  return report;
 }
 
 support::Status TrustedServer::UninstallApp(UserId user, const std::string& vin,
                                             const std::string& app_name) {
-  DACM_ASSIGN_OR_RETURN(Vehicle * vehicle, VehicleByVin(vin));
+  std::shared_lock lock(catalog_mutex_);
+  Shard& shard = ShardFor(vin);
+  auto vehicle_it = shard.vehicles.find(vin);
+  if (vehicle_it == shard.vehicles.end()) return support::NotFound("VIN: " + vin);
+  Vehicle* vehicle = &vehicle_it->second;
   DACM_RETURN_IF_ERROR(CheckOwnership(user, *vehicle));
   InstalledApp* installed = vehicle->FindInstalled(app_name);
   if (installed == nullptr) return support::NotFound("app not installed: " + app_name);
@@ -229,15 +362,19 @@ support::Status TrustedServer::UninstallApp(UserId user, const std::string& vin,
     message.type = pirte::MessageType::kUninstall;
     message.plugin_name = plugin.plugin;
     message.target_ecu = plugin.ecu_id;
-    DACM_RETURN_IF_ERROR(PushToVehicle(vin, message));
+    DACM_RETURN_IF_ERROR(PushToVehicle(shard, vin, message));
   }
-  ++stats_.uninstalls;
+  ++shard.stats.uninstalls;
   return support::OkStatus();
 }
 
 support::Status TrustedServer::Restore(UserId user, const std::string& vin,
                                        std::uint32_t ecu_id) {
-  DACM_ASSIGN_OR_RETURN(Vehicle * vehicle, VehicleByVin(vin));
+  std::shared_lock lock(catalog_mutex_);
+  Shard& shard = ShardFor(vin);
+  auto vehicle_it = shard.vehicles.find(vin);
+  if (vehicle_it == shard.vehicles.end()) return support::NotFound("VIN: " + vin);
+  Vehicle* vehicle = &vehicle_it->second;
   DACM_RETURN_IF_ERROR(CheckOwnership(user, *vehicle));
   // "The server filters out previously installed plug-ins in the replaced
   // ECU ... Next, the usual installation steps are followed."  The recorded
@@ -256,13 +393,13 @@ support::Status TrustedServer::Restore(UserId user, const std::string& vin,
       message.plugin_name = plugin.plugin;
       message.target_ecu = plugin.ecu_id;
       message.payload = plugin.package_bytes;
-      DACM_RETURN_IF_ERROR(PushToVehicle(vin, message));
+      DACM_RETURN_IF_ERROR(PushToVehicle(shard, vin, message));
     }
   }
   if (!any) {
     return support::NotFound("no installed plug-ins on ECU " + std::to_string(ecu_id));
   }
-  ++stats_.restores;
+  ++shard.stats.restores;
   return support::OkStatus();
 }
 
@@ -270,8 +407,9 @@ support::Status TrustedServer::Restore(UserId user, const std::string& vin,
 
 support::Result<InstallState> TrustedServer::AppState(const std::string& vin,
                                                       const std::string& app_name) const {
-  auto it = vehicles_.find(vin);
-  if (it == vehicles_.end()) return support::NotFound("VIN: " + vin);
+  const Shard& shard = ShardFor(vin);
+  auto it = shard.vehicles.find(vin);
+  if (it == shard.vehicles.end()) return support::NotFound("VIN: " + vin);
   const InstalledApp* installed = it->second.FindInstalled(app_name);
   if (installed == nullptr) return support::NotFound("app not installed: " + app_name);
   return installed->state;
@@ -279,8 +417,9 @@ support::Result<InstallState> TrustedServer::AppState(const std::string& vin,
 
 std::vector<std::string> TrustedServer::InstalledApps(const std::string& vin) const {
   std::vector<std::string> names;
-  auto it = vehicles_.find(vin);
-  if (it == vehicles_.end()) return names;
+  const Shard& shard = ShardFor(vin);
+  auto it = shard.vehicles.find(vin);
+  if (it == shard.vehicles.end()) return names;
   for (const InstalledApp& installed : it->second.installed) {
     names.push_back(installed.app_name);
   }
@@ -288,15 +427,30 @@ std::vector<std::string> TrustedServer::InstalledApps(const std::string& vin) co
 }
 
 const Vehicle* TrustedServer::FindVehicle(const std::string& vin) const {
-  auto it = vehicles_.find(vin);
-  return it == vehicles_.end() ? nullptr : &it->second;
+  const Shard& shard = ShardFor(vin);
+  auto it = shard.vehicles.find(vin);
+  return it == shard.vehicles.end() ? nullptr : &it->second;
 }
 
 bool TrustedServer::VehicleOnline(const std::string& vin) const {
-  for (const Connection& connection : connections_) {
-    if (connection.vin == vin && connection.peer->connected()) return true;
+  const Shard& shard = ShardFor(vin);
+  auto it = shard.connections.find(vin);
+  if (it == shard.connections.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [](const auto& peer) { return peer->connected(); });
+}
+
+ServerStats TrustedServer::stats() const {
+  ServerStats total;
+  for (const Shard& shard : shards_) {
+    total.packages_pushed += shard.stats.packages_pushed;
+    total.acks_received += shard.stats.acks_received;
+    total.deploys_ok += shard.stats.deploys_ok;
+    total.deploys_rejected += shard.stats.deploys_rejected;
+    total.uninstalls += shard.stats.uninstalls;
+    total.restores += shard.stats.restores;
   }
-  return false;
+  return total;
 }
 
 // --- internals ---------------------------------------------------------------------------
@@ -310,12 +464,6 @@ support::Status TrustedServer::CheckOwnership(UserId user, const Vehicle& vehicl
   return support::OkStatus();
 }
 
-support::Result<Vehicle*> TrustedServer::VehicleByVin(const std::string& vin) {
-  auto it = vehicles_.find(vin);
-  if (it == vehicles_.end()) return support::NotFound("VIN: " + vin);
-  return &it->second;
-}
-
 support::Result<const VehicleModelConf*> TrustedServer::ModelConf(
     const std::string& model) const {
   auto it = models_.find(model);
@@ -323,12 +471,28 @@ support::Result<const VehicleModelConf*> TrustedServer::ModelConf(
   return &it->second;
 }
 
+void TrustedServer::ReleaseRowIds(Vehicle& vehicle, const InstalledApp& row) {
+  for (const InstalledApp::PluginRecord& plugin : row.plugins) {
+    auto it = vehicle.port_ids.find(plugin.ecu_id);
+    if (it == vehicle.port_ids.end()) continue;
+    for (const pirte::PicEntry& entry : plugin.pic.entries) {
+      it->second.erase(entry.unique_id);
+    }
+  }
+}
+
 void TrustedServer::OnAccept(std::shared_ptr<sim::NetPeer> peer) {
+  // Reap accepted-but-dead peers that never completed a Hello (a link
+  // flap between Connect and the Hello send strands them here); pruning
+  // on every accept bounds pending_ by the number of live handshakes.
+  std::erase_if(pending_, [](const std::shared_ptr<sim::NetPeer>& old) {
+    return !old->connected();
+  });
   sim::NetPeer* raw = peer.get();
   peer->SetReceiveHandler([this, raw](const support::Bytes& data) {
     OnVehicleMessage(raw, data);
   });
-  connections_.push_back(Connection{std::move(peer), ""});
+  pending_.push_back(std::move(peer));
 }
 
 void TrustedServer::OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& data) {
@@ -338,54 +502,116 @@ void TrustedServer::OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& d
     DACM_LOG_WARN("server") << "undecodable vehicle message";
     return;
   }
-  Connection* connection = nullptr;
-  for (Connection& c : connections_) {
-    if (c.peer.get() == peer) {
-      connection = &c;
-      break;
-    }
-  }
-  if (connection == nullptr) return;
 
   if (envelope->kind == pirte::Envelope::Kind::kHello) {
-    connection->vin = std::string(envelope->vin);
-    DACM_LOG_INFO("server") << "vehicle online: " << envelope->vin;
+    // Adopt the connection into the VIN's shard registry, reaping any
+    // dead predecessors (ECMs redial on a periodic alarm, so long link
+    // flaps would otherwise accumulate peers without bound).
+    const std::string vin(envelope->vin);
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].get() != peer) continue;
+      auto& peers = ShardFor(vin).connections[vin];
+      std::erase_if(peers, [this](const std::shared_ptr<sim::NetPeer>& old) {
+        if (old->connected()) return false;
+        peer_vins_.erase(old.get());
+        return true;
+      });
+      peers.push_back(std::move(pending_[i]));
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+    peer_vins_[peer] = vin;
+    DACM_LOG_INFO("server") << "vehicle online: " << vin;
     return;
   }
-  auto message = pirte::PirteMessage::Deserialize(envelope->message);
+
+  std::string vin;
+  if (!envelope->vin.empty()) {
+    vin = std::string(envelope->vin);
+  } else if (auto it = peer_vins_.find(peer); it != peer_vins_.end()) {
+    vin = it->second;
+  } else {
+    return;  // never said Hello
+  }
+
+  // Acknowledgements are the server's highest-volume inbound traffic
+  // (thousands per campaign), so the parse stays zero-copy throughout.
+  auto message = pirte::PirteMessageView::Parse(envelope->message);
   if (!message.ok()) {
-    DACM_LOG_WARN("server") << "undecodable PirteMessage from " << connection->vin;
+    DACM_LOG_WARN("server") << "undecodable PirteMessage from " << vin;
     return;
   }
   if (message->type == pirte::MessageType::kAck) {
-    if (envelope->vin.empty()) {
-      HandleAck(connection->vin, *message);
-    } else {
-      HandleAck(std::string(envelope->vin), *message);
+    Shard& shard = ShardFor(vin);
+    ++shard.stats.acks_received;
+    auto vehicle_it = shard.vehicles.find(vin);
+    if (vehicle_it == shard.vehicles.end()) return;
+    ApplyAck(vehicle_it->second, message->plugin_name, message->ok,
+             message->detail);
+  } else if (message->type == pirte::MessageType::kAckBatch) {
+    Shard& shard = ShardFor(vin);
+    auto vehicle_it = shard.vehicles.find(vin);
+    if (vehicle_it == shard.vehicles.end()) return;
+    if (!message->ok) {
+      // Typed whole-batch rejection: the vehicle could not process the
+      // campaign push at all; plugin_name carries the batch's app label.
+      ++shard.stats.acks_received;
+      ApplyBatchNack(vehicle_it->second, message->plugin_name, message->detail);
+      return;
+    }
+    auto status = pirte::ForEachAckInBatch(
+        message->payload,
+        [&](std::string_view plugin, bool ok, std::string_view detail) {
+          ++shard.stats.acks_received;
+          ApplyAck(vehicle_it->second, plugin, ok, detail);
+        });
+    if (!status.ok()) {
+      DACM_LOG_WARN("server") << "undecodable ack batch from " << vin;
     }
   }
 }
 
-support::Status TrustedServer::PushToVehicle(const std::string& vin,
+support::Status TrustedServer::PushToVehicle(Shard& shard, const std::string& vin,
                                              const pirte::PirteMessage& message) {
-  for (Connection& connection : connections_) {
-    if (connection.vin != vin || !connection.peer->connected()) continue;
-    pirte::Envelope envelope;
-    envelope.kind = pirte::Envelope::Kind::kPirteMessage;
-    envelope.vin = vin;
-    envelope.message = message.Serialize();
-    DACM_RETURN_IF_ERROR(connection.peer->Send(envelope.Serialize()));
-    ++stats_.packages_pushed;
-    return support::OkStatus();
+  auto it = shard.connections.find(vin);
+  if (it != shard.connections.end()) {
+    for (const std::shared_ptr<sim::NetPeer>& peer : it->second) {
+      if (!peer->connected()) continue;
+      DACM_RETURN_IF_ERROR(peer->Send(pirte::SerializeEnveloped(vin, message)));
+      ++shard.stats.packages_pushed;
+      return support::OkStatus();
+    }
   }
   return support::Unavailable("vehicle offline: " + vin);
 }
 
-void TrustedServer::HandleAck(const std::string& vin, const pirte::PirteMessage& ack) {
-  ++stats_.acks_received;
-  auto it = vehicles_.find(vin);
-  if (it == vehicles_.end()) return;
-  Vehicle& vehicle = it->second;
+void TrustedServer::ApplyBatchNack(Vehicle& vehicle, std::string_view app_name,
+                                   std::string_view detail) {
+  // The vehicle rejected a whole campaign batch; fail the pending row
+  // outright — otherwise it would wait forever for per-plug-in acks that
+  // will never come, blocking retries.  Only reachable through a failed
+  // kAckBatch, so an app and a plug-in sharing a name cannot collide.
+  for (InstalledApp& installed : vehicle.installed) {
+    if (installed.app_name != app_name ||
+        installed.state != InstallState::kPending) {
+      continue;
+    }
+    installed.state = InstallState::kFailed;
+    for (InstalledApp::PluginRecord& plugin : installed.plugins) {
+      if (plugin.acked) continue;
+      plugin.acked = true;
+      plugin.ack_ok = false;
+      plugin.ack_detail = detail;
+    }
+    DACM_LOG_WARN("server") << "app " << installed.app_name
+                            << " batch-rejected on " << vehicle.vin << ": "
+                            << detail;
+    return;
+  }
+}
+
+void TrustedServer::ApplyAck(Vehicle& vehicle, std::string_view plugin_name,
+                             bool ok, std::string_view detail) {
   for (std::size_t i = 0; i < vehicle.installed.size(); ++i) {
     InstalledApp& installed = vehicle.installed[i];
     if (installed.state != InstallState::kPending &&
@@ -393,10 +619,10 @@ void TrustedServer::HandleAck(const std::string& vin, const pirte::PirteMessage&
       continue;
     }
     for (InstalledApp::PluginRecord& plugin : installed.plugins) {
-      if (plugin.plugin != ack.plugin_name || plugin.acked) continue;
+      if (plugin.plugin != plugin_name || plugin.acked) continue;
       plugin.acked = true;
-      plugin.ack_ok = ack.ok;
-      plugin.ack_detail = ack.detail;
+      plugin.ack_ok = ok;
+      plugin.ack_detail = detail;
       // Re-evaluate the row.
       if (installed.state == InstallState::kPending) {
         if (installed.AnyFailed()) {
@@ -404,10 +630,12 @@ void TrustedServer::HandleAck(const std::string& vin, const pirte::PirteMessage&
         } else if (installed.AllAcked()) {
           installed.state = InstallState::kInstalled;
           DACM_LOG_INFO("server") << "app " << installed.app_name
-                                  << " fully acknowledged on " << vin;
+                                  << " fully acknowledged on " << vehicle.vin;
         }
       } else if (installed.state == InstallState::kUninstalling &&
                  installed.AllAcked()) {
+        // The freed unique ids return to the vehicle's bitmap.
+        ReleaseRowIds(vehicle, installed);
         vehicle.installed.erase(vehicle.installed.begin() +
                                 static_cast<std::ptrdiff_t>(i));
       }

@@ -12,9 +12,26 @@
 //    network, announce their VIN, receive pushed installation packages and
 //    lifecycle commands, and return acknowledgements that are tracked in
 //    the InstalledAPP table.
+//
+// Scale-out: per-vehicle state (Vehicle records, Pusher connections,
+// counters) is partitioned into shards by VIN hash, and DeployCampaign
+// fans a fleet-wide rollout over a worker pool — one worker per shard, so
+// compatibility checks, context generation and package assembly for
+// different vehicles run concurrently while each vehicle is only ever
+// touched by its shard's owner.  The catalog (users / models / apps) is
+// read-mostly and sits behind a shared_mutex: web-service mutators take it
+// exclusively, deploy workers share it.  Campaign pushes are batched (one
+// kInstallBatch per vehicle instead of a round-trip per plug-in) and
+// staged through sim::Network's thread-safe send path.
+//
+// Threading rules (see README "Threading model"): everything except the
+// shard work inside DeployCampaign runs on the simulation thread; workers
+// touch only their own shard plus the shared catalog under the read lock.
 #pragma once
 
 #include <memory>
+#include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +40,7 @@
 #include "server/context_gen.hpp"
 #include "server/model.hpp"
 #include "sim/network.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dacm::server {
 
@@ -35,9 +53,29 @@ struct ServerStats {
   std::uint64_t restores = 0;
 };
 
+struct ServerOptions {
+  /// Vehicle shards == deploy workers.  1 keeps the pipeline fully
+  /// synchronous on the calling thread (no pool, no locking overhead on
+  /// the hot path beyond an uncontended shared_mutex).
+  std::size_t shard_count = 1;
+};
+
+/// Outcome of one DeployCampaign call.
+struct CampaignReport {
+  std::size_t deployed = 0;  // batch pushed; rows are kPending until acked
+  std::size_t rejected = 0;
+  /// Per-VIN rejection reasons, grouped by shard (not fleet order).
+  std::vector<std::pair<std::string, support::Status>> failures;
+  /// Worker-side processing time per vehicle (ns): compatibility checks,
+  /// context generation, package assembly and push staging.  Fleet order
+  /// is not preserved (grouped by shard); used for tail-latency tracking.
+  std::vector<std::uint64_t> per_vehicle_ns;
+};
+
 class TrustedServer {
  public:
-  TrustedServer(sim::Network& network, std::string address);
+  TrustedServer(sim::Network& network, std::string address,
+                ServerOptions options = {});
 
   TrustedServer(const TrustedServer&) = delete;
   TrustedServer& operator=(const TrustedServer&) = delete;
@@ -70,6 +108,14 @@ class TrustedServer {
   support::Status Deploy(UserId user, const std::string& vin,
                          const std::string& app_name);
 
+  /// Fleet-wide OTA campaign: deploys `app_name` to every VIN in `vins`,
+  /// sharding the per-vehicle pipeline over the worker pool and pushing
+  /// one batched package set per vehicle.  Per-vehicle rejections land in
+  /// the report; only a missing app fails the whole campaign.
+  support::Result<CampaignReport> DeployCampaign(UserId user,
+                                                 const std::string& app_name,
+                                                 std::span<const std::string> vins);
+
   /// Uninstalls an app; fails with kDependencyViolation when other
   /// installed apps depend on it (the paper notifies the user instead of
   /// cascading).
@@ -87,37 +133,71 @@ class TrustedServer {
   std::vector<std::string> InstalledApps(const std::string& vin) const;
   const Vehicle* FindVehicle(const std::string& vin) const;
   bool VehicleOnline(const std::string& vin) const;
-  const ServerStats& stats() const { return stats_; }
+  /// Aggregated over all shards.
+  ServerStats stats() const;
   const std::string& address() const { return address_; }
+  std::size_t shard_count() const { return shards_.size(); }
 
  private:
+  // Per-vehicle state partition.  A shard is owned by exactly one thread
+  // at any time: the simulation thread outside DeployCampaign, its
+  // assigned worker inside.
+  struct Shard {
+    std::unordered_map<std::string, Vehicle> vehicles;
+    /// Pusher registry: live peers per VIN (moved here from the pending
+    /// list once the Hello names the vehicle).
+    std::unordered_map<std::string, std::vector<std::shared_ptr<sim::NetPeer>>>
+        connections;
+    ServerStats stats;
+  };
+
+  std::size_t ShardIndex(std::string_view vin) const;
+  Shard& ShardFor(std::string_view vin);
+  const Shard& ShardFor(std::string_view vin) const;
+
   support::Status CheckOwnership(UserId user, const Vehicle& vehicle) const;
-  support::Result<Vehicle*> VehicleByVin(const std::string& vin);
   support::Result<const VehicleModelConf*> ModelConf(const std::string& model) const;
 
-  // Pusher internals.
+  /// The full per-vehicle deploy pipeline.  Caller must hold the catalog
+  /// read lock and own `shard`.  `batched` selects one kInstallBatch push
+  /// (campaigns) vs one push per plug-in (interactive Deploy).
+  support::Status DeployOnShard(Shard& shard, UserId user, const std::string& vin,
+                                const App& app, bool batched);
+
+  // Pusher internals (simulation thread only).
   void OnAccept(std::shared_ptr<sim::NetPeer> peer);
   void OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& data);
-  support::Status PushToVehicle(const std::string& vin,
+  support::Status PushToVehicle(Shard& shard, const std::string& vin,
                                 const pirte::PirteMessage& message);
-  void HandleAck(const std::string& vin, const pirte::PirteMessage& ack);
+  void ApplyAck(Vehicle& vehicle, std::string_view plugin, bool ok,
+                std::string_view detail);
+  /// A failed kAckBatch: the vehicle rejected an entire campaign push;
+  /// fails the named app's pending row.
+  void ApplyBatchNack(Vehicle& vehicle, std::string_view app_name,
+                      std::string_view detail);
+
+  /// Releases every unique id recorded in `row` back to the vehicle's
+  /// per-ECU bitmaps (rollback and uninstall completion).
+  static void ReleaseRowIds(Vehicle& vehicle, const InstalledApp& row);
 
   sim::Network& network_;
   std::string address_;
+  ServerOptions options_;
   bool started_ = false;
 
+  // Shared catalog: read-mostly.  Mutators exclusive, deploy path shared.
+  mutable std::shared_mutex catalog_mutex_;
   std::vector<User> users_;
   std::unordered_map<std::string, VehicleModelConf> models_;   // by model name
-  std::unordered_map<std::string, Vehicle> vehicles_;          // by VIN
   std::unordered_map<std::string, App> apps_;                  // by app name
 
-  // Pusher connection registry.
-  struct Connection {
-    std::shared_ptr<sim::NetPeer> peer;
-    std::string vin;  // empty until Hello
-  };
-  std::vector<Connection> connections_;
-  ServerStats stats_;
+  std::vector<Shard> shards_;
+  /// Accepted connections that have not announced a VIN yet.
+  std::vector<std::shared_ptr<sim::NetPeer>> pending_;
+  /// Reverse lookup for acks whose envelope omits the VIN.
+  std::unordered_map<const sim::NetPeer*, std::string> peer_vins_;
+
+  support::ThreadPool pool_;
 };
 
 }  // namespace dacm::server

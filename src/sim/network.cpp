@@ -1,26 +1,65 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+
 namespace dacm::sim {
 
+Network::Network(Simulator& simulator, SimTime one_way_latency)
+    : simulator_(simulator), latency_(one_way_latency) {
+  drain_hook_ = simulator_.AddDrainHook([this] { DrainStagedSends(); });
+}
+
+Network::~Network() { simulator_.RemoveDrainHook(drain_hook_); }
+
 support::Status NetPeer::Send(support::Bytes message) {
-  if (!net_.link_up_) {
+  if (!net_.link_up()) {
     return support::Unavailable("network link down");
   }
   auto remote = remote_.lock();
   if (!remote) {
     return support::Unavailable("remote endpoint closed");
   }
-  net_.simulator_.ScheduleAfter(net_.latency_,
-                                [remote, message = std::move(message), net = &net_]() {
-                                  ++net->messages_delivered_;
-                                  if (remote->on_receive_) remote->on_receive_(message);
-                                });
+  if (std::this_thread::get_id() == net_.sim_thread_) {
+    net_.ScheduleDelivery(std::move(remote), std::move(message));
+  } else {
+    std::lock_guard<std::mutex> lock(net_.staged_mutex_);
+    net_.staged_.push_back(
+        Network::StagedSend{seq_, std::move(remote), std::move(message)});
+  }
   return support::OkStatus();
 }
 
 void NetPeer::Close() {
   if (auto remote = remote_.lock()) remote->remote_.reset();
   remote_.reset();
+}
+
+void Network::ScheduleDelivery(std::shared_ptr<NetPeer> remote,
+                               support::Bytes message) {
+  simulator_.ScheduleAfter(latency_, [remote = std::move(remote),
+                                      message = std::move(message), net = this]() {
+    ++net->messages_delivered_;
+    if (remote->on_receive_) remote->on_receive_(message);
+  });
+}
+
+void Network::DrainStagedSends() {
+  std::vector<StagedSend> staged;
+  {
+    std::lock_guard<std::mutex> lock(staged_mutex_);
+    staged.swap(staged_);
+  }
+  if (staged.empty()) return;
+  // Workers interleave nondeterministically in staged_; per-peer FIFO order
+  // is intact (each connection is driven by one thread), so sorting by the
+  // peer's creation sequence restores one canonical global order.
+  std::stable_sort(staged.begin(), staged.end(),
+                   [](const StagedSend& a, const StagedSend& b) {
+                     return a.peer_seq < b.peer_seq;
+                   });
+  for (StagedSend& send : staged) {
+    ScheduleDelivery(std::move(send.remote), std::move(send.message));
+  }
 }
 
 support::Status Network::Listen(const std::string& address, AcceptHandler on_accept) {
@@ -37,11 +76,13 @@ support::Result<std::shared_ptr<NetPeer>> Network::Connect(const std::string& ad
   if (it == listeners_.end()) {
     return support::NotFound("no listener at " + address);
   }
-  if (!link_up_) {
+  if (!link_up()) {
     return support::Unavailable("network link down");
   }
-  auto client = std::shared_ptr<NetPeer>(new NetPeer(*this, "client->" + address));
-  auto server = std::shared_ptr<NetPeer>(new NetPeer(*this, "accept@" + address));
+  auto client = std::shared_ptr<NetPeer>(
+      new NetPeer(*this, next_peer_seq_++, "client->" + address));
+  auto server = std::shared_ptr<NetPeer>(
+      new NetPeer(*this, next_peer_seq_++, "accept@" + address));
   client->remote_ = server;
   server->remote_ = client;
   // The accept handler owns the server-side peer; deliver it after one

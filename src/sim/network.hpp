@@ -6,12 +6,27 @@
 // carrying ordered, reliable, length-delimited messages with a configurable
 // one-way latency.  Link-down fault injection drops messages (the paper's
 // installation protocol recovers via server-side acknowledgement tracking).
+//
+// Threading: Send() may be called from worker threads (the server's
+// sharded deploy pipeline pushes from its pool).  Off-thread sends are
+// staged into a per-peer FIFO under a lock and folded into the simulator's
+// event queue by the drain barrier the Simulator owns — ordered by peer
+// creation sequence, so the resulting event order is deterministic
+// regardless of worker scheduling.  Sends from the simulation thread keep
+// the classic immediate scheduling (delivery at Now() + latency), so
+// single-threaded timing is unchanged.  Everything else (Listen, Connect,
+// Close, SetLinkUp, handler installation, and message delivery itself)
+// stays on the simulation thread.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "support/bytes.hpp"
@@ -27,7 +42,8 @@ class NetPeer : public std::enable_shared_from_this<NetPeer> {
   using ReceiveHandler = std::function<void(const support::Bytes&)>;
 
   /// Sends one message to the remote endpoint.  Returns kUnavailable if the
-  /// link is down or the remote endpoint is gone.
+  /// link is down or the remote endpoint is gone.  Safe to call from worker
+  /// threads; delivery is scheduled at the next drain barrier.
   support::Status Send(support::Bytes message);
 
   /// Installs the receive callback (replaces any previous one).
@@ -44,9 +60,11 @@ class NetPeer : public std::enable_shared_from_this<NetPeer> {
  private:
   friend class Network;
 
-  NetPeer(Network& net, std::string label) : net_(net), label_(std::move(label)) {}
+  NetPeer(Network& net, std::uint64_t seq, std::string label)
+      : net_(net), seq_(seq), label_(std::move(label)) {}
 
   Network& net_;
+  std::uint64_t seq_;  // creation order; the drain sort key
   std::string label_;
   std::weak_ptr<NetPeer> remote_;
   ReceiveHandler on_receive_;
@@ -55,8 +73,8 @@ class NetPeer : public std::enable_shared_from_this<NetPeer> {
 /// Connection factory + message scheduler.
 class Network {
  public:
-  explicit Network(Simulator& simulator, SimTime one_way_latency = 20 * kMillisecond)
-      : simulator_(simulator), latency_(one_way_latency) {}
+  explicit Network(Simulator& simulator, SimTime one_way_latency = 20 * kMillisecond);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -72,8 +90,8 @@ class Network {
   support::Result<std::shared_ptr<NetPeer>> Connect(const std::string& address);
 
   /// Fault injection: while down, Send() returns kUnavailable.
-  void SetLinkUp(bool up) { link_up_ = up; }
-  bool link_up() const { return link_up_; }
+  void SetLinkUp(bool up) { link_up_.store(up, std::memory_order_relaxed); }
+  bool link_up() const { return link_up_.load(std::memory_order_relaxed); }
 
   SimTime latency() const { return latency_; }
   void SetLatency(SimTime latency) { latency_ = latency; }
@@ -83,11 +101,31 @@ class Network {
  private:
   friend class NetPeer;
 
+  struct StagedSend {
+    std::uint64_t peer_seq;  // sending peer; deterministic drain order
+    std::shared_ptr<NetPeer> remote;
+    support::Bytes message;
+  };
+
+  /// Moves every staged send into the simulator's event queue (simulation
+  /// thread only; registered as the simulator's drain hook).
+  void DrainStagedSends();
+
+  /// Schedules delivery of `message` into `remote` at Now() + latency
+  /// (simulation thread only).
+  void ScheduleDelivery(std::shared_ptr<NetPeer> remote, support::Bytes message);
+
   Simulator& simulator_;
   SimTime latency_;
-  bool link_up_ = true;
+  std::atomic<bool> link_up_{true};
   std::unordered_map<std::string, AcceptHandler> listeners_;
   std::uint64_t messages_delivered_ = 0;
+  std::uint64_t next_peer_seq_ = 0;
+  std::uint64_t drain_hook_ = 0;
+  std::thread::id sim_thread_ = std::this_thread::get_id();
+
+  std::mutex staged_mutex_;
+  std::vector<StagedSend> staged_;
 };
 
 }  // namespace dacm::sim

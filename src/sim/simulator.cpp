@@ -10,9 +10,36 @@ void Simulator::ScheduleAt(SimTime at, Callback fn) {
   queue_.push(Event{at, next_seq_++, std::move(fn)});
 }
 
+std::uint64_t Simulator::AddDrainHook(Callback hook) {
+  assert(hook);
+  const std::uint64_t handle = next_drain_handle_++;
+  drain_hooks_.push_back(DrainHook{handle, std::move(hook)});
+  return handle;
+}
+
+void Simulator::RemoveDrainHook(std::uint64_t handle) {
+  for (std::size_t i = 0; i < drain_hooks_.size(); ++i) {
+    if (drain_hooks_[i].handle == handle) {
+      drain_hooks_.erase(drain_hooks_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void Simulator::DrainStaged() {
+  for (const DrainHook& hook : drain_hooks_) hook.fn();
+}
+
 std::size_t Simulator::Run(std::size_t limit) {
   std::size_t processed = 0;
-  while (!queue_.empty() && processed < limit) {
+  DrainStaged();
+  while (processed < limit) {
+    if (queue_.empty()) {
+      // Handlers fired above may have staged follow-ups (e.g. a vehicle
+      // acking a push); fold them in before declaring quiescence.
+      DrainStaged();
+      if (queue_.empty()) break;
+    }
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.at;
@@ -24,7 +51,12 @@ std::size_t Simulator::Run(std::size_t limit) {
 
 std::size_t Simulator::RunUntil(SimTime until) {
   std::size_t processed = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
+  DrainStaged();
+  for (;;) {
+    if (queue_.empty() || queue_.top().at > until) {
+      DrainStaged();
+      if (queue_.empty() || queue_.top().at > until) break;
+    }
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.at;

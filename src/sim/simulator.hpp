@@ -5,6 +5,13 @@
 // whole-system runs are reproducible down to the event ordering.  Events
 // scheduled for the same timestamp fire in scheduling order (FIFO), which
 // keeps test expectations stable.
+//
+// The kernel itself stays single-threaded, but it owns the *drain barrier*
+// that lets worker threads feed it: components that stage work off-thread
+// (sim::Network's per-peer send queues) register a drain hook, and the run
+// loop invokes every hook before processing events and again whenever the
+// queue runs dry — so staged messages are folded into the deterministic
+// event order without the workers ever touching the queue.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +63,16 @@ class Simulator {
   bool Empty() const { return queue_.empty(); }
   std::size_t PendingEvents() const { return queue_.size(); }
 
+  /// Registers a drain hook (see file comment) and returns a handle for
+  /// RemoveDrainHook.  Hooks run on the simulation thread only.
+  std::uint64_t AddDrainHook(Callback hook);
+  void RemoveDrainHook(std::uint64_t handle);
+
+  /// Runs every drain hook now.  Run/RunUntil call this before the first
+  /// event and whenever the queue empties; explicit calls are only needed
+  /// to observe staged work without running events.
+  void DrainStaged();
+
  private:
   struct Event {
     SimTime at;
@@ -68,10 +85,16 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  struct DrainHook {
+    std::uint64_t handle;
+    Callback fn;
+  };
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_drain_handle_ = 0;
+  std::vector<DrainHook> drain_hooks_;
 };
 
 }  // namespace dacm::sim

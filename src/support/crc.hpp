@@ -4,10 +4,16 @@
 // corruption faults injected in tests are detected the way a production
 // stack would detect them.
 //
-// The production path is slice-by-8: eight constexpr-generated 256-entry
-// tables consume 8 input bytes per iteration.  The classic single-table
-// bytewise loop is kept as `Crc32Bytewise`/`Crc32UpdateBytewise` — it is
-// the reference the differential fuzz suite checks the fast path against.
+// Three rungs, selected once at runtime through a dispatch pointer:
+//
+//  * hardware — PCLMULQDQ folding on x86 (the SSE4.2 crc32 instruction is
+//    CRC-32C, not IEEE, so carry-less-multiply folding is the hardware
+//    path here) or the ARMv8 CRC32 extension;
+//  * slice-by-8 — eight constexpr-generated 256-entry tables consuming 8
+//    input bytes per iteration; the portable production path and the
+//    tail/fallback of the hardware rung;
+//  * bytewise — the classic single-table loop, kept as the reference the
+//    differential fuzz suite checks both faster paths against.
 #pragma once
 
 #include <cstdint>
@@ -15,14 +21,23 @@
 
 namespace dacm::support {
 
-/// CRC-32/ISO-HDLC over `data`.
+/// CRC-32/ISO-HDLC over `data` (hardware-accelerated where available).
 std::uint32_t Crc32(std::span<const std::uint8_t> data);
 
 /// Incremental variant: feed `data` into a running crc (start with 0).
 std::uint32_t Crc32Update(std::uint32_t crc, std::span<const std::uint8_t> data);
 
+/// Name of the implementation the dispatch pointer resolves to on this
+/// machine: "pclmul", "armv8-crc" or "slice8" (bench/test diagnostics).
+const char* Crc32Backend();
+
+/// The portable slice-by-8 path, callable directly so the differential
+/// suite can pin it against the hardware rung regardless of dispatch.
+std::uint32_t Crc32UpdateSliced(std::uint32_t crc,
+                                std::span<const std::uint8_t> data);
+
 /// Reference bytewise implementations (one table, one byte per step).
-/// Slower; exists so tests can differentially validate the sliced path.
+/// Slower; exists so tests can differentially validate the fast paths.
 std::uint32_t Crc32Bytewise(std::span<const std::uint8_t> data);
 std::uint32_t Crc32UpdateBytewise(std::uint32_t crc,
                                   std::span<const std::uint8_t> data);

@@ -1,11 +1,16 @@
 #include "support/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace dacm::support {
 namespace {
 
-LogLevel g_level = LogLevel::kOff;
+// Deploy workers log too, so the level is atomic and the sink call is
+// serialized — a capturing test sink must not see interleaved writes.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::mutex g_sink_mutex;
 Log::Sink g_sink;
 
 const char* LevelName(LogLevel level) {
@@ -22,13 +27,18 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel Log::level() { return g_level; }
-void Log::SetLevel(LogLevel level) { g_level = level; }
-void Log::SetSink(Sink sink) { g_sink = std::move(sink); }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+void Log::SetLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+void Log::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
 
 void Log::Write(LogLevel level, std::string_view component,
                 std::string_view message) {
-  if (level < g_level) return;
+  if (level < Log::level()) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, component, message);
     return;

@@ -13,7 +13,8 @@ namespace dacm::support {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global log configuration (process-wide; tests run single-threaded).
+/// Global log configuration (process-wide).  Write() is thread-safe —
+/// deploy workers log too — and sink invocations are serialized.
 class Log {
  public:
   using Sink = std::function<void(LogLevel, std::string_view component,

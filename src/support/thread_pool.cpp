@@ -1,0 +1,81 @@
+#include "support/thread_pool.hpp"
+
+namespace dacm::support {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    next_index_ = 0;
+    completed_ = 0;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return completed_ == job_count_; });
+  job_ = nullptr;
+}
+
+std::size_t ThreadPool::RunIndices() {
+  std::size_t ran = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job;
+    std::size_t index;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job_ == nullptr || next_index_ >= job_count_) return ran;
+      job = job_;
+      index = next_index_++;
+    }
+    (*job)(index);
+    ++ran;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++completed_ == job_count_) {
+        work_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && generation_ != seen_generation &&
+                             next_index_ < job_count_);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    RunIndices();
+  }
+}
+
+}  // namespace dacm::support

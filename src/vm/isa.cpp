@@ -1,5 +1,7 @@
 #include "vm/isa.hpp"
 
+#include <array>
+
 namespace dacm::vm {
 
 namespace {
@@ -21,6 +23,10 @@ support::Bytes Program::Serialize() const {
 }
 
 support::Result<Program> Program::Deserialize(std::span<const std::uint8_t> data) {
+  // Scatter-free parse: the whole entry table is walked as views over the
+  // input span first, so a malformed binary is rejected before anything is
+  // allocated, and a good one pays exactly one sized allocation for the
+  // entry vector and one for the code (plus out-of-SSO entry names).
   support::ByteReader reader(data);
   for (char expected : kMagic) {
     DACM_ASSIGN_OR_RETURN(std::uint8_t byte, reader.ReadU8());
@@ -35,18 +41,30 @@ support::Result<Program> Program::Deserialize(std::span<const std::uint8_t> data
   }
   DACM_ASSIGN_OR_RETURN(std::uint32_t entry_count, reader.ReadU32());
   if (entry_count > 64) return support::Corrupted("too many entry points");
+
+  struct EntryView {
+    std::string_view name;
+    std::uint32_t pc;
+  };
+  std::array<EntryView, 64> entry_views;
   for (std::uint32_t i = 0; i < entry_count; ++i) {
-    EntryPoint entry;
-    DACM_ASSIGN_OR_RETURN(entry.name, reader.ReadString());
-    DACM_ASSIGN_OR_RETURN(entry.pc, reader.ReadU32());
-    program.entries.push_back(std::move(entry));
+    DACM_ASSIGN_OR_RETURN(entry_views[i].name, reader.ReadStringView());
+    DACM_ASSIGN_OR_RETURN(entry_views[i].pc, reader.ReadU32());
   }
-  DACM_ASSIGN_OR_RETURN(program.code, reader.ReadBlob());
-  for (const EntryPoint& entry : program.entries) {
-    if (entry.pc >= program.code.size()) {
-      return support::Corrupted("entry point outside code: " + entry.name);
+  DACM_ASSIGN_OR_RETURN(std::span<const std::uint8_t> code, reader.ReadBlobView());
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    if (entry_views[i].pc >= code.size()) {
+      return support::Corrupted("entry point outside code: " +
+                                std::string(entry_views[i].name));
     }
   }
+
+  program.entries.reserve(entry_count);
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    program.entries.push_back(
+        EntryPoint{std::string(entry_views[i].name), entry_views[i].pc});
+  }
+  program.code.assign(code.begin(), code.end());
   return program;
 }
 

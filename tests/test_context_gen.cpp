@@ -91,6 +91,41 @@ TEST(ContextGenPic, IdSpaceExhaustionIsDetected) {
   // One id left on ECU1 but plug-in `a` needs two.
   auto packages = GeneratePackages(app, Conf(app), model.sw, used);
   EXPECT_EQ(packages.status().code(), support::ErrorCode::kResourceExhausted);
+  // The id claimed before exhaustion was released again: 255 is still free.
+  EXPECT_EQ(used[1].size(), 255u);
+  EXPECT_FALSE(used[1].contains(255));
+}
+
+TEST(ContextGenPic, FailedGenerationReleasesEveryClaimedId) {
+  auto app = TwoEcuApp();
+  app.confs[0].placements.pop_back();  // b has no placement -> pass-1 abort
+  const auto model = fes::MakeRpiTestbedConf();
+  UsedIdMap used;
+  used[1] = {7};
+  ASSERT_FALSE(GeneratePackages(app, Conf(app), model.sw, used).ok());
+  // a's two ids on ECU1 were claimed before the abort and must be gone;
+  // the pre-existing occupancy stays.
+  EXPECT_EQ(used[1].size(), 1u);
+  EXPECT_TRUE(used[1].contains(7));
+  EXPECT_FALSE(used.contains(2) && used[2].size() > 0);
+}
+
+TEST(PortIdSetTest, AllocatesLowestFreeAndRoundTrips) {
+  PortIdSet set;
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(*set.AllocateLowest(), 0);
+  EXPECT_EQ(*set.AllocateLowest(), 1);
+  set.insert(3);
+  EXPECT_EQ(*set.AllocateLowest(), 2);
+  EXPECT_EQ(*set.AllocateLowest(), 4);  // 3 was taken
+  set.erase(1);
+  EXPECT_EQ(*set.AllocateLowest(), 1);  // freed ids come back lowest-first
+  // Word boundaries: fill 0..127, expect 128 next.
+  for (int i = 0; i < 128; ++i) set.insert(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(*set.AllocateLowest(), 128);
+  for (int i = 0; i < 256; ++i) set.insert(static_cast<std::uint8_t>(i));
+  EXPECT_FALSE(set.AllocateLowest().has_value());
+  EXPECT_EQ(set.size(), 256u);
 }
 
 TEST(ContextGenPic, MissingPlacementRejected) {

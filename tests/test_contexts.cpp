@@ -4,6 +4,8 @@
 // server, the ECM, and the plug-in SW-Cs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "pirte/context.hpp"
 #include "pirte/package.hpp"
 #include "pirte/protocol.hpp"
@@ -239,6 +241,99 @@ TEST(PirteMessageTest, BadTypeRejected) {
   auto bytes = message.Serialize();
   bytes[0] = 200;
   EXPECT_FALSE(PirteMessage::Deserialize(bytes).ok());
+}
+
+TEST(PirteMessageTest, ViewParseAgreesWithOwningParse) {
+  PirteMessage message;
+  message.type = MessageType::kExternalData;
+  message.plugin_name = "OP";
+  message.target_ecu = 2;
+  message.dest_port = 7;
+  message.ok = false;
+  message.detail = "Wheels";
+  message.payload = {1, 2, 3};
+  const auto bytes = message.Serialize();
+  EXPECT_EQ(bytes.size(), message.WireSize());
+  auto view = PirteMessageView::Parse(bytes);
+  ASSERT_TRUE(view.ok());
+  auto owned = PirteMessage::Deserialize(bytes);
+  ASSERT_TRUE(owned.ok());
+  EXPECT_EQ(view->type, owned->type);
+  EXPECT_EQ(view->plugin_name, owned->plugin_name);
+  EXPECT_EQ(view->target_ecu, owned->target_ecu);
+  EXPECT_EQ(view->dest_port, owned->dest_port);
+  EXPECT_EQ(view->ok, owned->ok);
+  EXPECT_EQ(view->detail, owned->detail);
+  EXPECT_TRUE(std::equal(view->payload.begin(), view->payload.end(),
+                         owned->payload.begin(), owned->payload.end()));
+}
+
+// --- campaign batches --------------------------------------------------------------------------
+
+TEST(InstallBatchTest, EntriesRoundTripAsIndividualInstallMessages) {
+  const support::Bytes pkg_a = {10, 11, 12};
+  const support::Bytes pkg_b = {20};
+  const std::vector<InstallBatchEntry> entries = {
+      {"app.p0", 1, pkg_a},
+      {"app.p1", 2, pkg_b},
+  };
+  const auto payload = SerializeInstallBatch(entries);
+
+  std::vector<PirteMessage> unpacked;
+  auto status = ForEachInBatch(payload, [&](std::span<const std::uint8_t> entry) {
+    auto inner = PirteMessage::Deserialize(entry);
+    if (!inner.ok()) return inner.status();
+    unpacked.push_back(std::move(*inner));
+    return support::OkStatus();
+  });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_EQ(unpacked.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    // The one-pass batch framing must be byte-identical to serializing
+    // the equivalent kInstallPackage message.
+    PirteMessage equivalent;
+    equivalent.type = MessageType::kInstallPackage;
+    equivalent.plugin_name = entries[i].plugin_name;
+    equivalent.target_ecu = entries[i].target_ecu;
+    equivalent.payload.assign(entries[i].package_bytes.begin(),
+                              entries[i].package_bytes.end());
+    EXPECT_EQ(unpacked[i].Serialize(), equivalent.Serialize()) << i;
+  }
+  // Truncation never crashes or reads out of range.
+  for (std::size_t cut = 0; cut < payload.size(); cut += 3) {
+    auto truncated = payload;
+    truncated.resize(cut);
+    (void)ForEachInBatch(truncated, [](std::span<const std::uint8_t>) {
+      return support::OkStatus();
+    });
+  }
+}
+
+TEST(AckBatchTest, RoundTripThroughViewsAndOwningApi) {
+  const std::vector<BatchAckEntry> entries = {
+      {"app.p0", true, ""},
+      {"app.p1", false, "quota exceeded"},
+  };
+  const auto payload = SerializeAckBatch(entries);
+
+  auto owned = DeserializeAckBatch(payload);
+  ASSERT_TRUE(owned.ok());
+  ASSERT_EQ(owned->size(), 2u);
+  std::size_t i = 0;
+  auto status = ForEachAckInBatch(
+      payload, [&](std::string_view plugin, bool ok, std::string_view detail) {
+        EXPECT_EQ(plugin, (*owned)[i].plugin);
+        EXPECT_EQ(ok, (*owned)[i].ok);
+        EXPECT_EQ(detail, (*owned)[i].detail);
+        ++i;
+      });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(i, 2u);
+  EXPECT_EQ((*owned)[1].detail, "quota exceeded");
+  EXPECT_FALSE((*owned)[1].ok);
+
+  support::Bytes garbage = {0xFF, 0xFF, 0xFF};
+  EXPECT_FALSE(DeserializeAckBatch(garbage).ok());
 }
 
 // --- Envelope / FesFrame ----------------------------------------------------------------------

@@ -172,6 +172,126 @@ TEST_P(Swarm, StopStartSweepKeepsStatesIndependent) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, Swarm, ::testing::Values(1, 2, 5, 12, 24));
 
+// --- seeded mux fuzz ---------------------------------------------------------------
+//
+// Random interleavings of port deliveries (mapped and unmapped unique
+// ids, both port directions) with lifecycle transitions, checked against
+// an exact reference model of the PIRTE mux:
+//   * a delivery succeeds iff some installed plug-in owns the unique id;
+//   * it activates the VM iff that plug-in is running (stopped members
+//     buffer the value silently);
+//   * Stop/Start/Install/Uninstall succeed exactly per the lifecycle
+//     rules, and the population never cross-talks.
+// Set DACM_TEST_SEED to replay.
+TEST(SwarmFuzz, RandomMuxAndLifecycleInterleavingsMatchReferenceModel) {
+  DACM_PROPERTY_RNG(rng);
+  constexpr int kPlugins = 10;
+  bsw::Nvm nvm;
+  SwarmStack stack(nvm, /*max_plugins=*/64);
+
+  struct Model {
+    bool installed = false;
+    bool running = false;
+  };
+  std::vector<Model> model(kPlugins);
+  std::uint64_t expected_activations = 0;
+  std::uint64_t expected_installs = 0;
+  std::uint64_t expected_uninstalls = 0;
+
+  for (int i = 0; i < kPlugins; ++i) {
+    ASSERT_TRUE(stack.pirte->Install(stack.EchoPackage(i)).ok());
+    model[i] = {true, true};
+    ++expected_installs;
+  }
+  stack.simulator.Run();
+
+  for (int op = 0; op < 500; ++op) {
+    SCOPED_TRACE(::testing::Message() << "op " << op);
+    const int plugin = static_cast<int>(rng.NextBelow(kPlugins));
+    const std::string name = "p" + std::to_string(plugin);
+    switch (rng.NextBelow(8)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {
+        // Deliver to a random unique id: mapped in-port (2i), mapped
+        // out-port (2i+1), or unmapped ids beyond the population.
+        const auto uid = static_cast<std::uint8_t>(rng.NextBelow(2 * kPlugins + 4));
+        support::Bytes payload(rng.NextBelow(24));
+        for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.NextU64());
+        const int owner = uid / 2;
+        const bool mapped = owner < kPlugins && model[owner].installed;
+        auto status = stack.pirte->DeliverToPluginPortByUnique(uid, payload);
+        EXPECT_EQ(status.ok(), mapped) << status.ToString();
+        if (mapped && model[owner].running) ++expected_activations;
+        break;
+      }
+      case 4: {
+        auto status = stack.pirte->Stop(name);
+        EXPECT_EQ(status.ok(), model[plugin].installed && model[plugin].running)
+            << status.ToString();
+        if (status.ok()) model[plugin].running = false;
+        break;
+      }
+      case 5: {
+        auto status = stack.pirte->Start(name);
+        EXPECT_EQ(status.ok(), model[plugin].installed && !model[plugin].running)
+            << status.ToString();
+        if (status.ok()) model[plugin].running = true;
+        break;
+      }
+      case 6: {
+        auto status = stack.pirte->Uninstall(name);
+        EXPECT_EQ(status.ok(), model[plugin].installed) << status.ToString();
+        if (status.ok()) {
+          model[plugin] = {false, false};
+          ++expected_uninstalls;
+        }
+        break;
+      }
+      case 7: {
+        auto status = stack.pirte->Install(stack.EchoPackage(plugin));
+        // Reinstalling a live name must be rejected; a fresh install runs.
+        EXPECT_EQ(status.ok(), !model[plugin].installed) << status.ToString();
+        if (status.ok()) {
+          model[plugin] = {true, true};
+          ++expected_installs;
+        }
+        break;
+      }
+    }
+    stack.simulator.Run();
+  }
+
+  // The storm must leave the mux fully consistent with the model.
+  const auto& stats = stack.pirte->stats();
+  EXPECT_EQ(stats.vm_activations, expected_activations);
+  EXPECT_EQ(stats.installs, expected_installs);
+  EXPECT_EQ(stats.uninstalls, expected_uninstalls);
+  EXPECT_EQ(stats.vm_faults, 0u);
+  std::size_t expected_population = 0;
+  for (int i = 0; i < kPlugins; ++i) {
+    if (model[i].installed) ++expected_population;
+    auto* instance = stack.pirte->FindPlugin("p" + std::to_string(i));
+    ASSERT_EQ(instance != nullptr, model[i].installed) << i;
+    if (instance != nullptr) {
+      EXPECT_EQ(instance->state() == PluginState::kRunning, model[i].running) << i;
+    }
+  }
+  EXPECT_EQ(stack.pirte->InstalledPluginNames().size(), expected_population);
+
+  // And still route: every running member reacts to one more poke.
+  const std::uint64_t before = stack.pirte->stats().vm_activations;
+  std::uint64_t still_running = 0;
+  for (int i = 0; i < kPlugins; ++i) {
+    if (model[i].installed) {
+      stack.Poke(i);
+      if (model[i].running) ++still_running;
+    }
+  }
+  EXPECT_EQ(stack.pirte->stats().vm_activations, before + still_running);
+}
+
 // --- quotas ------------------------------------------------------------------------------
 
 TEST(SwarmQuota, PluginCountQuotaIsExact) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "fes/appgen.hpp"
+#include "fes/fleet.hpp"
 #include "fes/testbed.hpp"
 #include "server/server.hpp"
 
@@ -351,6 +352,222 @@ TEST_F(ServerFixture, RestoreOnlyTouchesTheReplacedEcu) {
   EXPECT_EQ(server.Restore(alice, "VIN-1", 2).code(),
             support::ErrorCode::kNotFound);  // nothing on ECU 2
   EXPECT_TRUE(ecm->pushed.empty());
+}
+
+// --- campaigns -------------------------------------------------------------------------------
+
+/// Fixture for fleet campaigns: a sharded server and a scripted fleet.
+struct CampaignFixture : ::testing::Test {
+  static constexpr std::size_t kFleet = 24;
+  sim::Simulator simulator;
+  sim::Network network{simulator, sim::kMillisecond};
+  TrustedServer server{network, "srv:443", ServerOptions{4}};
+  UserId alice = UserId::Invalid();
+  std::unique_ptr<fes::ScriptedFleet> fleet;
+
+  void SetUp() override {
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_TRUE(server.UploadVehicleModel(fes::MakeRpiTestbedConf()).ok());
+    alice = *server.CreateUser("alice");
+    fes::ScriptedFleetOptions options;
+    options.vehicle_count = kFleet;
+    fleet = std::make_unique<fes::ScriptedFleet>(simulator, network, server,
+                                                 options);
+    ASSERT_TRUE(fleet->BindAndConnect(alice).ok());
+  }
+
+  App FleetApp(const std::string& name, std::uint32_t plugins = 3) {
+    fes::SyntheticAppParams params;
+    params.name = name;
+    params.vehicle_model = "rpi-testbed";
+    params.plugin_count = plugins;
+    params.target_ecu = 1;
+    return fes::MakeSyntheticApp(params);
+  }
+};
+
+TEST_F(CampaignFixture, CampaignInstallsWholeFleetWithOneBatchPerVehicle) {
+  ASSERT_TRUE(server.UploadApp(FleetApp("app", /*plugins=*/3)).ok());
+  auto report = server.DeployCampaign(alice, "app", fleet->vins());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->deployed, kFleet);
+  EXPECT_EQ(report->rejected, 0u);
+  EXPECT_EQ(report->per_vehicle_ns.size(), kFleet);
+  simulator.Run();
+
+  // One batched push per vehicle carrying all three packages...
+  EXPECT_EQ(fleet->batches_received(), kFleet);
+  EXPECT_EQ(fleet->packages_received(), kFleet * 3);
+  EXPECT_EQ(server.stats().packages_pushed, kFleet);  // batches, not plug-ins
+  // ...and the batch acks complete every row.
+  EXPECT_EQ(server.stats().acks_received, kFleet * 3);
+  for (const std::string& vin : fleet->vins()) {
+    EXPECT_EQ(*server.AppState(vin, "app"), InstallState::kInstalled) << vin;
+  }
+  EXPECT_EQ(server.stats().deploys_ok, kFleet);
+}
+
+TEST_F(CampaignFixture, PerPluginAcksCompleteBatchedRowsToo) {
+  // A fleet that acks each embedded package individually (the real ECM's
+  // behavior) must converge to the same state as the batch-ack path.
+  fes::ScriptedFleetOptions options;
+  options.vehicle_count = 5;
+  options.vin_prefix = "MIXED-";
+  options.batch_ack = false;
+  fes::ScriptedFleet mixed(simulator, network, server, options);
+  ASSERT_TRUE(mixed.BindAndConnect(alice).ok());
+  ASSERT_TRUE(server.UploadApp(FleetApp("app", /*plugins=*/2)).ok());
+  auto report = server.DeployCampaign(alice, "app", mixed.vins());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->deployed, 5u);
+  simulator.Run();
+  for (const std::string& vin : mixed.vins()) {
+    EXPECT_EQ(*server.AppState(vin, "app"), InstallState::kInstalled) << vin;
+  }
+}
+
+TEST_F(CampaignFixture, PerVehicleRejectionsAreReportedNotFatal) {
+  ASSERT_TRUE(server.UploadApp(FleetApp("app")).ok());
+  // Two bad VINs in the middle of the fleet: one unknown, one offline.
+  std::vector<std::string> vins = fleet->vins();
+  vins.insert(vins.begin() + 3, "VIN-GHOST");
+  ASSERT_TRUE(server.BindVehicle(alice, "VIN-OFFLINE", "rpi-testbed").ok());
+  vins.push_back("VIN-OFFLINE");
+
+  auto report = server.DeployCampaign(alice, "app", vins);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->deployed, kFleet);
+  EXPECT_EQ(report->rejected, 2u);
+  ASSERT_EQ(report->failures.size(), 2u);
+  for (const auto& [vin, status] : report->failures) {
+    if (vin == "VIN-GHOST") {
+      EXPECT_EQ(status.code(), support::ErrorCode::kNotFound);
+    } else {
+      EXPECT_EQ(vin, "VIN-OFFLINE");
+      EXPECT_EQ(status.code(), support::ErrorCode::kUnavailable);
+    }
+  }
+  simulator.Run();
+  EXPECT_EQ(server.stats().deploys_ok, kFleet);
+  // Only the offline vehicle counts as a rejection; an unknown VIN fails
+  // before the pipeline starts (same accounting as interactive Deploy).
+  EXPECT_EQ(server.stats().deploys_rejected, 1u);
+}
+
+TEST_F(CampaignFixture, NackedVehiclesEndUpFailedTheRestInstalled) {
+  fes::ScriptedFleetOptions options;
+  options.vehicle_count = 9;
+  options.vin_prefix = "NACK-";
+  options.nack_every = 3;  // endpoints 2, 5, 8 reject
+  fes::ScriptedFleet nacky(simulator, network, server, options);
+  ASSERT_TRUE(nacky.BindAndConnect(alice).ok());
+  ASSERT_TRUE(server.UploadApp(FleetApp("app")).ok());
+  auto report = server.DeployCampaign(alice, "app", nacky.vins());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->deployed, 9u);
+  simulator.Run();
+  std::size_t installed = 0, failed = 0;
+  for (const std::string& vin : nacky.vins()) {
+    auto state = *server.AppState(vin, "app");
+    (state == InstallState::kInstalled ? installed : failed) += 1;
+    EXPECT_TRUE(state == InstallState::kInstalled || state == InstallState::kFailed);
+  }
+  EXPECT_EQ(installed, 6u);
+  EXPECT_EQ(failed, 3u);
+}
+
+TEST_F(CampaignFixture, CampaignOfUnknownAppFailsWholesale) {
+  auto report = server.DeployCampaign(alice, "ghost-app", fleet->vins());
+  EXPECT_EQ(report.status().code(), support::ErrorCode::kNotFound);
+}
+
+TEST_F(CampaignFixture, WholeBatchNackFailsTheRowInsteadOfStrandingIt) {
+  // An ECM that cannot decode a campaign batch replies with a *failed
+  // kAckBatch* naming the app (the batch's label); the row must go
+  // kFailed — not wait forever for per-plug-in acks that never arrive.
+  ASSERT_TRUE(server.BindVehicle(alice, "VIN-RAW", "rpi-testbed").ok());
+  FakeEcm raw(simulator, network, server, "VIN-RAW");
+  ASSERT_TRUE(server.UploadApp(FleetApp("app", /*plugins=*/2)).ok());
+  std::vector<std::string> vins = {"VIN-RAW"};
+  auto report = server.DeployCampaign(alice, "app", vins);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->deployed, 1u);
+  simulator.Run();
+  EXPECT_EQ(*server.AppState("VIN-RAW", "app"), InstallState::kPending);
+
+  // A plain per-plug-in nack that happens to carry the app's name must
+  // NOT fail the row (an app and a plug-in may legally share a name).
+  raw.Ack("app", false, "not a batch rejection");
+  EXPECT_EQ(*server.AppState("VIN-RAW", "app"), InstallState::kPending);
+
+  pirte::PirteMessage nack;
+  nack.type = pirte::MessageType::kAckBatch;
+  nack.plugin_name = "app";
+  nack.ok = false;
+  nack.detail = "undecodable install batch";
+  pirte::Envelope envelope;
+  envelope.kind = pirte::Envelope::Kind::kPirteMessage;
+  envelope.vin = "VIN-RAW";
+  envelope.message = nack.Serialize();
+  ASSERT_TRUE(raw.peer->Send(envelope.Serialize()).ok());
+  simulator.Run();
+  EXPECT_EQ(*server.AppState("VIN-RAW", "app"), InstallState::kFailed);
+  // The failed row uninstalls normally, freeing the ids for a retry.
+  ASSERT_TRUE(server.UninstallApp(alice, "VIN-RAW", "app").ok());
+}
+
+TEST_F(CampaignFixture, PersistentIdBitmapAgreesWithTableReconstruction) {
+  // Vehicle::port_ids is maintained incrementally; CollectUsedIds rebuilds
+  // the same information from the InstalledAPP table.  After a campaign +
+  // partial uninstall churn the two must agree exactly.
+  ASSERT_TRUE(server.UploadApp(FleetApp("app", /*plugins=*/3)).ok());
+  ASSERT_TRUE(server.DeployCampaign(alice, "app", fleet->vins()).ok());
+  simulator.Run();
+  for (std::size_t i = 0; i < fleet->vins().size(); i += 2) {
+    ASSERT_TRUE(server.UninstallApp(alice, fleet->vins()[i], "app").ok());
+  }
+  simulator.Run();
+  for (const std::string& vin : fleet->vins()) {
+    const Vehicle* vehicle = server.FindVehicle(vin);
+    ASSERT_NE(vehicle, nullptr);
+    const UsedIdMap rebuilt = CollectUsedIds(*vehicle);
+    std::size_t live_nonempty = 0;
+    for (const auto& [ecu, set] : vehicle->port_ids) {
+      if (set.size() == 0) continue;
+      ++live_nonempty;
+      ASSERT_TRUE(rebuilt.contains(ecu)) << vin << " ECU " << ecu;
+      for (int id = 0; id < 256; ++id) {
+        EXPECT_EQ(set.contains(static_cast<std::uint8_t>(id)),
+                  rebuilt.at(ecu).contains(static_cast<std::uint8_t>(id)))
+            << vin << " ECU " << ecu << " id " << id;
+      }
+    }
+    EXPECT_EQ(live_nonempty, rebuilt.size()) << vin;
+  }
+}
+
+TEST_F(CampaignFixture, CampaignDeploymentsAreUninstallableAndRedeployable) {
+  // The batched row must behave like any other: uninstall frees the ids,
+  // a second campaign reuses them.
+  ASSERT_TRUE(server.UploadApp(FleetApp("app", /*plugins=*/2)).ok());
+  ASSERT_TRUE(server.DeployCampaign(alice, "app", fleet->vins()).ok());
+  simulator.Run();
+  for (const std::string& vin : fleet->vins()) {
+    ASSERT_TRUE(server.UninstallApp(alice, vin, "app").ok());
+  }
+  simulator.Run();
+  for (const std::string& vin : fleet->vins()) {
+    EXPECT_FALSE(server.AppState(vin, "app").ok()) << vin;  // rows removed
+  }
+  auto again = server.DeployCampaign(alice, "app", fleet->vins());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->deployed, kFleet);
+  simulator.Run();
+  const Vehicle* vehicle = server.FindVehicle(fleet->vins()[0]);
+  ASSERT_NE(vehicle, nullptr);
+  ASSERT_EQ(vehicle->installed.size(), 1u);
+  // Freed ids were reused: allocation restarted at 0.
+  EXPECT_EQ(vehicle->installed[0].plugins[0].pic.entries[0].unique_id, 0);
 }
 
 // --- queries / stats -----------------------------------------------------------------------------

@@ -80,6 +80,51 @@ TEST(CrcDifferential, IncrementalOverRandomChunkingsMatchesOneShot) {
   }
 }
 
+// The dispatched path (hardware where the CPU has it), the slice-by-8
+// path, and the bytewise reference must agree byte-for-byte.  Sizes
+// straddle the 64-byte threshold below which the hardware rung defers to
+// the sliced loop, and the 16-byte folding granule above it.
+TEST(CrcDifferential, HardwareRungMatchesBothReferences) {
+  DACM_PROPERTY_RNG(rng);
+  SCOPED_TRACE(::testing::Message() << "backend=" << Crc32Backend());
+  const Bytes data = RandomBytes(rng, 128 * 1024);
+  for (int iter = 0; iter < 96; ++iter) {
+    // First sweep pins the dispatch/fold boundaries; then random windows.
+    const std::size_t size =
+        iter < 40 ? static_cast<std::size_t>(48 + iter)
+                  : (iter < 64 ? 16 * (iter - 40) + rng.NextBelow(16)
+                               : 1 + rng.NextBelow(data.size() - 16));
+    const std::size_t offset = rng.NextBelow(data.size() - size + 1);
+    const auto window = std::span<const std::uint8_t>(data).subspan(offset, size);
+    SCOPED_TRACE(::testing::Message() << "offset=" << offset << " size=" << size);
+    const std::uint32_t reference = Crc32Bytewise(window);
+    EXPECT_EQ(Crc32(window), reference);
+    EXPECT_EQ(Crc32UpdateSliced(0, window), reference);
+  }
+}
+
+TEST(CrcDifferential, HardwareRungIncrementalAcrossFoldBoundaries) {
+  DACM_PROPERTY_RNG(rng);
+  for (int iter = 0; iter < 24; ++iter) {
+    const std::size_t size = 64 + rng.NextBelow(16 * 1024);
+    const Bytes data = RandomBytes(rng, size);
+    const std::uint32_t expected = Crc32Bytewise(data);
+    std::uint32_t crc = 0;
+    std::size_t pos = 0;
+    while (pos < size) {
+      // Chunks biased large so most updates enter the >= 64-byte body with
+      // tails landing at every alignment.
+      const std::size_t chunk = std::min<std::size_t>(
+          rng.NextBool(0.3) ? 1 + rng.NextBelow(15) : 64 + rng.NextBelow(512),
+          size - pos);
+      crc = Crc32Update(crc, std::span<const std::uint8_t>(data).subspan(pos, chunk));
+      pos += chunk;
+    }
+    SCOPED_TRACE(::testing::Message() << "size=" << size);
+    EXPECT_EQ(crc, expected);
+  }
+}
+
 // --- ByteWriter / ByteReader fuzz -------------------------------------------------
 
 enum class Field : std::uint8_t { kU8, kU16, kU32, kU64, kVar, kString, kBlob };

@@ -220,6 +220,57 @@ TEST(ProgramRoundTrip, ManyEntriesSurvive) {
   }
 }
 
+TEST(ProgramRoundTrip, RandomProgramsSurviveScatterFreeParse) {
+  DACM_PROPERTY_RNG(rng);
+  for (int iter = 0; iter < 64; ++iter) {
+    Program program;
+    program.register_count = 129 + static_cast<std::uint32_t>(rng.NextBelow(512));
+    const std::size_t entry_count = rng.NextBelow(65);
+    const std::size_t code_size = 1 + rng.NextBelow(4096);
+    program.code.resize(code_size);
+    for (auto& byte : program.code) byte = static_cast<std::uint8_t>(rng.NextU64());
+    for (std::size_t i = 0; i < entry_count; ++i) {
+      EntryPoint entry;
+      // Name lengths straddle the SSO boundary so both the alloc-free and
+      // the allocating name path are exercised.
+      const std::size_t name_len = 1 + rng.NextBelow(40);
+      for (std::size_t c = 0; c < name_len; ++c) {
+        entry.name += static_cast<char>('a' + rng.NextBelow(26));
+      }
+      entry.pc = static_cast<std::uint32_t>(rng.NextBelow(code_size));
+      program.entries.push_back(std::move(entry));
+    }
+
+    const auto wire = program.Serialize();
+    auto round = Program::Deserialize(wire);
+    ASSERT_TRUE(round.ok()) << round.status().ToString();
+    EXPECT_EQ(round->register_count, program.register_count);
+    EXPECT_EQ(round->code, program.code);
+    ASSERT_EQ(round->entries.size(), program.entries.size());
+    for (std::size_t i = 0; i < entry_count; ++i) {
+      EXPECT_EQ(round->entries[i].name, program.entries[i].name);
+      EXPECT_EQ(round->entries[i].pc, program.entries[i].pc);
+    }
+
+    // A random corruption or truncation must never crash the parser; an
+    // out-of-code entry pc must be rejected.
+    auto corrupted = wire;
+    if (rng.NextBool(0.5) && !corrupted.empty()) {
+      corrupted.resize(rng.NextBelow(corrupted.size()));
+    } else {
+      corrupted[rng.NextBelow(corrupted.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.NextBelow(255));
+    }
+    (void)Program::Deserialize(corrupted);  // must not crash / UB (ASan run)
+    if (!program.entries.empty()) {
+      Program bad = program;
+      bad.entries[rng.NextBelow(entry_count)].pc =
+          static_cast<std::uint32_t>(code_size + rng.NextBelow(100));
+      EXPECT_FALSE(Program::Deserialize(bad.Serialize()).ok());
+    }
+  }
+}
+
 // --- I/O window bounds ---------------------------------------------------------------
 
 class EchoEnv final : public PortEnv {
