@@ -1,30 +1,42 @@
-// FLEET — sharded deploy pipeline at fleet scale.
+// FLEET — sharded deploy pipeline and campaign orchestration at scale.
 //
 // The paper's trusted server is "a central point of intelligence" for
 // every vehicle; the north-star scales it to fleet-wide OTA campaigns.
-// This bench measures the DeployCampaign pipeline — per-vehicle
-// compatibility checks, PIC/PLC/ECC generation, package assembly and
-// batched pushes fanned over the shard worker pool, plus the simulated
-// delivery and acknowledgement round — against:
+// Three benchmark families:
 //
-//   * shard count (1/2/4/8): the scaling axis.  1 shard is the fully
-//     synchronous baseline (no pool);
-//   * fleet size (100/1k/10k scripted vehicles).
+//   * BM_FleetCampaign — the single-shot DeployCampaign pipeline
+//     (per-vehicle compatibility checks, PIC/PLC/ECC generation, package
+//     assembly, batched pushes over the shard worker pool) plus the
+//     simulated delivery and acknowledgement round, against shard count x
+//     fleet size.  1 shard is the fully synchronous baseline.
+//   * BM_FleetSyncDeploy — the pre-campaign reference: one interactive
+//     Deploy per vehicle with per-plug-in pushes.
+//   * BM_FleetFaultCampaign — the fault matrix: a retrying CampaignEngine
+//     rollout over a seeded sim::FaultScenario (offline churn, WAN flaps,
+//     transient nack cohorts).  Reported per case, and in the --json
+//     output bench_all aggregates: waves-to-convergence, push retries per
+//     vehicle, and the p99 sim-time to installed.
 //
-// Reported per case: deploys/s (items_per_second), and the mean / p99 of
-// the worker-side per-vehicle processing time.  BM_FleetSyncDeploy is the
-// pre-campaign reference — one interactive Deploy per vehicle with
-// per-plug-in pushes — used to check that the single-shard campaign path
-// is no slower than the classic loop.
+// CLI overrides (satellite of the campaign-engine PR):
+//   --shards=1,4      comma list replacing the shard axis of every family
+//   --fleet=1000      comma list replacing the fleet-size axis
+// Without overrides the default matrix below runs (kept small enough for
+// the CI bench-smoke job).
 //
 // NOTE: real speedup needs real cores; on a single-CPU runner the >1-shard
 // numbers measure sharding overhead, not parallelism.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "fes/fleet.hpp"
+#include "server/campaign.hpp"
+#include "sim/fault.hpp"
 #include "support/crc.hpp"
 
 namespace dacm::bench {
@@ -119,21 +131,6 @@ void BM_FleetCampaign(benchmark::State& state) {
   state.counters["fleet"] = static_cast<double>(fleet_size);
   ReportLatencies(state, all_ns);
 }
-BENCHMARK(BM_FleetCampaign)
-    ->ArgNames({"shards", "fleet"})
-    ->Args({1, 100})
-    ->Args({2, 100})
-    ->Args({4, 100})
-    ->Args({8, 100})
-    ->Args({1, 1000})
-    ->Args({2, 1000})
-    ->Args({4, 1000})
-    ->Args({8, 1000})
-    ->Args({1, 10000})
-    ->Args({4, 10000})
-    ->UseRealTime()  // deploys/s must be wall time: the pool works while
-                     // the calling thread's CPU clock idles in the barrier
-    ->Unit(benchmark::kMillisecond);
 
 // The classic interactive path: one Deploy per vehicle, one push per
 // plug-in, all on the calling thread — the baseline the single-shard
@@ -165,14 +162,209 @@ void BM_FleetSyncDeploy(benchmark::State& state) {
   state.counters["crc_is_hw"] =
       std::string(support::Crc32Backend()) != "slice8" ? 1.0 : 0.0;
 }
-BENCHMARK(BM_FleetSyncDeploy)
-    ->ArgNames({"fleet"})
-    ->Arg(100)
-    ->Arg(1000)
-    ->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
+
+// Fault matrix: a retrying multi-wave campaign converging over a seeded
+// fault scenario.  Wall time measures the orchestration machinery (wave
+// pushes, re-pushes, parallel ack flushes); the sim-time counters measure
+// convergence quality under the injected fault severity.
+void BM_FleetFaultCampaign(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const auto fleet_size = static_cast<std::size_t>(state.range(1));
+  const double churn = static_cast<double>(state.range(2)) / 100.0;
+  const auto flaps = static_cast<std::size_t>(state.range(3));
+  const double nack = static_cast<double>(state.range(4)) / 100.0;
+
+  FleetBench bench(shards, fleet_size);
+  server::CampaignEngine engine(bench.simulator, bench.server);
+
+  server::RetryPolicy policy;
+  policy.max_waves = 10;
+  policy.settle_delay = 50 * sim::kMillisecond;
+  policy.initial_backoff = 250 * sim::kMillisecond;
+  policy.max_backoff = 2 * sim::kSecond;
+  policy.abort_nack_fraction = 2.0;  // transients heal; never abort
+
+  std::uint64_t waves = 0, pushes = 0, repushes = 0;
+  std::vector<std::uint64_t> tti_us;
+  for (auto _ : state) {
+    sim::FaultScenario faults(bench.simulator, bench.network, /*seed=*/0xFA417);
+    if (churn > 0) {
+      // Horizon 0: the whole cohort is dark when wave 1 pushes (this
+      // bench's 1 us link makes the deploy round trip shorter than any
+      // spread-out churn window) and trickles back during retry waves.
+      faults.AddOfflineChurn(*bench.fleet, churn, /*horizon=*/0,
+                             100 * sim::kMillisecond, 400 * sim::kMillisecond);
+    }
+    if (flaps > 0) {
+      faults.AddRandomLinkFlaps(flaps, 600 * sim::kMillisecond,
+                                20 * sim::kMillisecond, 80 * sim::kMillisecond);
+    }
+    if (nack > 0) {
+      faults.AddNackCohort(*bench.fleet, nack, 500 * sim::kMillisecond);
+    }
+    const std::uint64_t repushes_before = bench.server.stats().repushes;
+    auto id = engine.StartDeploy(bench.user, "campaign", bench.fleet->vins(),
+                                 policy);
+    if (!id.ok()) {
+      state.SkipWithError("campaign failed to start");
+      break;
+    }
+    bench.simulator.Run();
+
+    state.PauseTiming();
+    auto snapshot = *engine.Snapshot(*id);
+    if (snapshot.status != server::CampaignStatus::kConverged) {
+      state.SkipWithError("faulted campaign did not converge");
+      state.ResumeTiming();
+      break;
+    }
+    waves += snapshot.waves_pushed;
+    pushes += snapshot.total_pushes;
+    repushes += bench.server.stats().repushes - repushes_before;
+    const auto times = *engine.TimesToDone(*id);
+    tti_us.insert(tti_us.end(), times.begin(), times.end());
+    // Reset through a (untimed) rollback campaign — the uninstall-batch
+    // path at fleet scale.
+    auto rollback = engine.StartRollback(bench.user, "campaign",
+                                         bench.fleet->vins(), policy);
+    if (rollback.ok()) bench.simulator.Run();
+    if (!rollback.ok() ||
+        engine.Snapshot(*rollback)->status !=
+            server::CampaignStatus::kConverged) {
+      state.SkipWithError("rollback campaign did not converge");
+      state.ResumeTiming();
+      break;
+    }
+    // Counters harvested; drop the row tables so the engine's memory
+    // stays flat across benchmark iterations.
+    (void)engine.Forget(*id);
+    (void)engine.Forget(*rollback);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fleet_size));
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["fleet"] = static_cast<double>(fleet_size);
+  state.counters["churn_pct"] = static_cast<double>(state.range(2));
+  state.counters["link_flaps"] = static_cast<double>(flaps);
+  state.counters["nack_pct"] = static_cast<double>(state.range(4));
+  const auto iterations = static_cast<double>(std::max<std::int64_t>(
+      state.iterations(), 1));
+  state.counters["waves_to_convergence"] = static_cast<double>(waves) / iterations;
+  state.counters["pushes_per_vehicle"] =
+      static_cast<double>(pushes) /
+      (iterations * static_cast<double>(fleet_size));
+  state.counters["repushes_per_iter"] = static_cast<double>(repushes) / iterations;
+  if (!tti_us.empty()) {
+    std::sort(tti_us.begin(), tti_us.end());
+    const std::size_t p99 = std::min(tti_us.size() - 1, (tti_us.size() * 99) / 100);
+    state.counters["p99_time_to_installed_ms"] =
+        static_cast<double>(tti_us[p99]) / 1000.0;  // sim-time, not wall
+  }
+}
+
+// --- registration (dynamic: the satellite --shards=/--fleet= overrides) ------
+
+/// Parses a comma list of positive integers; empty on any malformed,
+/// non-positive or out-of-range token (the caller rejects empty lists).
+std::vector<std::int64_t> ParseList(const std::string& csv) {
+  std::vector<std::int64_t> values;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!token.empty()) {
+      errno = 0;
+      char* end = nullptr;
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (errno != 0 || end != token.c_str() + token.size() || value <= 0 ||
+          value > 1'000'000) {
+        return {};
+      }
+      values.push_back(value);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+void RegisterFleetBenchmarks(const std::vector<std::int64_t>& shard_list,
+                             const std::vector<std::int64_t>& fleet_list,
+                             bool overridden) {
+  auto* campaign =
+      benchmark::RegisterBenchmark("BM_FleetCampaign", BM_FleetCampaign)
+          ->ArgNames({"shards", "fleet"})
+          ->UseRealTime()  // deploys/s must be wall time: the pool works
+                           // while the caller's CPU clock idles in the barrier
+          ->Unit(benchmark::kMillisecond);
+  if (overridden) {
+    for (std::int64_t fleet : fleet_list) {
+      for (std::int64_t shards : shard_list) campaign->Args({shards, fleet});
+    }
+  } else {
+    // The legacy default matrix (10k fleets only on the interesting axes).
+    for (std::int64_t shards : {1, 2, 4, 8}) campaign->Args({shards, 100});
+    for (std::int64_t shards : {1, 2, 4, 8}) campaign->Args({shards, 1000});
+    campaign->Args({1, 10000})->Args({4, 10000});
+  }
+
+  auto* sync = benchmark::RegisterBenchmark("BM_FleetSyncDeploy",
+                                            BM_FleetSyncDeploy)
+                   ->ArgNames({"fleet"})
+                   ->UseRealTime()
+                   ->Unit(benchmark::kMillisecond);
+  if (overridden) {
+    for (std::int64_t fleet : fleet_list) sync->Arg(fleet);
+  } else {
+    sync->Arg(100)->Arg(1000);
+  }
+
+  auto* faulted =
+      benchmark::RegisterBenchmark("BM_FleetFaultCampaign", BM_FleetFaultCampaign)
+          ->ArgNames({"shards", "fleet", "churn_pct", "flaps", "nack_pct"})
+          ->UseRealTime()
+          ->Unit(benchmark::kMillisecond);
+  const std::vector<std::int64_t> fault_shards =
+      overridden ? shard_list : std::vector<std::int64_t>{1, 4};
+  const std::vector<std::int64_t> fault_fleets =
+      overridden ? fleet_list : std::vector<std::int64_t>{1000};
+  for (std::int64_t fleet : fault_fleets) {
+    for (std::int64_t shards : fault_shards) {
+      faulted->Args({shards, fleet, 20, 2, 0});   // churn + flaps
+      faulted->Args({shards, fleet, 0, 0, 30});   // transient nack cohort
+      faulted->Args({shards, fleet, 20, 2, 10});  // the full matrix
+    }
+  }
+}
 
 }  // namespace
 }  // namespace dacm::bench
 
-DACM_BENCH_MAIN();
+int main(int argc, char** argv) {
+  std::vector<std::int64_t> shards = {1, 2, 4, 8};
+  std::vector<std::int64_t> fleets = {100, 1000, 10000};
+  bool overridden = false;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--shards=", 0) == 0) {
+      shards = dacm::bench::ParseList(arg.substr(sizeof("--shards=") - 1));
+      overridden = true;
+    } else if (arg.rfind("--fleet=", 0) == 0) {
+      fleets = dacm::bench::ParseList(arg.substr(sizeof("--fleet=") - 1));
+      overridden = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (shards.empty() || fleets.empty()) {
+    std::fprintf(stderr,
+                 "--shards=/--fleet= need a comma list of positive integers\n");
+    return 1;
+  }
+  dacm::bench::RegisterFleetBenchmarks(shards, fleets, overridden);
+  return dacm::bench::BenchMain(static_cast<int>(passthrough.size()),
+                                passthrough.data());
+}

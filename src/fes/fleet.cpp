@@ -18,6 +18,20 @@ ScriptedFleet::ScriptedFleet(sim::Simulator& simulator, sim::Network& network,
   }
 }
 
+support::Status ScriptedFleet::ConnectEndpoint(Endpoint& endpoint) {
+  DACM_ASSIGN_OR_RETURN(endpoint.peer, network_.Connect(server_.address()));
+  Endpoint* raw = &endpoint;
+  endpoint.peer->SetReceiveHandler(
+      [this, raw](const support::Bytes& data) { OnMessage(*raw, data); });
+
+  pirte::Envelope hello;
+  hello.kind = pirte::Envelope::Kind::kHello;
+  hello.vin = endpoint.vin;
+  DACM_RETURN_IF_ERROR(endpoint.peer->Send(hello.Serialize()));
+  endpoint.online = true;
+  return support::OkStatus();
+}
+
 support::Status ScriptedFleet::BindAndConnect(server::UserId user) {
   endpoints_.reserve(vins_.size());
   for (std::size_t i = 0; i < vins_.size(); ++i) {
@@ -26,15 +40,7 @@ support::Status ScriptedFleet::BindAndConnect(server::UserId user) {
     auto endpoint = std::make_unique<Endpoint>();
     endpoint->vin = vins_[i];
     endpoint->index = i;
-    DACM_ASSIGN_OR_RETURN(endpoint->peer, network_.Connect(server_.address()));
-    Endpoint* raw = endpoint.get();
-    endpoint->peer->SetReceiveHandler(
-        [this, raw](const support::Bytes& data) { OnMessage(*raw, data); });
-
-    pirte::Envelope hello;
-    hello.kind = pirte::Envelope::Kind::kHello;
-    hello.vin = endpoint->vin;
-    DACM_RETURN_IF_ERROR(endpoint->peer->Send(hello.Serialize()));
+    DACM_RETURN_IF_ERROR(ConnectEndpoint(*endpoint));
     endpoints_.push_back(std::move(endpoint));
   }
   simulator_.Run();
@@ -46,6 +52,52 @@ support::Status ScriptedFleet::BindAndConnect(server::UserId user) {
   return support::OkStatus();
 }
 
+support::Status ScriptedFleet::TakeOffline(std::size_t index) {
+  if (index >= endpoints_.size()) return support::OutOfRange("fleet index");
+  Endpoint& endpoint = *endpoints_[index];
+  if (!endpoint.online) return support::OkStatus();
+  endpoint.peer->Close();
+  endpoint.online = false;
+  return support::OkStatus();
+}
+
+support::Status ScriptedFleet::BringOnline(std::size_t index) {
+  if (index >= endpoints_.size()) return support::OutOfRange("fleet index");
+  Endpoint& endpoint = *endpoints_[index];
+  if (endpoint.online) return support::OkStatus();
+  auto status = ConnectEndpoint(endpoint);
+  if (!status.ok()) {
+    // The WAN may be mid-flap; redial later like a real ECM's reconnect
+    // alarm would, so a churn return that collides with a link flap does
+    // not strand the vehicle offline forever.  Only a downed link is
+    // worth retrying (a missing listener is permanent), and the redials
+    // are bounded so a never-healing outage cannot keep the simulator's
+    // event queue non-empty forever.  The retry event captures `this`:
+    // the fleet must outlive the simulator run, like every endpoint
+    // handler already requires.
+    if (status.code() == support::ErrorCode::kUnavailable &&
+        endpoint.redials_left > 0) {
+      --endpoint.redials_left;
+      simulator_.ScheduleAfter(100 * sim::kMillisecond,
+                               [this, index] { (void)BringOnline(index); });
+    }
+    return status;
+  }
+  endpoint.redials_left = Endpoint::kMaxRedials;
+  ++reconnects_;
+  return support::OkStatus();
+}
+
+void ScriptedFleet::SetTransientNack(std::size_t index, sim::SimTime until) {
+  if (index >= endpoints_.size()) return;
+  endpoints_[index]->nack_until = until;
+}
+
+bool ScriptedFleet::online(std::size_t index) const {
+  return index < endpoints_.size() && endpoints_[index]->online &&
+         endpoints_[index]->peer->connected();
+}
+
 void ScriptedFleet::OnMessage(Endpoint& endpoint, const support::Bytes& data) {
   auto envelope = pirte::EnvelopeView::Parse(data);
   if (!envelope.ok() || envelope->kind != pirte::Envelope::Kind::kPirteMessage) {
@@ -54,20 +106,30 @@ void ScriptedFleet::OnMessage(Endpoint& endpoint, const support::Bytes& data) {
   auto view = pirte::PirteMessageView::Parse(envelope->message);
   if (!view.ok()) return;
 
-  const bool ack_ok =
-      options_.nack_every == 0 || (endpoint.index + 1) % options_.nack_every != 0;
+  const bool scripted_nack =
+      options_.nack_every != 0 && (endpoint.index + 1) % options_.nack_every == 0;
+  const bool transient_nack = simulator_.Now() < endpoint.nack_until;
+  const bool ack_ok = !scripted_nack && !transient_nack;
 
   auto send_reply = [&](pirte::PirteMessage reply) {
     pirte::Envelope out;
     out.kind = pirte::Envelope::Kind::kPirteMessage;
     out.vin = endpoint.vin;
     out.message = reply.Serialize();
-    if (endpoint.peer->Send(out.Serialize()).ok()) ++acks_sent_;
+    if (endpoint.peer->Send(out.Serialize()).ok()) {
+      ++acks_sent_;
+      if (!ack_ok) ++nacks_sent_;
+    }
   };
 
   switch (view->type) {
-    case pirte::MessageType::kInstallBatch: {
-      ++batches_received_;
+    case pirte::MessageType::kInstallBatch:
+    case pirte::MessageType::kUninstallBatch: {
+      if (view->type == pirte::MessageType::kInstallBatch) {
+        ++batches_received_;
+      } else {
+        ++uninstall_batches_received_;
+      }
       std::vector<pirte::BatchAckEntry> verdicts;
       auto status = pirte::ForEachInBatch(
           view->payload, [&](std::span<const std::uint8_t> entry) {

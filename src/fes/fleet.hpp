@@ -6,11 +6,18 @@
 // bus, ECUs or PIRTEs — so a 10k-vehicle fleet costs a few MB instead of
 // a few GB, and the measured work is the *server's* pipeline.
 //
-// Endpoints understand both push shapes: per-plug-in kInstallPackage /
-// kUninstall messages (answered with one kAck each) and campaign
-// kInstallBatch messages (answered with a single kAckBatch covering every
-// embedded package).  Parsing uses the zero-copy views, so the per-message
+// Endpoints understand all three push shapes: per-plug-in
+// kInstallPackage / kUninstall messages (answered with one kAck each),
+// campaign kInstallBatch messages, and rollback kUninstallBatch messages
+// (each batch answered with a single kAckBatch covering every embedded
+// entry).  Parsing uses the zero-copy views, so the per-message
 // vehicle-side cost stays far below the server-side work being measured.
+//
+// The fleet doubles as a sim::FleetFaultTarget: fault scenarios
+// (sim/fault.hpp) can churn endpoints offline (the connection closes;
+// BringOnline re-dials and re-announces the VIN) and arm transient nacks
+// (the endpoint rejects every push until a sim-time heals it) — the
+// failure modes the campaign engine's retry machine must converge over.
 #pragma once
 
 #include <memory>
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "server/server.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -35,7 +43,7 @@ struct ScriptedFleetOptions {
   std::size_t nack_every = 0;
 };
 
-class ScriptedFleet {
+class ScriptedFleet : public sim::FleetFaultTarget {
  public:
   /// Creates the endpoints; call BindAndConnect before deploying.
   ScriptedFleet(sim::Simulator& simulator, sim::Network& network,
@@ -45,18 +53,43 @@ class ScriptedFleet {
   /// runs the simulator until the Hellos have settled.
   support::Status BindAndConnect(server::UserId user);
 
+  // --- sim::FleetFaultTarget -------------------------------------------------
+  std::size_t FleetSize() const override { return vins_.size(); }
+  /// Closes the endpoint's connection; pushes fail until BringOnline.
+  support::Status TakeOffline(std::size_t index) override;
+  /// Re-dials the server and re-announces the VIN (no-op when online).
+  support::Status BringOnline(std::size_t index) override;
+  /// The endpoint nacks every push received before sim time `until`.
+  void SetTransientNack(std::size_t index, sim::SimTime until) override;
+
+  bool online(std::size_t index) const;
+
   const std::vector<std::string>& vins() const { return vins_; }
   std::uint64_t batches_received() const { return batches_received_; }
+  std::uint64_t uninstall_batches_received() const {
+    return uninstall_batches_received_;
+  }
   std::uint64_t packages_received() const { return packages_received_; }
   std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t nacks_sent() const { return nacks_sent_; }
+  std::uint64_t reconnects() const { return reconnects_; }
 
  private:
   struct Endpoint {
+    /// Redial budget for a BringOnline that collides with a link flap
+    /// (100 ms cadence -> up to ~6.4 s of outage bridged per churn).
+    static constexpr std::size_t kMaxRedials = 64;
+
     std::string vin;
     std::size_t index = 0;
+    bool online = false;
+    sim::SimTime nack_until = 0;
+    std::size_t redials_left = kMaxRedials;
     std::shared_ptr<sim::NetPeer> peer;
   };
 
+  /// Dials the server, installs the receive handler and says Hello.
+  support::Status ConnectEndpoint(Endpoint& endpoint);
   void OnMessage(Endpoint& endpoint, const support::Bytes& data);
 
   sim::Simulator& simulator_;
@@ -66,8 +99,11 @@ class ScriptedFleet {
   std::vector<std::string> vins_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::uint64_t batches_received_ = 0;
+  std::uint64_t uninstall_batches_received_ = 0;
   std::uint64_t packages_received_ = 0;
   std::uint64_t acks_sent_ = 0;
+  std::uint64_t nacks_sent_ = 0;
+  std::uint64_t reconnects_ = 0;
 };
 
 }  // namespace dacm::fes

@@ -85,10 +85,12 @@ void Ecm::OnServerMessage(const support::Bytes& data) {
 }
 
 void Ecm::HandleServerPirteMessage(const PirteMessage& message) {
-  // A campaign batch unpacks into its per-plug-in install messages; each
-  // is then handled (ECC extraction, local install or Type I routing) and
+  // A campaign batch (install, or the rollback engine's uninstall batch)
+  // unpacks into its per-plug-in messages; each is then handled (ECC
+  // extraction, local install/uninstall or Type I routing) and
   // acknowledged exactly as if it had been pushed individually.
-  if (message.type == MessageType::kInstallBatch) {
+  if (message.type == MessageType::kInstallBatch ||
+      message.type == MessageType::kUninstallBatch) {
     auto status = ForEachInBatch(
         message.payload, [this](std::span<const std::uint8_t> entry) {
           auto inner = PirteMessage::Deserialize(entry);
@@ -97,6 +99,7 @@ void Ecm::HandleServerPirteMessage(const PirteMessage& message) {
           // protocol violation (and rejecting it bounds the recursion a
           // hostile peer could otherwise drive arbitrarily deep).
           if (inner->type == MessageType::kInstallBatch ||
+              inner->type == MessageType::kUninstallBatch ||
               inner->type == MessageType::kAckBatch) {
             return support::Corrupted("nested batch rejected");
           }
@@ -112,7 +115,7 @@ void Ecm::HandleServerPirteMessage(const PirteMessage& message) {
       nack.plugin_name = message.plugin_name;  // the batch's app label
       nack.target_ecu = config_.ecu_id;
       nack.ok = false;
-      nack.detail = "undecodable install batch: " + status.ToString();
+      nack.detail = "undecodable batch: " + status.ToString();
       Envelope envelope;
       envelope.kind = Envelope::Kind::kPirteMessage;
       envelope.vin = ecm_config_.vin;

@@ -86,7 +86,9 @@ support::Result<PirteMessageView> PirteMessageView::Parse(
   support::ByteReader reader(data);
   PirteMessageView view;
   DACM_ASSIGN_OR_RETURN(std::uint8_t type, reader.ReadU8());
-  if (type > 7) return support::Corrupted("bad PirteMessage type");
+  if (type > static_cast<std::uint8_t>(MessageType::kUninstallBatch)) {
+    return support::Corrupted("bad PirteMessage type");
+  }
   view.type = static_cast<MessageType>(type);
   DACM_ASSIGN_OR_RETURN(view.plugin_name, reader.ReadStringView());
   DACM_ASSIGN_OR_RETURN(view.target_ecu, reader.ReadU32());
@@ -119,6 +121,25 @@ support::Bytes SerializeInstallBatch(std::span<const InstallBatchEntry> entries)
                                     entry.plugin_name, entry.target_ecu,
                                     /*dest_port=*/0, /*ok=*/true,
                                     /*detail=*/{}, entry.package_bytes);
+  }
+  return writer.Take();
+}
+
+support::Bytes SerializeUninstallBatch(std::span<const UninstallBatchEntry> entries) {
+  support::ByteWriter writer;
+  std::size_t total = 8;
+  for (const UninstallBatchEntry& entry : entries) {
+    total += 4 + PirteMessage::WireSizeOf(entry.plugin_name, {}, {});
+  }
+  writer.Reserve(total);
+  writer.WriteVarU32(static_cast<std::uint32_t>(entries.size()));
+  for (const UninstallBatchEntry& entry : entries) {
+    const std::size_t inner = PirteMessage::WireSizeOf(entry.plugin_name, {}, {});
+    writer.WriteU32(static_cast<std::uint32_t>(inner));  // blob framing
+    PirteMessage::SerializeFieldsTo(writer, MessageType::kUninstall,
+                                    entry.plugin_name, entry.target_ecu,
+                                    /*dest_port=*/0, /*ok=*/true,
+                                    /*detail=*/{}, /*payload=*/{});
   }
   return writer.Take();
 }

@@ -30,6 +30,7 @@ enum class MessageType : std::uint8_t {
   kStart = 5,         // lifecycle: (re)start a stopped plug-in
   kInstallBatch = 6,  // campaign push: one message carrying an app's packages
   kAckBatch = 7,      // one acknowledgement covering a whole received batch
+  kUninstallBatch = 8,  // rollback push: the kInstallBatch framing in reverse
 };
 
 /// The complete artifact the server assembles per (plug-in, vehicle).
@@ -119,6 +120,20 @@ struct InstallBatchEntry {
 /// Builds the payload of a kInstallBatch message: each entry is framed as
 /// a serialized kInstallPackage PirteMessage, written in place.
 support::Bytes SerializeInstallBatch(std::span<const InstallBatchEntry> entries);
+
+/// One per-plug-in uninstall inside a kUninstallBatch payload.  No package
+/// bytes: the plug-in name plus its placement is all an uninstall carries.
+struct UninstallBatchEntry {
+  std::string_view plugin_name;
+  std::uint32_t target_ecu = 0;
+};
+
+/// Builds the payload of a kUninstallBatch message — the kInstallBatch
+/// framing in reverse: each entry is a serialized kUninstall PirteMessage,
+/// so ForEachInBatch walks both batch shapes with the same code.  Rollback
+/// campaigns push one of these per vehicle instead of a round-trip per
+/// plug-in.
+support::Bytes SerializeUninstallBatch(std::span<const UninstallBatchEntry> entries);
 
 /// Walks a kInstallBatch payload without copying: `fn` (returning
 /// support::Status) receives a view of each embedded serialized

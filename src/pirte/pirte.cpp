@@ -415,6 +415,7 @@ void Pirte::OnTypeIMessage(const PirteMessage& message) {
       DACM_LOG_WARN("pirte") << config_.name << ": unexpected ack";
       return;
     case MessageType::kInstallBatch:
+    case MessageType::kUninstallBatch:
       // Campaign batches terminate at the ECM, which unpacks them before
       // routing; a batch on a Type I port is a protocol violation.
       DACM_LOG_WARN("pirte") << config_.name << ": unexpected install batch";

@@ -1,0 +1,368 @@
+#include "server/campaign.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace dacm::server {
+
+std::string_view CampaignRowStateName(CampaignRowState state) {
+  switch (state) {
+    case CampaignRowState::kPending: return "pending";
+    case CampaignRowState::kPushed: return "pushed";
+    case CampaignRowState::kNacked: return "nacked";
+    case CampaignRowState::kOffline: return "offline";
+    case CampaignRowState::kRetrying: return "retrying";
+    case CampaignRowState::kDone: return "done";
+    case CampaignRowState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::string_view CampaignStatusName(CampaignStatus status) {
+  switch (status) {
+    case CampaignStatus::kRunning: return "running";
+    case CampaignStatus::kConverged: return "converged";
+    case CampaignStatus::kAborted: return "aborted";
+    case CampaignStatus::kExhausted: return "exhausted";
+  }
+  return "?";
+}
+
+namespace {
+
+bool Retriable(CampaignRowState state) {
+  switch (state) {
+    case CampaignRowState::kPending:
+    case CampaignRowState::kPushed:
+    case CampaignRowState::kNacked:
+    case CampaignRowState::kOffline:
+    case CampaignRowState::kRetrying:
+      return true;
+    case CampaignRowState::kDone:
+    case CampaignRowState::kFailed:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+CampaignEngine::CampaignEngine(sim::Simulator& simulator, TrustedServer& server)
+    : simulator_(simulator), server_(server) {}
+
+support::Result<CampaignId> CampaignEngine::StartDeploy(
+    UserId user, std::string app_name, std::span<const std::string> vins,
+    RetryPolicy policy) {
+  if (!server_.HasApp(app_name)) {
+    return support::NotFound("app: " + app_name);
+  }
+  return Start(CampaignKind::kDeploy, user, std::move(app_name), vins, policy);
+}
+
+support::Result<CampaignId> CampaignEngine::StartRollback(
+    UserId user, std::string app_name, std::span<const std::string> vins,
+    RetryPolicy policy) {
+  return Start(CampaignKind::kRollback, user, std::move(app_name), vins, policy);
+}
+
+support::Result<CampaignId> CampaignEngine::Start(
+    CampaignKind kind, UserId user, std::string app_name,
+    std::span<const std::string> vins, RetryPolicy policy) {
+  if (vins.empty()) return support::InvalidArgument("campaign without vehicles");
+  if (policy.max_waves == 0) {
+    return support::InvalidArgument("RetryPolicy.max_waves must be >= 1");
+  }
+  auto campaign = std::make_unique<Campaign>();
+  campaign->id = CampaignId(static_cast<std::uint32_t>(campaigns_.size()));
+  campaign->kind = kind;
+  campaign->user = user;
+  campaign->app_name = std::move(app_name);
+  campaign->policy = policy;
+  campaign->started_at = simulator_.Now();
+  campaign->rows.reserve(vins.size());
+  for (const std::string& vin : vins) {
+    CampaignRow row;
+    row.vin = vin;
+    campaign->rows.push_back(std::move(row));
+  }
+  const CampaignId id = campaign->id;
+  const std::size_t index = campaigns_.size();
+  campaigns_.push_back(std::move(campaign));
+  DACM_LOG_INFO("campaign")
+      << (kind == CampaignKind::kDeploy ? "deploy" : "rollback") << " campaign "
+      << id << " started: app=" << campaigns_.back()->app_name
+      << " fleet=" << vins.size();
+  ScheduleTick(index, simulator_.Now());
+  return id;
+}
+
+const CampaignEngine::Campaign* CampaignEngine::Find(CampaignId id) const {
+  if (!id.valid() || id.value() >= campaigns_.size()) return nullptr;
+  return campaigns_[id.value()].get();
+}
+
+support::Status CampaignEngine::Forget(CampaignId id) {
+  const Campaign* campaign = Find(id);
+  if (campaign == nullptr) return support::NotFound("unknown campaign");
+  if (campaign->status == CampaignStatus::kRunning) {
+    return support::FailedPrecondition("campaign still running");
+  }
+  // The slot stays (ids are vector indices); only the row table goes.
+  // A finished campaign has no scheduled ticks, so nothing dangles.
+  campaigns_[id.value()].reset();
+  return support::OkStatus();
+}
+
+bool CampaignEngine::Finished(CampaignId id) const {
+  const Campaign* campaign = Find(id);
+  return campaign != nullptr && campaign->status != CampaignStatus::kRunning;
+}
+
+support::Result<CampaignSnapshot> CampaignEngine::Snapshot(CampaignId id) const {
+  const Campaign* campaign = Find(id);
+  if (campaign == nullptr) return support::NotFound("unknown campaign");
+  CampaignSnapshot snapshot;
+  snapshot.id = campaign->id;
+  snapshot.kind = campaign->kind;
+  snapshot.status = campaign->status;
+  snapshot.rows = campaign->rows.size();
+  snapshot.waves_pushed = campaign->waves_pushed;
+  snapshot.total_pushes = campaign->total_pushes;
+  snapshot.started_at = campaign->started_at;
+  snapshot.finished_at = campaign->finished_at;
+  for (const CampaignRow& row : campaign->rows) {
+    switch (row.state) {
+      case CampaignRowState::kPending: ++snapshot.pending; break;
+      case CampaignRowState::kPushed: ++snapshot.pushed; break;
+      case CampaignRowState::kNacked: ++snapshot.nacked; break;
+      case CampaignRowState::kOffline: ++snapshot.offline; break;
+      case CampaignRowState::kRetrying: ++snapshot.retrying; break;
+      case CampaignRowState::kDone: ++snapshot.done; break;
+      case CampaignRowState::kFailed: ++snapshot.failed; break;
+    }
+  }
+  return snapshot;
+}
+
+support::Result<std::vector<sim::SimTime>> CampaignEngine::TimesToDone(
+    CampaignId id) const {
+  const Campaign* campaign = Find(id);
+  if (campaign == nullptr) return support::NotFound("unknown campaign");
+  std::vector<sim::SimTime> times;
+  times.reserve(campaign->rows.size());
+  for (const CampaignRow& row : campaign->rows) {
+    if (row.state != CampaignRowState::kDone) continue;
+    times.push_back(row.done_at - campaign->started_at);
+  }
+  return times;
+}
+
+const CampaignRow* CampaignEngine::FindRow(CampaignId id,
+                                           std::string_view vin) const {
+  const Campaign* campaign = Find(id);
+  if (campaign == nullptr) return nullptr;
+  for (const CampaignRow& row : campaign->rows) {
+    if (row.vin == vin) return &row;
+  }
+  return nullptr;
+}
+
+std::string CampaignEngine::Describe(CampaignId id) const {
+  const Campaign* campaign = Find(id);
+  if (campaign == nullptr) return "unknown campaign";
+  std::string out = "campaign ";
+  out += std::to_string(id.value());
+  out += campaign->kind == CampaignKind::kDeploy ? " deploy " : " rollback ";
+  out += campaign->app_name;
+  out += " status=";
+  out += CampaignStatusName(campaign->status);
+  out += " waves=" + std::to_string(campaign->waves_pushed);
+  out += " pushes=" + std::to_string(campaign->total_pushes);
+  out += " started=" + std::to_string(campaign->started_at);
+  out += " finished=" + std::to_string(campaign->finished_at);
+  out += "\n";
+  for (const CampaignRow& row : campaign->rows) {
+    out += row.vin;
+    out += " state=";
+    out += CampaignRowStateName(row.state);
+    out += " attempts=" + std::to_string(row.attempts);
+    out += " done_at=" + std::to_string(row.done_at);
+    if (!row.last_error.ok()) {
+      out += " error=";
+      out += support::ErrorCodeName(row.last_error.code());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+sim::SimTime CampaignEngine::Backoff(const RetryPolicy& policy,
+                                     std::size_t waves_pushed) const {
+  // Gap between wave `waves_pushed` and the next one.
+  double backoff = static_cast<double>(policy.initial_backoff);
+  for (std::size_t i = 1; i < waves_pushed; ++i) {
+    backoff *= policy.backoff_multiplier;
+    if (backoff >= static_cast<double>(policy.max_backoff)) {
+      return policy.max_backoff;
+    }
+  }
+  return std::min<sim::SimTime>(policy.max_backoff,
+                                static_cast<sim::SimTime>(backoff));
+}
+
+void CampaignEngine::ScheduleTick(std::size_t index, sim::SimTime at) {
+  simulator_.ScheduleAt(at, [this, index] { Tick(index); });
+}
+
+void CampaignEngine::Evaluate(Campaign& campaign) {
+  for (CampaignRow& row : campaign.rows) {
+    if (!Retriable(row.state)) continue;
+    auto state = server_.AppState(row.vin, campaign.app_name);
+    if (campaign.kind == CampaignKind::kDeploy) {
+      if (state.ok() && *state == InstallState::kInstalled) {
+        row.state = CampaignRowState::kDone;
+        row.done_at = simulator_.Now();
+        row.last_error = support::OkStatus();
+      } else if (state.ok() && *state == InstallState::kFailed) {
+        row.state = CampaignRowState::kNacked;
+      }
+      // kPending rows (acks lost) and missing rows (never pushed) keep
+      // their engine state; the next wave picks them up.
+    } else {
+      // Rollback converges when the row is gone — but only for vehicles
+      // the server actually knows: an unknown VIN must fall through to
+      // the wave push, whose NotFound rejection fails the row instead of
+      // reporting a fleet the server never touched as converged.
+      if (!state.ok() && server_.FindVehicle(row.vin) != nullptr) {
+        row.state = CampaignRowState::kDone;
+        row.done_at = simulator_.Now();
+        row.last_error = support::OkStatus();
+      }
+    }
+  }
+}
+
+void CampaignEngine::Finish(Campaign& campaign, CampaignStatus status,
+                            std::string_view failure_reason) {
+  for (CampaignRow& row : campaign.rows) {
+    if (!Retriable(row.state)) continue;
+    row.state = CampaignRowState::kFailed;
+    if (row.last_error.ok()) {
+      row.last_error = support::Unavailable(std::string(failure_reason));
+    }
+  }
+  campaign.status = status;
+  campaign.finished_at = simulator_.Now();
+  DACM_LOG_INFO("campaign") << "campaign " << campaign.id << " finished "
+                            << CampaignStatusName(status) << " after "
+                            << campaign.waves_pushed << " wave(s), "
+                            << campaign.total_pushes << " push(es)";
+}
+
+void CampaignEngine::PushWave(Campaign& campaign,
+                              const std::vector<std::size_t>& retry) {
+  std::vector<std::string> vins;
+  vins.reserve(retry.size());
+  for (std::size_t index : retry) {
+    campaign.rows[index].state = CampaignRowState::kRetrying;
+    vins.push_back(campaign.rows[index].vin);
+  }
+  ++campaign.waves_pushed;
+  campaign.last_push_at = simulator_.Now();
+
+  auto outcomes =
+      server_.CampaignWavePush(campaign.user, campaign.app_name, campaign.kind, vins);
+
+  std::size_t pushed = 0, offline = 0, rejected = 0, done = 0;
+  for (std::size_t i = 0; i < retry.size(); ++i) {
+    CampaignRow& row = campaign.rows[retry[i]];
+    WaveOutcome& outcome = outcomes[i];
+    switch (outcome.action) {
+      case WaveOutcome::Action::kAlreadyDone:
+        row.state = CampaignRowState::kDone;
+        if (row.done_at == 0) row.done_at = simulator_.Now();
+        row.last_error = support::OkStatus();
+        ++done;
+        break;
+      case WaveOutcome::Action::kPushed:
+        row.state = CampaignRowState::kPushed;
+        ++row.attempts;
+        ++campaign.total_pushes;
+        ++pushed;
+        break;
+      case WaveOutcome::Action::kOffline:
+        row.state = CampaignRowState::kOffline;
+        row.last_error = std::move(outcome.status);
+        ++row.attempts;
+        ++campaign.total_pushes;
+        ++offline;
+        break;
+      case WaveOutcome::Action::kRejected:
+        row.state = CampaignRowState::kFailed;
+        row.last_error = std::move(outcome.status);
+        ++rejected;
+        break;
+    }
+  }
+  DACM_LOG_INFO("campaign") << "campaign " << campaign.id << " wave "
+                            << campaign.waves_pushed << ": pushed=" << pushed
+                            << " offline=" << offline << " rejected=" << rejected
+                            << " already-done=" << done;
+}
+
+void CampaignEngine::Tick(std::size_t index) {
+  if (campaigns_[index] == nullptr) return;  // forgotten
+  Campaign& campaign = *campaigns_[index];
+  if (campaign.status != CampaignStatus::kRunning) return;
+
+  // Belt and braces: arrival-time flush events normally applied every
+  // staged acknowledgement already.
+  server_.FlushAckInboxes();
+  Evaluate(campaign);
+
+  std::vector<std::size_t> retry;
+  std::size_t nacked = 0, failed = 0;
+  for (std::size_t i = 0; i < campaign.rows.size(); ++i) {
+    const CampaignRowState state = campaign.rows[i].state;
+    if (state == CampaignRowState::kNacked) ++nacked;
+    if (state == CampaignRowState::kFailed) ++failed;
+    if (Retriable(state)) retry.push_back(i);
+  }
+
+  if (campaign.waves_pushed > 0 &&
+      static_cast<double>(nacked) / static_cast<double>(campaign.rows.size()) >=
+          campaign.policy.abort_nack_fraction) {
+    Finish(campaign, CampaignStatus::kAborted, "campaign aborted: nack threshold");
+    return;
+  }
+  if (retry.empty()) {
+    Finish(campaign,
+           failed == 0 ? CampaignStatus::kConverged : CampaignStatus::kExhausted,
+           "");
+    return;
+  }
+  if (campaign.waves_pushed >= campaign.policy.max_waves) {
+    Finish(campaign, CampaignStatus::kExhausted, "retry budget exhausted");
+    return;
+  }
+
+  const sim::SimTime next_push_at =
+      campaign.waves_pushed == 0
+          ? simulator_.Now()
+          : campaign.last_push_at + Backoff(campaign.policy, campaign.waves_pushed);
+  if (next_push_at > simulator_.Now()) {
+    // Backoff still running: come back when the next wave is due.
+    ScheduleTick(index, next_push_at);
+    return;
+  }
+  PushWave(campaign, retry);
+  // The wave ran inside a simulator event, so its worker-staged sends
+  // would otherwise wait for the queue to drain (which engine ticks keep
+  // non-empty).  Fold them in now: deliveries schedule at push time +
+  // latency, through the same deterministic peer-order barrier.
+  simulator_.DrainStaged();
+  ScheduleTick(index, simulator_.Now() + campaign.policy.settle_delay);
+}
+
+}  // namespace dacm::server

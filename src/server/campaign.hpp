@@ -1,0 +1,194 @@
+// Campaign orchestration engine: retrying multi-wave rollouts.
+//
+// DeployCampaign (server.hpp) is single-shot: one batched push per
+// vehicle, no second chances.  A real fleet converges only if somebody
+// retries — vehicles are offline, links flap mid-push, ECUs nack while a
+// transient clears.  The engine is that somebody: a durable per-campaign
+// state machine driven entirely by simulator events.
+//
+// Per-VIN row life cycle (CampaignRowState):
+//
+//   pending ──wave──> pushed ──acked──> done
+//                       │ └─nack──> nacked ─┐
+//                       └──offline──────────┤
+//                                           └─retrying──> pushed ... /failed
+//
+// A wave pushes every retriable row (sharded over the server's worker
+// pool via TrustedServer::CampaignWavePush), waits `settle_delay` of
+// sim-time for the acknowledgements to land, re-evaluates every row
+// against the server's InstalledAPP table, and schedules the next wave
+// after an exponential backoff — until the fleet converges, the nack
+// fraction crosses the abort threshold, or the wave budget is exhausted.
+//
+// Rollback campaigns (StartRollback) run the same machine in reverse:
+// one kUninstallBatch per vehicle — the kInstallBatch framing mirrored —
+// converging when the vehicle's row is gone.
+//
+// Determinism: orchestration runs on the simulation thread; wave pushes
+// and ack application use the server's shard-deterministic fan-out, so a
+// seeded fault scenario (sim/fault.hpp) replays byte-identically:
+// Describe() fingerprints the full row table for exactly that comparison.
+//
+// Lifetime: the engine must outlive every simulator event it scheduled —
+// run the simulator until Finished() before destroying it.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "server/server.hpp"
+#include "sim/simulator.hpp"
+
+namespace dacm::server {
+
+struct CampaignTag {};
+using CampaignId = support::StrongId<CampaignTag>;
+
+/// Knobs of the per-campaign retry machine.  All times are sim-time.
+struct RetryPolicy {
+  /// Push waves, including the first.  Rows still retriable when the
+  /// budget is spent go kFailed and the campaign finishes kExhausted.
+  std::size_t max_waves = 5;
+  /// Gap between a wave's pushes and the evaluation of their outcome
+  /// (must cover a round trip; acks landing later are caught next wave).
+  sim::SimTime settle_delay = 100 * sim::kMillisecond;
+  /// Gap between wave k and wave k+1: initial_backoff *
+  /// backoff_multiplier^(k-1), capped at max_backoff.
+  sim::SimTime initial_backoff = 500 * sim::kMillisecond;
+  double backoff_multiplier = 2.0;
+  sim::SimTime max_backoff = 8 * sim::kSecond;
+  /// Abort the campaign when (nacked rows / fleet size) reaches this
+  /// after any wave.  1.0 aborts only an all-nack fleet; > 1.0 disables.
+  double abort_nack_fraction = 1.0;
+};
+
+enum class CampaignRowState : std::uint8_t {
+  kPending,   // never pushed (campaign just started, or vehicle unknown yet)
+  kPushed,    // batch pushed, acknowledgement outstanding
+  kNacked,    // vehicle (or one of its ECUs) rejected the batch
+  kOffline,   // push failed: no live connection; eligible for a later wave
+  kRetrying,  // selected for the in-flight wave (transient)
+  kDone,      // converged: fully acked (deploy) / row gone (rollback)
+  kFailed,    // terminal: rejected, aborted, or retry budget exhausted
+};
+std::string_view CampaignRowStateName(CampaignRowState state);
+
+enum class CampaignStatus : std::uint8_t {
+  kRunning,
+  kConverged,  // every row kDone
+  kAborted,    // nack fraction crossed RetryPolicy::abort_nack_fraction
+  kExhausted,  // finished with kFailed rows (budget spent or terminal rejects)
+};
+std::string_view CampaignStatusName(CampaignStatus status);
+
+struct CampaignRow {
+  std::string vin;
+  CampaignRowState state = CampaignRowState::kPending;
+  /// Push attempts (successful or offline) across all waves.
+  std::size_t attempts = 0;
+  /// Sim time the row was observed done (0 until then).
+  sim::SimTime done_at = 0;
+  /// Last offline / rejection reason.
+  support::Status last_error;
+};
+
+/// Aggregate view of one campaign (cheap; computed from the row table).
+struct CampaignSnapshot {
+  CampaignId id = CampaignId::Invalid();
+  CampaignKind kind = CampaignKind::kDeploy;
+  CampaignStatus status = CampaignStatus::kRunning;
+  std::size_t rows = 0;
+  std::size_t pending = 0;
+  std::size_t pushed = 0;
+  std::size_t nacked = 0;
+  std::size_t offline = 0;
+  std::size_t retrying = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t waves_pushed = 0;
+  /// Push attempts across all waves and rows (retries/vehicle =
+  /// total_pushes / rows - 1 on a converged campaign).
+  std::uint64_t total_pushes = 0;
+  sim::SimTime started_at = 0;
+  sim::SimTime finished_at = 0;  // 0 while running
+};
+
+class CampaignEngine {
+ public:
+  CampaignEngine(sim::Simulator& simulator, TrustedServer& server);
+
+  CampaignEngine(const CampaignEngine&) = delete;
+  CampaignEngine& operator=(const CampaignEngine&) = delete;
+
+  /// Starts a retrying deploy campaign of `app_name` over `vins`.  The
+  /// first wave fires at the current sim time (as a scheduled event);
+  /// fails fast when the app is unknown or the fleet is empty.
+  support::Result<CampaignId> StartDeploy(UserId user, std::string app_name,
+                                          std::span<const std::string> vins,
+                                          RetryPolicy policy = {});
+
+  /// Starts a rollback campaign: batched uninstalls of `app_name` over
+  /// `vins`, converging when every row is gone (vehicles that never had
+  /// the app are done immediately).
+  support::Result<CampaignId> StartRollback(UserId user, std::string app_name,
+                                            std::span<const std::string> vins,
+                                            RetryPolicy policy = {});
+
+  bool Finished(CampaignId id) const;
+  support::Result<CampaignSnapshot> Snapshot(CampaignId id) const;
+  /// Per done-row convergence latency (done_at - started_at), row order.
+  support::Result<std::vector<sim::SimTime>> TimesToDone(CampaignId id) const;
+  const CampaignRow* FindRow(CampaignId id, std::string_view vin) const;
+  /// Deterministic fingerprint of the whole campaign (status, waves and
+  /// every row's final state) — byte-identical across identically seeded
+  /// runs; determinism tests compare exactly this string.
+  std::string Describe(CampaignId id) const;
+  /// Releases a *finished* campaign's row table (ids are never reused;
+  /// queries on a forgotten id return NotFound).  Long-lived engines —
+  /// the fault bench runs thousands of campaigns through one — call this
+  /// after harvesting the snapshot, or memory grows with history.
+  support::Status Forget(CampaignId id);
+  std::size_t campaign_count() const { return campaigns_.size(); }
+
+ private:
+  struct Campaign {
+    CampaignId id = CampaignId::Invalid();
+    CampaignKind kind = CampaignKind::kDeploy;
+    UserId user = UserId::Invalid();
+    std::string app_name;
+    RetryPolicy policy;
+    CampaignStatus status = CampaignStatus::kRunning;
+    std::vector<CampaignRow> rows;
+    std::size_t waves_pushed = 0;
+    std::uint64_t total_pushes = 0;
+    sim::SimTime started_at = 0;
+    sim::SimTime last_push_at = 0;
+    sim::SimTime finished_at = 0;
+  };
+
+  support::Result<CampaignId> Start(CampaignKind kind, UserId user,
+                                    std::string app_name,
+                                    std::span<const std::string> vins,
+                                    RetryPolicy policy);
+  const Campaign* Find(CampaignId id) const;
+
+  /// One engine turn: evaluate every row, finish or (re)schedule, and
+  /// push the next wave once its backoff has elapsed.
+  void Tick(std::size_t index);
+  void Evaluate(Campaign& campaign);
+  void PushWave(Campaign& campaign, const std::vector<std::size_t>& retry);
+  void Finish(Campaign& campaign, CampaignStatus status,
+              std::string_view failure_reason);
+  sim::SimTime Backoff(const RetryPolicy& policy, std::size_t waves_pushed) const;
+  void ScheduleTick(std::size_t index, sim::SimTime at);
+
+  sim::Simulator& simulator_;
+  TrustedServer& server_;
+  std::vector<std::unique_ptr<Campaign>> campaigns_;
+};
+
+}  // namespace dacm::server

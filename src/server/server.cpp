@@ -325,6 +325,156 @@ support::Result<CampaignReport> TrustedServer::DeployCampaign(
   return report;
 }
 
+namespace {
+
+WaveOutcome ClassifyPush(support::Status status) {
+  if (status.ok()) return WaveOutcome{WaveOutcome::Action::kPushed, {}};
+  const auto action = status.code() == support::ErrorCode::kUnavailable
+                          ? WaveOutcome::Action::kOffline
+                          : WaveOutcome::Action::kRejected;
+  return WaveOutcome{action, std::move(status)};
+}
+
+}  // namespace
+
+std::vector<WaveOutcome> TrustedServer::CampaignWavePush(
+    UserId user, const std::string& app_name, CampaignKind kind,
+    std::span<const std::string> vins) {
+  std::vector<WaveOutcome> outcomes(vins.size());
+  std::shared_lock lock(catalog_mutex_);
+  const App* app = nullptr;
+  if (kind == CampaignKind::kDeploy) {
+    auto app_it = apps_.find(app_name);
+    if (app_it == apps_.end()) {
+      for (WaveOutcome& outcome : outcomes) {
+        outcome = WaveOutcome{WaveOutcome::Action::kRejected,
+                              support::NotFound("app: " + app_name)};
+      }
+      return outcomes;
+    }
+    app = &app_it->second;
+  }
+
+  // Same shard discipline as DeployCampaign: one worker per shard, each
+  // writing disjoint outcome slots (indexed by fleet position, so the
+  // result keeps the caller's order).
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < vins.size(); ++i) {
+    by_shard[ShardIndex(vins[i])].push_back(i);
+  }
+  pool_.ParallelFor(shards_.size(), [&](std::size_t index) {
+    Shard& shard = shards_[index];
+    for (std::size_t i : by_shard[index]) {
+      outcomes[i] = WavePushOnShard(shard, user, vins[i], app_name, app, kind);
+    }
+  });
+  return outcomes;
+}
+
+WaveOutcome TrustedServer::WavePushOnShard(Shard& shard, UserId user,
+                                           const std::string& vin,
+                                           const std::string& app_name,
+                                           const App* app, CampaignKind kind) {
+  auto vehicle_it = shard.vehicles.find(vin);
+  if (vehicle_it == shard.vehicles.end()) {
+    return WaveOutcome{WaveOutcome::Action::kRejected,
+                       support::NotFound("VIN: " + vin)};
+  }
+  Vehicle& vehicle = vehicle_it->second;
+  if (auto owned = CheckOwnership(user, vehicle); !owned.ok()) {
+    return WaveOutcome{WaveOutcome::Action::kRejected, std::move(owned)};
+  }
+
+  if (kind == CampaignKind::kRollback) {
+    InstalledApp* row = vehicle.FindInstalled(app_name);
+    if (row == nullptr) return WaveOutcome{WaveOutcome::Action::kAlreadyDone, {}};
+    if (std::string dependents = DependentsOf(vehicle, app_name);
+        !dependents.empty()) {
+      return WaveOutcome{
+          WaveOutcome::Action::kRejected,
+          support::DependencyViolation("apps depending on " + app_name +
+                                       " must be uninstalled first: " +
+                                       dependents)};
+    }
+    // One kUninstallBatch per vehicle — the kInstallBatch framing in
+    // reverse.  Ack flags reset so a repeated wave (lost acks) converges.
+    const InstallState previous = row->state;
+    for (InstalledApp::PluginRecord& plugin : row->plugins) {
+      plugin.acked = false;
+      plugin.ack_ok = false;
+      plugin.ack_detail.clear();
+    }
+    row->state = InstallState::kUninstalling;
+    std::vector<pirte::UninstallBatchEntry> entries;
+    entries.reserve(row->plugins.size());
+    for (const InstalledApp::PluginRecord& plugin : row->plugins) {
+      entries.push_back(
+          pirte::UninstallBatchEntry{plugin.plugin, plugin.ecu_id});
+    }
+    pirte::PirteMessage batch;
+    batch.type = pirte::MessageType::kUninstallBatch;
+    batch.plugin_name = app_name;  // diagnostic label for nack paths
+    batch.payload = pirte::SerializeUninstallBatch(entries);
+    auto push = PushToVehicle(shard, vin, batch);
+    if (!push.ok()) {
+      row->state = previous;
+      return ClassifyPush(std::move(push));
+    }
+    ++shard.stats.rollback_pushes;
+    return WaveOutcome{WaveOutcome::Action::kPushed, {}};
+  }
+
+  // Deploy wave.
+  if (InstalledApp* row = vehicle.FindInstalled(app_name); row != nullptr) {
+    switch (row->state) {
+      case InstallState::kInstalled:
+        return WaveOutcome{WaveOutcome::Action::kAlreadyDone, {}};
+      case InstallState::kUninstalling:
+        return WaveOutcome{
+            WaveOutcome::Action::kRejected,
+            support::FailedPrecondition("uninstall of " + app_name +
+                                        " in progress on " + vin)};
+      case InstallState::kPending:
+        // Pushed in an earlier wave but the acks never came back (link
+        // flap): re-push the recorded batch verbatim.
+        return ClassifyPush(RepushInstallBatch(shard, vin, *row));
+      case InstallState::kFailed: {
+        // A nacked row blocks redeployment; clear it (releasing its
+        // unique ids) and fall through to a fresh deploy.
+        ReleaseRowIds(vehicle, *row);
+        const auto index =
+            static_cast<std::ptrdiff_t>(row - vehicle.installed.data());
+        vehicle.installed.erase(vehicle.installed.begin() + index);
+        break;
+      }
+    }
+  }
+  return ClassifyPush(DeployOnShard(shard, user, vin, *app, /*batched=*/true));
+}
+
+support::Status TrustedServer::RepushInstallBatch(Shard& shard,
+                                                  const std::string& vin,
+                                                  InstalledApp& row) {
+  for (InstalledApp::PluginRecord& plugin : row.plugins) {
+    plugin.acked = false;
+    plugin.ack_ok = false;
+    plugin.ack_detail.clear();
+  }
+  std::vector<pirte::InstallBatchEntry> entries;
+  entries.reserve(row.plugins.size());
+  for (const InstalledApp::PluginRecord& plugin : row.plugins) {
+    entries.push_back(pirte::InstallBatchEntry{plugin.plugin, plugin.ecu_id,
+                                               plugin.package_bytes});
+  }
+  pirte::PirteMessage batch;
+  batch.type = pirte::MessageType::kInstallBatch;
+  batch.plugin_name = row.app_name;
+  batch.payload = pirte::SerializeInstallBatch(entries);
+  DACM_RETURN_IF_ERROR(PushToVehicle(shard, vin, batch));
+  ++shard.stats.repushes;
+  return support::OkStatus();
+}
+
 support::Status TrustedServer::UninstallApp(UserId user, const std::string& vin,
                                             const std::string& app_name) {
   std::shared_lock lock(catalog_mutex_);
@@ -338,18 +488,8 @@ support::Status TrustedServer::UninstallApp(UserId user, const std::string& vin,
 
   // "whether there are some other installed plug-ins that are dependent on
   // the plug-ins being uninstalled" — the user is notified, not cascaded.
-  std::string dependents;
-  for (const InstalledApp& other : vehicle->installed) {
-    if (other.app_name == app_name) continue;
-    auto app_it = apps_.find(other.app_name);
-    if (app_it == apps_.end()) continue;
-    const auto& deps = app_it->second.depends_on;
-    if (std::find(deps.begin(), deps.end(), app_name) != deps.end()) {
-      if (!dependents.empty()) dependents += ", ";
-      dependents += other.app_name;
-    }
-  }
-  if (!dependents.empty()) {
+  if (std::string dependents = DependentsOf(*vehicle, app_name);
+      !dependents.empty()) {
     return support::DependencyViolation("apps depending on " + app_name +
                                         " must be uninstalled first: " + dependents);
   }
@@ -440,16 +580,26 @@ bool TrustedServer::VehicleOnline(const std::string& vin) const {
                      [](const auto& peer) { return peer->connected(); });
 }
 
+bool TrustedServer::HasApp(const std::string& app_name) const {
+  std::shared_lock lock(catalog_mutex_);
+  return apps_.contains(app_name);
+}
+
 ServerStats TrustedServer::stats() const {
   ServerStats total;
   for (const Shard& shard : shards_) {
     total.packages_pushed += shard.stats.packages_pushed;
     total.acks_received += shard.stats.acks_received;
+    total.nacks_received += shard.stats.nacks_received;
     total.deploys_ok += shard.stats.deploys_ok;
     total.deploys_rejected += shard.stats.deploys_rejected;
     total.uninstalls += shard.stats.uninstalls;
     total.restores += shard.stats.restores;
+    total.repushes += shard.stats.repushes;
+    total.rollback_pushes += shard.stats.rollback_pushes;
+    total.connections_reaped += shard.stats.connections_reaped;
   }
+  total.connections_reaped += pending_reaped_;
   return total;
 }
 
@@ -471,6 +621,22 @@ support::Result<const VehicleModelConf*> TrustedServer::ModelConf(
   return &it->second;
 }
 
+std::string TrustedServer::DependentsOf(const Vehicle& vehicle,
+                                        const std::string& app_name) const {
+  std::string dependents;
+  for (const InstalledApp& other : vehicle.installed) {
+    if (other.app_name == app_name) continue;
+    auto app_it = apps_.find(other.app_name);
+    if (app_it == apps_.end()) continue;
+    const auto& deps = app_it->second.depends_on;
+    if (std::find(deps.begin(), deps.end(), app_name) != deps.end()) {
+      if (!dependents.empty()) dependents += ", ";
+      dependents += other.app_name;
+    }
+  }
+  return dependents;
+}
+
 void TrustedServer::ReleaseRowIds(Vehicle& vehicle, const InstalledApp& row) {
   for (const InstalledApp::PluginRecord& plugin : row.plugins) {
     auto it = vehicle.port_ids.find(plugin.ecu_id);
@@ -485,9 +651,9 @@ void TrustedServer::OnAccept(std::shared_ptr<sim::NetPeer> peer) {
   // Reap accepted-but-dead peers that never completed a Hello (a link
   // flap between Connect and the Hello send strands them here); pruning
   // on every accept bounds pending_ by the number of live handshakes.
-  std::erase_if(pending_, [](const std::shared_ptr<sim::NetPeer>& old) {
-    return !old->connected();
-  });
+  pending_reaped_ += std::erase_if(
+      pending_,
+      [](const std::shared_ptr<sim::NetPeer>& old) { return !old->connected(); });
   sim::NetPeer* raw = peer.get();
   peer->SetReceiveHandler([this, raw](const support::Bytes& data) {
     OnVehicleMessage(raw, data);
@@ -510,12 +676,14 @@ void TrustedServer::OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& d
     const std::string vin(envelope->vin);
     for (std::size_t i = 0; i < pending_.size(); ++i) {
       if (pending_[i].get() != peer) continue;
-      auto& peers = ShardFor(vin).connections[vin];
-      std::erase_if(peers, [this](const std::shared_ptr<sim::NetPeer>& old) {
-        if (old->connected()) return false;
-        peer_vins_.erase(old.get());
-        return true;
-      });
+      Shard& shard = ShardFor(vin);
+      auto& peers = shard.connections[vin];
+      shard.stats.connections_reaped += std::erase_if(
+          peers, [this](const std::shared_ptr<sim::NetPeer>& old) {
+            if (old->connected()) return false;
+            peer_vins_.erase(old.get());
+            return true;
+          });
       peers.push_back(std::move(pending_[i]));
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
       break;
@@ -535,38 +703,112 @@ void TrustedServer::OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& d
   }
 
   // Acknowledgements are the server's highest-volume inbound traffic
-  // (thousands per campaign), so the parse stays zero-copy throughout.
+  // (thousands per campaign).  The simulation thread only routes: a
+  // zero-copy parse decides ack-ness, then the message bytes land in the
+  // owning shard's inbox and the flush event (scheduled at this arrival
+  // timestamp) applies every staged ack — one worker per shard, so a
+  // campaign's ack storm parallelizes instead of serializing here.
   auto message = pirte::PirteMessageView::Parse(envelope->message);
   if (!message.ok()) {
     DACM_LOG_WARN("server") << "undecodable PirteMessage from " << vin;
     return;
   }
+  if (message->type == pirte::MessageType::kAck ||
+      message->type == pirte::MessageType::kAckBatch) {
+    Shard& shard = ShardFor(vin);
+    shard.ack_inbox.push_back(StagedAck{
+        next_ack_seq_++, std::move(vin),
+        support::Bytes(envelope->message.begin(), envelope->message.end())});
+    ScheduleAckFlush();
+  }
+}
+
+void TrustedServer::ScheduleAckFlush() {
+  if (ack_flush_scheduled_) return;
+  ack_flush_scheduled_ = true;
+  // Fires after every delivery already queued for this timestamp, so one
+  // event covers the whole burst; acks are applied at the sim time they
+  // arrived, before any later-scheduled event (e.g. a campaign wave) can
+  // observe the rows.
+  network_.simulator().ScheduleAfter(0, [this] {
+    ack_flush_scheduled_ = false;
+    FlushAckInboxes();
+  });
+}
+
+void TrustedServer::FlushAckInboxes() {
+  bool any = false;
+  for (const Shard& shard : shards_) {
+    if (!shard.ack_inbox.empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+
+  pool_.ParallelFor(shards_.size(), [this](std::size_t index) {
+    Shard& shard = shards_[index];
+    for (const StagedAck& staged : shard.ack_inbox) {
+      ApplyStagedAck(shard, staged);
+    }
+    shard.ack_inbox.clear();
+  });
+
+  // Emit the workers' deferred logs in arrival order: the observable log
+  // stream (which the determinism tests record) is identical to what
+  // inline application on the simulation thread would have produced.
+  std::vector<DeferredLog> logs;
+  for (Shard& shard : shards_) {
+    logs.insert(logs.end(), std::make_move_iterator(shard.flush_logs.begin()),
+                std::make_move_iterator(shard.flush_logs.end()));
+    shard.flush_logs.clear();
+  }
+  if (logs.empty()) return;
+  // stable: logs from one ack batch share a seq and must keep their order.
+  std::stable_sort(logs.begin(), logs.end(),
+                   [](const DeferredLog& a, const DeferredLog& b) {
+                     return a.seq < b.seq;
+                   });
+  for (const DeferredLog& log : logs) {
+    if (log.warn) {
+      DACM_LOG_WARN("server") << log.text;
+    } else {
+      DACM_LOG_INFO("server") << log.text;
+    }
+  }
+}
+
+void TrustedServer::ApplyStagedAck(Shard& shard, const StagedAck& staged) {
+  auto message = pirte::PirteMessageView::Parse(staged.message);
+  if (!message.ok()) return;  // staging already vetted the parse
+  auto vehicle_it = shard.vehicles.find(staged.vin);
   if (message->type == pirte::MessageType::kAck) {
-    Shard& shard = ShardFor(vin);
     ++shard.stats.acks_received;
-    auto vehicle_it = shard.vehicles.find(vin);
+    if (!message->ok) ++shard.stats.nacks_received;
     if (vehicle_it == shard.vehicles.end()) return;
-    ApplyAck(vehicle_it->second, message->plugin_name, message->ok,
-             message->detail);
+    ApplyAck(shard, vehicle_it->second, message->plugin_name, message->ok,
+             message->detail, staged.seq);
   } else if (message->type == pirte::MessageType::kAckBatch) {
-    Shard& shard = ShardFor(vin);
-    auto vehicle_it = shard.vehicles.find(vin);
     if (vehicle_it == shard.vehicles.end()) return;
     if (!message->ok) {
       // Typed whole-batch rejection: the vehicle could not process the
       // campaign push at all; plugin_name carries the batch's app label.
       ++shard.stats.acks_received;
-      ApplyBatchNack(vehicle_it->second, message->plugin_name, message->detail);
+      ++shard.stats.nacks_received;
+      ApplyBatchNack(shard, vehicle_it->second, message->plugin_name,
+                     message->detail, staged.seq);
       return;
     }
     auto status = pirte::ForEachAckInBatch(
         message->payload,
         [&](std::string_view plugin, bool ok, std::string_view detail) {
           ++shard.stats.acks_received;
-          ApplyAck(vehicle_it->second, plugin, ok, detail);
+          if (!ok) ++shard.stats.nacks_received;
+          ApplyAck(shard, vehicle_it->second, plugin, ok, detail, staged.seq);
         });
-    if (!status.ok()) {
-      DACM_LOG_WARN("server") << "undecodable ack batch from " << vin;
+    if (!status.ok() && support::Log::Enabled(support::LogLevel::kWarn)) {
+      shard.flush_logs.push_back(DeferredLog{
+          staged.seq, true, "undecodable ack batch from " + staged.vin});
     }
   }
 }
@@ -585,33 +827,50 @@ support::Status TrustedServer::PushToVehicle(Shard& shard, const std::string& vi
   return support::Unavailable("vehicle offline: " + vin);
 }
 
-void TrustedServer::ApplyBatchNack(Vehicle& vehicle, std::string_view app_name,
-                                   std::string_view detail) {
-  // The vehicle rejected a whole campaign batch; fail the pending row
-  // outright — otherwise it would wait forever for per-plug-in acks that
-  // will never come, blocking retries.  Only reachable through a failed
+void TrustedServer::ApplyBatchNack(Shard& shard, Vehicle& vehicle,
+                                   std::string_view app_name,
+                                   std::string_view detail, std::uint64_t seq) {
+  // The vehicle rejected a whole batch.  Only reachable through a failed
   // kAckBatch, so an app and a plug-in sharing a name cannot collide.
   for (InstalledApp& installed : vehicle.installed) {
-    if (installed.app_name != app_name ||
-        installed.state != InstallState::kPending) {
-      continue;
+    if (installed.app_name != app_name) continue;
+    if (installed.state == InstallState::kPending) {
+      // Fail the pending row outright — otherwise it would wait forever
+      // for per-plug-in acks that will never come, blocking retries.
+      installed.state = InstallState::kFailed;
+      for (InstalledApp::PluginRecord& plugin : installed.plugins) {
+        if (plugin.acked) continue;
+        plugin.acked = true;
+        plugin.ack_ok = false;
+        plugin.ack_detail = detail;
+      }
+      if (support::Log::Enabled(support::LogLevel::kWarn)) {
+        shard.flush_logs.push_back(
+            DeferredLog{seq, true,
+                        "app " + installed.app_name + " batch-rejected on " +
+                            vehicle.vin + ": " + std::string(detail)});
+      }
+      return;
     }
-    installed.state = InstallState::kFailed;
-    for (InstalledApp::PluginRecord& plugin : installed.plugins) {
-      if (plugin.acked) continue;
-      plugin.acked = true;
-      plugin.ack_ok = false;
-      plugin.ack_detail = detail;
+    if (installed.state == InstallState::kUninstalling) {
+      // A rejected kUninstallBatch: re-arm the row so the rollback
+      // campaign's next wave pushes it again.
+      installed.state = InstallState::kInstalled;
+      if (support::Log::Enabled(support::LogLevel::kWarn)) {
+        shard.flush_logs.push_back(
+            DeferredLog{seq, true,
+                        "uninstall batch of " + installed.app_name +
+                            " rejected on " + vehicle.vin + ": " +
+                            std::string(detail)});
+      }
+      return;
     }
-    DACM_LOG_WARN("server") << "app " << installed.app_name
-                            << " batch-rejected on " << vehicle.vin << ": "
-                            << detail;
-    return;
   }
 }
 
-void TrustedServer::ApplyAck(Vehicle& vehicle, std::string_view plugin_name,
-                             bool ok, std::string_view detail) {
+void TrustedServer::ApplyAck(Shard& shard, Vehicle& vehicle,
+                             std::string_view plugin_name, bool ok,
+                             std::string_view detail, std::uint64_t seq) {
   for (std::size_t i = 0; i < vehicle.installed.size(); ++i) {
     InstalledApp& installed = vehicle.installed[i];
     if (installed.state != InstallState::kPending &&
@@ -629,15 +888,34 @@ void TrustedServer::ApplyAck(Vehicle& vehicle, std::string_view plugin_name,
           installed.state = InstallState::kFailed;
         } else if (installed.AllAcked()) {
           installed.state = InstallState::kInstalled;
-          DACM_LOG_INFO("server") << "app " << installed.app_name
-                                  << " fully acknowledged on " << vehicle.vin;
+          if (support::Log::Enabled(support::LogLevel::kInfo)) {
+            shard.flush_logs.push_back(
+                DeferredLog{seq, false,
+                            "app " + installed.app_name +
+                                " fully acknowledged on " + vehicle.vin});
+          }
         }
       } else if (installed.state == InstallState::kUninstalling &&
                  installed.AllAcked()) {
-        // The freed unique ids return to the vehicle's bitmap.
-        ReleaseRowIds(vehicle, installed);
-        vehicle.installed.erase(vehicle.installed.begin() +
-                                static_cast<std::ptrdiff_t>(i));
+        if (installed.AnyFailed()) {
+          // The vehicle refused (or could not confirm) the uninstall.
+          // Re-arm the row instead of silently dropping server state the
+          // vehicle may still hold — a rollback campaign's next wave
+          // retries, and a retry loop that never succeeds surfaces as
+          // kExhausted rather than a false convergence.
+          installed.state = InstallState::kInstalled;
+          if (support::Log::Enabled(support::LogLevel::kWarn)) {
+            shard.flush_logs.push_back(
+                DeferredLog{seq, true,
+                            "uninstall of " + installed.app_name + " nacked on " +
+                                vehicle.vin + "; row re-armed"});
+          }
+        } else {
+          // The freed unique ids return to the vehicle's bitmap.
+          ReleaseRowIds(vehicle, installed);
+          vehicle.installed.erase(vehicle.installed.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+        }
       }
       return;
     }

@@ -24,9 +24,18 @@
 // kInstallBatch per vehicle instead of a round-trip per plug-in) and
 // staged through sim::Network's thread-safe send path.
 //
+// Inbound acknowledgements — the server's highest-volume traffic — are
+// staged into per-shard inboxes by the simulation thread and applied in
+// parallel (one worker per shard) at a flush event scheduled for the
+// arrival timestamp, so campaigns' ack storms no longer serialize on the
+// simulation thread.  Campaign *orchestration* (multi-wave retries,
+// rollback campaigns, abort thresholds) lives in server/campaign.hpp and
+// drives the CampaignWavePush entry point below.
+//
 // Threading rules (see README "Threading model"): everything except the
-// shard work inside DeployCampaign runs on the simulation thread; workers
-// touch only their own shard plus the shared catalog under the read lock.
+// shard work inside DeployCampaign / CampaignWavePush / FlushAckInboxes
+// runs on the simulation thread; workers touch only their own shard plus
+// the shared catalog under the read lock.
 #pragma once
 
 #include <memory>
@@ -47,10 +56,35 @@ namespace dacm::server {
 struct ServerStats {
   std::uint64_t packages_pushed = 0;
   std::uint64_t acks_received = 0;
+  /// Negative acknowledgements: per-plug-in nacks plus whole-batch
+  /// rejections (each batch rejection counts once).
+  std::uint64_t nacks_received = 0;
   std::uint64_t deploys_ok = 0;
   std::uint64_t deploys_rejected = 0;
   std::uint64_t uninstalls = 0;
   std::uint64_t restores = 0;
+  /// Campaign re-pushes of an already-recorded install batch (retry of a
+  /// row whose acks were lost mid-flap).
+  std::uint64_t repushes = 0;
+  /// Batched kUninstallBatch pushes from rollback campaigns.
+  std::uint64_t rollback_pushes = 0;
+  /// Dead Pusher connections pruned (handshake reaping + Hello adoption).
+  std::uint64_t connections_reaped = 0;
+};
+
+/// Direction of an orchestrated campaign wave (see server/campaign.hpp).
+enum class CampaignKind : std::uint8_t { kDeploy = 0, kRollback = 1 };
+
+/// Per-VIN outcome of one campaign wave push.
+struct WaveOutcome {
+  enum class Action : std::uint8_t {
+    kAlreadyDone,  // nothing to do: installed (deploy) / gone (rollback)
+    kPushed,       // batch staged onto the vehicle's connection
+    kOffline,      // no live connection; eligible for a later wave
+    kRejected,     // terminal rejection (compat, ownership, unknown VIN...)
+  };
+  Action action = Action::kRejected;
+  support::Status status;
 };
 
 struct ServerOptions {
@@ -126,6 +160,27 @@ class TrustedServer {
   /// packages of every installed plug-in placed on `ecu_id`.
   support::Status Restore(UserId user, const std::string& vin, std::uint32_t ecu_id);
 
+  // --- campaign-engine entry points (see server/campaign.hpp) -----------------
+
+  /// One orchestrated campaign wave: per VIN, performs whatever the kind
+  /// requires right now — a fresh batched deploy, a re-push of the
+  /// recorded batch for a stale kPending row, a clear-and-redeploy of a
+  /// nacked row, or a kUninstallBatch rollback push — sharded over the
+  /// worker pool exactly like DeployCampaign.  Returns outcomes in `vins`
+  /// order.
+  std::vector<WaveOutcome> CampaignWavePush(UserId user,
+                                            const std::string& app_name,
+                                            CampaignKind kind,
+                                            std::span<const std::string> vins);
+
+  /// Applies every staged acknowledgement now (simulation thread only).
+  /// Inbound kAck/kAckBatch messages are staged into per-shard inboxes and
+  /// normally applied by a flush event the server schedules at the arrival
+  /// timestamp — shards drain in parallel over the worker pool, so ack
+  /// application no longer serializes on the simulation thread.  Explicit
+  /// calls are only needed to observe ack state without running events.
+  void FlushAckInboxes();
+
   // --- queries --------------------------------------------------------------------
 
   support::Result<InstallState> AppState(const std::string& vin,
@@ -133,15 +188,36 @@ class TrustedServer {
   std::vector<std::string> InstalledApps(const std::string& vin) const;
   const Vehicle* FindVehicle(const std::string& vin) const;
   bool VehicleOnline(const std::string& vin) const;
+  bool HasApp(const std::string& app_name) const;
   /// Aggregated over all shards.
   ServerStats stats() const;
+  /// One shard's counters (index < shard_count()).
+  const ServerStats& shard_stats(std::size_t shard) const {
+    return shards_[shard].stats;
+  }
   const std::string& address() const { return address_; }
   std::size_t shard_count() const { return shards_.size(); }
 
  private:
+  /// One inbound acknowledgement, staged by the simulation thread and
+  /// applied by the owning shard's worker at the next flush.
+  struct StagedAck {
+    std::uint64_t seq = 0;    // global arrival order (log merge key)
+    std::string vin;
+    support::Bytes message;   // serialized PirteMessage (kAck / kAckBatch)
+  };
+  /// A log line produced off-thread during an inbox flush; emitted by the
+  /// simulation thread after the barrier, sorted by arrival order, so the
+  /// observable log stream is identical to inline application.
+  struct DeferredLog {
+    std::uint64_t seq = 0;
+    bool warn = false;
+    std::string text;
+  };
+
   // Per-vehicle state partition.  A shard is owned by exactly one thread
-  // at any time: the simulation thread outside DeployCampaign, its
-  // assigned worker inside.
+  // at any time: the simulation thread outside DeployCampaign /
+  // CampaignWavePush / FlushAckInboxes, its assigned worker inside.
   struct Shard {
     std::unordered_map<std::string, Vehicle> vehicles;
     /// Pusher registry: live peers per VIN (moved here from the pending
@@ -149,6 +225,11 @@ class TrustedServer {
     std::unordered_map<std::string, std::vector<std::shared_ptr<sim::NetPeer>>>
         connections;
     ServerStats stats;
+    /// Ack inbox: filled by the simulation thread between flushes, drained
+    /// by this shard's worker inside FlushAckInboxes.  Never accessed
+    /// concurrently (the pool barrier separates the two phases).
+    std::vector<StagedAck> ack_inbox;
+    std::vector<DeferredLog> flush_logs;
   };
 
   std::size_t ShardIndex(std::string_view vin) const;
@@ -164,17 +245,37 @@ class TrustedServer {
   support::Status DeployOnShard(Shard& shard, UserId user, const std::string& vin,
                                 const App& app, bool batched);
 
+  /// One VIN of a campaign wave.  Caller must hold the catalog read lock
+  /// and own `shard`; `app` is null for rollback waves.
+  WaveOutcome WavePushOnShard(Shard& shard, UserId user, const std::string& vin,
+                              const std::string& app_name, const App* app,
+                              CampaignKind kind);
+  /// Re-pushes the recorded install batch of a stale kPending row
+  /// (previous wave's acks were lost), resetting its ack flags.
+  support::Status RepushInstallBatch(Shard& shard, const std::string& vin,
+                                     InstalledApp& row);
+  /// Names of installed apps that depend on `app_name` ("" when none).
+  std::string DependentsOf(const Vehicle& vehicle,
+                           const std::string& app_name) const;
+
   // Pusher internals (simulation thread only).
   void OnAccept(std::shared_ptr<sim::NetPeer> peer);
   void OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& data);
+  /// Schedules the ack-inbox flush event at Now() (once per batch of
+  /// arrivals).
+  void ScheduleAckFlush();
   support::Status PushToVehicle(Shard& shard, const std::string& vin,
                                 const pirte::PirteMessage& message);
-  void ApplyAck(Vehicle& vehicle, std::string_view plugin, bool ok,
-                std::string_view detail);
+
+  // Ack application (flush phase: runs on the shard's worker; `seq` keys
+  // the deferred logs).
+  void ApplyStagedAck(Shard& shard, const StagedAck& staged);
+  void ApplyAck(Shard& shard, Vehicle& vehicle, std::string_view plugin,
+                bool ok, std::string_view detail, std::uint64_t seq);
   /// A failed kAckBatch: the vehicle rejected an entire campaign push;
-  /// fails the named app's pending row.
-  void ApplyBatchNack(Vehicle& vehicle, std::string_view app_name,
-                      std::string_view detail);
+  /// fails the named app's pending row (or re-arms an uninstalling row).
+  void ApplyBatchNack(Shard& shard, Vehicle& vehicle, std::string_view app_name,
+                      std::string_view detail, std::uint64_t seq);
 
   /// Releases every unique id recorded in `row` back to the vehicle's
   /// per-ECU bitmaps (rollback and uninstall completion).
@@ -196,6 +297,10 @@ class TrustedServer {
   std::vector<std::shared_ptr<sim::NetPeer>> pending_;
   /// Reverse lookup for acks whose envelope omits the VIN.
   std::unordered_map<const sim::NetPeer*, std::string> peer_vins_;
+  /// Handshake reaping happens before a VIN (and so a shard) is known.
+  std::uint64_t pending_reaped_ = 0;
+  std::uint64_t next_ack_seq_ = 0;
+  bool ack_flush_scheduled_ = false;
 
   support::ThreadPool pool_;
 };

@@ -1,0 +1,96 @@
+#include "sim/fault.hpp"
+
+#include <numeric>
+
+namespace dacm::sim {
+
+FaultScenario::FaultScenario(Simulator& simulator, Network& network,
+                             std::uint64_t seed)
+    : simulator_(simulator), network_(network), rng_(seed) {}
+
+void FaultScenario::LinkDown() {
+  if (active_link_downs_++ == 0) network_.SetLinkUp(false);
+}
+
+void FaultScenario::LinkUp() {
+  if (--active_link_downs_ == 0) network_.SetLinkUp(true);
+}
+
+void FaultScenario::LinkFlapAfter(SimTime after, SimTime duration) {
+  const SimTime at = simulator_.Now() + after;
+  ++link_flaps_;
+  timeline_.push_back(FaultEvent{
+      at, "link flap for " + std::to_string(duration / kMillisecond) + " ms"});
+  simulator_.ScheduleAfter(after, [this] { LinkDown(); });
+  simulator_.ScheduleAfter(after + duration, [this] { LinkUp(); });
+}
+
+void FaultScenario::ChurnAfter(FleetFaultTarget& fleet, std::size_t index,
+                               SimTime after, SimTime offline_for) {
+  const SimTime at = simulator_.Now() + after;
+  ++churn_events_;
+  timeline_.push_back(FaultEvent{
+      at, "vehicle #" + std::to_string(index) + " offline for " +
+              std::to_string(offline_for / kMillisecond) + " ms"});
+  simulator_.ScheduleAfter(after,
+                           [&fleet, index] { (void)fleet.TakeOffline(index); });
+  simulator_.ScheduleAfter(after + offline_for,
+                           [&fleet, index] { (void)fleet.BringOnline(index); });
+}
+
+void FaultScenario::TransientNacks(FleetFaultTarget& fleet, std::size_t index,
+                                   SimTime heal_after) {
+  const SimTime until = simulator_.Now() + heal_after;
+  ++nacked_vehicles_;
+  timeline_.push_back(FaultEvent{
+      simulator_.Now(), "vehicle #" + std::to_string(index) + " nacks until " +
+                            std::to_string(heal_after / kMillisecond) + " ms"});
+  fleet.SetTransientNack(index, until);
+}
+
+void FaultScenario::AddRandomLinkFlaps(std::size_t count, SimTime horizon,
+                                       SimTime min_duration,
+                                       SimTime max_duration) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const SimTime after = horizon == 0 ? 0 : rng_.NextBelow(horizon);
+    const SimTime duration = rng_.NextInRange(min_duration, max_duration);
+    LinkFlapAfter(after, duration);
+  }
+}
+
+std::vector<std::size_t> FaultScenario::PickDistinct(std::size_t count,
+                                                     std::size_t size) {
+  std::vector<std::size_t> indices(size);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  count = std::min(count, size);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng_.NextBelow(size - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(count);
+  return indices;
+}
+
+void FaultScenario::AddOfflineChurn(FleetFaultTarget& fleet, double fraction,
+                                    SimTime horizon, SimTime min_offline,
+                                    SimTime max_offline) {
+  const auto count = static_cast<std::size_t>(
+      fraction * static_cast<double>(fleet.FleetSize()) + 0.5);
+  for (std::size_t index : PickDistinct(count, fleet.FleetSize())) {
+    const SimTime after = horizon == 0 ? 0 : rng_.NextBelow(horizon);
+    const SimTime offline_for = rng_.NextInRange(min_offline, max_offline);
+    ChurnAfter(fleet, index, after, offline_for);
+  }
+}
+
+void FaultScenario::AddNackCohort(FleetFaultTarget& fleet, double fraction,
+                                  SimTime heal_horizon) {
+  const auto count = static_cast<std::size_t>(
+      fraction * static_cast<double>(fleet.FleetSize()) + 0.5);
+  for (std::size_t index : PickDistinct(count, fleet.FleetSize())) {
+    TransientNacks(fleet, index,
+                   heal_horizon == 0 ? 0 : rng_.NextInRange(1, heal_horizon));
+  }
+}
+
+}  // namespace dacm::sim

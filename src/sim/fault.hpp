@@ -1,0 +1,127 @@
+// Seeded, deterministic fault-injection scenarios.
+//
+// Campaign orchestration (server/campaign.hpp) is only worth anything if
+// it converges fleets that misbehave — links that flap mid-push, vehicles
+// that churn offline, ECUs that nack until a transient clears.  This file
+// scripts those failure modes as simulator events so every run of a fault
+// scenario is reproducible from its seed: the same flap windows, the same
+// churned vehicles, the same nack cohort, in the same order.
+//
+// Two layers:
+//  * scripted primitives (LinkFlapAfter, ChurnAfter, TransientNacks) pin
+//    exact fault times — tests use these to hit a protocol window;
+//  * seeded generators (AddRandomLinkFlaps, AddOfflineChurn,
+//    AddNackCohort) draw a whole fault matrix from the scenario's Rng —
+//    benches and soak tests use these to sweep severity.
+//
+// Every scheduled fault is recorded in timeline() (description + sim
+// time), so a convergence report can print exactly what was injected.
+//
+// Layering: sim knows nothing about fes, so vehicle-level faults go
+// through the FleetFaultTarget interface, implemented by
+// fes::ScriptedFleet.  All methods must be called on the simulation
+// thread; the scheduled fault callbacks run there too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "support/status.hpp"
+
+namespace dacm::sim {
+
+/// Abstract fleet a scenario can disturb.  Indices are stable vehicle
+/// positions (ScriptedFleet uses its vins() order).
+class FleetFaultTarget {
+ public:
+  virtual ~FleetFaultTarget() = default;
+
+  virtual std::size_t FleetSize() const = 0;
+  /// Drops the vehicle's connection; pushes to it fail until BringOnline.
+  virtual support::Status TakeOffline(std::size_t index) = 0;
+  /// Re-dials and re-announces the vehicle (no-op when already online).
+  virtual support::Status BringOnline(std::size_t index) = 0;
+  /// The vehicle nacks every push it receives before sim time `until`.
+  virtual void SetTransientNack(std::size_t index, SimTime until) = 0;
+};
+
+/// One injected fault, for reporting.
+struct FaultEvent {
+  SimTime at = 0;  // when the fault takes effect (absolute sim time)
+  std::string description;
+};
+
+class FaultScenario {
+ public:
+  FaultScenario(Simulator& simulator, Network& network, std::uint64_t seed);
+
+  FaultScenario(const FaultScenario&) = delete;
+  FaultScenario& operator=(const FaultScenario&) = delete;
+
+  // --- scripted primitives (delays are relative to Now()) -------------------
+
+  /// Takes the WAN link down at Now() + `after` for `duration`.
+  /// Overlapping flaps nest: the link comes back when the last one ends.
+  void LinkFlapAfter(SimTime after, SimTime duration);
+
+  /// Takes vehicle `index` offline at Now() + `after`, back after
+  /// `offline_for`.
+  void ChurnAfter(FleetFaultTarget& fleet, std::size_t index, SimTime after,
+                  SimTime offline_for);
+
+  /// Vehicle `index` nacks every push until Now() + `heal_after`.
+  void TransientNacks(FleetFaultTarget& fleet, std::size_t index,
+                      SimTime heal_after);
+
+  // --- seeded generators ----------------------------------------------------
+
+  /// `count` link flaps starting uniformly within [Now(), Now() + horizon),
+  /// each lasting uniformly within [min_duration, max_duration].
+  void AddRandomLinkFlaps(std::size_t count, SimTime horizon,
+                          SimTime min_duration, SimTime max_duration);
+
+  /// Takes a `fraction` of the fleet (distinct vehicles, chosen by the
+  /// seed) offline once each, starting within [Now(), Now() + horizon) and
+  /// staying down within [min_offline, max_offline].
+  void AddOfflineChurn(FleetFaultTarget& fleet, double fraction,
+                       SimTime horizon, SimTime min_offline,
+                       SimTime max_offline);
+
+  /// A `fraction` cohort of distinct vehicles nacks every push until a
+  /// per-vehicle heal time within (Now(), Now() + heal_horizon].
+  void AddNackCohort(FleetFaultTarget& fleet, double fraction,
+                     SimTime heal_horizon);
+
+  // --- reporting ------------------------------------------------------------
+
+  /// Every injected fault, in scheduling order.
+  const std::vector<FaultEvent>& timeline() const { return timeline_; }
+  std::size_t link_flaps() const { return link_flaps_; }
+  std::size_t churn_events() const { return churn_events_; }
+  std::size_t nacked_vehicles() const { return nacked_vehicles_; }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  /// Picks `count` distinct indices out of [0, size) — a seeded partial
+  /// Fisher-Yates, so cohort membership is a pure function of the seed.
+  std::vector<std::size_t> PickDistinct(std::size_t count, std::size_t size);
+
+  void LinkDown();
+  void LinkUp();
+
+  Simulator& simulator_;
+  Network& network_;
+  Rng rng_;
+  std::size_t active_link_downs_ = 0;
+  std::size_t link_flaps_ = 0;
+  std::size_t churn_events_ = 0;
+  std::size_t nacked_vehicles_ = 0;
+  std::vector<FaultEvent> timeline_;
+};
+
+}  // namespace dacm::sim

@@ -96,6 +96,11 @@ class Network {
   SimTime latency() const { return latency_; }
   void SetLatency(SimTime latency) { latency_ = latency; }
 
+  /// The simulator driving this network (components that stage work for
+  /// the simulation thread — e.g. the server's ack inboxes — schedule
+  /// their flush events through it).
+  Simulator& simulator() const { return simulator_; }
+
   std::uint64_t messages_delivered() const { return messages_delivered_; }
 
  private:
