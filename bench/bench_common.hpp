@@ -167,7 +167,7 @@ class ScriptedVehicle {
       : simulator_(simulator), vin_(std::move(vin)) {
     auto client = network.Connect(server.address());
     peer_ = std::move(*client);
-    peer_->SetReceiveHandler([this](const support::Bytes& data) {
+    peer_->SetReceiveHandler([this](const support::SharedBytes& data) {
       auto envelope = pirte::Envelope::Deserialize(data);
       if (!envelope.ok()) return;
       auto message = pirte::PirteMessage::Deserialize(envelope->message);

@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -106,10 +107,27 @@ void BM_FleetCampaign(benchmark::State& state) {
   const auto fleet_size = static_cast<std::size_t>(state.range(1));
   FleetBench bench(shards, fleet_size);
   std::vector<std::uint64_t> all_ns;
+  // Amdahl bookkeeping.  The campaign phase fans out over the shard pool;
+  // the simulation phase splits into the truly serial part (event-loop
+  // deliveries, vehicle handlers, ack routing on the simulation thread)
+  // and the ack-inbox flush, which runs one-worker-per-shard since PR 4
+  // and therefore scales with the pool.  serial_sim_fraction reports only
+  // the former — the term that caps shard scaling and that PR 5's
+  // event-kernel rebuild exists to push down.
+  std::uint64_t campaign_ns = 0, sim_ns = 0, flush_ns = 0;
   for (auto _ : state) {
+    const std::uint64_t flush_before = bench.server.ack_flush_nanos();
+    const auto t0 = std::chrono::steady_clock::now();
     auto report = bench.server.DeployCampaign(bench.user, "campaign",
                                               bench.fleet->vins());
+    const auto t1 = std::chrono::steady_clock::now();
     bench.simulator.Run();
+    const auto t2 = std::chrono::steady_clock::now();
+    campaign_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    sim_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1).count());
+    flush_ns += bench.server.ack_flush_nanos() - flush_before;
 
     state.PauseTiming();
     auto last_state =
@@ -129,6 +147,14 @@ void BM_FleetCampaign(benchmark::State& state) {
                           static_cast<std::int64_t>(fleet_size));
   state.counters["shards"] = static_cast<double>(shards);
   state.counters["fleet"] = static_cast<double>(fleet_size);
+  if (campaign_ns + sim_ns > 0) {
+    const auto total = static_cast<double>(campaign_ns + sim_ns);
+    const std::uint64_t serial = sim_ns > flush_ns ? sim_ns - flush_ns : 0;
+    state.counters["serial_sim_fraction"] = static_cast<double>(serial) / total;
+    state.counters["ack_flush_fraction"] =
+        static_cast<double>(flush_ns) / total;
+    state.counters["sim_phase_fraction"] = static_cast<double>(sim_ns) / total;
+  }
   ReportLatencies(state, all_ns);
 }
 

@@ -29,19 +29,21 @@ class ExternalDevice {
   /// Begins listening for ECM connections.
   support::Status Start() {
     return network_.Listen(address_, [this](std::shared_ptr<sim::NetPeer> peer) {
-      peer->SetReceiveHandler([this](const support::Bytes& data) { OnFrame(data); });
+      peer->SetReceiveHandler(
+          [this](const support::SharedBytes& data) { OnFrame(data); });
       peers_.push_back(std::move(peer));
     });
   }
 
-  /// Sends one FES frame to every connected vehicle.
+  /// Sends one FES frame to every connected vehicle; the serialized frame
+  /// is shared across peers (refcount, not a copy per connection).
   support::Status Send(const std::string& message_id,
                        std::span<const std::uint8_t> payload) {
     if (peers_.empty()) return support::Unavailable("no vehicle connected");
     pirte::FesFrame frame;
     frame.message_id = message_id;
     frame.payload.assign(payload.begin(), payload.end());
-    const support::Bytes wire = frame.Serialize();
+    const support::SharedBytes wire(frame.Serialize());
     for (auto& peer : peers_) {
       DACM_RETURN_IF_ERROR(peer->Send(wire));
     }
@@ -56,7 +58,7 @@ class ExternalDevice {
   const std::string& address() const { return address_; }
 
  private:
-  void OnFrame(const support::Bytes& data) {
+  void OnFrame(const support::SharedBytes& data) {
     auto frame = pirte::FesFrame::Deserialize(data);
     if (!frame.ok()) return;
     ++frames_received_;

@@ -22,7 +22,7 @@ support::Status ScriptedFleet::ConnectEndpoint(Endpoint& endpoint) {
   DACM_ASSIGN_OR_RETURN(endpoint.peer, network_.Connect(server_.address()));
   Endpoint* raw = &endpoint;
   endpoint.peer->SetReceiveHandler(
-      [this, raw](const support::Bytes& data) { OnMessage(*raw, data); });
+      [this, raw](const support::SharedBytes& data) { OnMessage(*raw, data); });
 
   pirte::Envelope hello;
   hello.kind = pirte::Envelope::Kind::kHello;
@@ -98,7 +98,7 @@ bool ScriptedFleet::online(std::size_t index) const {
          endpoints_[index]->peer->connected();
 }
 
-void ScriptedFleet::OnMessage(Endpoint& endpoint, const support::Bytes& data) {
+void ScriptedFleet::OnMessage(Endpoint& endpoint, const support::SharedBytes& data) {
   auto envelope = pirte::EnvelopeView::Parse(data);
   if (!envelope.ok() || envelope->kind != pirte::Envelope::Kind::kPirteMessage) {
     return;
@@ -111,15 +111,18 @@ void ScriptedFleet::OnMessage(Endpoint& endpoint, const support::Bytes& data) {
   const bool transient_nack = simulator_.Now() < endpoint.nack_until;
   const bool ack_ok = !scripted_nack && !transient_nack;
 
-  auto send_reply = [&](pirte::PirteMessage reply) {
-    pirte::Envelope out;
-    out.kind = pirte::Envelope::Kind::kPirteMessage;
-    out.vin = endpoint.vin;
-    out.message = reply.Serialize();
-    if (endpoint.peer->Send(out.Serialize()).ok()) {
+  // One-pass framing (envelope + message into a single sized buffer):
+  // the vehicle side of a campaign sends one of these per push, and the
+  // fleet stands in for thousands of vehicles.  All replies funnel
+  // through send_wire so the ack counters have exactly one home.
+  auto send_wire = [&](support::SharedBytes wire) {
+    if (endpoint.peer->Send(std::move(wire)).ok()) {
       ++acks_sent_;
       if (!ack_ok) ++nacks_sent_;
     }
+  };
+  auto send_reply = [&](const pirte::PirteMessage& reply) {
+    send_wire(pirte::SerializeEnveloped(endpoint.vin, reply));
   };
 
   switch (view->type) {
@@ -130,31 +133,33 @@ void ScriptedFleet::OnMessage(Endpoint& endpoint, const support::Bytes& data) {
       } else {
         ++uninstall_batches_received_;
       }
-      std::vector<pirte::BatchAckEntry> verdicts;
+      // Verdict views alias the delivered buffer (alive for the whole
+      // handler); the scratch vector is reused across messages.
+      verdict_scratch_.clear();
       auto status = pirte::ForEachInBatch(
           view->payload, [&](std::span<const std::uint8_t> entry) {
             auto inner = pirte::PirteMessageView::Parse(entry);
             if (!inner.ok()) return inner.status();
             ++packages_received_;
-            verdicts.push_back(pirte::BatchAckEntry{
-                std::string(inner->plugin_name), ack_ok,
-                ack_ok ? std::string() : "scripted nack"});
+            verdict_scratch_.push_back(pirte::BatchAckEntryView{
+                inner->plugin_name, ack_ok,
+                ack_ok ? std::string_view() : std::string_view("scripted nack")});
             return support::OkStatus();
           });
       if (!status.ok()) return;
       if (options_.batch_ack) {
-        pirte::PirteMessage reply;
-        reply.type = pirte::MessageType::kAckBatch;
-        reply.payload = pirte::SerializeAckBatch(verdicts);
-        send_reply(std::move(reply));
+        // The whole reply — envelope, kAckBatch header, verdicts — in one
+        // sized buffer.
+        send_wire(
+            pirte::SerializeEnvelopedAckBatch(endpoint.vin, verdict_scratch_));
       } else {
-        for (const pirte::BatchAckEntry& verdict : verdicts) {
+        for (const pirte::BatchAckEntryView& verdict : verdict_scratch_) {
           pirte::PirteMessage reply;
           reply.type = pirte::MessageType::kAck;
-          reply.plugin_name = verdict.plugin;
+          reply.plugin_name = std::string(verdict.plugin);
           reply.ok = verdict.ok;
-          reply.detail = verdict.detail;
-          send_reply(std::move(reply));
+          reply.detail = std::string(verdict.detail);
+          send_reply(reply);
         }
       }
       return;
@@ -167,7 +172,7 @@ void ScriptedFleet::OnMessage(Endpoint& endpoint, const support::Bytes& data) {
       reply.plugin_name = std::string(view->plugin_name);
       reply.ok = ack_ok;
       if (!ack_ok) reply.detail = "scripted nack";
-      send_reply(std::move(reply));
+      send_reply(reply);
       return;
     }
     default:

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "pirte/package.hpp"
 #include "server/server.hpp"
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
@@ -90,7 +91,7 @@ class ScriptedFleet : public sim::FleetFaultTarget {
 
   /// Dials the server, installs the receive handler and says Hello.
   support::Status ConnectEndpoint(Endpoint& endpoint);
-  void OnMessage(Endpoint& endpoint, const support::Bytes& data);
+  void OnMessage(Endpoint& endpoint, const support::SharedBytes& data);
 
   sim::Simulator& simulator_;
   sim::Network& network_;
@@ -98,6 +99,9 @@ class ScriptedFleet : public sim::FleetFaultTarget {
   ScriptedFleetOptions options_;
   std::vector<std::string> vins_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  /// Per-batch verdict scratch, reused across messages (views into the
+  /// delivered buffer; valid only inside OnMessage).
+  std::vector<pirte::BatchAckEntryView> verdict_scratch_;
   std::uint64_t batches_received_ = 0;
   std::uint64_t uninstall_batches_received_ = 0;
   std::uint64_t packages_received_ = 0;

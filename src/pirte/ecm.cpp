@@ -53,7 +53,7 @@ void Ecm::TryConnect() {
   }
   server_peer_ = std::move(*peer);
   server_peer_->SetReceiveHandler(
-      [this](const support::Bytes& data) { OnServerMessage(data); });
+      [this](const support::SharedBytes& data) { OnServerMessage(data); });
   Envelope hello;
   hello.kind = Envelope::Kind::kHello;
   hello.vin = ecm_config_.vin;
@@ -69,7 +69,7 @@ support::Status Ecm::SendToServer(const Envelope& envelope) {
   return server_peer_->Send(envelope.Serialize());
 }
 
-void Ecm::OnServerMessage(const support::Bytes& data) {
+void Ecm::OnServerMessage(const support::SharedBytes& data) {
   // Zero-copy parse: the envelope is dropped before this handler returns.
   auto envelope = EnvelopeView::Parse(data);
   if (!envelope.ok() || envelope->kind != Envelope::Kind::kPirteMessage) {
@@ -218,14 +218,15 @@ void Ecm::EnsureExternalLink(const std::string& endpoint) {
                          << endpoint;
     return;
   }
-  (*peer)->SetReceiveHandler([this, endpoint](const support::Bytes& data) {
+  (*peer)->SetReceiveHandler([this, endpoint](const support::SharedBytes& data) {
     OnExternalFrame(endpoint, data);
   });
   external_links_.emplace(endpoint, std::move(*peer));
   DACM_LOG_INFO("ecm") << config_.name << ": external link up: " << endpoint;
 }
 
-void Ecm::OnExternalFrame(const std::string& endpoint, const support::Bytes& data) {
+void Ecm::OnExternalFrame(const std::string& endpoint,
+                          const support::SharedBytes& data) {
   auto frame = FesFrame::Deserialize(data);
   if (!frame.ok()) {
     DACM_LOG_WARN("ecm") << config_.name << ": undecodable FES frame from " << endpoint;

@@ -73,12 +73,12 @@ class Ecm final : public Pirte {
 
  private:
   void TryConnect();
-  void OnServerMessage(const support::Bytes& data);
+  void OnServerMessage(const support::SharedBytes& data);
   void HandleServerPirteMessage(const PirteMessage& message);
   void OnRouteMessage(const EcmRoute& route, std::span<const std::uint8_t> data);
   void RegisterEcc(const ExternalConnectionContext& ecc);
   void EnsureExternalLink(const std::string& endpoint);
-  void OnExternalFrame(const std::string& endpoint, const support::Bytes& data);
+  void OnExternalFrame(const std::string& endpoint, const support::SharedBytes& data);
   support::Status SendToServer(const Envelope& envelope);
   const EcmRoute* RouteFor(std::uint32_t ecu_id) const;
 

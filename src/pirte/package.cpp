@@ -43,19 +43,30 @@ support::Result<InstallationPackage> InstallationPackage::Deserialize(
   return package;
 }
 
-void PirteMessage::SerializeFieldsTo(support::ByteWriter& writer, MessageType type,
+void PirteMessage::SerializeHeaderTo(support::ByteWriter& writer, MessageType type,
                                      std::string_view plugin_name,
                                      std::uint32_t target_ecu,
                                      std::uint8_t dest_port, bool ok,
                                      std::string_view detail,
-                                     std::span<const std::uint8_t> payload) {
+                                     std::uint32_t payload_size) {
   writer.WriteU8(static_cast<std::uint8_t>(type));
   writer.WriteString(plugin_name);
   writer.WriteU32(target_ecu);
   writer.WriteU8(dest_port);
   writer.WriteU8(ok ? 1 : 0);
   writer.WriteString(detail);
-  writer.WriteBlob(payload);
+  writer.WriteU32(payload_size);  // blob framing; payload bytes follow
+}
+
+void PirteMessage::SerializeFieldsTo(support::ByteWriter& writer, MessageType type,
+                                     std::string_view plugin_name,
+                                     std::uint32_t target_ecu,
+                                     std::uint8_t dest_port, bool ok,
+                                     std::string_view detail,
+                                     std::span<const std::uint8_t> payload) {
+  SerializeHeaderTo(writer, type, plugin_name, target_ecu, dest_port, ok, detail,
+                    static_cast<std::uint32_t>(payload.size()));
+  writer.WriteRaw(payload);
 }
 
 support::Bytes PirteMessage::Serialize() const {
@@ -158,6 +169,26 @@ support::Bytes SerializeAckBatch(std::span<const BatchAckEntry> entries) {
     writer.WriteString(entry.detail);
   }
   return writer.Take();
+}
+
+std::size_t AckBatchWireSize(std::span<const BatchAckEntryView> entries) {
+  std::size_t varint = 1;
+  for (auto count = entries.size() >> 7; count != 0; count >>= 7) ++varint;
+  std::size_t total = varint;
+  for (const BatchAckEntryView& entry : entries) {
+    total += 9 + entry.plugin.size() + entry.detail.size();
+  }
+  return total;
+}
+
+void SerializeAckBatchTo(support::ByteWriter& writer,
+                         std::span<const BatchAckEntryView> entries) {
+  writer.WriteVarU32(static_cast<std::uint32_t>(entries.size()));
+  for (const BatchAckEntryView& entry : entries) {
+    writer.WriteString(entry.plugin);
+    writer.WriteU8(entry.ok ? 1 : 0);
+    writer.WriteString(entry.detail);
+  }
 }
 
 support::Result<std::vector<BatchAckEntry>> DeserializeAckBatch(

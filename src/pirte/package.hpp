@@ -78,6 +78,15 @@ struct PirteMessage {
                                 std::uint32_t target_ecu, std::uint8_t dest_port,
                                 bool ok, std::string_view detail,
                                 std::span<const std::uint8_t> payload);
+  /// Everything up to and including the payload length prefix; the caller
+  /// writes exactly `payload_size` payload bytes right after.  Lets
+  /// one-pass framers emit a computed payload without first materializing
+  /// it in its own buffer.
+  static void SerializeHeaderTo(support::ByteWriter& writer, MessageType type,
+                                std::string_view plugin_name,
+                                std::uint32_t target_ecu, std::uint8_t dest_port,
+                                bool ok, std::string_view detail,
+                                std::uint32_t payload_size);
   void SerializeTo(support::ByteWriter& writer) const {
     SerializeFieldsTo(writer, type, plugin_name, target_ecu, dest_port, ok,
                       detail, payload);
@@ -147,6 +156,15 @@ support::Status ForEachInBatch(std::span<const std::uint8_t> payload, Fn&& fn) {
   for (std::uint32_t i = 0; i < count; ++i) {
     DACM_ASSIGN_OR_RETURN(std::span<const std::uint8_t> entry,
                           reader.ReadBlobView());
+#if defined(__GNUC__) || defined(__clang__)
+    // Entries sit KiBs apart (each embeds a package binary), so each
+    // entry's header is a fresh cache/TLB miss on a campaign-sized batch.
+    // Kick off the next entry's header load before parsing this one; the
+    // fleet-delivery profile is memory-latency-bound right here.
+    if (i + 1 < count && reader.remaining() >= 4) {
+      __builtin_prefetch(entry.data() + entry.size() + 4);
+    }
+#endif
     DACM_RETURN_IF_ERROR(fn(entry));
   }
   return support::OkStatus();
@@ -162,6 +180,24 @@ struct BatchAckEntry {
 support::Bytes SerializeAckBatch(std::span<const BatchAckEntry> entries);
 support::Result<std::vector<BatchAckEntry>> DeserializeAckBatch(
     std::span<const std::uint8_t> payload);
+
+/// View form of a verdict: aliases the caller's storage.  Fleet endpoints
+/// assemble thousands of ack batches per campaign straight from parsed
+/// batch views, so the owning form above would mean two string copies per
+/// plug-in on the vehicle-side hot path.
+struct BatchAckEntryView {
+  std::string_view plugin;
+  bool ok = true;
+  std::string_view detail;
+};
+
+/// Exact serialized size of a kAckBatch payload — lets one-pass framers
+/// (SerializeEnvelopedAckBatch) size the whole wire buffer up front.
+std::size_t AckBatchWireSize(std::span<const BatchAckEntryView> entries);
+
+/// Appends the kAckBatch payload (varint count + verdicts) to `writer`.
+void SerializeAckBatchTo(support::ByteWriter& writer,
+                         std::span<const BatchAckEntryView> entries);
 
 /// Zero-copy walk of a kAckBatch payload: `fn(plugin, ok, detail)` per
 /// verdict, the views aliasing `payload`.  The server's hot ack path —

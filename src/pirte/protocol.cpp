@@ -45,6 +45,23 @@ support::Bytes SerializeEnveloped(std::string_view vin, const PirteMessage& mess
   return writer.Take();
 }
 
+support::Bytes SerializeEnvelopedAckBatch(
+    std::string_view vin, std::span<const BatchAckEntryView> verdicts) {
+  const std::size_t payload = AckBatchWireSize(verdicts);
+  const std::size_t inner = PirteMessage::kFixedWireSize + payload;
+  support::ByteWriter writer;
+  writer.Reserve(9 + vin.size() + inner);
+  writer.WriteU8(static_cast<std::uint8_t>(Envelope::Kind::kPirteMessage));
+  writer.WriteString(vin);
+  writer.WriteU32(static_cast<std::uint32_t>(inner));  // message blob framing
+  PirteMessage::SerializeHeaderTo(writer, MessageType::kAckBatch,
+                                  /*plugin_name=*/{}, /*target_ecu=*/0,
+                                  /*dest_port=*/0, /*ok=*/true, /*detail=*/{},
+                                  static_cast<std::uint32_t>(payload));
+  SerializeAckBatchTo(writer, verdicts);
+  return writer.Take();
+}
+
 support::Bytes FesFrame::Serialize() const {
   support::ByteWriter writer;
   writer.Reserve(8 + message_id.size() + payload.size());

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "pirte/package.hpp"
 #include "support/bytes.hpp"
 #include "support/status.hpp"
 
@@ -46,13 +47,19 @@ struct FesFrame {
   static support::Result<FesFrame> Deserialize(std::span<const std::uint8_t> data);
 };
 
-struct PirteMessage;
-
 /// One-pass framing of a kPirteMessage envelope: writes the envelope
 /// header and the inner message fields into a single sized buffer, instead
 /// of serializing the message and copying it into Envelope::message.  The
 /// server's Pusher uses this — campaign payloads run to tens of KiB per
 /// vehicle, so each saved pass is measurable.
 support::Bytes SerializeEnveloped(std::string_view vin, const PirteMessage& message);
+
+/// One-pass framing of a vehicle's whole campaign answer: envelope header,
+/// kAckBatch message header and every verdict, in one sized buffer.  The
+/// vehicle side of a fleet sends exactly one of these per batch push, so
+/// the two intermediate buffers the generic path needs (payload, inner
+/// message) are worth skipping.
+support::Bytes SerializeEnvelopedAckBatch(
+    std::string_view vin, std::span<const BatchAckEntryView> verdicts);
 
 }  // namespace dacm::pirte

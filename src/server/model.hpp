@@ -24,6 +24,7 @@
 #include "pirte/package.hpp"
 #include "support/bytes.hpp"
 #include "support/ids.hpp"
+#include "support/shared_bytes.hpp"
 
 namespace dacm::server {
 
@@ -241,6 +242,15 @@ struct InstalledApp {
     std::string ack_detail;
   };
   std::vector<PluginRecord> plugins;
+
+  /// The serialized kInstallBatch envelope recorded when the campaign
+  /// batch was first pushed; retry waves re-push it verbatim (a refcount
+  /// bump instead of reserializing ~50 KiB per vehicle).  Cleared once
+  /// the row converges, so pending rows are the only ones paying memory.
+  support::SharedBytes push_bytes;
+  /// Same for the kUninstallBatch envelope, cached by the first rollback
+  /// wave and reused by every repeated wave until the row resolves.
+  support::SharedBytes uninstall_bytes;
 
   bool AllAcked() const {
     for (const PluginRecord& p : plugins) {

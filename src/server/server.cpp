@@ -219,7 +219,7 @@ support::Status TrustedServer::DeployOnShard(Shard& shard, UserId user,
     record.plugins.push_back(std::move(plugin));
   }
   vehicle->installed.push_back(std::move(record));
-  const InstalledApp& row = vehicle->installed.back();
+  InstalledApp& row = vehicle->installed.back();
 
   auto rollback = [&](const support::Status& error) {
     // Roll back the uncommitted row: a failed deploy must leave no trace
@@ -232,7 +232,8 @@ support::Status TrustedServer::DeployOnShard(Shard& shard, UserId user,
 
   if (batched) {
     // Campaign path: one push carrying every plug-in package, assembled
-    // from views over the freshly recorded package bytes.
+    // from views over the freshly recorded package bytes.  The serialized
+    // envelope is recorded on the row so retry waves re-push it verbatim.
     std::vector<pirte::InstallBatchEntry> entries;
     entries.reserve(row.plugins.size());
     for (const InstalledApp::PluginRecord& plugin : row.plugins) {
@@ -243,7 +244,8 @@ support::Status TrustedServer::DeployOnShard(Shard& shard, UserId user,
     batch.type = pirte::MessageType::kInstallBatch;
     batch.plugin_name = app.name;  // diagnostic label for nack paths
     batch.payload = pirte::SerializeInstallBatch(entries);
-    auto push = PushToVehicle(shard, vin, batch);
+    row.push_bytes = support::SharedBytes(pirte::SerializeEnveloped(vin, batch));
+    auto push = PushWireToVehicle(shard, vin, row.push_bytes);
     if (!push.ok()) return rollback(push);
   } else {
     for (const InstalledApp::PluginRecord& plugin : row.plugins) {
@@ -405,17 +407,24 @@ WaveOutcome TrustedServer::WavePushOnShard(Shard& shard, UserId user,
       plugin.ack_detail.clear();
     }
     row->state = InstallState::kUninstalling;
-    std::vector<pirte::UninstallBatchEntry> entries;
-    entries.reserve(row->plugins.size());
-    for (const InstalledApp::PluginRecord& plugin : row->plugins) {
-      entries.push_back(
-          pirte::UninstallBatchEntry{plugin.plugin, plugin.ecu_id});
+    if (row->uninstall_bytes.empty()) {
+      // First rollback wave for this row: serialize the batch once; a
+      // repeated wave (lost acks, nacked uninstall) re-pushes the same
+      // buffer by refcount.
+      std::vector<pirte::UninstallBatchEntry> entries;
+      entries.reserve(row->plugins.size());
+      for (const InstalledApp::PluginRecord& plugin : row->plugins) {
+        entries.push_back(
+            pirte::UninstallBatchEntry{plugin.plugin, plugin.ecu_id});
+      }
+      pirte::PirteMessage batch;
+      batch.type = pirte::MessageType::kUninstallBatch;
+      batch.plugin_name = app_name;  // diagnostic label for nack paths
+      batch.payload = pirte::SerializeUninstallBatch(entries);
+      row->uninstall_bytes =
+          support::SharedBytes(pirte::SerializeEnveloped(vin, batch));
     }
-    pirte::PirteMessage batch;
-    batch.type = pirte::MessageType::kUninstallBatch;
-    batch.plugin_name = app_name;  // diagnostic label for nack paths
-    batch.payload = pirte::SerializeUninstallBatch(entries);
-    auto push = PushToVehicle(shard, vin, batch);
+    auto push = PushWireToVehicle(shard, vin, row->uninstall_bytes);
     if (!push.ok()) {
       row->state = previous;
       return ClassifyPush(std::move(push));
@@ -460,17 +469,23 @@ support::Status TrustedServer::RepushInstallBatch(Shard& shard,
     plugin.ack_ok = false;
     plugin.ack_detail.clear();
   }
-  std::vector<pirte::InstallBatchEntry> entries;
-  entries.reserve(row.plugins.size());
-  for (const InstalledApp::PluginRecord& plugin : row.plugins) {
-    entries.push_back(pirte::InstallBatchEntry{plugin.plugin, plugin.ecu_id,
-                                               plugin.package_bytes});
+  if (row.push_bytes.empty()) {
+    // No recorded batch (e.g. the pending row came from a per-plug-in
+    // Restore): assemble and record it once; later waves reuse it.
+    std::vector<pirte::InstallBatchEntry> entries;
+    entries.reserve(row.plugins.size());
+    for (const InstalledApp::PluginRecord& plugin : row.plugins) {
+      entries.push_back(pirte::InstallBatchEntry{plugin.plugin, plugin.ecu_id,
+                                                 plugin.package_bytes});
+    }
+    pirte::PirteMessage batch;
+    batch.type = pirte::MessageType::kInstallBatch;
+    batch.plugin_name = row.app_name;
+    batch.payload = pirte::SerializeInstallBatch(entries);
+    row.push_bytes =
+        support::SharedBytes(pirte::SerializeEnveloped(vin, batch));
   }
-  pirte::PirteMessage batch;
-  batch.type = pirte::MessageType::kInstallBatch;
-  batch.plugin_name = row.app_name;
-  batch.payload = pirte::SerializeInstallBatch(entries);
-  DACM_RETURN_IF_ERROR(PushToVehicle(shard, vin, batch));
+  DACM_RETURN_IF_ERROR(PushWireToVehicle(shard, vin, row.push_bytes));
   ++shard.stats.repushes;
   return support::OkStatus();
 }
@@ -655,13 +670,14 @@ void TrustedServer::OnAccept(std::shared_ptr<sim::NetPeer> peer) {
       pending_,
       [](const std::shared_ptr<sim::NetPeer>& old) { return !old->connected(); });
   sim::NetPeer* raw = peer.get();
-  peer->SetReceiveHandler([this, raw](const support::Bytes& data) {
+  peer->SetReceiveHandler([this, raw](const support::SharedBytes& data) {
     OnVehicleMessage(raw, data);
   });
   pending_.push_back(std::move(peer));
 }
 
-void TrustedServer::OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& data) {
+void TrustedServer::OnVehicleMessage(sim::NetPeer* peer,
+                                     const support::SharedBytes& data) {
   // Zero-copy parse: the view aliases `data`, which outlives this handler.
   auto envelope = pirte::EnvelopeView::Parse(data);
   if (!envelope.ok()) {
@@ -703,24 +719,32 @@ void TrustedServer::OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& d
   }
 
   // Acknowledgements are the server's highest-volume inbound traffic
-  // (thousands per campaign).  The simulation thread only routes: a
-  // zero-copy parse decides ack-ness, then the message bytes land in the
-  // owning shard's inbox and the flush event (scheduled at this arrival
-  // timestamp) applies every staged ack — one worker per shard, so a
-  // campaign's ack storm parallelizes instead of serializing here.
-  auto message = pirte::PirteMessageView::Parse(envelope->message);
-  if (!message.ok()) {
-    DACM_LOG_WARN("server") << "undecodable PirteMessage from " << vin;
+  // (thousands per campaign).  The simulation thread only routes: it
+  // peeks the message's leading type byte, resolves the owning shard and
+  // vehicle, and stages the raw bytes; the full parse runs on the flush
+  // worker (scheduled at this arrival timestamp), one worker per shard,
+  // so a campaign's ack storm parallelizes instead of serializing here.
+  const std::span<const std::uint8_t> blob = envelope->message;
+  const bool ack_like =
+      !blob.empty() &&
+      (blob[0] == static_cast<std::uint8_t>(pirte::MessageType::kAck) ||
+       blob[0] == static_cast<std::uint8_t>(pirte::MessageType::kAckBatch));
+  if (!ack_like) {
+    // Non-ack vehicle traffic is unexpected; parse only to tell malformed
+    // (warn) from benign-but-ignored.
+    if (!pirte::PirteMessageView::Parse(blob).ok()) {
+      DACM_LOG_WARN("server") << "undecodable PirteMessage from " << vin;
+    }
     return;
   }
-  if (message->type == pirte::MessageType::kAck ||
-      message->type == pirte::MessageType::kAckBatch) {
-    Shard& shard = ShardFor(vin);
-    shard.ack_inbox.push_back(StagedAck{
-        next_ack_seq_++, std::move(vin),
-        support::Bytes(envelope->message.begin(), envelope->message.end())});
-    ScheduleAckFlush();
-  }
+  Shard& shard = ShardFor(vin);
+  // Zero-copy staging: the delivered buffer stays alive by refcount.
+  auto vehicle_it = shard.vehicles.find(vin);
+  Vehicle* vehicle =
+      vehicle_it == shard.vehicles.end() ? nullptr : &vehicle_it->second;
+  shard.ack_inbox.push_back(
+      StagedAck{next_ack_seq_++, std::move(vin), vehicle, data, blob});
+  ScheduleAckFlush();
 }
 
 void TrustedServer::ScheduleAckFlush() {
@@ -746,6 +770,7 @@ void TrustedServer::FlushAckInboxes() {
   }
   if (!any) return;
 
+  const auto flush_start = std::chrono::steady_clock::now();
   pool_.ParallelFor(shards_.size(), [this](std::size_t index) {
     Shard& shard = shards_[index];
     for (const StagedAck& staged : shard.ack_inbox) {
@@ -753,6 +778,10 @@ void TrustedServer::FlushAckInboxes() {
     }
     shard.ack_inbox.clear();
   });
+  flush_ns_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - flush_start)
+          .count());
 
   // Emit the workers' deferred logs in arrival order: the observable log
   // stream (which the determinism tests record) is identical to what
@@ -779,32 +808,41 @@ void TrustedServer::FlushAckInboxes() {
 }
 
 void TrustedServer::ApplyStagedAck(Shard& shard, const StagedAck& staged) {
-  auto message = pirte::PirteMessageView::Parse(staged.message);
-  if (!message.ok()) return;  // staging already vetted the parse
-  auto vehicle_it = shard.vehicles.find(staged.vin);
-  if (message->type == pirte::MessageType::kAck) {
+  auto parsed = pirte::PirteMessageView::Parse(staged.message);
+  if (!parsed.ok()) {
+    // Routing only peeked the type byte; a truncated ack surfaces here,
+    // deferred like every flush-phase log.
+    if (support::Log::Enabled(support::LogLevel::kWarn)) {
+      shard.flush_logs.push_back(DeferredLog{
+          staged.seq, true, "undecodable PirteMessage from " + staged.vin});
+    }
+    return;
+  }
+  const pirte::PirteMessageView& message = *parsed;
+  Vehicle* vehicle = staged.vehicle;
+  if (message.type == pirte::MessageType::kAck) {
     ++shard.stats.acks_received;
-    if (!message->ok) ++shard.stats.nacks_received;
-    if (vehicle_it == shard.vehicles.end()) return;
-    ApplyAck(shard, vehicle_it->second, message->plugin_name, message->ok,
-             message->detail, staged.seq);
-  } else if (message->type == pirte::MessageType::kAckBatch) {
-    if (vehicle_it == shard.vehicles.end()) return;
-    if (!message->ok) {
+    if (!message.ok) ++shard.stats.nacks_received;
+    if (vehicle == nullptr) return;
+    ApplyAck(shard, *vehicle, message.plugin_name, message.ok, message.detail,
+             staged.seq);
+  } else if (message.type == pirte::MessageType::kAckBatch) {
+    if (vehicle == nullptr) return;
+    if (!message.ok) {
       // Typed whole-batch rejection: the vehicle could not process the
       // campaign push at all; plugin_name carries the batch's app label.
       ++shard.stats.acks_received;
       ++shard.stats.nacks_received;
-      ApplyBatchNack(shard, vehicle_it->second, message->plugin_name,
-                     message->detail, staged.seq);
+      ApplyBatchNack(shard, *vehicle, message.plugin_name, message.detail,
+                     staged.seq);
       return;
     }
     auto status = pirte::ForEachAckInBatch(
-        message->payload,
+        message.payload,
         [&](std::string_view plugin, bool ok, std::string_view detail) {
           ++shard.stats.acks_received;
           if (!ok) ++shard.stats.nacks_received;
-          ApplyAck(shard, vehicle_it->second, plugin, ok, detail, staged.seq);
+          ApplyAck(shard, *vehicle, plugin, ok, detail, staged.seq);
         });
     if (!status.ok() && support::Log::Enabled(support::LogLevel::kWarn)) {
       shard.flush_logs.push_back(DeferredLog{
@@ -815,11 +853,18 @@ void TrustedServer::ApplyStagedAck(Shard& shard, const StagedAck& staged) {
 
 support::Status TrustedServer::PushToVehicle(Shard& shard, const std::string& vin,
                                              const pirte::PirteMessage& message) {
+  return PushWireToVehicle(
+      shard, vin, support::SharedBytes(pirte::SerializeEnveloped(vin, message)));
+}
+
+support::Status TrustedServer::PushWireToVehicle(Shard& shard,
+                                                 const std::string& vin,
+                                                 const support::SharedBytes& wire) {
   auto it = shard.connections.find(vin);
   if (it != shard.connections.end()) {
     for (const std::shared_ptr<sim::NetPeer>& peer : it->second) {
       if (!peer->connected()) continue;
-      DACM_RETURN_IF_ERROR(peer->Send(pirte::SerializeEnveloped(vin, message)));
+      DACM_RETURN_IF_ERROR(peer->Send(wire));
       ++shard.stats.packages_pushed;
       return support::OkStatus();
     }
@@ -838,6 +883,7 @@ void TrustedServer::ApplyBatchNack(Shard& shard, Vehicle& vehicle,
       // Fail the pending row outright — otherwise it would wait forever
       // for per-plug-in acks that will never come, blocking retries.
       installed.state = InstallState::kFailed;
+      installed.push_bytes = {};
       for (InstalledApp::PluginRecord& plugin : installed.plugins) {
         if (plugin.acked) continue;
         plugin.acked = true;
@@ -886,8 +932,10 @@ void TrustedServer::ApplyAck(Shard& shard, Vehicle& vehicle,
       if (installed.state == InstallState::kPending) {
         if (installed.AnyFailed()) {
           installed.state = InstallState::kFailed;
+          installed.push_bytes = {};  // no more retry re-pushes of this batch
         } else if (installed.AllAcked()) {
           installed.state = InstallState::kInstalled;
+          installed.push_bytes = {};  // converged; release the recorded batch
           if (support::Log::Enabled(support::LogLevel::kInfo)) {
             shard.flush_logs.push_back(
                 DeferredLog{seq, false,

@@ -191,6 +191,10 @@ class TrustedServer {
   bool HasApp(const std::string& app_name) const;
   /// Aggregated over all shards.
   ServerStats stats() const;
+  /// Cumulative wall time spent inside ack-inbox flushes (the phase that
+  /// parallelizes one-worker-per-shard).  bench_fleet subtracts it from
+  /// the simulation phase to report the Amdahl-serial fraction.
+  std::uint64_t ack_flush_nanos() const { return flush_ns_; }
   /// One shard's counters (index < shard_count()).
   const ServerStats& shard_stats(std::size_t shard) const {
     return shards_[shard].stats;
@@ -200,11 +204,22 @@ class TrustedServer {
 
  private:
   /// One inbound acknowledgement, staged by the simulation thread and
-  /// applied by the owning shard's worker at the next flush.
+  /// applied by the owning shard's worker at the next flush.  The staged
+  /// entry keeps the delivered envelope buffer alive by refcount and
+  /// stores the already-parsed message view (aliasing that buffer) — no
+  /// copy and no re-parse per ack.
   struct StagedAck {
     std::uint64_t seq = 0;    // global arrival order (log merge key)
     std::string vin;
-    support::Bytes message;   // serialized PirteMessage (kAck / kAckBatch)
+    /// Resolved at staging time (the simulation thread owns every shard
+    /// between flush barriers; Vehicle nodes are address-stable), so the
+    /// flush worker skips the per-ack hash lookup.  Null for unknown VINs.
+    Vehicle* vehicle = nullptr;
+    support::SharedBytes envelope;  // the delivered buffer
+    /// The embedded kAck/kAckBatch bytes, in place.  Routing only peeks
+    /// the type byte; the full parse happens on the flush worker, off the
+    /// simulation thread.
+    std::span<const std::uint8_t> message;
   };
   /// A log line produced off-thread during an inbox flush; emitted by the
   /// simulation thread after the barrier, sorted by arrival order, so the
@@ -260,12 +275,16 @@ class TrustedServer {
 
   // Pusher internals (simulation thread only).
   void OnAccept(std::shared_ptr<sim::NetPeer> peer);
-  void OnVehicleMessage(sim::NetPeer* peer, const support::Bytes& data);
+  void OnVehicleMessage(sim::NetPeer* peer, const support::SharedBytes& data);
   /// Schedules the ack-inbox flush event at Now() (once per batch of
   /// arrivals).
   void ScheduleAckFlush();
   support::Status PushToVehicle(Shard& shard, const std::string& vin,
                                 const pirte::PirteMessage& message);
+  /// Pushes an already-serialized envelope (recorded campaign batches are
+  /// re-pushed this way: one refcount bump, no serialization).
+  support::Status PushWireToVehicle(Shard& shard, const std::string& vin,
+                                    const support::SharedBytes& wire);
 
   // Ack application (flush phase: runs on the shard's worker; `seq` keys
   // the deferred logs).
@@ -301,6 +320,7 @@ class TrustedServer {
   std::uint64_t pending_reaped_ = 0;
   std::uint64_t next_ack_seq_ = 0;
   bool ack_flush_scheduled_ = false;
+  std::uint64_t flush_ns_ = 0;  // total time inside FlushAckInboxes' barrier
 
   support::ThreadPool pool_;
 };

@@ -1,0 +1,139 @@
+// Cold half of the EventQueue: pool growth and the per-slot advance /
+// cascade machinery.  The per-event hot path (Push / PopDue / Place)
+// lives inline in the header so Simulator's run loop folds it in.
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace dacm::sim {
+
+EventQueue::~EventQueue() = default;  // blocks_ own every node, pending or free
+
+void EventQueue::RefillPool() {
+  blocks_.push_back(std::make_unique<Node[]>(kBlockNodes));
+  Node* block = blocks_.back().get();
+  for (std::size_t i = 0; i < kBlockNodes; ++i) {
+    block[i].next = free_;
+    free_ = &block[i];
+  }
+}
+
+void EventQueue::LinkScratchAsReady() {
+  assert(ready_head_ == nullptr);
+  // Slots fill in sequence order unless a cascade interleaved arrivals,
+  // so the common case (a same-timestamp storm harvested from one slot)
+  // is already sorted — an O(n) check dodges the O(n log n) sort.
+  const auto by_seq = [](const Node* a, const Node* b) {
+    return a->seq < b->seq;
+  };
+  if (!std::is_sorted(scratch_due_.begin(), scratch_due_.end(), by_seq)) {
+    std::sort(scratch_due_.begin(), scratch_due_.end(), by_seq);
+  }
+  for (Node* node : scratch_due_) {
+    node->next = nullptr;
+    if (ready_tail_ == nullptr) {
+      ready_head_ = ready_tail_ = node;
+    } else {
+      ready_tail_->next = node;
+      ready_tail_ = node;
+    }
+  }
+  scratch_due_.clear();
+}
+
+bool EventQueue::AdvanceToNext(SimTime limit) {
+  assert(ready_head_ == nullptr);
+  for (;;) {
+    // Fold overflow events that came within the horizon of the cursor.
+    while (!overflow_.empty()) {
+      Node* top = overflow_.front();
+      if (((top->at ^ cursor_) >> kWheelBits) != 0) break;
+      std::pop_heap(overflow_.begin(), overflow_.end(), NodeLater{});
+      overflow_.pop_back();
+      if (top->at == cursor_) {
+        scratch_due_.push_back(top);
+      } else {
+        InsertIntoWheel(top);
+      }
+    }
+    if (!scratch_due_.empty()) {
+      LinkScratchAsReady();
+      return true;
+    }
+
+    // The earliest candidate window over all levels.  For level > 0 the
+    // window start is a lower bound on its events' timestamps, which is
+    // exactly what makes cascading below safe: the cursor never advances
+    // past a pending event.
+    int best_level = -1;
+    std::size_t best_index = 0;
+    SimTime best_time = 0;
+    for (int level = 0; level < kLevels; ++level) {
+      std::uint64_t occ = occupied_[level];
+      if (occ == 0) continue;
+      const auto cursor_index =
+          static_cast<unsigned>((cursor_ >> (level * kSlotBits)) & (kSlots - 1));
+      // Only slots strictly ahead of the cursor in this rotation can hold
+      // events (insertion places same-slot times at a lower level).
+      occ &= cursor_index == kSlots - 1 ? 0
+                                        : ~std::uint64_t{0} << (cursor_index + 1);
+      if (occ == 0) continue;
+      const auto index = static_cast<std::size_t>(std::countr_zero(occ));
+      const SimTime window = SimTime{1} << ((level + 1) * kSlotBits);
+      const SimTime base = cursor_ & ~(window - 1);
+      const SimTime time = base | (SimTime{index} << (level * kSlotBits));
+      if (best_level < 0 || time < best_time) {
+        best_level = level;
+        best_index = index;
+        best_time = time;
+      }
+    }
+
+    if (best_level < 0) {
+      // Wheel empty; only far-future overflow events (if any) remain.
+      if (overflow_.empty()) return false;
+      Node* top = overflow_.front();
+      if (top->at > limit) return false;
+      cursor_ = top->at;  // jump: nothing pending in between
+      continue;
+    }
+    if (best_time > limit) return false;
+
+    Slot& slot = slots_[best_level][best_index];
+    Node* head = slot.head;
+    slot.head = slot.tail = nullptr;
+    occupied_[best_level] &= ~(std::uint64_t{1} << best_index);
+    cursor_ = best_time;
+
+    if (best_level == 0) {
+      // A level-0 slot holds one exact timestamp: harvest it, restoring
+      // sequence order (cascades may have interleaved arrivals).
+      for (Node* node = head; node != nullptr;) {
+        Node* next = node->next;
+        assert(node->at == cursor_);
+        scratch_due_.push_back(node);
+        node = next;
+      }
+      LinkScratchAsReady();
+      return true;
+    }
+
+    // Cascade the outer-level slot down relative to the advanced cursor.
+    for (Node* node = head; node != nullptr;) {
+      Node* next = node->next;
+      node->next = nullptr;
+      if (node->at == cursor_) {
+        scratch_due_.push_back(node);
+      } else {
+        InsertIntoWheel(node);
+      }
+      node = next;
+    }
+    if (!scratch_due_.empty()) {
+      LinkScratchAsReady();
+      return true;
+    }
+  }
+}
+
+}  // namespace dacm::sim

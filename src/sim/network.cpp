@@ -11,7 +11,11 @@ Network::Network(Simulator& simulator, SimTime one_way_latency)
 
 Network::~Network() { simulator_.RemoveDrainHook(drain_hook_); }
 
-support::Status NetPeer::Send(support::Bytes message) {
+std::string NetPeer::label() const {
+  return (client_side_ ? "client->" : "accept@") + *address_;
+}
+
+support::Status NetPeer::Send(support::SharedBytes message) {
   if (!net_.link_up()) {
     return support::Unavailable("network link down");
   }
@@ -35,7 +39,8 @@ void NetPeer::Close() {
 }
 
 void Network::ScheduleDelivery(std::shared_ptr<NetPeer> remote,
-                               support::Bytes message) {
+                               support::SharedBytes message) {
+  // 40 bytes of captures: stays in the event node's inline storage.
   simulator_.ScheduleAfter(latency_, [remote = std::move(remote),
                                       message = std::move(message), net = this]() {
     ++net->messages_delivered_;
@@ -44,26 +49,38 @@ void Network::ScheduleDelivery(std::shared_ptr<NetPeer> remote,
 }
 
 void Network::DrainStagedSends() {
-  std::vector<StagedSend> staged;
   {
     std::lock_guard<std::mutex> lock(staged_mutex_);
-    staged.swap(staged_);
+    if (staged_.empty()) return;
+    drain_batch_.swap(staged_);
+    // Hand the producers a warm vector back (the one drained last time),
+    // so the staging path reallocates only while the high-water mark grows.
+    if (staged_.capacity() == 0) staged_.swap(staged_spare_);
   }
-  if (staged.empty()) return;
-  // Workers interleave nondeterministically in staged_; per-peer FIFO order
-  // is intact (each connection is driven by one thread), so sorting by the
-  // peer's creation sequence restores one canonical global order.
-  std::stable_sort(staged.begin(), staged.end(),
+  // Workers interleave nondeterministically in the staging order; per-peer
+  // FIFO order is intact (each connection is driven by one thread), so
+  // sorting by the peer's creation sequence restores one canonical global
+  // order.
+  std::stable_sort(drain_batch_.begin(), drain_batch_.end(),
                    [](const StagedSend& a, const StagedSend& b) {
                      return a.peer_seq < b.peer_seq;
                    });
-  for (StagedSend& send : staged) {
+  for (StagedSend& send : drain_batch_) {
     ScheduleDelivery(std::move(send.remote), std::move(send.message));
+  }
+  drain_batch_.clear();
+  {
+    std::lock_guard<std::mutex> lock(staged_mutex_);
+    if (staged_spare_.capacity() < drain_batch_.capacity()) {
+      staged_spare_.swap(drain_batch_);
+    }
   }
 }
 
 support::Status Network::Listen(const std::string& address, AcceptHandler on_accept) {
-  auto [it, inserted] = listeners_.emplace(address, std::move(on_accept));
+  auto [it, inserted] = listeners_.emplace(
+      address, Listener{std::move(on_accept),
+                        std::make_shared<const std::string>(address)});
   (void)it;
   if (!inserted) {
     return support::AlreadyExists("address already listening: " + address);
@@ -79,15 +96,16 @@ support::Result<std::shared_ptr<NetPeer>> Network::Connect(const std::string& ad
   if (!link_up()) {
     return support::Unavailable("network link down");
   }
-  auto client = std::shared_ptr<NetPeer>(
-      new NetPeer(*this, next_peer_seq_++, "client->" + address));
-  auto server = std::shared_ptr<NetPeer>(
-      new NetPeer(*this, next_peer_seq_++, "accept@" + address));
+  auto client = std::shared_ptr<NetPeer>(new NetPeer(
+      *this, next_peer_seq_++, it->second.address, /*client_side=*/true));
+  auto server = std::shared_ptr<NetPeer>(new NetPeer(
+      *this, next_peer_seq_++, it->second.address, /*client_side=*/false));
   client->remote_ = server;
   server->remote_ = client;
   // The accept handler owns the server-side peer; deliver it after one
   // latency like a SYN would take.
-  simulator_.ScheduleAfter(latency_, [handler = it->second, server]() { handler(server); });
+  simulator_.ScheduleAfter(latency_,
+                           [handler = it->second.on_accept, server]() { handler(server); });
   return client;
 }
 

@@ -7,9 +7,14 @@
 // one-way latency.  Link-down fault injection drops messages (the paper's
 // installation protocol recovers via server-side acknowledgement tracking).
 //
+// Delivery is zero-copy: a message is one refcounted immutable buffer
+// (support::SharedBytes) handed from sender to staged-send FIFO to the
+// receive handler — a campaign batch serialized once travels every hop,
+// including re-pushes, by refcount bump.
+//
 // Threading: Send() may be called from worker threads (the server's
 // sharded deploy pipeline pushes from its pool).  Off-thread sends are
-// staged into a per-peer FIFO under a lock and folded into the simulator's
+// staged into a pooled FIFO under a lock and folded into the simulator's
 // event queue by the drain barrier the Simulator owns — ordered by peer
 // creation sequence, so the resulting event order is deterministic
 // regardless of worker scheduling.  Sends from the simulation thread keep
@@ -29,7 +34,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
-#include "support/bytes.hpp"
+#include "support/shared_bytes.hpp"
 #include "support/status.hpp"
 
 namespace dacm::sim {
@@ -39,18 +44,22 @@ class Network;
 /// One endpoint of an established duplex connection.
 class NetPeer : public std::enable_shared_from_this<NetPeer> {
  public:
-  using ReceiveHandler = std::function<void(const support::Bytes&)>;
+  /// SharedBytes converts implicitly to `const support::Bytes&` and to a
+  /// byte span, so handlers written against either keep working.
+  using ReceiveHandler = std::function<void(const support::SharedBytes&)>;
 
   /// Sends one message to the remote endpoint.  Returns kUnavailable if the
   /// link is down or the remote endpoint is gone.  Safe to call from worker
-  /// threads; delivery is scheduled at the next drain barrier.
-  support::Status Send(support::Bytes message);
+  /// threads; delivery is scheduled at the next drain barrier.  Fanning the
+  /// same SharedBytes to many peers shares one buffer.
+  support::Status Send(support::SharedBytes message);
 
   /// Installs the receive callback (replaces any previous one).
   void SetReceiveHandler(ReceiveHandler handler) { on_receive_ = std::move(handler); }
 
-  /// Local diagnostic label ("<local>-><remote>").
-  const std::string& label() const { return label_; }
+  /// Diagnostic label ("client-><addr>" / "accept@<addr>"), built on
+  /// demand — the connect path stays free of per-peer string assembly.
+  std::string label() const;
 
   bool connected() const { return !remote_.expired(); }
 
@@ -60,12 +69,17 @@ class NetPeer : public std::enable_shared_from_this<NetPeer> {
  private:
   friend class Network;
 
-  NetPeer(Network& net, std::uint64_t seq, std::string label)
-      : net_(net), seq_(seq), label_(std::move(label)) {}
+  NetPeer(Network& net, std::uint64_t seq,
+          std::shared_ptr<const std::string> address, bool client_side)
+      : net_(net),
+        seq_(seq),
+        address_(std::move(address)),
+        client_side_(client_side) {}
 
   Network& net_;
   std::uint64_t seq_;  // creation order; the drain sort key
-  std::string label_;
+  std::shared_ptr<const std::string> address_;  // shared with the listener
+  bool client_side_;
   std::weak_ptr<NetPeer> remote_;
   ReceiveHandler on_receive_;
 };
@@ -109,7 +123,14 @@ class Network {
   struct StagedSend {
     std::uint64_t peer_seq;  // sending peer; deterministic drain order
     std::shared_ptr<NetPeer> remote;
-    support::Bytes message;
+    support::SharedBytes message;
+  };
+
+  struct Listener {
+    AcceptHandler on_accept;
+    /// Shared with every peer of this address, so Connect builds no
+    /// per-peer strings.
+    std::shared_ptr<const std::string> address;
   };
 
   /// Moves every staged send into the simulator's event queue (simulation
@@ -118,12 +139,12 @@ class Network {
 
   /// Schedules delivery of `message` into `remote` at Now() + latency
   /// (simulation thread only).
-  void ScheduleDelivery(std::shared_ptr<NetPeer> remote, support::Bytes message);
+  void ScheduleDelivery(std::shared_ptr<NetPeer> remote, support::SharedBytes message);
 
   Simulator& simulator_;
   SimTime latency_;
   std::atomic<bool> link_up_{true};
-  std::unordered_map<std::string, AcceptHandler> listeners_;
+  std::unordered_map<std::string, Listener> listeners_;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t next_peer_seq_ = 0;
   std::uint64_t drain_hook_ = 0;
@@ -131,6 +152,11 @@ class Network {
 
   std::mutex staged_mutex_;
   std::vector<StagedSend> staged_;
+  /// Drained batches recycle their capacity through here, so steady-state
+  /// staging allocates no vectors (the node pool of the send path).
+  std::vector<StagedSend> staged_spare_;
+  /// Reused drain-side batch (capacity persists across drains).
+  std::vector<StagedSend> drain_batch_;
 };
 
 }  // namespace dacm::sim

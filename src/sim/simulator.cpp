@@ -7,43 +7,96 @@ namespace dacm::sim {
 void Simulator::ScheduleAt(SimTime at, Callback fn) {
   assert(fn);
   if (at < now_) at = now_;  // late scheduling clamps to "immediately"
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  queue_.Push(at, std::move(fn));
 }
 
 std::uint64_t Simulator::AddDrainHook(Callback hook) {
   assert(hook);
   const std::uint64_t handle = next_drain_handle_++;
-  drain_hooks_.push_back(DrainHook{handle, std::move(hook)});
+  if (draining_) {
+    // Adding from inside a hook must not reallocate drain_hooks_ under
+    // the running pass (that would relocate the executing closure's
+    // inline captures); the hook joins from the next pass on.
+    pending_hooks_.push_back(DrainHook{handle, std::move(hook), false});
+    return handle;
+  }
+  drain_hook_index_.emplace(handle, drain_hooks_.size());
+  drain_hooks_.push_back(DrainHook{handle, std::move(hook), false});
   return handle;
 }
 
 void Simulator::RemoveDrainHook(std::uint64_t handle) {
-  for (std::size_t i = 0; i < drain_hooks_.size(); ++i) {
-    if (drain_hooks_[i].handle == handle) {
-      drain_hooks_.erase(drain_hooks_.begin() + static_cast<std::ptrdiff_t>(i));
-      return;
-    }
+  auto it = drain_hook_index_.find(handle);
+  if (it == drain_hook_index_.end()) {
+    // Possibly added and removed within one drain pass (teardown from a
+    // hook): still waiting in pending_hooks_.
+    std::erase_if(pending_hooks_, [handle](const DrainHook& hook) {
+      return hook.handle == handle;
+    });
+    return;
   }
+  const std::size_t index = it->second;
+  drain_hook_index_.erase(it);
+  if (draining_) {
+    // Mid-pass removal (a component tearing down from inside a hook):
+    // swapping would disturb the iteration, and destroying the callback
+    // here would tear down a possibly-executing closure, so only mark it
+    // and compact when the pass finishes.
+    drain_hooks_[index].removed = true;
+    drain_hooks_tombstoned_ = true;
+    return;
+  }
+  if (index != drain_hooks_.size() - 1) {
+    drain_hooks_[index] = std::move(drain_hooks_.back());
+    drain_hook_index_[drain_hooks_[index].handle] = index;
+  }
+  drain_hooks_.pop_back();
 }
 
 void Simulator::DrainStaged() {
-  for (const DrainHook& hook : drain_hooks_) hook.fn();
+  const bool outermost = !draining_;
+  draining_ = true;
+  // drain_hooks_ cannot grow or shrink during the pass (additions are
+  // deferred, removals tombstoned), so the closures stay put while they
+  // execute.
+  for (std::size_t i = 0; i < drain_hooks_.size(); ++i) {
+    if (!drain_hooks_[i].removed) drain_hooks_[i].fn();
+  }
+  if (!outermost) return;
+  draining_ = false;
+  if (drain_hooks_tombstoned_) {
+    drain_hooks_tombstoned_ = false;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < drain_hooks_.size(); ++i) {
+      if (drain_hooks_[i].removed) continue;
+      if (kept != i) drain_hooks_[kept] = std::move(drain_hooks_[i]);
+      drain_hook_index_[drain_hooks_[kept].handle] = kept;
+      ++kept;
+    }
+    drain_hooks_.resize(kept);
+  }
+  for (DrainHook& pending : pending_hooks_) {
+    drain_hook_index_.emplace(pending.handle, drain_hooks_.size());
+    drain_hooks_.push_back(std::move(pending));
+  }
+  pending_hooks_.clear();
 }
 
 std::size_t Simulator::Run(std::size_t limit) {
   std::size_t processed = 0;
   DrainStaged();
+  SimTime at = 0;
+  Callback fn;
   while (processed < limit) {
-    if (queue_.empty()) {
+    if (!queue_.PopDue(EventQueue::kMaxTime, &at, &fn)) {
       // Handlers fired above may have staged follow-ups (e.g. a vehicle
       // acking a push); fold them in before declaring quiescence.
       DrainStaged();
-      if (queue_.empty()) break;
+      if (!queue_.PopDue(EventQueue::kMaxTime, &at, &fn)) break;
     }
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.at;
-    ev.fn();
+    now_ = at;
+    fn();
+    fn = Callback();  // release captures before the next event fires
     ++processed;
   }
   return processed;
@@ -52,18 +105,22 @@ std::size_t Simulator::Run(std::size_t limit) {
 std::size_t Simulator::RunUntil(SimTime until) {
   std::size_t processed = 0;
   DrainStaged();
+  SimTime at = 0;
+  Callback fn;
   for (;;) {
-    if (queue_.empty() || queue_.top().at > until) {
+    if (!queue_.PopDue(until, &at, &fn)) {
       DrainStaged();
-      if (queue_.empty() || queue_.top().at > until) break;
+      if (!queue_.PopDue(until, &at, &fn)) break;
     }
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.at;
-    ev.fn();
+    now_ = at;
+    fn();
+    fn = Callback();
     ++processed;
   }
   if (now_ < until) now_ = until;
+  // Nothing remains at or before `until` (checked just above), so the
+  // wheel cursor can follow Now().
+  queue_.SyncCursor(until);
   return processed;
 }
 

@@ -6,6 +6,12 @@
 // scheduled for the same timestamp fire in scheduling order (FIFO), which
 // keeps test expectations stable.
 //
+// The pending set lives in a hierarchical timer wheel with pooled event
+// nodes and inline callback storage (sim/event_queue.hpp): steady-state
+// scheduling and firing allocates nothing and performs no comparisons, yet
+// replays byte-identically against the classic priority-queue core (the
+// property suite checks exactly that).
+//
 // The kernel itself stays single-threaded, but it owns the *drain barrier*
 // that lets worker threads feed it: components that stage work off-thread
 // (sim::Network's per-peer send queues) register a drain hook, and the run
@@ -15,24 +21,20 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <unordered_map>
 #include <vector>
 
+#include "sim/event_queue.hpp"
+
 namespace dacm::sim {
-
-/// Simulated time in microseconds since simulation start.
-using SimTime = std::uint64_t;
-
-constexpr SimTime kMicrosecond = 1;
-constexpr SimTime kMillisecond = 1000;
-constexpr SimTime kSecond = 1000 * 1000;
 
 /// Event-queue simulator.  Not thread-safe; the whole simulation is
 /// single-threaded by design.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Inline up to 48 bytes of captures; larger callables heap-allocate
+  /// once (see support/inplace_function.hpp).  Move-only.
+  using Callback = EventQueue::Callback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -60,12 +62,17 @@ class Simulator {
   /// Runs for `duration` of simulated time from Now().
   std::size_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
 
-  bool Empty() const { return queue_.empty(); }
+  bool Empty() const { return queue_.Empty(); }
   std::size_t PendingEvents() const { return queue_.size(); }
+  /// Event-node pool footprint (tests assert steady-state churn stops
+  /// growing it; see EventQueue::allocated_nodes).
+  std::size_t AllocatedEventNodes() const { return queue_.allocated_nodes(); }
 
   /// Registers a drain hook (see file comment) and returns a handle for
   /// RemoveDrainHook.  Hooks run on the simulation thread only.
   std::uint64_t AddDrainHook(Callback hook);
+  /// O(1) (swap-and-pop).  Safe to call from inside a running hook: the
+  /// entry is tombstoned for the rest of the pass and compacted after.
   void RemoveDrainHook(std::uint64_t handle);
 
   /// Runs every drain hook now.  Run/RunUntil call this before the first
@@ -74,27 +81,31 @@ class Simulator {
   void DrainStaged();
 
  private:
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
   struct DrainHook {
     std::uint64_t handle;
     Callback fn;
+    /// Tombstone for removal during a drain pass.  The callback is left
+    /// intact until the pass ends: destroying it in place would tear down
+    /// the inline captures of a hook that is removing *itself* while its
+    /// call frame still uses them.
+    bool removed = false;
   };
 
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
+
   std::uint64_t next_drain_handle_ = 0;
   std::vector<DrainHook> drain_hooks_;
+  /// Hooks added from inside a drain pass wait here until the pass ends:
+  /// pushing into drain_hooks_ mid-iteration could reallocate the vector
+  /// and relocate the inline captures of the hook currently executing.
+  std::vector<DrainHook> pending_hooks_;
+  /// handle -> index in drain_hooks_, maintained through swap-and-pop.
+  /// Pending hooks are not indexed until installed (removal before then
+  /// scans pending_hooks_ — a cold teardown-only path).
+  std::unordered_map<std::uint64_t, std::size_t> drain_hook_index_;
+  bool draining_ = false;
+  bool drain_hooks_tombstoned_ = false;
 };
 
 }  // namespace dacm::sim

@@ -2,72 +2,9 @@
 
 namespace dacm::support {
 
-void ByteWriter::WriteVarU32(std::uint32_t v) {
-  while (v >= 0x80) {
-    buffer_.push_back(static_cast<std::uint8_t>(v | 0x80));
-    v >>= 7;
-  }
-  buffer_.push_back(static_cast<std::uint8_t>(v));
-}
-
-void ByteWriter::WriteString(std::string_view s) {
-  Reserve(4 + s.size());
-  WriteU32(static_cast<std::uint32_t>(s.size()));
-  buffer_.insert(buffer_.end(), s.begin(), s.end());
-}
-
-void ByteWriter::WriteBlob(std::span<const std::uint8_t> blob) {
-  Reserve(4 + blob.size());
-  WriteU32(static_cast<std::uint32_t>(blob.size()));
-  buffer_.insert(buffer_.end(), blob.begin(), blob.end());
-}
-
-void ByteWriter::WriteRaw(std::span<const std::uint8_t> raw) {
-  buffer_.insert(buffer_.end(), raw.begin(), raw.end());
-}
-
-Status ByteReader::Need(std::size_t n) const {
-  if (remaining() < n) {
-    return Corrupted("truncated buffer: need " + std::to_string(n) +
-                     " bytes, have " + std::to_string(remaining()));
-  }
-  return OkStatus();
-}
-
-Result<std::uint8_t> ByteReader::ReadU8() {
-  DACM_RETURN_IF_ERROR(Need(1));
-  return data_[pos_++];
-}
-
-Result<std::uint16_t> ByteReader::ReadU16() {
-  DACM_RETURN_IF_ERROR(Need(2));
-  const std::uint16_t v = LoadLeU16(data_.data() + pos_);
-  pos_ += 2;
-  return v;
-}
-
-Result<std::uint32_t> ByteReader::ReadU32() {
-  DACM_RETURN_IF_ERROR(Need(4));
-  const std::uint32_t v = LoadLeU32(data_.data() + pos_);
-  pos_ += 4;
-  return v;
-}
-
-Result<std::uint64_t> ByteReader::ReadU64() {
-  DACM_RETURN_IF_ERROR(Need(8));
-  const std::uint64_t v = LoadLeU64(data_.data() + pos_);
-  pos_ += 8;
-  return v;
-}
-
-Result<std::int32_t> ByteReader::ReadI32() {
-  DACM_ASSIGN_OR_RETURN(std::uint32_t v, ReadU32());
-  return static_cast<std::int32_t>(v);
-}
-
-Result<std::int64_t> ByteReader::ReadI64() {
-  DACM_ASSIGN_OR_RETURN(std::uint64_t v, ReadU64());
-  return static_cast<std::int64_t>(v);
+Status ByteReader::TruncatedError(std::size_t n) const {
+  return Corrupted("truncated buffer: need " + std::to_string(n) +
+                   " bytes, have " + std::to_string(remaining()));
 }
 
 Result<std::uint32_t> ByteReader::ReadVarU32() {
@@ -81,22 +18,6 @@ Result<std::uint32_t> ByteReader::ReadVarU32() {
     shift += 7;
   }
   return v;
-}
-
-Result<std::string_view> ByteReader::ReadStringView() {
-  DACM_ASSIGN_OR_RETURN(std::uint32_t len, ReadU32());
-  DACM_RETURN_IF_ERROR(Need(len));
-  std::string_view s(reinterpret_cast<const char*>(data_.data() + pos_), len);
-  pos_ += len;
-  return s;
-}
-
-Result<std::span<const std::uint8_t>> ByteReader::ReadBlobView() {
-  DACM_ASSIGN_OR_RETURN(std::uint32_t len, ReadU32());
-  DACM_RETURN_IF_ERROR(Need(len));
-  std::span<const std::uint8_t> b = data_.subspan(pos_, len);
-  pos_ += len;
-  return b;
 }
 
 Result<std::string> ByteReader::ReadString() {

@@ -97,14 +97,34 @@ class ByteWriter {
   void WriteI32(std::int32_t v) { WriteU32(static_cast<std::uint32_t>(v)); }
   void WriteI64(std::int64_t v) { WriteU64(static_cast<std::uint64_t>(v)); }
 
+  // The bulk writers are inline: profiles of the fleet pipeline show the
+  // per-field call overhead of an out-of-line codec on par with the field
+  // copies themselves (millions of calls per campaign).
+
   /// Unsigned LEB128 (varint); compact encoding for counts.
-  void WriteVarU32(std::uint32_t v);
+  void WriteVarU32(std::uint32_t v) {
+    while (v >= 0x80) {
+      buffer_.push_back(static_cast<std::uint8_t>(v | 0x80));
+      v >>= 7;
+    }
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+  }
 
   /// u32 length prefix + raw bytes.
-  void WriteString(std::string_view s);
-  void WriteBlob(std::span<const std::uint8_t> blob);
+  void WriteString(std::string_view s) {
+    Reserve(4 + s.size());
+    WriteU32(static_cast<std::uint32_t>(s.size()));
+    buffer_.insert(buffer_.end(), s.begin(), s.end());
+  }
+  void WriteBlob(std::span<const std::uint8_t> blob) {
+    Reserve(4 + blob.size());
+    WriteU32(static_cast<std::uint32_t>(blob.size()));
+    buffer_.insert(buffer_.end(), blob.begin(), blob.end());
+  }
 
-  void WriteRaw(std::span<const std::uint8_t> raw);
+  void WriteRaw(std::span<const std::uint8_t> raw) {
+    buffer_.insert(buffer_.end(), raw.begin(), raw.end());
+  }
 
   /// Pre-allocates room for `additional` more bytes, so a burst of writes
   /// whose total size is known up front pays for at most one growth.
@@ -147,12 +167,40 @@ class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
 
-  Result<std::uint8_t> ReadU8();
-  Result<std::uint16_t> ReadU16();
-  Result<std::uint32_t> ReadU32();
-  Result<std::uint64_t> ReadU64();
-  Result<std::int32_t> ReadI32();
-  Result<std::int64_t> ReadI64();
+  // Scalar reads are inline for the same reason the writers are: the
+  // view-based parsers issue several per message, and the bounds check is
+  // a compare the caller's loop can fold.
+
+  Result<std::uint8_t> ReadU8() {
+    DACM_RETURN_IF_ERROR(Need(1));
+    return data_[pos_++];
+  }
+  Result<std::uint16_t> ReadU16() {
+    DACM_RETURN_IF_ERROR(Need(2));
+    const std::uint16_t v = LoadLeU16(data_.data() + pos_);
+    pos_ += 2;
+    return v;
+  }
+  Result<std::uint32_t> ReadU32() {
+    DACM_RETURN_IF_ERROR(Need(4));
+    const std::uint32_t v = LoadLeU32(data_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  Result<std::uint64_t> ReadU64() {
+    DACM_RETURN_IF_ERROR(Need(8));
+    const std::uint64_t v = LoadLeU64(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  Result<std::int32_t> ReadI32() {
+    DACM_ASSIGN_OR_RETURN(std::uint32_t v, ReadU32());
+    return static_cast<std::int32_t>(v);
+  }
+  Result<std::int64_t> ReadI64() {
+    DACM_ASSIGN_OR_RETURN(std::uint64_t v, ReadU64());
+    return static_cast<std::int64_t>(v);
+  }
   Result<std::uint32_t> ReadVarU32();
   Result<std::string> ReadString();
   Result<Bytes> ReadBlob();
@@ -160,15 +208,32 @@ class ByteReader {
   /// Zero-copy variants: the returned view aliases the reader's underlying
   /// buffer and is valid only as long as that buffer outlives it.  Use at
   /// dispatch sites that inspect a field and drop it before returning.
-  Result<std::string_view> ReadStringView();
-  Result<std::span<const std::uint8_t>> ReadBlobView();
+  Result<std::string_view> ReadStringView() {
+    DACM_ASSIGN_OR_RETURN(std::uint32_t len, ReadU32());
+    DACM_RETURN_IF_ERROR(Need(len));
+    std::string_view s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  Result<std::span<const std::uint8_t>> ReadBlobView() {
+    DACM_ASSIGN_OR_RETURN(std::uint32_t len, ReadU32());
+    DACM_RETURN_IF_ERROR(Need(len));
+    std::span<const std::uint8_t> b = data_.subspan(pos_, len);
+    pos_ += len;
+    return b;
+  }
 
   /// Number of unconsumed bytes.
   std::size_t remaining() const { return data_.size() - pos_; }
   bool exhausted() const { return remaining() == 0; }
 
  private:
-  Status Need(std::size_t n) const;
+  Status Need(std::size_t n) const {
+    // The error branch stays out of line so the hot check is a compare.
+    if (remaining() < n) [[unlikely]] return TruncatedError(n);
+    return OkStatus();
+  }
+  Status TruncatedError(std::size_t n) const;
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;

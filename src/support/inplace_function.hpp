@@ -1,0 +1,135 @@
+// Small-callback storage without heap allocation.
+//
+// InplaceFunction is a move-only std::function replacement for hot paths
+// that erase short-lived callables by the million (the simulator's event
+// queue schedules one per event).  Callables whose captures fit the inline
+// capacity are stored inside the object itself; larger ones fall back to a
+// single heap allocation (the std::function-style escape hatch), so any
+// callable is accepted — only the common case is allocation-free.
+//
+// Differences from std::function, on purpose:
+//  * move-only (no copy): event callbacks are fired once and dropped, and
+//    requiring copyability would forbid capturing move-only state;
+//  * invoking an empty InplaceFunction is undefined (asserted in debug)
+//    instead of throwing std::bad_function_call.  Note "empty" means no
+//    callable was installed: wrapping an *empty std::function* yields a
+//    non-empty InplaceFunction whose invocation throws at fire time, the
+//    same way calling that std::function directly would.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace dacm::support {
+
+inline constexpr std::size_t kInplaceFunctionCapacity = 48;
+
+template <typename Signature, std::size_t Capacity = kInplaceFunctionCapacity>
+class InplaceFunction;  // undefined; see the R(Args...) specialization
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InplaceFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  InplaceFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Decayed>) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
+      vtable_ = &kInlineVTable<Decayed>;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Decayed*(new Decayed(std::forward<F>(fn)));
+      vtable_ = &kBoxedVTable<Decayed>;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { MoveFrom(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { Reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  R operator()(Args... args) const {
+    assert(vtable_ != nullptr && "invoking an empty InplaceFunction");
+    // Like std::function, invocation is const-qualified but may run a
+    // mutable callable; storage is owned, so the cast is sound.
+    return vtable_->invoke(const_cast<unsigned char*>(storage_),
+                           std::forward<Args>(args)...);
+  }
+
+  /// True when a callable of type F (by value) avoids the heap fallback.
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+ private:
+  struct VTable {
+    R (*invoke)(void* storage, Args&&... args);
+    /// Move-constructs dst's payload from src's and destroys src's.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename F>
+  static constexpr VTable kInlineVTable{
+      [](void* storage, Args&&... args) -> R {
+        return (*static_cast<F*>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        F* from = static_cast<F*>(src);
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      [](void* storage) { static_cast<F*>(storage)->~F(); },
+  };
+
+  template <typename F>
+  static constexpr VTable kBoxedVTable{
+      [](void* storage, Args&&... args) -> R {
+        return (**static_cast<F**>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        ::new (dst) F*(*static_cast<F**>(src));
+        *static_cast<F**>(src) = nullptr;
+      },
+      [](void* storage) { delete *static_cast<F**>(storage); },
+  };
+
+  void MoveFrom(InplaceFunction& other) noexcept {
+    if (other.vtable_ == nullptr) return;
+    other.vtable_->relocate(storage_, other.storage_);
+    vtable_ = other.vtable_;
+    other.vtable_ = nullptr;
+  }
+
+  void Reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace dacm::support

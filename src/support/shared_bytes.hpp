@@ -1,0 +1,69 @@
+// Refcounted immutable byte buffers.
+//
+// A SharedBytes adopts a serialized buffer once and then travels by
+// refcount bump: the network layer hands the same buffer from sender to
+// per-peer FIFO to receive handler, a fan-out send to N peers shares one
+// allocation, and the server's recorded campaign batches are re-pushed on
+// retry waves without reserializing.  The payload is immutable for the
+// lifetime of the handle, which is what makes cross-thread sharing safe
+// (the refcount itself is atomic via shared_ptr).
+//
+// Interop: SharedBytes converts implicitly to `const Bytes&` and to
+// `std::span<const uint8_t>`, so existing parse/serialize code and receive
+// handlers written against plain buffers keep working unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "support/bytes.hpp"
+
+namespace dacm::support {
+
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  /// Adopts `bytes` (move in the buffer you just serialized — this is the
+  /// zero-copy entry point; passing an lvalue copies, like the plain-Bytes
+  /// APIs it replaces did).
+  SharedBytes(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : owned_(bytes.empty()
+                   ? nullptr
+                   : std::make_shared<const Bytes>(std::move(bytes))) {}
+
+  /// Explicit deep copy of a view (for callers that only have a span).
+  static SharedBytes Copy(std::span<const std::uint8_t> data) {
+    return SharedBytes(Bytes(data.begin(), data.end()));
+  }
+
+  const std::uint8_t* data() const { return bytes().data(); }
+  std::size_t size() const { return owned_ ? owned_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  std::span<const std::uint8_t> span() const {
+    return {bytes().data(), size()};
+  }
+
+  /// The underlying buffer (an empty sentinel when unset); valid as long
+  /// as any handle to it lives.
+  const Bytes& bytes() const { return owned_ ? *owned_ : EmptyBytes(); }
+
+  operator const Bytes&() const { return bytes(); }  // NOLINT
+  operator std::span<const std::uint8_t>() const { return span(); }  // NOLINT
+
+  /// Number of handles sharing the buffer (diagnostics/tests).
+  long use_count() const { return owned_.use_count(); }
+
+ private:
+  static const Bytes& EmptyBytes() {
+    static const Bytes empty;
+    return empty;
+  }
+
+  std::shared_ptr<const Bytes> owned_;
+};
+
+}  // namespace dacm::support

@@ -4,14 +4,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 
 #include "support/bytes.hpp"
 #include "support/crc.hpp"
 #include "support/fixed_vector.hpp"
 #include "support/ids.hpp"
+#include "support/inplace_function.hpp"
+#include "support/shared_bytes.hpp"
 #include "support/status.hpp"
 #include "support/string_util.hpp"
 #include "support/thread_pool.hpp"
@@ -520,6 +524,107 @@ TEST(ThreadPoolTest, EmptyAndSingleItemJobs) {
     ++runs;
   });
   EXPECT_EQ(runs, 1);
+}
+
+// --- InplaceFunction ------------------------------------------------------------
+
+TEST(InplaceFunctionTest, InvokesSmallCapturesInline) {
+  int hits = 0;
+  InplaceFunction<void()> fn([&hits]() { ++hits; });
+  ASSERT_TRUE(fn);
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+  // A reference capture is well under the budget.
+  using F = InplaceFunction<void()>;
+  struct Small {
+    void* a;
+    void* b;
+    void operator()() const {}
+  };
+  static_assert(F::fits_inline<Small>);
+}
+
+TEST(InplaceFunctionTest, ReturnsValuesAndTakesArguments) {
+  InplaceFunction<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InplaceFunctionTest, LargeCapturesTakeHeapEscapeHatch) {
+  std::array<std::uint64_t, 16> big{};  // 128 B: past the inline budget
+  big[15] = 42;
+  InplaceFunction<std::uint64_t()> fn([big]() { return big[15]; });
+  using F = InplaceFunction<std::uint64_t()>;
+  static_assert(!F::fits_inline<decltype([big]() { return big[15]; })>);
+  EXPECT_EQ(fn(), 42u);
+  // Heap payload survives moves.
+  InplaceFunction<std::uint64_t()> moved(std::move(fn));
+  EXPECT_EQ(moved(), 42u);
+  EXPECT_FALSE(fn);  // NOLINT(bugprone-use-after-move): emptied, by contract
+}
+
+TEST(InplaceFunctionTest, MoveTransfersOwnershipExactlyOnce) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InplaceFunction<void()> a([counter]() { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+    InplaceFunction<void()> b(std::move(a));
+    EXPECT_EQ(counter.use_count(), 2);  // moved, not copied
+    EXPECT_FALSE(a);                    // NOLINT(bugprone-use-after-move)
+    b();
+    InplaceFunction<void()> c;
+    c = std::move(b);
+    c();
+  }
+  EXPECT_EQ(counter.use_count(), 1);  // all wrappers released their capture
+  EXPECT_EQ(*counter, 2);
+}
+
+TEST(InplaceFunctionTest, CapturesMoveOnlyState) {
+  auto owned = std::make_unique<int>(7);
+  InplaceFunction<int()> fn([owned = std::move(owned)]() { return *owned; });
+  EXPECT_EQ(fn(), 7);
+}
+
+// --- SharedBytes ----------------------------------------------------------------
+
+TEST(SharedBytesTest, AdoptsBufferWithoutCopyAndSharesByRefcount) {
+  Bytes original = ToBytes("payload");
+  const std::uint8_t* storage = original.data();
+  SharedBytes shared(std::move(original));
+  EXPECT_EQ(shared.data(), storage);  // adopted, not copied
+  EXPECT_EQ(shared.size(), 7u);
+  SharedBytes alias = shared;
+  EXPECT_EQ(alias.data(), storage);
+  EXPECT_EQ(shared.use_count(), 2);
+}
+
+TEST(SharedBytesTest, ConvertsToPlainBufferViewsForLegacyHandlers) {
+  SharedBytes shared(ToBytes("abc"));
+  // The two implicit conversions receive handlers rely on.
+  const Bytes& as_bytes = shared;
+  std::span<const std::uint8_t> as_span = shared;
+  EXPECT_EQ(as_bytes.size(), 3u);
+  EXPECT_EQ(as_span.data(), shared.data());
+  EXPECT_EQ(ToString(shared), "abc");  // span conversion at a call site
+}
+
+TEST(SharedBytesTest, EmptyHandleIsSafe) {
+  SharedBytes empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  const Bytes& as_bytes = empty;
+  EXPECT_TRUE(as_bytes.empty());
+  SharedBytes from_empty_vector((Bytes()));
+  EXPECT_TRUE(from_empty_vector.empty());
+}
+
+TEST(SharedBytesTest, CopyFactoryDeepCopies) {
+  Bytes original = ToBytes("xyz");
+  SharedBytes copy = SharedBytes::Copy(original);
+  EXPECT_NE(copy.data(), original.data());
+  original[0] = '!';
+  EXPECT_EQ(ToString(copy), "xyz");
 }
 
 }  // namespace

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Warn-only perf-regression gate over bench_all aggregates.
+
+Compares a current BENCH_results.json (the { "<binary>": <google-benchmark
+document>, ... } aggregate written by the bench_all target) against the
+committed BENCH_baseline.json and reports every tracked metric that moved
+by more than the tolerance (default +-15%).
+
+The step is advisory by design: CI runners vary wildly, so a regression
+prints GitHub warning annotations and a table, and the exit code is 0
+unless --strict is given.  The point is that the perf trajectory is
+*visible* on every PR, not that noise blocks merges.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [--tolerance 0.15] [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics tracked across PRs: (bench binary, benchmark name regex-free
+# prefix, field, human label).  A missing benchmark on either side is
+# reported but never fatal (matrices evolve).
+KEY_METRICS = [
+    ("bench_fleet", "BM_FleetCampaign/shards:1/fleet:1000/real_time",
+     "items_per_second", "campaign deploys/s (1 shard, 1k fleet)"),
+    ("bench_fleet", "BM_FleetCampaign/shards:1/fleet:1000/real_time",
+     "serial_sim_fraction", "serial sim fraction (1 shard, 1k fleet)"),
+    ("bench_sim", "BM_WheelScheduleFire/1024",
+     "items_per_second", "event schedule+fire/s (wheel)"),
+    ("bench_sim", "BM_WheelStorm/4096",
+     "items_per_second", "same-timestamp storm events/s"),
+    ("bench_sim", "BM_StagedSendDrain/4096/real_time",
+     "items_per_second", "staged-send drain msgs/s"),
+    ("bench_wire_codec", "BM_Crc32/16384",
+     "bytes_per_second", "CRC-32 GB/s (16 KiB)"),
+    ("bench_fig1_vm", "BM_VmSpinLoop/10000",
+     "items_per_second", "VM spin-loop instr/s"),
+]
+
+
+def find_benchmark(doc, name):
+    for bench in doc.get("benchmarks", []):
+        if bench.get("name") == name:
+            return bench
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regression (default: warn only)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        # The step is advisory: a missing or half-written results file must
+        # warn, not fail the job.
+        print(f"::warning title=bench-compare::could not load inputs: {err}")
+        return 1 if args.strict else 0
+
+    regressions = 0
+    print(f"{'metric':<46} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for binary, name, field, label in KEY_METRICS:
+        base_bench = find_benchmark(baseline.get(binary, {}), name)
+        cur_bench = find_benchmark(current.get(binary, {}), name)
+        if base_bench is None or cur_bench is None:
+            side = "baseline" if base_bench is None else "current"
+            print(f"{label:<46} {'—':>12} {'—':>12}   (missing in {side})")
+            continue
+        base = base_bench.get(field)
+        cur = cur_bench.get(field)
+        if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)) or base == 0:
+            print(f"{label:<46} {'—':>12} {'—':>12}   (field {field} unusable)")
+            continue
+        delta = (cur - base) / base
+        # serial_sim_fraction is better when *lower*; throughputs when higher.
+        worse = delta > args.tolerance if field == "serial_sim_fraction" \
+            else delta < -args.tolerance
+        marker = "  <-- regressed" if worse else ""
+        print(f"{label:<46} {base:>12.4g} {cur:>12.4g} {delta:>+7.1%}{marker}")
+        if worse:
+            regressions += 1
+            print(f"::warning title=bench-compare::{label} moved {delta:+.1%} "
+                  f"(baseline {base:.4g}, current {cur:.4g}, "
+                  f"tolerance ±{args.tolerance:.0%})")
+
+    if regressions:
+        print(f"\n{regressions} metric(s) beyond ±{args.tolerance:.0%} "
+              f"of the committed baseline (warn-only).")
+        return 1 if args.strict else 0
+    print("\nAll tracked metrics within tolerance of the committed baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
