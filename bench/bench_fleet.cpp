@@ -2,13 +2,16 @@
 //
 // The paper's trusted server is "a central point of intelligence" for
 // every vehicle; the north-star scales it to fleet-wide OTA campaigns.
-// Three benchmark families:
+// Four benchmark families:
 //
 //   * BM_FleetCampaign — the single-shot DeployCampaign pipeline
 //     (per-vehicle compatibility checks, PIC/PLC/ECC generation, package
 //     assembly, batched pushes over the shard worker pool) plus the
 //     simulated delivery and acknowledgement round, against shard count x
 //     fleet size.  1 shard is the fully synchronous baseline.
+//   * BM_FleetDurableCampaign — the same rollout with the write-ahead
+//     status DB and campaign journal enabled; bench_compare.py holds its
+//     deploys/s against the memory-only campaign baseline.
 //   * BM_FleetSyncDeploy — the pre-campaign reference: one interactive
 //     Deploy per vehicle with per-plug-in pushes.
 //   * BM_FleetFaultCampaign — the fault matrix: a retrying CampaignEngine
@@ -37,8 +40,10 @@
 #include "bench_common.hpp"
 #include "fes/fleet.hpp"
 #include "server/campaign.hpp"
+#include "server/journal.hpp"
 #include "sim/fault.hpp"
 #include "support/crc.hpp"
+#include "support/storage.hpp"
 
 namespace dacm::bench {
 namespace {
@@ -59,8 +64,9 @@ struct FleetBench {
   server::UserId user = server::UserId::Invalid();
   std::unique_ptr<fes::ScriptedFleet> fleet;
 
-  FleetBench(std::size_t shards, std::size_t fleet_size)
-      : server(network, "srv:443", server::ServerOptions{shards}) {
+  FleetBench(std::size_t shards, std::size_t fleet_size,
+             support::RecordSink* status_sink = nullptr)
+      : server(network, "srv:443", server::ServerOptions{shards, status_sink}) {
     (void)server.Start();
     (void)server.UploadVehicleModel(fes::MakeRpiTestbedConf());
     user = *server.CreateUser("bench");
@@ -156,6 +162,54 @@ void BM_FleetCampaign(benchmark::State& state) {
     state.counters["sim_phase_fraction"] = static_cast<double>(sim_ns) / total;
   }
   ReportLatencies(state, all_ns);
+}
+
+// The same rollout with the crash-consistent persistence layer enabled:
+// every InstalledApp mutation writes a status paragraph ahead of the
+// visible transition, and a CampaignEngine journals its wave ticks.  The
+// acceptance bar for the durability PR is <= 5% off the memory-only
+// BM_FleetCampaign deploys/s at the same shape (bench_compare.py tracks
+// exactly that pairing).  wal_bytes_per_vehicle reports the durable
+// footprint of one converged deploy.
+void BM_FleetDurableCampaign(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const auto fleet_size = static_cast<std::size_t>(state.range(1));
+  support::MemorySink status_log;
+  support::MemorySink journal_log;
+  FleetBench bench(shards, fleet_size, &status_log);
+  server::CampaignEngine engine(bench.simulator, bench.server);
+  server::CampaignJournal journal(journal_log);
+  engine.AttachJournal(&journal);
+  std::uint64_t wal_bytes = 0;
+  for (auto _ : state) {
+    auto id = engine.StartDeploy(bench.user, "campaign", bench.fleet->vins());
+    bench.simulator.Run();
+
+    state.PauseTiming();
+    if (!id.ok() || !engine.Finished(*id) ||
+        engine.Snapshot(*id)->status != server::CampaignStatus::kConverged) {
+      state.SkipWithError("durable campaign did not converge");
+      state.ResumeTiming();
+      break;
+    }
+    (void)engine.Forget(*id);
+    wal_bytes += status_log.bytes().size() + journal_log.bytes().size();
+    bench.UninstallAll();
+    // The uninstall paragraphs are teardown, not campaign cost.
+    status_log.Clear();
+    journal_log.Clear();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fleet_size));
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["fleet"] = static_cast<double>(fleet_size);
+  if (state.iterations() > 0) {
+    state.counters["wal_bytes_per_vehicle"] =
+        static_cast<double>(wal_bytes) /
+        static_cast<double>(state.iterations() *
+                            static_cast<std::int64_t>(fleet_size));
+  }
 }
 
 // The classic interactive path: one Deploy per vehicle, one push per
@@ -334,6 +388,21 @@ void RegisterFleetBenchmarks(const std::vector<std::int64_t>& shard_list,
     for (std::int64_t shards : {1, 2, 4, 8}) campaign->Args({shards, 100});
     for (std::int64_t shards : {1, 2, 4, 8}) campaign->Args({shards, 1000});
     campaign->Args({1, 10000})->Args({4, 10000});
+  }
+
+  auto* durable = benchmark::RegisterBenchmark("BM_FleetDurableCampaign",
+                                               BM_FleetDurableCampaign)
+                      ->ArgNames({"shards", "fleet"})
+                      ->UseRealTime()
+                      ->Unit(benchmark::kMillisecond);
+  if (overridden) {
+    for (std::int64_t fleet : fleet_list) {
+      for (std::int64_t shards : shard_list) durable->Args({shards, fleet});
+    }
+  } else {
+    // Only the shapes bench_compare tracks against the memory-only
+    // campaign — the durability delta, not another full matrix.
+    durable->Args({1, 1000})->Args({4, 1000});
   }
 
   auto* sync = benchmark::RegisterBenchmark("BM_FleetSyncDeploy",

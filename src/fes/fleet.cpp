@@ -10,7 +10,7 @@ ScriptedFleet::ScriptedFleet(sim::Simulator& simulator, sim::Network& network,
                              ScriptedFleetOptions options)
     : simulator_(simulator),
       network_(network),
-      server_(server),
+      server_(&server),
       options_(std::move(options)) {
   vins_.reserve(options_.vehicle_count);
   for (std::size_t i = 0; i < options_.vehicle_count; ++i) {
@@ -19,7 +19,7 @@ ScriptedFleet::ScriptedFleet(sim::Simulator& simulator, sim::Network& network,
 }
 
 support::Status ScriptedFleet::ConnectEndpoint(Endpoint& endpoint) {
-  DACM_ASSIGN_OR_RETURN(endpoint.peer, network_.Connect(server_.address()));
+  DACM_ASSIGN_OR_RETURN(endpoint.peer, network_.Connect(server_->address()));
   Endpoint* raw = &endpoint;
   endpoint.peer->SetReceiveHandler(
       [this, raw](const support::SharedBytes& data) { OnMessage(*raw, data); });
@@ -35,7 +35,7 @@ support::Status ScriptedFleet::ConnectEndpoint(Endpoint& endpoint) {
 support::Status ScriptedFleet::BindAndConnect(server::UserId user) {
   endpoints_.reserve(vins_.size());
   for (std::size_t i = 0; i < vins_.size(); ++i) {
-    DACM_RETURN_IF_ERROR(server_.BindVehicle(user, vins_[i], options_.model));
+    DACM_RETURN_IF_ERROR(server_->BindVehicle(user, vins_[i], options_.model));
 
     auto endpoint = std::make_unique<Endpoint>();
     endpoint->vin = vins_[i];
@@ -45,7 +45,7 @@ support::Status ScriptedFleet::BindAndConnect(server::UserId user) {
   }
   simulator_.Run();
   for (const std::string& vin : vins_) {
-    if (!server_.VehicleOnline(vin)) {
+    if (!server_->VehicleOnline(vin)) {
       return support::Unavailable("fleet endpoint failed to come online: " + vin);
     }
   }
@@ -91,6 +91,21 @@ support::Status ScriptedFleet::BringOnline(std::size_t index) {
 void ScriptedFleet::SetTransientNack(std::size_t index, sim::SimTime until) {
   if (index >= endpoints_.size()) return;
   endpoints_[index]->nack_until = until;
+}
+
+std::size_t ScriptedFleet::RedialDead() {
+  std::size_t redialed = 0;
+  for (const std::unique_ptr<Endpoint>& endpoint : endpoints_) {
+    if (!endpoint->online || endpoint->peer->connected()) continue;
+    // The server died under this endpoint: its Pusher side closed every
+    // connection, but the endpoint never asked to go offline.  Flip it
+    // offline and reuse the BringOnline redial machinery (including the
+    // flap-bridging retry alarm).
+    endpoint->online = false;
+    (void)BringOnline(endpoint->index);
+    ++redialed;
+  }
+  return redialed;
 }
 
 bool ScriptedFleet::online(std::size_t index) const {

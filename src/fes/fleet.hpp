@@ -63,6 +63,19 @@ class ScriptedFleet : public sim::FleetFaultTarget {
   /// The endpoint nacks every push received before sim time `until`.
   void SetTransientNack(std::size_t index, sim::SimTime until) override;
 
+  // --- crash-recovery harness ------------------------------------------------
+
+  /// Points the fleet at a successor server (same address).  Call from the
+  /// KillAndRestartServer restart closure: the old TrustedServer reference
+  /// dangles the moment the kill closure destroys it.
+  void RetargetServer(server::TrustedServer& server) { server_ = &server; }
+
+  /// Re-dials every endpoint that believes it is online but whose peer
+  /// died underneath it (the killed server closed all Pusher connections).
+  /// Returns the number of endpoints re-dialed.  Run the simulator
+  /// afterwards so the Hellos settle.
+  std::size_t RedialDead();
+
   bool online(std::size_t index) const;
 
   const std::vector<std::string>& vins() const { return vins_; }
@@ -95,7 +108,9 @@ class ScriptedFleet : public sim::FleetFaultTarget {
 
   sim::Simulator& simulator_;
   sim::Network& network_;
-  server::TrustedServer& server_;
+  /// Never null; a pointer (not a reference) so RetargetServer can swap in
+  /// the recovered successor after a kill.
+  server::TrustedServer* server_;
   ScriptedFleetOptions options_;
   std::vector<std::string> vins_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "server/journal.hpp"
 #include "support/log.hpp"
 
 namespace dacm::server {
@@ -93,6 +94,16 @@ support::Result<CampaignId> CampaignEngine::Start(
       << (kind == CampaignKind::kDeploy ? "deploy" : "rollback") << " campaign "
       << id << " started: app=" << campaigns_.back()->app_name
       << " fleet=" << vins.size();
+  if (journal_ != nullptr) {
+    const Campaign& started = *campaigns_.back();
+    const support::Status logged = journal_->AppendStart(
+        id.value(), kind, started.user.value(), started.app_name,
+        started.policy, started.started_at, started.rows);
+    if (!logged.ok()) {
+      DACM_LOG_WARN("campaign")
+          << "journal start write failed: " << logged.ToString();
+    }
+  }
   ScheduleTick(index, simulator_.Now());
   return id;
 }
@@ -109,8 +120,59 @@ support::Status CampaignEngine::Forget(CampaignId id) {
     return support::FailedPrecondition("campaign still running");
   }
   // The slot stays (ids are vector indices); only the row table goes.
-  // A finished campaign has no scheduled ticks, so nothing dangles.
+  // A late tick against the retired id hits the null-slot guard in
+  // Tick(), so a timer that somehow outlives the campaign is inert.
   campaigns_[id.value()].reset();
+  if (journal_ != nullptr) {
+    const support::Status logged = journal_->AppendForget(id.value());
+    if (!logged.ok()) {
+      DACM_LOG_WARN("campaign")
+          << "journal forget write failed: " << logged.ToString();
+    }
+  }
+  return support::OkStatus();
+}
+
+support::Status CampaignEngine::Recover(
+    std::span<const std::uint8_t> journal_image) {
+  if (!campaigns_.empty()) {
+    return support::FailedPrecondition("recover requires a fresh engine");
+  }
+  DACM_ASSIGN_OR_RETURN(std::vector<RecoveredCampaign> recovered,
+                        ReplayCampaignJournal(journal_image));
+  campaigns_.reserve(recovered.size());
+  for (RecoveredCampaign& image : recovered) {
+    const std::size_t index = campaigns_.size();
+    if (image.forgotten) {
+      // Preserve the slot so later ids keep their alignment.
+      campaigns_.push_back(nullptr);
+      continue;
+    }
+    auto campaign = std::make_unique<Campaign>();
+    campaign->id = CampaignId(image.id);
+    campaign->kind = image.kind;
+    campaign->user = UserId(image.user);
+    campaign->app_name = std::move(image.app_name);
+    campaign->policy = image.policy;
+    campaign->status = image.status;
+    campaign->rows = std::move(image.rows);
+    campaign->waves_pushed = image.waves_pushed;
+    campaign->total_pushes = image.total_pushes;
+    campaign->started_at = image.started_at;
+    campaign->last_push_at = image.last_push_at;
+    campaign->finished_at = image.finished_at;
+    campaign->next_tick_at = image.next_tick_at;
+    const bool running = campaign->status == CampaignStatus::kRunning;
+    campaigns_.push_back(std::move(campaign));
+    if (running) {
+      // Resume the retry cadence where the dead engine left off; a tick
+      // that was already overdue when the server died fires now.
+      ScheduleTick(index,
+                   std::max(campaigns_.back()->next_tick_at, simulator_.Now()));
+    }
+  }
+  DACM_LOG_INFO("campaign") << "recovered " << campaigns_.size()
+                            << " campaign(s) from journal";
   return support::OkStatus();
 }
 
@@ -212,11 +274,23 @@ sim::SimTime CampaignEngine::Backoff(const RetryPolicy& policy,
 }
 
 void CampaignEngine::ScheduleTick(std::size_t index, sim::SimTime at) {
-  simulator_.ScheduleAt(at, [this, index] { Tick(index); });
+  Campaign& campaign = *campaigns_[index];
+  campaign.next_tick_at = at;
+  // Each (re)schedule starts a new epoch, so at most one pending tick is
+  // ever live per campaign; the alive token outlives `this` and retires
+  // timers still in the wheel when the engine is destroyed mid-campaign.
+  const std::uint64_t epoch = ++campaign.epoch;
+  simulator_.ScheduleAt(
+      at, [this, index, epoch,
+           alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) return;
+        Tick(index, epoch);
+      });
 }
 
 void CampaignEngine::Evaluate(Campaign& campaign) {
-  for (CampaignRow& row : campaign.rows) {
+  for (std::size_t i = 0; i < campaign.rows.size(); ++i) {
+    CampaignRow& row = campaign.rows[i];
     if (!Retriable(row.state)) continue;
     auto state = server_.AppState(row.vin, campaign.app_name);
     if (campaign.kind == CampaignKind::kDeploy) {
@@ -224,8 +298,10 @@ void CampaignEngine::Evaluate(Campaign& campaign) {
         row.state = CampaignRowState::kDone;
         row.done_at = simulator_.Now();
         row.last_error = support::OkStatus();
+        campaign.dirty.push_back(static_cast<std::uint32_t>(i));
       } else if (state.ok() && *state == InstallState::kFailed) {
         row.state = CampaignRowState::kNacked;
+        campaign.dirty.push_back(static_cast<std::uint32_t>(i));
       }
       // kPending rows (acks lost) and missing rows (never pushed) keep
       // their engine state; the next wave picks them up.
@@ -238,6 +314,7 @@ void CampaignEngine::Evaluate(Campaign& campaign) {
         row.state = CampaignRowState::kDone;
         row.done_at = simulator_.Now();
         row.last_error = support::OkStatus();
+        campaign.dirty.push_back(static_cast<std::uint32_t>(i));
       }
     }
   }
@@ -245,12 +322,14 @@ void CampaignEngine::Evaluate(Campaign& campaign) {
 
 void CampaignEngine::Finish(Campaign& campaign, CampaignStatus status,
                             std::string_view failure_reason) {
-  for (CampaignRow& row : campaign.rows) {
+  for (std::size_t i = 0; i < campaign.rows.size(); ++i) {
+    CampaignRow& row = campaign.rows[i];
     if (!Retriable(row.state)) continue;
     row.state = CampaignRowState::kFailed;
     if (row.last_error.ok()) {
       row.last_error = support::Unavailable(std::string(failure_reason));
     }
+    campaign.dirty.push_back(static_cast<std::uint32_t>(i));
   }
   campaign.status = status;
   campaign.finished_at = simulator_.Now();
@@ -267,6 +346,7 @@ void CampaignEngine::PushWave(Campaign& campaign,
   for (std::size_t index : retry) {
     campaign.rows[index].state = CampaignRowState::kRetrying;
     vins.push_back(campaign.rows[index].vin);
+    campaign.dirty.push_back(static_cast<std::uint32_t>(index));
   }
   ++campaign.waves_pushed;
   campaign.last_push_at = simulator_.Now();
@@ -311,9 +391,56 @@ void CampaignEngine::PushWave(Campaign& campaign,
                             << " already-done=" << done;
 }
 
-void CampaignEngine::Tick(std::size_t index) {
-  if (campaigns_[index] == nullptr) return;  // forgotten
+void CampaignEngine::CommitTick(Campaign& campaign) {
+  if (journal_ == nullptr) {
+    campaign.dirty.clear();
+    return;
+  }
+  support::Status logged = support::OkStatus();
+  if (!campaign.dirty.empty()) {
+    std::sort(campaign.dirty.begin(), campaign.dirty.end());
+    campaign.dirty.erase(
+        std::unique(campaign.dirty.begin(), campaign.dirty.end()),
+        campaign.dirty.end());
+    std::vector<JournalRowEntry> entries;
+    entries.reserve(campaign.dirty.size());
+    for (const std::uint32_t row_index : campaign.dirty) {
+      const CampaignRow& row = campaign.rows[row_index];
+      JournalRowEntry entry;
+      entry.index = row_index;
+      entry.state = row.state;
+      entry.attempts = static_cast<std::uint32_t>(row.attempts);
+      entry.done_at = row.done_at;
+      entry.error = row.last_error.code();
+      entries.push_back(entry);
+    }
+    logged = journal_->AppendRows(campaign.id.value(), entries);
+    campaign.dirty.clear();
+  }
+  if (logged.ok()) {
+    logged = campaign.status == CampaignStatus::kRunning
+                 ? journal_->AppendWave(campaign.id.value(),
+                                        campaign.waves_pushed,
+                                        campaign.total_pushes,
+                                        campaign.last_push_at,
+                                        campaign.next_tick_at)
+                 : journal_->AppendFinish(campaign.id.value(), campaign.status,
+                                          campaign.finished_at);
+  }
+  if (!logged.ok()) {
+    // Journal write failures degrade durability, never the live rollout.
+    DACM_LOG_WARN("campaign")
+        << "journal commit failed for campaign " << campaign.id << ": "
+        << logged.ToString();
+  }
+}
+
+void CampaignEngine::Tick(std::size_t index, std::uint64_t epoch) {
+  if (index >= campaigns_.size() || campaigns_[index] == nullptr) {
+    return;  // forgotten: the id is retired, the timer is inert
+  }
   Campaign& campaign = *campaigns_[index];
+  if (campaign.epoch != epoch) return;  // superseded schedule
   if (campaign.status != CampaignStatus::kRunning) return;
 
   // Belt and braces: arrival-time flush events normally applied every
@@ -334,16 +461,19 @@ void CampaignEngine::Tick(std::size_t index) {
       static_cast<double>(nacked) / static_cast<double>(campaign.rows.size()) >=
           campaign.policy.abort_nack_fraction) {
     Finish(campaign, CampaignStatus::kAborted, "campaign aborted: nack threshold");
+    CommitTick(campaign);
     return;
   }
   if (retry.empty()) {
     Finish(campaign,
            failed == 0 ? CampaignStatus::kConverged : CampaignStatus::kExhausted,
            "");
+    CommitTick(campaign);
     return;
   }
   if (campaign.waves_pushed >= campaign.policy.max_waves) {
     Finish(campaign, CampaignStatus::kExhausted, "retry budget exhausted");
+    CommitTick(campaign);
     return;
   }
 
@@ -354,6 +484,7 @@ void CampaignEngine::Tick(std::size_t index) {
   if (next_push_at > simulator_.Now()) {
     // Backoff still running: come back when the next wave is due.
     ScheduleTick(index, next_push_at);
+    CommitTick(campaign);
     return;
   }
   PushWave(campaign, retry);
@@ -363,6 +494,10 @@ void CampaignEngine::Tick(std::size_t index) {
   // latency, through the same deterministic peer-order barrier.
   simulator_.DrainStaged();
   ScheduleTick(index, simulator_.Now() + campaign.policy.settle_delay);
+  // Commit *after* the pushes went out: at-least-once.  A crash inside
+  // this tick replays the wave from the previous commit; the server's
+  // wave path (kAlreadyDone, idempotent repush) absorbs the duplicates.
+  CommitTick(campaign);
 }
 
 }  // namespace dacm::server

@@ -29,8 +29,15 @@
 // seeded fault scenario (sim/fault.hpp) replays byte-identically:
 // Describe() fingerprints the full row table for exactly that comparison.
 //
-// Lifetime: the engine must outlive every simulator event it scheduled —
-// run the simulator until Finished() before destroying it.
+// Durability: AttachJournal() write-ahead-logs every tick's row/wave
+// transitions (server/journal.hpp); Recover() rebuilds a fresh engine
+// from the journal image and resumes the pending retry waves.
+//
+// Lifetime: engine ticks are guarded by a weak alive token and a
+// per-slot epoch, so destroying the engine (or Forget()ing a campaign)
+// with a settle-delay timer still scheduled leaves an inert event, not
+// a dangling callback — the kill-and-restart recovery harness does
+// exactly that.
 #pragma once
 
 #include <memory>
@@ -44,6 +51,8 @@
 #include "sim/simulator.hpp"
 
 namespace dacm::server {
+
+class CampaignJournal;
 
 struct CampaignTag {};
 using CampaignId = support::StrongId<CampaignTag>;
@@ -154,6 +163,19 @@ class CampaignEngine {
   support::Status Forget(CampaignId id);
   std::size_t campaign_count() const { return campaigns_.size(); }
 
+  /// Attaches a write-ahead journal: Start/Tick/Forget transitions are
+  /// logged through it from now on.  Pass nullptr to detach.  The
+  /// journal must outlive the engine (or the next Attach call).
+  void AttachJournal(CampaignJournal* journal) { journal_ = journal; }
+
+  /// Rebuilds the engine from a journal image (ReplayCampaignJournal)
+  /// and schedules the resume tick of every still-running campaign at
+  /// max(recorded next tick, Now()).  Only valid on an engine with no
+  /// campaigns; the server must already hold the recovered install DB,
+  /// or resumed waves will re-push converged rows.  Journaling of the
+  /// resumed campaigns continues into the attached journal, if any.
+  support::Status Recover(std::span<const std::uint8_t> journal_image);
+
  private:
   struct Campaign {
     CampaignId id = CampaignId::Invalid();
@@ -168,6 +190,15 @@ class CampaignEngine {
     sim::SimTime started_at = 0;
     sim::SimTime last_push_at = 0;
     sim::SimTime finished_at = 0;
+    /// When the next engine turn is due (journaled so recovery resumes
+    /// the retry cadence instead of restarting it).
+    sim::SimTime next_tick_at = 0;
+    /// Bumped on every ScheduleTick: a pending tick whose captured epoch
+    /// no longer matches was superseded (or the campaign was recovered)
+    /// and must not fire.
+    std::uint64_t epoch = 0;
+    /// Row indices mutated since the last journal commit.
+    std::vector<std::uint32_t> dirty;
   };
 
   support::Result<CampaignId> Start(CampaignKind kind, UserId user,
@@ -177,18 +208,25 @@ class CampaignEngine {
   const Campaign* Find(CampaignId id) const;
 
   /// One engine turn: evaluate every row, finish or (re)schedule, and
-  /// push the next wave once its backoff has elapsed.
-  void Tick(std::size_t index);
+  /// push the next wave once its backoff has elapsed.  `epoch` retires
+  /// stale timers (see Campaign::epoch).
+  void Tick(std::size_t index, std::uint64_t epoch);
   void Evaluate(Campaign& campaign);
   void PushWave(Campaign& campaign, const std::vector<std::size_t>& retry);
   void Finish(Campaign& campaign, CampaignStatus status,
               std::string_view failure_reason);
   sim::SimTime Backoff(const RetryPolicy& policy, std::size_t waves_pushed) const;
   void ScheduleTick(std::size_t index, sim::SimTime at);
+  /// Journals the tick's dirtied rows plus a wave/finish marker.
+  void CommitTick(Campaign& campaign);
 
   sim::Simulator& simulator_;
   TrustedServer& server_;
   std::vector<std::unique_ptr<Campaign>> campaigns_;
+  CampaignJournal* journal_ = nullptr;
+  /// Weak-referenced by every scheduled tick: expires with the engine,
+  /// so timers outliving a killed engine are inert instead of dangling.
+  std::shared_ptr<const bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace dacm::server

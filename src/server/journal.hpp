@@ -1,0 +1,100 @@
+// Append-only campaign journal.
+//
+// The CampaignEngine's row tables are the orchestration truth: which
+// vehicles converged, which are mid-retry, when the next wave is due.
+// The journal write-ahead-logs every tick's effects so a restarted
+// engine resumes exactly where the dead one stopped — without
+// re-pushing converged rows and with the same Describe() fingerprint.
+//
+// Record stream (each CRC-framed by support::RecordWriter):
+//
+//   kStart  id kind user app policy started_at [vin...]
+//   kRows   id n [row_index state attempts done_at error_code]*n
+//   kFinish id status finished_at
+//   kForget id
+//   kWave   id waves_pushed total_pushes last_push_at next_tick_at
+//
+// kStart is written by Start(); every engine tick that mutates state
+// commits one kRows record (the rows dirtied this tick) followed by a
+// kWave (still running; also carries when the next tick is due) or a
+// kFinish.  Commit happens *after* the wave's pushes, so the journal is
+// at-least-once: a crash inside a tick replays that wave's pushes — the
+// server's idempotent wave path (kAlreadyDone / repush) absorbs the
+// duplicates.  Replay folds records per campaign id; a torn tail
+// truncates to the last committed tick.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "server/campaign.hpp"
+#include "support/status.hpp"
+#include "support/storage.hpp"
+
+namespace dacm::server {
+
+/// One row's durable fields (the message of CampaignRow::last_error is
+/// diagnostic-only and is not preserved — Describe() prints codes).
+struct JournalRowEntry {
+  std::uint32_t index = 0;
+  CampaignRowState state = CampaignRowState::kPending;
+  std::uint32_t attempts = 0;
+  sim::SimTime done_at = 0;
+  support::ErrorCode error = support::ErrorCode::kOk;
+};
+
+/// A campaign folded out of the journal by ReplayCampaignJournal.
+struct RecoveredCampaign {
+  std::uint32_t id = 0;
+  CampaignKind kind = CampaignKind::kDeploy;
+  std::uint32_t user = 0;
+  std::string app_name;
+  RetryPolicy policy;
+  sim::SimTime started_at = 0;
+  std::vector<CampaignRow> rows;
+  std::size_t waves_pushed = 0;
+  std::uint64_t total_pushes = 0;
+  sim::SimTime last_push_at = 0;
+  /// When the dead engine would have ticked next (start time until the
+  /// first wave commits).  The recovering engine resumes at
+  /// max(next_tick_at, Now()).
+  sim::SimTime next_tick_at = 0;
+  CampaignStatus status = CampaignStatus::kRunning;
+  sim::SimTime finished_at = 0;
+  bool forgotten = false;
+};
+
+/// Append-side of the journal.  Writes are fire-and-forget from the
+/// engine's point of view: a failing sink degrades durability, not the
+/// running campaign (the engine logs and keeps orchestrating).
+class CampaignJournal {
+ public:
+  explicit CampaignJournal(support::RecordSink& sink) : writer_(sink) {}
+
+  support::Status AppendStart(std::uint32_t id, CampaignKind kind,
+                              std::uint32_t user, std::string_view app_name,
+                              const RetryPolicy& policy, sim::SimTime started_at,
+                              std::span<const CampaignRow> rows);
+  support::Status AppendRows(std::uint32_t id,
+                             std::span<const JournalRowEntry> entries);
+  support::Status AppendWave(std::uint32_t id, std::size_t waves_pushed,
+                             std::uint64_t total_pushes,
+                             sim::SimTime last_push_at,
+                             sim::SimTime next_tick_at);
+  support::Status AppendFinish(std::uint32_t id, CampaignStatus status,
+                               sim::SimTime finished_at);
+  support::Status AppendForget(std::uint32_t id);
+
+ private:
+  support::RecordWriter writer_;
+};
+
+/// Folds a journal image into per-campaign recovery state, ordered by
+/// campaign id (= engine slot index).  Tolerates a torn tail; decoded
+/// records that violate the stream invariants (rows before their start,
+/// out-of-range indices) are kCorrupted.
+support::Result<std::vector<RecoveredCampaign>> ReplayCampaignJournal(
+    std::span<const std::uint8_t> data);
+
+}  // namespace dacm::server

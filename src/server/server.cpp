@@ -23,6 +23,22 @@ std::uint64_t Fnv1a(std::string_view s) {
   return hash;
 }
 
+/// Status-DB encoding of an in-memory InstallState (the paragraph written
+/// when a push fails and the row snaps back to its previous state).
+Want WantFor(InstallState state) {
+  return state == InstallState::kUninstalling ? Want::kDeinstall : Want::kInstall;
+}
+
+DbState DbStateFor(InstallState state) {
+  switch (state) {
+    case InstallState::kPending: return DbState::kHalfInstalled;
+    case InstallState::kInstalled: return DbState::kInstalled;
+    case InstallState::kFailed: return DbState::kErrorState;
+    case InstallState::kUninstalling: return DbState::kHalfRemoved;
+  }
+  return DbState::kErrorState;
+}
+
 }  // namespace
 
 std::string_view InstallStateName(InstallState state) {
@@ -43,7 +59,35 @@ TrustedServer::TrustedServer(sim::Network& network, std::string address,
       shards_(options.shard_count == 0 ? 1 : options.shard_count),
       // One worker per shard; the simulation thread only coordinates, so
       // every campaign send goes through the deterministic staged path.
-      pool_(shards_.size() == 1 ? 0 : shards_.size()) {}
+      pool_(shards_.size() == 1 ? 0 : shards_.size()) {
+  if (options_.status_sink != nullptr) {
+    status_db_ = std::make_unique<StatusDb>(*options_.status_sink);
+  }
+}
+
+TrustedServer::~TrustedServer() {
+  // Disarm first: scheduled callbacks holding the weak alive_ token
+  // (accept handler, ack flush, in-flight SYNs) see it expired and go
+  // inert instead of dereferencing a dead server.
+  alive_.reset();
+  if (started_) (void)network_.Unlisten(address_);
+  // Drop receive handlers before closing: a delivery already scheduled
+  // for a later timestamp null-checks the handler and is absorbed.
+  for (Shard& shard : shards_) {
+    for (auto& [vin, peers] : shard.connections) {
+      for (const std::shared_ptr<sim::NetPeer>& peer : peers) {
+        peer->SetReceiveHandler(nullptr);
+        peer->Close();
+      }
+    }
+    shard.connections.clear();
+  }
+  for (const std::shared_ptr<sim::NetPeer>& peer : pending_) {
+    peer->SetReceiveHandler(nullptr);
+    peer->Close();
+  }
+  pending_.clear();
+}
 
 std::size_t TrustedServer::ShardIndex(std::string_view vin) const {
   return shards_.size() == 1 ? 0 : Fnv1a(vin) % shards_.size();
@@ -59,8 +103,15 @@ const TrustedServer::Shard& TrustedServer::ShardFor(std::string_view vin) const 
 
 support::Status TrustedServer::Start() {
   if (started_) return support::FailedPrecondition("server already started");
+  // The SYN event copies this handler, so it can fire after the listener
+  // is gone (server killed with a connect in flight) — the alive token
+  // turns that into a no-op.
   DACM_RETURN_IF_ERROR(network_.Listen(
-      address_, [this](std::shared_ptr<sim::NetPeer> peer) { OnAccept(std::move(peer)); }));
+      address_, [this, alive = std::weak_ptr<const bool>(alive_)](
+                    std::shared_ptr<sim::NetPeer> peer) {
+        if (alive.expired()) return;
+        OnAccept(std::move(peer));
+      }));
   started_ = true;
   return support::OkStatus();
 }
@@ -220,10 +271,16 @@ support::Status TrustedServer::DeployOnShard(Shard& shard, UserId user,
   }
   vehicle->installed.push_back(std::move(record));
   InstalledApp& row = vehicle->installed.back();
+  // Write-ahead: the half-installed paragraph hits the status DB before
+  // the push leaves, so a crash between push and ack recovers into a
+  // retriable kPending row instead of a silently lost deploy.
+  WriteStatus(*vehicle, row, Want::kInstall, DbState::kHalfInstalled);
 
   auto rollback = [&](const support::Status& error) {
     // Roll back the uncommitted row: a failed deploy must leave no trace
-    // (a stale row would block retries and leak unique ids).
+    // (a stale row would block retries and leak unique ids).  The
+    // tombstone undoes the write-ahead paragraph above.
+    WriteStatusRemoved(vin, app.name, app.version, Want::kInstall);
     ReleaseRowIds(*vehicle, vehicle->installed.back());
     vehicle->installed.pop_back();
     ++shard.stats.deploys_rejected;
@@ -406,6 +463,8 @@ WaveOutcome TrustedServer::WavePushOnShard(Shard& shard, UserId user,
       plugin.ack_ok = false;
       plugin.ack_detail.clear();
     }
+    // Write-ahead: half-removed before the uninstall batch leaves.
+    WriteStatus(vehicle, *row, Want::kDeinstall, DbState::kHalfRemoved);
     row->state = InstallState::kUninstalling;
     if (row->uninstall_bytes.empty()) {
       // First rollback wave for this row: serialize the batch once; a
@@ -427,6 +486,8 @@ WaveOutcome TrustedServer::WavePushOnShard(Shard& shard, UserId user,
     auto push = PushWireToVehicle(shard, vin, row->uninstall_bytes);
     if (!push.ok()) {
       row->state = previous;
+      // Undo the write-ahead: re-record the state the row snapped back to.
+      WriteStatus(vehicle, *row, WantFor(previous), DbStateFor(previous));
       return ClassifyPush(std::move(push));
     }
     ++shard.stats.rollback_pushes;
@@ -446,10 +507,11 @@ WaveOutcome TrustedServer::WavePushOnShard(Shard& shard, UserId user,
       case InstallState::kPending:
         // Pushed in an earlier wave but the acks never came back (link
         // flap): re-push the recorded batch verbatim.
-        return ClassifyPush(RepushInstallBatch(shard, vin, *row));
+        return ClassifyPush(RepushInstallBatch(shard, vehicle, *row));
       case InstallState::kFailed: {
         // A nacked row blocks redeployment; clear it (releasing its
         // unique ids) and fall through to a fresh deploy.
+        WriteStatusRemoved(vin, row->app_name, row->version, Want::kInstall);
         ReleaseRowIds(vehicle, *row);
         const auto index =
             static_cast<std::ptrdiff_t>(row - vehicle.installed.data());
@@ -462,8 +524,22 @@ WaveOutcome TrustedServer::WavePushOnShard(Shard& shard, UserId user,
 }
 
 support::Status TrustedServer::RepushInstallBatch(Shard& shard,
-                                                  const std::string& vin,
+                                                  Vehicle& vehicle,
                                                   InstalledApp& row) {
+  // A recovered row carries no package bytes (RecoverInstallDb persists
+  // ids, not payloads), and a convergence race can leave a row whose
+  // recorded envelope was already dropped.  Regenerate from the catalog
+  // before assembling the wire — never push an empty batch.
+  const bool packages_missing =
+      row.plugins.empty() ||
+      std::any_of(row.plugins.begin(), row.plugins.end(),
+                  [](const InstalledApp::PluginRecord& plugin) {
+                    return plugin.package_bytes.empty();
+                  });
+  if (packages_missing) {
+    DACM_RETURN_IF_ERROR(MaterializeRowPackages(vehicle, row));
+    row.push_bytes = {};  // stale envelope (if any) referenced old payloads
+  }
   for (InstalledApp::PluginRecord& plugin : row.plugins) {
     plugin.acked = false;
     plugin.ack_ok = false;
@@ -483,10 +559,56 @@ support::Status TrustedServer::RepushInstallBatch(Shard& shard,
     batch.plugin_name = row.app_name;
     batch.payload = pirte::SerializeInstallBatch(entries);
     row.push_bytes =
-        support::SharedBytes(pirte::SerializeEnveloped(vin, batch));
+        support::SharedBytes(pirte::SerializeEnveloped(vehicle.vin, batch));
   }
-  DACM_RETURN_IF_ERROR(PushWireToVehicle(shard, vin, row.push_bytes));
+  DACM_RETURN_IF_ERROR(PushWireToVehicle(shard, vehicle.vin, row.push_bytes));
   ++shard.stats.repushes;
+  return support::OkStatus();
+}
+
+support::Status TrustedServer::MaterializeRowPackages(Vehicle& vehicle,
+                                                      InstalledApp& row) {
+  auto app_it = apps_.find(row.app_name);
+  if (app_it == apps_.end()) {
+    return support::NotFound("app " + row.app_name +
+                             " not in catalog (re-upload before resuming)");
+  }
+  const App& app = app_it->second;
+  const SwConf* conf = app.ConfForModel(vehicle.model);
+  if (conf == nullptr) {
+    return support::Incompatible("no SW conf for vehicle model " +
+                                 vehicle.model);
+  }
+  DACM_ASSIGN_OR_RETURN(const VehicleModelConf* model, ModelConf(vehicle.model));
+  // Free the recorded claims so generation can re-allocate; with no other
+  // churn since the original deploy the lowest-free allocator reproduces
+  // the exact ids the vehicle already holds.
+  ReleaseRowIds(vehicle, row);
+  auto generated = GeneratePackages(app, *conf, model->sw, vehicle.port_ids);
+  if (!generated.ok()) {
+    // Put the recorded claims back: the bitmap must stay consistent with
+    // the (unchanged) row.
+    for (const InstalledApp::PluginRecord& plugin : row.plugins) {
+      for (const pirte::PicEntry& entry : plugin.pic.entries) {
+        vehicle.port_ids[plugin.ecu_id].insert(entry.unique_id);
+      }
+    }
+    return generated.status();
+  }
+  row.plugins.clear();
+  for (GeneratedPackage& gp : *generated) {
+    InstalledApp::PluginRecord plugin;
+    plugin.plugin = gp.plugin;
+    plugin.ecu_id = gp.ecu_id;
+    plugin.pic = gp.package.pic;
+    plugin.package_bytes = gp.package.Serialize();
+    row.plugins.push_back(std::move(plugin));
+  }
+  row.version = app.version;
+  // Re-record the paragraph: the regenerated ids may differ from the
+  // recorded ones if the bitmap shifted underneath (another app released
+  // lower ids since the original deploy).
+  WriteStatus(vehicle, row, WantFor(row.state), DbStateFor(row.state));
   return support::OkStatus();
 }
 
@@ -509,6 +631,8 @@ support::Status TrustedServer::UninstallApp(UserId user, const std::string& vin,
                                         " must be uninstalled first: " + dependents);
   }
 
+  // Write-ahead: half-removed before any uninstall message leaves.
+  WriteStatus(*vehicle, *installed, Want::kDeinstall, DbState::kHalfRemoved);
   installed->state = InstallState::kUninstalling;
   for (InstalledApp::PluginRecord& plugin : installed->plugins) {
     plugin.acked = false;
@@ -537,12 +661,29 @@ support::Status TrustedServer::Restore(UserId user, const std::string& vin,
   // unique ids and contexts it had before.
   bool any = false;
   for (InstalledApp& installed : vehicle->installed) {
+    const bool touches =
+        std::any_of(installed.plugins.begin(), installed.plugins.end(),
+                    [&](const InstalledApp::PluginRecord& plugin) {
+                      return plugin.ecu_id == ecu_id;
+                    });
+    if (!touches) continue;
+    any = true;
+    // A recovered row has no recorded packages; rebuild from the catalog
+    // before re-pushing (same ids when the bitmap is unchanged).
+    if (std::any_of(installed.plugins.begin(), installed.plugins.end(),
+                    [](const InstalledApp::PluginRecord& plugin) {
+                      return plugin.package_bytes.empty();
+                    })) {
+      DACM_RETURN_IF_ERROR(MaterializeRowPackages(*vehicle, installed));
+      installed.push_bytes = {};
+    }
+    // Write-ahead: the row drops back to in-flight before the re-push.
+    WriteStatus(*vehicle, installed, Want::kInstall, DbState::kHalfInstalled);
+    installed.state = InstallState::kPending;
     for (InstalledApp::PluginRecord& plugin : installed.plugins) {
       if (plugin.ecu_id != ecu_id) continue;
-      any = true;
       plugin.acked = false;
       plugin.ack_ok = false;
-      installed.state = InstallState::kPending;
       pirte::PirteMessage message;
       message.type = pirte::MessageType::kInstallPackage;
       message.plugin_name = plugin.plugin;
@@ -652,6 +793,137 @@ std::string TrustedServer::DependentsOf(const Vehicle& vehicle,
   return dependents;
 }
 
+void TrustedServer::WriteStatus(const Vehicle& vehicle, const InstalledApp& row,
+                                Want want, DbState state) {
+  if (status_db_ == nullptr) return;
+  StatusParagraph paragraph;
+  paragraph.vin = vehicle.vin;
+  paragraph.app = row.app_name;
+  paragraph.version = row.version;
+  paragraph.want = want;
+  paragraph.state = state;
+  paragraph.plugins.reserve(row.plugins.size());
+  for (const InstalledApp::PluginRecord& plugin : row.plugins) {
+    StatusParagraph::PluginIds ids;
+    ids.plugin = plugin.plugin;
+    ids.ecu_id = plugin.ecu_id;
+    ids.unique_ids.reserve(plugin.pic.entries.size());
+    for (const pirte::PicEntry& entry : plugin.pic.entries) {
+      ids.unique_ids.push_back(entry.unique_id);
+    }
+    paragraph.plugins.push_back(std::move(ids));
+  }
+  if (auto status = status_db_->Append(paragraph); !status.ok()) {
+    // Durability degrades, availability does not: the in-memory
+    // transition proceeds and the operator sees the warning.
+    DACM_LOG_WARN("server") << "status DB append failed for " << vehicle.vin
+                            << "/" << row.app_name << ": " << status.message();
+  }
+}
+
+void TrustedServer::WriteStatusRemoved(const std::string& vin,
+                                       const std::string& app_name,
+                                       const std::string& version, Want want) {
+  if (status_db_ == nullptr) return;
+  StatusParagraph paragraph;
+  paragraph.vin = vin;
+  paragraph.app = app_name;
+  paragraph.version = version;
+  paragraph.want = want;
+  paragraph.state = DbState::kNotInstalled;
+  if (auto status = status_db_->Append(paragraph); !status.ok()) {
+    DACM_LOG_WARN("server") << "status DB append failed for " << vin << "/"
+                            << app_name << ": " << status.message();
+  }
+}
+
+support::Status TrustedServer::RecoverInstallDb(
+    std::span<const std::uint8_t> image) {
+  std::unique_lock lock(catalog_mutex_);
+  for (const Shard& shard : shards_) {
+    for (const auto& [vin, vehicle] : shard.vehicles) {
+      if (!vehicle.installed.empty()) {
+        return support::FailedPrecondition(
+            "recover requires empty install tables (vehicle " + vin +
+            " already has rows)");
+      }
+    }
+  }
+  DACM_ASSIGN_OR_RETURN(std::vector<StatusParagraph> paragraphs,
+                        StatusDb::Replay(image));
+  for (StatusParagraph& paragraph : paragraphs) {
+    Shard& shard = ShardFor(paragraph.vin);
+    auto vehicle_it = shard.vehicles.find(paragraph.vin);
+    if (vehicle_it == shard.vehicles.end()) {
+      return support::NotFound("recovered paragraph names unbound VIN " +
+                               paragraph.vin + " (re-bind the fleet first)");
+    }
+    Vehicle& vehicle = vehicle_it->second;
+
+    // Map (want, state) back onto the in-memory row.  A half state means
+    // the push may or may not have reached the vehicle — the row comes
+    // back in-flight and the campaign's next wave re-pushes (the vehicle
+    // side absorbs duplicates).
+    InstallState state = InstallState::kPending;
+    bool acked = false;
+    bool ack_ok = false;
+    switch (paragraph.state) {
+      case DbState::kNotInstalled:
+        continue;  // unreachable: Replay drops tombstoned pairs
+      case DbState::kHalfInstalled:
+        state = InstallState::kPending;
+        break;
+      case DbState::kInstalled:
+        state = InstallState::kInstalled;
+        acked = true;
+        ack_ok = true;
+        break;
+      case DbState::kHalfRemoved:
+        state = InstallState::kUninstalling;
+        break;
+      case DbState::kErrorState:
+        if (paragraph.want == Want::kDeinstall) {
+          // A nacked uninstall re-arms as installed (retried by the next
+          // rollback wave), exactly like the live-server path.
+          state = InstallState::kInstalled;
+          acked = true;
+          ack_ok = true;
+        } else {
+          state = InstallState::kFailed;
+          acked = true;
+          ack_ok = false;
+        }
+        break;
+    }
+
+    InstalledApp row;
+    row.app_name = paragraph.app;
+    row.version = paragraph.version;
+    row.state = state;
+    row.plugins.reserve(paragraph.plugins.size());
+    for (StatusParagraph::PluginIds& ids : paragraph.plugins) {
+      InstalledApp::PluginRecord plugin;
+      plugin.plugin = std::move(ids.plugin);
+      plugin.ecu_id = ids.ecu_id;
+      plugin.acked = acked;
+      plugin.ack_ok = ack_ok;
+      // Package bytes are NOT persisted; only the id claims come back.
+      // The first wave that needs the payload regenerates it from the
+      // re-uploaded catalog (MaterializeRowPackages).
+      plugin.pic.entries.reserve(ids.unique_ids.size());
+      for (std::uint8_t id : ids.unique_ids) {
+        pirte::PicEntry entry;
+        entry.unique_id = id;
+        plugin.pic.entries.push_back(entry);
+        vehicle.port_ids[ids.ecu_id].insert(id);
+      }
+      row.plugins.push_back(std::move(plugin));
+    }
+    vehicle.installed.push_back(std::move(row));
+  }
+  return support::OkStatus();
+}
+
 void TrustedServer::ReleaseRowIds(Vehicle& vehicle, const InstalledApp& row) {
   for (const InstalledApp::PluginRecord& plugin : row.plugins) {
     auto it = vehicle.port_ids.find(plugin.ecu_id);
@@ -754,10 +1026,12 @@ void TrustedServer::ScheduleAckFlush() {
   // event covers the whole burst; acks are applied at the sim time they
   // arrived, before any later-scheduled event (e.g. a campaign wave) can
   // observe the rows.
-  network_.simulator().ScheduleAfter(0, [this] {
-    ack_flush_scheduled_ = false;
-    FlushAckInboxes();
-  });
+  network_.simulator().ScheduleAfter(
+      0, [this, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) return;
+        ack_flush_scheduled_ = false;
+        FlushAckInboxes();
+      });
 }
 
 void TrustedServer::FlushAckInboxes() {
@@ -860,6 +1134,12 @@ support::Status TrustedServer::PushToVehicle(Shard& shard, const std::string& vi
 support::Status TrustedServer::PushWireToVehicle(Shard& shard,
                                                  const std::string& vin,
                                                  const support::SharedBytes& wire) {
+  if (wire.empty()) {
+    // Belt and braces: every caller regenerates a dropped envelope before
+    // pushing; an empty wire reaching here is a server bug, not a
+    // vehicle-side condition, and must not be confused with "offline".
+    return support::Internal("refusing to push empty wire to " + vin);
+  }
   auto it = shard.connections.find(vin);
   if (it != shard.connections.end()) {
     for (const std::shared_ptr<sim::NetPeer>& peer : it->second) {
@@ -882,6 +1162,7 @@ void TrustedServer::ApplyBatchNack(Shard& shard, Vehicle& vehicle,
     if (installed.state == InstallState::kPending) {
       // Fail the pending row outright — otherwise it would wait forever
       // for per-plug-in acks that will never come, blocking retries.
+      WriteStatus(vehicle, installed, Want::kInstall, DbState::kErrorState);
       installed.state = InstallState::kFailed;
       installed.push_bytes = {};
       for (InstalledApp::PluginRecord& plugin : installed.plugins) {
@@ -900,7 +1181,9 @@ void TrustedServer::ApplyBatchNack(Shard& shard, Vehicle& vehicle,
     }
     if (installed.state == InstallState::kUninstalling) {
       // A rejected kUninstallBatch: re-arm the row so the rollback
-      // campaign's next wave pushes it again.
+      // campaign's next wave pushes it again.  (kDeinstall, kInstalled)
+      // recovers back into an installed row the next wave retries.
+      WriteStatus(vehicle, installed, Want::kDeinstall, DbState::kInstalled);
       installed.state = InstallState::kInstalled;
       if (support::Log::Enabled(support::LogLevel::kWarn)) {
         shard.flush_logs.push_back(
@@ -931,9 +1214,11 @@ void TrustedServer::ApplyAck(Shard& shard, Vehicle& vehicle,
       // Re-evaluate the row.
       if (installed.state == InstallState::kPending) {
         if (installed.AnyFailed()) {
+          WriteStatus(vehicle, installed, Want::kInstall, DbState::kErrorState);
           installed.state = InstallState::kFailed;
           installed.push_bytes = {};  // no more retry re-pushes of this batch
         } else if (installed.AllAcked()) {
+          WriteStatus(vehicle, installed, Want::kInstall, DbState::kInstalled);
           installed.state = InstallState::kInstalled;
           installed.push_bytes = {};  // converged; release the recorded batch
           if (support::Log::Enabled(support::LogLevel::kInfo)) {
@@ -951,6 +1236,7 @@ void TrustedServer::ApplyAck(Shard& shard, Vehicle& vehicle,
           // vehicle may still hold — a rollback campaign's next wave
           // retries, and a retry loop that never succeeds surfaces as
           // kExhausted rather than a false convergence.
+          WriteStatus(vehicle, installed, Want::kDeinstall, DbState::kInstalled);
           installed.state = InstallState::kInstalled;
           if (support::Log::Enabled(support::LogLevel::kWarn)) {
             shard.flush_logs.push_back(
@@ -959,7 +1245,10 @@ void TrustedServer::ApplyAck(Shard& shard, Vehicle& vehicle,
                                 vehicle.vin + "; row re-armed"});
           }
         } else {
-          // The freed unique ids return to the vehicle's bitmap.
+          // The freed unique ids return to the vehicle's bitmap; the
+          // tombstone erases the pair from the status DB on replay.
+          WriteStatusRemoved(vehicle.vin, installed.app_name, installed.version,
+                             Want::kDeinstall);
           ReleaseRowIds(vehicle, installed);
           vehicle.installed.erase(vehicle.installed.begin() +
                                   static_cast<std::ptrdiff_t>(i));

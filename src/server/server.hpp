@@ -48,6 +48,7 @@
 #include "pirte/protocol.hpp"
 #include "server/context_gen.hpp"
 #include "server/model.hpp"
+#include "server/status_db.hpp"
 #include "sim/network.hpp"
 #include "support/thread_pool.hpp"
 
@@ -92,6 +93,12 @@ struct ServerOptions {
   /// synchronous on the calling thread (no pool, no locking overhead on
   /// the hot path beyond an uncontended shared_mutex).
   std::size_t shard_count = 1;
+  /// Durable install DB (server/status_db.hpp): when set, every
+  /// InstalledApp mutation writes a status paragraph ahead of the
+  /// visible transition, and RecoverInstallDb() can rebuild the
+  /// per-vehicle tables from the sink's image.  The sink must outlive
+  /// the server; nullptr (default) keeps the server memory-only.
+  support::RecordSink* status_sink = nullptr;
 };
 
 /// Outcome of one DeployCampaign call.
@@ -110,6 +117,13 @@ class TrustedServer {
  public:
   TrustedServer(sim::Network& network, std::string address,
                 ServerOptions options = {});
+
+  /// Unlistens and closes every Pusher connection.  Scheduled callbacks
+  /// that captured this server (accept, ack flush, deliveries in flight)
+  /// are disarmed — a mid-campaign kill leaves inert events, and the
+  /// recovery harness can construct a successor on the same address in
+  /// the same simulator event.
+  ~TrustedServer();
 
   TrustedServer(const TrustedServer&) = delete;
   TrustedServer& operator=(const TrustedServer&) = delete;
@@ -159,6 +173,21 @@ class TrustedServer {
   /// Restore after physical ECU replacement: re-pushes the recorded
   /// packages of every installed plug-in placed on `ecu_id`.
   support::Status Restore(UserId user, const std::string& vin, std::uint32_t ecu_id);
+
+  // --- recovery ---------------------------------------------------------------
+
+  /// Rebuilds the per-vehicle InstalledApp tables from a status-DB image
+  /// (StatusDb::Replay).  Call order on a recovered server: re-upload
+  /// the model/app catalog, re-create users and re-bind every VIN (the
+  /// catalog is derived from uploads and is not persisted), then replay
+  /// the DB, then let campaigns resume.  Rows come back with their
+  /// recorded unique port ids claimed in the vehicle's bitmaps; package
+  /// bytes and batch envelopes are NOT restored — they regenerate lazily
+  /// from the catalog the first time a wave needs them
+  /// (MaterializeRowPackages).  Fails on a VIN or paragraph that does
+  /// not match the re-bound fleet.  Simulation thread only, before any
+  /// vehicle traffic.
+  support::Status RecoverInstallDb(std::span<const std::uint8_t> image);
 
   // --- campaign-engine entry points (see server/campaign.hpp) -----------------
 
@@ -265,10 +294,20 @@ class TrustedServer {
   WaveOutcome WavePushOnShard(Shard& shard, UserId user, const std::string& vin,
                               const std::string& app_name, const App* app,
                               CampaignKind kind);
-  /// Re-pushes the recorded install batch of a stale kPending row
-  /// (previous wave's acks were lost), resetting its ack flags.
-  support::Status RepushInstallBatch(Shard& shard, const std::string& vin,
+  /// Re-pushes the install batch of a stale kPending row (previous
+  /// wave's acks were lost), resetting its ack flags.  Rebuilds the
+  /// envelope — and, after recovery or a convergence race dropped them,
+  /// the underlying packages — before pushing, so it never sends an
+  /// empty wire.
+  support::Status RepushInstallBatch(Shard& shard, Vehicle& vehicle,
                                      InstalledApp& row);
+  /// Regenerates `row`'s packages from the catalog (caller holds the
+  /// read lock and owns the vehicle's shard): releases the row's
+  /// recorded unique ids, re-runs context generation against the
+  /// re-uploaded app, and records the refreshed paragraph.  Used when
+  /// package bytes are absent — after RecoverInstallDb, or when a
+  /// convergence race dropped the recorded envelope.
+  support::Status MaterializeRowPackages(Vehicle& vehicle, InstalledApp& row);
   /// Names of installed apps that depend on `app_name` ("" when none).
   std::string DependentsOf(const Vehicle& vehicle,
                            const std::string& app_name) const;
@@ -300,6 +339,14 @@ class TrustedServer {
   /// per-ECU bitmaps (rollback and uninstall completion).
   static void ReleaseRowIds(Vehicle& vehicle, const InstalledApp& row);
 
+  // Write-ahead status DB (no-ops when options_.status_sink is null).
+  // Sink errors degrade durability, never availability: they log and the
+  // in-memory transition proceeds.
+  void WriteStatus(const Vehicle& vehicle, const InstalledApp& row, Want want,
+                   DbState state);
+  void WriteStatusRemoved(const std::string& vin, const std::string& app_name,
+                          const std::string& version, Want want);
+
   sim::Network& network_;
   std::string address_;
   ServerOptions options_;
@@ -321,6 +368,12 @@ class TrustedServer {
   std::uint64_t next_ack_seq_ = 0;
   bool ack_flush_scheduled_ = false;
   std::uint64_t flush_ns_ = 0;  // total time inside FlushAckInboxes' barrier
+
+  /// Append side of the durable install DB (set iff options_.status_sink).
+  std::unique_ptr<StatusDb> status_db_;
+  /// Weak-referenced by accept/flush callbacks and in-flight SYNs: they
+  /// go inert when the server is destroyed instead of dangling.
+  std::shared_ptr<const bool> alive_ = std::make_shared<bool>(true);
 
   support::ThreadPool pool_;
 };

@@ -1,0 +1,117 @@
+#include "server/status_db.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "support/bytes.hpp"
+
+namespace dacm::server {
+namespace {
+
+constexpr std::uint8_t kParagraphVersion = 1;
+
+support::Result<StatusParagraph> DecodeParagraph(
+    std::span<const std::uint8_t> payload) {
+  support::ByteReader reader(payload);
+  DACM_ASSIGN_OR_RETURN(const std::uint8_t version, reader.ReadU8());
+  if (version != kParagraphVersion) {
+    return support::Corrupted("unknown status paragraph version");
+  }
+  StatusParagraph paragraph;
+  DACM_ASSIGN_OR_RETURN(paragraph.vin, reader.ReadString());
+  DACM_ASSIGN_OR_RETURN(paragraph.app, reader.ReadString());
+  DACM_ASSIGN_OR_RETURN(paragraph.version, reader.ReadString());
+  DACM_ASSIGN_OR_RETURN(const std::uint8_t want, reader.ReadU8());
+  DACM_ASSIGN_OR_RETURN(const std::uint8_t state, reader.ReadU8());
+  if (want > static_cast<std::uint8_t>(Want::kDeinstall) ||
+      state > static_cast<std::uint8_t>(DbState::kErrorState)) {
+    return support::Corrupted("status paragraph enum out of range");
+  }
+  paragraph.want = static_cast<Want>(want);
+  paragraph.state = static_cast<DbState>(state);
+  DACM_ASSIGN_OR_RETURN(const std::uint32_t plugin_count, reader.ReadVarU32());
+  paragraph.plugins.reserve(plugin_count);
+  for (std::uint32_t i = 0; i < plugin_count; ++i) {
+    StatusParagraph::PluginIds ids;
+    DACM_ASSIGN_OR_RETURN(ids.plugin, reader.ReadString());
+    DACM_ASSIGN_OR_RETURN(ids.ecu_id, reader.ReadU32());
+    DACM_ASSIGN_OR_RETURN(const std::uint32_t id_count, reader.ReadVarU32());
+    ids.unique_ids.reserve(id_count);
+    for (std::uint32_t j = 0; j < id_count; ++j) {
+      DACM_ASSIGN_OR_RETURN(const std::uint8_t unique, reader.ReadU8());
+      ids.unique_ids.push_back(unique);
+    }
+    paragraph.plugins.push_back(std::move(ids));
+  }
+  if (!reader.exhausted()) {
+    return support::Corrupted("trailing bytes in status paragraph");
+  }
+  return paragraph;
+}
+
+}  // namespace
+
+std::string_view WantName(Want want) {
+  switch (want) {
+    case Want::kInstall: return "install";
+    case Want::kDeinstall: return "deinstall";
+  }
+  return "?";
+}
+
+std::string_view DbStateName(DbState state) {
+  switch (state) {
+    case DbState::kNotInstalled: return "not-installed";
+    case DbState::kHalfInstalled: return "half-installed";
+    case DbState::kInstalled: return "installed";
+    case DbState::kHalfRemoved: return "half-removed";
+    case DbState::kErrorState: return "error";
+  }
+  return "?";
+}
+
+support::Status StatusDb::Append(const StatusParagraph& paragraph) {
+  support::ByteWriter writer;
+  writer.WriteU8(kParagraphVersion);
+  writer.WriteString(paragraph.vin);
+  writer.WriteString(paragraph.app);
+  writer.WriteString(paragraph.version);
+  writer.WriteU8(static_cast<std::uint8_t>(paragraph.want));
+  writer.WriteU8(static_cast<std::uint8_t>(paragraph.state));
+  writer.WriteVarU32(static_cast<std::uint32_t>(paragraph.plugins.size()));
+  for (const StatusParagraph::PluginIds& ids : paragraph.plugins) {
+    writer.WriteString(ids.plugin);
+    writer.WriteU32(ids.ecu_id);
+    writer.WriteVarU32(static_cast<std::uint32_t>(ids.unique_ids.size()));
+    for (const std::uint8_t unique : ids.unique_ids) writer.WriteU8(unique);
+  }
+  return writer_.Append(writer.bytes());
+}
+
+support::Result<std::vector<StatusParagraph>> StatusDb::Replay(
+    std::span<const std::uint8_t> data) {
+  // Ordered map: the fold is last-writer-wins, the iteration order gives
+  // recovery its deterministic (vin, app) ordering.
+  std::map<std::pair<std::string, std::string>, StatusParagraph> latest;
+  auto fold = [&latest](std::span<const std::uint8_t> payload) {
+    auto paragraph = DecodeParagraph(payload);
+    DACM_RETURN_IF_ERROR(paragraph.status());
+    auto key = std::make_pair(paragraph->vin, paragraph->app);
+    if (paragraph->state == DbState::kNotInstalled) {
+      latest.erase(key);
+    } else {
+      latest.insert_or_assign(std::move(key), std::move(*paragraph));
+    }
+    return support::OkStatus();
+  };
+  DACM_RETURN_IF_ERROR(support::ReplayRecords(data, fold).status());
+  std::vector<StatusParagraph> survivors;
+  survivors.reserve(latest.size());
+  for (auto& [key, paragraph] : latest) {
+    survivors.push_back(std::move(paragraph));
+  }
+  return survivors;
+}
+
+}  // namespace dacm::server

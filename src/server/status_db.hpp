@@ -1,0 +1,86 @@
+// Per-VIN install status DB — the dpkg/vcpkg status-paragraph model.
+//
+// Every InstalledApp mutation in TrustedServer is bracketed by a status
+// paragraph written *ahead* of the visible state change, with explicit
+// half-installed / half-removed transition states (the Want x InstallState
+// split vcpkg's statusparagraph.h inherited from dpkg).  The log is
+// append-only: the latest paragraph for a (vin, app) pair wins on replay,
+// and a kNotInstalled paragraph erases the pair.
+//
+// Paragraphs deliberately do NOT carry package bytes or batch envelopes —
+// those are derived data, regenerated from the re-uploaded catalog on
+// demand after recovery (see TrustedServer::MaterializeRowPackages).
+// What must survive is the intent (want), how far the transition got
+// (state) and the per-ECU unique port ids the row holds, so the
+// recovering server can rebuild its id-occupancy bitmaps exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+#include "support/storage.hpp"
+
+namespace dacm::server {
+
+/// What the user asked for (dpkg's "Want" column).
+enum class Want : std::uint8_t {
+  kInstall = 0,
+  kDeinstall = 1,
+};
+
+/// How far the transition actually got (dpkg's "Status" column).  The
+/// half states are written before a push goes out, so a crash between
+/// push and acknowledgement recovers into a retriable in-flight row.
+enum class DbState : std::uint8_t {
+  kNotInstalled = 0,   // tombstone: erases the (vin, app) pair on replay
+  kHalfInstalled = 1,  // install pushed, acks outstanding
+  kInstalled = 2,      // fully acknowledged
+  kHalfRemoved = 3,    // uninstall pushed, acks outstanding
+  kErrorState = 4,     // a vehicle nacked the transition
+};
+
+std::string_view WantName(Want want);
+std::string_view DbStateName(DbState state);
+
+/// One durable status paragraph.
+struct StatusParagraph {
+  struct PluginIds {
+    std::string plugin;
+    std::uint32_t ecu_id = 0;
+    std::vector<std::uint8_t> unique_ids;  // recorded port-id claims
+  };
+
+  std::string vin;
+  std::string app;
+  std::string version;
+  Want want = Want::kInstall;
+  DbState state = DbState::kNotInstalled;
+  std::vector<PluginIds> plugins;
+};
+
+/// Append-side of the DB: serializes paragraphs into CRC-framed records.
+/// Thread-safe (shard workers write concurrently through RecordWriter).
+class StatusDb {
+ public:
+  explicit StatusDb(support::RecordSink& sink) : writer_(sink) {}
+
+  support::Status Append(const StatusParagraph& paragraph);
+
+  /// Replays a status log image: folds paragraphs last-writer-wins per
+  /// (vin, app), drops kNotInstalled tombstones, and returns the
+  /// survivors sorted by (vin, app) so recovery is deterministic
+  /// regardless of original append interleaving across shards.  A torn
+  /// tail is truncated silently; a record that decodes but fails
+  /// validation is kCorrupted.
+  static support::Result<std::vector<StatusParagraph>> Replay(
+      std::span<const std::uint8_t> data);
+
+ private:
+  support::RecordWriter writer_;
+};
+
+}  // namespace dacm::server

@@ -126,6 +126,14 @@ class EventQueue {
   /// growing it).
   std::size_t allocated_nodes() const { return blocks_.size() * kBlockNodes; }
 
+  /// Events parked beyond the 2^36 us wheel horizon.  The boundary
+  /// regression tests pin that `cursor + horizon` routes here — the slot
+  /// math would silently wrap it into the wheel's current rotation if
+  /// the horizon comparison ever regressed to `>` instead of bit-window
+  /// inequality.  (A lone event held in the solo fast path is not
+  /// counted; it never touches wheel slots at all.)
+  std::size_t overflow_size() const { return overflow_.size(); }
+
  private:
   struct Node {
     SimTime at = 0;

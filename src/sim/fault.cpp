@@ -48,6 +48,21 @@ void FaultScenario::TransientNacks(FleetFaultTarget& fleet, std::size_t index,
   fleet.SetTransientNack(index, until);
 }
 
+void FaultScenario::KillAndRestartServer(SimTime after,
+                                         std::function<void()> kill,
+                                         std::function<void()> restart) {
+  const SimTime at = simulator_.Now() + after;
+  timeline_.push_back(FaultEvent{at, "server killed, restarted from journal"});
+  // One event, not two: between `kill` and `restart` no other simulator
+  // callback can run, so the fleet never observes an address nobody
+  // listens on.
+  simulator_.ScheduleAfter(
+      after, [kill = std::move(kill), restart = std::move(restart)] {
+        kill();
+        restart();
+      });
+}
+
 void FaultScenario::AddRandomLinkFlaps(std::size_t count, SimTime horizon,
                                        SimTime min_duration,
                                        SimTime max_duration) {

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,18 @@ class FaultScenario {
   /// Vehicle `index` nacks every push until Now() + `heal_after`.
   void TransientNacks(FleetFaultTarget& fleet, std::size_t index,
                       SimTime heal_after);
+
+  /// Crash-recovery harness: at Now() + `after`, runs `kill` then
+  /// `restart` inside ONE simulator event.  The test supplies the
+  /// closures — typically destroying the TrustedServer/CampaignEngine
+  /// (kill) and rebuilding them from status DB + journal (restart).
+  /// Keeping both in one event means no churn-return redial or in-flight
+  /// SYN can ever observe the gap where nobody listens on the server
+  /// address; everything scheduled before the kill that lands after it
+  /// must be absorbed by the restarted server (or the killed objects'
+  /// alive-token guards).
+  void KillAndRestartServer(SimTime after, std::function<void()> kill,
+                            std::function<void()> restart);
 
   // --- seeded generators ----------------------------------------------------
 

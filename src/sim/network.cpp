@@ -88,6 +88,13 @@ support::Status Network::Listen(const std::string& address, AcceptHandler on_acc
   return support::OkStatus();
 }
 
+support::Status Network::Unlisten(const std::string& address) {
+  if (listeners_.erase(address) == 0) {
+    return support::NotFound("no listener at " + address);
+  }
+  return support::OkStatus();
+}
+
 support::Result<std::shared_ptr<NetPeer>> Network::Connect(const std::string& address) {
   auto it = listeners_.find(address);
   if (it == listeners_.end()) {

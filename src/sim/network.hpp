@@ -103,6 +103,13 @@ class Network {
   /// and the client-side peer is returned immediately.
   support::Result<std::shared_ptr<NetPeer>> Connect(const std::string& address);
 
+  /// Removes the listener on `address` (kNotFound if absent).  Connects
+  /// after this fail until somebody listens again — a killed server
+  /// unbinds here so its restarted replacement can take the address over.
+  /// SYNs already in flight still fire the handler they captured; accept
+  /// handlers must therefore guard against their server dying first.
+  support::Status Unlisten(const std::string& address);
+
   /// Fault injection: while down, Send() returns kUnavailable.
   void SetLinkUp(bool up) { link_up_.store(up, std::memory_order_relaxed); }
   bool link_up() const { return link_up_.load(std::memory_order_relaxed); }

@@ -67,6 +67,8 @@ class Simulator {
   /// Event-node pool footprint (tests assert steady-state churn stops
   /// growing it; see EventQueue::allocated_nodes).
   std::size_t AllocatedEventNodes() const { return queue_.allocated_nodes(); }
+  /// Events beyond the wheel horizon (see EventQueue::overflow_size).
+  std::size_t OverflowEvents() const { return queue_.overflow_size(); }
 
   /// Registers a drain hook (see file comment) and returns a handle for
   /// RemoveDrainHook.  Hooks run on the simulation thread only.

@@ -1,0 +1,121 @@
+#include "support/storage.hpp"
+
+#include <cstring>
+
+#include "support/crc.hpp"
+
+namespace dacm::support {
+namespace {
+
+constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc
+// Upper bound on a single payload: a status paragraph or journal record
+// is a few KiB at most, so anything past this is framing corruption, not
+// a real record.
+constexpr std::uint32_t kMaxPayload = 1u << 28;
+
+}  // namespace
+
+// --- FileSink ----------------------------------------------------------------------
+
+Result<std::unique_ptr<FileSink>> FileSink::Open(const std::string& path,
+                                                 bool truncate) {
+  std::FILE* file = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (file == nullptr) {
+    return Unavailable("cannot open record sink " + path);
+  }
+  return std::unique_ptr<FileSink>(new FileSink(file));
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileSink::Append(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return OkStatus();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Unavailable("short write to record sink");
+  }
+  return OkStatus();
+}
+
+Status FileSink::Flush() {
+  if (std::fflush(file_) != 0) return Unavailable("record sink flush failed");
+  return OkStatus();
+}
+
+// --- FaultingSink ------------------------------------------------------------------
+
+Status FaultingSink::Append(std::span<const std::uint8_t> bytes) {
+  if (torn_) return Unavailable("sink torn by injected fault");
+  if (bytes.size() <= budget_) {
+    budget_ -= bytes.size();
+    return inner_.Append(bytes);
+  }
+  // The crash lands mid-write: the first `budget_` bytes made it out.
+  const Status partial = inner_.Append(bytes.first(budget_));
+  budget_ = 0;
+  torn_ = true;
+  if (!partial.ok()) return partial;
+  return Unavailable("injected torn write");
+}
+
+// --- RecordWriter ------------------------------------------------------------------
+
+Status RecordWriter::Append(std::span<const std::uint8_t> payload) {
+  if (payload.size() >= kMaxPayload) {
+    return InvalidArgument("record payload too large");
+  }
+  std::lock_guard lock(mutex_);
+  frame_.resize(kFrameHeader + payload.size());
+  StoreLeU32(frame_.data(), static_cast<std::uint32_t>(payload.size()));
+  StoreLeU32(frame_.data() + 4, Crc32(payload));
+  if (!payload.empty()) {
+    std::memcpy(frame_.data() + kFrameHeader, payload.data(), payload.size());
+  }
+  return sink_.Append(frame_);
+}
+
+Status RecordWriter::Flush() {
+  std::lock_guard lock(mutex_);
+  return sink_.Flush();
+}
+
+// --- replay ------------------------------------------------------------------------
+
+Result<ReplayStats> ReplayRecords(
+    std::span<const std::uint8_t> data,
+    const std::function<Status(std::span<const std::uint8_t>)>& fn) {
+  ReplayStats stats;
+  std::size_t offset = 0;
+  while (data.size() - offset >= kFrameHeader) {
+    const std::uint32_t length = LoadLeU32(data.data() + offset);
+    const std::uint32_t crc = LoadLeU32(data.data() + offset + 4);
+    if (length >= kMaxPayload ||
+        data.size() - offset - kFrameHeader < length) {
+      break;  // torn or garbage tail
+    }
+    const auto payload = data.subspan(offset + kFrameHeader, length);
+    if (Crc32(payload) != crc) break;  // torn tail: partial payload flushed
+    DACM_RETURN_IF_ERROR(fn(payload));
+    offset += kFrameHeader + length;
+    ++stats.records;
+  }
+  stats.valid_bytes = offset;
+  stats.truncated = offset != data.size();
+  return stats;
+}
+
+Result<Bytes> ReadFileBytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return NotFound("no such file: " + path);
+  Bytes bytes;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+}  // namespace dacm::support

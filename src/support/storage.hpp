@@ -1,0 +1,149 @@
+// Crash-consistent record storage primitives.
+//
+// The durable-server layer (server/status_db, server/journal) appends
+// CRC-framed records to an abstract RecordSink and replays them at
+// startup.  The sink abstraction exists so tests can run the exact
+// production framing against an in-memory buffer, snapshot it at an
+// arbitrary "crash" point, and inject write faults that produce the torn
+// tails the replay path must tolerate.
+//
+// Frame layout (all little-endian):
+//
+//   [u32 payload_len][u32 crc32(payload)][payload bytes]
+//
+// A frame is appended with a single sink write, so a crash (or a
+// FaultingSink budget) tears at most the trailing frame.  Replay walks
+// frames front to back and stops — without error — at the first short
+// header, short payload or CRC mismatch: everything after a torn frame
+// is unreachable by construction and is reported as truncated so the
+// recovering writer can rewind to the last durable prefix.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "support/bytes.hpp"
+#include "support/status.hpp"
+
+namespace dacm::support {
+
+/// Destination for framed record appends.  Implementations must make
+/// each Append atomic with respect to snapshots a test takes between
+/// calls; durability (Flush) semantics are implementation-defined.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+
+  /// Appends `bytes` at the end of the sink.
+  virtual Status Append(std::span<const std::uint8_t> bytes) = 0;
+
+  /// Pushes buffered bytes toward stable storage.
+  virtual Status Flush() { return OkStatus(); }
+};
+
+/// In-memory sink: the test-injectable stand-in for a file.  bytes() is
+/// the exact byte sequence a file would hold, so a test can snapshot it
+/// as the "surviving" image at any crash point, or TruncateTo() an
+/// arbitrary prefix to fabricate a torn tail.
+class MemorySink : public RecordSink {
+ public:
+  Status Append(std::span<const std::uint8_t> bytes) override {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+    return OkStatus();
+  }
+
+  const Bytes& bytes() const { return buffer_; }
+
+  /// Drops everything past `size` (no-op if already shorter).
+  void TruncateTo(std::size_t size) {
+    if (size < buffer_.size()) buffer_.resize(size);
+  }
+
+  void Clear() { buffer_.clear(); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Appends to a file on disk.  Writes go through stdio buffering;
+/// Flush() fflushes (the sim harness does not need fsync fidelity — the
+/// crash model tests exercise is process death, via MemorySink
+/// snapshots and FaultingSink budgets).
+class FileSink : public RecordSink {
+ public:
+  /// Opens `path` for appending; `truncate` starts the log fresh.
+  static Result<std::unique_ptr<FileSink>> Open(const std::string& path,
+                                                bool truncate = false);
+  ~FileSink() override;
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  Status Append(std::span<const std::uint8_t> bytes) override;
+  Status Flush() override;
+
+ private:
+  explicit FileSink(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+};
+
+/// Fault-injecting sink: forwards writes to `inner` until `fail_after`
+/// total bytes have been accepted, then writes whatever partial prefix
+/// of the current append still fits and fails — the storage-level model
+/// of a crash landing mid-write, producing exactly the torn tail replay
+/// must truncate.  Once torn, every later append fails without writing.
+class FaultingSink : public RecordSink {
+ public:
+  FaultingSink(RecordSink& inner, std::size_t fail_after)
+      : inner_(inner), budget_(fail_after) {}
+
+  Status Append(std::span<const std::uint8_t> bytes) override;
+
+  bool torn() const { return torn_; }
+
+ private:
+  RecordSink& inner_;
+  std::size_t budget_;
+  bool torn_ = false;
+};
+
+/// Frames payloads into a RecordSink ([len][crc][payload], one sink
+/// Append per record).  Thread-safe: the status DB appends from shard
+/// workers concurrently.
+class RecordWriter {
+ public:
+  explicit RecordWriter(RecordSink& sink) : sink_(sink) {}
+
+  Status Append(std::span<const std::uint8_t> payload);
+  Status Flush();
+
+ private:
+  RecordSink& sink_;
+  std::mutex mutex_;
+  Bytes frame_;  // reused scratch for the header+payload copy
+};
+
+/// Replay statistics: how much of the log was durable.
+struct ReplayStats {
+  std::size_t records = 0;      // frames decoded and delivered to fn
+  std::size_t valid_bytes = 0;  // byte length of the durable prefix
+  bool truncated = false;       // a torn tail was dropped
+};
+
+/// Walks the frames in `data`, calling `fn` with each payload in append
+/// order.  Stops cleanly (truncated=true) at a torn tail; an error from
+/// `fn` aborts the replay with that error.
+Result<ReplayStats> ReplayRecords(
+    std::span<const std::uint8_t> data,
+    const std::function<Status(std::span<const std::uint8_t>)>& fn);
+
+/// Reads a whole file into memory (NotFound if it does not exist).
+Result<Bytes> ReadFileBytes(const std::string& path);
+
+}  // namespace dacm::support

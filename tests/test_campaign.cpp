@@ -13,6 +13,7 @@
 #include "fes/fleet.hpp"
 #include "fes/testbed.hpp"
 #include "fes/vehicle.hpp"
+#include "pirte/protocol.hpp"
 #include "server/campaign.hpp"
 #include "sim/fault.hpp"
 
@@ -260,6 +261,100 @@ TEST(CampaignEngineTest, RollbackOverUnknownVinsFailsInsteadOfConverging) {
   ASSERT_NE(ghost, nullptr);
   EXPECT_EQ(ghost->state, CampaignRowState::kFailed);
   EXPECT_EQ(ghost->last_error.code(), support::ErrorCode::kNotFound);
+}
+
+// --- recovery-edge-case regressions ------------------------------------------
+
+TEST(CampaignEngineTest, EngineDestroyedWithSettleTimerPendingLeavesInertEvents) {
+  // Regression: the settle-delay tick captures the engine.  Destroying
+  // the engine (the kill half of a crash-recovery cycle) while that
+  // timer is still scheduled used to leave a dangling callback; the
+  // alive-token guard must turn it into a no-op.
+  sim::Simulator simulator;
+  sim::Network network{simulator, sim::kMillisecond};
+  server::TrustedServer server(network, "srv:443", server::ServerOptions{1});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.UploadVehicleModel(fes::MakeRpiTestbedConf()).ok());
+  auto user = *server.CreateUser("ops");
+  fes::ScriptedFleetOptions options;
+  options.vehicle_count = 4;
+  fes::ScriptedFleet fleet(simulator, network, server, options);
+  ASSERT_TRUE(fleet.BindAndConnect(user).ok());
+  fes::SyntheticAppParams params;
+  params.name = "maps";
+  params.vehicle_model = "rpi-testbed";
+  params.plugin_count = 2;
+  params.target_ecu = 1;
+  ASSERT_TRUE(server.UploadApp(fes::MakeSyntheticApp(params)).ok());
+
+  {
+    server::CampaignEngine engine(simulator, server);
+    auto id = engine.StartDeploy(user, "maps", fleet.vins(), FastPolicy());
+    ASSERT_TRUE(id.ok());
+    // Run just past the wave push: acks have landed, but the 50 ms
+    // settle tick is still scheduled when the engine dies.
+    simulator.RunFor(10 * sim::kMillisecond);
+    EXPECT_FALSE(engine.Finished(*id));
+  }
+  EXPECT_GT(simulator.PendingEvents(), 0u);  // the orphaned tick
+  simulator.Run();  // must be absorbed, not crash
+
+  // The server outlived the engine and already applied the in-flight
+  // acks; orchestration died, the install table did not.
+  for (const std::string& vin : fleet.vins()) {
+    EXPECT_EQ(*server.AppState(vin, "maps"), InstallState::kInstalled) << vin;
+  }
+}
+
+TEST(CampaignEngineTest, DuplicateAckBatchAfterConvergenceLeavesRowsUntouched) {
+  // Regression: once a row converges its recorded batch envelope is
+  // dropped.  A duplicate kAckBatch arriving after that (redelivered by
+  // a flaky vehicle, or replayed across a server restart) must neither
+  // corrupt the row nor resurrect an empty push.
+  ScriptedCampaign rig(/*vehicles=*/4, /*shards=*/1);
+  rig.UploadApp("maps");
+  auto id = rig.engine.StartDeploy(rig.user, "maps", rig.fleet->vins(),
+                                   FastPolicy());
+  ASSERT_TRUE(id.ok());
+  rig.simulator.Run();
+  ASSERT_EQ(rig.engine.Snapshot(*id)->status, CampaignStatus::kConverged);
+  const auto pushed_before = rig.server.stats().packages_pushed;
+  const auto acks_before = rig.server.stats().acks_received;
+
+  // Forge the duplicate on a fresh connection that Hellos for vehicle 0.
+  auto peer = rig.network.Connect(rig.server.address());
+  ASSERT_TRUE(peer.ok());
+  pirte::Envelope hello;
+  hello.kind = pirte::Envelope::Kind::kHello;
+  hello.vin = rig.fleet->vins()[0];
+  ASSERT_TRUE((*peer)->Send(hello.Serialize()).ok());
+  rig.simulator.Run();
+  std::vector<pirte::BatchAckEntryView> verdicts = {
+      {"maps.p0", true, {}}, {"maps.p1", true, {}}};
+  ASSERT_TRUE(
+      (*peer)
+          ->Send(pirte::SerializeEnvelopedAckBatch(rig.fleet->vins()[0], verdicts))
+          .ok());
+  rig.simulator.Run();
+
+  // The duplicate was received and counted, but the converged row did
+  // not move.
+  EXPECT_GT(rig.server.stats().acks_received, acks_before);
+  EXPECT_EQ(*rig.server.AppState(rig.fleet->vins()[0], "maps"),
+            InstallState::kInstalled);
+
+  // A follow-up campaign over the same app reads every row as already
+  // done: zero pushes, zero repushes — in particular no push of an
+  // empty envelope where the recorded batch used to be.
+  auto again = rig.engine.StartDeploy(rig.user, "maps", rig.fleet->vins(),
+                                      FastPolicy());
+  ASSERT_TRUE(again.ok());
+  rig.simulator.Run();
+  auto snapshot = *rig.engine.Snapshot(*again);
+  EXPECT_EQ(snapshot.status, CampaignStatus::kConverged);
+  EXPECT_EQ(snapshot.total_pushes, 0u);
+  EXPECT_EQ(rig.server.stats().repushes, 0u);
+  EXPECT_EQ(rig.server.stats().packages_pushed, pushed_before);
 }
 
 // --- the acceptance scenario -------------------------------------------------

@@ -1,0 +1,601 @@
+// Crash-consistent persistence and kill-and-restart recovery.
+//
+// Three layers under test, bottom up:
+//
+//  * storage framing (support/storage.hpp): CRC-framed record streams
+//    must replay exactly the durable prefix — torn tails (crash
+//    mid-append, fabricated by TruncateTo or a FaultingSink budget) and
+//    corrupted frames truncate silently instead of failing recovery;
+//
+//  * the durable images (server/status_db.hpp, server/journal.hpp):
+//    status paragraphs fold last-writer-wins with tombstone erasure, the
+//    campaign journal folds per-id to the last committed tick;
+//
+//  * whole-server recovery: a TrustedServer + CampaignEngine killed
+//    mid-campaign (inside one simulator event, via
+//    FaultScenario::KillAndRestartServer) is rebuilt from the status DB
+//    and journal, resumes the retry cadence without re-pushing converged
+//    rows, rematerializes dropped package bytes from the re-uploaded
+//    catalog, and — the acceptance bar — produces a Describe()
+//    fingerprint byte-identical to an uninterrupted run.
+//
+// Labelled `recovery` in ctest; the TSan CI job runs this label too, to
+// keep the status-DB writes from shard workers race-clean.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fes/appgen.hpp"
+#include "fes/fleet.hpp"
+#include "fes/testbed.hpp"
+#include "server/campaign.hpp"
+#include "server/journal.hpp"
+#include "server/status_db.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "support/bytes.hpp"
+#include "support/storage.hpp"
+
+namespace dacm {
+namespace {
+
+using server::CampaignJournal;
+using server::CampaignKind;
+using server::CampaignStatus;
+using server::DbState;
+using server::InstallState;
+using server::JournalRowEntry;
+using server::StatusDb;
+using server::StatusParagraph;
+using server::Want;
+using support::ErrorCode;
+using support::FaultingSink;
+using support::MemorySink;
+using support::RecordWriter;
+using support::ReplayRecords;
+using support::ReplayStats;
+
+// --- storage framing ---------------------------------------------------------------
+
+support::Bytes Payload(std::string_view text) {
+  return support::Bytes(text.begin(), text.end());
+}
+
+/// Replays `data` collecting every decoded payload as a string.
+ReplayStats Replay(std::span<const std::uint8_t> data,
+                   std::vector<std::string>* out) {
+  auto stats = ReplayRecords(data, [&](std::span<const std::uint8_t> payload) {
+    out->emplace_back(payload.begin(), payload.end());
+    return support::OkStatus();
+  });
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return stats.ok() ? *stats : ReplayStats{};
+}
+
+TEST(RecordStorageTest, FramedRecordsRoundTrip) {
+  MemorySink sink;
+  RecordWriter writer(sink);
+  ASSERT_TRUE(writer.Append(Payload("alpha")).ok());
+  ASSERT_TRUE(writer.Append(Payload("")).ok());  // empty payloads are legal
+  ASSERT_TRUE(writer.Append(Payload("gamma-gamma")).ok());
+
+  std::vector<std::string> decoded;
+  const ReplayStats stats = Replay(sink.bytes(), &decoded);
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.valid_bytes, sink.bytes().size());
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(decoded,
+            (std::vector<std::string>{"alpha", "", "gamma-gamma"}));
+}
+
+TEST(RecordStorageTest, EmptyImageReplaysToNothing) {
+  std::vector<std::string> decoded;
+  const ReplayStats stats = Replay({}, &decoded);
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(RecordStorageTest, TornTailTruncatesToLastDurableRecord) {
+  MemorySink sink;
+  RecordWriter writer(sink);
+  ASSERT_TRUE(writer.Append(Payload("first")).ok());
+  ASSERT_TRUE(writer.Append(Payload("second")).ok());
+  const std::size_t durable = sink.bytes().size();
+  ASSERT_TRUE(writer.Append(Payload("torn-away")).ok());
+
+  // Crash lands mid-frame: only part of the third append survives.
+  sink.TruncateTo(durable + 5);
+  std::vector<std::string> decoded;
+  const ReplayStats stats = Replay(sink.bytes(), &decoded);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.valid_bytes, durable);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(decoded, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(RecordStorageTest, CrcMismatchStopsReplayAtTheBadFrame) {
+  MemorySink sink;
+  RecordWriter writer(sink);
+  ASSERT_TRUE(writer.Append(Payload("good")).ok());
+  const std::size_t first_frame = sink.bytes().size();
+  ASSERT_TRUE(writer.Append(Payload("flipped")).ok());
+  ASSERT_TRUE(writer.Append(Payload("unreachable")).ok());
+
+  support::Bytes image = sink.bytes();
+  image[first_frame + 8] ^= 0x40;  // one bit inside the second payload
+
+  std::vector<std::string> decoded;
+  const ReplayStats stats = Replay(image, &decoded);
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.valid_bytes, first_frame);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(decoded, (std::vector<std::string>{"good"}));
+}
+
+TEST(RecordStorageTest, FaultingSinkProducesExactlyATornTail) {
+  MemorySink inner;
+  FaultingSink faulty(inner, /*fail_after=*/8 + 5 + 3);  // mid second frame
+  RecordWriter writer(faulty);
+  ASSERT_TRUE(writer.Append(Payload("alpha")).ok());
+  EXPECT_FALSE(faulty.torn());
+  EXPECT_FALSE(writer.Append(Payload("beta")).ok());
+  EXPECT_TRUE(faulty.torn());
+  // Once torn, nothing further reaches the inner sink.
+  const std::size_t torn_size = inner.bytes().size();
+  EXPECT_FALSE(writer.Append(Payload("gamma")).ok());
+  EXPECT_EQ(inner.bytes().size(), torn_size);
+
+  std::vector<std::string> decoded;
+  const ReplayStats stats = Replay(inner.bytes(), &decoded);
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(decoded, (std::vector<std::string>{"alpha"}));
+}
+
+TEST(RecordStorageTest, FileSinkAppendsAcrossReopen) {
+  const std::string path = "dacm_test_recovery_filesink.log";
+  {
+    auto sink = support::FileSink::Open(path, /*truncate=*/true);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    RecordWriter writer(**sink);
+    ASSERT_TRUE(writer.Append(Payload("one")).ok());
+    ASSERT_TRUE(writer.Append(Payload("two")).ok());
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  {
+    // A restarted process appends to the surviving log.
+    auto sink = support::FileSink::Open(path);
+    ASSERT_TRUE(sink.ok());
+    RecordWriter writer(**sink);
+    ASSERT_TRUE(writer.Append(Payload("three")).ok());
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  auto image = support::ReadFileBytes(path);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  std::vector<std::string> decoded;
+  const ReplayStats stats = Replay(*image, &decoded);
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(decoded, (std::vector<std::string>{"one", "two", "three"}));
+
+  EXPECT_EQ(support::ReadFileBytes("dacm_no_such_file.log").status().code(),
+            ErrorCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+// --- status DB ---------------------------------------------------------------------
+
+StatusParagraph MakeParagraph(std::string vin, std::string app, Want want,
+                              DbState state) {
+  StatusParagraph paragraph;
+  paragraph.vin = std::move(vin);
+  paragraph.app = std::move(app);
+  paragraph.version = "1.0.0";
+  paragraph.want = want;
+  paragraph.state = state;
+  return paragraph;
+}
+
+TEST(StatusDbTest, LastParagraphWinsAndTombstonesErase) {
+  MemorySink sink;
+  StatusDb db(sink);
+  // (V2, maps): half-installed, then fully acknowledged — with the
+  // recorded per-ECU port-id claims the recovering server must rebuild.
+  ASSERT_TRUE(
+      db.Append(MakeParagraph("V2", "maps", Want::kInstall, DbState::kHalfInstalled))
+          .ok());
+  StatusParagraph final_maps =
+      MakeParagraph("V2", "maps", Want::kInstall, DbState::kInstalled);
+  StatusParagraph::PluginIds ids;
+  ids.plugin = "maps.p0";
+  ids.ecu_id = 1;
+  ids.unique_ids = {3, 4};
+  final_maps.plugins.push_back(ids);
+  ASSERT_TRUE(db.Append(final_maps).ok());
+  // (V1, nav): installed, then erased by a tombstone.
+  ASSERT_TRUE(
+      db.Append(MakeParagraph("V1", "nav", Want::kInstall, DbState::kInstalled)).ok());
+  ASSERT_TRUE(
+      db.Append(MakeParagraph("V1", "nav", Want::kDeinstall, DbState::kNotInstalled))
+          .ok());
+  // (V1, maps): an uninstall caught mid-flight.
+  ASSERT_TRUE(
+      db.Append(MakeParagraph("V1", "maps", Want::kDeinstall, DbState::kHalfRemoved))
+          .ok());
+
+  auto replayed = StatusDb::Replay(sink.bytes());
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  ASSERT_EQ(replayed->size(), 2u);  // sorted by (vin, app); tombstone gone
+  EXPECT_EQ((*replayed)[0].vin, "V1");
+  EXPECT_EQ((*replayed)[0].app, "maps");
+  EXPECT_EQ((*replayed)[0].want, Want::kDeinstall);
+  EXPECT_EQ((*replayed)[0].state, DbState::kHalfRemoved);
+  EXPECT_EQ((*replayed)[1].vin, "V2");
+  EXPECT_EQ((*replayed)[1].state, DbState::kInstalled);
+  ASSERT_EQ((*replayed)[1].plugins.size(), 1u);
+  EXPECT_EQ((*replayed)[1].plugins[0].plugin, "maps.p0");
+  EXPECT_EQ((*replayed)[1].plugins[0].ecu_id, 1u);
+  EXPECT_EQ((*replayed)[1].plugins[0].unique_ids, (std::vector<std::uint8_t>{3, 4}));
+}
+
+TEST(StatusDbTest, DecodableButInvalidParagraphIsCorrupted) {
+  // A frame whose CRC is intact but whose payload violates the paragraph
+  // schema (want = 7) must fail replay loudly — that is corruption, not
+  // a torn tail.
+  support::ByteWriter payload;
+  payload.WriteU8(1);  // paragraph version
+  payload.WriteString("VIN-X");
+  payload.WriteString("maps");
+  payload.WriteString("1.0.0");
+  payload.WriteU8(7);  // want: out of range
+  payload.WriteU8(2);
+  payload.WriteVarU32(0);  // no plugins
+
+  MemorySink sink;
+  RecordWriter writer(sink);
+  ASSERT_TRUE(writer.Append(payload.bytes()).ok());
+  EXPECT_EQ(StatusDb::Replay(sink.bytes()).status().code(), ErrorCode::kCorrupted);
+}
+
+TEST(StatusDbTest, TornTailYieldsThePriorParagraph) {
+  MemorySink sink;
+  StatusDb db(sink);
+  ASSERT_TRUE(
+      db.Append(MakeParagraph("V1", "maps", Want::kInstall, DbState::kHalfInstalled))
+          .ok());
+  const std::size_t durable = sink.bytes().size();
+  ASSERT_TRUE(
+      db.Append(MakeParagraph("V1", "maps", Want::kInstall, DbState::kInstalled)).ok());
+  sink.TruncateTo(durable + 6);
+
+  auto replayed = StatusDb::Replay(sink.bytes());
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed->size(), 1u);
+  // The crash forgot the acknowledgement: recovery re-arms the push.
+  EXPECT_EQ((*replayed)[0].state, DbState::kHalfInstalled);
+}
+
+// --- campaign journal --------------------------------------------------------------
+
+TEST(CampaignJournalTest, FoldsToTheLastCommittedTick) {
+  MemorySink sink;
+  CampaignJournal journal(sink);
+  std::vector<server::CampaignRow> rows(2);
+  rows[0].vin = "VIN-A";
+  rows[1].vin = "VIN-B";
+  server::RetryPolicy policy;
+  policy.max_waves = 3;
+  ASSERT_TRUE(journal
+                  .AppendStart(/*id=*/0, CampaignKind::kDeploy, /*user=*/7, "maps",
+                               policy, /*started_at=*/1000, rows)
+                  .ok());
+  std::vector<JournalRowEntry> tick1(1);
+  tick1[0].index = 1;
+  tick1[0].state = server::CampaignRowState::kDone;
+  tick1[0].attempts = 2;
+  tick1[0].done_at = 5000;
+  ASSERT_TRUE(journal.AppendRows(0, tick1).ok());
+  ASSERT_TRUE(journal
+                  .AppendWave(0, /*waves_pushed=*/1, /*total_pushes=*/2,
+                              /*last_push_at=*/4000, /*next_tick_at=*/6000)
+                  .ok());
+  const std::size_t committed = sink.bytes().size();
+
+  auto recovered = server::ReplayCampaignJournal(sink.bytes());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_EQ(recovered->size(), 1u);
+  const server::RecoveredCampaign& campaign = (*recovered)[0];
+  EXPECT_EQ(campaign.id, 0u);
+  EXPECT_EQ(campaign.user, 7u);
+  EXPECT_EQ(campaign.app_name, "maps");
+  EXPECT_EQ(campaign.policy.max_waves, 3u);
+  EXPECT_EQ(campaign.started_at, 1000u);
+  ASSERT_EQ(campaign.rows.size(), 2u);
+  EXPECT_EQ(campaign.rows[0].state, server::CampaignRowState::kPending);
+  EXPECT_EQ(campaign.rows[1].state, server::CampaignRowState::kDone);
+  EXPECT_EQ(campaign.rows[1].attempts, 2u);
+  EXPECT_EQ(campaign.rows[1].done_at, 5000u);
+  EXPECT_EQ(campaign.waves_pushed, 1u);
+  EXPECT_EQ(campaign.total_pushes, 2u);
+  EXPECT_EQ(campaign.next_tick_at, 6000u);
+  EXPECT_EQ(campaign.status, CampaignStatus::kRunning);
+  EXPECT_FALSE(campaign.forgotten);
+
+  // A finish marker closes the fold...
+  ASSERT_TRUE(journal.AppendFinish(0, CampaignStatus::kConverged, 9000).ok());
+  recovered = server::ReplayCampaignJournal(sink.bytes());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)[0].status, CampaignStatus::kConverged);
+  EXPECT_EQ((*recovered)[0].finished_at, 9000u);
+
+  // ...and a tail torn mid-record rewinds to the previous tick.
+  sink.TruncateTo(committed + 3);
+  recovered = server::ReplayCampaignJournal(sink.bytes());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)[0].status, CampaignStatus::kRunning);
+  EXPECT_EQ((*recovered)[0].next_tick_at, 6000u);
+}
+
+TEST(CampaignJournalTest, RowsWithoutAStartAreCorrupted) {
+  MemorySink sink;
+  CampaignJournal journal(sink);
+  std::vector<JournalRowEntry> orphan(1);
+  orphan[0].index = 0;
+  ASSERT_TRUE(journal.AppendRows(/*id=*/5, orphan).ok());
+  EXPECT_EQ(server::ReplayCampaignJournal(sink.bytes()).status().code(),
+            ErrorCode::kCorrupted);
+}
+
+TEST(CampaignJournalTest, ForgetRecordTombstonesTheCampaign) {
+  MemorySink sink;
+  CampaignJournal journal(sink);
+  std::vector<server::CampaignRow> rows(1);
+  rows[0].vin = "VIN-A";
+  ASSERT_TRUE(journal
+                  .AppendStart(0, CampaignKind::kDeploy, 0, "maps",
+                               server::RetryPolicy{}, 0, rows)
+                  .ok());
+  ASSERT_TRUE(journal.AppendFinish(0, CampaignStatus::kConverged, 100).ok());
+  ASSERT_TRUE(journal.AppendForget(0).ok());
+  auto recovered = server::ReplayCampaignJournal(sink.bytes());
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->size(), 1u);
+  EXPECT_TRUE((*recovered)[0].forgotten);
+}
+
+// --- whole-server kill-and-restart -------------------------------------------------
+
+/// Quick retry cadence (mirrors test_campaign.cpp): settle 50 ms,
+/// backoff 200 ms doubling.
+server::RetryPolicy FastPolicy(std::size_t max_waves = 6) {
+  server::RetryPolicy policy;
+  policy.max_waves = max_waves;
+  policy.settle_delay = 50 * sim::kMillisecond;
+  policy.initial_backoff = 200 * sim::kMillisecond;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = 2 * sim::kSecond;
+  return policy;
+}
+
+/// A campaign world whose server + engine can be killed and rebuilt from
+/// the durable images mid-run.  The sinks, network, fleet and journal
+/// outlive the kill — exactly the split a process crash produces (the
+/// fleet is *other* machines; the logs are the disk).
+struct RecoveryRig {
+  sim::Simulator simulator;
+  sim::Network network{simulator, sim::kMillisecond};
+  support::MemorySink status_log;
+  support::MemorySink journal_log;
+  CampaignJournal journal{journal_log};
+  std::unique_ptr<server::TrustedServer> server;
+  std::unique_ptr<server::CampaignEngine> engine;
+  server::UserId user = server::UserId::Invalid();
+  std::unique_ptr<fes::ScriptedFleet> fleet;
+  std::size_t shards;
+  /// Everything uploaded, for the post-restart catalog replay (the
+  /// catalog is derived data and deliberately not persisted).
+  std::vector<fes::SyntheticAppParams> catalog;
+
+  explicit RecoveryRig(std::size_t vehicles, std::size_t shard_count = 4)
+      : shards(shard_count) {
+    NewServer();
+    fes::ScriptedFleetOptions options;
+    options.vehicle_count = vehicles;
+    fleet = std::make_unique<fes::ScriptedFleet>(simulator, network, *server,
+                                                 options);
+    EXPECT_TRUE(fleet->BindAndConnect(user).ok());
+    NewEngine();
+  }
+
+  void NewServer() {
+    server::ServerOptions options;
+    options.shard_count = shards;
+    options.status_sink = &status_log;
+    server = std::make_unique<server::TrustedServer>(network, "srv:443", options);
+    EXPECT_TRUE(server->Start().ok());
+    EXPECT_TRUE(server->UploadVehicleModel(fes::MakeRpiTestbedConf()).ok());
+    user = *server->CreateUser("ops");
+  }
+
+  void NewEngine() {
+    engine = std::make_unique<server::CampaignEngine>(simulator, *server);
+    engine->AttachJournal(&journal);
+  }
+
+  void UploadApp(const std::string& name, std::uint32_t plugins = 2) {
+    fes::SyntheticAppParams params;
+    params.name = name;
+    params.vehicle_model = "rpi-testbed";
+    params.plugin_count = plugins;
+    params.target_ecu = 1;
+    catalog.push_back(params);
+    EXPECT_TRUE(server->UploadApp(fes::MakeSyntheticApp(params)).ok());
+  }
+
+  /// The crash: engine first (its timers go inert via the alive token),
+  /// then the server (unlistens, closes every Pusher connection).
+  void KillServer() {
+    engine.reset();
+    server.reset();
+  }
+
+  /// The documented recovery order (server.hpp): rebuild the catalog
+  /// from uploads, re-bind the fleet, replay the status DB, reconnect,
+  /// then resume campaigns from the journal.
+  void RestartAndRecover() {
+    NewServer();
+    for (const fes::SyntheticAppParams& params : catalog) {
+      EXPECT_TRUE(server->UploadApp(fes::MakeSyntheticApp(params)).ok());
+    }
+    for (const std::string& vin : fleet->vins()) {
+      EXPECT_TRUE(server->BindVehicle(user, vin, "rpi-testbed").ok());
+    }
+    const support::Status recovered = server->RecoverInstallDb(status_log.bytes());
+    EXPECT_TRUE(recovered.ok()) << recovered.ToString();
+    fleet->RetargetServer(*server);
+    fleet->RedialDead();
+    NewEngine();
+    const support::Status resumed = engine->Recover(journal_log.bytes());
+    EXPECT_TRUE(resumed.ok()) << resumed.ToString();
+  }
+};
+
+TEST(RecoveryTest, KilledBeforeAnyAckRematerializesPackagesAndConverges) {
+  RecoveryRig rig(/*vehicles=*/4, /*shards=*/2);
+  rig.UploadApp("maps");
+  sim::FaultScenario faults(rig.simulator, rig.network, /*seed=*/3);
+
+  auto id = rig.engine->StartDeploy(rig.user, "maps", rig.fleet->vins(),
+                                    FastPolicy());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  // Wave 1 pushes at T0; deliveries land at T0 + 1 ms.  The WAN drops at
+  // T0 + 0.25 ms — so the batches still reach the vehicles, but every
+  // acknowledgement send fails — and the server dies at T0 + 0.5 ms.
+  // What survives: four half-installed status paragraphs (written ahead
+  // of the pushes) and the journal's committed wave-1 tick.  No package
+  // bytes survive anywhere.
+  faults.LinkFlapAfter(sim::kMillisecond / 4,
+                       sim::kMillisecond + sim::kMillisecond / 2);
+  faults.KillAndRestartServer(
+      sim::kMillisecond / 2, [&rig] { rig.KillServer(); },
+      [&rig] { rig.RestartAndRecover(); });
+  rig.simulator.Run();
+
+  ASSERT_TRUE(rig.engine->Finished(*id));
+  auto snapshot = *rig.engine->Snapshot(*id);
+  EXPECT_EQ(snapshot.status, CampaignStatus::kConverged);
+  EXPECT_EQ(snapshot.done, 4u);
+  EXPECT_EQ(snapshot.waves_pushed, 2u);
+  EXPECT_EQ(snapshot.total_pushes, 8u);  // 4 original + 4 recovered repushes
+  // The recovered rows carried no package bytes: the retry wave had to
+  // regenerate them from the re-uploaded catalog before re-pushing.
+  EXPECT_EQ(rig.server->stats().repushes, 4u);
+  for (const std::string& vin : rig.fleet->vins()) {
+    EXPECT_EQ(*rig.server->AppState(vin, "maps"), InstallState::kInstalled) << vin;
+  }
+}
+
+TEST(RecoveryTest, ForgottenCampaignStaysForgottenAndConvergedRowsStayDone) {
+  RecoveryRig rig(/*vehicles=*/2, /*shards=*/1);
+  rig.UploadApp("maps");
+  auto first = rig.engine->StartDeploy(rig.user, "maps", rig.fleet->vins(),
+                                       FastPolicy());
+  ASSERT_TRUE(first.ok());
+  rig.simulator.Run();
+  ASSERT_TRUE(rig.engine->Finished(*first));
+  ASSERT_TRUE(rig.engine->Forget(*first).ok());
+
+  rig.KillServer();
+  rig.RestartAndRecover();
+
+  // The forget tombstone survives recovery: the slot is a hole, not a
+  // resurrected campaign.
+  EXPECT_EQ(rig.engine->Snapshot(*first).status().code(), ErrorCode::kNotFound);
+
+  // A fresh campaign over the recovered fleet: every row was already
+  // installed per the status DB, so the wave converges with zero pushes —
+  // the recovered server must not re-push converged rows.
+  const std::uint64_t batches_before = rig.fleet->batches_received();
+  auto second = rig.engine->StartDeploy(rig.user, "maps", rig.fleet->vins(),
+                                        FastPolicy());
+  ASSERT_TRUE(second.ok());
+  rig.simulator.Run();
+  ASSERT_TRUE(rig.engine->Finished(*second));
+  auto snapshot = *rig.engine->Snapshot(*second);
+  EXPECT_EQ(snapshot.status, CampaignStatus::kConverged);
+  EXPECT_EQ(snapshot.total_pushes, 0u);
+  EXPECT_EQ(rig.fleet->batches_received(), batches_before);
+  EXPECT_EQ(rig.server->stats().repushes, 0u);
+}
+
+/// What one fleet campaign run looks like from the outside — everything
+/// the byte-identical acceptance check compares.
+struct CampaignOutcome {
+  std::string describe;
+  CampaignStatus status = CampaignStatus::kRunning;
+  std::size_t done = 0;
+  std::uint64_t batches_received = 0;
+};
+
+/// Runs a 1k-vehicle campaign over 20% offline churn; when
+/// `kill_mid_campaign`, the server + engine die at T0 + 500 ms — the
+/// quiet window between the committed wave-2 evaluation (T0 + 300 ms)
+/// and wave 3 (T0 + 700 ms) — and are rebuilt from the durable images
+/// inside the same simulator event.
+CampaignOutcome RunChurnedFleetCampaign(bool kill_mid_campaign) {
+  RecoveryRig rig(/*vehicles=*/1000, /*shards=*/4);
+  rig.UploadApp("fleet-app");
+  sim::FaultScenario faults(rig.simulator, rig.network, /*seed=*/1914);
+  faults.AddOfflineChurn(*rig.fleet, /*fraction=*/0.20,
+                         /*horizon=*/10 * sim::kMillisecond,
+                         /*min_offline=*/100 * sim::kMillisecond,
+                         /*max_offline=*/400 * sim::kMillisecond);
+
+  auto id = rig.engine->StartDeploy(rig.user, "fleet-app", rig.fleet->vins(),
+                                    FastPolicy());
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  if (kill_mid_campaign) {
+    faults.KillAndRestartServer(
+        500 * sim::kMillisecond, [&rig] { rig.KillServer(); },
+        [&rig] { rig.RestartAndRecover(); });
+  }
+  rig.simulator.Run();
+
+  CampaignOutcome outcome;
+  outcome.describe = rig.engine->Describe(*id);
+  outcome.batches_received = rig.fleet->batches_received();
+  auto snapshot = rig.engine->Snapshot(*id);
+  EXPECT_TRUE(snapshot.ok());
+  if (snapshot.ok()) {
+    outcome.status = snapshot->status;
+    outcome.done = snapshot->done;
+  }
+  for (const std::string& vin : rig.fleet->vins()) {
+    EXPECT_EQ(*rig.server->AppState(vin, "fleet-app"), InstallState::kInstalled)
+        << vin;
+  }
+  return outcome;
+}
+
+TEST(RecoveryTest, KilledMidCampaignServerResumesByteIdenticallyAtFleetScale) {
+  const CampaignOutcome uninterrupted = RunChurnedFleetCampaign(false);
+  const CampaignOutcome killed = RunChurnedFleetCampaign(true);
+
+  EXPECT_EQ(uninterrupted.status, CampaignStatus::kConverged);
+  EXPECT_EQ(killed.status, CampaignStatus::kConverged);
+  EXPECT_EQ(killed.done, 1000u);
+  // The acceptance bar: the recovered run's full campaign fingerprint —
+  // per-row states, attempts, done times, wave and push totals — is
+  // byte-identical to the run that never died, and the fleet saw exactly
+  // the same batch pushes (nothing converged was re-pushed).
+  EXPECT_EQ(killed.describe, uninterrupted.describe);
+  EXPECT_EQ(killed.batches_received, uninterrupted.batches_received);
+}
+
+}  // namespace
+}  // namespace dacm

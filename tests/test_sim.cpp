@@ -117,6 +117,35 @@ TEST(SimulatorTest, FarFutureEventsBeyondWheelHorizonFire) {
   EXPECT_EQ(simulator.Now(), far);
 }
 
+TEST(SimulatorTest, HorizonBoundaryLandsInOverflowNotSlotZero) {
+  // at = cursor + 2^36 is the first time the wheel cannot hold: the slot
+  // index would wrap onto slot 0 of the *current* window and fire 2^36 us
+  // early.  Both the exact horizon and horizon + 1 must be parked in the
+  // overflow heap and fire at their true time, in order.
+  Simulator simulator;
+  const SimTime horizon = SimTime{1} << 36;
+  std::vector<SimTime> fired;
+  auto record = [&]() { fired.push_back(simulator.Now()); };
+  // Anchor events defeat the single-event solo fast path, so the horizon
+  // events actually exercise Place() routing.
+  simulator.ScheduleAt(1, record);
+  simulator.ScheduleAt(horizon - 1, record);  // last representable slot
+  simulator.ScheduleAt(horizon, record);      // exactly at the boundary
+  simulator.ScheduleAt(horizon + 1, record);
+  EXPECT_EQ(simulator.OverflowEvents(), 2u);  // horizon and horizon + 1
+  EXPECT_EQ(simulator.Run(), 4u);
+  EXPECT_EQ(fired, (std::vector<SimTime>{1, horizon - 1, horizon, horizon + 1}));
+  EXPECT_EQ(simulator.Now(), horizon + 1);
+
+  // Same check from a nonzero cursor: the boundary is relative to Now().
+  const SimTime base = simulator.Now();
+  simulator.ScheduleAt(base + 5, record);
+  simulator.ScheduleAt(base + horizon, record);
+  EXPECT_EQ(simulator.OverflowEvents(), 1u);
+  EXPECT_EQ(simulator.Run(), 2u);
+  EXPECT_EQ(simulator.Now(), base + horizon);
+}
+
 TEST(SimulatorTest, RunUntilAcrossWheelWindowsInterleavesCorrectly) {
   // Events straddling several 64 us / 4096 us wheel windows, run in
   // bounded slices: every slice boundary must preserve global order.

@@ -101,8 +101,19 @@ class DifferentialHarness {
       case 4: return rng_.NextBelow(1000);
       case 5: return rng_.NextBelow(100000);
       case 6: return 20 * kMillisecond;
-      default:
-        return (SimTime{1} << 36) + rng_.NextBelow(1 << 20);  // overflow heap
+      default: {
+        // Overflow-heap region, pinned to the horizon boundary: exactly
+        // 2^36, one below (last wheel slot), one above, and a random
+        // point beyond — the off-by-one band where a routing bug would
+        // drop an event into slot 0 of the current window.
+        const SimTime horizon = SimTime{1} << 36;
+        switch (rng_.NextBelow(4)) {
+          case 0: return horizon;
+          case 1: return horizon - 1;
+          case 2: return horizon + 1;
+          default: return horizon + rng_.NextBelow(1 << 20);
+        }
+      }
     }
   }
 

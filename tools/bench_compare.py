@@ -20,13 +20,22 @@ import json
 import sys
 
 # Metrics tracked across PRs: (bench binary, benchmark name regex-free
-# prefix, field, human label).  A missing benchmark on either side is
-# reported but never fatal (matrices evolve).
+# prefix, field, human label[, baseline name]).  A missing benchmark on
+# either side is reported but never fatal (matrices evolve).  The optional
+# fifth element compares the current benchmark against a *different*
+# benchmark in the baseline file — used to hold a new variant (e.g. the
+# durable campaign) to the committed numbers of the path it wraps.
 KEY_METRICS = [
     ("bench_fleet", "BM_FleetCampaign/shards:1/fleet:1000/real_time",
      "items_per_second", "campaign deploys/s (1 shard, 1k fleet)"),
     ("bench_fleet", "BM_FleetCampaign/shards:1/fleet:1000/real_time",
      "serial_sim_fraction", "serial sim fraction (1 shard, 1k fleet)"),
+    # Journal overhead: the durable campaign (write-ahead status DB +
+    # campaign journal) must stay within tolerance of the memory-only
+    # campaign baseline at the same shape.
+    ("bench_fleet", "BM_FleetDurableCampaign/shards:1/fleet:1000/real_time",
+     "items_per_second", "durable campaign deploys/s (1 shard, 1k)",
+     "BM_FleetCampaign/shards:1/fleet:1000/real_time"),
     ("bench_sim", "BM_WheelScheduleFire/1024",
      "items_per_second", "event schedule+fire/s (wheel)"),
     ("bench_sim", "BM_WheelStorm/4096",
@@ -69,8 +78,10 @@ def main():
 
     regressions = 0
     print(f"{'metric':<46} {'baseline':>12} {'current':>12} {'delta':>8}")
-    for binary, name, field, label in KEY_METRICS:
-        base_bench = find_benchmark(baseline.get(binary, {}), name)
+    for entry in KEY_METRICS:
+        binary, name, field, label = entry[:4]
+        baseline_name = entry[4] if len(entry) > 4 else name
+        base_bench = find_benchmark(baseline.get(binary, {}), baseline_name)
         cur_bench = find_benchmark(current.get(binary, {}), name)
         if base_bench is None or cur_bench is None:
             side = "baseline" if base_bench is None else "current"
