@@ -19,10 +19,18 @@
 //     transient nack cohorts).  Reported per case, and in the --json
 //     output bench_all aggregates: waves-to-convergence, push retries per
 //     vehicle, and the p99 sim-time to installed.
+//   * BM_FleetMegaCampaign — the memory-scaling probe: one seeded
+//     multi-model campaign (vehicles bound round-robin over N distinct
+//     models, so the content-addressed package cache holds one batch per
+//     cohort).  Reports bytes_per_vehicle (converged VmRSS delta over the
+//     whole stack) and deploys_per_s; the CI bench-smoke job runs the
+//     100k-VIN default under an RSS budget, and --mega=4,10000000,24
+//     drives the ten-million-VIN configuration.
 //
 // CLI overrides (satellite of the campaign-engine PR):
 //   --shards=1,4      comma list replacing the shard axis of every family
 //   --fleet=1000      comma list replacing the fleet-size axis
+//   --mega=1,100000,24  shards,fleet,models for BM_FleetMegaCampaign
 // Without overrides the default matrix below runs (kept small enough for
 // the CI bench-smoke job).
 //
@@ -33,7 +41,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -57,6 +67,26 @@ constexpr std::uint32_t kPlugins = 4;
 constexpr std::uint32_t kPorts = 8;
 constexpr std::uint32_t kBinaryPadding = 12288;
 
+std::string MegaModelName(std::size_t m) {
+  return "rpi-mega-" + std::to_string(m);
+}
+
+/// Resident set from /proc/self/status, in bytes (0 off Linux).
+std::size_t CurrentRssBytes() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[128];
+  std::size_t rss = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      rss = std::strtoull(line + 6, nullptr, 10) * 1024;  // kB line
+      break;
+    }
+  }
+  std::fclose(status);
+  return rss;
+}
+
 struct FleetBench {
   sim::Simulator simulator;
   sim::Network network{simulator, sim::kMicrosecond};
@@ -65,26 +95,46 @@ struct FleetBench {
   std::unique_ptr<fes::ScriptedFleet> fleet;
 
   FleetBench(std::size_t shards, std::size_t fleet_size,
-             support::RecordSink* status_sink = nullptr)
+             support::RecordSink* status_sink = nullptr,
+             std::size_t model_count = 1)
       : server(network, "srv:443", server::ServerOptions{shards, status_sink}) {
     (void)server.Start();
-    (void)server.UploadVehicleModel(fes::MakeRpiTestbedConf());
-    user = *server.CreateUser("bench");
-
     fes::ScriptedFleetOptions options;
     options.vehicle_count = fleet_size;
+    if (model_count <= 1) {
+      (void)server.UploadVehicleModel(fes::MakeRpiTestbedConf());
+    } else {
+      // N distinct models (same hardware, distinct names) bound
+      // round-robin, so the content-addressed cache keeps one install
+      // batch per model cohort instead of one for the whole fleet.
+      for (std::size_t m = 0; m < model_count; ++m) {
+        server::VehicleModelConf conf = fes::MakeRpiTestbedConf();
+        conf.model = MegaModelName(m);
+        (void)server.UploadVehicleModel(std::move(conf));
+        options.models.push_back(MegaModelName(m));
+      }
+    }
+    user = *server.CreateUser("bench");
+
     fleet = std::make_unique<fes::ScriptedFleet>(simulator, network, server,
                                                  options);
     if (!fleet->BindAndConnect(user).ok()) std::abort();
 
     fes::SyntheticAppParams params;
     params.name = "campaign";
-    params.vehicle_model = "rpi-testbed";
+    params.vehicle_model =
+        model_count <= 1 ? std::string("rpi-testbed") : MegaModelName(0);
     params.plugin_count = kPlugins;
     params.ports_per_plugin = kPorts;
     params.target_ecu = 1;
     params.binary_padding = kBinaryPadding;
-    (void)server.UploadApp(fes::MakeSyntheticApp(params));
+    server::App app = fes::MakeSyntheticApp(params);
+    for (std::size_t m = 1; m < model_count; ++m) {
+      server::SwConf conf = app.confs.front();
+      conf.vehicle_model = MegaModelName(m);
+      app.confs.push_back(std::move(conf));
+    }
+    (void)server.UploadApp(std::move(app));
   }
 
   void UninstallAll() {
@@ -343,6 +393,68 @@ void BM_FleetFaultCampaign(benchmark::State& state) {
   }
 }
 
+// Memory-scaling probe: one seeded multi-model campaign at a fleet size
+// where per-vehicle footprint, not throughput, is the question.  The SoA
+// fleet store keeps each VIN as interned arena chars + packed columns,
+// and the content-addressed cache generates/serializes one install batch
+// per (model, app, version, id-layout) cohort — every vehicle in a
+// cohort shares the same refcounted envelope, and convergence drops the
+// payload refs so steady-state memory is O(models), not O(fleet).
+//
+//   bytes_per_vehicle    converged VmRSS delta across the whole stack
+//                        (server rows + cache + fleet endpoints + sim
+//                        machinery) divided by the fleet size
+//   deploys_per_s        end-to-end campaign rate, wall time, including
+//                        the simulated delivery + acknowledgement round
+//   cache_entries        distinct batches generated (== model cohorts)
+//   cache_live_payloads  payloads still pinned after convergence (0 when
+//                        every row released its envelope)
+void BM_FleetMegaCampaign(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const auto fleet_size = static_cast<std::size_t>(state.range(1));
+  const auto models = static_cast<std::size_t>(state.range(2));
+  const std::size_t rss_before = CurrentRssBytes();
+  FleetBench bench(shards, fleet_size, nullptr, models);
+  std::size_t rss_converged = 0;
+  std::size_t cache_entries = 0, cache_live = 0;
+  for (auto _ : state) {
+    auto report = bench.server.DeployCampaign(bench.user, "campaign",
+                                              bench.fleet->vins());
+    bench.simulator.Run();
+
+    state.PauseTiming();
+    auto last_state =
+        bench.server.AppState(bench.fleet->vins().back(), "campaign");
+    if (!report.ok() || report->rejected != 0 || !last_state.ok() ||
+        *last_state != server::InstallState::kInstalled) {
+      state.SkipWithError("mega campaign did not deploy the whole fleet");
+      state.ResumeTiming();
+      break;
+    }
+    rss_converged = std::max(rss_converged, CurrentRssBytes());
+    cache_entries = bench.server.package_cache().entries();
+    cache_live = bench.server.package_cache().live_payloads();
+    bench.UninstallAll();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fleet_size));
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["fleet"] = static_cast<double>(fleet_size);
+  state.counters["models"] = static_cast<double>(models);
+  state.counters["deploys_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(fleet_size),
+      benchmark::Counter::kIsRate);
+  if (rss_converged > rss_before) {
+    state.counters["bytes_per_vehicle"] =
+        static_cast<double>(rss_converged - rss_before) /
+        static_cast<double>(fleet_size);
+  }
+  state.counters["cache_entries"] = static_cast<double>(cache_entries);
+  state.counters["cache_live_payloads"] = static_cast<double>(cache_live);
+}
+
 // --- registration (dynamic: the satellite --shards=/--fleet= overrides) ------
 
 /// Parses a comma list of positive integers; empty on any malformed,
@@ -359,7 +471,7 @@ std::vector<std::int64_t> ParseList(const std::string& csv) {
       char* end = nullptr;
       const long long value = std::strtoll(token.c_str(), &end, 10);
       if (errno != 0 || end != token.c_str() + token.size() || value <= 0 ||
-          value > 1'000'000) {
+          value > 10'000'000) {
         return {};
       }
       values.push_back(value);
@@ -434,12 +546,25 @@ void RegisterFleetBenchmarks(const std::vector<std::int64_t>& shard_list,
   }
 }
 
+void RegisterMegaBenchmark(const std::vector<std::int64_t>& mega) {
+  // One measured campaign: the fleet build is untimed setup, and the
+  // memory question is answered by a single converged rollout (repeat
+  // iterations would only re-measure the same resident set).
+  benchmark::RegisterBenchmark("BM_FleetMegaCampaign", BM_FleetMegaCampaign)
+      ->ArgNames({"shards", "fleet", "models"})
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1)
+      ->Args({mega[0], mega[1], mega[2]});
+}
+
 }  // namespace
 }  // namespace dacm::bench
 
 int main(int argc, char** argv) {
   std::vector<std::int64_t> shards = {1, 2, 4, 8};
   std::vector<std::int64_t> fleets = {100, 1000, 10000};
+  std::vector<std::int64_t> mega = {1, 100000, 24};  // CI bench-smoke shape
   bool overridden = false;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; ++i) {
@@ -450,6 +575,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--fleet=", 0) == 0) {
       fleets = dacm::bench::ParseList(arg.substr(sizeof("--fleet=") - 1));
       overridden = true;
+    } else if (arg.rfind("--mega=", 0) == 0) {
+      mega = dacm::bench::ParseList(arg.substr(sizeof("--mega=") - 1));
+      if (mega.size() != 3) mega.clear();
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -459,7 +587,12 @@ int main(int argc, char** argv) {
                  "--shards=/--fleet= need a comma list of positive integers\n");
     return 1;
   }
+  if (mega.empty()) {
+    std::fprintf(stderr, "--mega= needs shards,fleet,models\n");
+    return 1;
+  }
   dacm::bench::RegisterFleetBenchmarks(shards, fleets, overridden);
+  dacm::bench::RegisterMegaBenchmark(mega);
   return dacm::bench::BenchMain(static_cast<int>(passthrough.size()),
                                 passthrough.data());
 }

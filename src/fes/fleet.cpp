@@ -16,32 +16,36 @@ ScriptedFleet::ScriptedFleet(sim::Simulator& simulator, sim::Network& network,
   for (std::size_t i = 0; i < options_.vehicle_count; ++i) {
     vins_.push_back(options_.vin_prefix + std::to_string(i));
   }
+  peers_.resize(options_.vehicle_count);
+  online_.assign(options_.vehicle_count, 0);
+  nack_until_.assign(options_.vehicle_count, 0);
+  redials_left_.assign(options_.vehicle_count, kMaxRedials);
 }
 
-support::Status ScriptedFleet::ConnectEndpoint(Endpoint& endpoint) {
-  DACM_ASSIGN_OR_RETURN(endpoint.peer, network_.Connect(server_->address()));
-  Endpoint* raw = &endpoint;
-  endpoint.peer->SetReceiveHandler(
-      [this, raw](const support::SharedBytes& data) { OnMessage(*raw, data); });
+const std::string& ScriptedFleet::ModelOf(std::size_t index) const {
+  if (options_.models.empty()) return options_.model;
+  return options_.models[index % options_.models.size()];
+}
+
+support::Status ScriptedFleet::ConnectEndpoint(std::size_t index) {
+  DACM_ASSIGN_OR_RETURN(peers_[index], network_.Connect(server_->address()));
+  peers_[index]->SetReceiveHandler(
+      [this, index](const support::SharedBytes& data) {
+        OnMessage(index, data);
+      });
 
   pirte::Envelope hello;
   hello.kind = pirte::Envelope::Kind::kHello;
-  hello.vin = endpoint.vin;
-  DACM_RETURN_IF_ERROR(endpoint.peer->Send(hello.Serialize()));
-  endpoint.online = true;
+  hello.vin = vins_[index];
+  DACM_RETURN_IF_ERROR(peers_[index]->Send(hello.Serialize()));
+  online_[index] = 1;
   return support::OkStatus();
 }
 
 support::Status ScriptedFleet::BindAndConnect(server::UserId user) {
-  endpoints_.reserve(vins_.size());
   for (std::size_t i = 0; i < vins_.size(); ++i) {
-    DACM_RETURN_IF_ERROR(server_->BindVehicle(user, vins_[i], options_.model));
-
-    auto endpoint = std::make_unique<Endpoint>();
-    endpoint->vin = vins_[i];
-    endpoint->index = i;
-    DACM_RETURN_IF_ERROR(ConnectEndpoint(*endpoint));
-    endpoints_.push_back(std::move(endpoint));
+    DACM_RETURN_IF_ERROR(server_->BindVehicle(user, vins_[i], ModelOf(i)));
+    DACM_RETURN_IF_ERROR(ConnectEndpoint(i));
   }
   simulator_.Run();
   for (const std::string& vin : vins_) {
@@ -53,19 +57,17 @@ support::Status ScriptedFleet::BindAndConnect(server::UserId user) {
 }
 
 support::Status ScriptedFleet::TakeOffline(std::size_t index) {
-  if (index >= endpoints_.size()) return support::OutOfRange("fleet index");
-  Endpoint& endpoint = *endpoints_[index];
-  if (!endpoint.online) return support::OkStatus();
-  endpoint.peer->Close();
-  endpoint.online = false;
+  if (index >= vins_.size()) return support::OutOfRange("fleet index");
+  if (online_[index] == 0) return support::OkStatus();
+  peers_[index]->Close();
+  online_[index] = 0;
   return support::OkStatus();
 }
 
 support::Status ScriptedFleet::BringOnline(std::size_t index) {
-  if (index >= endpoints_.size()) return support::OutOfRange("fleet index");
-  Endpoint& endpoint = *endpoints_[index];
-  if (endpoint.online) return support::OkStatus();
-  auto status = ConnectEndpoint(endpoint);
+  if (index >= vins_.size()) return support::OutOfRange("fleet index");
+  if (online_[index] != 0) return support::OkStatus();
+  auto status = ConnectEndpoint(index);
   if (!status.ok()) {
     // The WAN may be mid-flap; redial later like a real ECM's reconnect
     // alarm would, so a churn return that collides with a link flap does
@@ -76,44 +78,45 @@ support::Status ScriptedFleet::BringOnline(std::size_t index) {
     // the fleet must outlive the simulator run, like every endpoint
     // handler already requires.
     if (status.code() == support::ErrorCode::kUnavailable &&
-        endpoint.redials_left > 0) {
-      --endpoint.redials_left;
+        redials_left_[index] > 0) {
+      --redials_left_[index];
       simulator_.ScheduleAfter(100 * sim::kMillisecond,
                                [this, index] { (void)BringOnline(index); });
     }
     return status;
   }
-  endpoint.redials_left = Endpoint::kMaxRedials;
+  redials_left_[index] = kMaxRedials;
   ++reconnects_;
   return support::OkStatus();
 }
 
 void ScriptedFleet::SetTransientNack(std::size_t index, sim::SimTime until) {
-  if (index >= endpoints_.size()) return;
-  endpoints_[index]->nack_until = until;
+  if (index >= vins_.size()) return;
+  nack_until_[index] = until;
 }
 
 std::size_t ScriptedFleet::RedialDead() {
   std::size_t redialed = 0;
-  for (const std::unique_ptr<Endpoint>& endpoint : endpoints_) {
-    if (!endpoint->online || endpoint->peer->connected()) continue;
+  for (std::size_t i = 0; i < vins_.size(); ++i) {
+    if (online_[i] == 0 || peers_[i]->connected()) continue;
     // The server died under this endpoint: its Pusher side closed every
     // connection, but the endpoint never asked to go offline.  Flip it
     // offline and reuse the BringOnline redial machinery (including the
     // flap-bridging retry alarm).
-    endpoint->online = false;
-    (void)BringOnline(endpoint->index);
+    online_[i] = 0;
+    (void)BringOnline(i);
     ++redialed;
   }
   return redialed;
 }
 
 bool ScriptedFleet::online(std::size_t index) const {
-  return index < endpoints_.size() && endpoints_[index]->online &&
-         endpoints_[index]->peer->connected();
+  return index < vins_.size() && online_[index] != 0 &&
+         peers_[index]->connected();
 }
 
-void ScriptedFleet::OnMessage(Endpoint& endpoint, const support::SharedBytes& data) {
+void ScriptedFleet::OnMessage(std::size_t index,
+                              const support::SharedBytes& data) {
   auto envelope = pirte::EnvelopeView::Parse(data);
   if (!envelope.ok() || envelope->kind != pirte::Envelope::Kind::kPirteMessage) {
     return;
@@ -122,8 +125,8 @@ void ScriptedFleet::OnMessage(Endpoint& endpoint, const support::SharedBytes& da
   if (!view.ok()) return;
 
   const bool scripted_nack =
-      options_.nack_every != 0 && (endpoint.index + 1) % options_.nack_every == 0;
-  const bool transient_nack = simulator_.Now() < endpoint.nack_until;
+      options_.nack_every != 0 && (index + 1) % options_.nack_every == 0;
+  const bool transient_nack = simulator_.Now() < nack_until_[index];
   const bool ack_ok = !scripted_nack && !transient_nack;
 
   // One-pass framing (envelope + message into a single sized buffer):
@@ -131,13 +134,13 @@ void ScriptedFleet::OnMessage(Endpoint& endpoint, const support::SharedBytes& da
   // fleet stands in for thousands of vehicles.  All replies funnel
   // through send_wire so the ack counters have exactly one home.
   auto send_wire = [&](support::SharedBytes wire) {
-    if (endpoint.peer->Send(std::move(wire)).ok()) {
+    if (peers_[index]->Send(std::move(wire)).ok()) {
       ++acks_sent_;
       if (!ack_ok) ++nacks_sent_;
     }
   };
   auto send_reply = [&](const pirte::PirteMessage& reply) {
-    send_wire(pirte::SerializeEnveloped(endpoint.vin, reply));
+    send_wire(pirte::SerializeEnveloped(vins_[index], reply));
   };
 
   switch (view->type) {
@@ -166,7 +169,7 @@ void ScriptedFleet::OnMessage(Endpoint& endpoint, const support::SharedBytes& da
         // The whole reply — envelope, kAckBatch header, verdicts — in one
         // sized buffer.
         send_wire(
-            pirte::SerializeEnvelopedAckBatch(endpoint.vin, verdict_scratch_));
+            pirte::SerializeEnvelopedAckBatch(vins_[index], verdict_scratch_));
       } else {
         for (const pirte::BatchAckEntryView& verdict : verdict_scratch_) {
           pirte::PirteMessage reply;

@@ -36,6 +36,11 @@ struct ScriptedFleetOptions {
   std::size_t vehicle_count = 1;
   std::string vin_prefix = "FLEET-";
   std::string model = "rpi-testbed";
+  /// Multi-model fleets: vehicle i binds to models[i % models.size()]
+  /// (round-robin, so every model gets an equal cohort).  Empty (the
+  /// default) binds the whole fleet to `model`.  Every named model must
+  /// be uploaded before BindAndConnect.
+  std::vector<std::string> models;
   /// Answer campaign batches with one kAckBatch (the cheap path).  When
   /// false, every embedded package is acknowledged individually — useful
   /// to exercise the server's mixed-ack handling.
@@ -89,22 +94,16 @@ class ScriptedFleet : public sim::FleetFaultTarget {
   std::uint64_t reconnects() const { return reconnects_; }
 
  private:
-  struct Endpoint {
-    /// Redial budget for a BringOnline that collides with a link flap
-    /// (100 ms cadence -> up to ~6.4 s of outage bridged per churn).
-    static constexpr std::size_t kMaxRedials = 64;
+  /// Redial budget for a BringOnline that collides with a link flap
+  /// (100 ms cadence -> up to ~6.4 s of outage bridged per churn).
+  static constexpr std::uint8_t kMaxRedials = 64;
 
-    std::string vin;
-    std::size_t index = 0;
-    bool online = false;
-    sim::SimTime nack_until = 0;
-    std::size_t redials_left = kMaxRedials;
-    std::shared_ptr<sim::NetPeer> peer;
-  };
-
+  /// The model vehicle `index` binds to (round-robin over options.models,
+  /// or the single-model fallback).
+  const std::string& ModelOf(std::size_t index) const;
   /// Dials the server, installs the receive handler and says Hello.
-  support::Status ConnectEndpoint(Endpoint& endpoint);
-  void OnMessage(Endpoint& endpoint, const support::SharedBytes& data);
+  support::Status ConnectEndpoint(std::size_t index);
+  void OnMessage(std::size_t index, const support::SharedBytes& data);
 
   sim::Simulator& simulator_;
   sim::Network& network_;
@@ -112,8 +111,15 @@ class ScriptedFleet : public sim::FleetFaultTarget {
   /// the recovered successor after a kill.
   server::TrustedServer* server_;
   ScriptedFleetOptions options_;
+  // Endpoint state as parallel columns indexed by fleet position — no
+  // per-vehicle heap row, so a million-endpoint fleet is five flat
+  // arrays.  Message handlers capture the index, never a pointer into
+  // the columns (which may reallocate while connects are in flight).
   std::vector<std::string> vins_;
-  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::shared_ptr<sim::NetPeer>> peers_;
+  std::vector<std::uint8_t> online_;
+  std::vector<sim::SimTime> nack_until_;
+  std::vector<std::uint8_t> redials_left_;
   /// Per-batch verdict scratch, reused across messages (views into the
   /// delivered buffer; valid only inside OnMessage).
   std::vector<pirte::BatchAckEntryView> verdict_scratch_;

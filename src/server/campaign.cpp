@@ -1,6 +1,7 @@
 #include "server/campaign.hpp"
 
 #include <algorithm>
+#include <charconv>
 
 #include "server/journal.hpp"
 #include "support/log.hpp"
@@ -31,6 +32,32 @@ std::string_view CampaignStatusName(CampaignStatus status) {
 }
 
 namespace {
+
+/// Collects Format() fragments into the Describe() string.
+struct StringSink {
+  std::string out;
+  void Append(std::string_view text) { out += text; }
+};
+
+/// Hashes Format() fragments instead of storing them: Fingerprint() is
+/// FNV-1a over exactly the bytes StringSink would have accumulated.
+struct HashSink {
+  std::uint64_t hash = 1469598103934665603ull;
+  void Append(std::string_view text) {
+    for (char c : text) {
+      hash ^= static_cast<std::uint8_t>(c);
+      hash *= 1099511628211ull;
+    }
+  }
+};
+
+template <typename Sink, typename Integer>
+void AppendNumber(Sink& sink, Integer value) {
+  char buffer[24];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  sink.Append(std::string_view(buffer, static_cast<std::size_t>(
+                                           result.ptr - buffer)));
+}
 
 bool Retriable(CampaignRowState state) {
   switch (state) {
@@ -230,33 +257,54 @@ const CampaignRow* CampaignEngine::FindRow(CampaignId id,
   return nullptr;
 }
 
-std::string CampaignEngine::Describe(CampaignId id) const {
-  const Campaign* campaign = Find(id);
-  if (campaign == nullptr) return "unknown campaign";
-  std::string out = "campaign ";
-  out += std::to_string(id.value());
-  out += campaign->kind == CampaignKind::kDeploy ? " deploy " : " rollback ";
-  out += campaign->app_name;
-  out += " status=";
-  out += CampaignStatusName(campaign->status);
-  out += " waves=" + std::to_string(campaign->waves_pushed);
-  out += " pushes=" + std::to_string(campaign->total_pushes);
-  out += " started=" + std::to_string(campaign->started_at);
-  out += " finished=" + std::to_string(campaign->finished_at);
-  out += "\n";
-  for (const CampaignRow& row : campaign->rows) {
-    out += row.vin;
-    out += " state=";
-    out += CampaignRowStateName(row.state);
-    out += " attempts=" + std::to_string(row.attempts);
-    out += " done_at=" + std::to_string(row.done_at);
-    if (!row.last_error.ok()) {
-      out += " error=";
-      out += support::ErrorCodeName(row.last_error.code());
-    }
-    out += "\n";
+template <typename Sink>
+void CampaignEngine::Format(const Campaign* campaign, Sink& sink) const {
+  if (campaign == nullptr) {
+    sink.Append("unknown campaign");
+    return;
   }
-  return out;
+  sink.Append("campaign ");
+  AppendNumber(sink, campaign->id.value());
+  sink.Append(campaign->kind == CampaignKind::kDeploy ? " deploy "
+                                                      : " rollback ");
+  sink.Append(campaign->app_name);
+  sink.Append(" status=");
+  sink.Append(CampaignStatusName(campaign->status));
+  sink.Append(" waves=");
+  AppendNumber(sink, campaign->waves_pushed);
+  sink.Append(" pushes=");
+  AppendNumber(sink, campaign->total_pushes);
+  sink.Append(" started=");
+  AppendNumber(sink, campaign->started_at);
+  sink.Append(" finished=");
+  AppendNumber(sink, campaign->finished_at);
+  sink.Append("\n");
+  for (const CampaignRow& row : campaign->rows) {
+    sink.Append(row.vin);
+    sink.Append(" state=");
+    sink.Append(CampaignRowStateName(row.state));
+    sink.Append(" attempts=");
+    AppendNumber(sink, row.attempts);
+    sink.Append(" done_at=");
+    AppendNumber(sink, row.done_at);
+    if (row.error != support::ErrorCode::kOk) {
+      sink.Append(" error=");
+      sink.Append(support::ErrorCodeName(row.error));
+    }
+    sink.Append("\n");
+  }
+}
+
+std::string CampaignEngine::Describe(CampaignId id) const {
+  StringSink sink;
+  Format(Find(id), sink);
+  return std::move(sink.out);
+}
+
+std::uint64_t CampaignEngine::Fingerprint(CampaignId id) const {
+  HashSink sink;
+  Format(Find(id), sink);
+  return sink.hash;
 }
 
 sim::SimTime CampaignEngine::Backoff(const RetryPolicy& policy,
@@ -297,7 +345,7 @@ void CampaignEngine::Evaluate(Campaign& campaign) {
       if (state.ok() && *state == InstallState::kInstalled) {
         row.state = CampaignRowState::kDone;
         row.done_at = simulator_.Now();
-        row.last_error = support::OkStatus();
+        row.error = support::ErrorCode::kOk;
         campaign.dirty.push_back(static_cast<std::uint32_t>(i));
       } else if (state.ok() && *state == InstallState::kFailed) {
         row.state = CampaignRowState::kNacked;
@@ -310,24 +358,26 @@ void CampaignEngine::Evaluate(Campaign& campaign) {
       // the server actually knows: an unknown VIN must fall through to
       // the wave push, whose NotFound rejection fails the row instead of
       // reporting a fleet the server never touched as converged.
-      if (!state.ok() && server_.FindVehicle(row.vin) != nullptr) {
+      if (!state.ok() && server_.HasVehicle(row.vin)) {
         row.state = CampaignRowState::kDone;
         row.done_at = simulator_.Now();
-        row.last_error = support::OkStatus();
+        row.error = support::ErrorCode::kOk;
         campaign.dirty.push_back(static_cast<std::uint32_t>(i));
       }
     }
   }
 }
 
-void CampaignEngine::Finish(Campaign& campaign, CampaignStatus status,
-                            std::string_view failure_reason) {
+void CampaignEngine::Finish(Campaign& campaign, CampaignStatus status) {
   for (std::size_t i = 0; i < campaign.rows.size(); ++i) {
     CampaignRow& row = campaign.rows[i];
     if (!Retriable(row.state)) continue;
     row.state = CampaignRowState::kFailed;
-    if (row.last_error.ok()) {
-      row.last_error = support::Unavailable(std::string(failure_reason));
+    if (row.error == support::ErrorCode::kOk) {
+      // Failed without a recorded rejection: the campaign ran out of
+      // road (abort threshold or wave budget) while the row was still
+      // offline / unacked — kUnavailable is the honest summary.
+      row.error = support::ErrorCode::kUnavailable;
     }
     campaign.dirty.push_back(static_cast<std::uint32_t>(i));
   }
@@ -362,7 +412,7 @@ void CampaignEngine::PushWave(Campaign& campaign,
       case WaveOutcome::Action::kAlreadyDone:
         row.state = CampaignRowState::kDone;
         if (row.done_at == 0) row.done_at = simulator_.Now();
-        row.last_error = support::OkStatus();
+        row.error = support::ErrorCode::kOk;
         ++done;
         break;
       case WaveOutcome::Action::kPushed:
@@ -373,14 +423,14 @@ void CampaignEngine::PushWave(Campaign& campaign,
         break;
       case WaveOutcome::Action::kOffline:
         row.state = CampaignRowState::kOffline;
-        row.last_error = std::move(outcome.status);
+        row.error = outcome.status.code();
         ++row.attempts;
         ++campaign.total_pushes;
         ++offline;
         break;
       case WaveOutcome::Action::kRejected:
         row.state = CampaignRowState::kFailed;
-        row.last_error = std::move(outcome.status);
+        row.error = outcome.status.code();
         ++rejected;
         break;
     }
@@ -411,7 +461,7 @@ void CampaignEngine::CommitTick(Campaign& campaign) {
       entry.state = row.state;
       entry.attempts = static_cast<std::uint32_t>(row.attempts);
       entry.done_at = row.done_at;
-      entry.error = row.last_error.code();
+      entry.error = row.error;
       entries.push_back(entry);
     }
     logged = journal_->AppendRows(campaign.id.value(), entries);
@@ -460,19 +510,18 @@ void CampaignEngine::Tick(std::size_t index, std::uint64_t epoch) {
   if (campaign.waves_pushed > 0 &&
       static_cast<double>(nacked) / static_cast<double>(campaign.rows.size()) >=
           campaign.policy.abort_nack_fraction) {
-    Finish(campaign, CampaignStatus::kAborted, "campaign aborted: nack threshold");
+    Finish(campaign, CampaignStatus::kAborted);
     CommitTick(campaign);
     return;
   }
   if (retry.empty()) {
-    Finish(campaign,
-           failed == 0 ? CampaignStatus::kConverged : CampaignStatus::kExhausted,
-           "");
+    Finish(campaign, failed == 0 ? CampaignStatus::kConverged
+                                 : CampaignStatus::kExhausted);
     CommitTick(campaign);
     return;
   }
   if (campaign.waves_pushed >= campaign.policy.max_waves) {
-    Finish(campaign, CampaignStatus::kExhausted, "retry budget exhausted");
+    Finish(campaign, CampaignStatus::kExhausted);
     CommitTick(campaign);
     return;
   }

@@ -101,8 +101,11 @@ struct CampaignRow {
   std::size_t attempts = 0;
   /// Sim time the row was observed done (0 until then).
   sim::SimTime done_at = 0;
-  /// Last offline / rejection reason.
-  support::Status last_error;
+  /// Last offline / rejection reason.  A bare code, not a Status: the
+  /// row table is sized for million-VIN fleets, and the heap-allocated
+  /// message (the VIN again, plus boilerplate) carried no information a
+  /// code does not — the journal never persisted it either.
+  support::ErrorCode error = support::ErrorCode::kOk;
 };
 
 /// Aggregate view of one campaign (cheap; computed from the row table).
@@ -156,6 +159,11 @@ class CampaignEngine {
   /// every row's final state) — byte-identical across identically seeded
   /// runs; determinism tests compare exactly this string.
   std::string Describe(CampaignId id) const;
+  /// FNV-1a hash of exactly the bytes Describe() would return, streamed
+  /// without materializing the row table as a string — the comparison
+  /// handle at fleet scale, where Describe() on a million-row campaign
+  /// would allocate tens of megabytes just to be hashed and thrown away.
+  std::uint64_t Fingerprint(CampaignId id) const;
   /// Releases a *finished* campaign's row table (ids are never reused;
   /// queries on a forgotten id return NotFound).  Long-lived engines —
   /// the fault bench runs thousands of campaigns through one — call this
@@ -213,8 +221,12 @@ class CampaignEngine {
   void Tick(std::size_t index, std::uint64_t epoch);
   void Evaluate(Campaign& campaign);
   void PushWave(Campaign& campaign, const std::vector<std::size_t>& retry);
-  void Finish(Campaign& campaign, CampaignStatus status,
-              std::string_view failure_reason);
+  void Finish(Campaign& campaign, CampaignStatus status);
+  /// Streams the Describe() text into `sink` (one Append(string_view)
+  /// call per fragment) — the single formatter behind Describe and
+  /// Fingerprint, so the two can never drift apart.
+  template <typename Sink>
+  void Format(const Campaign* campaign, Sink& sink) const;
   sim::SimTime Backoff(const RetryPolicy& policy, std::size_t waves_pushed) const;
   void ScheduleTick(std::size_t index, sim::SimTime at);
   /// Journals the tick's dirtied rows plus a wave/finish marker.

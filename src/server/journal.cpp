@@ -180,10 +180,7 @@ support::Result<std::vector<RecoveredCampaign>> ReplayCampaignJournal(
           row.state = static_cast<CampaignRowState>(state);
           row.attempts = attempts;
           row.done_at = done_at;
-          const auto code = static_cast<support::ErrorCode>(error);
-          row.last_error = code == support::ErrorCode::kOk
-                               ? support::OkStatus()
-                               : support::Status(code, "recovered");
+          row.error = static_cast<support::ErrorCode>(error);
         }
         break;
       }

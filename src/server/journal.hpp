@@ -34,8 +34,8 @@
 
 namespace dacm::server {
 
-/// One row's durable fields (the message of CampaignRow::last_error is
-/// diagnostic-only and is not preserved — Describe() prints codes).
+/// One row's durable fields — exactly CampaignRow minus the VIN (keyed
+/// by row index against the kStart record's VIN list).
 struct JournalRowEntry {
   std::uint32_t index = 0;
   CampaignRowState state = CampaignRowState::kPending;

@@ -55,6 +55,11 @@ class PortIdSet {
     return count;
   }
 
+  /// Raw 256-bit occupancy words, lowest ids in words()[0] bit 0.  The
+  /// package cache canonicalizes a vehicle's used-id layout from these to
+  /// key batch variants without walking individual ids.
+  const std::array<std::uint64_t, 4>& words() const { return words_; }
+
   /// Claims and returns the lowest free id; nullopt once all 256 are taken.
   std::optional<std::uint8_t> AllocateLowest() {
     for (std::size_t w = 0; w < words_.size(); ++w) {

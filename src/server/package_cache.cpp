@@ -1,0 +1,171 @@
+#include "server/package_cache.hpp"
+
+#include <algorithm>
+
+#include "pirte/package.hpp"
+#include "pirte/protocol.hpp"
+
+namespace dacm::server {
+namespace {
+
+std::uint64_t Fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string KeyOf(const std::string& model, const App& app) {
+  std::string key;
+  key.reserve(model.size() + app.name.size() + app.version.size() + 2);
+  key += model;
+  key += '\0';
+  key += app.name;
+  key += '\0';
+  key += app.version;
+  return key;
+}
+
+/// VIN-less kUninstallBatch envelope for the manifest's plug-ins.  The
+/// downstream receive path (ECM and scripted endpoints alike) routes on
+/// the socket, never on the envelope VIN, so one wire image serves the
+/// whole fleet.
+support::SharedBytes BuildUninstallWire(
+    const std::string& app_name,
+    const std::vector<BatchManifest::Plugin>& plugins) {
+  std::vector<pirte::UninstallBatchEntry> entries;
+  entries.reserve(plugins.size());
+  for (const BatchManifest::Plugin& plugin : plugins) {
+    entries.push_back({plugin.name, plugin.ecu_id});
+  }
+  pirte::PirteMessage batch;
+  batch.type = pirte::MessageType::kUninstallBatch;
+  batch.plugin_name = app_name;
+  batch.payload = pirte::SerializeUninstallBatch(entries);
+  return support::SharedBytes(pirte::SerializeEnveloped("", batch));
+}
+
+std::shared_ptr<const BatchPayload> BuildPayload(
+    const App& app, const std::vector<GeneratedPackage>& generated) {
+  auto payload = std::make_shared<BatchPayload>();
+  payload->packages.reserve(generated.size());
+  for (const GeneratedPackage& gen : generated) {
+    payload->packages.push_back(gen.package.Serialize());
+  }
+  std::vector<pirte::InstallBatchEntry> entries;
+  entries.reserve(generated.size());
+  for (std::size_t i = 0; i < generated.size(); ++i) {
+    entries.push_back(
+        {generated[i].plugin, generated[i].ecu_id, payload->packages[i]});
+  }
+  pirte::PirteMessage batch;
+  batch.type = pirte::MessageType::kInstallBatch;
+  batch.plugin_name = app.name;
+  batch.payload = pirte::SerializeInstallBatch(entries);
+  payload->install_wire =
+      support::SharedBytes(pirte::SerializeEnveloped("", batch));
+  return payload;
+}
+
+std::shared_ptr<const BatchManifest> BuildManifest(
+    const App& app, const std::vector<GeneratedPackage>& generated,
+    const BatchPayload& payload) {
+  auto manifest = std::make_shared<BatchManifest>();
+  manifest->app_name = app.name;
+  manifest->version = app.version;
+  manifest->plugins.reserve(generated.size());
+  for (const GeneratedPackage& gen : generated) {
+    manifest->plugins.push_back({gen.plugin, gen.ecu_id, gen.package.pic});
+  }
+  manifest->uninstall_wire = BuildUninstallWire(app.name, manifest->plugins);
+  manifest->content_hash = Fnv1a(payload.install_wire.span());
+  return manifest;
+}
+
+}  // namespace
+
+PackageCache::Layout PackageCache::Canonicalize(const UsedIdMap& used_ids) {
+  Layout layout;
+  layout.reserve(used_ids.size());
+  for (const auto& [ecu, set] : used_ids) {
+    if (set.size() == 0) continue;
+    layout.emplace_back(ecu, set.words());
+  }
+  std::sort(layout.begin(), layout.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return layout;
+}
+
+support::Result<CachedBatch> PackageCache::Acquire(
+    const std::string& model, const App& app, const SwConf& conf,
+    const SystemSwConf& system_sw, const UsedIdMap& used_ids) {
+  Layout layout = Canonicalize(used_ids);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[KeyOf(model, app)];
+  for (Variant& variant : entry.variants) {
+    if (variant.layout != layout) continue;
+    if (auto payload = variant.payload.lock()) {
+      return CachedBatch{variant.manifest, std::move(payload)};
+    }
+    // Payload expired (every in-flight row converged).  Generation is
+    // deterministic in (app, confs, layout), so re-running it against the
+    // matching layout reproduces the pinned manifest's bytes exactly.
+    UsedIdMap scratch = used_ids;
+    DACM_ASSIGN_OR_RETURN(std::vector<GeneratedPackage> generated,
+                          GeneratePackages(app, conf, system_sw, scratch));
+    std::shared_ptr<const BatchPayload> payload = BuildPayload(app, generated);
+    variant.payload = payload;
+    return CachedBatch{variant.manifest, std::move(payload)};
+  }
+  UsedIdMap scratch = used_ids;
+  DACM_ASSIGN_OR_RETURN(std::vector<GeneratedPackage> generated,
+                        GeneratePackages(app, conf, system_sw, scratch));
+  std::shared_ptr<const BatchPayload> payload = BuildPayload(app, generated);
+  std::shared_ptr<const BatchManifest> manifest =
+      BuildManifest(app, generated, *payload);
+  entry.variants.push_back({std::move(layout), manifest, payload});
+  return CachedBatch{std::move(manifest), std::move(payload)};
+}
+
+std::size_t PackageCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t PackageCache::live_payloads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t live = 0;
+  for (const auto& [key, entry] : entries_) {
+    for (const Variant& variant : entry.variants) {
+      if (!variant.payload.expired()) ++live;
+    }
+  }
+  return live;
+}
+
+std::shared_ptr<const BatchManifest> PackageCache::RecoveredManifest(
+    const std::string& app_name, const std::string& version,
+    std::span<const StatusParagraph::PluginIds> plugins) {
+  auto manifest = std::make_shared<BatchManifest>();
+  manifest->app_name = app_name;
+  manifest->version = version;
+  manifest->plugins.reserve(plugins.size());
+  for (const StatusParagraph::PluginIds& ids : plugins) {
+    BatchManifest::Plugin plugin;
+    plugin.name = ids.plugin;
+    plugin.ecu_id = ids.ecu_id;
+    plugin.pic.entries.reserve(ids.unique_ids.size());
+    for (std::uint8_t unique_id : ids.unique_ids) {
+      pirte::PicEntry pic_entry;
+      pic_entry.unique_id = unique_id;
+      plugin.pic.entries.push_back(std::move(pic_entry));
+    }
+    manifest->plugins.push_back(std::move(plugin));
+  }
+  manifest->uninstall_wire = BuildUninstallWire(app_name, manifest->plugins);
+  return manifest;
+}
+
+}  // namespace dacm::server

@@ -39,6 +39,21 @@ DbState DbStateFor(InstallState state) {
   return DbState::kErrorState;
 }
 
+constexpr std::uint32_t kNil = FleetStore::kNil;
+
+/// All-acked mask for an n-plug-in row (UploadApp caps n at 64).
+std::uint64_t FullMask(std::size_t n) {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+bool RowAllAcked(const FleetStore::InstallRow& row) {
+  return row.acked == FullMask(row.manifest->plugins.size());
+}
+
+bool RowAnyFailed(const FleetStore::InstallRow& row) {
+  return (row.acked & ~row.ack_ok) != 0;
+}
+
 }  // namespace
 
 std::string_view InstallStateName(InstallState state) {
@@ -61,7 +76,8 @@ TrustedServer::TrustedServer(sim::Network& network, std::string address,
       // every campaign send goes through the deterministic staged path.
       pool_(shards_.size() == 1 ? 0 : shards_.size()) {
   if (options_.status_sink != nullptr) {
-    status_db_ = std::make_unique<StatusDb>(*options_.status_sink);
+    status_db_ = std::make_unique<StatusDb>(*options_.status_sink,
+                                            options_.status_sync_every_n_frames);
   }
 }
 
@@ -74,13 +90,10 @@ TrustedServer::~TrustedServer() {
   // Drop receive handlers before closing: a delivery already scheduled
   // for a later timestamp null-checks the handler and is absorbed.
   for (Shard& shard : shards_) {
-    for (auto& [vin, peers] : shard.connections) {
-      for (const std::shared_ptr<sim::NetPeer>& peer : peers) {
-        peer->SetReceiveHandler(nullptr);
-        peer->Close();
-      }
-    }
-    shard.connections.clear();
+    shard.store.ForEachPeer([](const std::shared_ptr<sim::NetPeer>& peer) {
+      peer->SetReceiveHandler(nullptr);
+      peer->Close();
+    });
   }
   for (const std::shared_ptr<sim::NetPeer>& peer : pending_) {
     peer->SetReceiveHandler(nullptr);
@@ -132,15 +145,17 @@ support::Status TrustedServer::BindVehicle(UserId user, const std::string& vin,
   std::unique_lock lock(catalog_mutex_);
   if (user.value() >= users_.size()) return support::NotFound("unknown user");
   Shard& shard = ShardFor(vin);
-  if (shard.vehicles.contains(vin)) {
+  const std::uint32_t existing = shard.store.Find(vin);
+  if (existing != kNil && shard.store.bound(existing)) {
     return support::AlreadyExists("VIN already bound: " + vin);
   }
-  if (!models_.contains(model)) return support::NotFound("vehicle model: " + model);
-  Vehicle vehicle;
-  vehicle.vin = vin;
-  vehicle.model = model;
-  vehicle.owner = user;
-  shard.vehicles.emplace(vin, std::move(vehicle));
+  auto model_it = model_ids_.find(model);
+  if (model_it == model_ids_.end()) {
+    return support::NotFound("vehicle model: " + model);
+  }
+  // The handle may already exist (the ECM's Hello can race the binding);
+  // binding just fills the model/owner columns.
+  shard.store.Bind(shard.store.Intern(vin), model_it->second, user);
   users_[user.value()].vins.push_back(vin);
   return support::OkStatus();
 }
@@ -150,6 +165,11 @@ support::Status TrustedServer::BindVehicle(UserId user, const std::string& vin,
 support::Status TrustedServer::UploadVehicleModel(VehicleModelConf conf) {
   if (conf.model.empty()) return support::InvalidArgument("model name empty");
   std::unique_lock lock(catalog_mutex_);
+  if (!model_ids_.contains(conf.model)) {
+    model_ids_.emplace(conf.model,
+                       static_cast<std::uint16_t>(model_names_.size()));
+    model_names_.push_back(conf.model);
+  }
   models_[conf.model] = std::move(conf);
   return support::OkStatus();
 }
@@ -157,6 +177,10 @@ support::Status TrustedServer::UploadVehicleModel(VehicleModelConf conf) {
 support::Status TrustedServer::UploadApp(App app) {
   if (app.name.empty()) return support::InvalidArgument("app name empty");
   if (app.plugins.empty()) return support::InvalidArgument("app has no plug-ins");
+  if (app.plugins.size() > 64) {
+    return support::InvalidArgument("app " + app.name +
+                                    " has more than 64 plug-ins");
+  }
   std::unique_lock lock(catalog_mutex_);
   auto it = apps_.find(app.name);
   if (it != apps_.end() &&
@@ -173,22 +197,25 @@ support::Status TrustedServer::UploadApp(App app) {
 support::Status TrustedServer::DeployOnShard(Shard& shard, UserId user,
                                              const std::string& vin,
                                              const App& app, bool batched) {
-  auto vehicle_it = shard.vehicles.find(vin);
-  if (vehicle_it == shard.vehicles.end()) return support::NotFound("VIN: " + vin);
-  Vehicle* vehicle = &vehicle_it->second;
-  DACM_RETURN_IF_ERROR(CheckOwnership(user, *vehicle));
-  if (vehicle->FindInstalled(app.name) != nullptr) {
+  FleetStore& store = shard.store;
+  const std::uint32_t vehicle = store.Find(vin);
+  if (vehicle == kNil || !store.bound(vehicle)) {
+    return support::NotFound("VIN: " + vin);
+  }
+  DACM_RETURN_IF_ERROR(CheckOwnership(user, store.owner(vehicle), vin));
+  if (store.FindRow(vehicle, app.name) != kNil) {
     ++shard.stats.deploys_rejected;
     return support::AlreadyExists("app already installed: " + app.name);
   }
 
+  const std::string& model_name = ModelName(store.model(vehicle));
   // Compatibility: a SW conf for this vehicle model must exist...
-  const SwConf* conf = app.ConfForModel(vehicle->model);
+  const SwConf* conf = app.ConfForModel(model_name);
   if (conf == nullptr) {
     ++shard.stats.deploys_rejected;
-    return support::Incompatible("no SW conf for vehicle model " + vehicle->model);
+    return support::Incompatible("no SW conf for vehicle model " + model_name);
   }
-  DACM_ASSIGN_OR_RETURN(const VehicleModelConf* model, ModelConf(vehicle->model));
+  DACM_ASSIGN_OR_RETURN(const VehicleModelConf* model, ModelConf(model_name));
   // ...the platform must be recent enough...
   if (!conf->min_platform.empty() &&
       support::CompareVersions(model->sw.platform_version, conf->min_platform) < 0) {
@@ -214,8 +241,8 @@ support::Status TrustedServer::DeployOnShard(Shard& shard, UserId user,
   }
   // ...then dependencies: pre-requisite apps must be installed...
   for (const std::string& dependency : app.depends_on) {
-    const InstalledApp* installed = vehicle->FindInstalled(dependency);
-    if (installed == nullptr || installed->state != InstallState::kInstalled) {
+    const std::uint32_t dep = store.FindRow(vehicle, dependency);
+    if (dep == kNil || store.row(dep).state != InstallState::kInstalled) {
       ++shard.stats.deploys_rejected;
       return support::DependencyViolation("requires app " + dependency +
                                           " to be installed first");
@@ -223,101 +250,81 @@ support::Status TrustedServer::DeployOnShard(Shard& shard, UserId user,
   }
   // ...and no conflicts in either direction.
   for (const std::string& conflict : app.conflicts_with) {
-    if (vehicle->FindInstalled(conflict) != nullptr) {
+    if (store.FindRow(vehicle, conflict) != kNil) {
       ++shard.stats.deploys_rejected;
       return support::DependencyViolation("conflicts with installed app " + conflict);
     }
   }
-  for (const InstalledApp& installed : vehicle->installed) {
-    auto other = apps_.find(installed.app_name);
+  for (std::uint32_t r = store.row_head(vehicle); r != kNil;
+       r = store.row(r).next) {
+    const std::string& installed_name = store.row(r).manifest->app_name;
+    auto other = apps_.find(installed_name);
     if (other == apps_.end()) continue;
     const auto& conflicts = other->second.conflicts_with;
     if (std::find(conflicts.begin(), conflicts.end(), app.name) != conflicts.end()) {
       ++shard.stats.deploys_rejected;
-      return support::DependencyViolation("installed app " + installed.app_name +
+      return support::DependencyViolation("installed app " + installed_name +
                                           " conflicts with " + app.name);
     }
   }
 
   // The Pusher needs a live connection; reject before any state changes so
   // a retry starts from a clean table.
-  auto connections_it = shard.connections.find(vin);
-  const bool online =
-      connections_it != shard.connections.end() &&
-      std::any_of(connections_it->second.begin(), connections_it->second.end(),
-                  [](const auto& peer) { return peer->connected(); });
-  if (!online) {
+  if (!store.HasLiveConnection(vehicle)) {
     ++shard.stats.deploys_rejected;
     return support::Unavailable("vehicle offline: " + vin);
   }
 
-  // Context generation, allocating unique ids from the vehicle's
-  // persistent per-ECU bitmap (no rescan of the InstalledAPP table).
-  DACM_ASSIGN_OR_RETURN(auto generated,
-                        GeneratePackages(app, *conf, model->sw, vehicle->port_ids));
+  // Content-addressed batch acquisition: generation + serialization run
+  // once per distinct (model, app, version, id-layout); every other
+  // vehicle of the cohort reuses the cached manifest/payload by refcount.
+  DACM_ASSIGN_OR_RETURN(
+      CachedBatch batch,
+      cache_.Acquire(model_name, app, *conf, model->sw,
+                     store.DeriveUsedIds(vehicle)));
 
   // Record + push.
-  InstalledApp record;
-  record.app_name = app.name;
-  record.version = app.version;
-  record.state = InstallState::kPending;
-  for (GeneratedPackage& gp : generated) {
-    InstalledApp::PluginRecord plugin;
-    plugin.plugin = gp.plugin;
-    plugin.ecu_id = gp.ecu_id;
-    plugin.pic = gp.package.pic;
-    plugin.package_bytes = gp.package.Serialize();
-    record.plugins.push_back(std::move(plugin));
-  }
-  vehicle->installed.push_back(std::move(record));
-  InstalledApp& row = vehicle->installed.back();
+  const std::uint32_t r = store.AddRow(vehicle);
+  FleetStore::InstallRow& row = store.row(r);
+  row.state = InstallState::kPending;
+  row.manifest = batch.manifest;
+  row.payload = batch.payload;
   // Write-ahead: the half-installed paragraph hits the status DB before
   // the push leaves, so a crash between push and ack recovers into a
   // retriable kPending row instead of a silently lost deploy.
-  WriteStatus(*vehicle, row, Want::kInstall, DbState::kHalfInstalled);
+  WriteStatus(vin, row, Want::kInstall, DbState::kHalfInstalled);
 
   auto rollback = [&](const support::Status& error) {
     // Roll back the uncommitted row: a failed deploy must leave no trace
-    // (a stale row would block retries and leak unique ids).  The
+    // (a stale row would block retries and pin batch refcounts).  The
     // tombstone undoes the write-ahead paragraph above.
     WriteStatusRemoved(vin, app.name, app.version, Want::kInstall);
-    ReleaseRowIds(*vehicle, vehicle->installed.back());
-    vehicle->installed.pop_back();
+    store.RemoveRow(vehicle, r);
     ++shard.stats.deploys_rejected;
     return error;
   };
 
   if (batched) {
-    // Campaign path: one push carrying every plug-in package, assembled
-    // from views over the freshly recorded package bytes.  The serialized
-    // envelope is recorded on the row so retry waves re-push it verbatim.
-    std::vector<pirte::InstallBatchEntry> entries;
-    entries.reserve(row.plugins.size());
-    for (const InstalledApp::PluginRecord& plugin : row.plugins) {
-      entries.push_back(pirte::InstallBatchEntry{plugin.plugin, plugin.ecu_id,
-                                                 plugin.package_bytes});
-    }
-    pirte::PirteMessage batch;
-    batch.type = pirte::MessageType::kInstallBatch;
-    batch.plugin_name = app.name;  // diagnostic label for nack paths
-    batch.payload = pirte::SerializeInstallBatch(entries);
-    row.push_bytes = support::SharedBytes(pirte::SerializeEnveloped(vin, batch));
-    auto push = PushWireToVehicle(shard, vin, row.push_bytes);
+    // Campaign path: push the cached batch envelope — a refcount bump,
+    // no per-vehicle serialization at all.
+    auto push = PushWireToVehicle(shard, vehicle, vin,
+                                  batch.payload->install_wire);
     if (!push.ok()) return rollback(push);
   } else {
-    for (const InstalledApp::PluginRecord& plugin : row.plugins) {
+    for (std::size_t i = 0; i < batch.manifest->plugins.size(); ++i) {
+      const BatchManifest::Plugin& plugin = batch.manifest->plugins[i];
       pirte::PirteMessage message;
       message.type = pirte::MessageType::kInstallPackage;
-      message.plugin_name = plugin.plugin;
+      message.plugin_name = plugin.name;
       message.target_ecu = plugin.ecu_id;
-      message.payload = plugin.package_bytes;
-      auto push = PushToVehicle(shard, vin, message);
+      message.payload = batch.payload->packages[i];
+      auto push = PushToVehicle(shard, vehicle, vin, message);
       if (!push.ok()) return rollback(push);
     }
   }
   ++shard.stats.deploys_ok;
   DACM_LOG_INFO("server") << "deploy " << app.name << " -> " << vin << " ("
-                          << row.plugins.size() << " plug-ins"
+                          << batch.manifest->plugins.size() << " plug-ins"
                           << (batched ? ", batched)" : ")");
   return support::OkStatus();
 }
@@ -330,7 +337,10 @@ support::Status TrustedServer::Deploy(UserId user, const std::string& vin,
   if (app_it == apps_.end()) {
     // Match the historic accounting: an unknown app only counts as a
     // rejection when the vehicle at least exists.
-    if (shard.vehicles.contains(vin)) ++shard.stats.deploys_rejected;
+    const std::uint32_t vehicle = shard.store.Find(vin);
+    if (vehicle != kNil && shard.store.bound(vehicle)) {
+      ++shard.stats.deploys_rejected;
+    }
     return support::NotFound("app: " + app_name);
   }
   return DeployOnShard(shard, user, vin, app_it->second, /*batched=*/false);
@@ -434,20 +444,21 @@ WaveOutcome TrustedServer::WavePushOnShard(Shard& shard, UserId user,
                                            const std::string& vin,
                                            const std::string& app_name,
                                            const App* app, CampaignKind kind) {
-  auto vehicle_it = shard.vehicles.find(vin);
-  if (vehicle_it == shard.vehicles.end()) {
+  FleetStore& store = shard.store;
+  const std::uint32_t vehicle = store.Find(vin);
+  if (vehicle == kNil || !store.bound(vehicle)) {
     return WaveOutcome{WaveOutcome::Action::kRejected,
                        support::NotFound("VIN: " + vin)};
   }
-  Vehicle& vehicle = vehicle_it->second;
-  if (auto owned = CheckOwnership(user, vehicle); !owned.ok()) {
+  if (auto owned = CheckOwnership(user, store.owner(vehicle), vin);
+      !owned.ok()) {
     return WaveOutcome{WaveOutcome::Action::kRejected, std::move(owned)};
   }
 
   if (kind == CampaignKind::kRollback) {
-    InstalledApp* row = vehicle.FindInstalled(app_name);
-    if (row == nullptr) return WaveOutcome{WaveOutcome::Action::kAlreadyDone, {}};
-    if (std::string dependents = DependentsOf(vehicle, app_name);
+    const std::uint32_t r = store.FindRow(vehicle, app_name);
+    if (r == kNil) return WaveOutcome{WaveOutcome::Action::kAlreadyDone, {}};
+    if (std::string dependents = DependentsOf(shard, vehicle, app_name);
         !dependents.empty()) {
       return WaveOutcome{
           WaveOutcome::Action::kRejected,
@@ -456,38 +467,22 @@ WaveOutcome TrustedServer::WavePushOnShard(Shard& shard, UserId user,
                                        dependents)};
     }
     // One kUninstallBatch per vehicle — the kInstallBatch framing in
-    // reverse.  Ack flags reset so a repeated wave (lost acks) converges.
-    const InstallState previous = row->state;
-    for (InstalledApp::PluginRecord& plugin : row->plugins) {
-      plugin.acked = false;
-      plugin.ack_ok = false;
-      plugin.ack_detail.clear();
-    }
+    // reverse, pre-built on the manifest so every wave (and every vehicle
+    // of the cohort) pushes the same buffer by refcount.  Ack masks reset
+    // so a repeated wave (lost acks) converges.
+    FleetStore::InstallRow& row = store.row(r);
+    const InstallState previous = row.state;
+    row.acked = 0;
+    row.ack_ok = 0;
     // Write-ahead: half-removed before the uninstall batch leaves.
-    WriteStatus(vehicle, *row, Want::kDeinstall, DbState::kHalfRemoved);
-    row->state = InstallState::kUninstalling;
-    if (row->uninstall_bytes.empty()) {
-      // First rollback wave for this row: serialize the batch once; a
-      // repeated wave (lost acks, nacked uninstall) re-pushes the same
-      // buffer by refcount.
-      std::vector<pirte::UninstallBatchEntry> entries;
-      entries.reserve(row->plugins.size());
-      for (const InstalledApp::PluginRecord& plugin : row->plugins) {
-        entries.push_back(
-            pirte::UninstallBatchEntry{plugin.plugin, plugin.ecu_id});
-      }
-      pirte::PirteMessage batch;
-      batch.type = pirte::MessageType::kUninstallBatch;
-      batch.plugin_name = app_name;  // diagnostic label for nack paths
-      batch.payload = pirte::SerializeUninstallBatch(entries);
-      row->uninstall_bytes =
-          support::SharedBytes(pirte::SerializeEnveloped(vin, batch));
-    }
-    auto push = PushWireToVehicle(shard, vin, row->uninstall_bytes);
+    WriteStatus(vin, row, Want::kDeinstall, DbState::kHalfRemoved);
+    row.state = InstallState::kUninstalling;
+    auto push =
+        PushWireToVehicle(shard, vehicle, vin, row.manifest->uninstall_wire);
     if (!push.ok()) {
-      row->state = previous;
+      row.state = previous;
       // Undo the write-ahead: re-record the state the row snapped back to.
-      WriteStatus(vehicle, *row, WantFor(previous), DbStateFor(previous));
+      WriteStatus(vin, row, WantFor(previous), DbStateFor(previous));
       return ClassifyPush(std::move(push));
     }
     ++shard.stats.rollback_pushes;
@@ -495,8 +490,9 @@ WaveOutcome TrustedServer::WavePushOnShard(Shard& shard, UserId user,
   }
 
   // Deploy wave.
-  if (InstalledApp* row = vehicle.FindInstalled(app_name); row != nullptr) {
-    switch (row->state) {
+  if (const std::uint32_t r = store.FindRow(vehicle, app_name); r != kNil) {
+    FleetStore::InstallRow& row = store.row(r);
+    switch (row.state) {
       case InstallState::kInstalled:
         return WaveOutcome{WaveOutcome::Action::kAlreadyDone, {}};
       case InstallState::kUninstalling:
@@ -507,15 +503,13 @@ WaveOutcome TrustedServer::WavePushOnShard(Shard& shard, UserId user,
       case InstallState::kPending:
         // Pushed in an earlier wave but the acks never came back (link
         // flap): re-push the recorded batch verbatim.
-        return ClassifyPush(RepushInstallBatch(shard, vehicle, *row));
+        return ClassifyPush(RepushInstallBatch(shard, vehicle, r));
       case InstallState::kFailed: {
-        // A nacked row blocks redeployment; clear it (releasing its
-        // unique ids) and fall through to a fresh deploy.
-        WriteStatusRemoved(vin, row->app_name, row->version, Want::kInstall);
-        ReleaseRowIds(vehicle, *row);
-        const auto index =
-            static_cast<std::ptrdiff_t>(row - vehicle.installed.data());
-        vehicle.installed.erase(vehicle.installed.begin() + index);
+        // A nacked row blocks redeployment; clear it and fall through to
+        // a fresh deploy.
+        WriteStatusRemoved(vin, row.manifest->app_name, row.manifest->version,
+                           Want::kInstall);
+        store.RemoveRow(vehicle, r);
         break;
       }
     }
@@ -524,91 +518,57 @@ WaveOutcome TrustedServer::WavePushOnShard(Shard& shard, UserId user,
 }
 
 support::Status TrustedServer::RepushInstallBatch(Shard& shard,
-                                                  Vehicle& vehicle,
-                                                  InstalledApp& row) {
-  // A recovered row carries no package bytes (RecoverInstallDb persists
-  // ids, not payloads), and a convergence race can leave a row whose
-  // recorded envelope was already dropped.  Regenerate from the catalog
-  // before assembling the wire — never push an empty batch.
-  const bool packages_missing =
-      row.plugins.empty() ||
-      std::any_of(row.plugins.begin(), row.plugins.end(),
-                  [](const InstalledApp::PluginRecord& plugin) {
-                    return plugin.package_bytes.empty();
-                  });
-  if (packages_missing) {
-    DACM_RETURN_IF_ERROR(MaterializeRowPackages(vehicle, row));
-    row.push_bytes = {};  // stale envelope (if any) referenced old payloads
+                                                  std::uint32_t vehicle,
+                                                  std::uint32_t r) {
+  // A recovered row carries no payload (RecoverInstallDb persists ids,
+  // not package bytes), and a convergence race can leave a row whose
+  // payload was already dropped.  Rematerialize from the catalog before
+  // pushing — never push an empty wire.
+  if (shard.store.row(r).payload == nullptr) {
+    DACM_RETURN_IF_ERROR(MaterializeRowPackages(shard, vehicle, r));
   }
-  for (InstalledApp::PluginRecord& plugin : row.plugins) {
-    plugin.acked = false;
-    plugin.ack_ok = false;
-    plugin.ack_detail.clear();
-  }
-  if (row.push_bytes.empty()) {
-    // No recorded batch (e.g. the pending row came from a per-plug-in
-    // Restore): assemble and record it once; later waves reuse it.
-    std::vector<pirte::InstallBatchEntry> entries;
-    entries.reserve(row.plugins.size());
-    for (const InstalledApp::PluginRecord& plugin : row.plugins) {
-      entries.push_back(pirte::InstallBatchEntry{plugin.plugin, plugin.ecu_id,
-                                                 plugin.package_bytes});
-    }
-    pirte::PirteMessage batch;
-    batch.type = pirte::MessageType::kInstallBatch;
-    batch.plugin_name = row.app_name;
-    batch.payload = pirte::SerializeInstallBatch(entries);
-    row.push_bytes =
-        support::SharedBytes(pirte::SerializeEnveloped(vehicle.vin, batch));
-  }
-  DACM_RETURN_IF_ERROR(PushWireToVehicle(shard, vehicle.vin, row.push_bytes));
+  FleetStore::InstallRow& row = shard.store.row(r);
+  row.acked = 0;
+  row.ack_ok = 0;
+  DACM_RETURN_IF_ERROR(PushWireToVehicle(shard, vehicle,
+                                         shard.store.VinOf(vehicle),
+                                         row.payload->install_wire));
   ++shard.stats.repushes;
   return support::OkStatus();
 }
 
-support::Status TrustedServer::MaterializeRowPackages(Vehicle& vehicle,
-                                                      InstalledApp& row) {
-  auto app_it = apps_.find(row.app_name);
+support::Status TrustedServer::MaterializeRowPackages(Shard& shard,
+                                                      std::uint32_t vehicle,
+                                                      std::uint32_t r) {
+  FleetStore::InstallRow& row = shard.store.row(r);
+  const std::string& app_name = row.manifest->app_name;
+  auto app_it = apps_.find(app_name);
   if (app_it == apps_.end()) {
-    return support::NotFound("app " + row.app_name +
+    return support::NotFound("app " + app_name +
                              " not in catalog (re-upload before resuming)");
   }
   const App& app = app_it->second;
-  const SwConf* conf = app.ConfForModel(vehicle.model);
+  const std::string& model_name = ModelName(shard.store.model(vehicle));
+  const SwConf* conf = app.ConfForModel(model_name);
   if (conf == nullptr) {
-    return support::Incompatible("no SW conf for vehicle model " +
-                                 vehicle.model);
+    return support::Incompatible("no SW conf for vehicle model " + model_name);
   }
-  DACM_ASSIGN_OR_RETURN(const VehicleModelConf* model, ModelConf(vehicle.model));
-  // Free the recorded claims so generation can re-allocate; with no other
-  // churn since the original deploy the lowest-free allocator reproduces
-  // the exact ids the vehicle already holds.
-  ReleaseRowIds(vehicle, row);
-  auto generated = GeneratePackages(app, *conf, model->sw, vehicle.port_ids);
-  if (!generated.ok()) {
-    // Put the recorded claims back: the bitmap must stay consistent with
-    // the (unchanged) row.
-    for (const InstalledApp::PluginRecord& plugin : row.plugins) {
-      for (const pirte::PicEntry& entry : plugin.pic.entries) {
-        vehicle.port_ids[plugin.ecu_id].insert(entry.unique_id);
-      }
-    }
-    return generated.status();
-  }
-  row.plugins.clear();
-  for (GeneratedPackage& gp : *generated) {
-    InstalledApp::PluginRecord plugin;
-    plugin.plugin = gp.plugin;
-    plugin.ecu_id = gp.ecu_id;
-    plugin.pic = gp.package.pic;
-    plugin.package_bytes = gp.package.Serialize();
-    row.plugins.push_back(std::move(plugin));
-  }
-  row.version = app.version;
+  DACM_ASSIGN_OR_RETURN(const VehicleModelConf* model, ModelConf(model_name));
+  // The layout the cache generates against excludes this row's own claims
+  // — with no other churn since the original deploy the lowest-free
+  // allocator reproduces the exact ids the vehicle already holds.  On
+  // failure the row (and the derived bitmap) is untouched.
+  DACM_ASSIGN_OR_RETURN(
+      CachedBatch batch,
+      cache_.Acquire(model_name, app, *conf, model->sw,
+                     shard.store.DeriveUsedIds(vehicle, r)));
+  row.manifest = batch.manifest;
+  row.payload = batch.payload;
   // Re-record the paragraph: the regenerated ids may differ from the
-  // recorded ones if the bitmap shifted underneath (another app released
+  // recorded ones if the layout shifted underneath (another app released
   // lower ids since the original deploy).
-  WriteStatus(vehicle, row, WantFor(row.state), DbStateFor(row.state));
+  WriteStatus(shard.store.VinOf(vehicle), row, WantFor(row.state),
+              DbStateFor(row.state));
   return support::OkStatus();
 }
 
@@ -616,32 +576,36 @@ support::Status TrustedServer::UninstallApp(UserId user, const std::string& vin,
                                             const std::string& app_name) {
   std::shared_lock lock(catalog_mutex_);
   Shard& shard = ShardFor(vin);
-  auto vehicle_it = shard.vehicles.find(vin);
-  if (vehicle_it == shard.vehicles.end()) return support::NotFound("VIN: " + vin);
-  Vehicle* vehicle = &vehicle_it->second;
-  DACM_RETURN_IF_ERROR(CheckOwnership(user, *vehicle));
-  InstalledApp* installed = vehicle->FindInstalled(app_name);
-  if (installed == nullptr) return support::NotFound("app not installed: " + app_name);
+  FleetStore& store = shard.store;
+  const std::uint32_t vehicle = store.Find(vin);
+  if (vehicle == kNil || !store.bound(vehicle)) {
+    return support::NotFound("VIN: " + vin);
+  }
+  DACM_RETURN_IF_ERROR(CheckOwnership(user, store.owner(vehicle), vin));
+  const std::uint32_t r = store.FindRow(vehicle, app_name);
+  if (r == kNil) return support::NotFound("app not installed: " + app_name);
 
   // "whether there are some other installed plug-ins that are dependent on
   // the plug-ins being uninstalled" — the user is notified, not cascaded.
-  if (std::string dependents = DependentsOf(*vehicle, app_name);
+  if (std::string dependents = DependentsOf(shard, vehicle, app_name);
       !dependents.empty()) {
     return support::DependencyViolation("apps depending on " + app_name +
                                         " must be uninstalled first: " + dependents);
   }
 
+  FleetStore::InstallRow& row = store.row(r);
   // Write-ahead: half-removed before any uninstall message leaves.
-  WriteStatus(*vehicle, *installed, Want::kDeinstall, DbState::kHalfRemoved);
-  installed->state = InstallState::kUninstalling;
-  for (InstalledApp::PluginRecord& plugin : installed->plugins) {
-    plugin.acked = false;
-    plugin.ack_ok = false;
+  WriteStatus(vin, row, Want::kDeinstall, DbState::kHalfRemoved);
+  row.state = InstallState::kUninstalling;
+  for (std::size_t i = 0; i < row.manifest->plugins.size(); ++i) {
+    const BatchManifest::Plugin& plugin = row.manifest->plugins[i];
+    row.acked &= ~(std::uint64_t{1} << i);
+    row.ack_ok &= ~(std::uint64_t{1} << i);
     pirte::PirteMessage message;
     message.type = pirte::MessageType::kUninstall;
-    message.plugin_name = plugin.plugin;
+    message.plugin_name = plugin.name;
     message.target_ecu = plugin.ecu_id;
-    DACM_RETURN_IF_ERROR(PushToVehicle(shard, vin, message));
+    DACM_RETURN_IF_ERROR(PushToVehicle(shard, vehicle, vin, message));
   }
   ++shard.stats.uninstalls;
   return support::OkStatus();
@@ -651,45 +615,49 @@ support::Status TrustedServer::Restore(UserId user, const std::string& vin,
                                        std::uint32_t ecu_id) {
   std::shared_lock lock(catalog_mutex_);
   Shard& shard = ShardFor(vin);
-  auto vehicle_it = shard.vehicles.find(vin);
-  if (vehicle_it == shard.vehicles.end()) return support::NotFound("VIN: " + vin);
-  Vehicle* vehicle = &vehicle_it->second;
-  DACM_RETURN_IF_ERROR(CheckOwnership(user, *vehicle));
+  FleetStore& store = shard.store;
+  const std::uint32_t vehicle = store.Find(vin);
+  if (vehicle == kNil || !store.bound(vehicle)) {
+    return support::NotFound("VIN: " + vin);
+  }
+  DACM_RETURN_IF_ERROR(CheckOwnership(user, store.owner(vehicle), vin));
   // "The server filters out previously installed plug-ins in the replaced
   // ECU ... Next, the usual installation steps are followed."  The recorded
   // packages are re-pushed verbatim, so the restored ECU gets the same
   // unique ids and contexts it had before.
   bool any = false;
-  for (InstalledApp& installed : vehicle->installed) {
-    const bool touches =
-        std::any_of(installed.plugins.begin(), installed.plugins.end(),
-                    [&](const InstalledApp::PluginRecord& plugin) {
-                      return plugin.ecu_id == ecu_id;
-                    });
-    if (!touches) continue;
-    any = true;
-    // A recovered row has no recorded packages; rebuild from the catalog
-    // before re-pushing (same ids when the bitmap is unchanged).
-    if (std::any_of(installed.plugins.begin(), installed.plugins.end(),
-                    [](const InstalledApp::PluginRecord& plugin) {
-                      return plugin.package_bytes.empty();
-                    })) {
-      DACM_RETURN_IF_ERROR(MaterializeRowPackages(*vehicle, installed));
-      installed.push_bytes = {};
+  for (std::uint32_t r = store.row_head(vehicle); r != kNil;
+       r = store.row(r).next) {
+    {
+      const FleetStore::InstallRow& row = store.row(r);
+      const bool touches = std::any_of(
+          row.manifest->plugins.begin(), row.manifest->plugins.end(),
+          [&](const BatchManifest::Plugin& plugin) {
+            return plugin.ecu_id == ecu_id;
+          });
+      if (!touches) continue;
     }
+    any = true;
+    // A recovered (or converged) row has no payload; rebuild from the
+    // catalog before re-pushing (same ids when the layout is unchanged).
+    if (store.row(r).payload == nullptr) {
+      DACM_RETURN_IF_ERROR(MaterializeRowPackages(shard, vehicle, r));
+    }
+    FleetStore::InstallRow& row = store.row(r);
     // Write-ahead: the row drops back to in-flight before the re-push.
-    WriteStatus(*vehicle, installed, Want::kInstall, DbState::kHalfInstalled);
-    installed.state = InstallState::kPending;
-    for (InstalledApp::PluginRecord& plugin : installed.plugins) {
+    WriteStatus(vin, row, Want::kInstall, DbState::kHalfInstalled);
+    row.state = InstallState::kPending;
+    for (std::size_t i = 0; i < row.manifest->plugins.size(); ++i) {
+      const BatchManifest::Plugin& plugin = row.manifest->plugins[i];
       if (plugin.ecu_id != ecu_id) continue;
-      plugin.acked = false;
-      plugin.ack_ok = false;
+      row.acked &= ~(std::uint64_t{1} << i);
+      row.ack_ok &= ~(std::uint64_t{1} << i);
       pirte::PirteMessage message;
       message.type = pirte::MessageType::kInstallPackage;
-      message.plugin_name = plugin.plugin;
+      message.plugin_name = plugin.name;
       message.target_ecu = plugin.ecu_id;
-      message.payload = plugin.package_bytes;
-      DACM_RETURN_IF_ERROR(PushToVehicle(shard, vin, message));
+      message.payload = row.payload->packages[i];
+      DACM_RETURN_IF_ERROR(PushToVehicle(shard, vehicle, vin, message));
     }
   }
   if (!any) {
@@ -704,36 +672,76 @@ support::Status TrustedServer::Restore(UserId user, const std::string& vin,
 support::Result<InstallState> TrustedServer::AppState(const std::string& vin,
                                                       const std::string& app_name) const {
   const Shard& shard = ShardFor(vin);
-  auto it = shard.vehicles.find(vin);
-  if (it == shard.vehicles.end()) return support::NotFound("VIN: " + vin);
-  const InstalledApp* installed = it->second.FindInstalled(app_name);
-  if (installed == nullptr) return support::NotFound("app not installed: " + app_name);
-  return installed->state;
+  const std::uint32_t vehicle = shard.store.Find(vin);
+  if (vehicle == kNil || !shard.store.bound(vehicle)) {
+    return support::NotFound("VIN: " + vin);
+  }
+  const std::uint32_t r = shard.store.FindRow(vehicle, app_name);
+  if (r == kNil) return support::NotFound("app not installed: " + app_name);
+  return shard.store.row(r).state;
 }
 
 std::vector<std::string> TrustedServer::InstalledApps(const std::string& vin) const {
   std::vector<std::string> names;
   const Shard& shard = ShardFor(vin);
-  auto it = shard.vehicles.find(vin);
-  if (it == shard.vehicles.end()) return names;
-  for (const InstalledApp& installed : it->second.installed) {
-    names.push_back(installed.app_name);
+  const std::uint32_t vehicle = shard.store.Find(vin);
+  if (vehicle == kNil || !shard.store.bound(vehicle)) return names;
+  for (std::uint32_t r = shard.store.row_head(vehicle); r != kNil;
+       r = shard.store.row(r).next) {
+    names.push_back(shard.store.row(r).manifest->app_name);
   }
   return names;
 }
 
-const Vehicle* TrustedServer::FindVehicle(const std::string& vin) const {
+std::shared_ptr<const Vehicle> TrustedServer::FindVehicle(
+    const std::string& vin) const {
   const Shard& shard = ShardFor(vin);
-  auto it = shard.vehicles.find(vin);
-  return it == shard.vehicles.end() ? nullptr : &it->second;
+  const FleetStore& store = shard.store;
+  const std::uint32_t vehicle = store.Find(vin);
+  if (vehicle == kNil || !store.bound(vehicle)) return nullptr;
+  auto view = std::make_shared<Vehicle>();
+  view->vin = vin;
+  view->model = ModelName(store.model(vehicle));
+  view->owner = store.owner(vehicle);
+  for (std::uint32_t r = store.row_head(vehicle); r != kNil;
+       r = store.row(r).next) {
+    const FleetStore::InstallRow& row = store.row(r);
+    const BatchManifest& manifest = *row.manifest;
+    InstalledApp record;
+    record.app_name = manifest.app_name;
+    record.version = manifest.version;
+    record.state = row.state;
+    record.plugins.reserve(manifest.plugins.size());
+    for (std::size_t i = 0; i < manifest.plugins.size(); ++i) {
+      InstalledApp::PluginRecord plugin;
+      plugin.plugin = manifest.plugins[i].name;
+      plugin.ecu_id = manifest.plugins[i].ecu_id;
+      plugin.pic = manifest.plugins[i].pic;
+      if (row.payload != nullptr) {
+        plugin.package_bytes = row.payload->packages[i];
+      }
+      plugin.acked = ((row.acked >> i) & 1) != 0;
+      plugin.ack_ok = ((row.ack_ok >> i) & 1) != 0;
+      record.plugins.push_back(std::move(plugin));
+    }
+    if (row.payload != nullptr) record.push_bytes = row.payload->install_wire;
+    record.uninstall_bytes = manifest.uninstall_wire;
+    view->installed.push_back(std::move(record));
+  }
+  view->port_ids = store.DeriveUsedIds(vehicle);
+  return view;
+}
+
+bool TrustedServer::HasVehicle(const std::string& vin) const {
+  const Shard& shard = ShardFor(vin);
+  const std::uint32_t vehicle = shard.store.Find(vin);
+  return vehicle != kNil && shard.store.bound(vehicle);
 }
 
 bool TrustedServer::VehicleOnline(const std::string& vin) const {
   const Shard& shard = ShardFor(vin);
-  auto it = shard.connections.find(vin);
-  if (it == shard.connections.end()) return false;
-  return std::any_of(it->second.begin(), it->second.end(),
-                     [](const auto& peer) { return peer->connected(); });
+  const std::uint32_t vehicle = shard.store.Find(vin);
+  return vehicle != kNil && shard.store.HasLiveConnection(vehicle);
 }
 
 bool TrustedServer::HasApp(const std::string& app_name) const {
@@ -761,10 +769,11 @@ ServerStats TrustedServer::stats() const {
 
 // --- internals ---------------------------------------------------------------------------
 
-support::Status TrustedServer::CheckOwnership(UserId user, const Vehicle& vehicle) const {
+support::Status TrustedServer::CheckOwnership(UserId user, UserId owner,
+                                              std::string_view vin) const {
   if (user.value() >= users_.size()) return support::NotFound("unknown user");
-  if (vehicle.owner != user) {
-    return support::PermissionDenied("vehicle " + vehicle.vin +
+  if (owner != user) {
+    return support::PermissionDenied("vehicle " + std::string(vin) +
                                      " is not bound to this user");
   }
   return support::OkStatus();
@@ -777,35 +786,40 @@ support::Result<const VehicleModelConf*> TrustedServer::ModelConf(
   return &it->second;
 }
 
-std::string TrustedServer::DependentsOf(const Vehicle& vehicle,
+std::string TrustedServer::DependentsOf(const Shard& shard,
+                                        std::uint32_t vehicle,
                                         const std::string& app_name) const {
   std::string dependents;
-  for (const InstalledApp& other : vehicle.installed) {
-    if (other.app_name == app_name) continue;
-    auto app_it = apps_.find(other.app_name);
+  for (std::uint32_t r = shard.store.row_head(vehicle); r != kNil;
+       r = shard.store.row(r).next) {
+    const std::string& other = shard.store.row(r).manifest->app_name;
+    if (other == app_name) continue;
+    auto app_it = apps_.find(other);
     if (app_it == apps_.end()) continue;
     const auto& deps = app_it->second.depends_on;
     if (std::find(deps.begin(), deps.end(), app_name) != deps.end()) {
       if (!dependents.empty()) dependents += ", ";
-      dependents += other.app_name;
+      dependents += other;
     }
   }
   return dependents;
 }
 
-void TrustedServer::WriteStatus(const Vehicle& vehicle, const InstalledApp& row,
-                                Want want, DbState state) {
+void TrustedServer::WriteStatus(std::string_view vin,
+                                const FleetStore::InstallRow& row, Want want,
+                                DbState state) {
   if (status_db_ == nullptr) return;
+  const BatchManifest& manifest = *row.manifest;
   StatusParagraph paragraph;
-  paragraph.vin = vehicle.vin;
-  paragraph.app = row.app_name;
-  paragraph.version = row.version;
+  paragraph.vin = std::string(vin);
+  paragraph.app = manifest.app_name;
+  paragraph.version = manifest.version;
   paragraph.want = want;
   paragraph.state = state;
-  paragraph.plugins.reserve(row.plugins.size());
-  for (const InstalledApp::PluginRecord& plugin : row.plugins) {
+  paragraph.plugins.reserve(manifest.plugins.size());
+  for (const BatchManifest::Plugin& plugin : manifest.plugins) {
     StatusParagraph::PluginIds ids;
-    ids.plugin = plugin.plugin;
+    ids.plugin = plugin.name;
     ids.ecu_id = plugin.ecu_id;
     ids.unique_ids.reserve(plugin.pic.entries.size());
     for (const pirte::PicEntry& entry : plugin.pic.entries) {
@@ -816,24 +830,25 @@ void TrustedServer::WriteStatus(const Vehicle& vehicle, const InstalledApp& row,
   if (auto status = status_db_->Append(paragraph); !status.ok()) {
     // Durability degrades, availability does not: the in-memory
     // transition proceeds and the operator sees the warning.
-    DACM_LOG_WARN("server") << "status DB append failed for " << vehicle.vin
-                            << "/" << row.app_name << ": " << status.message();
+    DACM_LOG_WARN("server") << "status DB append failed for " << paragraph.vin
+                            << "/" << manifest.app_name << ": "
+                            << status.message();
   }
 }
 
-void TrustedServer::WriteStatusRemoved(const std::string& vin,
+void TrustedServer::WriteStatusRemoved(std::string_view vin,
                                        const std::string& app_name,
                                        const std::string& version, Want want) {
   if (status_db_ == nullptr) return;
   StatusParagraph paragraph;
-  paragraph.vin = vin;
+  paragraph.vin = std::string(vin);
   paragraph.app = app_name;
   paragraph.version = version;
   paragraph.want = want;
   paragraph.state = DbState::kNotInstalled;
   if (auto status = status_db_->Append(paragraph); !status.ok()) {
-    DACM_LOG_WARN("server") << "status DB append failed for " << vin << "/"
-                            << app_name << ": " << status.message();
+    DACM_LOG_WARN("server") << "status DB append failed for " << paragraph.vin
+                            << "/" << app_name << ": " << status.message();
   }
 }
 
@@ -841,11 +856,11 @@ support::Status TrustedServer::RecoverInstallDb(
     std::span<const std::uint8_t> image) {
   std::unique_lock lock(catalog_mutex_);
   for (const Shard& shard : shards_) {
-    for (const auto& [vin, vehicle] : shard.vehicles) {
-      if (!vehicle.installed.empty()) {
+    for (std::uint32_t v = 0; v < shard.store.size(); ++v) {
+      if (shard.store.bound(v) && shard.store.row_head(v) != kNil) {
         return support::FailedPrecondition(
-            "recover requires empty install tables (vehicle " + vin +
-            " already has rows)");
+            "recover requires empty install tables (vehicle " +
+            std::string(shard.store.VinOf(v)) + " already has rows)");
       }
     }
   }
@@ -853,12 +868,11 @@ support::Status TrustedServer::RecoverInstallDb(
                         StatusDb::Replay(image));
   for (StatusParagraph& paragraph : paragraphs) {
     Shard& shard = ShardFor(paragraph.vin);
-    auto vehicle_it = shard.vehicles.find(paragraph.vin);
-    if (vehicle_it == shard.vehicles.end()) {
+    const std::uint32_t vehicle = shard.store.Find(paragraph.vin);
+    if (vehicle == kNil || !shard.store.bound(vehicle)) {
       return support::NotFound("recovered paragraph names unbound VIN " +
                                paragraph.vin + " (re-bind the fleet first)");
     }
-    Vehicle& vehicle = vehicle_it->second;
 
     // Map (want, state) back onto the in-memory row.  A half state means
     // the push may or may not have reached the vehicle — the row comes
@@ -896,42 +910,21 @@ support::Status TrustedServer::RecoverInstallDb(
         break;
     }
 
-    InstalledApp row;
-    row.app_name = paragraph.app;
-    row.version = paragraph.version;
+    // Rows come back with a one-off manifest carrying exactly what the
+    // paragraph recorded: plug-in names, placements, unique-id claims.
+    // Package bytes are NOT persisted; the first wave that needs the
+    // payload regenerates it from the re-uploaded catalog
+    // (MaterializeRowPackages).
+    const std::uint32_t r = shard.store.AddRow(vehicle);
+    FleetStore::InstallRow& row = shard.store.row(r);
     row.state = state;
-    row.plugins.reserve(paragraph.plugins.size());
-    for (StatusParagraph::PluginIds& ids : paragraph.plugins) {
-      InstalledApp::PluginRecord plugin;
-      plugin.plugin = std::move(ids.plugin);
-      plugin.ecu_id = ids.ecu_id;
-      plugin.acked = acked;
-      plugin.ack_ok = ack_ok;
-      // Package bytes are NOT persisted; only the id claims come back.
-      // The first wave that needs the payload regenerates it from the
-      // re-uploaded catalog (MaterializeRowPackages).
-      plugin.pic.entries.reserve(ids.unique_ids.size());
-      for (std::uint8_t id : ids.unique_ids) {
-        pirte::PicEntry entry;
-        entry.unique_id = id;
-        plugin.pic.entries.push_back(entry);
-        vehicle.port_ids[ids.ecu_id].insert(id);
-      }
-      row.plugins.push_back(std::move(plugin));
-    }
-    vehicle.installed.push_back(std::move(row));
+    row.manifest = PackageCache::RecoveredManifest(
+        paragraph.app, paragraph.version, paragraph.plugins);
+    const std::uint64_t full = FullMask(paragraph.plugins.size());
+    row.acked = acked ? full : 0;
+    row.ack_ok = ack_ok ? full : 0;
   }
   return support::OkStatus();
-}
-
-void TrustedServer::ReleaseRowIds(Vehicle& vehicle, const InstalledApp& row) {
-  for (const InstalledApp::PluginRecord& plugin : row.plugins) {
-    auto it = vehicle.port_ids.find(plugin.ecu_id);
-    if (it == vehicle.port_ids.end()) continue;
-    for (const pirte::PicEntry& entry : plugin.pic.entries) {
-      it->second.erase(entry.unique_id);
-    }
-  }
 }
 
 void TrustedServer::OnAccept(std::shared_ptr<sim::NetPeer> peer) {
@@ -962,30 +955,41 @@ void TrustedServer::OnVehicleMessage(sim::NetPeer* peer,
     // dead predecessors (ECMs redial on a periodic alarm, so long link
     // flaps would otherwise accumulate peers without bound).
     const std::string vin(envelope->vin);
+    const std::size_t shard_index = ShardIndex(vin);
+    Shard& shard = shards_[shard_index];
+    // Intern even before the binding exists: the handle anchors the
+    // connection columns and the PeerRef reverse lookup.
+    const std::uint32_t vehicle = shard.store.Intern(vin);
     for (std::size_t i = 0; i < pending_.size(); ++i) {
       if (pending_[i].get() != peer) continue;
-      Shard& shard = ShardFor(vin);
-      auto& peers = shard.connections[vin];
-      shard.stats.connections_reaped += std::erase_if(
-          peers, [this](const std::shared_ptr<sim::NetPeer>& old) {
-            if (old->connected()) return false;
-            peer_vins_.erase(old.get());
-            return true;
-          });
-      peers.push_back(std::move(pending_[i]));
+      shard.stats.connections_reaped += shard.store.ReapDeadPeers(
+          vehicle, [this](const sim::NetPeer* old) { peer_vins_.erase(old); });
+      shard.store.AddPeer(vehicle, std::move(pending_[i]));
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
       break;
     }
-    peer_vins_[peer] = vin;
+    peer_vins_[peer] =
+        PeerRef{static_cast<std::uint32_t>(shard_index), vehicle};
     DACM_LOG_INFO("server") << "vehicle online: " << vin;
     return;
   }
 
   std::string vin;
+  std::size_t shard_index = 0;
+  std::uint32_t vehicle = kNil;
   if (!envelope->vin.empty()) {
     vin = std::string(envelope->vin);
+    shard_index = ShardIndex(vin);
+    const std::uint32_t v = shards_[shard_index].store.Find(vin);
+    // Helloed-but-unbound VINs have a handle but no vehicle (the historic
+    // accounting counts their plain acks and drops their batches).
+    if (v != kNil && shards_[shard_index].store.bound(v)) vehicle = v;
   } else if (auto it = peer_vins_.find(peer); it != peer_vins_.end()) {
-    vin = it->second;
+    shard_index = it->second.shard;
+    vin = std::string(shards_[shard_index].store.VinOf(it->second.vehicle));
+    if (shards_[shard_index].store.bound(it->second.vehicle)) {
+      vehicle = it->second.vehicle;
+    }
   } else {
     return;  // never said Hello
   }
@@ -993,9 +997,10 @@ void TrustedServer::OnVehicleMessage(sim::NetPeer* peer,
   // Acknowledgements are the server's highest-volume inbound traffic
   // (thousands per campaign).  The simulation thread only routes: it
   // peeks the message's leading type byte, resolves the owning shard and
-  // vehicle, and stages the raw bytes; the full parse runs on the flush
-  // worker (scheduled at this arrival timestamp), one worker per shard,
-  // so a campaign's ack storm parallelizes instead of serializing here.
+  // vehicle handle, and stages the raw bytes; the full parse runs on the
+  // flush worker (scheduled at this arrival timestamp), one worker per
+  // shard, so a campaign's ack storm parallelizes instead of serializing
+  // here.
   const std::span<const std::uint8_t> blob = envelope->message;
   const bool ack_like =
       !blob.empty() &&
@@ -1009,11 +1014,8 @@ void TrustedServer::OnVehicleMessage(sim::NetPeer* peer,
     }
     return;
   }
-  Shard& shard = ShardFor(vin);
+  Shard& shard = shards_[shard_index];
   // Zero-copy staging: the delivered buffer stays alive by refcount.
-  auto vehicle_it = shard.vehicles.find(vin);
-  Vehicle* vehicle =
-      vehicle_it == shard.vehicles.end() ? nullptr : &vehicle_it->second;
   shard.ack_inbox.push_back(
       StagedAck{next_ack_seq_++, std::move(vin), vehicle, data, blob});
   ScheduleAckFlush();
@@ -1093,21 +1095,20 @@ void TrustedServer::ApplyStagedAck(Shard& shard, const StagedAck& staged) {
     return;
   }
   const pirte::PirteMessageView& message = *parsed;
-  Vehicle* vehicle = staged.vehicle;
   if (message.type == pirte::MessageType::kAck) {
     ++shard.stats.acks_received;
     if (!message.ok) ++shard.stats.nacks_received;
-    if (vehicle == nullptr) return;
-    ApplyAck(shard, *vehicle, message.plugin_name, message.ok, message.detail,
-             staged.seq);
+    if (staged.vehicle == kNil) return;
+    ApplyAck(shard, staged.vehicle, message.plugin_name, message.ok,
+             message.detail, staged.seq);
   } else if (message.type == pirte::MessageType::kAckBatch) {
-    if (vehicle == nullptr) return;
+    if (staged.vehicle == kNil) return;
     if (!message.ok) {
       // Typed whole-batch rejection: the vehicle could not process the
       // campaign push at all; plugin_name carries the batch's app label.
       ++shard.stats.acks_received;
       ++shard.stats.nacks_received;
-      ApplyBatchNack(shard, *vehicle, message.plugin_name, message.detail,
+      ApplyBatchNack(shard, staged.vehicle, message.plugin_name, message.detail,
                      staged.seq);
       return;
     }
@@ -1116,7 +1117,7 @@ void TrustedServer::ApplyStagedAck(Shard& shard, const StagedAck& staged) {
         [&](std::string_view plugin, bool ok, std::string_view detail) {
           ++shard.stats.acks_received;
           if (!ok) ++shard.stats.nacks_received;
-          ApplyAck(shard, *vehicle, plugin, ok, detail, staged.seq);
+          ApplyAck(shard, staged.vehicle, plugin, ok, detail, staged.seq);
         });
     if (!status.ok() && support::Log::Enabled(support::LogLevel::kWarn)) {
       shard.flush_logs.push_back(DeferredLog{
@@ -1125,133 +1126,153 @@ void TrustedServer::ApplyStagedAck(Shard& shard, const StagedAck& staged) {
   }
 }
 
-support::Status TrustedServer::PushToVehicle(Shard& shard, const std::string& vin,
+support::Status TrustedServer::PushToVehicle(Shard& shard,
+                                             std::uint32_t vehicle,
+                                             const std::string& vin,
                                              const pirte::PirteMessage& message) {
   return PushWireToVehicle(
-      shard, vin, support::SharedBytes(pirte::SerializeEnveloped(vin, message)));
+      shard, vehicle, vin,
+      support::SharedBytes(pirte::SerializeEnveloped(vin, message)));
 }
 
 support::Status TrustedServer::PushWireToVehicle(Shard& shard,
-                                                 const std::string& vin,
+                                                 std::uint32_t vehicle,
+                                                 std::string_view vin,
                                                  const support::SharedBytes& wire) {
   if (wire.empty()) {
-    // Belt and braces: every caller regenerates a dropped envelope before
-    // pushing; an empty wire reaching here is a server bug, not a
+    // Belt and braces: every caller rematerializes a dropped payload
+    // before pushing; an empty wire reaching here is a server bug, not a
     // vehicle-side condition, and must not be confused with "offline".
-    return support::Internal("refusing to push empty wire to " + vin);
+    return support::Internal("refusing to push empty wire to " +
+                             std::string(vin));
   }
-  auto it = shard.connections.find(vin);
-  if (it != shard.connections.end()) {
-    for (const std::shared_ptr<sim::NetPeer>& peer : it->second) {
-      if (!peer->connected()) continue;
-      DACM_RETURN_IF_ERROR(peer->Send(wire));
-      ++shard.stats.packages_pushed;
-      return support::OkStatus();
-    }
+  if (sim::NetPeer* peer = shard.store.FirstConnectedPeer(vehicle);
+      peer != nullptr) {
+    DACM_RETURN_IF_ERROR(peer->Send(wire));
+    ++shard.stats.packages_pushed;
+    return support::OkStatus();
   }
-  return support::Unavailable("vehicle offline: " + vin);
+  return support::Unavailable("vehicle offline: " + std::string(vin));
 }
 
-void TrustedServer::ApplyBatchNack(Shard& shard, Vehicle& vehicle,
+void TrustedServer::ApplyBatchNack(Shard& shard, std::uint32_t vehicle,
                                    std::string_view app_name,
                                    std::string_view detail, std::uint64_t seq) {
   // The vehicle rejected a whole batch.  Only reachable through a failed
   // kAckBatch, so an app and a plug-in sharing a name cannot collide.
-  for (InstalledApp& installed : vehicle.installed) {
-    if (installed.app_name != app_name) continue;
-    if (installed.state == InstallState::kPending) {
+  FleetStore& store = shard.store;
+  for (std::uint32_t r = store.row_head(vehicle); r != kNil;
+       r = store.row(r).next) {
+    FleetStore::InstallRow& row = store.row(r);
+    if (row.manifest->app_name != app_name) continue;
+    if (row.state == InstallState::kPending) {
       // Fail the pending row outright — otherwise it would wait forever
       // for per-plug-in acks that will never come, blocking retries.
-      WriteStatus(vehicle, installed, Want::kInstall, DbState::kErrorState);
-      installed.state = InstallState::kFailed;
-      installed.push_bytes = {};
-      for (InstalledApp::PluginRecord& plugin : installed.plugins) {
-        if (plugin.acked) continue;
-        plugin.acked = true;
-        plugin.ack_ok = false;
-        plugin.ack_detail = detail;
-      }
+      WriteStatus(store.VinOf(vehicle), row, Want::kInstall,
+                  DbState::kErrorState);
+      row.state = InstallState::kFailed;
+      row.payload = nullptr;
+      // Unacked plug-ins are marked acked-but-failed (ack_ok bits for the
+      // already-acked ones keep their value).
+      row.acked = FullMask(row.manifest->plugins.size());
       if (support::Log::Enabled(support::LogLevel::kWarn)) {
-        shard.flush_logs.push_back(
-            DeferredLog{seq, true,
-                        "app " + installed.app_name + " batch-rejected on " +
-                            vehicle.vin + ": " + std::string(detail)});
+        std::string text = "app " + row.manifest->app_name +
+                           " batch-rejected on ";
+        text += store.VinOf(vehicle);
+        text += ": ";
+        text += detail;
+        shard.flush_logs.push_back(DeferredLog{seq, true, std::move(text)});
       }
       return;
     }
-    if (installed.state == InstallState::kUninstalling) {
+    if (row.state == InstallState::kUninstalling) {
       // A rejected kUninstallBatch: re-arm the row so the rollback
       // campaign's next wave pushes it again.  (kDeinstall, kInstalled)
       // recovers back into an installed row the next wave retries.
-      WriteStatus(vehicle, installed, Want::kDeinstall, DbState::kInstalled);
-      installed.state = InstallState::kInstalled;
+      WriteStatus(store.VinOf(vehicle), row, Want::kDeinstall,
+                  DbState::kInstalled);
+      row.state = InstallState::kInstalled;
       if (support::Log::Enabled(support::LogLevel::kWarn)) {
-        shard.flush_logs.push_back(
-            DeferredLog{seq, true,
-                        "uninstall batch of " + installed.app_name +
-                            " rejected on " + vehicle.vin + ": " +
-                            std::string(detail)});
+        std::string text = "uninstall batch of " + row.manifest->app_name +
+                           " rejected on ";
+        text += store.VinOf(vehicle);
+        text += ": ";
+        text += detail;
+        shard.flush_logs.push_back(DeferredLog{seq, true, std::move(text)});
       }
       return;
     }
   }
 }
 
-void TrustedServer::ApplyAck(Shard& shard, Vehicle& vehicle,
+void TrustedServer::ApplyAck(Shard& shard, std::uint32_t vehicle,
                              std::string_view plugin_name, bool ok,
                              std::string_view detail, std::uint64_t seq) {
-  for (std::size_t i = 0; i < vehicle.installed.size(); ++i) {
-    InstalledApp& installed = vehicle.installed[i];
-    if (installed.state != InstallState::kPending &&
-        installed.state != InstallState::kUninstalling) {
+  (void)detail;  // per-plug-in diagnostics surface via the deferred logs
+  FleetStore& store = shard.store;
+  for (std::uint32_t r = store.row_head(vehicle); r != kNil;
+       r = store.row(r).next) {
+    FleetStore::InstallRow& row = store.row(r);
+    if (row.state != InstallState::kPending &&
+        row.state != InstallState::kUninstalling) {
       continue;
     }
-    for (InstalledApp::PluginRecord& plugin : installed.plugins) {
-      if (plugin.plugin != plugin_name || plugin.acked) continue;
-      plugin.acked = true;
-      plugin.ack_ok = ok;
-      plugin.ack_detail = detail;
+    const std::vector<BatchManifest::Plugin>& plugins = row.manifest->plugins;
+    for (std::size_t i = 0; i < plugins.size(); ++i) {
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      if (plugins[i].name != plugin_name || (row.acked & bit) != 0) continue;
+      row.acked |= bit;
+      if (ok) {
+        row.ack_ok |= bit;
+      } else {
+        row.ack_ok &= ~bit;
+      }
       // Re-evaluate the row.
-      if (installed.state == InstallState::kPending) {
-        if (installed.AnyFailed()) {
-          WriteStatus(vehicle, installed, Want::kInstall, DbState::kErrorState);
-          installed.state = InstallState::kFailed;
-          installed.push_bytes = {};  // no more retry re-pushes of this batch
-        } else if (installed.AllAcked()) {
-          WriteStatus(vehicle, installed, Want::kInstall, DbState::kInstalled);
-          installed.state = InstallState::kInstalled;
-          installed.push_bytes = {};  // converged; release the recorded batch
+      if (row.state == InstallState::kPending) {
+        if (RowAnyFailed(row)) {
+          WriteStatus(store.VinOf(vehicle), row, Want::kInstall,
+                      DbState::kErrorState);
+          row.state = InstallState::kFailed;
+          row.payload = nullptr;  // no more retry re-pushes of this batch
+        } else if (RowAllAcked(row)) {
+          WriteStatus(store.VinOf(vehicle), row, Want::kInstall,
+                      DbState::kInstalled);
+          row.state = InstallState::kInstalled;
+          // Converged: release the payload refcount.  When the cohort's
+          // last pending row does this, the cache's weak reference
+          // expires and the batch's package bytes are freed fleet-wide.
+          row.payload = nullptr;
           if (support::Log::Enabled(support::LogLevel::kInfo)) {
-            shard.flush_logs.push_back(
-                DeferredLog{seq, false,
-                            "app " + installed.app_name +
-                                " fully acknowledged on " + vehicle.vin});
+            std::string text =
+                "app " + row.manifest->app_name + " fully acknowledged on ";
+            text += store.VinOf(vehicle);
+            shard.flush_logs.push_back(DeferredLog{seq, false, std::move(text)});
           }
         }
-      } else if (installed.state == InstallState::kUninstalling &&
-                 installed.AllAcked()) {
-        if (installed.AnyFailed()) {
+      } else if (row.state == InstallState::kUninstalling && RowAllAcked(row)) {
+        if (RowAnyFailed(row)) {
           // The vehicle refused (or could not confirm) the uninstall.
           // Re-arm the row instead of silently dropping server state the
           // vehicle may still hold — a rollback campaign's next wave
           // retries, and a retry loop that never succeeds surfaces as
           // kExhausted rather than a false convergence.
-          WriteStatus(vehicle, installed, Want::kDeinstall, DbState::kInstalled);
-          installed.state = InstallState::kInstalled;
+          WriteStatus(store.VinOf(vehicle), row, Want::kDeinstall,
+                      DbState::kInstalled);
+          row.state = InstallState::kInstalled;
           if (support::Log::Enabled(support::LogLevel::kWarn)) {
-            shard.flush_logs.push_back(
-                DeferredLog{seq, true,
-                            "uninstall of " + installed.app_name + " nacked on " +
-                                vehicle.vin + "; row re-armed"});
+            std::string text =
+                "uninstall of " + row.manifest->app_name + " nacked on ";
+            text += store.VinOf(vehicle);
+            text += "; row re-armed";
+            shard.flush_logs.push_back(DeferredLog{seq, true, std::move(text)});
           }
         } else {
-          // The freed unique ids return to the vehicle's bitmap; the
-          // tombstone erases the pair from the status DB on replay.
-          WriteStatusRemoved(vehicle.vin, installed.app_name, installed.version,
-                             Want::kDeinstall);
-          ReleaseRowIds(vehicle, installed);
-          vehicle.installed.erase(vehicle.installed.begin() +
-                                  static_cast<std::ptrdiff_t>(i));
+          // The freed unique ids disappear with the row (the bitmap is
+          // derived); the tombstone erases the pair from the status DB
+          // on replay.
+          WriteStatusRemoved(store.VinOf(vehicle), row.manifest->app_name,
+                             row.manifest->version, Want::kDeinstall);
+          store.RemoveRow(vehicle, r);
         }
       }
       return;

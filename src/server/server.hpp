@@ -13,16 +13,19 @@
 //    lifecycle commands, and return acknowledgements that are tracked in
 //    the InstalledAPP table.
 //
-// Scale-out: per-vehicle state (Vehicle records, Pusher connections,
-// counters) is partitioned into shards by VIN hash, and DeployCampaign
-// fans a fleet-wide rollout over a worker pool — one worker per shard, so
-// compatibility checks, context generation and package assembly for
-// different vehicles run concurrently while each vehicle is only ever
-// touched by its shard's owner.  The catalog (users / models / apps) is
-// read-mostly and sits behind a shared_mutex: web-service mutators take it
-// exclusively, deploy workers share it.  Campaign pushes are batched (one
-// kInstallBatch per vehicle instead of a round-trip per plug-in) and
-// staged through sim::Network's thread-safe send path.
+// Scale-out: per-vehicle state lives in packed per-shard columns
+// (server/fleet_store.hpp) — VINs interned to dense u32 handles, install
+// rows in a slab keyed by handle — partitioned by VIN hash, and
+// DeployCampaign fans a fleet-wide rollout over a worker pool: one worker
+// per shard, so compatibility checks and push staging for different
+// vehicles run concurrently while each vehicle is only ever touched by
+// its shard's owner.  Package generation is content-addressed
+// (server/package_cache.hpp): a campaign over millions of vehicles
+// generates and serializes each distinct (model, app, version, id-layout)
+// batch exactly once and re-pushes the same refcounted envelope
+// fleet-wide.  The catalog (users / models / apps) is read-mostly and
+// sits behind a shared_mutex: web-service mutators take it exclusively,
+// deploy workers share it.
 //
 // Inbound acknowledgements — the server's highest-volume traffic — are
 // staged into per-shard inboxes by the simulation thread and applied in
@@ -47,7 +50,9 @@
 
 #include "pirte/protocol.hpp"
 #include "server/context_gen.hpp"
+#include "server/fleet_store.hpp"
 #include "server/model.hpp"
+#include "server/package_cache.hpp"
 #include "server/status_db.hpp"
 #include "sim/network.hpp"
 #include "support/thread_pool.hpp"
@@ -99,6 +104,11 @@ struct ServerOptions {
   /// per-vehicle tables from the sink's image.  The sink must outlive
   /// the server; nullptr (default) keeps the server memory-only.
   support::RecordSink* status_sink = nullptr;
+  /// Durability knob for the status DB: issue a RecordSink::Sync() (for
+  /// FileSink: fflush + fsync) every N appended frames.  0 (default)
+  /// never syncs explicitly — the crash model tests exercise is process
+  /// death, not power loss.
+  std::size_t status_sync_every_n_frames = 0;
 };
 
 /// Outcome of one DeployCampaign call.
@@ -145,7 +155,8 @@ class TrustedServer {
   support::Status UploadVehicleModel(VehicleModelConf conf);
 
   /// Developer upload: APP with binaries and SW confs.  Re-uploading the
-  /// same name with a higher version replaces the stored APP.
+  /// same name with a higher version replaces the stored APP.  Apps are
+  /// capped at 64 plug-ins (install rows track acks in one 64-bit mask).
   support::Status UploadApp(App app);
 
   // --- Web Services: operations -----------------------------------------------------
@@ -180,13 +191,12 @@ class TrustedServer {
   /// (StatusDb::Replay).  Call order on a recovered server: re-upload
   /// the model/app catalog, re-create users and re-bind every VIN (the
   /// catalog is derived from uploads and is not persisted), then replay
-  /// the DB, then let campaigns resume.  Rows come back with their
-  /// recorded unique port ids claimed in the vehicle's bitmaps; package
-  /// bytes and batch envelopes are NOT restored — they regenerate lazily
-  /// from the catalog the first time a wave needs them
-  /// (MaterializeRowPackages).  Fails on a VIN or paragraph that does
-  /// not match the re-bound fleet.  Simulation thread only, before any
-  /// vehicle traffic.
+  /// the DB, then let campaigns resume.  Rows come back carrying their
+  /// recorded (plugin, ecu, unique-id) manifest; package bytes and batch
+  /// envelopes are NOT restored — they regenerate lazily from the
+  /// catalog the first time a wave needs them (MaterializeRowPackages).
+  /// Fails on a VIN or paragraph that does not match the re-bound fleet.
+  /// Simulation thread only, before any vehicle traffic.
   support::Status RecoverInstallDb(std::span<const std::uint8_t> image);
 
   // --- campaign-engine entry points (see server/campaign.hpp) -----------------
@@ -215,7 +225,12 @@ class TrustedServer {
   support::Result<InstallState> AppState(const std::string& vin,
                                          const std::string& app_name) const;
   std::vector<std::string> InstalledApps(const std::string& vin) const;
-  const Vehicle* FindVehicle(const std::string& vin) const;
+  /// Materialized snapshot of one vehicle's state (nullptr for unknown
+  /// VINs).  The live representation is columnar; this view exists for
+  /// tests and diagnostics — do not call it per vehicle at fleet scale.
+  std::shared_ptr<const Vehicle> FindVehicle(const std::string& vin) const;
+  /// Cheap existence probe (no row materialization).
+  bool HasVehicle(const std::string& vin) const;
   bool VehicleOnline(const std::string& vin) const;
   bool HasApp(const std::string& app_name) const;
   /// Aggregated over all shards.
@@ -228,6 +243,8 @@ class TrustedServer {
   const ServerStats& shard_stats(std::size_t shard) const {
     return shards_[shard].stats;
   }
+  /// Content-addressed package cache (diagnostics/tests).
+  const PackageCache& package_cache() const { return cache_; }
   const std::string& address() const { return address_; }
   std::size_t shard_count() const { return shards_.size(); }
 
@@ -240,10 +257,10 @@ class TrustedServer {
   struct StagedAck {
     std::uint64_t seq = 0;    // global arrival order (log merge key)
     std::string vin;
-    /// Resolved at staging time (the simulation thread owns every shard
-    /// between flush barriers; Vehicle nodes are address-stable), so the
-    /// flush worker skips the per-ack hash lookup.  Null for unknown VINs.
-    Vehicle* vehicle = nullptr;
+    /// Handle resolved at staging time (the simulation thread owns every
+    /// shard between flush barriers), so the flush worker skips the
+    /// per-ack hash lookup.  kNil for unknown/unbound VINs.
+    std::uint32_t vehicle = FleetStore::kNil;
     support::SharedBytes envelope;  // the delivered buffer
     /// The embedded kAck/kAckBatch bytes, in place.  Routing only peeks
     /// the type byte; the full parse happens on the flush worker, off the
@@ -263,11 +280,8 @@ class TrustedServer {
   // at any time: the simulation thread outside DeployCampaign /
   // CampaignWavePush / FlushAckInboxes, its assigned worker inside.
   struct Shard {
-    std::unordered_map<std::string, Vehicle> vehicles;
-    /// Pusher registry: live peers per VIN (moved here from the pending
-    /// list once the Hello names the vehicle).
-    std::unordered_map<std::string, std::vector<std::shared_ptr<sim::NetPeer>>>
-        connections;
+    /// Packed columnar vehicle/row/connection state (fleet_store.hpp).
+    FleetStore store;
     ServerStats stats;
     /// Ack inbox: filled by the simulation thread between flushes, drained
     /// by this shard's worker inside FlushAckInboxes.  Never accessed
@@ -276,12 +290,23 @@ class TrustedServer {
     std::vector<DeferredLog> flush_logs;
   };
 
+  /// Where an adopted connection's acks route (no VIN in the envelope).
+  struct PeerRef {
+    std::uint32_t shard = 0;
+    std::uint32_t vehicle = FleetStore::kNil;
+  };
+
   std::size_t ShardIndex(std::string_view vin) const;
   Shard& ShardFor(std::string_view vin);
   const Shard& ShardFor(std::string_view vin) const;
 
-  support::Status CheckOwnership(UserId user, const Vehicle& vehicle) const;
+  support::Status CheckOwnership(UserId user, UserId owner,
+                                 std::string_view vin) const;
   support::Result<const VehicleModelConf*> ModelConf(const std::string& model) const;
+  /// Name of an interned model id (catalog read lock or sim thread).
+  const std::string& ModelName(std::uint16_t model_id) const {
+    return model_names_[model_id];
+  }
 
   /// The full per-vehicle deploy pipeline.  Caller must hold the catalog
   /// read lock and own `shard`.  `batched` selects one kInstallBatch push
@@ -295,21 +320,22 @@ class TrustedServer {
                               const std::string& app_name, const App* app,
                               CampaignKind kind);
   /// Re-pushes the install batch of a stale kPending row (previous
-  /// wave's acks were lost), resetting its ack flags.  Rebuilds the
-  /// envelope — and, after recovery or a convergence race dropped them,
-  /// the underlying packages — before pushing, so it never sends an
-  /// empty wire.
-  support::Status RepushInstallBatch(Shard& shard, Vehicle& vehicle,
-                                     InstalledApp& row);
+  /// wave's acks were lost), resetting its ack masks.  Rematerializes the
+  /// payload — dropped on convergence, never persisted — before pushing,
+  /// so it never sends an empty wire.
+  support::Status RepushInstallBatch(Shard& shard, std::uint32_t vehicle,
+                                     std::uint32_t row);
   /// Regenerates `row`'s packages from the catalog (caller holds the
-  /// read lock and owns the vehicle's shard): releases the row's
-  /// recorded unique ids, re-runs context generation against the
-  /// re-uploaded app, and records the refreshed paragraph.  Used when
-  /// package bytes are absent — after RecoverInstallDb, or when a
-  /// convergence race dropped the recorded envelope.
-  support::Status MaterializeRowPackages(Vehicle& vehicle, InstalledApp& row);
+  /// read lock and owns the vehicle's shard): derives the occupied ids
+  /// of the vehicle's *other* rows, acquires the cached batch for that
+  /// layout (deterministic generation reproduces the recorded ids when
+  /// nothing shifted), and records the refreshed paragraph.  Used when
+  /// the payload is absent — after RecoverInstallDb, or when convergence
+  /// dropped it.
+  support::Status MaterializeRowPackages(Shard& shard, std::uint32_t vehicle,
+                                         std::uint32_t row);
   /// Names of installed apps that depend on `app_name` ("" when none).
-  std::string DependentsOf(const Vehicle& vehicle,
+  std::string DependentsOf(const Shard& shard, std::uint32_t vehicle,
                            const std::string& app_name) const;
 
   // Pusher internals (simulation thread only).
@@ -318,33 +344,32 @@ class TrustedServer {
   /// Schedules the ack-inbox flush event at Now() (once per batch of
   /// arrivals).
   void ScheduleAckFlush();
-  support::Status PushToVehicle(Shard& shard, const std::string& vin,
+  support::Status PushToVehicle(Shard& shard, std::uint32_t vehicle,
+                                const std::string& vin,
                                 const pirte::PirteMessage& message);
-  /// Pushes an already-serialized envelope (recorded campaign batches are
-  /// re-pushed this way: one refcount bump, no serialization).
-  support::Status PushWireToVehicle(Shard& shard, const std::string& vin,
+  /// Pushes an already-serialized envelope (cached campaign batches are
+  /// pushed this way: one refcount bump, no serialization).
+  support::Status PushWireToVehicle(Shard& shard, std::uint32_t vehicle,
+                                    std::string_view vin,
                                     const support::SharedBytes& wire);
 
   // Ack application (flush phase: runs on the shard's worker; `seq` keys
   // the deferred logs).
   void ApplyStagedAck(Shard& shard, const StagedAck& staged);
-  void ApplyAck(Shard& shard, Vehicle& vehicle, std::string_view plugin,
+  void ApplyAck(Shard& shard, std::uint32_t vehicle, std::string_view plugin,
                 bool ok, std::string_view detail, std::uint64_t seq);
   /// A failed kAckBatch: the vehicle rejected an entire campaign push;
   /// fails the named app's pending row (or re-arms an uninstalling row).
-  void ApplyBatchNack(Shard& shard, Vehicle& vehicle, std::string_view app_name,
-                      std::string_view detail, std::uint64_t seq);
-
-  /// Releases every unique id recorded in `row` back to the vehicle's
-  /// per-ECU bitmaps (rollback and uninstall completion).
-  static void ReleaseRowIds(Vehicle& vehicle, const InstalledApp& row);
+  void ApplyBatchNack(Shard& shard, std::uint32_t vehicle,
+                      std::string_view app_name, std::string_view detail,
+                      std::uint64_t seq);
 
   // Write-ahead status DB (no-ops when options_.status_sink is null).
   // Sink errors degrade durability, never availability: they log and the
   // in-memory transition proceeds.
-  void WriteStatus(const Vehicle& vehicle, const InstalledApp& row, Want want,
-                   DbState state);
-  void WriteStatusRemoved(const std::string& vin, const std::string& app_name,
+  void WriteStatus(std::string_view vin, const FleetStore::InstallRow& row,
+                   Want want, DbState state);
+  void WriteStatusRemoved(std::string_view vin, const std::string& app_name,
                           const std::string& version, Want want);
 
   sim::Network& network_;
@@ -357,12 +382,21 @@ class TrustedServer {
   std::vector<User> users_;
   std::unordered_map<std::string, VehicleModelConf> models_;   // by model name
   std::unordered_map<std::string, App> apps_;                  // by app name
+  /// Model-name interner: vehicles store a u16 id, not a string.  Grows
+  /// under the exclusive lock (UploadVehicleModel); reads follow the same
+  /// rules as the shard columns.
+  std::vector<std::string> model_names_;
+  std::unordered_map<std::string, std::uint16_t> model_ids_;
+
+  /// Content-addressed batch cache, shared across shards (internally
+  /// locked; generation for a new key runs under its mutex).
+  PackageCache cache_;
 
   std::vector<Shard> shards_;
   /// Accepted connections that have not announced a VIN yet.
   std::vector<std::shared_ptr<sim::NetPeer>> pending_;
   /// Reverse lookup for acks whose envelope omits the VIN.
-  std::unordered_map<const sim::NetPeer*, std::string> peer_vins_;
+  std::unordered_map<const sim::NetPeer*, PeerRef> peer_vins_;
   /// Handshake reaping happens before a VIN (and so a shard) is known.
   std::uint64_t pending_reaped_ = 0;
   std::uint64_t next_ack_seq_ = 0;

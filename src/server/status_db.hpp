@@ -66,7 +66,12 @@ struct StatusParagraph {
 /// Thread-safe (shard workers write concurrently through RecordWriter).
 class StatusDb {
  public:
-  explicit StatusDb(support::RecordSink& sink) : writer_(sink) {}
+  /// `sync_every_n_frames` forwards to RecordWriter: every Nth paragraph
+  /// is followed by a sink Sync() (FileSink: fflush + fsync); 0 never
+  /// syncs explicitly.
+  explicit StatusDb(support::RecordSink& sink,
+                    std::size_t sync_every_n_frames = 0)
+      : writer_(sink, sync_every_n_frames) {}
 
   support::Status Append(const StatusParagraph& paragraph);
 

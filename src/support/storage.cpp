@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "support/crc.hpp"
 
 namespace dacm::support {
@@ -43,6 +47,18 @@ Status FileSink::Flush() {
   return OkStatus();
 }
 
+Status FileSink::Sync() {
+  // fflush pushes the stdio buffer to the kernel; fsync pushes the page
+  // cache to the device.  Both are needed for power-loss durability.
+  DACM_RETURN_IF_ERROR(Flush());
+#ifndef _WIN32
+  if (::fsync(::fileno(file_)) != 0) {
+    return Unavailable("record sink fsync failed");
+  }
+#endif
+  return OkStatus();
+}
+
 // --- FaultingSink ------------------------------------------------------------------
 
 Status FaultingSink::Append(std::span<const std::uint8_t> bytes) {
@@ -72,7 +88,13 @@ Status RecordWriter::Append(std::span<const std::uint8_t> payload) {
   if (!payload.empty()) {
     std::memcpy(frame_.data() + kFrameHeader, payload.data(), payload.size());
   }
-  return sink_.Append(frame_);
+  DACM_RETURN_IF_ERROR(sink_.Append(frame_));
+  if (sync_every_n_frames_ != 0 &&
+      ++frames_since_sync_ >= sync_every_n_frames_) {
+    frames_since_sync_ = 0;
+    return sink_.Sync();
+  }
+  return OkStatus();
 }
 
 Status RecordWriter::Flush() {

@@ -44,6 +44,10 @@ class RecordSink {
 
   /// Pushes buffered bytes toward stable storage.
   virtual Status Flush() { return OkStatus(); }
+
+  /// Pushes buffered bytes all the way to the device (for files: fsync).
+  /// Defaults to Flush() for sinks with no stronger durability tier.
+  virtual Status Sync() { return Flush(); }
 };
 
 /// In-memory sink: the test-injectable stand-in for a file.  bytes() is
@@ -71,9 +75,11 @@ class MemorySink : public RecordSink {
 };
 
 /// Appends to a file on disk.  Writes go through stdio buffering;
-/// Flush() fflushes (the sim harness does not need fsync fidelity — the
-/// crash model tests exercise is process death, via MemorySink
-/// snapshots and FaultingSink budgets).
+/// Flush() fflushes (the crash model most tests exercise is process
+/// death, via MemorySink snapshots and FaultingSink budgets).  Sync()
+/// additionally fsyncs, for deployments whose crash model includes
+/// power loss — opt in per writer via RecordWriter's
+/// `sync_every_n_frames`.
 class FileSink : public RecordSink {
  public:
   /// Opens `path` for appending; `truncate` starts the log fresh.
@@ -86,6 +92,7 @@ class FileSink : public RecordSink {
 
   Status Append(std::span<const std::uint8_t> bytes) override;
   Status Flush() override;
+  Status Sync() override;
 
  private:
   explicit FileSink(std::FILE* file) : file_(file) {}
@@ -116,15 +123,23 @@ class FaultingSink : public RecordSink {
 /// Frames payloads into a RecordSink ([len][crc][payload], one sink
 /// Append per record).  Thread-safe: the status DB appends from shard
 /// workers concurrently.
+///
+/// `sync_every_n_frames` is the durability knob: every Nth successfully
+/// appended frame is followed by a RecordSink::Sync() (for FileSink:
+/// fflush + fsync), bounding how many acknowledged frames a power loss
+/// can lose to N-1.  0 (the default) never syncs explicitly.
 class RecordWriter {
  public:
-  explicit RecordWriter(RecordSink& sink) : sink_(sink) {}
+  explicit RecordWriter(RecordSink& sink, std::size_t sync_every_n_frames = 0)
+      : sink_(sink), sync_every_n_frames_(sync_every_n_frames) {}
 
   Status Append(std::span<const std::uint8_t> payload);
   Status Flush();
 
  private:
   RecordSink& sink_;
+  const std::size_t sync_every_n_frames_;
+  std::size_t frames_since_sync_ = 0;  // guarded by mutex_
   std::mutex mutex_;
   Bytes frame_;  // reused scratch for the header+payload copy
 };

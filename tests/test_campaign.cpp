@@ -172,7 +172,7 @@ TEST(CampaignEngineTest, PermanentlyOfflineVehicleExhaustsTheWaveBudget) {
   ASSERT_NE(row, nullptr);
   EXPECT_EQ(row->state, CampaignRowState::kFailed);
   EXPECT_EQ(row->attempts, 3u);
-  EXPECT_EQ(row->last_error.code(), support::ErrorCode::kUnavailable);
+  EXPECT_EQ(row->error, support::ErrorCode::kUnavailable);
 }
 
 TEST(CampaignEngineTest, NackCohortHealsAndTheCampaignConverges) {
@@ -260,7 +260,7 @@ TEST(CampaignEngineTest, RollbackOverUnknownVinsFailsInsteadOfConverging) {
   const auto* ghost = rig.engine.FindRow(*rollback, "VIN-GHOST");
   ASSERT_NE(ghost, nullptr);
   EXPECT_EQ(ghost->state, CampaignRowState::kFailed);
-  EXPECT_EQ(ghost->last_error.code(), support::ErrorCode::kNotFound);
+  EXPECT_EQ(ghost->error, support::ErrorCode::kNotFound);
 }
 
 // --- recovery-edge-case regressions ------------------------------------------
@@ -450,6 +450,43 @@ TEST(CampaignEngineTest, Seeded1kChurnAndFlapCampaignIsByteIdenticalAcrossRuns) 
   // The fingerprint proves convergence too: every row reads state=done.
   EXPECT_EQ(first.find("state=failed"), std::string::npos);
   EXPECT_NE(first.find("status=converged"), std::string::npos);
+}
+
+namespace {
+
+std::uint64_t Fnv1a(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+TEST(CampaignEngineTest, FingerprintHashesExactlyTheDescribeBytes) {
+  // Fingerprint() must be FNV-1a over Describe()'s exact output — the
+  // streaming formatter behind both may never drift, or the cheap
+  // fleet-scale comparison stops proving what the string proves.  Use a
+  // campaign with failed rows so the conditional error= column (the
+  // subtle branch) is covered, plus a converged rollback.
+  ScriptedCampaign rig(/*vehicles=*/16, /*shards=*/2, /*nack_every=*/4);
+  rig.UploadApp("maps");
+  auto deploy =
+      rig.engine.StartDeploy(rig.user, "maps", rig.fleet->vins(), FastPolicy());
+  ASSERT_TRUE(deploy.ok());
+  rig.simulator.Run();
+  ASSERT_TRUE(rig.engine.Finished(*deploy));
+  ASSERT_GT(rig.engine.Snapshot(*deploy)->failed, 0u);
+
+  const std::string described = rig.engine.Describe(*deploy);
+  EXPECT_NE(described.find(" error="), std::string::npos);
+  EXPECT_EQ(rig.engine.Fingerprint(*deploy), Fnv1a(described));
+
+  // The unknown-campaign sentinel hashes identically too.
+  const server::CampaignId ghost(999);
+  EXPECT_EQ(rig.engine.Fingerprint(ghost), Fnv1a(rig.engine.Describe(ghost)));
 }
 
 // --- rollback against real ECMs ----------------------------------------------

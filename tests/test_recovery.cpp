@@ -188,6 +188,44 @@ TEST(RecordStorageTest, FileSinkAppendsAcrossReopen) {
   std::remove(path.c_str());
 }
 
+/// MemorySink that counts Sync() calls — the observable side of the
+/// RecordWriter durability knob (for FileSink a Sync is fflush + fsync).
+struct CountingSyncSink : support::MemorySink {
+  std::size_t syncs = 0;
+  support::Status Sync() override {
+    ++syncs;
+    return support::MemorySink::Sync();
+  }
+};
+
+TEST(RecordStorageTest, WriterSyncsEveryNthFrameWhenAsked) {
+  CountingSyncSink sink;
+  RecordWriter writer(sink, /*sync_every_n_frames=*/3);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(writer.Append(Payload("r" + std::to_string(i))).ok());
+  }
+  // 7 frames at N=3: syncs after frames 3 and 6, the 7th rides until the
+  // next boundary — a power loss loses at most N-1 acknowledged frames.
+  EXPECT_EQ(sink.syncs, 2u);
+  ASSERT_TRUE(writer.Append(Payload("r7")).ok());
+  ASSERT_TRUE(writer.Append(Payload("r8")).ok());
+  EXPECT_EQ(sink.syncs, 3u);
+
+  // Default (0) never syncs explicitly, matching the historic behavior.
+  CountingSyncSink unsynced;
+  RecordWriter lazy(unsynced);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(lazy.Append(Payload("x")).ok());
+  }
+  EXPECT_EQ(unsynced.syncs, 0u);
+
+  // The synced stream replays like any other.
+  std::vector<std::string> decoded;
+  const ReplayStats stats = Replay(sink.bytes(), &decoded);
+  EXPECT_EQ(stats.records, 9u);
+  EXPECT_FALSE(stats.truncated);
+}
+
 // --- status DB ---------------------------------------------------------------------
 
 StatusParagraph MakeParagraph(std::string vin, std::string app, Want want,

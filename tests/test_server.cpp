@@ -267,7 +267,7 @@ TEST_F(ServerFixture, DeployToOfflineVehicleFails) {
 TEST_F(ServerFixture, UniqueIdsNeverCollideAcrossApps) {
   DeployAndAck("one");
   DeployAndAck("two");
-  const Vehicle* vehicle = server.FindVehicle("VIN-1");
+  const auto vehicle = server.FindVehicle("VIN-1");
   ASSERT_NE(vehicle, nullptr);
   std::set<std::uint8_t> ids;
   for (const auto& installed : vehicle->installed) {
@@ -288,7 +288,7 @@ TEST_F(ServerFixture, FreedIdsAreReusedAfterUninstall) {
   ecm->AckAllPushedInstalls();
   ecm->pushed.clear();
   DeployAndAck("two");
-  const Vehicle* vehicle = server.FindVehicle("VIN-1");
+  const auto vehicle = server.FindVehicle("VIN-1");
   ASSERT_EQ(vehicle->installed.size(), 1u);
   EXPECT_EQ(vehicle->installed[0].plugins[0].pic.entries[0].unique_id, 0);
 }
@@ -330,7 +330,7 @@ TEST_F(ServerFixture, UninstallUnknownAppFails) {
 
 TEST_F(ServerFixture, RestoreRepushesRecordedPackages) {
   DeployAndAck("app");
-  const Vehicle* vehicle = server.FindVehicle("VIN-1");
+  const auto vehicle = server.FindVehicle("VIN-1");
   const auto original_uid =
       vehicle->installed[0].plugins[0].pic.entries[0].unique_id;
 
@@ -528,7 +528,7 @@ TEST_F(CampaignFixture, PersistentIdBitmapAgreesWithTableReconstruction) {
   }
   simulator.Run();
   for (const std::string& vin : fleet->vins()) {
-    const Vehicle* vehicle = server.FindVehicle(vin);
+    const auto vehicle = server.FindVehicle(vin);
     ASSERT_NE(vehicle, nullptr);
     const UsedIdMap rebuilt = CollectUsedIds(*vehicle);
     std::size_t live_nonempty = 0;
@@ -563,11 +563,95 @@ TEST_F(CampaignFixture, CampaignDeploymentsAreUninstallableAndRedeployable) {
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again->deployed, kFleet);
   simulator.Run();
-  const Vehicle* vehicle = server.FindVehicle(fleet->vins()[0]);
+  const auto vehicle = server.FindVehicle(fleet->vins()[0]);
   ASSERT_NE(vehicle, nullptr);
   ASSERT_EQ(vehicle->installed.size(), 1u);
   // Freed ids were reused: allocation restarted at 0.
   EXPECT_EQ(vehicle->installed[0].plugins[0].pic.entries[0].unique_id, 0);
+}
+
+// --- content-addressed package cache ---------------------------------------------------------
+
+TEST_F(CampaignFixture, CampaignSharesOneCachedBatchAcrossTheFleet) {
+  ASSERT_TRUE(server.UploadApp(FleetApp("app")).ok());
+  ASSERT_TRUE(server.DeployCampaign(alice, "app", fleet->vins()).ok());
+  // Before the acks land: every pending row references the *same*
+  // refcounted envelope — pointer identity, not just equal bytes.
+  const auto first = server.FindVehicle(fleet->vins()[0]);
+  const auto last = server.FindVehicle(fleet->vins()[kFleet - 1]);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(last, nullptr);
+  ASSERT_EQ(first->installed.size(), 1u);
+  EXPECT_EQ(first->installed[0].push_bytes.data(),
+            last->installed[0].push_bytes.data());
+  EXPECT_EQ(first->installed[0].uninstall_bytes.data(),
+            last->installed[0].uninstall_bytes.data());
+  // One distinct (model, app, version) -> one cache entry, generated once.
+  EXPECT_EQ(server.package_cache().entries(), 1u);
+}
+
+TEST_F(CampaignFixture, DistinctAppsNeverShareCachedEnvelopes) {
+  // Same fleet, same version string, different app names: the cache keys
+  // must isolate them — a hash-key collision handing app-b's fleet
+  // app-a's batch would install the wrong software.
+  ASSERT_TRUE(server.UploadApp(FleetApp("app-a")).ok());
+  ASSERT_TRUE(server.UploadApp(FleetApp("app-b")).ok());
+  ASSERT_TRUE(server.DeployCampaign(alice, "app-a", fleet->vins()).ok());
+  ASSERT_TRUE(server.DeployCampaign(alice, "app-b", fleet->vins()).ok());
+  const auto vehicle = server.FindVehicle(fleet->vins()[0]);
+  ASSERT_NE(vehicle, nullptr);
+  ASSERT_EQ(vehicle->installed.size(), 2u);
+  const auto& a = vehicle->installed[0];
+  const auto& b = vehicle->installed[1];
+  EXPECT_NE(a.push_bytes.data(), b.push_bytes.data());
+  EXPECT_NE(a.push_bytes.bytes(), b.push_bytes.bytes());
+  EXPECT_NE(a.uninstall_bytes.bytes(), b.uninstall_bytes.bytes());
+  EXPECT_EQ(server.package_cache().entries(), 2u);
+  simulator.Run();
+  for (const std::string& vin : fleet->vins()) {
+    EXPECT_EQ(*server.AppState(vin, "app-a"), InstallState::kInstalled) << vin;
+    EXPECT_EQ(*server.AppState(vin, "app-b"), InstallState::kInstalled) << vin;
+  }
+}
+
+TEST_F(CampaignFixture, ConvergenceDropsTheCachedPayload) {
+  ASSERT_TRUE(server.UploadApp(FleetApp("app")).ok());
+  ASSERT_TRUE(server.DeployCampaign(alice, "app", fleet->vins()).ok());
+  // In flight: the fleet's pending rows pin the payload alive.
+  EXPECT_EQ(server.package_cache().live_payloads(), 1u);
+  simulator.Run();
+  // Converged: the last row's refcount drop freed the package bytes and
+  // batch envelope fleet-wide; only the manifest (names, ids, uninstall
+  // wire) stays pinned.
+  EXPECT_EQ(server.package_cache().live_payloads(), 0u);
+  EXPECT_EQ(server.package_cache().entries(), 1u);
+  for (const std::string& vin : fleet->vins()) {
+    EXPECT_EQ(*server.AppState(vin, "app"), InstallState::kInstalled) << vin;
+  }
+}
+
+TEST_F(CampaignFixture, RollbackReusesTheCachedUninstallBatch) {
+  ASSERT_TRUE(server.UploadApp(FleetApp("app", /*plugins=*/2)).ok());
+  ASSERT_TRUE(server.DeployCampaign(alice, "app", fleet->vins()).ok());
+  simulator.Run();
+  // The rollback wave pushes the manifest's pre-built kUninstallBatch —
+  // no per-vehicle serialization, same refcounted wire for every VIN.
+  auto outcomes = server.CampaignWavePush(alice, "app", CampaignKind::kRollback,
+                                          fleet->vins());
+  for (const WaveOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.action, WaveOutcome::Action::kPushed)
+        << outcome.status.ToString();
+  }
+  const auto first = server.FindVehicle(fleet->vins()[0]);
+  const auto last = server.FindVehicle(fleet->vins()[kFleet - 1]);
+  ASSERT_EQ(first->installed.size(), 1u);
+  EXPECT_EQ(first->installed[0].uninstall_bytes.data(),
+            last->installed[0].uninstall_bytes.data());
+  simulator.Run();
+  EXPECT_EQ(fleet->uninstall_batches_received(), kFleet);
+  for (const std::string& vin : fleet->vins()) {
+    EXPECT_FALSE(server.AppState(vin, "app").ok()) << vin;  // rows gone
+  }
 }
 
 // --- queries / stats -----------------------------------------------------------------------------

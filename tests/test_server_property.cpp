@@ -103,7 +103,7 @@ struct ServerProperty : ::testing::Test {
   /// All unique ids currently recorded for the vehicle, asserting no clash.
   std::set<std::uint8_t> CollectIds() {
     std::set<std::uint8_t> ids;
-    const Vehicle* record = server.FindVehicle("VIN-1");
+    const auto record = server.FindVehicle("VIN-1");
     EXPECT_NE(record, nullptr);
     for (const auto& installed : record->installed) {
       for (const auto& plugin : installed.plugins) {
@@ -286,7 +286,7 @@ TEST_F(ServerProperty, RandomDeployUninstallChurnKeepsIdsUniqueAndTableExact) {
     // Invariants after every step: recorded ids never clash (CollectIds
     // asserts that) and the installed table is exactly the live set.
     CollectIds();
-    const Vehicle* record = server.FindVehicle("VIN-1");
+    const auto record = server.FindVehicle("VIN-1");
     ASSERT_NE(record, nullptr);
     std::set<std::string> installed;
     for (const auto& app : record->installed) installed.insert(app.app_name);

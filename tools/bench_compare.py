@@ -31,11 +31,25 @@ KEY_METRICS = [
     ("bench_fleet", "BM_FleetCampaign/shards:1/fleet:1000/real_time",
      "serial_sim_fraction", "serial sim fraction (1 shard, 1k fleet)"),
     # Journal overhead: the durable campaign (write-ahead status DB +
-    # campaign journal) must stay within tolerance of the memory-only
-    # campaign baseline at the same shape.
+    # campaign journal) tracked against its own committed numbers.  It
+    # used to be paired against the memory-only campaign, but the
+    # content-addressed package cache made the memory-only path cheaper
+    # than the WAL append itself, so "within 5% of memory-only" stopped
+    # being a meaningful bar — what must not regress is the durable
+    # path's absolute throughput.
     ("bench_fleet", "BM_FleetDurableCampaign/shards:1/fleet:1000/real_time",
-     "items_per_second", "durable campaign deploys/s (1 shard, 1k)",
-     "BM_FleetCampaign/shards:1/fleet:1000/real_time"),
+     "items_per_second", "durable campaign deploys/s (1 shard, 1k)"),
+    # Memory scaling of the SoA fleet store + content-addressed package
+    # cache: the converged resident-set cost per VIN at the bench-smoke
+    # shape (100k vehicles, 24 model cohorts).  Lower is better.
+    ("bench_fleet",
+     "BM_FleetMegaCampaign/shards:1/fleet:100000/models:24/"
+     "iterations:1/real_time",
+     "bytes_per_vehicle", "fleet memory bytes/vehicle (100k, 24 models)"),
+    ("bench_fleet",
+     "BM_FleetMegaCampaign/shards:1/fleet:100000/models:24/"
+     "iterations:1/real_time",
+     "deploys_per_s", "mega campaign deploys/s (100k, 24 models)"),
     ("bench_sim", "BM_WheelScheduleFire/1024",
      "items_per_second", "event schedule+fire/s (wheel)"),
     ("bench_sim", "BM_WheelStorm/4096",
@@ -93,8 +107,10 @@ def main():
             print(f"{label:<46} {'—':>12} {'—':>12}   (field {field} unusable)")
             continue
         delta = (cur - base) / base
-        # serial_sim_fraction is better when *lower*; throughputs when higher.
-        worse = delta > args.tolerance if field == "serial_sim_fraction" \
+        # Fractions and per-vehicle footprints are better when *lower*;
+        # throughputs when higher.
+        lower_is_better = field in ("serial_sim_fraction", "bytes_per_vehicle")
+        worse = delta > args.tolerance if lower_is_better \
             else delta < -args.tolerance
         marker = "  <-- regressed" if worse else ""
         print(f"{label:<46} {base:>12.4g} {cur:>12.4g} {delta:>+7.1%}{marker}")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Peak-RSS budget gate for the CI big-fleet smoke.
+
+Parses the `Maximum resident set size (kbytes): N` line that
+`/usr/bin/time -v <cmd>` writes to its log and fails when the peak
+exceeds --budget-mb.  The budget is the acceptance bar for the SoA fleet
+store + content-addressed package cache: a 100k-VIN campaign must fit a
+fixed resident-set envelope, so a per-vehicle memory regression (a
+reintroduced heap row, an unshared package envelope) fails the smoke
+instead of silently inflating the fleet's footprint.
+
+Usage:
+  /usr/bin/time -v ./bench_fleet --benchmark_filter=Mega 2> time.log
+  check_rss.py time.log --budget-mb 2048
+"""
+
+import argparse
+import re
+import sys
+
+PEAK_RE = re.compile(r"Maximum resident set size \(kbytes\):\s*(\d+)")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("log", help="stderr capture of /usr/bin/time -v")
+    parser.add_argument("--budget-mb", type=float, required=True,
+                        help="fail when peak RSS exceeds this many MiB")
+    args = parser.parse_args()
+
+    try:
+        with open(args.log) as f:
+            text = f.read()
+    except OSError as err:
+        print(f"::error title=check-rss::could not read {args.log}: {err}")
+        return 1
+
+    match = PEAK_RE.search(text)
+    if match is None:
+        print(f"::error title=check-rss::no 'Maximum resident set size' "
+              f"line in {args.log} (was the command run under "
+              f"/usr/bin/time -v?)")
+        return 1
+
+    peak_mb = int(match.group(1)) / 1024.0
+    headroom = args.budget_mb - peak_mb
+    print(f"peak RSS {peak_mb:.1f} MiB, budget {args.budget_mb:.0f} MiB "
+          f"({headroom:+.1f} MiB headroom)")
+    if peak_mb > args.budget_mb:
+        print(f"::error title=check-rss::peak RSS {peak_mb:.1f} MiB exceeds "
+              f"the {args.budget_mb:.0f} MiB budget")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
