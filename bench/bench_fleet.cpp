@@ -14,6 +14,10 @@
 //     deploys/s against the memory-only campaign baseline.
 //   * BM_FleetSyncDeploy — the pre-campaign reference: one interactive
 //     Deploy per vehicle with per-plug-in pushes.
+//   * BM_RecoveryReplay — restart cost: a cold server rebuilt from the
+//     durable logs of a multi-campaign history (RecoverInstallDb +
+//     journal replay), raw vs checkpointed; reports replay bytes/s,
+//     time-to-serviceable and the log-to-live compaction ratio.
 //   * BM_FleetFaultCampaign — the fault matrix: a retrying CampaignEngine
 //     rollout over a seeded sim::FaultScenario (offline churn, WAN flaps,
 //     transient nack cohorts).  Reported per case, and in the --json
@@ -293,6 +297,85 @@ void BM_FleetSyncDeploy(benchmark::State& state) {
       std::string(support::Crc32Backend()) != "slice8" ? 1.0 : 0.0;
 }
 
+// Recovery replay: time-to-serviceable from the durable logs — the cost
+// a restarted server pays before it can push again.  Setup runs five
+// consecutive campaigns (four deploy/uninstall rounds plus a final
+// converged deploy), so the raw log carries realistic multi-campaign
+// history; checkpoint=1 folds it through Compact() /
+// CompactJournal() first, making the 0/1 pair measure exactly what
+// checkpointing buys at restart.  Bytes/s is replayed log bytes; the
+// log_to_live_ratio counter is the 2x compaction guard bench_compare
+// tracks.
+void BM_RecoveryReplay(benchmark::State& state) {
+  const auto fleet_size = static_cast<std::size_t>(state.range(0));
+  const bool checkpoint = state.range(1) != 0;
+  support::MemorySink status_log;
+  support::MemorySink journal_log;
+  FleetBench bench(/*shards=*/4, fleet_size, &status_log);
+  server::CampaignEngine engine(bench.simulator, bench.server);
+  server::CampaignJournal journal(journal_log);
+  engine.AttachJournal(&journal);
+  for (int round = 0; round < 5; ++round) {
+    auto id = engine.StartDeploy(bench.user, "campaign", bench.fleet->vins());
+    bench.simulator.Run();
+    if (!id.ok() || !engine.Finished(*id) ||
+        engine.Snapshot(*id)->status != server::CampaignStatus::kConverged) {
+      state.SkipWithError("setup campaign did not converge");
+      return;
+    }
+    if (round < 4) {
+      (void)engine.Forget(*id);
+      bench.UninstallAll();
+    }
+  }
+  if (checkpoint &&
+      (!bench.server.Compact().ok() || !engine.CompactJournal().ok())) {
+    state.SkipWithError("compaction failed");
+    return;
+  }
+  const support::Bytes status_image = status_log.bytes();
+  const support::Bytes journal_image = journal_log.bytes();
+  auto replayed = server::StatusDb::ReplayImage(status_image);
+  if (!replayed.ok()) {
+    state.SkipWithError("status log replay failed");
+    return;
+  }
+
+  for (auto _ : state) {
+    // A cold process: fresh simulator, fresh server, nothing uploaded.
+    sim::Simulator simulator;
+    sim::Network network{simulator, sim::kMicrosecond};
+    server::ServerOptions options;
+    options.shard_count = 4;
+    server::TrustedServer fresh(network, "srv-recover:1", options);
+    if (!fresh.RecoverInstallDb(status_image).ok()) {
+      state.SkipWithError("RecoverInstallDb failed");
+      break;
+    }
+    server::CampaignEngine fresh_engine(simulator, fresh);
+    if (!fresh_engine.Recover(journal_image).ok()) {
+      state.SkipWithError("journal recovery failed");
+      break;
+    }
+    benchmark::DoNotOptimize(fresh.stats().deploys_ok);
+  }
+  const auto log_bytes =
+      static_cast<double>(status_image.size() + journal_image.size());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(log_bytes));
+  state.counters["fleet"] = static_cast<double>(fleet_size);
+  state.counters["checkpoint"] = checkpoint ? 1.0 : 0.0;
+  state.counters["log_bytes"] = log_bytes;
+  state.counters["live_bytes"] = static_cast<double>(replayed->live_bytes);
+  state.counters["log_to_live_ratio"] =
+      static_cast<double>(status_image.size()) /
+      static_cast<double>(replayed->live_bytes);
+  // elapsed / (iterations / 1e3) = mean milliseconds per recovery.
+  state.counters["time_to_serviceable_ms"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 1e3,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
 // Fault matrix: a retrying multi-wave campaign converging over a seeded
 // fault scenario.  Wall time measures the orchestration machinery (wave
 // pushes, re-pushes, parallel ack flushes); the sim-time counters measure
@@ -526,6 +609,17 @@ void RegisterFleetBenchmarks(const std::vector<std::int64_t>& shard_list,
     for (std::int64_t fleet : fleet_list) sync->Arg(fleet);
   } else {
     sync->Arg(100)->Arg(1000);
+  }
+
+  auto* recovery =
+      benchmark::RegisterBenchmark("BM_RecoveryReplay", BM_RecoveryReplay)
+          ->ArgNames({"fleet", "checkpoint"})
+          ->UseRealTime()
+          ->Unit(benchmark::kMillisecond);
+  const std::vector<std::int64_t> recovery_fleets =
+      overridden ? fleet_list : std::vector<std::int64_t>{1000, 10000};
+  for (std::int64_t fleet : recovery_fleets) {
+    recovery->Args({fleet, 0})->Args({fleet, 1});
   }
 
   auto* faulted =

@@ -1,10 +1,10 @@
 #include "server/campaign.hpp"
 
 #include <algorithm>
-#include <charconv>
 
 #include "server/journal.hpp"
 #include "support/log.hpp"
+#include "support/sink.hpp"
 
 namespace dacm::server {
 
@@ -33,31 +33,9 @@ std::string_view CampaignStatusName(CampaignStatus status) {
 
 namespace {
 
-/// Collects Format() fragments into the Describe() string.
-struct StringSink {
-  std::string out;
-  void Append(std::string_view text) { out += text; }
-};
-
-/// Hashes Format() fragments instead of storing them: Fingerprint() is
-/// FNV-1a over exactly the bytes StringSink would have accumulated.
-struct HashSink {
-  std::uint64_t hash = 1469598103934665603ull;
-  void Append(std::string_view text) {
-    for (char c : text) {
-      hash ^= static_cast<std::uint8_t>(c);
-      hash *= 1099511628211ull;
-    }
-  }
-};
-
-template <typename Sink, typename Integer>
-void AppendNumber(Sink& sink, Integer value) {
-  char buffer[24];
-  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
-  sink.Append(std::string_view(buffer, static_cast<std::size_t>(
-                                           result.ptr - buffer)));
-}
+using support::AppendNumber;
+using support::HashSink;
+using support::StringSink;
 
 bool Retriable(CampaignRowState state) {
   switch (state) {
@@ -482,6 +460,76 @@ void CampaignEngine::CommitTick(Campaign& campaign) {
     DACM_LOG_WARN("campaign")
         << "journal commit failed for campaign " << campaign.id << ": "
         << logged.ToString();
+  }
+  // Every commit is a watermark checkpoint opportunity: the journal only
+  // grows through commits, so checking here bounds its size without a
+  // timer of its own.
+  MaybeCompactJournal();
+}
+
+support::Status CampaignEngine::CompactJournal() {
+  if (journal_ == nullptr) return support::OkStatus();
+  support::CheckpointWriter checkpoint;
+  for (std::size_t i = 0; i < campaigns_.size(); ++i) {
+    const std::uint32_t id = static_cast<std::uint32_t>(i);
+    const Campaign* campaign = campaigns_[i].get();
+    if (campaign == nullptr) {
+      // Retired slot: the tombstone alone survives — the whole
+      // kStart/kRows/kWave chain of the forgotten campaign is dropped.
+      DACM_RETURN_IF_ERROR(
+          checkpoint.Append(CampaignJournal::EncodeForget(id)));
+      continue;
+    }
+    DACM_RETURN_IF_ERROR(checkpoint.Append(CampaignJournal::EncodeStart(
+        id, campaign->kind, campaign->user.value(), campaign->app_name,
+        campaign->policy, campaign->started_at, campaign->rows)));
+    std::vector<JournalRowEntry> entries;
+    for (std::size_t r = 0; r < campaign->rows.size(); ++r) {
+      const CampaignRow& row = campaign->rows[r];
+      if (row.state == CampaignRowState::kPending && row.attempts == 0 &&
+          row.done_at == 0 && row.error == support::ErrorCode::kOk) {
+        continue;  // default-constructed by the kStart replay already
+      }
+      JournalRowEntry entry;
+      entry.index = static_cast<std::uint32_t>(r);
+      entry.state = row.state;
+      entry.attempts = static_cast<std::uint32_t>(row.attempts);
+      entry.done_at = row.done_at;
+      entry.error = row.error;
+      entries.push_back(entry);
+    }
+    if (!entries.empty()) {
+      DACM_RETURN_IF_ERROR(
+          checkpoint.Append(CampaignJournal::EncodeRows(id, entries)));
+    }
+    // The wave record carries counters kStart/kFinish do not
+    // (waves_pushed, total_pushes), so it is emitted for finished
+    // campaigns too — replay folds it before the finish marker.
+    DACM_RETURN_IF_ERROR(checkpoint.Append(CampaignJournal::EncodeWave(
+        id, campaign->waves_pushed, campaign->total_pushes,
+        campaign->last_push_at, campaign->next_tick_at)));
+    if (campaign->status != CampaignStatus::kRunning) {
+      DACM_RETURN_IF_ERROR(checkpoint.Append(CampaignJournal::EncodeFinish(
+          id, campaign->status, campaign->finished_at)));
+    }
+  }
+  DACM_RETURN_IF_ERROR(journal_->Rotate(checkpoint.image()));
+  DACM_LOG_INFO("campaign") << "journal compacted: " << checkpoint.records()
+                            << " record(s), " << checkpoint.image_bytes()
+                            << " byte(s) across " << campaigns_.size()
+                            << " slot(s)";
+  return support::OkStatus();
+}
+
+void CampaignEngine::MaybeCompactJournal() {
+  if (journal_ == nullptr || journal_compact_after_bytes_ == 0 ||
+      journal_->bytes_appended() < journal_compact_after_bytes_) {
+    return;
+  }
+  const support::Status compacted = CompactJournal();
+  if (!compacted.ok()) {
+    DACM_LOG_WARN("campaign")
+        << "journal compaction failed: " << compacted.ToString();
   }
 }
 

@@ -176,6 +176,23 @@ class CampaignEngine {
   /// journal must outlive the engine (or the next Attach call).
   void AttachJournal(CampaignJournal* journal) { journal_ = journal; }
 
+  /// Folds the engine's in-memory campaign state into a checkpoint image
+  /// (fresh kStart/kRows/kWave/kFinish per live slot, a bare kForget
+  /// tombstone per retired one) and atomically rotates the journal onto
+  /// it — the Forget-growth fix: retired campaigns' full record chains
+  /// are dropped.  Call on clean shutdown, or let the watermark below
+  /// trigger it after ticks.  Never runs from a destructor: the crash
+  /// harness kills engines precisely to model a server that did NOT get
+  /// to compact.
+  support::Status CompactJournal();
+
+  /// Compacts automatically once the journal has grown past `bytes`
+  /// since its last rotation (checked after each tick commit); 0
+  /// disables (the default).
+  void SetJournalCompactionWatermark(std::uint64_t bytes) {
+    journal_compact_after_bytes_ = bytes;
+  }
+
   /// Rebuilds the engine from a journal image (ReplayCampaignJournal)
   /// and schedules the resume tick of every still-running campaign at
   /// max(recorded next tick, Now()).  Only valid on an engine with no
@@ -231,11 +248,14 @@ class CampaignEngine {
   void ScheduleTick(std::size_t index, sim::SimTime at);
   /// Journals the tick's dirtied rows plus a wave/finish marker.
   void CommitTick(Campaign& campaign);
+  /// Runs CompactJournal once the watermark is crossed (warn on failure).
+  void MaybeCompactJournal();
 
   sim::Simulator& simulator_;
   TrustedServer& server_;
   std::vector<std::unique_ptr<Campaign>> campaigns_;
   CampaignJournal* journal_ = nullptr;
+  std::uint64_t journal_compact_after_bytes_ = 0;
   /// Weak-referenced by every scheduled tick: expires with the engine,
   /// so timers outliving a killed engine are inert instead of dangling.
   std::shared_ptr<const bool> alive_ = std::make_shared<bool>(true);

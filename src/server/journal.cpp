@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "support/bytes.hpp"
+#include "support/log.hpp"
 
 namespace dacm::server {
 namespace {
@@ -42,7 +43,7 @@ support::Status ReadPolicy(support::ByteReader& reader, RetryPolicy& policy) {
 
 }  // namespace
 
-support::Status CampaignJournal::AppendStart(
+support::Bytes CampaignJournal::EncodeStart(
     std::uint32_t id, CampaignKind kind, std::uint32_t user,
     std::string_view app_name, const RetryPolicy& policy,
     sim::SimTime started_at, std::span<const CampaignRow> rows) {
@@ -57,10 +58,10 @@ support::Status CampaignJournal::AppendStart(
   writer.WriteU64(started_at);
   writer.WriteVarU32(static_cast<std::uint32_t>(rows.size()));
   for (const CampaignRow& row : rows) writer.WriteString(row.vin);
-  return writer_.Append(writer.bytes());
+  return writer.Take();
 }
 
-support::Status CampaignJournal::AppendRows(
+support::Bytes CampaignJournal::EncodeRows(
     std::uint32_t id, std::span<const JournalRowEntry> entries) {
   support::ByteWriter writer;
   writer.WriteU8(kJournalVersion);
@@ -74,14 +75,14 @@ support::Status CampaignJournal::AppendRows(
     writer.WriteU64(entry.done_at);
     writer.WriteU8(static_cast<std::uint8_t>(entry.error));
   }
-  return writer_.Append(writer.bytes());
+  return writer.Take();
 }
 
-support::Status CampaignJournal::AppendWave(std::uint32_t id,
-                                            std::size_t waves_pushed,
-                                            std::uint64_t total_pushes,
-                                            sim::SimTime last_push_at,
-                                            sim::SimTime next_tick_at) {
+support::Bytes CampaignJournal::EncodeWave(std::uint32_t id,
+                                           std::size_t waves_pushed,
+                                           std::uint64_t total_pushes,
+                                           sim::SimTime last_push_at,
+                                           sim::SimTime next_tick_at) {
   support::ByteWriter writer;
   writer.WriteU8(kJournalVersion);
   writer.WriteU8(static_cast<std::uint8_t>(RecordType::kWave));
@@ -90,27 +91,65 @@ support::Status CampaignJournal::AppendWave(std::uint32_t id,
   writer.WriteU64(total_pushes);
   writer.WriteU64(last_push_at);
   writer.WriteU64(next_tick_at);
-  return writer_.Append(writer.bytes());
+  return writer.Take();
 }
 
-support::Status CampaignJournal::AppendFinish(std::uint32_t id,
-                                              CampaignStatus status,
-                                              sim::SimTime finished_at) {
+support::Bytes CampaignJournal::EncodeFinish(std::uint32_t id,
+                                             CampaignStatus status,
+                                             sim::SimTime finished_at) {
   support::ByteWriter writer;
   writer.WriteU8(kJournalVersion);
   writer.WriteU8(static_cast<std::uint8_t>(RecordType::kFinish));
   writer.WriteU32(id);
   writer.WriteU8(static_cast<std::uint8_t>(status));
   writer.WriteU64(finished_at);
-  return writer_.Append(writer.bytes());
+  return writer.Take();
 }
 
-support::Status CampaignJournal::AppendForget(std::uint32_t id) {
+support::Bytes CampaignJournal::EncodeForget(std::uint32_t id) {
   support::ByteWriter writer;
   writer.WriteU8(kJournalVersion);
   writer.WriteU8(static_cast<std::uint8_t>(RecordType::kForget));
   writer.WriteU32(id);
-  return writer_.Append(writer.bytes());
+  return writer.Take();
+}
+
+support::Status CampaignJournal::AppendStart(
+    std::uint32_t id, CampaignKind kind, std::uint32_t user,
+    std::string_view app_name, const RetryPolicy& policy,
+    sim::SimTime started_at, std::span<const CampaignRow> rows) {
+  return writer_.Append(
+      EncodeStart(id, kind, user, app_name, policy, started_at, rows));
+}
+
+support::Status CampaignJournal::AppendRows(
+    std::uint32_t id, std::span<const JournalRowEntry> entries) {
+  return writer_.Append(EncodeRows(id, entries));
+}
+
+support::Status CampaignJournal::AppendWave(std::uint32_t id,
+                                            std::size_t waves_pushed,
+                                            std::uint64_t total_pushes,
+                                            sim::SimTime last_push_at,
+                                            sim::SimTime next_tick_at) {
+  return writer_.Append(EncodeWave(id, waves_pushed, total_pushes,
+                                   last_push_at, next_tick_at));
+}
+
+support::Status CampaignJournal::AppendFinish(std::uint32_t id,
+                                              CampaignStatus status,
+                                              sim::SimTime finished_at) {
+  return writer_.Append(EncodeFinish(id, status, finished_at));
+}
+
+support::Status CampaignJournal::AppendForget(std::uint32_t id) {
+  return writer_.Append(EncodeForget(id));
+}
+
+support::Status CampaignJournal::Rotate(std::span<const std::uint8_t> image) {
+  DACM_RETURN_IF_ERROR(sink_.Rotate(image));
+  writer_.ResetByteCount();
+  return support::OkStatus();
 }
 
 support::Result<std::vector<RecoveredCampaign>> ReplayCampaignJournal(
@@ -212,7 +251,19 @@ support::Result<std::vector<RecoveredCampaign>> ReplayCampaignJournal(
       case RecordType::kForget: {
         RecoveredCampaign* campaign = find(id);
         if (campaign == nullptr) {
-          return support::Corrupted("journal forget before start");
+          // A compacted journal drops retired campaigns' kStart records
+          // and keeps only the tombstone; materialize forgotten
+          // placeholder slots so later ids keep their dense alignment.
+          DACM_LOG_WARN("journal")
+              << "forget tombstone for campaign " << id
+              << " with no start record; materializing retired slot";
+          while (campaigns.size() <= id) {
+            RecoveredCampaign placeholder;
+            placeholder.id = static_cast<std::uint32_t>(campaigns.size());
+            placeholder.forgotten = true;
+            campaigns.push_back(std::move(placeholder));
+          }
+          break;
         }
         campaign->forgotten = true;
         campaign->rows.clear();

@@ -70,7 +70,8 @@ struct RecoveredCampaign {
 /// running campaign (the engine logs and keeps orchestrating).
 class CampaignJournal {
  public:
-  explicit CampaignJournal(support::RecordSink& sink) : writer_(sink) {}
+  explicit CampaignJournal(support::RecordSink& sink)
+      : sink_(sink), writer_(sink) {}
 
   support::Status AppendStart(std::uint32_t id, CampaignKind kind,
                               std::uint32_t user, std::string_view app_name,
@@ -86,14 +87,44 @@ class CampaignJournal {
                                sim::SimTime finished_at);
   support::Status AppendForget(std::uint32_t id);
 
+  // Record encoders behind the Append* calls — exposed so the engine's
+  // CompactJournal can build a checkpoint image out of the exact same
+  // wire records the live path appends (no second serializer to drift).
+  static support::Bytes EncodeStart(std::uint32_t id, CampaignKind kind,
+                                    std::uint32_t user,
+                                    std::string_view app_name,
+                                    const RetryPolicy& policy,
+                                    sim::SimTime started_at,
+                                    std::span<const CampaignRow> rows);
+  static support::Bytes EncodeRows(std::uint32_t id,
+                                   std::span<const JournalRowEntry> entries);
+  static support::Bytes EncodeWave(std::uint32_t id, std::size_t waves_pushed,
+                                   std::uint64_t total_pushes,
+                                   sim::SimTime last_push_at,
+                                   sim::SimTime next_tick_at);
+  static support::Bytes EncodeFinish(std::uint32_t id, CampaignStatus status,
+                                     sim::SimTime finished_at);
+  static support::Bytes EncodeForget(std::uint32_t id);
+
+  /// Atomically swaps the journal's contents for a checkpoint image
+  /// (RecordSink::Rotate) and restarts the byte accounting.
+  support::Status Rotate(std::span<const std::uint8_t> image);
+
+  /// Frame bytes appended since construction / the last Rotate — the
+  /// journal-compaction watermark's input.
+  std::uint64_t bytes_appended() const { return writer_.bytes_appended(); }
+
  private:
+  support::RecordSink& sink_;
   support::RecordWriter writer_;
 };
 
 /// Folds a journal image into per-campaign recovery state, ordered by
 /// campaign id (= engine slot index).  Tolerates a torn tail; decoded
 /// records that violate the stream invariants (rows before their start,
-/// out-of-range indices) are kCorrupted.
+/// out-of-range indices) are kCorrupted.  A Forget tombstone with no
+/// matching kStart (a compacted journal drops retired campaigns' starts)
+/// materializes forgotten placeholder slots instead of failing.
 support::Result<std::vector<RecoveredCampaign>> ReplayCampaignJournal(
     std::span<const std::uint8_t> data);
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
+#include <tuple>
 
 #include "pirte/package.hpp"
 #include "support/log.hpp"
+#include "support/sink.hpp"
 #include "support/string_util.hpp"
 
 namespace dacm::server {
@@ -52,6 +55,38 @@ bool RowAllAcked(const FleetStore::InstallRow& row) {
 
 bool RowAnyFailed(const FleetStore::InstallRow& row) {
   return (row.acked & ~row.ack_ok) != 0;
+}
+
+/// Bounded status-log retry budget before the server declares durability
+/// degraded.  Small and fixed: the sinks are local (file / memory), so a
+/// failure that survives three immediate retries is not transient.
+constexpr int kStatusRetryBudget = 3;
+
+/// The status paragraph recording `row` at (want, state) — shared by the
+/// live write-ahead path (WriteStatus) and checkpoint compaction, so a
+/// compacted log replays exactly like the raw one.
+StatusParagraph ParagraphFor(std::string_view vin,
+                             const FleetStore::InstallRow& row, Want want,
+                             DbState state) {
+  const BatchManifest& manifest = *row.manifest;
+  StatusParagraph paragraph;
+  paragraph.vin = std::string(vin);
+  paragraph.app = manifest.app_name;
+  paragraph.version = manifest.version;
+  paragraph.want = want;
+  paragraph.state = state;
+  paragraph.plugins.reserve(manifest.plugins.size());
+  for (const BatchManifest::Plugin& plugin : manifest.plugins) {
+    StatusParagraph::PluginIds ids;
+    ids.plugin = plugin.name;
+    ids.ecu_id = plugin.ecu_id;
+    ids.unique_ids.reserve(plugin.pic.entries.size());
+    for (const pirte::PicEntry& entry : plugin.pic.entries) {
+      ids.unique_ids.push_back(entry.unique_id);
+    }
+    paragraph.plugins.push_back(std::move(ids));
+  }
+  return paragraph;
 }
 
 }  // namespace
@@ -137,7 +172,9 @@ support::Result<UserId> TrustedServer::CreateUser(const std::string& name) {
     if (user.name == name) return support::AlreadyExists("user: " + name);
   }
   users_.push_back(User{name, {}});
-  return UserId(static_cast<std::uint32_t>(users_.size() - 1));
+  const auto id = static_cast<std::uint32_t>(users_.size() - 1);
+  if (status_db_ != nullptr) (void)AppendDurable(EncodeCatalogUser(id, name));
+  return UserId(id);
 }
 
 support::Status TrustedServer::BindVehicle(UserId user, const std::string& vin,
@@ -157,6 +194,9 @@ support::Status TrustedServer::BindVehicle(UserId user, const std::string& vin,
   // binding just fills the model/owner columns.
   shard.store.Bind(shard.store.Intern(vin), model_it->second, user);
   users_[user.value()].vins.push_back(vin);
+  if (status_db_ != nullptr) {
+    (void)AppendDurable(EncodeCatalogBinding(vin, model, user.value()));
+  }
   return support::OkStatus();
 }
 
@@ -170,7 +210,11 @@ support::Status TrustedServer::UploadVehicleModel(VehicleModelConf conf) {
                        static_cast<std::uint16_t>(model_names_.size()));
     model_names_.push_back(conf.model);
   }
+  // Encode before the move below consumes the conf.
+  support::Bytes record;
+  if (status_db_ != nullptr) record = EncodeCatalogModel(conf);
   models_[conf.model] = std::move(conf);
+  if (status_db_ != nullptr) (void)AppendDurable(record);
   return support::OkStatus();
 }
 
@@ -188,7 +232,13 @@ support::Status TrustedServer::UploadApp(App app) {
     return support::AlreadyExists("app " + app.name + " v" + it->second.version +
                                   " already stored with same or newer version");
   }
+  // Encode before the move below consumes the app (binaries inline — an
+  // incremental record must be self-contained; only the checkpoint image
+  // dedupes them into a pool).
+  support::Bytes record;
+  if (status_db_ != nullptr) record = EncodeCatalogApp(app);
   apps_[app.name] = std::move(app);
+  if (status_db_ != nullptr) (void)AppendDurable(record);
   return support::OkStatus();
 }
 
@@ -764,6 +814,12 @@ ServerStats TrustedServer::stats() const {
     total.connections_reaped += shard.stats.connections_reaped;
   }
   total.connections_reaped += pending_reaped_;
+  total.durability_degraded =
+      durability_degraded_.load(std::memory_order_relaxed);
+  total.status_write_retries =
+      status_write_retries_.load(std::memory_order_relaxed);
+  total.status_writes_lost = status_writes_lost_.load(std::memory_order_relaxed);
+  total.compactions = compactions_;
   return total;
 }
 
@@ -809,31 +865,8 @@ void TrustedServer::WriteStatus(std::string_view vin,
                                 const FleetStore::InstallRow& row, Want want,
                                 DbState state) {
   if (status_db_ == nullptr) return;
-  const BatchManifest& manifest = *row.manifest;
-  StatusParagraph paragraph;
-  paragraph.vin = std::string(vin);
-  paragraph.app = manifest.app_name;
-  paragraph.version = manifest.version;
-  paragraph.want = want;
-  paragraph.state = state;
-  paragraph.plugins.reserve(manifest.plugins.size());
-  for (const BatchManifest::Plugin& plugin : manifest.plugins) {
-    StatusParagraph::PluginIds ids;
-    ids.plugin = plugin.name;
-    ids.ecu_id = plugin.ecu_id;
-    ids.unique_ids.reserve(plugin.pic.entries.size());
-    for (const pirte::PicEntry& entry : plugin.pic.entries) {
-      ids.unique_ids.push_back(entry.unique_id);
-    }
-    paragraph.plugins.push_back(std::move(ids));
-  }
-  if (auto status = status_db_->Append(paragraph); !status.ok()) {
-    // Durability degrades, availability does not: the in-memory
-    // transition proceeds and the operator sees the warning.
-    DACM_LOG_WARN("server") << "status DB append failed for " << paragraph.vin
-                            << "/" << manifest.app_name << ": "
-                            << status.message();
-  }
+  (void)AppendDurable(
+      StatusDb::EncodeParagraph(ParagraphFor(vin, row, want, state)));
 }
 
 void TrustedServer::WriteStatusRemoved(std::string_view vin,
@@ -846,10 +879,41 @@ void TrustedServer::WriteStatusRemoved(std::string_view vin,
   paragraph.version = version;
   paragraph.want = want;
   paragraph.state = DbState::kNotInstalled;
-  if (auto status = status_db_->Append(paragraph); !status.ok()) {
-    DACM_LOG_WARN("server") << "status DB append failed for " << paragraph.vin
-                            << "/" << app_name << ": " << status.message();
+  (void)AppendDurable(StatusDb::EncodeParagraph(paragraph));
+}
+
+support::Status TrustedServer::AppendDurable(
+    std::span<const std::uint8_t> payload) {
+  if (status_db_ == nullptr) return support::OkStatus();
+  if (durability_degraded_.load(std::memory_order_relaxed)) {
+    // Already degraded: one attempt, no retry storm on a dead sink.
+    auto status = status_db_->AppendRaw(payload);
+    if (!status.ok()) {
+      status_writes_lost_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return status;
   }
+  auto status = status_db_->AppendRaw(payload);
+  for (int attempt = 0; !status.ok() && attempt < kStatusRetryBudget;
+       ++attempt) {
+    status_write_retries_.fetch_add(1, std::memory_order_relaxed);
+    // Escalating-yield backoff: enough to let a contending writer or a
+    // transient fs hiccup clear, without sleeping the sim thread.
+    for (int i = 0; i <= attempt; ++i) std::this_thread::yield();
+    status = status_db_->AppendRaw(payload);
+  }
+  if (!status.ok()) {
+    status_writes_lost_.fetch_add(1, std::memory_order_relaxed);
+    // Durability degrades, availability does not: the in-memory
+    // transition proceeds; the flag is sticky and the operator sees one
+    // warning at the transition (per-write noise would drown it).
+    if (!durability_degraded_.exchange(true, std::memory_order_relaxed)) {
+      DACM_LOG_WARN("server")
+          << "durability degraded: status log write failed after "
+          << kStatusRetryBudget << " retries: " << status.message();
+    }
+  }
+  return status;
 }
 
 support::Status TrustedServer::RecoverInstallDb(
@@ -864,9 +928,11 @@ support::Status TrustedServer::RecoverInstallDb(
       }
     }
   }
-  DACM_ASSIGN_OR_RETURN(std::vector<StatusParagraph> paragraphs,
-                        StatusDb::Replay(image));
-  for (StatusParagraph& paragraph : paragraphs) {
+  DACM_ASSIGN_OR_RETURN(StatusImage replayed, StatusDb::ReplayImage(image));
+  if (!replayed.catalog.empty()) {
+    DACM_RETURN_IF_ERROR(RestoreCatalogLocked(replayed.catalog));
+  }
+  for (StatusParagraph& paragraph : replayed.paragraphs) {
     Shard& shard = ShardFor(paragraph.vin);
     const std::uint32_t vehicle = shard.store.Find(paragraph.vin);
     if (vehicle == kNil || !shard.store.bound(vehicle)) {
@@ -925,6 +991,185 @@ support::Status TrustedServer::RecoverInstallDb(
     row.ack_ok = ack_ok ? full : 0;
   }
   return support::OkStatus();
+}
+
+support::Status TrustedServer::RestoreCatalogLocked(const CatalogImage& image) {
+  // Users: index == UserId, so the image's order is authoritative.  A
+  // caller that already re-created users (the pre-checkpoint drill) must
+  // have created them in the same order or the ids diverged for real.
+  for (std::size_t i = 0; i < image.users.size(); ++i) {
+    if (i < users_.size()) {
+      if (users_[i].name != image.users[i].name) {
+        return support::Corrupted(
+            "recovered catalog user " + std::to_string(i) + " is '" +
+            image.users[i].name + "' but the live catalog has '" +
+            users_[i].name + "'");
+      }
+      continue;
+    }
+    users_.push_back(User{image.users[i].name, {}});
+  }
+  // Models in image (= pre-crash interner) order; live re-uploads win.
+  for (const VehicleModelConf& conf : image.models) {
+    if (!model_ids_.contains(conf.model)) {
+      model_ids_.emplace(conf.model,
+                         static_cast<std::uint16_t>(model_names_.size()));
+      model_names_.push_back(conf.model);
+    }
+    models_.try_emplace(conf.model, conf);
+  }
+  for (const App& app : image.apps) {
+    apps_.try_emplace(app.name, app);
+  }
+  // Bindings rebuild both the shard columns and the per-user VIN cache;
+  // VINs the caller already re-bound are left as they are.
+  for (const CatalogBinding& binding : image.bindings) {
+    if (binding.owner >= users_.size()) {
+      return support::Corrupted("recovered binding " + binding.vin +
+                                " names unknown user " +
+                                std::to_string(binding.owner));
+    }
+    auto model_it = model_ids_.find(binding.model);
+    if (model_it == model_ids_.end()) {
+      return support::Corrupted("recovered binding " + binding.vin +
+                                " names unknown model " + binding.model);
+    }
+    Shard& shard = ShardFor(binding.vin);
+    const std::uint32_t existing = shard.store.Find(binding.vin);
+    if (existing != kNil && shard.store.bound(existing)) continue;
+    shard.store.Bind(shard.store.Intern(binding.vin), model_it->second,
+                     UserId(binding.owner));
+    users_[binding.owner].vins.push_back(binding.vin);
+  }
+  return support::OkStatus();
+}
+
+support::Status TrustedServer::Compact() {
+  if (status_db_ == nullptr) return support::OkStatus();
+  support::CheckpointWriter checkpoint;
+  {
+    std::shared_lock lock(catalog_mutex_);
+    CatalogImage image;
+    image.users.reserve(users_.size());
+    for (const User& user : users_) image.users.push_back(User{user.name, {}});
+    // Models in interner order, so recovered model ids match pre-crash.
+    image.models.reserve(model_names_.size());
+    for (const std::string& name : model_names_) {
+      auto it = models_.find(name);
+      if (it != models_.end()) image.models.push_back(it->second);
+    }
+    // apps_ is an unordered_map: sort by name so the checkpoint bytes
+    // (and with them the recovery fingerprint) are deterministic.
+    std::vector<const App*> apps;
+    apps.reserve(apps_.size());
+    for (const auto& [name, app] : apps_) apps.push_back(&app);
+    std::sort(apps.begin(), apps.end(),
+              [](const App* a, const App* b) { return a->name < b->name; });
+    image.apps.reserve(apps.size());
+    for (const App* app : apps) image.apps.push_back(*app);
+    for (const Shard& shard : shards_) {
+      for (std::uint32_t v = 0; v < shard.store.size(); ++v) {
+        if (!shard.store.bound(v)) continue;
+        image.bindings.push_back(CatalogBinding{
+            std::string(shard.store.VinOf(v)), ModelName(shard.store.model(v)),
+            shard.store.owner(v).value()});
+      }
+    }
+    DACM_RETURN_IF_ERROR(checkpoint.Append(EncodeCatalogImage(image)));
+    // One paragraph per live install row — exactly what WriteStatus would
+    // record for the row's current state, so replaying the checkpoint
+    // reproduces this server.
+    for (const Shard& shard : shards_) {
+      for (std::uint32_t v = 0; v < shard.store.size(); ++v) {
+        if (!shard.store.bound(v)) continue;
+        for (std::uint32_t r = shard.store.row_head(v); r != kNil;
+             r = shard.store.row(r).next) {
+          const FleetStore::InstallRow& row = shard.store.row(r);
+          DACM_RETURN_IF_ERROR(checkpoint.Append(
+              StatusDb::EncodeParagraph(ParagraphFor(shard.store.VinOf(v), row,
+                                                     WantFor(row.state),
+                                                     DbStateFor(row.state)))));
+        }
+      }
+    }
+  }
+  // Rotation failure leaves the raw log intact — durability is unchanged,
+  // only the compaction deferred — so it does not degrade the server.
+  DACM_RETURN_IF_ERROR(status_db_->Rotate(checkpoint.image()));
+  ++compactions_;
+  DACM_LOG_INFO("server") << "status log compacted: " << checkpoint.records()
+                          << " records, " << checkpoint.image_bytes()
+                          << " bytes";
+  return support::OkStatus();
+}
+
+void TrustedServer::MaybeCompact() {
+  if (status_db_ == nullptr || options_.compact_after_bytes == 0) return;
+  if (status_db_->bytes_appended() < options_.compact_after_bytes) return;
+  if (auto status = Compact(); !status.ok()) {
+    DACM_LOG_WARN("server") << "status log compaction failed: "
+                            << status.message();
+  }
+}
+
+template <typename Sink>
+void TrustedServer::FormatFleet(Sink& sink) const {
+  // Sorted by VIN across shards, rows sorted by app within a vehicle:
+  // the text must not depend on shard placement or on whether a row was
+  // created live (deploy order) or by recovery (sorted replay order).
+  std::vector<std::tuple<std::string_view, const Shard*, std::uint32_t>> order;
+  for (const Shard& shard : shards_) {
+    for (std::uint32_t v = 0; v < shard.store.size(); ++v) {
+      if (shard.store.bound(v)) order.emplace_back(shard.store.VinOf(v), &shard, v);
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return std::get<0>(a) < std::get<0>(b);
+  });
+  std::vector<const FleetStore::InstallRow*> rows;
+  for (const auto& [vin, shard, v] : order) {
+    sink.Append(vin);
+    sink.Append(" model=");
+    sink.Append(ModelName(shard->store.model(v)));
+    sink.Append(" owner=");
+    support::AppendNumber(sink, shard->store.owner(v).value());
+    sink.Append("\n");
+    rows.clear();
+    for (std::uint32_t r = shard->store.row_head(v); r != kNil;
+         r = shard->store.row(r).next) {
+      rows.push_back(&shard->store.row(r));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const FleetStore::InstallRow* a,
+                 const FleetStore::InstallRow* b) {
+                return a->manifest->app_name < b->manifest->app_name;
+              });
+    for (const FleetStore::InstallRow* row : rows) {
+      sink.Append("  ");
+      sink.Append(row->manifest->app_name);
+      sink.Append(" v");
+      sink.Append(row->manifest->version);
+      sink.Append(" state=");
+      sink.Append(InstallStateName(row->state));
+      sink.Append(" acked=");
+      support::AppendNumber(sink, row->acked);
+      sink.Append(" ack_ok=");
+      support::AppendNumber(sink, row->ack_ok);
+      sink.Append("\n");
+    }
+  }
+}
+
+std::string TrustedServer::DescribeFleet() const {
+  support::StringSink sink;
+  FormatFleet(sink);
+  return std::move(sink.out);
+}
+
+std::uint64_t TrustedServer::FleetFingerprint() const {
+  support::HashSink sink;
+  FormatFleet(sink);
+  return sink.hash;
 }
 
 void TrustedServer::OnAccept(std::shared_ptr<sim::NetPeer> peer) {
@@ -1058,6 +1303,12 @@ void TrustedServer::FlushAckInboxes() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - flush_start)
           .count());
+
+  // The checkpoint watermark is checked here — after the barrier, with
+  // every worker done and the just-applied acks included — the one
+  // recurring simulation-thread hook all campaign traffic funnels
+  // through.
+  MaybeCompact();
 
   // Emit the workers' deferred logs in arrival order: the observable log
   // stream (which the determinism tests record) is identical to what

@@ -41,6 +41,7 @@
 // the shared catalog under the read lock.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <span>
@@ -49,6 +50,7 @@
 #include <vector>
 
 #include "pirte/protocol.hpp"
+#include "server/catalog.hpp"
 #include "server/context_gen.hpp"
 #include "server/fleet_store.hpp"
 #include "server/model.hpp"
@@ -76,6 +78,19 @@ struct ServerStats {
   std::uint64_t rollback_pushes = 0;
   /// Dead Pusher connections pruned (handshake reaping + Hello adoption).
   std::uint64_t connections_reaped = 0;
+  /// Sticky: a status-log write or sync failed even after the bounded
+  /// retry loop — the in-memory state is ahead of the durable log, and a
+  /// crash from here loses the unlogged transitions.  Set once, never
+  /// cleared (the log's durable prefix stays short of reality until a
+  /// successful compaction rewrites it).  Aggregate-only: meaningless on
+  /// per-shard stats.
+  bool durability_degraded = false;
+  /// Status-log appends that succeeded only after retrying.
+  std::uint64_t status_write_retries = 0;
+  /// Status-log appends abandoned (degraded mode, or retries exhausted).
+  std::uint64_t status_writes_lost = 0;
+  /// Checkpoint compactions completed (watermark or explicit Compact()).
+  std::uint64_t compactions = 0;
 };
 
 /// Direction of an orchestrated campaign wave (see server/campaign.hpp).
@@ -109,6 +124,13 @@ struct ServerOptions {
   /// never syncs explicitly — the crash model tests exercise is process
   /// death, not power loss.
   std::size_t status_sync_every_n_frames = 0;
+  /// Compaction watermark: once the status log has grown past this many
+  /// bytes since the last checkpoint, the next ack flush folds the live
+  /// state (catalog image + one paragraph per row) into a checkpoint and
+  /// rotates the log onto it (RecordSink::Rotate).  0 (default) disables
+  /// automatic compaction; Compact() can always be called explicitly
+  /// (e.g. on clean shutdown).
+  std::uint64_t compact_after_bytes = 0;
 };
 
 /// Outcome of one DeployCampaign call.
@@ -187,17 +209,39 @@ class TrustedServer {
 
   // --- recovery ---------------------------------------------------------------
 
-  /// Rebuilds the per-vehicle InstalledApp tables from a status-DB image
-  /// (StatusDb::Replay).  Call order on a recovered server: re-upload
-  /// the model/app catalog, re-create users and re-bind every VIN (the
-  /// catalog is derived from uploads and is not persisted), then replay
-  /// the DB, then let campaigns resume.  Rows come back carrying their
-  /// recorded (plugin, ecu, unique-id) manifest; package bytes and batch
-  /// envelopes are NOT restored — they regenerate lazily from the
-  /// catalog the first time a wave needs them (MaterializeRowPackages).
-  /// Fails on a VIN or paragraph that does not match the re-bound fleet.
-  /// Simulation thread only, before any vehicle traffic.
+  /// Rebuilds the server from a status-DB image (StatusDb::ReplayImage):
+  /// first the catalog — users, models, apps (with binaries) and VIN
+  /// bindings are themselves write-ahead-logged as catalog records and
+  /// folded into checkpoints, so a recovered server is serviceable
+  /// without re-uploads — then the per-vehicle InstalledApp tables from
+  /// the status paragraphs.  Catalog restore is an idempotent merge: a
+  /// caller that already re-created users / re-uploaded apps / re-bound
+  /// VINs (the pre-checkpoint recovery drill) keeps its live entries.
+  /// Rows come back carrying their recorded (plugin, ecu, unique-id)
+  /// manifest; package bytes and batch envelopes are NOT restored — they
+  /// regenerate lazily from the recovered catalog the first time a wave
+  /// needs them (MaterializeRowPackages).  Fails on a paragraph whose
+  /// VIN is neither in the recovered catalog's bindings nor re-bound by
+  /// the caller.  Simulation thread only, before any vehicle traffic.
   support::Status RecoverInstallDb(std::span<const std::uint8_t> image);
+
+  /// Folds the live state — full catalog image plus one status paragraph
+  /// per install row — into a checkpoint and atomically rotates the
+  /// status log onto it (RecordSink::Rotate: write temp, sync, rename).
+  /// The log shrinks to exactly the live bytes; replaying it afterwards
+  /// reproduces the same server.  No-op Ok without a status sink.  Call
+  /// on clean shutdown, or let ServerOptions::compact_after_bytes
+  /// trigger it from ack flushes.  Simulation thread only.
+  support::Status Compact();
+
+  /// Deterministic fingerprint text of the whole fleet: every bound
+  /// vehicle (sorted by VIN) with its model, owner and install rows
+  /// (sorted by app).  The crash-point harness compares exactly this
+  /// across kill/recover boundaries.  Simulation thread only.
+  std::string DescribeFleet() const;
+  /// FNV-1a hash of exactly the bytes DescribeFleet() would return,
+  /// streamed without materializing the string.
+  std::uint64_t FleetFingerprint() const;
 
   // --- campaign-engine entry points (see server/campaign.hpp) -----------------
 
@@ -365,12 +409,32 @@ class TrustedServer {
                       std::uint64_t seq);
 
   // Write-ahead status DB (no-ops when options_.status_sink is null).
-  // Sink errors degrade durability, never availability: they log and the
-  // in-memory transition proceeds.
+  // Sink errors degrade durability, never availability: bounded retries,
+  // then a sticky degraded flag and a warn — the in-memory transition
+  // proceeds either way.
   void WriteStatus(std::string_view vin, const FleetStore::InstallRow& row,
                    Want want, DbState state);
   void WriteStatusRemoved(std::string_view vin, const std::string& app_name,
                           const std::string& version, Want want);
+  /// Appends one pre-encoded record with the bounded retry-then-degrade
+  /// policy above.  Thread-safe (shard workers write status concurrently;
+  /// the writer serializes internally).
+  support::Status AppendDurable(std::span<const std::uint8_t> payload);
+  /// Merges a recovered catalog image into the live catalog (caller holds
+  /// the exclusive catalog lock).  Idempotent against entries the caller
+  /// already re-created; errors only on a genuine conflict (same user
+  /// index, different name).
+  support::Status RestoreCatalogLocked(const CatalogImage& image);
+  /// Runs Compact() once the watermark is crossed (warn on failure).
+  /// Called from FlushAckInboxes before the parallel drain — the one
+  /// recurring simulation-thread hook every campaign path funnels
+  /// through, and a point where no worker holds the catalog lock.
+  void MaybeCompact();
+  /// Streams the DescribeFleet() text into `sink` (one
+  /// Append(string_view) per fragment) — single formatter behind
+  /// DescribeFleet and FleetFingerprint so they can never drift.
+  template <typename Sink>
+  void FormatFleet(Sink& sink) const;
 
   sim::Network& network_;
   std::string address_;
@@ -405,6 +469,13 @@ class TrustedServer {
 
   /// Append side of the durable install DB (set iff options_.status_sink).
   std::unique_ptr<StatusDb> status_db_;
+  /// Sticky durability-degraded flag + write-loss accounting (see
+  /// ServerStats).  Atomics: status writes come from shard workers.
+  std::atomic<bool> durability_degraded_{false};
+  std::atomic<std::uint64_t> status_write_retries_{0};
+  std::atomic<std::uint64_t> status_writes_lost_{0};
+  /// Completed checkpoint compactions (simulation thread only).
+  std::uint64_t compactions_ = 0;
   /// Weak-referenced by accept/flush callbacks and in-flight SYNs: they
   /// go inert when the server is destroyed instead of dangling.
   std::shared_ptr<const bool> alive_ = std::make_shared<bool>(true);

@@ -71,7 +71,7 @@ std::string_view DbStateName(DbState state) {
   return "?";
 }
 
-support::Status StatusDb::Append(const StatusParagraph& paragraph) {
+support::Bytes StatusDb::EncodeParagraph(const StatusParagraph& paragraph) {
   support::ByteWriter writer;
   writer.WriteU8(kParagraphVersion);
   writer.WriteString(paragraph.vin);
@@ -86,15 +86,33 @@ support::Status StatusDb::Append(const StatusParagraph& paragraph) {
     writer.WriteVarU32(static_cast<std::uint32_t>(ids.unique_ids.size()));
     for (const std::uint8_t unique : ids.unique_ids) writer.WriteU8(unique);
   }
-  return writer_.Append(writer.bytes());
+  return writer.Take();
+}
+
+support::Status StatusDb::Append(const StatusParagraph& paragraph) {
+  return writer_.Append(EncodeParagraph(paragraph));
+}
+
+support::Status StatusDb::AppendRaw(std::span<const std::uint8_t> payload) {
+  return writer_.Append(payload);
 }
 
 support::Result<std::vector<StatusParagraph>> StatusDb::Replay(
     std::span<const std::uint8_t> data) {
+  DACM_ASSIGN_OR_RETURN(StatusImage image, ReplayImage(data));
+  return std::move(image.paragraphs);
+}
+
+support::Result<StatusImage> StatusDb::ReplayImage(
+    std::span<const std::uint8_t> data) {
+  StatusImage image;
   // Ordered map: the fold is last-writer-wins, the iteration order gives
   // recovery its deterministic (vin, app) ordering.
   std::map<std::pair<std::string, std::string>, StatusParagraph> latest;
-  auto fold = [&latest](std::span<const std::uint8_t> payload) {
+  auto fold = [&latest, &image](std::span<const std::uint8_t> payload) {
+    if (IsCatalogRecord(payload)) {
+      return ApplyCatalogRecord(payload, image.catalog);
+    }
     auto paragraph = DecodeParagraph(payload);
     DACM_RETURN_IF_ERROR(paragraph.status());
     auto key = std::make_pair(paragraph->vin, paragraph->app);
@@ -105,13 +123,16 @@ support::Result<std::vector<StatusParagraph>> StatusDb::Replay(
     }
     return support::OkStatus();
   };
-  DACM_RETURN_IF_ERROR(support::ReplayRecords(data, fold).status());
-  std::vector<StatusParagraph> survivors;
-  survivors.reserve(latest.size());
+  DACM_ASSIGN_OR_RETURN(image.stats, support::ReplayRecords(data, fold));
+  image.paragraphs.reserve(latest.size());
+  constexpr std::uint64_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+  image.live_bytes =
+      kFrameHeaderBytes + EncodeCatalogImage(image.catalog).size();
   for (auto& [key, paragraph] : latest) {
-    survivors.push_back(std::move(paragraph));
+    image.live_bytes += kFrameHeaderBytes + EncodeParagraph(paragraph).size();
+    image.paragraphs.push_back(std::move(paragraph));
   }
-  return survivors;
+  return image;
 }
 
 }  // namespace dacm::server

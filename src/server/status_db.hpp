@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "server/catalog.hpp"
 #include "support/status.hpp"
 #include "support/storage.hpp"
 
@@ -62,6 +63,20 @@ struct StatusParagraph {
   std::vector<PluginIds> plugins;
 };
 
+/// Everything a status-log replay folds out: the catalog (from
+/// interleaved catalog records and/or a checkpoint's kImage), the live
+/// paragraphs, how much of the log was durable, and the framed size of a
+/// minimal checkpoint holding exactly this state — the denominator of
+/// the compaction watermark's log-to-live ratio.
+struct StatusImage {
+  CatalogImage catalog;
+  std::vector<StatusParagraph> paragraphs;
+  support::ReplayStats stats;
+  /// Size in bytes of the minimal checkpoint image (catalog image record
+  /// + one paragraph per survivor, each CRC-framed).
+  std::uint64_t live_bytes = 0;
+};
+
 /// Append-side of the DB: serializes paragraphs into CRC-framed records.
 /// Thread-safe (shard workers write concurrently through RecordWriter).
 class StatusDb {
@@ -71,9 +86,32 @@ class StatusDb {
   /// syncs explicitly.
   explicit StatusDb(support::RecordSink& sink,
                     std::size_t sync_every_n_frames = 0)
-      : writer_(sink, sync_every_n_frames) {}
+      : sink_(sink), writer_(sink, sync_every_n_frames) {}
+
+  /// Atomically swaps the log's contents for a checkpoint image
+  /// (RecordSink::Rotate) and restarts the byte accounting.  Simulation
+  /// thread only, with no concurrent writers (the server compacts
+  /// between flush barriers).
+  support::Status Rotate(std::span<const std::uint8_t> image) {
+    DACM_RETURN_IF_ERROR(sink_.Rotate(image));
+    writer_.ResetByteCount();
+    return support::OkStatus();
+  }
 
   support::Status Append(const StatusParagraph& paragraph);
+
+  /// Appends an already-encoded payload (a catalog record, or a
+  /// paragraph pre-encoded by EncodeParagraph for retry loops).
+  support::Status AppendRaw(std::span<const std::uint8_t> payload);
+
+  /// The paragraph wire encoding Append() frames — exposed so the server
+  /// can encode once and retry the framed append on sink failure.
+  static support::Bytes EncodeParagraph(const StatusParagraph& paragraph);
+
+  /// Frame bytes appended since construction / ResetByteCount — the
+  /// compaction watermark's input.
+  std::uint64_t bytes_appended() const { return writer_.bytes_appended(); }
+  void ResetByteCount() { writer_.ResetByteCount(); }
 
   /// Replays a status log image: folds paragraphs last-writer-wins per
   /// (vin, app), drops kNotInstalled tombstones, and returns the
@@ -84,7 +122,14 @@ class StatusDb {
   static support::Result<std::vector<StatusParagraph>> Replay(
       std::span<const std::uint8_t> data);
 
+  /// Full replay: folds catalog records (incremental and checkpoint
+  /// kImage) alongside the paragraphs.  Replay() above is the
+  /// paragraphs-only view of exactly this fold.
+  static support::Result<StatusImage> ReplayImage(
+      std::span<const std::uint8_t> data);
+
  private:
+  support::RecordSink& sink_;
   support::RecordWriter writer_;
 };
 

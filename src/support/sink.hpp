@@ -1,0 +1,47 @@
+// Streaming text sinks for the Describe()/Fingerprint() formatter pair.
+//
+// The campaign engine and the server both format deterministic state
+// descriptions through a single templated formatter that emits
+// string_view fragments into a sink.  StringSink materializes the text
+// (Describe); HashSink folds the identical byte stream into an FNV-1a
+// hash without allocating (Fingerprint) — the comparison handle at fleet
+// scale, where a million-row description would be tens of megabytes.
+// Because both sinks consume the same fragments from the same formatter,
+// the string and its hash can never drift apart.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dacm::support {
+
+/// Collects formatter fragments into a string.
+struct StringSink {
+  std::string out;
+  void Append(std::string_view text) { out += text; }
+};
+
+/// Hashes formatter fragments instead of storing them: `hash` ends up as
+/// FNV-1a over exactly the bytes StringSink would have accumulated.
+struct HashSink {
+  std::uint64_t hash = 1469598103934665603ull;
+  void Append(std::string_view text) {
+    for (char c : text) {
+      hash ^= static_cast<std::uint8_t>(c);
+      hash *= 1099511628211ull;
+    }
+  }
+};
+
+/// Formats `value` with to_chars and appends it — no locale, no alloc.
+template <typename Sink, typename Integer>
+void AppendNumber(Sink& sink, Integer value) {
+  char buffer[24];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  sink.Append(std::string_view(
+      buffer, static_cast<std::size_t>(result.ptr - buffer)));
+}
+
+}  // namespace dacm::support

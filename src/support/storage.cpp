@@ -27,7 +27,7 @@ Result<std::unique_ptr<FileSink>> FileSink::Open(const std::string& path,
   if (file == nullptr) {
     return Unavailable("cannot open record sink " + path);
   }
-  return std::unique_ptr<FileSink>(new FileSink(file));
+  return std::unique_ptr<FileSink>(new FileSink(file, path));
 }
 
 FileSink::~FileSink() {
@@ -59,6 +59,53 @@ Status FileSink::Sync() {
   return OkStatus();
 }
 
+Status FileSink::Rotate(std::span<const std::uint8_t> image) {
+  // Write-temp + fsync + rename.  The image lands fully durable in a
+  // side file before the rename makes it visible under the log's name,
+  // so a crash anywhere in this sequence leaves either the complete old
+  // log or the complete new image — never a mix.
+  const std::string temp = path_ + ".rotate";
+  std::FILE* side = std::fopen(temp.c_str(), "wb");
+  if (side == nullptr) {
+    return Unavailable("cannot open rotation file " + temp);
+  }
+  if (!image.empty() &&
+      std::fwrite(image.data(), 1, image.size(), side) != image.size()) {
+    std::fclose(side);
+    std::remove(temp.c_str());
+    return Unavailable("short write to rotation file");
+  }
+  if (std::fflush(side) != 0) {
+    std::fclose(side);
+    std::remove(temp.c_str());
+    return Unavailable("rotation file flush failed");
+  }
+#ifndef _WIN32
+  if (::fsync(::fileno(side)) != 0) {
+    std::fclose(side);
+    std::remove(temp.c_str());
+    return Unavailable("rotation file fsync failed");
+  }
+#endif
+  std::fclose(side);
+#ifdef _WIN32
+  // rename() does not replace an existing file on Windows.
+  std::remove(path_.c_str());
+#endif
+  if (std::rename(temp.c_str(), path_.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Unavailable("rotation rename failed for " + path_);
+  }
+  // Reopen the append handle on the swapped-in file; the old handle
+  // points at the unlinked inode.
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Unavailable("cannot reopen record sink " + path_);
+  }
+  return OkStatus();
+}
+
 // --- FaultingSink ------------------------------------------------------------------
 
 Status FaultingSink::Append(std::span<const std::uint8_t> bytes) {
@@ -75,6 +122,55 @@ Status FaultingSink::Append(std::span<const std::uint8_t> bytes) {
   return Unavailable("injected torn write");
 }
 
+Status FaultingSink::Rotate(std::span<const std::uint8_t> image) {
+  if (torn_) return Unavailable("sink torn by injected fault");
+  if (image.size() <= budget_) {
+    budget_ -= image.size();
+    return inner_.Rotate(image);
+  }
+  // Rename atomicity: past the budget the swap simply never happens —
+  // there is no torn-rotation state, the old contents survive intact.
+  budget_ = 0;
+  torn_ = true;
+  return Unavailable("injected rotation failure");
+}
+
+// --- CrashPointSink ----------------------------------------------------------------
+
+Status CrashPointSink::Append(std::span<const std::uint8_t> bytes) {
+  bool dead = false;
+  const std::size_t tear = clock_.Tick(&dead);
+  if (!dead) return inner_.Append(bytes);
+  if (tear != 0 && tear != SIZE_MAX) {
+    // The crash landed mid-write: leak the torn prefix, then die.
+    (void)inner_.Append(bytes.first(std::min(tear, bytes.size())));
+  }
+  return Unavailable("injected crash point");
+}
+
+Status CrashPointSink::Flush() {
+  // Flush is not a durability boundary — uncounted, but a dead sink
+  // stays dead.
+  if (clock_.dead()) return Unavailable("injected crash point");
+  return inner_.Flush();
+}
+
+Status CrashPointSink::Sync() {
+  bool dead = false;
+  (void)clock_.Tick(&dead);
+  if (dead) return Unavailable("injected crash point");
+  return inner_.Sync();
+}
+
+Status CrashPointSink::Rotate(std::span<const std::uint8_t> image) {
+  bool dead = false;
+  (void)clock_.Tick(&dead);
+  // An armed Rotate never swaps: rename atomicity means the crash leaves
+  // the previous contents intact.
+  if (dead) return Unavailable("injected crash point");
+  return inner_.Rotate(image);
+}
+
 // --- RecordWriter ------------------------------------------------------------------
 
 Status RecordWriter::Append(std::span<const std::uint8_t> payload) {
@@ -89,6 +185,7 @@ Status RecordWriter::Append(std::span<const std::uint8_t> payload) {
     std::memcpy(frame_.data() + kFrameHeader, payload.data(), payload.size());
   }
   DACM_RETURN_IF_ERROR(sink_.Append(frame_));
+  bytes_appended_ += frame_.size();
   if (sync_every_n_frames_ != 0 &&
       ++frames_since_sync_ >= sync_every_n_frames_) {
     frames_since_sync_ = 0;
@@ -100,6 +197,38 @@ Status RecordWriter::Append(std::span<const std::uint8_t> payload) {
 Status RecordWriter::Flush() {
   std::lock_guard lock(mutex_);
   return sink_.Flush();
+}
+
+std::uint64_t RecordWriter::bytes_appended() const {
+  std::lock_guard lock(mutex_);
+  return bytes_appended_;
+}
+
+void RecordWriter::ResetByteCount() {
+  std::lock_guard lock(mutex_);
+  bytes_appended_ = 0;
+}
+
+// --- CheckpointWriter --------------------------------------------------------------
+
+Status CheckpointWriter::Append(std::span<const std::uint8_t> payload) {
+  if (payload.size() >= kMaxPayload) {
+    return InvalidArgument("record payload too large");
+  }
+  const std::size_t base = image_.size();
+  image_.resize(base + kFrameHeader + payload.size());
+  StoreLeU32(image_.data() + base, static_cast<std::uint32_t>(payload.size()));
+  StoreLeU32(image_.data() + base + 4, Crc32(payload));
+  if (!payload.empty()) {
+    std::memcpy(image_.data() + base + kFrameHeader, payload.data(),
+                payload.size());
+  }
+  ++records_;
+  return OkStatus();
+}
+
+Status CheckpointWriter::Commit(RecordSink& sink) {
+  return sink.Rotate(image_);
 }
 
 // --- replay ------------------------------------------------------------------------

@@ -32,6 +32,7 @@
 #include "fes/fleet.hpp"
 #include "fes/testbed.hpp"
 #include "server/campaign.hpp"
+#include "server/catalog.hpp"
 #include "server/journal.hpp"
 #include "server/status_db.hpp"
 #include "sim/fault.hpp"
@@ -52,6 +53,9 @@ using server::JournalRowEntry;
 using server::StatusDb;
 using server::StatusParagraph;
 using server::Want;
+using server::CatalogImage;
+using server::StatusImage;
+using support::CheckpointWriter;
 using support::ErrorCode;
 using support::FaultingSink;
 using support::MemorySink;
@@ -188,6 +192,76 @@ TEST(RecordStorageTest, FileSinkAppendsAcrossReopen) {
   std::remove(path.c_str());
 }
 
+TEST(RecordStorageTest, RotateSwapsLogContentAndKeepsAppending) {
+  MemorySink sink;
+  RecordWriter writer(sink);
+  ASSERT_TRUE(writer.Append(Payload("old-1")).ok());
+  ASSERT_TRUE(writer.Append(Payload("old-2")).ok());
+
+  CheckpointWriter checkpoint;
+  ASSERT_TRUE(checkpoint.Append(Payload("folded")).ok());
+  EXPECT_EQ(checkpoint.records(), 1u);
+  ASSERT_TRUE(checkpoint.Commit(sink).ok());
+
+  // The log now holds exactly the checkpoint image; appends continue
+  // after it.
+  EXPECT_EQ(sink.bytes().size(), checkpoint.image_bytes());
+  ASSERT_TRUE(writer.Append(Payload("after")).ok());
+  std::vector<std::string> decoded;
+  const ReplayStats stats = Replay(sink.bytes(), &decoded);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(decoded, (std::vector<std::string>{"folded", "after"}));
+}
+
+TEST(RecordStorageTest, FileSinkRotateCommitsAtomicallyAcrossReopen) {
+  const std::string path = "dacm_test_recovery_rotate.log";
+  {
+    auto sink = support::FileSink::Open(path, /*truncate=*/true);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    RecordWriter writer(**sink);
+    ASSERT_TRUE(writer.Append(Payload("pre-rotate")).ok());
+
+    CheckpointWriter checkpoint;
+    ASSERT_TRUE(checkpoint.Append(Payload("image")).ok());
+    ASSERT_TRUE(checkpoint.Commit(**sink).ok());
+    // Rotation is write-temp + sync + rename: no temp file survives.
+    EXPECT_EQ(support::ReadFileBytes(path + ".rotate").status().code(),
+              ErrorCode::kNotFound);
+    // The rotated sink reopened in append mode: the log keeps growing.
+    ASSERT_TRUE(writer.Append(Payload("post-rotate")).ok());
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  auto image = support::ReadFileBytes(path);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  std::vector<std::string> decoded;
+  const ReplayStats stats = Replay(*image, &decoded);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(decoded, (std::vector<std::string>{"image", "post-rotate"}));
+  std::remove(path.c_str());
+}
+
+TEST(RecordStorageTest, FaultedRotationLeavesTheOldLogUntouched) {
+  MemorySink inner;
+  RecordWriter writer(inner);
+  ASSERT_TRUE(writer.Append(Payload("survivor")).ok());
+  const support::Bytes before = inner.bytes();
+
+  CheckpointWriter checkpoint;
+  ASSERT_TRUE(checkpoint.Append(Payload("never-lands")).ok());
+  FaultingSink faulty(inner, /*fail_after=*/4);  // image larger than budget
+  EXPECT_FALSE(checkpoint.Commit(faulty).ok());
+  EXPECT_TRUE(faulty.torn());
+  // All-or-nothing: a failed rotation must not tear the old log — the
+  // un-rotated records are still the durable truth.
+  EXPECT_EQ(inner.bytes(), before);
+  // The image survives the failure, so a retry against a healthy sink
+  // commits.
+  ASSERT_TRUE(checkpoint.Commit(inner).ok());
+  std::vector<std::string> decoded;
+  Replay(inner.bytes(), &decoded);
+  EXPECT_EQ(decoded, (std::vector<std::string>{"never-lands"}));
+}
+
 /// MemorySink that counts Sync() calls — the observable side of the
 /// RecordWriter durability knob (for FileSink a Sync is fflush + fsync).
 struct CountingSyncSink : support::MemorySink {
@@ -318,6 +392,70 @@ TEST(StatusDbTest, TornTailYieldsThePriorParagraph) {
   EXPECT_EQ((*replayed)[0].state, DbState::kHalfInstalled);
 }
 
+/// A minimal but realistic checkpoint image: one catalog kImage record
+/// (as compaction writes first) followed by two live paragraphs.
+support::Bytes MakeCheckpointImage() {
+  CatalogImage catalog;
+  catalog.users.push_back(server::User{"ops", {}});
+  catalog.bindings.push_back(server::CatalogBinding{"V1", "m", 0});
+  CheckpointWriter checkpoint;
+  EXPECT_TRUE(checkpoint.Append(server::EncodeCatalogImage(catalog)).ok());
+  EXPECT_TRUE(
+      checkpoint
+          .Append(StatusDb::EncodeParagraph(
+              MakeParagraph("V1", "maps", Want::kInstall, DbState::kInstalled)))
+          .ok());
+  EXPECT_TRUE(
+      checkpoint
+          .Append(StatusDb::EncodeParagraph(MakeParagraph(
+              "V2", "maps", Want::kInstall, DbState::kHalfInstalled)))
+          .ok());
+  return checkpoint.image();
+}
+
+TEST(StatusDbTest, CheckpointImageReplaysCatalogAndParagraphs) {
+  const support::Bytes image = MakeCheckpointImage();
+  auto replayed = StatusDb::ReplayImage(image);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(replayed->catalog.users.size(), 1u);
+  EXPECT_EQ(replayed->catalog.bindings.size(), 1u);
+  ASSERT_EQ(replayed->paragraphs.size(), 2u);
+  EXPECT_FALSE(replayed->stats.truncated);
+  // A checkpoint IS the minimal live image: replaying it reports exactly
+  // its own size as the live bytes (the compaction guard's denominator).
+  EXPECT_EQ(replayed->live_bytes, image.size());
+}
+
+TEST(StatusDbTest, TornCheckpointTailRecoversTheDurablePrefix) {
+  support::Bytes image = MakeCheckpointImage();
+  image.resize(image.size() - 5);  // crash mid-final-paragraph
+  auto replayed = StatusDb::ReplayImage(image);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_TRUE(replayed->stats.truncated);
+  EXPECT_EQ(replayed->catalog.users.size(), 1u);
+  ASSERT_EQ(replayed->paragraphs.size(), 1u);
+  EXPECT_EQ(replayed->paragraphs[0].vin, "V1");
+}
+
+TEST(StatusDbTest, BitFlippedCheckpointFrameStopsReplayThere) {
+  support::Bytes image = MakeCheckpointImage();
+  image[10] ^= 0x01;  // inside the catalog image record's payload
+  auto replayed = StatusDb::ReplayImage(image);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  // The very first frame failed its CRC: nothing is durable.
+  EXPECT_TRUE(replayed->stats.truncated);
+  EXPECT_TRUE(replayed->catalog.empty());
+  EXPECT_TRUE(replayed->paragraphs.empty());
+}
+
+TEST(StatusDbTest, EmptyLogReplaysToAnEmptyImage) {
+  auto replayed = StatusDb::ReplayImage({});
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(replayed->catalog.empty());
+  EXPECT_TRUE(replayed->paragraphs.empty());
+  EXPECT_FALSE(replayed->stats.truncated);
+}
+
 // --- campaign journal --------------------------------------------------------------
 
 TEST(CampaignJournalTest, FoldsToTheLastCommittedTick) {
@@ -406,6 +544,29 @@ TEST(CampaignJournalTest, ForgetRecordTombstonesTheCampaign) {
   EXPECT_TRUE((*recovered)[0].forgotten);
 }
 
+TEST(CampaignJournalTest, ForgetWithoutAStartBecomesAForgottenPlaceholder) {
+  // A compacted journal drops retired campaigns' full record chains and
+  // keeps only the bare Forget tombstone — replay must materialize the
+  // hole (and any implied earlier holes), not fail.
+  MemorySink sink;
+  CampaignJournal journal(sink);
+  ASSERT_TRUE(journal.AppendForget(2).ok());
+  std::vector<server::CampaignRow> rows(1);
+  rows[0].vin = "VIN-A";
+  ASSERT_TRUE(journal
+                  .AppendStart(3, CampaignKind::kDeploy, 0, "maps",
+                               server::RetryPolicy{}, 0, rows)
+                  .ok());
+  auto recovered = server::ReplayCampaignJournal(sink.bytes());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_EQ(recovered->size(), 4u);
+  for (std::uint32_t id = 0; id <= 2; ++id) {
+    EXPECT_TRUE((*recovered)[id].forgotten) << id;
+  }
+  EXPECT_FALSE((*recovered)[3].forgotten);
+  EXPECT_EQ((*recovered)[3].app_name, "maps");
+}
+
 // --- whole-server kill-and-restart -------------------------------------------------
 
 /// Quick retry cadence (mirrors test_campaign.cpp): settle 50 ms,
@@ -435,12 +596,15 @@ struct RecoveryRig {
   server::UserId user = server::UserId::Invalid();
   std::unique_ptr<fes::ScriptedFleet> fleet;
   std::size_t shards;
-  /// Everything uploaded, for the post-restart catalog replay (the
-  /// catalog is derived data and deliberately not persisted).
+  std::uint64_t compact_after_bytes;
+  /// Everything uploaded, for the re-upload flavor of recovery (the
+  /// catalog is also persisted in the log now — RestartFromLogOnly below
+  /// recovers without touching this).
   std::vector<fes::SyntheticAppParams> catalog;
 
-  explicit RecoveryRig(std::size_t vehicles, std::size_t shard_count = 4)
-      : shards(shard_count) {
+  explicit RecoveryRig(std::size_t vehicles, std::size_t shard_count = 4,
+                       std::uint64_t compact_watermark = 0)
+      : shards(shard_count), compact_after_bytes(compact_watermark) {
     NewServer();
     fes::ScriptedFleetOptions options;
     options.vehicle_count = vehicles;
@@ -450,12 +614,19 @@ struct RecoveryRig {
     NewEngine();
   }
 
-  void NewServer() {
+  /// A server with no catalog: what a restarted process has before
+  /// recovery runs.
+  void NewBareServer() {
     server::ServerOptions options;
     options.shard_count = shards;
     options.status_sink = &status_log;
+    options.compact_after_bytes = compact_after_bytes;
     server = std::make_unique<server::TrustedServer>(network, "srv:443", options);
     EXPECT_TRUE(server->Start().ok());
+  }
+
+  void NewServer() {
+    NewBareServer();
     EXPECT_TRUE(server->UploadVehicleModel(fes::MakeRpiTestbedConf()).ok());
     user = *server->CreateUser("ops");
   }
@@ -493,6 +664,33 @@ struct RecoveryRig {
     for (const std::string& vin : fleet->vins()) {
       EXPECT_TRUE(server->BindVehicle(user, vin, "rpi-testbed").ok());
     }
+    const support::Status recovered = server->RecoverInstallDb(status_log.bytes());
+    EXPECT_TRUE(recovered.ok()) << recovered.ToString();
+    fleet->RetargetServer(*server);
+    fleet->RedialDead();
+    NewEngine();
+    const support::Status resumed = engine->Recover(journal_log.bytes());
+    EXPECT_TRUE(resumed.ok()) << resumed.ToString();
+  }
+
+  /// A restarted process scans each log and truncates the torn tail, so
+  /// post-restart appends land after the durable prefix instead of
+  /// behind unreachable garbage.
+  static void TruncateToDurable(support::MemorySink& sink) {
+    auto stats = ReplayRecords(
+        sink.bytes(), [](std::span<const std::uint8_t>) {
+          return support::OkStatus();
+        });
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    sink.TruncateTo(stats->valid_bytes);
+  }
+
+  /// Recovery with NOTHING re-uploaded: the status log's catalog records
+  /// alone must make the restarted server serviceable.
+  void RestartFromLogOnly() {
+    TruncateToDurable(status_log);
+    TruncateToDurable(journal_log);
+    NewBareServer();
     const support::Status recovered = server->RecoverInstallDb(status_log.bytes());
     EXPECT_TRUE(recovered.ok()) << recovered.ToString();
     fleet->RetargetServer(*server);
@@ -633,6 +831,186 @@ TEST(RecoveryTest, KilledMidCampaignServerResumesByteIdenticallyAtFleetScale) {
   // the same batch pushes (nothing converged was re-pushed).
   EXPECT_EQ(killed.describe, uninterrupted.describe);
   EXPECT_EQ(killed.batches_received, uninterrupted.batches_received);
+}
+
+// --- persistent catalog ------------------------------------------------------------
+
+TEST(RecoveryTest, RecoveredCatalogMakesServerServiceableWithoutReuploads) {
+  RecoveryRig rig(/*vehicles=*/6, /*shards=*/2);
+  rig.UploadApp("maps");
+  sim::FaultScenario faults(rig.simulator, rig.network, /*seed=*/7);
+
+  auto id = rig.engine->StartDeploy(rig.user, "maps", rig.fleet->vins(),
+                                    FastPolicy());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  // Same shape as the rematerialization test above, but the restart
+  // replays the LOG ALONE: no model re-upload, no app re-upload, no user
+  // re-creation, no re-binding.  The catalog records in the status log
+  // must carry everything — including the app binaries the retry wave
+  // regenerates packages from.
+  faults.LinkFlapAfter(sim::kMillisecond / 4,
+                       sim::kMillisecond + sim::kMillisecond / 2);
+  faults.KillAndRestartServer(
+      sim::kMillisecond / 2, [&rig] { rig.KillServer(); },
+      [&rig] { rig.RestartFromLogOnly(); });
+  rig.simulator.Run();
+
+  ASSERT_TRUE(rig.engine->Finished(*id));
+  auto snapshot = *rig.engine->Snapshot(*id);
+  EXPECT_EQ(snapshot.status, CampaignStatus::kConverged);
+  EXPECT_EQ(snapshot.done, 6u);
+  EXPECT_TRUE(rig.server->HasApp("maps"));
+  for (const std::string& vin : rig.fleet->vins()) {
+    EXPECT_EQ(*rig.server->AppState(vin, "maps"), InstallState::kInstalled) << vin;
+  }
+  // The recovered rows had no package bytes; the pushes that converged
+  // them were materialized from the *recovered* catalog.
+  EXPECT_GT(rig.server->stats().repushes, 0u);
+}
+
+/// Recovers a fresh server from `image` and returns its fleet fingerprint
+/// text.  Deliberately sharded differently from the rig: the fingerprint
+/// must not depend on shard placement.
+std::string RecoverDescribeFleet(RecoveryRig& rig, std::uint32_t shard_count,
+                                 std::span<const std::uint8_t> image) {
+  server::ServerOptions options;
+  options.shard_count = shard_count;
+  server::TrustedServer fresh(rig.network, "srv-recover:1", options);
+  const support::Status recovered = fresh.RecoverInstallDb(image);
+  EXPECT_TRUE(recovered.ok()) << recovered.ToString();
+  return fresh.DescribeFleet();
+}
+
+TEST(RecoveryTest, CompactedLogRecoversIdenticallyToTheRawLog) {
+  RecoveryRig rig(/*vehicles=*/6, /*shards=*/2);
+  rig.UploadApp("maps");
+  rig.UploadApp("nav", /*plugins=*/3);
+  for (const char* app : {"maps", "nav"}) {
+    auto id = rig.engine->StartDeploy(rig.user, app, rig.fleet->vins(),
+                                      FastPolicy());
+    ASSERT_TRUE(id.ok());
+    rig.simulator.Run();
+    ASSERT_TRUE(rig.engine->Finished(*id));
+  }
+
+  const support::Bytes raw = rig.status_log.bytes();
+  ASSERT_TRUE(rig.server->Compact().ok());
+  EXPECT_EQ(rig.server->stats().compactions, 1u);
+  const support::Bytes& compacted = rig.status_log.bytes();
+  EXPECT_LT(compacted.size(), raw.size());
+
+  // Post-compaction the log IS the live image: well under the 2x guard.
+  auto replayed = StatusDb::ReplayImage(compacted);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_LE(compacted.size(), 2 * replayed->live_bytes);
+
+  const std::string live = rig.server->DescribeFleet();
+  EXPECT_EQ(RecoverDescribeFleet(rig, /*shard_count=*/3, raw), live);
+  EXPECT_EQ(RecoverDescribeFleet(rig, /*shard_count=*/1, compacted), live);
+}
+
+TEST(RecoveryTest, WatermarkCompactionBoundsTheLogAcrossFiveCampaigns) {
+  // Five back-to-back fleet campaigns with a small watermark: the status
+  // log must stay bounded by the live state, not grow with history.
+  RecoveryRig rig(/*vehicles=*/50, /*shards=*/1,
+                  /*compact_watermark=*/16 * 1024);
+  rig.engine->SetJournalCompactionWatermark(8 * 1024);
+  for (int i = 1; i <= 5; ++i) {
+    const std::string app = "app-" + std::to_string(i);
+    rig.UploadApp(app);
+    auto id = rig.engine->StartDeploy(rig.user, app, rig.fleet->vins(),
+                                      FastPolicy());
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    rig.simulator.Run();
+    ASSERT_TRUE(rig.engine->Finished(*id));
+    EXPECT_EQ(rig.engine->Snapshot(*id)->status, CampaignStatus::kConverged);
+  }
+  // The watermark actually fired mid-run...
+  EXPECT_GE(rig.server->stats().compactions, 1u);
+  // ...and the clean-shutdown compaction folds the log to the live bytes.
+  ASSERT_TRUE(rig.server->Compact().ok());
+  ASSERT_TRUE(rig.engine->CompactJournal().ok());
+  auto replayed = StatusDb::ReplayImage(rig.status_log.bytes());
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_LE(rig.status_log.bytes().size(), 2 * replayed->live_bytes);
+  EXPECT_EQ(replayed->paragraphs.size(), 50u * 5u);
+
+  // The compacted pair of logs still recovers a serviceable world.
+  rig.KillServer();
+  rig.RestartFromLogOnly();
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(rig.server->HasApp("app-" + std::to_string(i)));
+  }
+  for (const std::string& vin : rig.fleet->vins()) {
+    EXPECT_EQ(*rig.server->AppState(vin, "app-5"), InstallState::kInstalled) << vin;
+  }
+}
+
+TEST(RecoveryTest, JournalCompactionDropsRetiredCampaigns) {
+  RecoveryRig rig(/*vehicles=*/4, /*shards=*/1);
+  rig.UploadApp("maps");
+  auto first = rig.engine->StartDeploy(rig.user, "maps", rig.fleet->vins(),
+                                       FastPolicy());
+  ASSERT_TRUE(first.ok());
+  rig.simulator.Run();
+  ASSERT_TRUE(rig.engine->Finished(*first));
+  ASSERT_TRUE(rig.engine->Forget(*first).ok());
+
+  rig.UploadApp("nav");
+  auto second = rig.engine->StartDeploy(rig.user, "nav", rig.fleet->vins(),
+                                        FastPolicy());
+  ASSERT_TRUE(second.ok());
+  rig.simulator.Run();
+  ASSERT_TRUE(rig.engine->Finished(*second));
+  const std::string describe_before = rig.engine->Describe(*second);
+
+  const std::size_t size_before = rig.journal_log.bytes().size();
+  ASSERT_TRUE(rig.engine->CompactJournal().ok());
+  // The Forget-growth fix: the retired campaign's whole record chain is
+  // gone, only its tombstone (and the live campaign's fold) remain.
+  EXPECT_LT(rig.journal_log.bytes().size(), size_before);
+  auto recovered = server::ReplayCampaignJournal(rig.journal_log.bytes());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_EQ(recovered->size(), 2u);
+  EXPECT_TRUE((*recovered)[0].forgotten);
+  EXPECT_EQ((*recovered)[1].status, CampaignStatus::kConverged);
+
+  // A restart from the compacted journal reproduces the campaign
+  // fingerprint byte-identically and keeps the retired slot a hole.
+  rig.KillServer();
+  rig.RestartFromLogOnly();
+  EXPECT_EQ(rig.engine->Describe(*second), describe_before);
+  EXPECT_EQ(rig.engine->Snapshot(*first).status().code(), ErrorCode::kNotFound);
+}
+
+// --- degraded durability -----------------------------------------------------------
+
+TEST(RecoveryTest, SinkFailureDegradesDurabilityStickilyAfterBoundedRetries) {
+  sim::Simulator simulator;
+  sim::Network network{simulator, sim::kMillisecond};
+  MemorySink inner;
+  FaultingSink faulty(inner, /*fail_after=*/10);  // tears the first record
+  server::ServerOptions options;
+  options.status_sink = &faulty;
+  server::TrustedServer server(network, "srv:443", options);
+  EXPECT_FALSE(server.stats().durability_degraded);
+
+  // The catalog record for the model upload exceeds the sink budget: the
+  // append fails, is retried the bounded number of times, and the server
+  // goes (stickily) degraded — but the mutation itself succeeds.
+  EXPECT_TRUE(server.UploadVehicleModel(fes::MakeRpiTestbedConf()).ok());
+  server::ServerStats stats = server.stats();
+  EXPECT_TRUE(stats.durability_degraded);
+  EXPECT_EQ(stats.status_write_retries, 3u);
+  EXPECT_EQ(stats.status_writes_lost, 1u);
+
+  // Once degraded: single-attempt writes (no retry storm against a dead
+  // sink), losses keep counting, availability is unaffected.
+  EXPECT_TRUE(server.CreateUser("ops").ok());
+  stats = server.stats();
+  EXPECT_TRUE(stats.durability_degraded);
+  EXPECT_EQ(stats.status_write_retries, 3u);
+  EXPECT_EQ(stats.status_writes_lost, 2u);
 }
 
 }  // namespace

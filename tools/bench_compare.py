@@ -50,6 +50,13 @@ KEY_METRICS = [
      "BM_FleetMegaCampaign/shards:1/fleet:100000/models:24/"
      "iterations:1/real_time",
      "deploys_per_s", "mega campaign deploys/s (100k, 24 models)"),
+    # Restart cost: replay throughput over the raw multi-campaign log,
+    # and the absolute time a checkpointed restart takes to become
+    # serviceable (lower is better).
+    ("bench_fleet", "BM_RecoveryReplay/fleet:1000/checkpoint:0/real_time",
+     "bytes_per_second", "recovery replay bytes/s (1k fleet, raw log)"),
+    ("bench_fleet", "BM_RecoveryReplay/fleet:1000/checkpoint:1/real_time",
+     "time_to_serviceable_ms", "time-to-serviceable ms (1k, checkpointed)"),
     ("bench_sim", "BM_WheelScheduleFire/1024",
      "items_per_second", "event schedule+fire/s (wheel)"),
     ("bench_sim", "BM_WheelStorm/4096",
@@ -60,6 +67,17 @@ KEY_METRICS = [
      "bytes_per_second", "CRC-32 GB/s (16 KiB)"),
     ("bench_fig1_vm", "BM_VmSpinLoop/10000",
      "items_per_second", "VM spin-loop instr/s"),
+]
+
+# Absolute invariants checked against the CURRENT results alone — bars the
+# design must clear on every run, independent of the committed baseline:
+# (bench binary, benchmark name, field, max value, human label).
+ABSOLUTE_BOUNDS = [
+    # The compaction contract: after five consecutive campaigns and a
+    # checkpoint, the status log holds at most 2x the live-paragraph
+    # bytes (it is exactly 1x when the final rotation is the last write).
+    ("bench_fleet", "BM_RecoveryReplay/fleet:1000/checkpoint:1/real_time",
+     "log_to_live_ratio", 2.0, "post-compaction log/live bytes (<= 2x)"),
 ]
 
 
@@ -107,9 +125,11 @@ def main():
             print(f"{label:<46} {'—':>12} {'—':>12}   (field {field} unusable)")
             continue
         delta = (cur - base) / base
-        # Fractions and per-vehicle footprints are better when *lower*;
-        # throughputs when higher.
-        lower_is_better = field in ("serial_sim_fraction", "bytes_per_vehicle")
+        # Fractions, per-vehicle footprints, restart latencies and
+        # log-size ratios are better when *lower*; throughputs when higher.
+        lower_is_better = field in ("serial_sim_fraction", "bytes_per_vehicle",
+                                    "time_to_serviceable_ms",
+                                    "log_to_live_ratio")
         worse = delta > args.tolerance if lower_is_better \
             else delta < -args.tolerance
         marker = "  <-- regressed" if worse else ""
@@ -119,6 +139,20 @@ def main():
             print(f"::warning title=bench-compare::{label} moved {delta:+.1%} "
                   f"(baseline {base:.4g}, current {cur:.4g}, "
                   f"tolerance ±{args.tolerance:.0%})")
+
+    for binary, name, field, bound, label in ABSOLUTE_BOUNDS:
+        bench = find_benchmark(current.get(binary, {}), name)
+        value = bench.get(field) if bench is not None else None
+        if not isinstance(value, (int, float)):
+            print(f"{label:<46} {'—':>12} {'—':>12}   (missing in current)")
+            continue
+        worse = value > bound
+        marker = "  <-- bound exceeded" if worse else ""
+        print(f"{label:<46} {bound:>12.4g} {value:>12.4g} {'':>8}{marker}")
+        if worse:
+            regressions += 1
+            print(f"::warning title=bench-compare::{label}: {value:.4g} "
+                  f"exceeds the absolute bound {bound:.4g}")
 
     if regressions:
         print(f"\n{regressions} metric(s) beyond ±{args.tolerance:.0%} "
