@@ -11,14 +11,20 @@
 //
 // DACM_BENCH_MAIN — the shared driver entry point.  On top of the stock
 // Google Benchmark flags it understands:
-//   --json        emit JSON results on stdout (instead of the console table)
-//   --json=PATH   keep the console table, write JSON results to PATH
-// The `bench_all` CMake target uses the latter to aggregate every bench
-// binary's output into BENCH_results.json.
+//   --json          emit JSON results on stdout (instead of the console table)
+//   --json=PATH     keep the console table, write JSON results to PATH
+//   --metrics       dump the Prometheus text exposition of the process-wide
+//                   metrics registry on stderr after the run
+//   --metrics=PATH  write the registry's JSON snapshot (counters, gauges,
+//                   histogram quantiles) to PATH after the run
+// The `bench_all` CMake target uses `--json=PATH` to aggregate every bench
+// binary's output into BENCH_results.json; the CI metrics-smoke step greps
+// `--metrics` output for the required metric families.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +36,7 @@
 #include "pirte/pirte.hpp"
 #include "server/server.hpp"
 #include "sim/network.hpp"
+#include "support/metrics.hpp"
 
 namespace dacm::bench {
 
@@ -37,6 +44,8 @@ namespace dacm::bench {
 /// into the underlying benchmark reporter flags, then runs as usual.
 inline int BenchMain(int argc, char** argv) {
   std::vector<std::string> args;
+  bool metrics_text = false;
+  std::string metrics_json_path;
   args.reserve(static_cast<std::size_t>(argc) + 1);
   args.emplace_back(argc > 0 ? argv[0] : "bench");
   for (int i = 1; i < argc; ++i) {
@@ -46,6 +55,10 @@ inline int BenchMain(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       args.emplace_back("--benchmark_out=" + arg.substr(sizeof("--json=") - 1));
       args.emplace_back("--benchmark_out_format=json");
+    } else if (arg == "--metrics") {
+      metrics_text = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_json_path = arg.substr(sizeof("--metrics=") - 1);
     } else {
       args.emplace_back(arg);
     }
@@ -58,6 +71,24 @@ inline int BenchMain(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Registry dumps after the run, cumulative over every benchmark that
+  // executed.  Text goes to stderr so `--json` stdout stays parseable.
+  if (metrics_text) {
+    const std::string exposition = support::Metrics::Instance().TextExposition();
+    std::fwrite(exposition.data(), 1, exposition.size(), stderr);
+  }
+  if (!metrics_json_path.empty()) {
+    std::FILE* out = std::fopen(metrics_json_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write metrics snapshot to %s\n",
+                   metrics_json_path.c_str());
+      return 1;
+    }
+    const std::string json = support::Metrics::Instance().Json();
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+  }
   return 0;
 }
 

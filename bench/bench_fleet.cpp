@@ -57,6 +57,7 @@
 #include "server/journal.hpp"
 #include "sim/fault.hpp"
 #include "support/crc.hpp"
+#include "support/metrics.hpp"
 #include "support/storage.hpp"
 
 namespace dacm::bench {
@@ -100,8 +101,9 @@ struct FleetBench {
 
   FleetBench(std::size_t shards, std::size_t fleet_size,
              support::RecordSink* status_sink = nullptr,
-             std::size_t model_count = 1)
-      : server(network, "srv:443", server::ServerOptions{shards, status_sink}) {
+             std::size_t model_count = 1, std::size_t sync_every = 0)
+      : server(network, "srv:443",
+               server::ServerOptions{shards, status_sink, sync_every}) {
     (void)server.Start();
     fes::ScriptedFleetOptions options;
     options.vehicle_count = fleet_size;
@@ -149,15 +151,27 @@ struct FleetBench {
   }
 };
 
-void ReportLatencies(benchmark::State& state, std::vector<std::uint64_t>& ns) {
-  if (ns.empty()) return;
-  std::sort(ns.begin(), ns.end());
-  const std::size_t p99 = std::min(ns.size() - 1, (ns.size() * 99) / 100);
-  double sum = 0;
-  for (std::uint64_t v : ns) sum += static_cast<double>(v);
-  state.counters["vehicle_mean_us"] =
-      sum / static_cast<double>(ns.size()) / 1000.0;
-  state.counters["vehicle_p99_us"] = static_cast<double>(ns[p99]) / 1000.0;
+/// Quantile counters from a log2 histogram: `<prefix>_p50_<unit>` /
+/// `_p95_` / `_p99_` / `_max_`, each scaled by `scale` (e.g. 1e-3 for
+/// ns -> us).  Replaces the old sort-the-whole-vector p99: the histogram
+/// accumulates in O(1) per sample with no retained per-sample storage,
+/// so million-vehicle matrices report tails without the O(n log n) sort
+/// or the vector's memory.
+void ReportQuantiles(benchmark::State& state, const std::string& prefix,
+                     const std::string& unit, const support::Histogram& hist,
+                     double scale) {
+  if (hist.Count() == 0) return;
+  state.counters[prefix + "_p50_" + unit] = hist.Quantile(0.50) * scale;
+  state.counters[prefix + "_p95_" + unit] = hist.Quantile(0.95) * scale;
+  state.counters[prefix + "_p99_" + unit] = hist.Quantile(0.99) * scale;
+  state.counters[prefix + "_max_" + unit] =
+      static_cast<double>(hist.Max()) * scale;
+}
+
+void ReportLatencies(benchmark::State& state, const support::Histogram& ns) {
+  if (ns.Count() == 0) return;
+  state.counters["vehicle_mean_us"] = ns.Mean() / 1000.0;
+  ReportQuantiles(state, "vehicle", "us", ns, 1.0 / 1000.0);
 }
 
 // Campaign deploys/s: batched pushes over the worker pool, including the
@@ -166,7 +180,16 @@ void BM_FleetCampaign(benchmark::State& state) {
   const auto shards = static_cast<std::size_t>(state.range(0));
   const auto fleet_size = static_cast<std::size_t>(state.range(1));
   FleetBench bench(shards, fleet_size);
-  std::vector<std::uint64_t> all_ns;
+  support::Histogram vehicle_ns;
+  // Registry histograms fed by the instrumented pipeline; reset so the
+  // quantiles cover exactly this benchmark's iterations.
+  auto& metrics = support::Metrics::Instance();
+  support::Histogram& ack_flush_nanos =
+      metrics.GetHistogram("dacm_ack_flush_nanos");
+  support::Histogram& roundtrip_us =
+      metrics.GetHistogram("dacm_deploy_roundtrip_us");
+  ack_flush_nanos.Reset();
+  roundtrip_us.Reset();
   // Amdahl bookkeeping.  The campaign phase fans out over the shard pool;
   // the simulation phase splits into the truly serial part (event-loop
   // deliveries, vehicle handlers, ack routing on the simulation thread)
@@ -198,8 +221,7 @@ void BM_FleetCampaign(benchmark::State& state) {
       state.ResumeTiming();
       break;
     }
-    all_ns.insert(all_ns.end(), report->per_vehicle_ns.begin(),
-                  report->per_vehicle_ns.end());
+    for (std::uint64_t v : report->per_vehicle_ns) vehicle_ns.Observe(v);
     bench.UninstallAll();
     state.ResumeTiming();
   }
@@ -215,7 +237,11 @@ void BM_FleetCampaign(benchmark::State& state) {
         static_cast<double>(flush_ns) / total;
     state.counters["sim_phase_fraction"] = static_cast<double>(sim_ns) / total;
   }
-  ReportLatencies(state, all_ns);
+  ReportLatencies(state, vehicle_ns);
+  // Per-flush wall time of the parallel ack-inbox drain, and the
+  // push -> converged-ack round trip in sim time.
+  ReportQuantiles(state, "ack_flush", "us", ack_flush_nanos, 1.0 / 1000.0);
+  ReportQuantiles(state, "roundtrip", "ms", roundtrip_us, 1.0 / 1000.0);
 }
 
 // The same rollout with the crash-consistent persistence layer enabled:
@@ -230,10 +256,17 @@ void BM_FleetDurableCampaign(benchmark::State& state) {
   const auto fleet_size = static_cast<std::size_t>(state.range(1));
   support::MemorySink status_log;
   support::MemorySink journal_log;
-  FleetBench bench(shards, fleet_size, &status_log);
+  // Sync every 64 status frames: the power-loss durability cadence, and
+  // the sample source for the WAL fsync histogram (a MemorySink Sync is
+  // nearly free, so this prices the framing/locking around it, not disk).
+  FleetBench bench(shards, fleet_size, &status_log, /*model_count=*/1,
+                   /*sync_every=*/64);
   server::CampaignEngine engine(bench.simulator, bench.server);
   server::CampaignJournal journal(journal_log);
   engine.AttachJournal(&journal);
+  support::Histogram& fsync_nanos =
+      support::Metrics::Instance().GetHistogram("dacm_wal_fsync_nanos");
+  fsync_nanos.Reset();
   std::uint64_t wal_bytes = 0;
   for (auto _ : state) {
     auto id = engine.StartDeploy(bench.user, "campaign", bench.fleet->vins());
@@ -264,6 +297,7 @@ void BM_FleetDurableCampaign(benchmark::State& state) {
         static_cast<double>(state.iterations() *
                             static_cast<std::int64_t>(fleet_size));
   }
+  ReportQuantiles(state, "wal_fsync", "us", fsync_nanos, 1.0 / 1000.0);
 }
 
 // The classic interactive path: one Deploy per vehicle, one push per
@@ -398,7 +432,7 @@ void BM_FleetFaultCampaign(benchmark::State& state) {
   policy.abort_nack_fraction = 2.0;  // transients heal; never abort
 
   std::uint64_t waves = 0, pushes = 0, repushes = 0;
-  std::vector<std::uint64_t> tti_us;
+  support::Histogram tti_us;
   for (auto _ : state) {
     sim::FaultScenario faults(bench.simulator, bench.network, /*seed=*/0xFA417);
     if (churn > 0) {
@@ -434,8 +468,8 @@ void BM_FleetFaultCampaign(benchmark::State& state) {
     waves += snapshot.waves_pushed;
     pushes += snapshot.total_pushes;
     repushes += bench.server.stats().repushes - repushes_before;
-    const auto times = *engine.TimesToDone(*id);
-    tti_us.insert(tti_us.end(), times.begin(), times.end());
+    const auto times_to_done = engine.TimesToDone(*id);
+    for (std::uint64_t t : *times_to_done) tti_us.Observe(t);
     // Reset through a (untimed) rollback campaign — the uninstall-batch
     // path at fleet scale.
     auto rollback = engine.StartRollback(bench.user, "campaign",
@@ -468,11 +502,11 @@ void BM_FleetFaultCampaign(benchmark::State& state) {
       static_cast<double>(pushes) /
       (iterations * static_cast<double>(fleet_size));
   state.counters["repushes_per_iter"] = static_cast<double>(repushes) / iterations;
-  if (!tti_us.empty()) {
-    std::sort(tti_us.begin(), tti_us.end());
-    const std::size_t p99 = std::min(tti_us.size() - 1, (tti_us.size() * 99) / 100);
-    state.counters["p99_time_to_installed_ms"] =
-        static_cast<double>(tti_us[p99]) / 1000.0;  // sim-time, not wall
+  if (tti_us.Count() != 0) {
+    // Sim-time, not wall.  The p99 key predates the histogram rework and
+    // is kept verbatim for baseline comparability.
+    state.counters["p99_time_to_installed_ms"] = tti_us.Quantile(0.99) / 1000.0;
+    ReportQuantiles(state, "time_to_installed", "ms", tti_us, 1.0 / 1000.0);
   }
 }
 

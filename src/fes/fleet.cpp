@@ -2,6 +2,7 @@
 
 #include "pirte/package.hpp"
 #include "pirte/protocol.hpp"
+#include "support/metrics.hpp"
 
 namespace dacm::fes {
 
@@ -11,7 +12,9 @@ ScriptedFleet::ScriptedFleet(sim::Simulator& simulator, sim::Network& network,
     : simulator_(simulator),
       network_(network),
       server_(&server),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      time_to_install_us_(support::Metrics::Instance().GetHistogram(
+          "dacm_fleet_time_to_install_us")) {
   vins_.reserve(options_.vehicle_count);
   for (std::size_t i = 0; i < options_.vehicle_count; ++i) {
     vins_.push_back(options_.vin_prefix + std::to_string(i));
@@ -95,6 +98,11 @@ void ScriptedFleet::SetTransientNack(std::size_t index, sim::SimTime until) {
   nack_until_[index] = until;
 }
 
+void ScriptedFleet::MarkCampaignEpoch() {
+  observe_epoch_ = simulator_.Now();
+  observed_.assign(vins_.size(), 0);
+}
+
 std::size_t ScriptedFleet::RedialDead() {
   std::size_t redialed = 0;
   for (std::size_t i = 0; i < vins_.size(); ++i) {
@@ -148,6 +156,13 @@ void ScriptedFleet::OnMessage(std::size_t index,
     case pirte::MessageType::kUninstallBatch: {
       if (view->type == pirte::MessageType::kInstallBatch) {
         ++batches_received_;
+        // First install batch since MarkCampaignEpoch: the vehicle-side
+        // time-to-install sample (sim µs from epoch to wire delivery).
+        if (observe_epoch_ != 0 && index < observed_.size() &&
+            observed_[index] == 0) {
+          observed_[index] = 1;
+          time_to_install_us_.Observe(simulator_.Now() - observe_epoch_);
+        }
       } else {
         ++uninstall_batches_received_;
       }

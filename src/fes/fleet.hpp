@@ -29,6 +29,7 @@
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "support/metrics.hpp"
 
 namespace dacm::fes {
 
@@ -83,6 +84,16 @@ class ScriptedFleet : public sim::FleetFaultTarget {
 
   bool online(std::size_t index) const;
 
+  /// Starts a time-to-install observation window: each endpoint's *first*
+  /// install batch delivered after this call observes
+  /// `now - epoch` (µs of sim time) into the
+  /// `dacm_fleet_time_to_install_us` histogram.  Call right before
+  /// DeployCampaign / StartCampaign; call again to re-arm for the next
+  /// campaign.  Vehicle-side view of deploy latency: it includes wave
+  /// scheduling and retry delay, which the server's push→ack round-trip
+  /// histogram does not.
+  void MarkCampaignEpoch();
+
   const std::vector<std::string>& vins() const { return vins_; }
   std::uint64_t batches_received() const { return batches_received_; }
   std::uint64_t uninstall_batches_received() const {
@@ -120,6 +131,16 @@ class ScriptedFleet : public sim::FleetFaultTarget {
   std::vector<std::uint8_t> online_;
   std::vector<sim::SimTime> nack_until_;
   std::vector<std::uint8_t> redials_left_;
+  /// Time-to-install window (MarkCampaignEpoch): the epoch sim time, and
+  /// a per-endpoint "already observed this window" flag.  0 = no window
+  /// armed.  Message delivery runs on the sim thread, so plain columns
+  /// suffice.
+  sim::SimTime observe_epoch_ = 0;
+  std::vector<std::uint8_t> observed_;
+  /// Bound at construction so the family is registered (and therefore
+  /// exposed, with count 0) even before the first observation window —
+  /// the metrics-smoke gate requires its presence in any fleet run.
+  support::Histogram& time_to_install_us_;
   /// Per-batch verdict scratch, reused across messages (views into the
   /// delivered buffer; valid only inside OnMessage).
   std::vector<pirte::BatchAckEntryView> verdict_scratch_;

@@ -4,7 +4,9 @@
 
 #include "server/journal.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/sink.hpp"
+#include "support/trace.hpp"
 
 namespace dacm::server {
 
@@ -109,6 +111,14 @@ support::Result<CampaignId> CampaignEngine::Start(
           << "journal start write failed: " << logged.ToString();
     }
   }
+  support::Metrics::Instance()
+      .GetCounter("dacm_campaigns_started_total")
+      .Inc();
+  support::Tracer::Instance().Instant(
+      0, "campaign.start", "campaign", simulator_.Now(),
+      {"campaign", campaigns_.back()->id.value()},
+      {"fleet", static_cast<std::uint64_t>(vins.size())}, {}, "app",
+      campaigns_.back()->app_name);
   ScheduleTick(index, simulator_.Now());
   return id;
 }
@@ -361,6 +371,23 @@ void CampaignEngine::Finish(Campaign& campaign, CampaignStatus status) {
   }
   campaign.status = status;
   campaign.finished_at = simulator_.Now();
+  // One whole-campaign span (the flight recorder's top-level track) plus
+  // the terminal instant; ts/dur are sim time, status is the enum value.
+  auto& tracer = support::Tracer::Instance();
+  tracer.Span(0, "campaign.run", "campaign", campaign.started_at,
+              campaign.finished_at - campaign.started_at,
+              {"campaign", campaign.id.value()},
+              {"waves", campaign.waves_pushed},
+              {"pushes", campaign.total_pushes});
+  tracer.Instant(0, "campaign.finish", "campaign", campaign.finished_at,
+                 {"campaign", campaign.id.value()},
+                 {"status", static_cast<std::uint64_t>(status)}, {}, "outcome",
+                 CampaignStatusName(status));
+  support::Metrics::Instance()
+      .GetCounter(status == CampaignStatus::kConverged
+                      ? "dacm_campaigns_converged_total"
+                      : "dacm_campaigns_failed_total")
+      .Inc();
   DACM_LOG_INFO("campaign") << "campaign " << campaign.id << " finished "
                             << CampaignStatusName(status) << " after "
                             << campaign.waves_pushed << " wave(s), "
@@ -417,6 +444,21 @@ void CampaignEngine::PushWave(Campaign& campaign,
                             << campaign.waves_pushed << ": pushed=" << pushed
                             << " offline=" << offline << " rejected=" << rejected
                             << " already-done=" << done;
+  // PushWave runs on the sim thread, so lane 0 owns the wave timeline.
+  // Three args is the event's capacity: rejected/done ride in a second
+  // instant only when they are non-zero (the common case emits one event).
+  auto& tracer = support::Tracer::Instance();
+  tracer.Instant(0, "campaign.wave", "campaign", simulator_.Now(),
+                 {"wave", campaign.waves_pushed}, {"pushed", pushed},
+                 {"offline", offline});
+  if (rejected != 0 || done != 0) {
+    tracer.Instant(0, "campaign.wave.skips", "campaign", simulator_.Now(),
+                   {"wave", campaign.waves_pushed}, {"rejected", rejected},
+                   {"already_done", done});
+  }
+  support::Metrics::Instance()
+      .GetCounter("dacm_campaign_waves_total")
+      .Inc();
 }
 
 void CampaignEngine::CommitTick(Campaign& campaign) {

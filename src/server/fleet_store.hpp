@@ -49,6 +49,10 @@ class FleetStore {
     InstallState state = InstallState::kPending;
     std::uint64_t acked = 0;
     std::uint64_t ack_ok = 0;
+    /// Sim time of the most recent wire push for this row (0 = never
+    /// pushed).  Feeds the push→ack round-trip histogram and the
+    /// per-vehicle deploy.roundtrip trace span on convergence.
+    sim::SimTime pushed_at = 0;
     std::shared_ptr<const BatchManifest> manifest;
     std::shared_ptr<const BatchPayload> payload;
   };

@@ -7,12 +7,68 @@
 
 #include "pirte/package.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/sink.hpp"
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 
 namespace dacm::server {
 
 namespace {
+
+/// Registry references bound once (the lookup mutex is paid here only);
+/// hot-path observations are relaxed atomics on these.
+struct ServerMetrics {
+  support::Counter& packages_pushed;
+  support::Counter& acks_received;
+  support::Counter& nacks_received;
+  support::Counter& deploys_ok;
+  support::Counter& deploys_rejected;
+  support::Counter& uninstalls;
+  support::Counter& restores;
+  support::Counter& repushes;
+  support::Counter& rollback_pushes;
+  support::Counter& connections_reaped;
+  support::Counter& status_write_retries;
+  support::Counter& status_writes_lost;
+  support::Counter& compactions;
+  support::Gauge& durability_degraded;
+  /// Sim-time push→converged-ack round trip per install row (µs).
+  support::Histogram& deploy_roundtrip_us;
+  /// Wall time of each parallel ack-inbox drain (ns) — real time, so
+  /// histogram-only, never traced.
+  support::Histogram& ack_flush_nanos;
+  /// Encoded status-record sizes written ahead of row transitions.
+  support::Histogram& wal_append_bytes;
+  /// Worker-side wall time per vehicle in DeployCampaign (checks,
+  /// context generation, package assembly, push staging).
+  support::Histogram& deploy_push_nanos;
+
+  static ServerMetrics& Get() {
+    auto& registry = support::Metrics::Instance();
+    static ServerMetrics metrics{
+        registry.GetCounter("dacm_server_packages_pushed_total"),
+        registry.GetCounter("dacm_server_acks_received_total"),
+        registry.GetCounter("dacm_server_nacks_received_total"),
+        registry.GetCounter("dacm_server_deploys_ok_total"),
+        registry.GetCounter("dacm_server_deploys_rejected_total"),
+        registry.GetCounter("dacm_server_uninstalls_total"),
+        registry.GetCounter("dacm_server_restores_total"),
+        registry.GetCounter("dacm_server_repushes_total"),
+        registry.GetCounter("dacm_server_rollback_pushes_total"),
+        registry.GetCounter("dacm_server_connections_reaped_total"),
+        registry.GetCounter("dacm_server_status_write_retries_total"),
+        registry.GetCounter("dacm_server_status_writes_lost_total"),
+        registry.GetCounter("dacm_server_compactions_total"),
+        registry.GetGauge("dacm_server_durability_degraded"),
+        registry.GetHistogram("dacm_deploy_roundtrip_us"),
+        registry.GetHistogram("dacm_ack_flush_nanos"),
+        registry.GetHistogram("dacm_wal_append_bytes"),
+        registry.GetHistogram("dacm_deploy_push_nanos"),
+    };
+    return metrics;
+  }
+};
 
 /// FNV-1a; stable across platforms so shard placement (and with it the
 /// deterministic drain order of a campaign) never depends on the standard
@@ -372,6 +428,11 @@ support::Status TrustedServer::DeployOnShard(Shard& shard, UserId user,
       if (!push.ok()) return rollback(push);
     }
   }
+  // Sim time of the wire push: the convergence path turns this into the
+  // push→ack round-trip histogram and trace span.  Safe off-thread: the
+  // simulation clock is frozen while workers run (the sim thread is
+  // blocked at the pool barrier).
+  row.pushed_at = network_.simulator().Now();
   ++shard.stats.deploys_ok;
   DACM_LOG_INFO("server") << "deploy " << app.name << " -> " << vin << " ("
                           << batch.manifest->plugins.size() << " plug-ins"
@@ -432,15 +493,18 @@ support::Result<CampaignReport> TrustedServer::DeployCampaign(
 
   CampaignReport report;
   report.per_vehicle_ns.reserve(vins.size());
+  ServerMetrics& metrics = ServerMetrics::Get();
   for (ShardOutcome& outcome : outcomes) {
     report.rejected += outcome.failures.size();
     for (auto& failure : outcome.failures) {
       report.failures.push_back(std::move(failure));
     }
+    for (std::uint64_t ns : outcome.ns) metrics.deploy_push_nanos.Observe(ns);
     report.per_vehicle_ns.insert(report.per_vehicle_ns.end(), outcome.ns.begin(),
                                  outcome.ns.end());
   }
   report.deployed = vins.size() - report.rejected;
+  FoldStatsToMetrics();
   return report;
 }
 
@@ -535,6 +599,7 @@ WaveOutcome TrustedServer::WavePushOnShard(Shard& shard, UserId user,
       WriteStatus(vin, row, WantFor(previous), DbStateFor(previous));
       return ClassifyPush(std::move(push));
     }
+    row.pushed_at = network_.simulator().Now();
     ++shard.stats.rollback_pushes;
     return WaveOutcome{WaveOutcome::Action::kPushed, {}};
   }
@@ -583,6 +648,7 @@ support::Status TrustedServer::RepushInstallBatch(Shard& shard,
   DACM_RETURN_IF_ERROR(PushWireToVehicle(shard, vehicle,
                                          shard.store.VinOf(vehicle),
                                          row.payload->install_wire));
+  row.pushed_at = network_.simulator().Now();
   ++shard.stats.repushes;
   return support::OkStatus();
 }
@@ -823,6 +889,25 @@ ServerStats TrustedServer::stats() const {
   return total;
 }
 
+void TrustedServer::FoldStatsToMetrics() const {
+  const ServerStats total = stats();
+  ServerMetrics& metrics = ServerMetrics::Get();
+  metrics.packages_pushed.Set(total.packages_pushed);
+  metrics.acks_received.Set(total.acks_received);
+  metrics.nacks_received.Set(total.nacks_received);
+  metrics.deploys_ok.Set(total.deploys_ok);
+  metrics.deploys_rejected.Set(total.deploys_rejected);
+  metrics.uninstalls.Set(total.uninstalls);
+  metrics.restores.Set(total.restores);
+  metrics.repushes.Set(total.repushes);
+  metrics.rollback_pushes.Set(total.rollback_pushes);
+  metrics.connections_reaped.Set(total.connections_reaped);
+  metrics.status_write_retries.Set(total.status_write_retries);
+  metrics.status_writes_lost.Set(total.status_writes_lost);
+  metrics.compactions.Set(total.compactions);
+  metrics.durability_degraded.Set(total.durability_degraded ? 1 : 0);
+}
+
 // --- internals ---------------------------------------------------------------------------
 
 support::Status TrustedServer::CheckOwnership(UserId user, UserId owner,
@@ -865,8 +950,17 @@ void TrustedServer::WriteStatus(std::string_view vin,
                                 const FleetStore::InstallRow& row, Want want,
                                 DbState state) {
   if (status_db_ == nullptr) return;
-  (void)AppendDurable(
-      StatusDb::EncodeParagraph(ParagraphFor(vin, row, want, state)));
+  const auto record =
+      StatusDb::EncodeParagraph(ParagraphFor(vin, row, want, state));
+  (void)AppendDurable(record);
+  // Lane = the VIN's shard: status writes for a VIN always run on the
+  // worker owning that shard (or on the sim thread while no fan-out is
+  // active), so the single-writer-per-lane rule holds.
+  support::Tracer::Instance().Instant(
+      static_cast<std::uint32_t>(ShardIndex(vin)) + 1, "wal.append", "wal",
+      network_.simulator().Now(),
+      {"bytes", static_cast<std::uint64_t>(record.size())}, {}, {}, "vin",
+      vin);
 }
 
 void TrustedServer::WriteStatusRemoved(std::string_view vin,
@@ -879,12 +973,19 @@ void TrustedServer::WriteStatusRemoved(std::string_view vin,
   paragraph.version = version;
   paragraph.want = want;
   paragraph.state = DbState::kNotInstalled;
-  (void)AppendDurable(StatusDb::EncodeParagraph(paragraph));
+  const auto record = StatusDb::EncodeParagraph(paragraph);
+  (void)AppendDurable(record);
+  support::Tracer::Instance().Instant(
+      static_cast<std::uint32_t>(ShardIndex(vin)) + 1, "wal.append", "wal",
+      network_.simulator().Now(),
+      {"bytes", static_cast<std::uint64_t>(record.size())}, {}, {}, "vin",
+      vin);
 }
 
 support::Status TrustedServer::AppendDurable(
     std::span<const std::uint8_t> payload) {
   if (status_db_ == nullptr) return support::OkStatus();
+  ServerMetrics::Get().wal_append_bytes.Observe(payload.size());
   if (durability_degraded_.load(std::memory_order_relaxed)) {
     // Already degraded: one attempt, no retry storm on a dead sink.
     auto status = status_db_->AppendRaw(payload);
@@ -928,10 +1029,12 @@ support::Status TrustedServer::RecoverInstallDb(
       }
     }
   }
+  const sim::SimTime replay_started_at = network_.simulator().Now();
   DACM_ASSIGN_OR_RETURN(StatusImage replayed, StatusDb::ReplayImage(image));
   if (!replayed.catalog.empty()) {
     DACM_RETURN_IF_ERROR(RestoreCatalogLocked(replayed.catalog));
   }
+  std::uint64_t rows_created = 0;
   for (StatusParagraph& paragraph : replayed.paragraphs) {
     Shard& shard = ShardFor(paragraph.vin);
     const std::uint32_t vehicle = shard.store.Find(paragraph.vin);
@@ -989,7 +1092,18 @@ support::Status TrustedServer::RecoverInstallDb(
     const std::uint64_t full = FullMask(paragraph.plugins.size());
     row.acked = acked ? full : 0;
     row.ack_ok = ack_ok ? full : 0;
+    ++rows_created;
   }
+  // Replay is instantaneous in sim time, so the span's duration is 0 —
+  // what matters for trace diffing is its position and record counts.
+  support::Tracer::Instance().Span(
+      0, "recovery.replay", "server", replay_started_at,
+      network_.simulator().Now() - replay_started_at,
+      {"paragraphs", static_cast<std::uint64_t>(replayed.paragraphs.size())},
+      {"rows", rows_created},
+      {"catalog_bindings",
+       static_cast<std::uint64_t>(replayed.catalog.bindings.size())});
+  FoldStatsToMetrics();
   return support::OkStatus();
 }
 
@@ -1097,6 +1211,10 @@ support::Status TrustedServer::Compact() {
   // only the compaction deferred — so it does not degrade the server.
   DACM_RETURN_IF_ERROR(status_db_->Rotate(checkpoint.image()));
   ++compactions_;
+  support::Tracer::Instance().Instant(
+      0, "wal.rotate", "wal", network_.simulator().Now(),
+      {"records", checkpoint.records()},
+      {"bytes", checkpoint.image_bytes()});
   DACM_LOG_INFO("server") << "status log compacted: " << checkpoint.records()
                           << " records, " << checkpoint.image_bytes()
                           << " bytes";
@@ -1282,14 +1400,11 @@ void TrustedServer::ScheduleAckFlush() {
 }
 
 void TrustedServer::FlushAckInboxes() {
-  bool any = false;
+  std::size_t staged_acks = 0;
   for (const Shard& shard : shards_) {
-    if (!shard.ack_inbox.empty()) {
-      any = true;
-      break;
-    }
+    staged_acks += shard.ack_inbox.size();
   }
-  if (!any) return;
+  if (staged_acks == 0) return;
 
   const auto flush_start = std::chrono::steady_clock::now();
   pool_.ParallelFor(shards_.size(), [this](std::size_t index) {
@@ -1299,10 +1414,20 @@ void TrustedServer::FlushAckInboxes() {
     }
     shard.ack_inbox.clear();
   });
-  flush_ns_ += static_cast<std::uint64_t>(
+  const std::uint64_t flush_wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - flush_start)
           .count());
+  flush_ns_ += flush_wall_ns;
+  // Wall time is histogram-only; the trace event carries the (sim-time,
+  // deterministic) barrier position and staged-ack count.
+  ServerMetrics::Get().ack_flush_nanos.Observe(flush_wall_ns);
+  support::Tracer::Instance().Instant(
+      0, "ack.flush", "server", network_.simulator().Now(),
+      {"acks", static_cast<std::uint64_t>(staged_acks)});
+  // The barrier also publishes every shard's plain stats fields, making
+  // this the natural fold point into the process metrics registry.
+  FoldStatsToMetrics();
 
   // The checkpoint watermark is checked here — after the barrier, with
   // every worker done and the just-applied acks included — the one
@@ -1493,6 +1618,17 @@ void TrustedServer::ApplyAck(Shard& shard, std::uint32_t vehicle,
           // last pending row does this, the cache's weak reference
           // expires and the batch's package bytes are freed fleet-wide.
           row.payload = nullptr;
+          // Push→ack round trip, both ends sim-time.  pushed_at == 0
+          // means a recovered row acked without a live re-push; there is
+          // no round trip to attribute.
+          if (row.pushed_at != 0) {
+            const sim::SimTime now = network_.simulator().Now();
+            ServerMetrics::Get().deploy_roundtrip_us.Observe(now -
+                                                             row.pushed_at);
+            support::Tracer::Instance().Span(
+                TraceLane(shard), "deploy.roundtrip", "server", row.pushed_at,
+                now - row.pushed_at, {}, {}, {}, "vin", store.VinOf(vehicle));
+          }
           if (support::Log::Enabled(support::LogLevel::kInfo)) {
             std::string text =
                 "app " + row.manifest->app_name + " fully acknowledged on ";

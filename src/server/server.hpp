@@ -344,6 +344,20 @@ class TrustedServer {
   Shard& ShardFor(std::string_view vin);
   const Shard& ShardFor(std::string_view vin) const;
 
+  /// Trace lane owned by whichever thread currently works `shard`: lane
+  /// (shard index + 1); lane 0 belongs to the simulation thread.  Inside
+  /// a ParallelFor each shard index is held by exactly one worker, and the
+  /// pool barrier orders successive phases, so every lane has one writer.
+  std::uint32_t TraceLane(const Shard& shard) const {
+    return static_cast<std::uint32_t>(&shard - shards_.data()) + 1;
+  }
+
+  /// Snapshots the aggregated ServerStats into the process metrics
+  /// registry.  Called at the ack-flush barrier (workers quiesced by the
+  /// pool handshake) and after campaign fan-outs — the per-shard counters
+  /// stay plain fields on the hot path; only the fold touches atomics.
+  void FoldStatsToMetrics() const;
+
   support::Status CheckOwnership(UserId user, UserId owner,
                                  std::string_view vin) const;
   support::Result<const VehicleModelConf*> ModelConf(const std::string& model) const;

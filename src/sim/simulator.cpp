@@ -2,7 +2,39 @@
 
 #include <cassert>
 
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
 namespace dacm::sim {
+namespace {
+
+// Bound once; the event loop folds locally-counted events in with one
+// relaxed add per Run/RunUntil return, never per event.
+support::Counter& EventsCounter() {
+  static support::Counter& counter =
+      support::Metrics::Instance().GetCounter("dacm_sim_events_total");
+  return counter;
+}
+
+support::Counter& DrainPassCounter() {
+  static support::Counter& counter =
+      support::Metrics::Instance().GetCounter("dacm_sim_drain_passes_total");
+  return counter;
+}
+
+// One coarse span per kernel entry: [Now() at entry, Now() at return],
+// args = events fired.  Every value is sim-derived, so seeded runs trace
+// byte-identically; these are the merge-barrier tracks the parallel-lanes
+// roadmap item will extend.
+void TraceRun(const char* name, SimTime start, SimTime end,
+              std::size_t events) {
+  auto& tracer = support::Tracer::Instance();
+  if (!tracer.enabled() || events == 0) return;
+  tracer.Span(0, name, "sim", start, end - start,
+              {"events", static_cast<std::uint64_t>(events)});
+}
+
+}  // namespace
 
 void Simulator::ScheduleAt(SimTime at, Callback fn) {
   assert(fn);
@@ -56,6 +88,7 @@ void Simulator::RemoveDrainHook(std::uint64_t handle) {
 void Simulator::DrainStaged() {
   const bool outermost = !draining_;
   draining_ = true;
+  drain_passes_since_fold_ += outermost ? 1 : 0;
   // drain_hooks_ cannot grow or shrink during the pass (additions are
   // deferred, removals tombstoned), so the closures stay put while they
   // execute.
@@ -84,6 +117,7 @@ void Simulator::DrainStaged() {
 
 std::size_t Simulator::Run(std::size_t limit) {
   std::size_t processed = 0;
+  const SimTime started_at = now_;
   DrainStaged();
   SimTime at = 0;
   Callback fn;
@@ -99,11 +133,22 @@ std::size_t Simulator::Run(std::size_t limit) {
     fn = Callback();  // release captures before the next event fires
     ++processed;
   }
+  FoldMetrics(processed);
+  TraceRun("sim.run", started_at, now_, processed);
   return processed;
+}
+
+void Simulator::FoldMetrics(std::size_t processed) {
+  if (processed != 0) EventsCounter().Inc(processed);
+  if (drain_passes_since_fold_ != 0) {
+    DrainPassCounter().Inc(drain_passes_since_fold_);
+    drain_passes_since_fold_ = 0;
+  }
 }
 
 std::size_t Simulator::RunUntil(SimTime until) {
   std::size_t processed = 0;
+  const SimTime started_at = now_;
   DrainStaged();
   SimTime at = 0;
   Callback fn;
@@ -121,6 +166,8 @@ std::size_t Simulator::RunUntil(SimTime until) {
   // Nothing remains at or before `until` (checked just above), so the
   // wheel cursor can follow Now().
   queue_.SyncCursor(until);
+  FoldMetrics(processed);
+  TraceRun("sim.run", started_at, now_, processed);
   return processed;
 }
 

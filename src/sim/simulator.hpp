@@ -83,6 +83,11 @@ class Simulator {
   void DrainStaged();
 
  private:
+  /// Folds locally-counted events and drain passes into the process
+  /// metrics registry — called once per Run/RunUntil return so the event
+  /// loop itself never touches an atomic per event.
+  void FoldMetrics(std::size_t processed);
+
   struct DrainHook {
     std::uint64_t handle;
     Callback fn;
@@ -108,6 +113,8 @@ class Simulator {
   std::unordered_map<std::uint64_t, std::size_t> drain_hook_index_;
   bool draining_ = false;
   bool drain_hooks_tombstoned_ = false;
+  /// Outermost drain passes since the last FoldMetrics (see above).
+  std::uint64_t drain_passes_since_fold_ = 0;
 };
 
 }  // namespace dacm::sim

@@ -7,9 +7,9 @@
 namespace dacm::support {
 namespace {
 
-// Deploy workers log too, so the level is atomic and the sink call is
-// serialized — a capturing test sink must not see interleaved writes.
-std::atomic<LogLevel> g_level{LogLevel::kOff};
+// Deploy workers log too (the level lives in the header as an inline
+// atomic so Enabled() is one relaxed load); the sink call is serialized —
+// a capturing test sink must not see interleaved writes.
 std::mutex g_sink_mutex;
 Log::Sink g_sink;
 
@@ -26,9 +26,6 @@ const char* LevelName(LogLevel level) {
 }
 
 }  // namespace
-
-LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
-void Log::SetLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 void Log::SetSink(Sink sink) {
   std::lock_guard<std::mutex> lock(g_sink_mutex);

@@ -4,6 +4,7 @@
 // examples can raise the level or install a capturing sink.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -13,6 +14,13 @@ namespace dacm::support {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
+namespace log_detail {
+// Inline so Enabled() compiles down to a single relaxed load at every
+// DACM_LOG site — deploy workers hit disabled sites in their hot loops,
+// and an out-of-line accessor call there is pure overhead.
+inline std::atomic<LogLevel> g_level{LogLevel::kOff};
+}  // namespace log_detail
+
 /// Global log configuration (process-wide).  Write() is thread-safe —
 /// deploy workers log too — and sink invocations are serialized.
 class Log {
@@ -20,8 +28,12 @@ class Log {
   using Sink = std::function<void(LogLevel, std::string_view component,
                                   std::string_view message)>;
 
-  static LogLevel level();
-  static void SetLevel(LogLevel level);
+  static LogLevel level() {
+    return log_detail::g_level.load(std::memory_order_relaxed);
+  }
+  static void SetLevel(LogLevel level) {
+    log_detail::g_level.store(level, std::memory_order_relaxed);
+  }
 
   /// Replaces the sink (default writes to stderr).  Pass nullptr to restore.
   static void SetSink(Sink sink);

@@ -1,0 +1,220 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <mutex>
+
+namespace dacm::support {
+namespace {
+
+void AppendU64(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  out.append(buffer, static_cast<std::size_t>(result.ptr - buffer));
+}
+
+void AppendI64(std::string& out, std::int64_t value) {
+  char buffer[24];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  out.append(buffer, static_cast<std::size_t>(result.ptr - buffer));
+}
+
+// Shortest round-trip representation (std::to_chars), so exports are
+// byte-stable across runs for identical values.
+void AppendDouble(std::string& out, double value) {
+  char buffer[40];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  out.append(buffer, static_cast<std::size_t>(result.ptr - buffer));
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  Anything else
+// (dots, dashes from caller-composed names) folds to '_'.
+std::string Sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out += (alpha || (digit && i > 0)) ? c : '_';
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+}  // namespace
+
+double Histogram::Quantile(double q) const {
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = std::max(1.0, q * static_cast<double>(total));
+  const double observed_max = static_cast<double>(Max());
+  double cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target) {
+      const double lo =
+          i == 0 ? 0.0
+                 : static_cast<double>(std::uint64_t{1} << (i - 1));
+      const double hi = static_cast<double>(BucketUpperBound(i));
+      const double position =
+          (target - cumulative) / static_cast<double>(counts[i]);
+      return std::min(lo + position * (hi - lo), observed_max);
+    }
+    cumulative = next;
+  }
+  return observed_max;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// std::map nodes never move, so the references Get* hands out stay valid
+// for the process lifetime, and iteration is already name-sorted for the
+// deterministic exports.
+struct Metrics::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, Histogram, std::less<>> histograms;
+};
+
+Metrics& Metrics::Instance() {
+  static Metrics instance;
+  return instance;
+}
+
+Metrics::Impl& Metrics::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Metrics::GetCounter(std::string_view name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.counters.try_emplace(Sanitize(name)).first->second;
+}
+
+Gauge& Metrics::GetGauge(std::string_view name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.gauges.try_emplace(Sanitize(name)).first->second;
+}
+
+Histogram& Metrics::GetHistogram(std::string_view name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.histograms.try_emplace(Sanitize(name)).first->second;
+}
+
+void Metrics::WriteExposition(std::string& out) const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& [name, counter] : state.counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name;
+    out += ' ';
+    AppendU64(out, counter.Value());
+    out += '\n';
+  }
+  for (const auto& [name, gauge] : state.gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name;
+    out += ' ';
+    AppendI64(out, gauge.Value());
+    out += '\n';
+  }
+  for (const auto& [name, histogram] : state.histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t in_bucket = histogram.BucketCount(i);
+      if (in_bucket == 0) continue;  // elide empty buckets, keep cumulatives
+      cumulative += in_bucket;
+      out += name;
+      out += "_bucket{le=\"";
+      AppendU64(out, Histogram::BucketUpperBound(i));
+      out += "\"} ";
+      AppendU64(out, cumulative);
+      out += '\n';
+    }
+    out += name;
+    out += "_bucket{le=\"+Inf\"} ";
+    AppendU64(out, histogram.Count());
+    out += '\n';
+    out += name;
+    out += "_sum ";
+    AppendU64(out, histogram.Sum());
+    out += '\n';
+    out += name;
+    out += "_count ";
+    AppendU64(out, histogram.Count());
+    out += '\n';
+  }
+}
+
+void Metrics::WriteJson(std::string& out) const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : state.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":";
+    AppendU64(out, counter.Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : state.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":";
+    AppendI64(out, gauge.Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : state.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":{\"count\":";
+    AppendU64(out, histogram.Count());
+    out += ",\"sum\":";
+    AppendU64(out, histogram.Sum());
+    out += ",\"max\":";
+    AppendU64(out, histogram.Max());
+    out += ",\"mean\":";
+    AppendDouble(out, histogram.Mean());
+    out += ",\"p50\":";
+    AppendDouble(out, histogram.Quantile(0.50));
+    out += ",\"p95\":";
+    AppendDouble(out, histogram.Quantile(0.95));
+    out += ",\"p99\":";
+    AppendDouble(out, histogram.Quantile(0.99));
+    out += '}';
+  }
+  out += "}}";
+}
+
+void Metrics::ResetAll() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& [name, counter] : state.counters) counter.Reset();
+  for (auto& [name, gauge] : state.gauges) gauge.Reset();
+  for (auto& [name, histogram] : state.histograms) histogram.Reset();
+}
+
+}  // namespace dacm::support

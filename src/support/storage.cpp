@@ -1,5 +1,6 @@
 #include "support/storage.hpp"
 
+#include <chrono>
 #include <cstring>
 
 #ifndef _WIN32
@@ -7,6 +8,7 @@
 #endif
 
 #include "support/crc.hpp"
+#include "support/metrics.hpp"
 
 namespace dacm::support {
 namespace {
@@ -189,7 +191,17 @@ Status RecordWriter::Append(std::span<const std::uint8_t> payload) {
   if (sync_every_n_frames_ != 0 &&
       ++frames_since_sync_ >= sync_every_n_frames_) {
     frames_since_sync_ = 0;
-    return sink_.Sync();
+    // Wall-clock only and histogram-only: fsync latency is real time, so
+    // it must never leak into the deterministic trace stream.
+    static Histogram& fsync_nanos =
+        Metrics::Instance().GetHistogram("dacm_wal_fsync_nanos");
+    const auto started = std::chrono::steady_clock::now();
+    const Status synced = sink_.Sync();
+    fsync_nanos.Observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count()));
+    return synced;
   }
   return OkStatus();
 }

@@ -57,6 +57,24 @@ KEY_METRICS = [
      "bytes_per_second", "recovery replay bytes/s (1k fleet, raw log)"),
     ("bench_fleet", "BM_RecoveryReplay/fleet:1000/checkpoint:1/real_time",
      "time_to_serviceable_ms", "time-to-serviceable ms (1k, checkpointed)"),
+    # Tail latencies from the log2 histograms (the telemetry PR): the
+    # sim-time push->ack round trip and vehicle deploy p99 at the tracked
+    # shape, the wall-time parallel ack-flush and WAL-fsync p99, and the
+    # faulted convergence tail.  The sim-time ones are deterministic, so
+    # any drift is a real pipeline change, not runner noise.
+    ("bench_fleet", "BM_FleetCampaign/shards:1/fleet:1000/real_time",
+     "vehicle_p99_us", "per-vehicle deploy p99 µs (1 shard, 1k)"),
+    ("bench_fleet", "BM_FleetCampaign/shards:1/fleet:1000/real_time",
+     "roundtrip_p99_ms", "push->ack round-trip p99 sim-ms (1 shard, 1k)"),
+    ("bench_fleet", "BM_FleetCampaign/shards:4/fleet:1000/real_time",
+     "ack_flush_p99_us", "parallel ack-flush p99 µs (4 shards, 1k)"),
+    ("bench_fleet", "BM_FleetDurableCampaign/shards:1/fleet:1000/real_time",
+     "wal_fsync_p99_us", "WAL fsync p99 µs (1 shard, 1k, sync=64)"),
+    ("bench_fleet",
+     "BM_FleetFaultCampaign/shards:4/fleet:1000/churn_pct:20/flaps:2/"
+     "nack_pct:10/real_time",
+     "time_to_installed_p99_ms",
+     "faulted time-to-installed p99 sim-ms (full matrix)"),
     ("bench_sim", "BM_WheelScheduleFire/1024",
      "items_per_second", "event schedule+fire/s (wheel)"),
     ("bench_sim", "BM_WheelStorm/4096",
@@ -125,11 +143,12 @@ def main():
             print(f"{label:<46} {'—':>12} {'—':>12}   (field {field} unusable)")
             continue
         delta = (cur - base) / base
-        # Fractions, per-vehicle footprints, restart latencies and
-        # log-size ratios are better when *lower*; throughputs when higher.
+        # Fractions, per-vehicle footprints, restart latencies, log-size
+        # ratios and the histogram latency quantiles (*_us / *_ms) are
+        # better when *lower*; throughputs when higher.
         lower_is_better = field in ("serial_sim_fraction", "bytes_per_vehicle",
-                                    "time_to_serviceable_ms",
-                                    "log_to_live_ratio")
+                                    "log_to_live_ratio") \
+            or field.endswith(("_us", "_ms"))
         worse = delta > args.tolerance if lower_is_better \
             else delta < -args.tolerance
         marker = "  <-- regressed" if worse else ""
