@@ -15,15 +15,26 @@
 //   * BM_StagedSendDrain — off-thread Send()s staged into the pooled FIFO
 //     and folded in at the drain barrier: the worker->simulator handoff
 //     rate that bounds how fast sharded campaign pushes can be absorbed.
+//   * BM_LaneWindowedFire — the parallel-lane engine (PR 10): a
+//     self-rescheduling load spread over N lanes executed in conservative
+//     time windows with merge barriers.  The lanes=1 row is the serial
+//     engine; the delta against it is the pure lane-machinery overhead
+//     (on a single-CPU runner, its upper bound).  `--lanes=1,2,4` replaces
+//     the lane axis.
 //
 // The acceptance bar for the PR: >= 2x schedule+fire throughput for the
 // wheel rows over their legacy twins on the CI-class runner.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -228,7 +239,96 @@ void BM_StagedSendDrain(benchmark::State& state) {
 }
 BENCHMARK(BM_StagedSendDrain)->Arg(4096)->UseRealTime();
 
+// The lane engine under a lane-local load: `batch` seed events spread
+// round-robin over the lanes, each chaining three intra-lane
+// reschedules.  A 1 ms lookahead bounds the conservative windows, so a
+// run executes thousands of window/barrier cycles — the measured rate
+// prices window composition, parallel lane execution and the merge
+// barrier, on top of the same wheel operations the serial rows measure.
+void BM_LaneWindowedFire(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  sim::Simulator simulator;
+  if (lanes > 1) {
+    sim::LaneOptions options;
+    options.lanes = lanes;
+    options.lookahead = sim::kMillisecond;
+    simulator.ConfigureLanes(options);
+  }
+  DelayStream delays;
+  std::atomic<std::uint64_t> fired{0};  // lanes fire concurrently
+  struct Hop {
+    sim::Simulator* simulator;
+    std::atomic<std::uint64_t>* fired;
+    int hops;
+    void operator()() const {
+      fired->fetch_add(1, std::memory_order_relaxed);
+      if (hops > 0) {
+        simulator->ScheduleAfter(sim::kMillisecond,
+                                 Hop{simulator, fired, hops - 1});
+      }
+    }
+  };
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      simulator.ScheduleAtLane(static_cast<std::uint32_t>(i % lanes),
+                               simulator.Now() + delays.Next(),
+                               Hop{&simulator, &fired, 3});
+    }
+    simulator.Run();
+  }
+  benchmark::DoNotOptimize(fired.load());
+  state.counters["lanes"] = static_cast<double>(lanes);
+  // Every seed event fires itself plus three chained hops.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch) * 4);
+}
+
+/// Parses a comma list of positive integers (empty on malformed input).
+std::vector<std::int64_t> ParseLaneList(const std::string& csv) {
+  std::vector<std::int64_t> values;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!token.empty()) {
+      char* end = nullptr;
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size() || value <= 0 || value > 64) {
+        return {};
+      }
+      values.push_back(value);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
 }  // namespace
 }  // namespace dacm::bench
 
-DACM_BENCH_MAIN()
+int main(int argc, char** argv) {
+  std::vector<std::int64_t> lanes = {1, 2, 4};
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--lanes=", 0) == 0) {
+      lanes = dacm::bench::ParseLaneList(arg.substr(sizeof("--lanes=") - 1));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (lanes.empty()) {
+    std::fprintf(stderr, "--lanes= needs a comma list of positive integers\n");
+    return 1;
+  }
+  auto* windowed = benchmark::RegisterBenchmark(
+                       "BM_LaneWindowedFire", dacm::bench::BM_LaneWindowedFire)
+                       ->ArgNames({"batch", "lanes"})
+                       ->UseRealTime();  // worker lanes burn CPU off-thread
+  for (std::int64_t lane_count : lanes) windowed->Args({8192, lane_count});
+  return dacm::bench::BenchMain(static_cast<int>(passthrough.size()),
+                                passthrough.data());
+}

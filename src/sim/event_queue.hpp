@@ -111,6 +111,19 @@ class EventQueue {
     return TakeNode(node, at, fn);
   }
 
+  /// Timestamp of the earliest pending event, without popping it;
+  /// kMaxTime when empty.  May cascade outer wheel levels to surface the
+  /// next due slot — externally invisible (the following PopDue would do
+  /// the same work), and later pushes behind the advanced cursor take the
+  /// backlog heap, which still pops first.  The lane scheduler uses this
+  /// to pick the next conservative window start across per-lane wheels.
+  SimTime NextEventTime() {
+    if (solo_ != nullptr) return solo_->at;
+    if (!backlog_.empty()) return backlog_.front()->at;
+    if (ready_head_ == nullptr && !AdvanceToNext(kMaxTime)) return kMaxTime;
+    return ready_head_->at;
+  }
+
   /// Advances the wheel cursor to `t`.  Caller contract: no pending event
   /// has timestamp <= `t` (i.e. PopDue(t, ...) just returned false).
   /// RunUntil uses this so a later Push relative to the new Now() lands

@@ -1,12 +1,21 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace dacm::sim {
 
 Network::Network(Simulator& simulator, SimTime one_way_latency)
     : simulator_(simulator), latency_(one_way_latency) {
   drain_hook_ = simulator_.AddDrainHook([this] { DrainStagedSends(); });
+  // The one-way latency is the minimum notice any lane gets of a
+  // cross-lane message, so it bounds the conservative window width.
+  simulator_.ClampLookahead(latency_);
+}
+
+void Network::SetLatency(SimTime latency) {
+  latency_ = latency;
+  simulator_.ClampLookahead(latency_);
 }
 
 Network::~Network() { simulator_.RemoveDrainHook(drain_hook_); }
@@ -40,12 +49,17 @@ void NetPeer::Close() {
 
 void Network::ScheduleDelivery(std::shared_ptr<NetPeer> remote,
                                support::SharedBytes message) {
-  // 40 bytes of captures: stays in the event node's inline storage.
-  simulator_.ScheduleAfter(latency_, [remote = std::move(remote),
-                                      message = std::move(message), net = this]() {
-    ++net->messages_delivered_;
-    if (remote->on_receive_) remote->on_receive_(message);
-  });
+  // Delivery fires on the receiving peer's lane (lane 0 unless the peer
+  // set a vehicle lane), so a vehicle's receive handler always runs on
+  // its own lane.  40 bytes of captures: stays in the event node's
+  // inline storage.
+  const std::uint32_t lane = remote->lane_;
+  simulator_.ScheduleAfterLane(
+      lane, latency_,
+      [remote = std::move(remote), message = std::move(message), net = this]() {
+        net->messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+        if (remote->on_receive_) remote->on_receive_(message);
+      });
 }
 
 void Network::DrainStagedSends() {
@@ -96,6 +110,9 @@ support::Status Network::Unlisten(const std::string& address) {
 }
 
 support::Result<std::shared_ptr<NetPeer>> Network::Connect(const std::string& address) {
+  // Connection setup mutates listener bookkeeping and peer cross-links;
+  // it must never be driven from a worker lane.
+  assert(simulator_.OnControlPlane());
   auto it = listeners_.find(address);
   if (it == listeners_.end()) {
     return support::NotFound("no listener at " + address);

@@ -57,6 +57,13 @@ class NetPeer : public std::enable_shared_from_this<NetPeer> {
   /// Installs the receive callback (replaces any previous one).
   void SetReceiveHandler(ReceiveHandler handler) { on_receive_ = std::move(handler); }
 
+  /// Simulator lane this endpoint's deliveries fire on (its receive
+  /// handler's home lane).  Defaults to 0 (the control plane); vehicles
+  /// set their VIN-hashed lane right after Connect.  Simulation thread
+  /// only, and only while no delivery is in flight toward this peer.
+  void SetLane(std::uint32_t lane) { lane_ = lane; }
+  std::uint32_t lane() const { return lane_; }
+
   /// Diagnostic label ("client-><addr>" / "accept@<addr>"), built on
   /// demand — the connect path stays free of per-peer string assembly.
   std::string label() const;
@@ -80,6 +87,7 @@ class NetPeer : public std::enable_shared_from_this<NetPeer> {
   std::uint64_t seq_;  // creation order; the drain sort key
   std::shared_ptr<const std::string> address_;  // shared with the listener
   bool client_side_;
+  std::uint32_t lane_ = 0;  // delivery lane (see SetLane)
   std::weak_ptr<NetPeer> remote_;
   ReceiveHandler on_receive_;
 };
@@ -115,14 +123,18 @@ class Network {
   bool link_up() const { return link_up_.load(std::memory_order_relaxed); }
 
   SimTime latency() const { return latency_; }
-  void SetLatency(SimTime latency) { latency_ = latency; }
+  /// Also re-clamps the simulator's conservative-window lookahead: the
+  /// one-way latency is this network's minimum cross-lane notice.
+  void SetLatency(SimTime latency);
 
   /// The simulator driving this network (components that stage work for
   /// the simulation thread — e.g. the server's ack inboxes — schedule
   /// their flush events through it).
   Simulator& simulator() const { return simulator_; }
 
-  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t messages_delivered() const {
+    return messages_delivered_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class NetPeer;
@@ -152,7 +164,8 @@ class Network {
   SimTime latency_;
   std::atomic<bool> link_up_{true};
   std::unordered_map<std::string, Listener> listeners_;
-  std::uint64_t messages_delivered_ = 0;
+  /// Atomic: delivery events fire concurrently on worker lanes.
+  std::atomic<std::uint64_t> messages_delivered_{0};
   std::uint64_t next_peer_seq_ = 0;
   std::uint64_t drain_hook_ = 0;
   std::thread::id sim_thread_ = std::this_thread::get_id();
